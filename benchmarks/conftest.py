@@ -1,0 +1,16 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures and
+prints the rows (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them).  Experiments are deterministic, so each is measured with a
+single pedantic round — the interesting output is the table itself,
+which is also attached to ``benchmark.extra_info``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with one round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,125 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* same-stream vs split-stream draining: correctness and drain volume;
+* batched vs minimal OS handler across exception rates;
+* FSB sizing vs store-buffer size (backpressure margin);
+* SC vs PC vs WC performance ladder.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.core.exceptions import ExceptionCode
+from repro.core.streams import DrainPolicy, PendingStore, interface_volume
+from repro.litmus import RunConfig, run_test
+from repro.litmus.library import message_passing
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.timing import run_trace
+from repro.workloads import build_workload, run_microbenchmark
+
+
+def test_ablation_stream_policy_volume(benchmark):
+    """Same-stream routes more stores through the interface — the
+    price of correctness-by-construction."""
+    def volumes():
+        rows = []
+        for faulting in (1, 4, 8):
+            entries = [
+                PendingStore(0x1000 * i, i,
+                             error_code=(ExceptionCode.EINJECT_BUS_ERROR
+                                         if i < faulting
+                                         else ExceptionCode.NONE))
+                for i in range(16)
+            ]
+            same = interface_volume(entries, DrainPolicy.SAME_STREAM)
+            split = interface_volume(entries, DrainPolicy.SPLIT_STREAM)
+            rows.append((faulting, same[0], split[0]))
+        return rows
+    rows = run_once(benchmark, volumes)
+    print()
+    print(render_table(
+        ["faulting/16", "same-stream PUTs", "split-stream PUTs"], rows,
+        title="Ablation — interface drain volume per policy"))
+    for faulting, same_puts, split_puts in rows:
+        assert same_puts == 16
+        assert split_puts == faulting
+
+
+def test_ablation_stream_policy_correctness():
+    """Split stream admits PC-violating behaviour on a litmus shape;
+    same stream never does (the Figure 2 result restated as an
+    ablation over the policy knob)."""
+    test = message_passing()
+    violating = (("r0", 1), ("r1", 0))
+    same = run_test(test, RunConfig(model=ConsistencyModel.PC, seeds=300,
+                                    inject_faults=True,
+                                    drain_policy=DrainPolicy.SAME_STREAM))
+    split = run_test(test, RunConfig(model=ConsistencyModel.PC, seeds=300,
+                                     inject_faults=True,
+                                     drain_policy=DrainPolicy.SPLIT_STREAM))
+    assert violating not in same.outcomes
+    assert violating in split.outcomes
+
+
+def test_ablation_handler_batching(benchmark):
+    """Batching amortisation grows with the exception rate."""
+    def sweep():
+        rows = []
+        for fraction in (0.05, 0.2, 0.4):
+            minimal = run_microbenchmark(fraction, batching=False,
+                                         stores=1500,
+                                         array_bytes=1 << 20)
+            batched = run_microbenchmark(fraction, batching=True,
+                                         stores=1500,
+                                         array_bytes=1 << 20)
+            rows.append((fraction,
+                         round(minimal.total_per_fault),
+                         round(batched.total_per_fault),
+                         round(minimal.stores_per_exception, 2)))
+        return rows
+    rows = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["fault frac", "minimal cy/fault", "batching cy/fault",
+         "stores/exc"], rows,
+        title="Ablation — handler batching vs exception rate"))
+    for _, minimal, batched, _ in rows:
+        assert batched <= minimal
+
+
+def test_ablation_fsb_sizing():
+    """The FSB is sized to the store buffer (§5.2): a full buffer's
+    worth of drains must fit; one fewer slot overflows."""
+    from repro.core.fsb import FaultingStoreBuffer, FsbEntry, FsbOverflowError
+
+    sb_entries = 32
+    fsb = FaultingStoreBuffer(capacity=32)
+    for i in range(sb_entries):
+        fsb.drain(FsbEntry(addr=i * 8, data=i))
+    assert fsb.is_full
+
+    small = FaultingStoreBuffer(capacity=16)
+    with pytest.raises(FsbOverflowError):
+        for i in range(sb_entries):
+            small.drain(FsbEntry(addr=i * 8, data=i))
+
+
+def test_ablation_consistency_ladder(benchmark):
+    """SC <= PC <= WC on a store-heavy workload (the §2.3 premise)."""
+    def ladder():
+        cfg = table2_config()
+        cfg.cores = 2
+        workload = build_workload("BC", cores=2, scale=0.3)
+        out = {}
+        for model in (ConsistencyModel.SC, ConsistencyModel.PC,
+                      ConsistencyModel.WC):
+            out[model] = run_trace(cfg.with_consistency(model),
+                                   workload.traces).ipc
+        return out
+    ipcs = run_once(benchmark, ladder)
+    print()
+    print(render_table(
+        ["model", "IPC"], [(m, round(v, 3)) for m, v in ipcs.items()],
+        title="Ablation — consistency-model performance ladder (BC)"))
+    assert ipcs["WC"] >= ipcs["PC"] >= ipcs["SC"]

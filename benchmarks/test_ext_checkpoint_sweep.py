@@ -1,0 +1,74 @@
+"""Extension bench — "speculation state required to achieve full WC
+performance" measured directly (Table 3's framing, §3.2-3.3).
+
+ASO-with-k-checkpoints mode sweeps the checkpoint budget: each store
+miss needs a checkpoint; when none is free the core stalls like the
+SC baseline.  The sweep finds the knee where performance saturates at
+full-WC and converts the required checkpoints into state bytes using
+the §3.3 per-structure sizes; the 4× store-to-load skew system needs
+a larger budget, reproducing the paper's scaling argument.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import render_bar_series, render_table
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.cpu.speculation import SpeculationStateConfig
+from repro.sim.timing import run_trace
+from repro.workloads import build_workload
+
+CAPS = (1, 2, 4, 8, 16, 32)
+
+
+def sweep(workload_name="BC", skew=None):
+    cfg = table2_config().with_consistency(ConsistencyModel.WC)
+    cfg.cores = 2
+    if skew:
+        cfg = cfg.with_store_load_skew(skew)
+    workload = build_workload(workload_name, cores=2, scale=0.3)
+    full = run_trace(cfg, workload.traces).ipc
+    curve = {}
+    for cap in CAPS:
+        ipc = run_trace(cfg, workload.traces, checkpoint_cap=cap).ipc
+        curve[cap] = ipc / full
+    return curve
+
+
+def required_cap(curve, threshold=0.98):
+    for cap in CAPS:
+        if curve[cap] >= threshold:
+            return cap
+    return CAPS[-1]
+
+
+def test_checkpoint_sweep(benchmark):
+    def experiment():
+        return sweep("BC"), sweep("BC", skew=4)
+    base, skewed = run_once(benchmark, experiment)
+
+    spec = SpeculationStateConfig()
+    rows = []
+    for cap in CAPS:
+        rows.append((cap, f"{100 * base[cap]:.1f}%",
+                     f"{100 * skewed[cap]:.1f}%",
+                     f"{cap * spec.checkpoint_bytes / 1024:.1f}"))
+    print()
+    print(render_table(
+        ["checkpoints", "% of WC (base)", "% of WC (4x skew)",
+         "checkpoint KB"], rows,
+        title="Extension — WC-performance fraction vs checkpoint budget "
+              "(BC)"))
+
+    base_need = required_cap(base)
+    skew_need = required_cap(skewed)
+    print(f"\ncheckpoints for ~full WC: baseline {base_need}, "
+          f"4x skew {skew_need}")
+
+    # Shape: monotone saturation; skew needs at least as many.
+    assert all(base[CAPS[i]] <= base[CAPS[i + 1]] + 0.02
+               for i in range(len(CAPS) - 1))
+    assert base[CAPS[-1]] >= 0.99
+    assert skew_need >= base_need
+    benchmark.extra_info["baseline_need"] = base_need
+    benchmark.extra_info["skew_need"] = skew_need

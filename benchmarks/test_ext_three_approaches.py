@@ -1,0 +1,88 @@
+"""Extension bench — the paper's three approaches, head to head (§1).
+
+1. **Store-buffer elision** (forced precise exceptions, §2.3): run
+   under SC — every store serialises its completion at retirement.
+2. **Prefetch-based early detection** (Qiu & Dubois): run under WC
+   with all faults discovered before retirement and handled as
+   conventional precise exceptions.
+3. **Post-retirement speculation** (ASO, §3): WC performance with
+   precise exceptions via checkpoint rollback — the approach whose
+   silicon bill Table 3 and the checkpoint sweep quantify.
+4. **Imprecise store exceptions** (the paper's design): run under WC
+   with the FSB/handler path.
+
+Expected shape: imprecise handling preserves nearly all of WC's
+performance; early detection sits between (it keeps the store buffer
+but pays a full precise trap per fault and cannot batch); eliding the
+store buffer costs the most on store-heavy work.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.devices.einject import EInject
+from repro.sim.timing import TimingSystem, run_trace
+from repro.workloads import build_workload
+
+
+def run_variants(workload_name="BC"):
+    workload = build_workload(workload_name, cores=2, scale=0.4,
+                              inject=True, trials=6)
+    wc_cfg = table2_config().with_consistency(ConsistencyModel.WC)
+    sc_cfg = table2_config().with_consistency(ConsistencyModel.SC)
+
+    def einject():
+        src = EInject()
+        for page in workload.injectable_pages():
+            src.mmio_set(page)
+        return src
+
+    baseline = run_trace(wc_cfg, workload.traces)
+    imprecise = run_trace(wc_cfg, workload.traces, einject=einject())
+    early = TimingSystem(wc_cfg, workload.traces, einject=einject(),
+                         early_detection_fraction=1.0).run()
+    aso = TimingSystem(wc_cfg, workload.traces, einject=einject(),
+                       aso_precise=True).run()
+    elided = run_trace(sc_cfg, workload.traces, einject=einject())
+
+    def rel(result):
+        return baseline.total_cycles / result.total_cycles
+
+    return {
+        "WC baseline (no faults)": (baseline, 1.0),
+        "imprecise (FSB + handler)": (imprecise, rel(imprecise)),
+        "ASO precise (rollback)": (aso, rel(aso)),
+        "early detection (prefetch)": (early, rel(early)),
+        "store-buffer elision (SC)": (elided, rel(elided)),
+    }
+
+
+def test_three_approaches(benchmark):
+    results = run_once(benchmark, run_variants)
+    rows = []
+    for label, (res, rel) in results.items():
+        precise = sum(s.precise_exceptions for s in res.core_stats)
+        rows.append((label, f"{100 * rel:.1f}%",
+                     res.total_imprecise_exceptions, precise))
+    print()
+    print(render_table(
+        ["approach", "relative perf", "imprecise exc", "precise exc"],
+        rows,
+        title="Extension — the paper's three approaches on BC"))
+
+    imprecise_rel = results["imprecise (FSB + handler)"][1]
+    aso_rel = results["ASO precise (rollback)"][1]
+    early_rel = results["early detection (prefetch)"][1]
+    elided_rel = results["store-buffer elision (SC)"][1]
+    # The paper's ordering: {imprecise, ASO} ≈ WC >> elision; ASO buys
+    # its performance with the Table 3 silicon instead of semantics.
+    assert imprecise_rel >= early_rel - 0.02
+    assert aso_rel >= 0.9
+    assert early_rel > elided_rel
+    assert elided_rel < 0.75  # SC loses badly on the store-heavy kernel
+    # Early detection produced only precise exceptions.
+    early_result = results["early detection (prefetch)"][0]
+    assert early_result.total_imprecise_exceptions == 0
+    benchmark.extra_info["relative"] = {
+        label: round(rel, 3) for label, (_, rel) in results.items()}

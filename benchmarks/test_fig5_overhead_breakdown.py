@@ -1,0 +1,58 @@
+"""Figure 5 — imprecise-exception overhead breakdown, with and
+without batching.
+
+Expected shape (paper §6.4): per-faulting-store cost ~600 cycles in
+the minimal case, dominated by "other OS" (context switch, dispatch);
+the microarchitectural part (FSB drain + flush) is a tiny fraction;
+batching amortises the invocation cost when multiple faulting stores
+share one exception.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import render_figure5
+from repro.workloads import figure5_sweep, run_microbenchmark
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return figure5_sweep(fractions=(0.01, 0.1, 0.3), seed=1)
+
+
+def test_figure5_breakdown(benchmark, sweep_rows):
+    rows = run_once(benchmark, lambda: sweep_rows)
+    print()
+    print(render_figure5(rows))
+
+    # Shape 1: OS overhead dominates microarchitecture everywhere.
+    for row in rows:
+        assert row["os_other"] > row["uarch"], row
+
+    # Shape 2: at high exception rates, stores batch per exception and
+    # the per-fault total drops.
+    low = [r for r in rows if r["fault_fraction"] == 0.01][0]
+    high = [r for r in rows if r["fault_fraction"] == 0.3
+            and r["mode"] == "minimal"][0]
+    assert high["stores_per_exception"] > low["stores_per_exception"]
+    assert high["total"] < low["total"]
+
+    # Shape 3: batching beats the minimal handler when batches exist.
+    minimal = {r["fault_fraction"]: r for r in rows
+               if r["mode"] == "minimal"}
+    batching = {r["fault_fraction"]: r for r in rows
+                if r["mode"] == "batching"}
+    assert batching[0.3]["total"] <= minimal[0.3]["total"]
+
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 1) if isinstance(v, float) else v)
+         for k, v in r.items()} for r in rows]
+
+
+def test_figure5_single_fault_cost_near_paper():
+    """Minimal handler, sparse faults: ~600 cycles per faulting store
+    (we accept a 2x band around the paper's figure)."""
+    res = run_microbenchmark(faulting_page_fraction=0.01, batching=False,
+                             stores=2000, array_bytes=1 << 21)
+    assert 300 <= res.total_per_fault <= 1200
+    assert res.uarch_per_fault / res.total_per_fault < 0.35

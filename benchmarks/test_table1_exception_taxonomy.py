@@ -1,0 +1,39 @@
+"""Table 1 — classification of x86 exceptions by pipeline origin.
+
+Regenerates the taxonomy table and checks its structural properties:
+machine checks are the only imprecise (hierarchy-origin) entry.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.core.exceptions import (
+    X86_EXCEPTIONS,
+    ExceptionClass,
+    PipelineStage,
+    exceptions_by_stage,
+)
+
+
+def build_table1():
+    buckets = exceptions_by_stage()
+    rows = []
+    for stage in (PipelineStage.FETCH, PipelineStage.DECODE,
+                  PipelineStage.EXECUTE, PipelineStage.MEMORY,
+                  PipelineStage.ANY, PipelineStage.HIERARCHY):
+        for desc in buckets.get(stage, []):
+            rows.append((desc.klass.value, stage.value, desc.name,
+                         "yes" if desc.precise else "NO"))
+    return rows
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, build_table1)
+    print()
+    print(render_table(["class", "origin", "exception", "precise"], rows,
+                       title="Table 1 — x86 exception classification"))
+    imprecise = [r for r in rows if r[3] == "NO"]
+    assert len(rows) == len(X86_EXCEPTIONS) == 23
+    assert [r[2] for r in imprecise] == ["Machine check"]
+    benchmark.extra_info["exceptions"] = len(rows)
+    benchmark.extra_info["imprecise"] = len(imprecise)

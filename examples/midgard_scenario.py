@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The paper's Example 2: Midgard-style late address translation.
+
+In a Midgard system the cache hierarchy is indexed by an intermediate
+address space: the lightweight VMA-level translation runs before the
+hierarchy, and the heavyweight page-level translation runs only on an
+LLC miss.  A store can therefore pass its front-side checks, *retire*
+into the store buffer, miss the hierarchy — and only then discover
+that its page-level translation faults.  The exception arrives after
+retirement: the imprecise case.
+
+This walk-through builds that system from library pieces:
+
+1. a page table in which half the application's pages are lazily
+   allocated (mapped but not present) and some are swapped out;
+2. a :class:`MidgardLateTranslation` fault source at the LLC boundary;
+3. a two-core producer/consumer program whose stores hit those pages;
+4. the FSB/handler machinery resolving each late fault and applying
+   the stores, audited by the Table 5 contract checker.
+
+Run:  python examples/midgard_scenario.py
+"""
+
+from repro.sim import isa
+from repro.sim.config import ConsistencyModel, small_config
+from repro.sim.devices.faultsource import MidgardLateTranslation
+from repro.sim.multicore import MulticoreSystem
+from repro.sim.os.pagefault import DEMAND_PAGING_CYCLES, LAZY_ALLOC_CYCLES
+from repro.sim.program import make_program
+from repro.sim.vm.pagetable import PageTable
+
+HEAP = 0x400000          # four heap pages
+FLAG = 0x800000          # synchronisation flag (always resident)
+
+
+def build_address_space() -> PageTable:
+    page_table = PageTable()
+    page_table.map_page(FLAG, present=True)
+    page_table.map_page(HEAP + 0x0000, present=True)
+    page_table.map_page(HEAP + 0x1000, present=False)           # lazy
+    page_table.map_page(HEAP + 0x2000, present=False, swapped=True)
+    page_table.map_page(HEAP + 0x3000, present=False)           # lazy
+    return page_table
+
+
+def main() -> None:
+    page_table = build_address_space()
+    midgard = MidgardLateTranslation(page_table)
+
+    # Producer writes one word into each heap page, then raises the
+    # flag; consumer waits on the flag (spin modelled as a load) and
+    # reads the words back.
+    producer = [
+        isa.store(HEAP + 0x0000, value=10),
+        isa.store(HEAP + 0x1008, value=11),   # lazy page: late fault
+        isa.store(HEAP + 0x2010, value=12),   # swapped page: late fault
+        isa.store(HEAP + 0x3018, value=13),   # lazy page: late fault
+        isa.fence(),
+        isa.store(FLAG, value=1),
+    ]
+    consumer = [
+        isa.load(1, FLAG, label="flag"),
+        isa.load(2, HEAP + 0x0000, label="w0"),
+        isa.load(3, HEAP + 0x1008, label="w1"),
+        isa.load(4, HEAP + 0x2010, label="w2"),
+        isa.load(5, HEAP + 0x3018, label="w3"),
+    ]
+    program = make_program([producer, consumer])
+
+    print("=== Midgard late-translation scenario ===")
+    print(f"heap pages: 1 resident, 2 lazy "
+          f"(~{LAZY_ALLOC_CYCLES} cy each to resolve), "
+          f"1 swapped (~{DEMAND_PAGING_CYCLES:,} cy of IO)\n")
+
+    outcomes = set()
+    total_imprecise = 0
+    total_precise = 0
+    for seed in range(60):
+        system = MulticoreSystem(
+            program, small_config(2, ConsistencyModel.PC), seed=seed,
+            fault_source=MidgardLateTranslation(build_address_space()))
+        result = system.run()
+        outcomes.add(result.outcome)
+        total_imprecise += result.stats.imprecise_exceptions
+        total_precise += result.stats.precise_exceptions
+        assert result.contract_report.ok
+        for i, value in enumerate((10, 11, 12, 13)):
+            addr = [HEAP, HEAP + 0x1008, HEAP + 0x2010,
+                    HEAP + 0x3018][i]
+            assert result.memory_value(addr) == value
+
+    print(f"runs                : 60")
+    print(f"imprecise exceptions: {total_imprecise} "
+          f"(stores faulting after retirement)")
+    print(f"precise exceptions  : {total_precise} "
+          f"(consumer loads touching unresolved pages)")
+
+    # The PC guarantee survives: if the consumer saw the flag, it saw
+    # every heap word the producer wrote before the fence.
+    for outcome in sorted(outcomes):
+        values = dict(outcome)
+        if values.get("flag") == 1:
+            assert (values["w0"], values["w1"], values["w2"],
+                    values["w3"]) == (10, 11, 12, 13), values
+    print("\nPC guarantee held in every interleaving: flag=1 implies "
+          "all four heap words visible,")
+    print("even though three of the stores faulted after retiring.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim
+lets ``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Imprecise Store Exceptions" (ISCA 2023).
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: the Faulting Store
+  Buffer (FSB), its controller (FSBC), the architectural interface,
+  drain-stream policies, and the OS imprecise-exception handlers.
+* :mod:`repro.memmodel` — axiomatic memory-consistency formalism
+  (SC/PC/WC/RVWMO), execution enumeration, and executable proofs.
+* :mod:`repro.sim` — the multicore substrate: OoO cores with store
+  buffers, MESI directory caches, 2D-mesh NoC, memory, virtual
+  memory, the EInject fault injector, and a minimal OS model.
+* :mod:`repro.litmus` — litmus DSL, test library and generators, the
+  operational runner and the conformance harness.
+* :mod:`repro.workloads` — GAP-, Tailbench-flavoured workload models
+  and the Figure 5 microbenchmark.
+* :mod:`repro.analysis` — speculation-state accounting, overhead
+  decomposition, and table/figure reporting.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Experiment drivers and reporting for the paper's tables/figures."""
+
+from .figure6 import FIGURE6_PARAMS, Figure6Row, measure_figure6, run_figure6
+from .postprocess import (
+    analyse_mbench_log,
+    analyse_workload_logs,
+    compare_litmus_logs,
+    litmus_verdict,
+    read_litmus_log,
+    write_litmus_log,
+    write_mbench_log,
+    write_workload_log,
+)
+from .reporting import (
+    render_bar_series,
+    render_figure5,
+    render_figure6,
+    render_table,
+    render_table3,
+)
+from .table3 import Table3Row, measure_workload, run_table3
+
+__all__ = [
+    "FIGURE6_PARAMS", "Figure6Row", "measure_figure6", "run_figure6",
+    "analyse_mbench_log", "analyse_workload_logs", "compare_litmus_logs",
+    "litmus_verdict", "read_litmus_log", "write_litmus_log",
+    "write_mbench_log", "write_workload_log",
+    "render_bar_series", "render_figure5", "render_figure6",
+    "render_table", "render_table3",
+    "Table3Row", "measure_workload", "run_table3",
+]

@@ -1,0 +1,146 @@
+"""Log writers/readers mirroring the paper artifact's post scripts.
+
+The artifact appendix ships five post-processing scripts:
+``1-mbench.py`` (Figure 5 data), ``2-litmus.py`` (compare the
+hardware log against the herd log — "OK" iff no line starts with
+"!!! Warning negative differences in"), ``3-gap.py`` and
+``4-silo.py``/``5-masstree.py`` (Figure 6 data).  This module provides
+the same workflow over JSON logs produced by our harness, so runs can
+be archived and re-analysed without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
+
+
+# ----------------------------------------------------------------------
+# Litmus logs (the 2-litmus.py analogue)
+# ----------------------------------------------------------------------
+def write_litmus_log(path, results: Dict[str, Iterable[Outcome]]) -> None:
+    """Write observed outcomes per test name (the "hardware log")."""
+    payload = {
+        name: sorted([list(map(list, outcome)) for outcome in outcomes])
+        for name, outcomes in results.items()
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def read_litmus_log(path) -> Dict[str, set]:
+    raw = json.loads(Path(path).read_text())
+    return {
+        name: {tuple(tuple(pair) for pair in outcome)
+               for outcome in outcomes}
+        for name, outcomes in raw.items()
+    }
+
+
+def compare_litmus_logs(hardware_path, model_path) -> List[str]:
+    """Compare a hardware log against a model (allowed-set) log.
+
+    Returns report lines; any line starting with
+    ``!!! Warning negative differences in`` marks a test where the
+    hardware exhibited an outcome the model forbids — exactly the
+    condition the paper's ``2-litmus.py`` greps for.
+    """
+    hardware = read_litmus_log(hardware_path)
+    model = read_litmus_log(model_path)
+    lines: List[str] = []
+    for name in sorted(hardware):
+        observed = hardware[name]
+        allowed = model.get(name)
+        if allowed is None:
+            lines.append(f"{name}: missing from model log")
+            continue
+        negative = observed - allowed
+        if negative:
+            lines.append(
+                f"{NEGATIVE_DIFF_PREFIX} {name}: "
+                f"{sorted(dict(o) for o in negative)}")
+        else:
+            positive = len(allowed - observed)
+            lines.append(f"{name}: ok ({len(observed)} observed, "
+                         f"{positive} allowed-but-unseen)")
+    return lines
+
+
+def litmus_verdict(report_lines: Sequence[str]) -> str:
+    """"OK" iff no negative-difference line exists (§A.5)."""
+    bad = [ln for ln in report_lines
+           if ln.startswith(NEGATIVE_DIFF_PREFIX)]
+    return "OK" if not bad else f"FAIL ({len(bad)} tests)"
+
+
+# ----------------------------------------------------------------------
+# Microbenchmark logs (the 1-mbench.py analogue)
+# ----------------------------------------------------------------------
+def write_mbench_log(path, rows: Sequence[Dict]) -> None:
+    Path(path).write_text(json.dumps(list(rows), indent=1))
+
+
+def analyse_mbench_log(path) -> Dict[str, Dict[str, float]]:
+    """Figure 5 data: per-fault breakdown per (fraction, mode)."""
+    rows = json.loads(Path(path).read_text())
+    out: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        key = f"{row['fault_fraction']}/{row['mode']}"
+        out[key] = {
+            "uarch": row["uarch"],
+            "os_apply": row["os_apply"],
+            "os_other": row["os_other"],
+            "total": row["total"],
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Workload logs (the 3-gap.py / 4-silo.py / 5-masstree.py analogues)
+# ----------------------------------------------------------------------
+def write_workload_log(path, rows) -> None:
+    payload = [
+        {
+            "workload": r.workload,
+            "baseline_cycles": r.baseline_cycles,
+            "imprecise_cycles": r.imprecise_cycles,
+            "imprecise_exceptions": r.imprecise_exceptions,
+            "faulting_stores": r.faulting_stores,
+            "precise_exceptions": r.precise_exceptions,
+            "work_items": r.work_items,
+        }
+        for r in rows
+    ]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def analyse_workload_logs(run_path, ref_path=None) -> List[Dict]:
+    """Figure 6 data: relative performance per workload.
+
+    With a separate reference log (the ``*-ref.log`` files of the
+    artifact), the baseline cycles come from it instead of the run
+    log's own baseline field.
+    """
+    rows = json.loads(Path(run_path).read_text())
+    reference = None
+    if ref_path is not None:
+        reference = {r["workload"]: r
+                     for r in json.loads(Path(ref_path).read_text())}
+    out = []
+    for row in rows:
+        baseline = row["baseline_cycles"]
+        if reference and row["workload"] in reference:
+            baseline = reference[row["workload"]]["baseline_cycles"]
+        out.append({
+            "workload": row["workload"],
+            "relative": baseline / max(1.0, row["imprecise_cycles"]),
+            "throughput_ratio": (row["work_items"] / max(1.0, row["imprecise_cycles"]))
+            / max(1e-12, row["work_items"] / max(1.0, baseline)),
+            "imprecise_exceptions": row["imprecise_exceptions"],
+        })
+    return out

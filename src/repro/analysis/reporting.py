@@ -1,0 +1,93 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Every bench prints through these helpers so the output lines up with
+the paper's rows/series and is easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_bar_series(series: Mapping[str, float], width: int = 40,
+                      title: str = "") -> str:
+    """ASCII bar chart for figure-style series."""
+    if not series:
+        return title
+    peak = max(series.values()) or 1.0
+    lines = [title] if title else []
+    label_w = max(len(k) for k in series)
+    for key, value in series.items():
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"{key.ljust(label_w)}  {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def render_table3(rows) -> str:
+    """The Table 3 layout: mix, WC speedup, state KB × three systems."""
+    headers = ["Workload", "Suite", "St%", "Ld%", "Sy%",
+               "WC spd", "(paper)", "KB base", "KB 2xmem", "KB 4xskew",
+               "(paper KB)"]
+    body = [
+        (r.workload, r.suite, f"{r.store_pct:.0f}", f"{r.load_pct:.0f}",
+         f"{r.sync_pct:.1f}", f"{r.wc_speedup:.2f}",
+         f"{r.paper_wc_speedup:.2f}", f"{r.state_kb_baseline:.1f}",
+         f"{r.state_kb_2x_memory:.1f}", f"{r.state_kb_4x_skew:.1f}",
+         r.paper_state_kb)
+        for r in rows
+    ]
+    return render_table(headers, body,
+                        title="Table 3 — mix, WC speedup over SC, "
+                              "speculation state (measured vs paper)")
+
+
+def render_figure5(rows: Sequence[Dict]) -> str:
+    headers = ["fault frac", "handler", "uarch", "OS apply", "OS other",
+               "total/fault", "stores/exc"]
+    body = [
+        (r["fault_fraction"], r["mode"], f"{r['uarch']:.0f}",
+         f"{r['os_apply']:.0f}", f"{r['os_other']:.0f}",
+         f"{r['total']:.0f}", f"{r['stores_per_exception']:.2f}")
+        for r in rows
+    ]
+    return render_table(headers, body,
+                        title="Figure 5 — per-faulting-store overhead "
+                              "breakdown (cycles)")
+
+
+def render_figure6(rows) -> str:
+    headers = ["Workload", "relative perf", "imprecise exc",
+               "faulting stores", "precise exc"]
+    body = [
+        (r.workload, f"{100 * r.relative_performance:.1f}%",
+         r.imprecise_exceptions, r.faulting_stores, r.precise_exceptions)
+        for r in rows
+    ]
+    return render_table(headers, body,
+                        title="Figure 6 — relative performance with "
+                              "imprecise store exceptions")

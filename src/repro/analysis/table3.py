@@ -1,0 +1,86 @@
+"""Table 3 experiment driver: instruction mix, WC speedup over SC,
+and ASO speculation-state requirements across three systems
+(baseline, 2× memory latency, 4× store-to-load latency skew)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import ConsistencyModel, SystemConfig, table2_config
+from ..sim.timing import run_trace
+from ..sim.trace import measure_mix
+from ..workloads import PAPER_TABLE3, build_workload
+
+
+@dataclass
+class Table3Row:
+    """One measured workload row, alongside the paper's values."""
+
+    workload: str
+    suite: str
+    store_pct: float
+    load_pct: float
+    sync_pct: float
+    other_pct: float
+    wc_speedup: float
+    state_kb_baseline: float
+    state_kb_2x_memory: float
+    state_kb_4x_skew: float
+    paper_wc_speedup: float
+    paper_state_kb: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "workload": self.workload,
+            "store%": round(self.store_pct, 1),
+            "load%": round(self.load_pct, 1),
+            "sync%": round(self.sync_pct, 2),
+            "WC speedup": round(self.wc_speedup, 2),
+            "state KB": round(self.state_kb_baseline, 1),
+            "state KB (2x mem)": round(self.state_kb_2x_memory, 1),
+            "state KB (4x skew)": round(self.state_kb_4x_skew, 1),
+        }
+
+
+def measure_workload(name: str, cores: int = 4, scale: float = 0.5,
+                     seed: int = 1,
+                     config: Optional[SystemConfig] = None) -> Table3Row:
+    """Run one workload under SC and WC (three latency systems)."""
+    ref = PAPER_TABLE3[name]
+    base_cfg = config or table2_config()
+    base_cfg = base_cfg.with_consistency(ConsistencyModel.WC)
+    base_cfg.cores = max(base_cfg.cores, cores)
+
+    workload = build_workload(name, cores=cores, scale=scale, seed=seed)
+    mix = measure_mix(workload.traces[0])
+
+    sc = run_trace(base_cfg.with_consistency(ConsistencyModel.SC),
+                   workload.traces)
+    wc = run_trace(base_cfg, workload.traces, track_speculation=True)
+    wc_2x = run_trace(base_cfg.with_memory_latency_scale(2),
+                      workload.traces, track_speculation=True)
+    wc_4x = run_trace(base_cfg.with_store_load_skew(4),
+                      workload.traces, track_speculation=True)
+
+    return Table3Row(
+        workload=name,
+        suite=ref.suite,
+        store_pct=100 * mix.store,
+        load_pct=100 * mix.load,
+        sync_pct=100 * mix.sync,
+        other_pct=100 * mix.other,
+        wc_speedup=wc.ipc / sc.ipc if sc.ipc else 0.0,
+        state_kb_baseline=wc.speculation_peak_kb(),
+        state_kb_2x_memory=wc_2x.speculation_peak_kb(),
+        state_kb_4x_skew=wc_4x.speculation_peak_kb(),
+        paper_wc_speedup=ref.wc_speedup,
+        paper_state_kb=ref.state_kb_baseline,
+    )
+
+
+def run_table3(workloads: Optional[Sequence[str]] = None, cores: int = 4,
+               scale: float = 0.5, seed: int = 1) -> List[Table3Row]:
+    """The full Table 3 sweep."""
+    names = list(workloads) if workloads else list(PAPER_TABLE3)
+    return [measure_workload(name, cores, scale, seed) for name in names]

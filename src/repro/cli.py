@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+==========  ==========================================================
+command     regenerates
+==========  ==========================================================
+``litmus``  the §6.3 campaign (Table 6 coverage, zero negative diffs)
+``table3``  instruction mix / WC speedup / speculation state
+``fig5``    the overhead breakdown with and without batching
+``fig6``    GAP/Tailbench relative performance under injection
+``proofs``  the executable §4 formalism (Proof 1 + Figure 2)
+``mbench``  one microbenchmark configuration (§6.4)
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from .litmus import (RunConfig, all_library_tests, check_suite,
+                         load_litmus_directory)
+    from .litmus.generator import generate_all
+
+    if args.files:
+        tests = load_litmus_directory(args.files)
+    else:
+        tests = generate_all() + all_library_tests()
+    if args.quick:
+        tests = tests[:40]
+    config = RunConfig(model=args.model, seeds=args.seeds,
+                       inject_faults=not args.no_faults)
+    report = check_suite(tests, config)
+    print(report.summary(explain=True))
+
+    if args.save_log:
+        from .analysis.postprocess import write_litmus_log
+        hardware = {v.test.name: v.run.outcomes
+                    for v in report.verdicts}
+        model_log = {v.test.name: v.conformance.allowed
+                     for v in report.verdicts}
+        write_litmus_log(f"{args.save_log}.hw.json", hardware)
+        write_litmus_log(f"{args.save_log}.model.json", model_log)
+        print(f"logs written: {args.save_log}.hw.json / .model.json")
+    return 0 if report.ok else 1
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .analysis import render_table3, run_table3
+
+    rows = run_table3(cores=args.cores, scale=args.scale)
+    print(render_table3(rows))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .analysis import render_figure5
+    from .workloads import figure5_sweep
+
+    rows = figure5_sweep(fractions=(0.01, 0.1, 0.3))
+    print(render_figure5(rows))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .analysis import render_figure6, run_figure6
+
+    rows = run_figure6(cores=args.cores)
+    print(render_figure6(rows))
+    worst = min(r.relative_performance for r in rows)
+    return 0 if worst >= 0.90 else 1
+
+
+def _cmd_proofs(args: argparse.Namespace) -> int:
+    from .memmodel import demonstrate_figure2_race, prove_rule_suite
+
+    ok = True
+    for report in prove_rule_suite():
+        print(report.summary())
+        ok = ok and report.holds
+    race = demonstrate_figure2_race()
+    print(race.summary())
+    ok = ok and race.matches_paper
+    return 0 if ok else 1
+
+
+def _cmd_mbench(args: argparse.Namespace) -> int:
+    from .workloads import run_microbenchmark
+
+    res = run_microbenchmark(faulting_page_fraction=args.fault_fraction,
+                             batching=args.batching,
+                             stores=args.stores)
+    print(f"stores              : {args.stores}")
+    print(f"faulting stores     : {res.faulting_stores}")
+    print(f"imprecise exceptions: {res.imprecise_exceptions} "
+          f"({res.stores_per_exception:.2f} stores/exception)")
+    print(f"per-fault breakdown : uarch {res.uarch_per_fault:.0f}  "
+          f"os-apply {res.os_apply_per_fault:.0f}  "
+          f"os-other {res.os_other_per_fault:.0f}  "
+          f"total {res.total_per_fault:.0f} cycles")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Imprecise Store Exceptions' "
+                    "(ISCA 2023)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    litmus = sub.add_parser("litmus", help="run the litmus campaign")
+    litmus.add_argument("--model", default="PC",
+                        choices=["SC", "PC", "WC"])
+    litmus.add_argument("--seeds", type=int, default=20)
+    litmus.add_argument("--no-faults", action="store_true")
+    litmus.add_argument("--quick", action="store_true",
+                        help="only the first 40 tests")
+    litmus.add_argument("--files", metavar="DIR",
+                        help="run .litmus files from DIR instead of "
+                             "the generated suite")
+    litmus.add_argument("--save-log", metavar="PREFIX",
+                        help="archive hardware/model outcome logs as "
+                             "PREFIX.hw.json / PREFIX.model.json")
+    litmus.set_defaults(fn=_cmd_litmus)
+
+    table3 = sub.add_parser("table3", help="regenerate Table 3")
+    table3.add_argument("--cores", type=int, default=4)
+    table3.add_argument("--scale", type=float, default=0.5)
+    table3.set_defaults(fn=_cmd_table3)
+
+    fig5 = sub.add_parser("fig5", help="regenerate Figure 5")
+    fig5.set_defaults(fn=_cmd_fig5)
+
+    fig6 = sub.add_parser("fig6", help="regenerate Figure 6")
+    fig6.add_argument("--cores", type=int, default=2)
+    fig6.set_defaults(fn=_cmd_fig6)
+
+    proofs = sub.add_parser("proofs", help="run the executable proofs")
+    proofs.set_defaults(fn=_cmd_proofs)
+
+    mbench = sub.add_parser("mbench", help="run the §6.4 microbenchmark")
+    mbench.add_argument("--fault-fraction", type=float, default=0.05)
+    mbench.add_argument("--stores", type=int, default=2000)
+    mbench.add_argument("--batching", action="store_true")
+    mbench.set_defaults(fn=_cmd_mbench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's core contribution: imprecise store exceptions.
+
+Hardware side: :class:`~repro.core.fsb.FaultingStoreBuffer` (the
+per-core in-memory ring), :class:`~repro.core.fsbc.FsbController`,
+and :class:`~repro.core.interface.ArchitecturalInterface` (PUT/GET).
+
+Software side: :class:`~repro.core.handler.MinimalHandler` and
+:class:`~repro.core.handler.BatchingHandler`, plus the
+:class:`~repro.core.contract.ContractChecker` that audits the
+Table 5 three-party contract at runtime.
+"""
+
+from .contract import (
+    ContractChecker,
+    ContractEventKind,
+    ContractReport,
+    ContractViolation,
+)
+from .exceptions import (
+    RECOVERABLE_CODES,
+    X86_EXCEPTIONS,
+    ExceptionClass,
+    ExceptionCode,
+    ExceptionDescriptor,
+    ImpreciseStoreException,
+    InterruptEnable,
+    PipelineStage,
+    exceptions_by_stage,
+    is_recoverable,
+)
+from .fsb import FaultingStoreBuffer, FsbEntry, FsbOverflowError
+from .fsbc import FsbController
+from .handler import (
+    BatchingHandler,
+    HandlerCosts,
+    HandlerInvocation,
+    MinimalHandler,
+)
+from .interface import ArchitecturalInterface, InterfaceEvent
+from .streams import (
+    DrainAction,
+    DrainPolicy,
+    DrainTarget,
+    PendingStore,
+    interface_volume,
+    plan_drain,
+)
+
+__all__ = [
+    "ContractChecker", "ContractEventKind", "ContractReport",
+    "ContractViolation",
+    "RECOVERABLE_CODES", "X86_EXCEPTIONS", "ExceptionClass",
+    "ExceptionCode", "ExceptionDescriptor", "ImpreciseStoreException",
+    "InterruptEnable", "PipelineStage", "exceptions_by_stage",
+    "is_recoverable",
+    "FaultingStoreBuffer", "FsbEntry", "FsbOverflowError",
+    "FsbController",
+    "BatchingHandler", "HandlerCosts", "HandlerInvocation",
+    "MinimalHandler",
+    "ArchitecturalInterface", "InterfaceEvent",
+    "DrainAction", "DrainPolicy", "DrainTarget", "PendingStore",
+    "interface_volume", "plan_drain",
+]

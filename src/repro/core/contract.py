@@ -1,0 +1,163 @@
+"""Runtime verification of the Table 5 contract.
+
+The contract among the cores, the architectural interface, and the OS:
+
+* **Cores** supply faulting stores to the interface in the serial
+  order dictated by the store buffer (FIFO for PC; unordered for WC).
+* **Interface** supplies faulting stores to the OS in the same order
+  as received from the core.
+* **OS** (1) resumes the program only after exception handling,
+  (2) applies *all* retrieved faulting stores during handling, and
+  (3) applies them in the interface order (PC only).
+
+The checker consumes an event stream recorded by the simulator and
+reports violations.  It is wired into the litmus runner so every
+litmus execution doubles as a contract audit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ContractEventKind(enum.Enum):
+    SB_SEND = "sb-send"      # store buffer hands a store to the FSBC
+    PUT = "put"              # FSBC writes the store into the FSB
+    GET = "get"              # OS retrieves the store
+    APPLY = "apply"          # OS performs S_OS
+    RESUME = "resume"        # program resumes after handling
+    RETIRE_STORE = "retire"  # SB received a retired store (order ref)
+
+
+@dataclass(frozen=True)
+class ContractEvent:
+    kind: ContractEventKind
+    core: int
+    seq: int = -1            # store identity (drain sequence)
+    time: int = 0
+
+
+@dataclass
+class ContractViolation:
+    rule: str
+    core: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[core {self.core}] {self.rule}: {self.detail}"
+
+
+@dataclass
+class ContractReport:
+    violations: List[ContractViolation] = field(default_factory=list)
+    events_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"contract OK ({self.events_checked} events)"
+        lines = [f"contract VIOLATED ({len(self.violations)} violations):"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class ContractChecker:
+    """Collects events and verifies the three-party contract.
+
+    ``ordered`` distinguishes PC (per-core FIFO required everywhere)
+    from WC (order irrelevant except completeness and resume rules).
+    """
+
+    def __init__(self, ordered: bool = True) -> None:
+        self.ordered = ordered
+        self.events: List[ContractEvent] = []
+
+    def record(self, kind: ContractEventKind, core: int, seq: int = -1,
+               time: int = 0) -> None:
+        self.events.append(ContractEvent(kind, core, seq, time))
+
+    # Convenience wrappers ------------------------------------------------
+    def sb_send(self, core: int, seq: int, time: int = 0) -> None:
+        self.record(ContractEventKind.SB_SEND, core, seq, time)
+
+    def put(self, core: int, seq: int, time: int = 0) -> None:
+        self.record(ContractEventKind.PUT, core, seq, time)
+
+    def get(self, core: int, seq: int, time: int = 0) -> None:
+        self.record(ContractEventKind.GET, core, seq, time)
+
+    def apply(self, core: int, seq: int, time: int = 0) -> None:
+        self.record(ContractEventKind.APPLY, core, seq, time)
+
+    def resume(self, core: int, time: int = 0) -> None:
+        self.record(ContractEventKind.RESUME, core, time=time)
+
+    # ---------------------------------------------------------------------
+    def check(self) -> ContractReport:
+        report = ContractReport(events_checked=len(self.events))
+        cores = {e.core for e in self.events}
+        for core in sorted(cores):
+            self._check_core(core, report)
+        return report
+
+    def _core_seqs(self, core: int, kind: ContractEventKind) -> List[int]:
+        return [e.seq for e in self.events
+                if e.core == core and e.kind is kind]
+
+    def _check_core(self, core: int, report: ContractReport) -> None:
+        sends = self._core_seqs(core, ContractEventKind.SB_SEND)
+        puts = self._core_seqs(core, ContractEventKind.PUT)
+        gets = self._core_seqs(core, ContractEventKind.GET)
+        applies = self._core_seqs(core, ContractEventKind.APPLY)
+
+        # Core rule: stores reach the interface in SB order.
+        if self.ordered and sends and puts != sends[:len(puts)]:
+            report.violations.append(ContractViolation(
+                "core-order", core,
+                f"PUT order {puts} != store-buffer order {sends}"))
+
+        # Interface rule: GET order == PUT order.
+        if self.ordered and gets != puts[:len(gets)]:
+            report.violations.append(ContractViolation(
+                "interface-order", core,
+                f"GET order {gets} != PUT order {puts}"))
+
+        # OS rule 2: all retrieved stores are applied.
+        if set(gets) - set(applies):
+            report.violations.append(ContractViolation(
+                "os-apply-all", core,
+                f"retrieved-but-unapplied stores: {sorted(set(gets) - set(applies))}"))
+
+        # OS rule 3 (PC only): applied in interface order.
+        if self.ordered and applies != gets[:len(applies)]:
+            report.violations.append(ContractViolation(
+                "os-apply-order", core,
+                f"apply order {applies} != GET order {gets}"))
+
+        # OS rule 1: resume only after every retrieved store applied.
+        self._check_resume(core, report)
+
+    def _check_resume(self, core: int, report: ContractReport) -> None:
+        outstanding = 0
+        retrieved_not_applied: set = set()
+        for event in self.events:
+            if event.core != core:
+                continue
+            if event.kind is ContractEventKind.PUT:
+                outstanding += 1
+            elif event.kind is ContractEventKind.GET:
+                retrieved_not_applied.add(event.seq)
+            elif event.kind is ContractEventKind.APPLY:
+                retrieved_not_applied.discard(event.seq)
+                outstanding -= 1
+            elif event.kind is ContractEventKind.RESUME:
+                if retrieved_not_applied or outstanding > 0:
+                    report.violations.append(ContractViolation(
+                        "os-resume-after-handling", core,
+                        f"resume with {outstanding} unhandled stores, "
+                        f"{sorted(retrieved_not_applied)} unapplied"))

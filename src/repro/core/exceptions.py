@@ -1,0 +1,169 @@
+"""Exception taxonomy and the Interrupt-Enable bit.
+
+Covers Table 1 (the x86 exception classification by pipeline origin),
+the exception codes the prototype reserves, the recoverable /
+irrecoverable split that decides whether faulting stores are applied
+or discarded (§4.1), and the IE-bit protocol that serialises handler
+execution with critical sections (§5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class ExceptionClass(enum.Enum):
+    FAULT = "fault"
+    TRAP = "trap"
+    ABORT = "abort"
+
+
+class PipelineStage(enum.Enum):
+    FETCH = "fetch"
+    DECODE = "decode"
+    EXECUTE = "execute"
+    MEMORY = "memory"
+    ANY = "any"            # traps/aborts not tied to one stage
+    HIERARCHY = "hierarchy"  # generated in the cache/memory hierarchy
+
+
+@dataclass(frozen=True)
+class ExceptionDescriptor:
+    name: str
+    klass: ExceptionClass
+    stage: PipelineStage
+    recoverable: bool
+    precise: bool
+
+
+#: Table 1 — classification of x86 exceptions by origin [Intel SDM].
+X86_EXCEPTIONS: Tuple[ExceptionDescriptor, ...] = (
+    # Fetch-stage faults
+    ExceptionDescriptor("Control protection exception", ExceptionClass.FAULT, PipelineStage.FETCH, False, True),
+    ExceptionDescriptor("Code page fault", ExceptionClass.FAULT, PipelineStage.FETCH, True, True),
+    ExceptionDescriptor("Code-segment limit violation", ExceptionClass.FAULT, PipelineStage.FETCH, False, True),
+    # Decode-stage faults
+    ExceptionDescriptor("Invalid opcode", ExceptionClass.FAULT, PipelineStage.DECODE, False, True),
+    ExceptionDescriptor("Device not available", ExceptionClass.FAULT, PipelineStage.DECODE, True, True),
+    ExceptionDescriptor("Debug (fault)", ExceptionClass.FAULT, PipelineStage.DECODE, True, True),
+    # Execute-stage faults
+    ExceptionDescriptor("Divide by zero", ExceptionClass.FAULT, PipelineStage.EXECUTE, False, True),
+    ExceptionDescriptor("Bound range exceeded", ExceptionClass.FAULT, PipelineStage.EXECUTE, False, True),
+    ExceptionDescriptor("FP error", ExceptionClass.FAULT, PipelineStage.EXECUTE, False, True),
+    ExceptionDescriptor("Alignment check", ExceptionClass.FAULT, PipelineStage.EXECUTE, False, True),
+    ExceptionDescriptor("SIMD FP exception", ExceptionClass.FAULT, PipelineStage.EXECUTE, False, True),
+    ExceptionDescriptor("Invalid TSS", ExceptionClass.FAULT, PipelineStage.EXECUTE, False, True),
+    # Memory-stage faults
+    ExceptionDescriptor("Segment not present", ExceptionClass.FAULT, PipelineStage.MEMORY, True, True),
+    ExceptionDescriptor("Stack-segment fault", ExceptionClass.FAULT, PipelineStage.MEMORY, False, True),
+    ExceptionDescriptor("Page fault", ExceptionClass.FAULT, PipelineStage.MEMORY, True, True),
+    ExceptionDescriptor("General protection fault", ExceptionClass.FAULT, PipelineStage.MEMORY, False, True),
+    ExceptionDescriptor("Virtualization exception", ExceptionClass.FAULT, PipelineStage.MEMORY, True, True),
+    # Traps
+    ExceptionDescriptor("Debug (trap)", ExceptionClass.TRAP, PipelineStage.ANY, True, True),
+    ExceptionDescriptor("Breakpoint", ExceptionClass.TRAP, PipelineStage.ANY, True, True),
+    ExceptionDescriptor("Overflow", ExceptionClass.TRAP, PipelineStage.ANY, True, True),
+    # Aborts — machine checks are the one pre-existing imprecise case.
+    ExceptionDescriptor("Double fault", ExceptionClass.ABORT, PipelineStage.ANY, False, True),
+    ExceptionDescriptor("Triple fault", ExceptionClass.ABORT, PipelineStage.ANY, False, True),
+    ExceptionDescriptor("Machine check", ExceptionClass.ABORT, PipelineStage.HIERARCHY, False, False),
+)
+
+
+def exceptions_by_stage() -> Dict[PipelineStage, List[ExceptionDescriptor]]:
+    out: Dict[PipelineStage, List[ExceptionDescriptor]] = {}
+    for desc in X86_EXCEPTIONS:
+        out.setdefault(desc.stage, []).append(desc)
+    return out
+
+
+class ExceptionCode(enum.IntEnum):
+    """Exception codes used by the prototype.
+
+    ``IMPRECISE_STORE`` is the dedicated code reserved in the ISA so
+    the OS can identify the new exception type (§5.3); the remaining
+    codes classify *why* the store faulted.
+    """
+
+    NONE = 0
+    PAGE_FAULT_LAZY = 1        # mapped, not present, zero-fill (µs)
+    PAGE_FAULT_SWAPPED = 2     # mapped, swapped out, IO needed (ms)
+    SEGFAULT = 3               # unmapped — irrecoverable
+    PROTECTION = 4             # permission violation — irrecoverable
+    ACCEL_DIVIDE = 5           # accelerator callback div-by-zero (täkō)
+    EINJECT_BUS_ERROR = 0x1F   # bus error injected by EInject
+    IMPRECISE_STORE = 0x20     # the dedicated ISA exception code
+
+
+#: Codes whose resolution lets the faulting stores be applied (§4.1).
+RECOVERABLE_CODES = frozenset({
+    ExceptionCode.PAGE_FAULT_LAZY,
+    ExceptionCode.PAGE_FAULT_SWAPPED,
+    ExceptionCode.EINJECT_BUS_ERROR,
+})
+
+
+def is_recoverable(code: ExceptionCode) -> bool:
+    return code in RECOVERABLE_CODES
+
+
+class InterruptEnable:
+    """The IE bit (§5.3).
+
+    Hardware sets the bit when a handler is triggered; the OS sets it
+    around critical sections and clears it when ready for new
+    interrupts / imprecise store exceptions.  In user mode the bit is
+    hard-wired to zero — pending imprecise exceptions therefore block
+    the return to user space rather than being masked forever.
+    """
+
+    def __init__(self) -> None:
+        self._masked = False
+        self.in_user_mode = True
+
+    @property
+    def masked(self) -> bool:
+        # Hard-wired to zero (unmasked) in user mode.
+        return self._masked and not self.in_user_mode
+
+    def enter_handler(self) -> None:
+        """Hardware: trap taken — mask further delivery, enter kernel."""
+        self.in_user_mode = False
+        self._masked = True
+
+    def enter_critical_section(self) -> None:
+        if self.in_user_mode:
+            raise PermissionError("IE bit is not writable from user mode")
+        self._masked = True
+
+    def exit_critical_section(self) -> None:
+        if self.in_user_mode:
+            raise PermissionError("IE bit is not writable from user mode")
+        self._masked = False
+
+    def return_to_user(self, pending_imprecise: bool) -> bool:
+        """Attempt ERET.  Returns False (and stays in kernel) when an
+        imprecise store exception is pending — it cannot be masked in
+        user mode, so the OS must handle it first."""
+        if pending_imprecise:
+            return False
+        self._masked = False
+        self.in_user_mode = True
+        return True
+
+
+@dataclass(frozen=True)
+class ImpreciseStoreException:
+    """The exception delivered to the OS when the FSB has content.
+
+    It is *attached to the oldest uncommitted instruction in the ROB*
+    (pinned_pc), resembling an interrupt — not to the faulting store,
+    which has long retired.
+    """
+
+    core: int
+    pinned_pc: int
+    fault_count: int
+    code: ExceptionCode = ExceptionCode.IMPRECISE_STORE

@@ -1,0 +1,144 @@
+"""The Faulting Store Buffer (paper §5.2).
+
+A per-core ring buffer *in main memory* holding stores drained out of
+the store buffer when an imprecise exception is detected.  Four
+per-core system registers expose it to the OS:
+
+* ``base``/``mask`` — the buffer's location and size (a power of two),
+  configured by the OS at boot; the backing pages are pinned (§5.4).
+* ``tail`` — written by the FSBC, read by the OS: next drain slot.
+* ``head`` — written by the OS, read by the FSBC: oldest unread entry.
+
+Order among faulting stores is encoded purely by ring position —
+exactly the property the same-stream formalism needs the interface to
+provide (Table 5, row "Interface").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .exceptions import ExceptionCode
+
+
+class FsbOverflowError(RuntimeError):
+    """The ring is full.
+
+    The FSB is sized to the store buffer (§5.2: "the maximum number of
+    already retired stores that might need to be drained"), so
+    overflow indicates a wiring bug, not an operational condition.
+    """
+
+
+@dataclass(frozen=True)
+class FsbEntry:
+    """One drained store: address, data, byte mask, exception code.
+
+    ``error_code`` is ``NONE`` for the younger non-faulting stores the
+    same-stream policy routes through the interface alongside actual
+    faulting stores.
+    """
+
+    addr: int
+    data: int
+    byte_mask: int = 0xFF
+    error_code: ExceptionCode = ExceptionCode.NONE
+    #: Issuing core and drain sequence, for the contract checker.
+    core: int = 0
+    seq: int = 0
+
+    @property
+    def is_faulting(self) -> bool:
+        return self.error_code is not ExceptionCode.NONE
+
+    #: Bytes per entry: packed addr+mask+code (8B) + data (8B) = 16B.
+    ENTRY_BYTES = 16
+
+
+class FaultingStoreBuffer:
+    """The in-memory ring with head/tail system-register semantics."""
+
+    def __init__(self, capacity: int, base: int = 0x7F00_0000) -> None:
+        if capacity < 1 or capacity & (capacity - 1):
+            raise ValueError("FSB capacity must be a positive power of two")
+        self.capacity = capacity
+        #: System registers.
+        self.base = base
+        self.mask = capacity - 1
+        self.head = 0
+        self.tail = 0
+        self._slots: List[Optional[FsbEntry]] = [None] * capacity
+        self.total_drained = 0
+        self.total_read = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def is_empty(self) -> bool:
+        """head == tail: all faulting stores handled (§5.2)."""
+        return self.head == self.tail
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.capacity * FsbEntry.ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # FSBC side
+    # ------------------------------------------------------------------
+    def drain(self, entry: FsbEntry) -> int:
+        """Write ``entry`` at the tail position; returns the slot index.
+
+        Called by the FSBC; the caller sends the completion response
+        back to the store buffer after this returns.
+        """
+        if self.is_full:
+            raise FsbOverflowError(
+                f"FSB full ({self.capacity} entries); store buffer larger "
+                "than the ring it drains into")
+        slot = self.tail & self.mask
+        self._slots[slot] = entry
+        self.tail += 1
+        self.total_drained += 1
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        return slot
+
+    # ------------------------------------------------------------------
+    # OS side
+    # ------------------------------------------------------------------
+    def read_head(self) -> Optional[FsbEntry]:
+        """Read the oldest entry without consuming it."""
+        if self.is_empty:
+            return None
+        return self._slots[self.head & self.mask]
+
+    def pop(self) -> Optional[FsbEntry]:
+        """Read the oldest entry and increment the head pointer."""
+        entry = self.read_head()
+        if entry is None:
+            return None
+        self._slots[self.head & self.mask] = None
+        self.head += 1
+        self.total_read += 1
+        return entry
+
+    def snapshot(self) -> List[FsbEntry]:
+        """All pending entries oldest-first, without consuming them.
+
+        Models the handler's first step of copying all faulting stores
+        into an OS data structure (§5.3).
+        """
+        out = []
+        for pos in range(self.head, self.tail):
+            entry = self._slots[pos & self.mask]
+            assert entry is not None
+            out.append(entry)
+        return out

@@ -1,0 +1,124 @@
+"""The Faulting Store Buffer Controller (paper §5.2-5.3).
+
+One FSBC per core, co-located with the store buffer.  After the store
+buffer detects an imprecise store exception, it hands the FSBC its
+entries in the order the memory model mandates; the FSBC writes each
+to the FSB tail, increments the tail pointer, and acknowledges the
+store buffer, which discards the entry.  When every entry has
+drained, the FSBC raises the imprecise exception, pinned to the
+oldest uncommitted instruction in the ROB.
+
+The control/data paths are idle in the common case — the FSBC
+activates only after an exception is detected, so the core keeps its
+unmodified store-buffer fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .exceptions import ExceptionCode, ImpreciseStoreException
+from .fsb import FaultingStoreBuffer, FsbEntry
+
+
+@dataclass
+class FsbcStats:
+    drains: int = 0
+    activations: int = 0
+    exceptions_raised: int = 0
+    drain_cycles: int = 0
+
+
+class FsbController:
+    """Per-core FSBC.
+
+    Args:
+        core: Owning core id.
+        fsb: The core's private in-memory ring.
+        drain_cycles_per_entry: Cost of one tail write (an L1-bypass
+            store to a pinned page); used by the timing accounting.
+    """
+
+    #: FPGA prototype cost of the routed design (§6.1), recorded here
+    #: as documentation-of-record for the silicon-overhead experiment.
+    PROTOTYPE_LUTS = 354
+    PROTOTYPE_REGISTERS = 763
+    PROTOTYPE_LUT_FRACTION = 0.0012
+    PROTOTYPE_REGISTER_FRACTION = 0.0048
+
+    def __init__(self, core: int, fsb: FaultingStoreBuffer,
+                 drain_cycles_per_entry: int = 4) -> None:
+        self.core = core
+        self.fsb = fsb
+        self.drain_cycles_per_entry = drain_cycles_per_entry
+        self.stats = FsbcStats()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # System-register view (the four per-core registers of §5.2)
+    # ------------------------------------------------------------------
+    @property
+    def reg_base(self) -> int:
+        return self.fsb.base
+
+    @property
+    def reg_mask(self) -> int:
+        return self.fsb.mask
+
+    @property
+    def reg_tail(self) -> int:
+        return self.fsb.tail
+
+    @property
+    def reg_head(self) -> int:
+        return self.fsb.head
+
+    def os_write_head(self, value: int) -> None:
+        """The OS-side head update (reads one entry off the ring)."""
+        if not (self.fsb.head <= value <= self.fsb.tail):
+            raise ValueError(
+                f"head {value} outside [{self.fsb.head}, {self.fsb.tail}]")
+        while self.fsb.head < value:
+            self.fsb.pop()
+
+    # ------------------------------------------------------------------
+    # Store-buffer side
+    # ------------------------------------------------------------------
+    def drain_store(self, addr: int, data: int, byte_mask: int = 0xFF,
+                    error_code: ExceptionCode = ExceptionCode.NONE) -> int:
+        """Drain one store into the FSB; returns the drain latency.
+
+        The store buffer calls this once per entry, in the order the
+        memory model requires; the return acts as the completion
+        response after which the SB entry is discarded.
+        """
+        entry = FsbEntry(addr=addr, data=data, byte_mask=byte_mask,
+                         error_code=error_code, core=self.core,
+                         seq=self._seq)
+        self._seq += 1
+        self.fsb.drain(entry)
+        self.stats.drains += 1
+        self.stats.drain_cycles += self.drain_cycles_per_entry
+        return self.drain_cycles_per_entry
+
+    def drain_all(self, entries: Sequence[tuple]) -> int:
+        """Drain ``(addr, data, byte_mask, error_code)`` tuples in
+        order; returns the total drain latency."""
+        self.stats.activations += 1
+        total = 0
+        for addr, data, byte_mask, error_code in entries:
+            total += self.drain_store(addr, data, byte_mask, error_code)
+        return total
+
+    def raise_exception(self, pinned_pc: int) -> ImpreciseStoreException:
+        """All entries drained: raise the imprecise exception, pinned
+        to the oldest uncommitted instruction (like an interrupt)."""
+        self.stats.exceptions_raised += 1
+        return ImpreciseStoreException(
+            core=self.core, pinned_pc=pinned_pc,
+            fault_count=sum(1 for e in self.fsb.snapshot() if e.is_faulting))
+
+    @property
+    def pending(self) -> bool:
+        return not self.fsb.is_empty

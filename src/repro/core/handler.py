@@ -1,0 +1,188 @@
+"""OS imprecise-store-exception handlers (paper §5.3, §6.2).
+
+Two handlers are provided:
+
+* :class:`MinimalHandler` — the prototype's handler: GET one faulting
+  store, resolve its fault, apply it with a normal store, bump the
+  head; repeat until head == tail.  Every fault pays the full
+  resolution cost serially.
+* :class:`BatchingHandler` — exploits that one imprecise exception can
+  cover many faulting stores: the invocation cost (trap entry,
+  dispatch, context switch) is paid once, fault resolutions for
+  distinct pages are issued together (overlapping IO latencies), and
+  the stores are applied afterwards *in retrieved order*.
+
+Both enforce the Table 5 OS contract: all retrieved stores are applied,
+in interface order, before the program resumes.  Irrecoverable faults
+terminate the "application" instead — the stores are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .exceptions import ExceptionCode, is_recoverable
+from .osconfig import OsConfig
+from .fsb import FsbEntry
+from .interface import ArchitecturalInterface
+
+#: Resolver: given a faulting entry, fix the underlying condition
+#: (clear the EInject bit, map the page, schedule IO...).  Returns the
+#: resolution latency in cycles.
+ResolveFn = Callable[[FsbEntry], int]
+
+#: Applier: perform S_OS(A, D) — write the store to coherent memory.
+ApplyFn = Callable[[FsbEntry], None]
+
+
+@dataclass
+class HandlerCosts:
+    """Cycle breakdown of one handler invocation (Figure 5's bars)."""
+
+    os_other: int = 0       # trap entry + dispatch + context switch + FSB reads
+    os_resolve: int = 0     # fault fix-up (EInject clr / page-in IO)
+    os_apply: int = 0       # applying the faulting stores
+
+    @property
+    def total(self) -> int:
+        return self.os_other + self.os_resolve + self.os_apply
+
+    def per_store(self, stores: int) -> Dict[str, float]:
+        n = max(1, stores)
+        return {
+            "os_other": self.os_other / n,
+            "os_resolve": self.os_resolve / n,
+            "os_apply": self.os_apply / n,
+            "total": self.total / n,
+        }
+
+
+@dataclass
+class HandlerInvocation:
+    """Result of servicing one imprecise store exception."""
+
+    stores_handled: int
+    faults_resolved: int
+    costs: HandlerCosts
+    terminated: bool = False
+    applied_order: List[int] = field(default_factory=list)  # entry seqs
+
+
+class _HandlerBase:
+    def __init__(self, config: Optional[OsConfig] = None) -> None:
+        self.config = config or OsConfig()
+        self.invocations = 0
+        self.total_stores = 0
+        self.total_faults = 0
+
+    def _invocation_overhead(self) -> int:
+        cfg = self.config
+        return (cfg.trap_entry_cycles + cfg.dispatch_cycles
+                + cfg.context_switch_cycles)
+
+    def _check_recoverable(self, entries: Sequence[FsbEntry]) -> bool:
+        return all(
+            is_recoverable(e.error_code) for e in entries if e.is_faulting)
+
+
+class MinimalHandler(_HandlerBase):
+    """One-at-a-time handling, exactly the §6.2 prototype handler."""
+
+    def handle(self, interface: ArchitecturalInterface,
+               resolve: ResolveFn, apply: ApplyFn) -> HandlerInvocation:
+        cfg = self.config
+        costs = HandlerCosts(os_other=self._invocation_overhead())
+        self.invocations += 1
+
+        pending = interface.peek_all()
+        if not self._check_recoverable(pending):
+            # Irrecoverable: discard the stores, terminate the app.
+            discarded = interface.get_all()
+            self.total_stores += len(discarded)
+            return HandlerInvocation(
+                stores_handled=len(discarded), faults_resolved=0,
+                costs=costs, terminated=True)
+
+        applied: List[int] = []
+        faults = 0
+        while True:
+            entry = interface.get()
+            if entry is None:
+                break
+            costs.os_other += cfg.fsb_read_cycles
+            if entry.is_faulting:
+                costs.os_resolve += resolve(entry)
+                faults += 1
+            apply(entry)
+            costs.os_apply += cfg.apply_store_cycles
+            applied.append(entry.seq)
+
+        self.total_stores += len(applied)
+        self.total_faults += faults
+        return HandlerInvocation(
+            stores_handled=len(applied), faults_resolved=faults,
+            costs=costs, applied_order=applied)
+
+
+class BatchingHandler(_HandlerBase):
+    """Batch-aware handling (§5.3's batching optimisation).
+
+    Reads the whole FSB first, resolves all faults (overlapping IO
+    across distinct pages when ``config.batch_io``), then applies every
+    store in the retrieved order.  Amortises the per-invocation
+    overhead across the batch.
+    """
+
+    PAGE_BITS = 12
+
+    def handle(self, interface: ArchitecturalInterface,
+               resolve: ResolveFn, apply: ApplyFn) -> HandlerInvocation:
+        cfg = self.config
+        costs = HandlerCosts(os_other=self._invocation_overhead())
+        self.invocations += 1
+
+        entries = interface.peek_all()
+        if not self._check_recoverable(entries):
+            discarded = interface.get_all()
+            self.total_stores += len(discarded)
+            return HandlerInvocation(
+                stores_handled=len(discarded), faults_resolved=0,
+                costs=costs, terminated=True)
+
+        entries = interface.get_all()
+        costs.os_other += cfg.fsb_read_cycles * len(entries)
+
+        # Resolve one fault per distinct faulting page; overlap IO.
+        seen_pages = set()
+        resolve_latencies: List[int] = []
+        faults = 0
+        for entry in entries:
+            if not entry.is_faulting:
+                continue
+            faults += 1
+            page = entry.addr >> self.PAGE_BITS
+            if page in seen_pages:
+                continue
+            seen_pages.add(page)
+            resolve_latencies.append(resolve(entry))
+        if resolve_latencies:
+            if cfg.batch_io:
+                # Overlapped: the batch costs its slowest resolution
+                # plus a small issue cost per extra request.
+                issue_cost = 20 * (len(resolve_latencies) - 1)
+                costs.os_resolve += max(resolve_latencies) + issue_cost
+            else:
+                costs.os_resolve += sum(resolve_latencies)
+
+        applied = []
+        for entry in entries:
+            apply(entry)
+            costs.os_apply += cfg.apply_store_cycles
+            applied.append(entry.seq)
+
+        self.total_stores += len(applied)
+        self.total_faults += faults
+        return HandlerInvocation(
+            stores_handled=len(applied), faults_resolved=faults,
+            costs=costs, applied_order=applied)

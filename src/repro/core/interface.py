@@ -1,0 +1,95 @@
+"""The architectural interface between microarchitecture and OS (§4.4).
+
+Wraps one core's FSBC + FSB and exposes the two protocol operations of
+the formalism: ``PUT`` (core side — drain a store) and ``GET`` (OS
+side — retrieve the oldest pending store).  The interface's contract
+(Table 5, middle row) is that GETs return stores in exactly the order
+PUTs supplied them; the ring-position encoding makes that structural,
+and an event log lets the contract checker verify it independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .exceptions import ExceptionCode, ImpreciseStoreException
+from .fsb import FaultingStoreBuffer, FsbEntry
+from .fsbc import FsbController
+
+
+@dataclass
+class InterfaceEvent:
+    """One PUT or GET, for auditing."""
+
+    kind: str          # "PUT" | "GET"
+    core: int
+    seq: int           # the store's drain sequence number
+    addr: int
+
+
+class ArchitecturalInterface:
+    """Per-core PUT/GET endpoint backed by the FSB ring."""
+
+    def __init__(self, core: int, fsb_capacity: int = 32,
+                 drain_cycles_per_entry: int = 4) -> None:
+        self.core = core
+        self.fsb = FaultingStoreBuffer(capacity=fsb_capacity)
+        self.fsbc = FsbController(core, self.fsb,
+                                  drain_cycles_per_entry)
+        self.log: List[InterfaceEvent] = []
+
+    # ------------------------------------------------------------------
+    # Core side — PUT(S(A))
+    # ------------------------------------------------------------------
+    def put(self, addr: int, data: int, byte_mask: int = 0xFF,
+            error_code: ExceptionCode = ExceptionCode.NONE) -> int:
+        """Supply one store; returns the drain latency in cycles."""
+        latency = self.fsbc.drain_store(addr, data, byte_mask, error_code)
+        entry = self.fsb.snapshot()[-1]
+        self.log.append(InterfaceEvent("PUT", self.core, entry.seq, addr))
+        return latency
+
+    def raise_exception(self, pinned_pc: int) -> ImpreciseStoreException:
+        return self.fsbc.raise_exception(pinned_pc)
+
+    # ------------------------------------------------------------------
+    # OS side — GET
+    # ------------------------------------------------------------------
+    def get(self) -> Optional[FsbEntry]:
+        """Retrieve the oldest faulting store and bump the head.
+
+        Returns None when head == tail (all stores handled).
+        """
+        entry = self.fsb.pop()
+        if entry is not None:
+            self.log.append(
+                InterfaceEvent("GET", self.core, entry.seq, entry.addr))
+        return entry
+
+    def peek_all(self) -> List[FsbEntry]:
+        """Read all pending entries without consuming (handler step 1:
+        copy the FSB into an OS-managed structure, §5.3)."""
+        return self.fsb.snapshot()
+
+    def get_all(self) -> List[FsbEntry]:
+        """Drain every pending entry in FIFO order."""
+        out = []
+        while True:
+            entry = self.get()
+            if entry is None:
+                return out
+            out.append(entry)
+
+    @property
+    def pending(self) -> int:
+        return self.fsb.occupancy
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    def fifo_respected(self) -> bool:
+        """GET order equals PUT order (by drain sequence)."""
+        puts = [e.seq for e in self.log if e.kind == "PUT"]
+        gets = [e.seq for e in self.log if e.kind == "GET"]
+        return gets == puts[:len(gets)]

@@ -1,0 +1,30 @@
+"""OS cost model (paper §5.3-5.4, Figure 5).
+
+Lives in :mod:`repro.core` because the handlers depend on it; it is
+re-exported by :mod:`repro.sim.config` alongside the hardware
+parameters.  Calibrated so the minimal handler's per-fault total lands
+near the paper's ~600 cycles, with "other OS" (context switch,
+exception dispatch, misc) dominating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OsConfig:
+    """Cost model for the minimal OS."""
+
+    trap_entry_cycles: int = 100      # pipeline flush + mode switch
+    dispatch_cycles: int = 150        # exception decode, handler lookup
+    context_switch_cycles: int = 120  # save/restore, return to user
+    apply_store_cycles: int = 4       # one S_OS store instruction (the
+                                      # OS's own store buffer hides it)
+    resolve_fault_cycles: int = 60    # EInject clr / page-table fixup
+    fsb_read_cycles: int = 6          # one FSB entry load + head bump
+                                      # (pinned, cache-hot page)
+    #: Demand-paging IO latency (cycles) for the batching IO study.
+    io_latency_cycles: int = 2_000_000
+    #: Whether the handler may overlap IO requests for batched faults.
+    batch_io: bool = True

@@ -1,0 +1,83 @@
+"""Drain-stream policies (paper §4.5-4.6).
+
+When the store buffer holds a faulting store, the remaining entries
+can either keep draining to memory (*split stream*) or be routed
+through the architectural interface together with the faulting store
+(*same stream*).  The paper proves split stream admits PC violations
+without extra synchronisation and therefore builds same stream; both
+are implemented here so the litmus harness and the Figure 2 bench can
+exercise the difference operationally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..memmodel.imprecise import DrainPolicy
+from .exceptions import ExceptionCode
+
+
+class DrainTarget(enum.Enum):
+    MEMORY = "memory"        # normal coherent write
+    INTERFACE = "interface"  # PUT onto the FSB via the FSBC
+
+
+@dataclass(frozen=True)
+class PendingStore:
+    """A store-buffer entry awaiting drain."""
+
+    addr: int
+    data: int
+    byte_mask: int = 0xFF
+    error_code: ExceptionCode = ExceptionCode.NONE
+
+    @property
+    def is_faulting(self) -> bool:
+        return self.error_code is not ExceptionCode.NONE
+
+
+@dataclass(frozen=True)
+class DrainAction:
+    target: DrainTarget
+    store: PendingStore
+
+
+def plan_drain(entries: Sequence[PendingStore],
+               policy: DrainPolicy) -> List[DrainAction]:
+    """Produce the drain plan for a store buffer, oldest-first.
+
+    Same stream (§4.6, and §5.3's "drains all unfinished stores"):
+    every entry — faulting or not — goes to the interface, preserving
+    FIFO order, so the OS re-establishes the full store order.
+
+    Split stream (§4.5): only faulting entries go to the interface;
+    the rest drain to memory.  Relative order within each stream is
+    preserved, but the two streams are unordered with respect to each
+    other — the source of the Figure 2 race.
+    """
+    if not any(e.is_faulting for e in entries):
+        return [DrainAction(DrainTarget.MEMORY, e) for e in entries]
+
+    if policy is DrainPolicy.SAME_STREAM:
+        return [DrainAction(DrainTarget.INTERFACE, e) for e in entries]
+
+    return [
+        DrainAction(
+            DrainTarget.INTERFACE if e.is_faulting else DrainTarget.MEMORY,
+            e)
+        for e in entries
+    ]
+
+
+def interface_volume(entries: Sequence[PendingStore],
+                     policy: DrainPolicy) -> Tuple[int, int]:
+    """(interface entries, direct-memory entries) for a drain plan.
+
+    The same-stream policy trades a larger interface volume for
+    correctness-by-construction; the ablation bench quantifies it.
+    """
+    plan = plan_drain(entries, policy)
+    to_interface = sum(1 for a in plan if a.target is DrainTarget.INTERFACE)
+    return to_interface, len(plan) - to_interface

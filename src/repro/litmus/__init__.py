@@ -1,0 +1,18 @@
+"""Litmus engine: DSL, library, generators, runner, and harness."""
+
+from .dsl import LitmusOutcome, LitmusTest
+from .generator import generate_all, tests_by_category
+from .harness import SuiteReport, TestVerdict, allowed_set, check_suite, check_test
+from .library import all_library_tests
+from .multicore_tests import all_multicore_tests
+from .parser import LitmusParseError, load_litmus_directory, parse_litmus
+from .runner import RunConfig, TestRun, run_suite, run_test
+
+__all__ = [
+    "LitmusOutcome", "LitmusTest",
+    "generate_all", "tests_by_category",
+    "SuiteReport", "TestVerdict", "allowed_set", "check_suite", "check_test",
+    "all_library_tests", "all_multicore_tests",
+    "LitmusParseError", "load_litmus_directory", "parse_litmus",
+    "RunConfig", "TestRun", "run_suite", "run_test",
+]

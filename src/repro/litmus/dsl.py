@@ -1,0 +1,224 @@
+"""Litmus-test DSL with dual compilation.
+
+A test is written once in a compact symbolic form and compiled twice:
+
+* to an ISA :class:`~repro.sim.program.Program` for the operational
+  engine (dependencies become real register chains: ``xor`` +
+  indexed addressing for address deps, value arithmetic for data
+  deps, a conditional branch for control deps);
+* to :mod:`repro.memmodel` events + ``extra_ppo`` dependency edges for
+  the axiomatic reference model.
+
+Op vocabulary (``loc`` is a symbolic location name, ``reg`` an
+observation register name):
+
+=======================  =============================================
+``("W", loc, val)``      store ``val``
+``("R", loc, reg)``      load into observation register ``reg``
+``("F",)``               full fence
+``("F", kind)``          directional fence (:class:`FenceKind`)
+``("A", loc, val, reg)`` atomic swap: write ``val``, old value → reg
+``("Raddr", loc, reg, dep)``  load with *address* dependency on reg
+                              ``dep``
+``("Waddr", loc, val, dep)``  store with address dependency
+``("Wdata", loc, val, dep)``  store whose *data* depends on ``dep``
+``("Wctrl", loc, val, dep)``  store behind a branch on ``dep``
+``("Rctrl", loc, reg, dep)``  load behind a branch on ``dep``
+=======================  =============================================
+
+Per RVWMO, address and data dependencies order loads and stores, and
+control dependencies order only stores; the event compilation adds
+``extra_ppo`` edges accordingly (``Rctrl`` gets no edge — hardware may
+speculate loads past branches, though our engine does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..memmodel.events import Event, EventKind, FenceKind
+from ..memmodel.relations import Edge
+from ..sim import isa
+from ..sim.isa import Instruction
+from ..sim.program import Program, make_program
+
+#: Symbolic locations are laid out one per 4 KB page so that EInject
+#: poisoning of one location never aliases another.
+LOCATION_STRIDE = 0x1000
+LOCATION_BASE = 0x100000
+
+
+@dataclass(frozen=True)
+class LitmusOutcome:
+    """A final condition over observation registers."""
+
+    values: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, **kv: int) -> "LitmusOutcome":
+        return cls(tuple(sorted(kv.items())))
+
+    def as_tuple(self) -> Tuple[Tuple[str, int], ...]:
+        return self.values
+
+
+@dataclass
+class LitmusTest:
+    """One litmus test: threads, category, and interesting outcomes."""
+
+    name: str
+    category: str
+    threads: List[List[tuple]]
+    #: Outcome the weaker model permits but a stronger model forbids
+    #: (purely informational; the harness computes allowed sets).
+    spotlight: Optional[LitmusOutcome] = None
+
+    @property
+    def locations(self) -> List[str]:
+        locs: Set[str] = set()
+        for thread in self.threads:
+            for op in thread:
+                if op[0] != "F":
+                    locs.add(op[1])
+        return sorted(locs)
+
+    @property
+    def registers(self) -> List[str]:
+        regs = []
+        for thread in self.threads:
+            for op in thread:
+                if op[0] in ("R", "Raddr", "Rctrl"):
+                    regs.append(op[2])
+                elif op[0] == "A":
+                    regs.append(op[3])
+        return regs
+
+    def location_addr(self, loc: str) -> int:
+        return LOCATION_BASE + self.locations.index(loc) * LOCATION_STRIDE
+
+    # ------------------------------------------------------------------
+    # Compilation to the operational engine
+    # ------------------------------------------------------------------
+    def to_program(self) -> Program:
+        threads = []
+        for tid, ops in enumerate(self.threads):
+            threads.append(self._compile_thread(ops))
+        return make_program(threads, name=self.name)
+
+    def _compile_thread(self, ops: Sequence[tuple]) -> List[Instruction]:
+        instrs: List[Instruction] = []
+        reg_ids: Dict[str, int] = {}
+
+        def reg_for(name: str) -> int:
+            if name not in reg_ids:
+                reg_ids[name] = len(reg_ids) + 1
+            return reg_ids[name]
+
+        scratch = 30  # scratch register for dependency chains
+
+        for op in ops:
+            kind = op[0]
+            if kind == "W":
+                _, loc, val = op
+                instrs.append(isa.store(self.location_addr(loc), value=val))
+            elif kind == "R":
+                _, loc, reg = op
+                instrs.append(isa.load(reg_for(reg),
+                                       self.location_addr(loc), label=reg))
+            elif kind == "F":
+                fence_kind = op[1] if len(op) > 1 else FenceKind.FULL
+                instrs.append(isa.fence(fence_kind))
+            elif kind == "A":
+                _, loc, val, reg = op
+                instrs.append(isa.amoswap(reg_for(reg),
+                                          self.location_addr(loc),
+                                          imm=val, label=reg))
+            elif kind == "Raddr":
+                _, loc, reg, dep = op
+                instrs.append(isa.xor(scratch, reg_for(dep), reg_for(dep)))
+                instrs.append(isa.load(reg_for(reg),
+                                       self.location_addr(loc),
+                                       index_reg=scratch, label=reg))
+            elif kind == "Waddr":
+                _, loc, val, dep = op
+                instrs.append(isa.xor(scratch, reg_for(dep), reg_for(dep)))
+                instrs.append(isa.store(self.location_addr(loc), value=val,
+                                        index_reg=scratch))
+            elif kind == "Wdata":
+                _, loc, val, dep = op
+                instrs.append(isa.xor(scratch, reg_for(dep), reg_for(dep)))
+                instrs.append(isa.addi(scratch, scratch, val))
+                instrs.append(isa.store(self.location_addr(loc),
+                                        src_reg=scratch))
+            elif kind == "Wctrl":
+                _, loc, val, dep = op
+                # beq dep,dep always taken, skipping 0 instructions:
+                # a branch that depends on `dep` but never diverts.
+                instrs.append(isa.beq(reg_for(dep), reg_for(dep), 0))
+                instrs.append(isa.store(self.location_addr(loc), value=val))
+            elif kind == "Rctrl":
+                _, loc, reg, dep = op
+                instrs.append(isa.beq(reg_for(dep), reg_for(dep), 0))
+                instrs.append(isa.load(reg_for(reg),
+                                       self.location_addr(loc), label=reg))
+            else:
+                raise ValueError(f"unknown litmus op {kind!r}")
+        return instrs
+
+    # ------------------------------------------------------------------
+    # Compilation to the axiomatic model
+    # ------------------------------------------------------------------
+    def to_events(self) -> Tuple[List[List[Event]], Set[Edge]]:
+        """Returns (threads of events, dependency extra_ppo edges)."""
+        threads: List[List[Event]] = []
+        edges: Set[Edge] = set()
+        for tid, ops in enumerate(self.threads):
+            events: List[Event] = []
+            producer: Dict[str, Event] = {}
+            index = 0
+            for op in ops:
+                kind = op[0]
+                if kind == "W":
+                    _, loc, val = op
+                    events.append(Event(tid, index, EventKind.STORE,
+                                        addr=self.location_addr(loc),
+                                        value=val))
+                elif kind == "R":
+                    _, loc, reg = op
+                    ev = Event(tid, index, EventKind.LOAD,
+                               addr=self.location_addr(loc), tag=reg)
+                    events.append(ev)
+                    producer[reg] = ev
+                elif kind == "F":
+                    fence_kind = op[1] if len(op) > 1 else FenceKind.FULL
+                    events.append(Event(tid, index, EventKind.FENCE,
+                                        fence=fence_kind))
+                elif kind == "A":
+                    _, loc, val, reg = op
+                    ev = Event(tid, index, EventKind.ATOMIC,
+                               addr=self.location_addr(loc), value=val,
+                               tag=reg)
+                    events.append(ev)
+                    producer[reg] = ev
+                elif kind in ("Raddr", "Rctrl"):
+                    _, loc, reg, dep = op
+                    ev = Event(tid, index, EventKind.LOAD,
+                               addr=self.location_addr(loc), tag=reg)
+                    events.append(ev)
+                    producer[reg] = ev
+                    if kind == "Raddr" and dep in producer:
+                        edges.add((producer[dep].uid, ev.uid))
+                    # Rctrl: control deps do not order loads (RVWMO).
+                elif kind in ("Waddr", "Wdata", "Wctrl"):
+                    _, loc, val, dep = op
+                    ev = Event(tid, index, EventKind.STORE,
+                               addr=self.location_addr(loc), value=val)
+                    events.append(ev)
+                    if dep in producer:
+                        edges.add((producer[dep].uid, ev.uid))
+                else:
+                    raise ValueError(f"unknown litmus op {kind!r}")
+                index += 1
+            threads.append(events)
+        return threads, edges

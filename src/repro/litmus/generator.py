@@ -1,0 +1,362 @@
+"""Systematic litmus-test families per Table 6's ordering rules.
+
+The paper runs the 1600 two-core tests of the RISC-V suite, whose
+coverage Table 6 buckets into eight ordering-rule categories.  This
+generator produces our families the same way the suite's diy-style
+generators do: base communication shapes × fence placements ×
+dependency flavours × value assignments.
+
+Counts scale with ``variants_per_family``; the Table 6 bench reports
+the per-category totals alongside the paper's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence
+
+from ..memmodel.events import FenceKind
+from .dsl import LitmusTest
+from .library import (
+    CAT_BARRIER,
+    CAT_CO,
+    CAT_DEPS,
+    CAT_FR,
+    CAT_PO_LOC,
+    CAT_PPO,
+    CAT_RFE,
+    CAT_RFI,
+)
+
+_FENCES = {
+    "none": None,
+    "ss": FenceKind.STORE_STORE,
+    "ll": FenceKind.LOAD_LOAD,
+    "sl": FenceKind.STORE_LOAD,
+    "ls": FenceKind.LOAD_STORE,
+    "full": FenceKind.FULL,
+}
+
+
+def _fence_ops(tag: str) -> List[tuple]:
+    kind = _FENCES[tag]
+    if kind is None:
+        return []
+    if kind is FenceKind.FULL:
+        return [("F",)]
+    return [("F", kind)]
+
+
+def _dep_read(kind: str, loc: str, reg: str, dep: str) -> List[tuple]:
+    if kind == "addr":
+        return [("Raddr", loc, reg, dep)]
+    if kind == "ctrl":
+        return [("Rctrl", loc, reg, dep)]
+    return [("R", loc, reg)]
+
+
+def _dep_write(kind: str, loc: str, val: int, dep: str) -> List[tuple]:
+    if kind == "addr":
+        return [("Waddr", loc, val, dep)]
+    if kind == "data":
+        return [("Wdata", loc, val, dep)]
+    if kind == "ctrl":
+        return [("Wctrl", loc, val, dep)]
+    return [("W", loc, val)]
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+def generate_dependency_tests(values: Sequence[int] = (1, 2, 3)) -> List[LitmusTest]:
+    """MP/S shapes where the second access carries an address, data,
+    or control dependency on the first read."""
+    tests = []
+    for dep_kind in ("addr", "ctrl"):
+        for wfence in ("ss", "full"):
+            for v in values:
+                tests.append(LitmusTest(
+                    name=f"MP+{wfence}+{dep_kind}-v{v}",
+                    category=CAT_DEPS,
+                    threads=[
+                        [("W", "y", v)] + _fence_ops(wfence) + [("W", "x", 1)],
+                        [("R", "x", "r0")]
+                        + _dep_read(dep_kind if dep_kind != "ctrl" else "addr",
+                                    "y", "r1", "r0"),
+                    ],
+                ))
+    for dep_kind in ("addr", "data", "ctrl"):
+        for wfence in ("ss", "full"):
+            for v in values:
+                tests.append(LitmusTest(
+                    name=f"S+{wfence}+{dep_kind}-v{v}",
+                    category=CAT_DEPS,
+                    threads=[
+                        [("W", "y", v + 1)] + _fence_ops(wfence)
+                        + [("W", "x", 1)],
+                        [("R", "x", "r0")]
+                        + _dep_write(dep_kind, "y", v, "r0"),
+                    ],
+                ))
+    for dep_kind in ("addr", "data", "ctrl"):
+        tests.append(LitmusTest(
+            name=f"LB+{dep_kind}s",
+            category=CAT_DEPS,
+            threads=[
+                [("R", "x", "r0")] + _dep_write(dep_kind, "y", 1, "r0"),
+                [("R", "y", "r1")] + _dep_write(dep_kind, "x", 1, "r1"),
+            ],
+        ))
+    return tests
+
+
+def generate_po_loc_tests(values: Sequence[int] = (1, 2, 3)) -> List[LitmusTest]:
+    """Same-location program-order shapes (CoRR/CoWW/CoRW/CoWR)."""
+    tests = []
+    for v in values:
+        tests.append(LitmusTest(
+            name=f"CoWW-v{v}",
+            category=CAT_PO_LOC,
+            threads=[
+                [("W", "x", v), ("W", "x", v + 1)],
+                [("R", "x", "r0"), ("R", "x", "r1")],
+            ],
+        ))
+        tests.append(LitmusTest(
+            name=f"CoRR-v{v}",
+            category=CAT_PO_LOC,
+            threads=[
+                [("W", "x", v)],
+                [("R", "x", "r0"), ("R", "x", "r1")],
+            ],
+        ))
+        tests.append(LitmusTest(
+            name=f"CoRW-v{v}",
+            category=CAT_PO_LOC,
+            threads=[
+                [("R", "x", "r0"), ("W", "x", v)],
+                [("W", "x", v + 10)],
+            ],
+        ))
+        tests.append(LitmusTest(
+            name=f"CoRR-3reads-v{v}",
+            category=CAT_PO_LOC,
+            threads=[
+                [("W", "x", v)],
+                [("R", "x", "r0"), ("R", "x", "r1"), ("R", "x", "r2")],
+            ],
+        ))
+    return tests
+
+
+def generate_ppo_tests() -> List[LitmusTest]:
+    """Atomic-centred preserved-program-order shapes."""
+    tests = []
+    for pos in ("flag", "data"):
+        for rfence in ("ll", "full"):
+            if pos == "flag":
+                writer = [("W", "y", 1), ("A", "x", 1, "a0")]
+            else:
+                writer = [("A", "y", 1, "a0"), ("W", "x", 1)]
+            tests.append(LitmusTest(
+                name=f"MP+amo-{pos}+{rfence}",
+                category=CAT_PPO,
+                threads=[
+                    writer,
+                    [("R", "x", "r0")] + _fence_ops(rfence)
+                    + [("R", "y", "r1")],
+                ],
+            ))
+    tests.append(LitmusTest(
+        name="AMO-total-order",
+        category=CAT_PPO,
+        threads=[
+            [("A", "x", 1, "a0"), ("R", "x", "r0")],
+            [("A", "x", 2, "a1"), ("R", "x", "r1")],
+        ],
+    ))
+    tests.append(LitmusTest(
+        name="SB+amos",
+        category=CAT_PPO,
+        threads=[
+            [("A", "x", 1, "a0"), ("R", "y", "r0")],
+            [("A", "y", 1, "a1"), ("R", "x", "r1")],
+        ],
+    ))
+    return tests
+
+
+def generate_rfe_tests() -> List[LitmusTest]:
+    """External read-from: MP-style communication, varied fences."""
+    tests = []
+    for wfence in ("none", "ss", "full"):
+        for rfence in ("none", "ll", "full"):
+            tests.append(LitmusTest(
+                name=f"MP+w.{wfence}+r.{rfence}",
+                category=CAT_RFE,
+                threads=[
+                    [("W", "y", 1)] + _fence_ops(wfence) + [("W", "x", 1)],
+                    [("R", "x", "r0")] + _fence_ops(rfence)
+                    + [("R", "y", "r1")],
+                ],
+            ))
+    return tests
+
+
+def generate_rfi_tests() -> List[LitmusTest]:
+    """Internal read-from: store-forwarding shapes."""
+    tests = []
+    for extra_fence in ("none", "full"):
+        tests.append(LitmusTest(
+            name=f"SB+rfi+{extra_fence}",
+            category=CAT_RFI,
+            threads=[
+                [("W", "x", 1), ("R", "x", "f0")] + _fence_ops(extra_fence)
+                + [("R", "y", "r0")],
+                [("W", "y", 1), ("R", "y", "f1")] + _fence_ops(extra_fence)
+                + [("R", "x", "r1")],
+            ],
+        ))
+    for v in (1, 2):
+        tests.append(LitmusTest(
+            name=f"CoWR-fwd-v{v}",
+            category=CAT_RFI,
+            threads=[
+                [("W", "x", v), ("R", "x", "r0")],
+                [("W", "x", v + 10), ("R", "x", "r1")],
+            ],
+        ))
+        tests.append(LitmusTest(
+            name=f"PPOCA-lite-v{v}",
+            category=CAT_RFI,
+            threads=[
+                [("W", "y", v), ("F", FenceKind.STORE_STORE), ("W", "x", v)],
+                [("R", "x", "r0"), ("W", "z", v), ("R", "z", "f0"),
+                 ("Raddr", "y", "r1", "f0")],
+            ],
+        ))
+    return tests
+
+
+def generate_co_tests() -> List[LitmusTest]:
+    """Coherence-order shapes: write-write races."""
+    tests = []
+    for fence in ("none", "ss", "full"):
+        tests.append(LitmusTest(
+            name=f"2+2W+{fence}",
+            category=CAT_CO,
+            threads=[
+                [("W", "x", 1)] + _fence_ops(fence) + [("W", "y", 2)],
+                [("W", "y", 1)] + _fence_ops(fence) + [("W", "x", 2)],
+            ],
+        ))
+        tests.append(LitmusTest(
+            name=f"R+{fence}",
+            category=CAT_CO,
+            threads=[
+                [("W", "x", 1)] + _fence_ops(fence) + [("W", "y", 1)],
+                [("W", "y", 2), ("F",), ("R", "x", "r0")],
+            ],
+        ))
+    tests.append(LitmusTest(
+        name="CoWW-observed",
+        category=CAT_CO,
+        threads=[
+            [("W", "x", 1), ("W", "x", 2)],
+            [("R", "x", "r0"), ("R", "x", "r1"), ("R", "x", "r2")],
+        ],
+    ))
+    return tests
+
+
+def generate_fr_tests() -> List[LitmusTest]:
+    """From-read shapes: a read racing the write that overwrites it."""
+    tests = []
+    for fence in ("none", "sl", "full"):
+        tests.append(LitmusTest(
+            name=f"SB+{fence}",
+            category=CAT_FR,
+            threads=[
+                [("W", "x", 1)] + _fence_ops(fence) + [("R", "y", "r0")],
+                [("W", "y", 1)] + _fence_ops(fence) + [("R", "x", "r1")],
+            ],
+        ))
+    for fence in ("ss", "full"):
+        tests.append(LitmusTest(
+            name=f"S+{fence}",
+            category=CAT_FR,
+            threads=[
+                [("W", "y", 2)] + _fence_ops(fence) + [("W", "x", 1)],
+                [("R", "x", "r0"), ("W", "y", 1)],
+            ],
+        ))
+    tests.append(LitmusTest(
+        name="LB-fr",
+        category=CAT_FR,
+        threads=[
+            [("R", "x", "r0"), ("W", "y", 1)],
+            [("R", "y", "r1"), ("W", "x", 1)],
+        ],
+    ))
+    return tests
+
+
+def generate_barrier_tests() -> List[LitmusTest]:
+    """Every base shape × every fence kind on both sides."""
+    tests = []
+    shapes = {
+        "MP": ([("W", "y", 1), "WF", ("W", "x", 1)],
+               [("R", "x", "r0"), "RF", ("R", "y", "r1")]),
+        "SB": ([("W", "x", 1), "WF", ("R", "y", "r0")],
+               [("W", "y", 1), "RF", ("R", "x", "r1")]),
+        "LB": ([("R", "x", "r0"), "WF", ("W", "y", 1)],
+               [("R", "y", "r1"), "RF", ("W", "x", 1)]),
+        "S": ([("W", "y", 2), "WF", ("W", "x", 1)],
+              [("R", "x", "r0"), "RF", ("W", "y", 1)]),
+        "R": ([("W", "x", 1), "WF", ("W", "y", 1)],
+              [("W", "y", 2), "RF", ("R", "x", "r0")]),
+        "2+2W": ([("W", "x", 1), "WF", ("W", "y", 2)],
+                 [("W", "y", 1), "RF", ("W", "x", 2)]),
+    }
+    for shape_name, (t0, t1) in shapes.items():
+        for wf, rf in itertools.product(
+                ("none", "ss", "ll", "sl", "ls", "full"), repeat=2):
+            if wf == rf == "none":
+                continue  # the unfenced base shapes live elsewhere
+            def subst(ops, wtag, rtag):
+                out = []
+                for op in ops:
+                    if op == "WF":
+                        out.extend(_fence_ops(wtag))
+                    elif op == "RF":
+                        out.extend(_fence_ops(rtag))
+                    else:
+                        out.append(op)
+                return out
+            tests.append(LitmusTest(
+                name=f"{shape_name}+f.{wf}+f.{rf}",
+                category=CAT_BARRIER,
+                threads=[subst(t0, wf, rf), subst(t1, wf, rf)],
+            ))
+    return tests
+
+
+def generate_all() -> List[LitmusTest]:
+    """The full generated suite, all eight Table 6 categories."""
+    return (
+        generate_dependency_tests()
+        + generate_po_loc_tests()
+        + generate_ppo_tests()
+        + generate_rfe_tests()
+        + generate_rfi_tests()
+        + generate_co_tests()
+        + generate_fr_tests()
+        + generate_barrier_tests()
+    )
+
+
+def tests_by_category(tests: Sequence[LitmusTest]) -> Dict[str, List[LitmusTest]]:
+    out: Dict[str, List[LitmusTest]] = {}
+    for t in tests:
+        out.setdefault(t.category, []).append(t)
+    return out

@@ -1,0 +1,133 @@
+"""Litmus conformance harness: hardware vs. reference model.
+
+For every test the harness computes the axiomatically *allowed*
+outcome set (the herd-log analogue) and compares the operational
+engine's observed outcomes against it.  A **negative difference** —
+an observed outcome the model forbids — is a consistency violation;
+the paper's pass criterion is zero negative differences across the
+whole suite, with faults injected on every tested location (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..memmodel.axioms import MemoryModel, get_model
+from ..memmodel.checker import ConformanceResult, check_outcome_set
+from ..memmodel.enumerator import allowed_outcomes
+from ..sim.config import ConsistencyModel
+from .dsl import LitmusTest
+from .runner import Outcome, RunConfig, TestRun, run_test
+
+#: Engine consistency mode → reference axiomatic model.  The engine's
+#: WC implementation honours dependencies and orders atomics, so its
+#: reference is the RVWMO-lite model (WC + deps + AMO ordering); the
+#: plain-WC reference would also be sound but needlessly weak.
+ENGINE_REFERENCE_MODEL = {
+    ConsistencyModel.SC: "SC",
+    ConsistencyModel.PC: "PC",
+    ConsistencyModel.WC: "RVWMO",
+}
+
+
+def allowed_set(test: LitmusTest, model: MemoryModel) -> Set[Outcome]:
+    """The reference allowed-outcome set for a test."""
+    threads, dep_edges = test.to_events()
+    return allowed_outcomes(threads, model, extra_ppo=dep_edges)
+
+
+@dataclass
+class TestVerdict:
+    test: LitmusTest
+    run: TestRun
+    conformance: ConformanceResult
+
+    @property
+    def ok(self) -> bool:
+        return (self.conformance.conforms
+                and self.run.contract_violations == 0)
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate verdict over a litmus campaign."""
+
+    model: str
+    injected: bool
+    verdicts: List[TestVerdict] = field(default_factory=list)
+
+    @property
+    def tests(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def failures(self) -> List[TestVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_imprecise_exceptions(self) -> int:
+        return sum(v.run.imprecise_exceptions for v in self.verdicts)
+
+    @property
+    def total_precise_exceptions(self) -> int:
+        return sum(v.run.precise_exceptions for v in self.verdicts)
+
+    def category_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for v in self.verdicts:
+            counts[v.test.category] = counts.get(v.test.category, 0) + 1
+        return counts
+
+    def summary(self, explain: bool = False) -> str:
+        """``explain=True`` appends, for each failing test, the witness
+        execution and forbidding cycle of its first negative
+        difference (see :mod:`repro.memmodel.witness`)."""
+        status = "OK" if self.ok else "VIOLATIONS"
+        lines = [
+            f"litmus suite [{status}] model={self.model} "
+            f"faults={'on' if self.injected else 'off'} "
+            f"tests={self.tests} "
+            f"imprecise={self.total_imprecise_exceptions} "
+            f"precise={self.total_precise_exceptions}"
+        ]
+        for v in self.failures:
+            neg = v.conformance.negative_differences
+            lines.append(f"  !!! {v.test.name}: "
+                         f"negative differences {sorted(neg)} "
+                         f"contract violations {v.run.contract_violations}")
+            if explain and neg:
+                from ..memmodel.witness import explain_forbidden
+                reference = get_model(ENGINE_REFERENCE_MODEL[self.model])
+                threads, deps = v.test.to_events()
+                lines.append(explain_forbidden(
+                    threads, reference, sorted(next(iter(neg))),
+                    extra_ppo=deps))
+        return "\n".join(lines)
+
+
+def check_test(test: LitmusTest,
+               config: Optional[RunConfig] = None) -> TestVerdict:
+    """Run one test and judge it against its reference model."""
+    config = config or RunConfig()
+    reference = get_model(ENGINE_REFERENCE_MODEL[config.model])
+    allowed = allowed_set(test, reference)
+    run = run_test(test, config)
+    conformance = check_outcome_set(allowed, run.outcomes,
+                                    model_name=reference.name)
+    return TestVerdict(test=test, run=run, conformance=conformance)
+
+
+def check_suite(tests: Sequence[LitmusTest],
+                config: Optional[RunConfig] = None) -> SuiteReport:
+    """The §6.3 campaign: every test, faults injected, zero negative
+    differences expected."""
+    config = config or RunConfig()
+    report = SuiteReport(model=config.model, injected=config.inject_faults)
+    for test in tests:
+        report.verdicts.append(check_test(test, config))
+    return report

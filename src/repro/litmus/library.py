@@ -1,0 +1,386 @@
+"""Classic two-core litmus tests.
+
+The canonical shapes from the memory-model literature (names follow
+the herd/litmus conventions), each tagged with the Table 6 ordering
+category it primarily exercises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memmodel.events import FenceKind
+from .dsl import LitmusOutcome, LitmusTest
+
+# Table 6 category names.
+CAT_DEPS = "Dependencies"
+CAT_PO_LOC = "Program order (same location)"
+CAT_PPO = "Preserved program order"
+CAT_RFE = "External read-from order"
+CAT_RFI = "Internal read-from order"
+CAT_CO = "Coherence order"
+CAT_FR = "From-read order"
+CAT_BARRIER = "Barriers"
+
+SS = FenceKind.STORE_STORE
+LL = FenceKind.LOAD_LOAD
+SL = FenceKind.STORE_LOAD
+LS = FenceKind.LOAD_STORE
+
+
+def message_passing() -> LitmusTest:
+    """MP: the Figure 1 shape (unfenced)."""
+    return LitmusTest(
+        name="MP",
+        category=CAT_RFE,
+        threads=[
+            [("W", "y", 1), ("W", "x", 1)],
+            [("R", "x", "r0"), ("R", "y", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0),
+    )
+
+
+def message_passing_fenced() -> LitmusTest:
+    """MP+fence.w.w+fence.r.r — Figure 1's explicit fences."""
+    return LitmusTest(
+        name="MP+fences",
+        category=CAT_BARRIER,
+        threads=[
+            [("W", "y", 1), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("F", LL), ("R", "y", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0),
+    )
+
+
+def store_buffering() -> LitmusTest:
+    """SB / Dekker: the W->R relaxation every store buffer exhibits."""
+    return LitmusTest(
+        name="SB",
+        category=CAT_FR,
+        threads=[
+            [("W", "x", 1), ("R", "y", "r0")],
+            [("W", "y", 1), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=0, r1=0),
+    )
+
+
+def store_buffering_fenced() -> LitmusTest:
+    return LitmusTest(
+        name="SB+fences",
+        category=CAT_BARRIER,
+        threads=[
+            [("W", "x", 1), ("F",), ("R", "y", "r0")],
+            [("W", "y", 1), ("F",), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=0, r1=0),
+    )
+
+
+def load_buffering() -> LitmusTest:
+    """LB: R->W relaxation (forbidden outcome never seen on our
+    engine, which does not speculate stores)."""
+    return LitmusTest(
+        name="LB",
+        category=CAT_FR,
+        threads=[
+            [("R", "x", "r0"), ("W", "y", 1)],
+            [("R", "y", "r1"), ("W", "x", 1)],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=1),
+    )
+
+
+def s_test() -> LitmusTest:
+    """S: W->W on one side, R->W on the other."""
+    return LitmusTest(
+        name="S",
+        category=CAT_FR,
+        threads=[
+            [("W", "y", 2), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("W", "y", 1)],
+        ],
+        spotlight=LitmusOutcome.of(r0=1),
+    )
+
+
+def r_test() -> LitmusTest:
+    """R: W->W against W->R."""
+    return LitmusTest(
+        name="R",
+        category=CAT_CO,
+        threads=[
+            [("W", "x", 1), ("F", SS), ("W", "y", 1)],
+            [("W", "y", 2), ("F",), ("R", "x", "r0")],
+        ],
+        spotlight=LitmusOutcome.of(r0=0),
+    )
+
+
+def two_plus_two_w() -> LitmusTest:
+    """2+2W: coherence-order cycle between two write pairs."""
+    return LitmusTest(
+        name="2+2W",
+        category=CAT_CO,
+        threads=[
+            [("W", "x", 1), ("F", SS), ("W", "y", 2)],
+            [("W", "y", 1), ("F", SS), ("W", "x", 2)],
+        ],
+    )
+
+
+def corr() -> LitmusTest:
+    """CoRR: same-location reads must not go backwards."""
+    return LitmusTest(
+        name="CoRR",
+        category=CAT_PO_LOC,
+        threads=[
+            [("W", "x", 1)],
+            [("R", "x", "r0"), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0),
+    )
+
+
+def coww() -> LitmusTest:
+    """CoWW: same-location writes stay in program order."""
+    return LitmusTest(
+        name="CoWW",
+        category=CAT_PO_LOC,
+        threads=[
+            [("W", "x", 1), ("W", "x", 2)],
+            [("R", "x", "r0"), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=2, r1=1),
+    )
+
+
+def cowr() -> LitmusTest:
+    """CoWR: a read after a same-location write sees it (or newer)."""
+    return LitmusTest(
+        name="CoWR",
+        category=CAT_RFI,
+        threads=[
+            [("W", "x", 1), ("R", "x", "r0")],
+            [("W", "x", 2)],
+        ],
+    )
+
+
+def corw() -> LitmusTest:
+    """CoRW: read then write same location."""
+    return LitmusTest(
+        name="CoRW",
+        category=CAT_PO_LOC,
+        threads=[
+            [("R", "x", "r0"), ("W", "x", 1)],
+            [("W", "x", 2)],
+        ],
+    )
+
+
+def sb_with_forwarding() -> LitmusTest:
+    """SB+rfi: each core re-reads its own store before the remote
+    load — internal read-from (store forwarding)."""
+    return LitmusTest(
+        name="SB+rfi",
+        category=CAT_RFI,
+        threads=[
+            [("W", "x", 1), ("R", "x", "f0"), ("R", "y", "r0")],
+            [("W", "y", 1), ("R", "y", "f1"), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(f0=1, f1=1, r0=0, r1=0),
+    )
+
+
+def mp_addr_dep() -> LitmusTest:
+    """MP+fence.w.w+addr: address dependency orders the reads."""
+    return LitmusTest(
+        name="MP+addr",
+        category=CAT_DEPS,
+        threads=[
+            [("W", "y", 1), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("Raddr", "y", "r1", "r0")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0),
+    )
+
+
+def mp_data_dep() -> LitmusTest:
+    """S+fence.w.w+data: data dependency orders read->write."""
+    return LitmusTest(
+        name="S+data",
+        category=CAT_DEPS,
+        threads=[
+            [("W", "y", 2), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("Wdata", "y", 1, "r0")],
+        ],
+    )
+
+
+def mp_ctrl_dep() -> LitmusTest:
+    """S+fence.w.w+ctrl: control dependency orders read->write."""
+    return LitmusTest(
+        name="S+ctrl",
+        category=CAT_DEPS,
+        threads=[
+            [("W", "y", 2), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("Wctrl", "y", 1, "r0")],
+        ],
+    )
+
+
+def amo_ordering() -> LitmusTest:
+    """MP with an AMO as the flag write: atomics are ordered (PPO)."""
+    return LitmusTest(
+        name="MP+amo",
+        category=CAT_PPO,
+        threads=[
+            [("W", "y", 1), ("A", "x", 1, "a0")],
+            [("R", "x", "r0"), ("F", LL), ("R", "y", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0),
+    )
+
+
+def amo_fetch_order() -> LitmusTest:
+    """Two AMOs to one location observe a total order (PPO/coherence)."""
+    return LitmusTest(
+        name="AMO+AMO",
+        category=CAT_PPO,
+        threads=[
+            [("A", "x", 1, "a0")],
+            [("A", "x", 2, "a1")],
+        ],
+    )
+
+
+def mp_sl_fence() -> LitmusTest:
+    """SB+fence.w.r on both sides: the store-load fence kills the SB
+    relaxation."""
+    return LitmusTest(
+        name="SB+fence.w.r",
+        category=CAT_BARRIER,
+        threads=[
+            [("W", "x", 1), ("F", SL), ("R", "y", "r0")],
+            [("W", "y", 1), ("F", SL), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=0, r1=0),
+    )
+
+
+def wrc_two_core() -> LitmusTest:
+    """WRC collapsed onto two cores via forwarding (rfi + rfe)."""
+    return LitmusTest(
+        name="WRC-2",
+        category=CAT_RFE,
+        threads=[
+            [("W", "x", 1), ("R", "x", "f0"), ("F", LS), ("W", "y", 1)],
+            [("R", "y", "r0"), ("F", LL), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0),
+    )
+
+
+def corw2() -> LitmusTest:
+    """CoRW2: read-then-write racing an external write."""
+    return LitmusTest(
+        name="CoRW2",
+        category=CAT_PO_LOC,
+        threads=[
+            [("R", "x", "r0"), ("W", "x", 2)],
+            [("R", "x", "r1"), ("W", "x", 1)],
+        ],
+    )
+
+
+def rwc() -> LitmusTest:
+    """RWC collapsed to two cores: read-to-write causality."""
+    return LitmusTest(
+        name="RWC-2",
+        category=CAT_FR,
+        threads=[
+            [("W", "x", 1), ("F",), ("R", "y", "r0")],
+            [("W", "y", 1), ("F", SS), ("W", "x", 2), ("R", "x", "r1")],
+        ],
+    )
+
+
+def sb_one_fence() -> LitmusTest:
+    """SB with only one side fenced — the relaxation survives."""
+    return LitmusTest(
+        name="SB+onefence",
+        category=CAT_FR,
+        threads=[
+            [("W", "x", 1), ("F",), ("R", "y", "r0")],
+            [("W", "y", 1), ("R", "x", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=0, r1=0),
+    )
+
+
+def mp_double_data() -> LitmusTest:
+    """MP carrying two payload words behind one flag."""
+    return LitmusTest(
+        name="MP+2data",
+        category=CAT_RFE,
+        threads=[
+            [("W", "y", 1), ("W", "z", 2), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("F", LL), ("R", "y", "r1"),
+             ("R", "z", "r2")],
+        ],
+    )
+
+
+def amo_release_chain() -> LitmusTest:
+    """Two AMOs chained through a location: total order observed."""
+    return LitmusTest(
+        name="AMO-chain",
+        category=CAT_PPO,
+        threads=[
+            [("A", "x", 1, "a0"), ("A", "y", 1, "a1")],
+            [("A", "y", 2, "b0"), ("A", "x", 2, "b1")],
+        ],
+    )
+
+
+def coww_external_observer() -> LitmusTest:
+    """CoWW observed externally while a third value races."""
+    return LitmusTest(
+        name="CoWW+race",
+        category=CAT_CO,
+        threads=[
+            [("W", "x", 1), ("W", "x", 2)],
+            [("W", "x", 3), ("R", "x", "r0")],
+        ],
+    )
+
+
+def lb_one_dep() -> LitmusTest:
+    """LB with a dependency on one side only."""
+    return LitmusTest(
+        name="LB+onedep",
+        category=CAT_DEPS,
+        threads=[
+            [("R", "x", "r0"), ("Wdata", "y", 1, "r0")],
+            [("R", "y", "r1"), ("W", "x", 1)],
+        ],
+    )
+
+
+def all_library_tests() -> List[LitmusTest]:
+    return [
+        message_passing(), message_passing_fenced(),
+        store_buffering(), store_buffering_fenced(),
+        load_buffering(),
+        s_test(), r_test(), two_plus_two_w(),
+        corr(), coww(), cowr(), corw(),
+        sb_with_forwarding(),
+        mp_addr_dep(), mp_data_dep(), mp_ctrl_dep(),
+        amo_ordering(), amo_fetch_order(),
+        mp_sl_fence(), wrc_two_core(),
+        corw2(), rwc(), sb_one_fence(), mp_double_data(),
+        amo_release_chain(), coww_external_observer(), lb_one_dep(),
+    ]

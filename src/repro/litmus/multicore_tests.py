@@ -1,0 +1,95 @@
+"""Three- and four-core litmus tests.
+
+The paper's FPGA prototype is limited to two cores; the simulator is
+not, so these classic multi-core shapes extend the campaign beyond the
+paper's coverage (an "extension" in EXPERIMENTS.md terms): write-to-
+read causality (WRC), independent reads of independent writes (IRIW),
+and ISA2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memmodel.events import FenceKind
+from .dsl import LitmusOutcome, LitmusTest
+from .library import CAT_BARRIER, CAT_DEPS, CAT_RFE
+
+LL = FenceKind.LOAD_LOAD
+SS = FenceKind.STORE_STORE
+
+
+def wrc() -> LitmusTest:
+    """WRC: writes must appear causally ordered through a middleman."""
+    return LitmusTest(
+        name="WRC",
+        category=CAT_RFE,
+        threads=[
+            [("W", "x", 1)],
+            [("R", "x", "r0"), ("F", FenceKind.FULL), ("W", "y", 1)],
+            [("R", "y", "r1"), ("F", FenceKind.FULL), ("R", "x", "r2")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=1, r2=0),
+    )
+
+
+def wrc_addr_dep() -> LitmusTest:
+    """WRC with dependencies instead of fences."""
+    return LitmusTest(
+        name="WRC+addrs",
+        category=CAT_DEPS,
+        threads=[
+            [("W", "x", 1)],
+            [("R", "x", "r0"), ("Wdata", "y", 1, "r0")],
+            [("R", "y", "r1"), ("Raddr", "x", "r2", "r1")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=1, r2=0),
+    )
+
+
+def iriw() -> LitmusTest:
+    """IRIW: two readers must agree on the order of independent
+    writes (with full fences between the reads)."""
+    return LitmusTest(
+        name="IRIW+fences",
+        category=CAT_BARRIER,
+        threads=[
+            [("W", "x", 1)],
+            [("W", "y", 1)],
+            [("R", "x", "r0"), ("F", FenceKind.FULL), ("R", "y", "r1")],
+            [("R", "y", "r2"), ("F", FenceKind.FULL), ("R", "x", "r3")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=0, r2=1, r3=0),
+    )
+
+
+def isa2() -> LitmusTest:
+    """ISA2: transitive message passing across three cores."""
+    return LitmusTest(
+        name="ISA2",
+        category=CAT_RFE,
+        threads=[
+            [("W", "z", 1), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("F", FenceKind.FULL), ("W", "y", 1)],
+            [("R", "y", "r1"), ("F", LL), ("R", "z", "r2")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=1, r2=0),
+    )
+
+
+def three_core_mp_chain() -> LitmusTest:
+    """MP chained through a third observer core."""
+    return LitmusTest(
+        name="MP-chain3",
+        category=CAT_RFE,
+        threads=[
+            [("W", "y", 1), ("F", SS), ("W", "x", 1)],
+            [("R", "x", "r0"), ("F", FenceKind.FULL), ("W", "z", 1)],
+            [("R", "z", "r1"), ("F", LL), ("R", "y", "r2")],
+        ],
+        spotlight=LitmusOutcome.of(r0=1, r1=1, r2=0),
+    )
+
+
+def all_multicore_tests() -> List[LitmusTest]:
+    return [wrc(), wrc_addr_dep(), iriw(), isa2(), three_core_mp_chain()]

@@ -1,0 +1,210 @@
+"""Parser for a practical subset of the ``.litmus`` text format.
+
+The RISC-V litmus suite the paper runs (§6.3) distributes tests as
+``.litmus`` files.  This parser accepts the structural core of that
+format so users can feed hand-written or suite-derived tests straight
+into the harness:
+
+.. code-block:: none
+
+    RISCV MP
+    {
+    0:x5=1; x=0; y=0;
+    }
+     P0          | P1          ;
+     sw x5,0(x)  | lw x6,0(y)  ;
+     fence w,w   | fence r,r   ;
+     sw x5,0(y)  | lw x7,0(x)  ;
+
+    exists (1:x6=1 /\\ 1:x7=0)
+
+Supported instructions: ``sw``/``sd`` (store register), ``li``
+(immediate), ``lw``/``ld`` (load), ``fence`` with ``rw,rw`` / ``w,w``
+/ ``r,r`` / ``w,r`` / ``r,w`` orders, and ``amoswap``.  Registers are
+RISC-V ``x`` names; symbolic locations are bare identifiers.  The
+``exists`` clause becomes the test's spotlight outcome.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..memmodel.events import FenceKind
+from .dsl import LitmusOutcome, LitmusTest
+from .library import CAT_BARRIER
+
+_FENCE_KINDS = {
+    "rw,rw": FenceKind.FULL,
+    "w,w": FenceKind.STORE_STORE,
+    "r,r": FenceKind.LOAD_LOAD,
+    "w,r": FenceKind.STORE_LOAD,
+    "r,w": FenceKind.LOAD_STORE,
+}
+
+
+class LitmusParseError(ValueError):
+    pass
+
+
+def parse_litmus(text: str, category: str = CAT_BARRIER) -> LitmusTest:
+    """Parse one ``.litmus``-style test into a :class:`LitmusTest`."""
+    lines = [ln.rstrip() for ln in text.strip().splitlines()]
+    if not lines:
+        raise LitmusParseError("empty litmus text")
+
+    header = lines[0].split()
+    if len(header) < 2:
+        raise LitmusParseError(f"bad header line: {lines[0]!r}")
+    name = header[1]
+
+    init_block, body_start = _parse_init(lines)
+    thread_rows, cond_line = _parse_body(lines, body_start)
+    threads = _parse_threads(thread_rows, init_block)
+    spotlight = _parse_exists(cond_line) if cond_line else None
+
+    test = LitmusTest(name=name, category=category, threads=threads,
+                      spotlight=spotlight)
+    return test
+
+
+# ----------------------------------------------------------------------
+def _parse_init(lines: List[str]) -> Tuple[Dict, int]:
+    """Parse the ``{ ... }`` init block; returns (assignments, index
+    of the first body line)."""
+    init: Dict[str, int] = {}
+    idx = 1
+    if idx >= len(lines) or not lines[idx].strip().startswith("{"):
+        return init, idx
+    # Accumulate until the closing brace.
+    content = []
+    while idx < len(lines):
+        line = lines[idx].strip()
+        content.append(line.strip("{}"))
+        idx += 1
+        if line.endswith("}"):
+            break
+    for stmt in ";".join(content).split(";"):
+        stmt = stmt.strip()
+        if not stmt:
+            continue
+        match = re.match(r"^(?:(\d+):)?([A-Za-z_]\w*)\s*=\s*(-?\d+)$",
+                         stmt)
+        if not match:
+            raise LitmusParseError(f"bad init statement: {stmt!r}")
+        thread, target, value = match.groups()
+        key = (int(thread), target) if thread is not None else target
+        init[key] = int(value)
+    return init, idx
+
+
+def _parse_body(lines: List[str],
+                start: int) -> Tuple[List[List[str]], Optional[str]]:
+    rows: List[List[str]] = []
+    cond = None
+    for line in lines[start:]:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(("exists", "forall", "~exists")):
+            cond = stripped
+            continue
+        if "|" in stripped or stripped.endswith(";"):
+            cells = [c.strip() for c in stripped.rstrip(";").split("|")]
+            rows.append(cells)
+    if not rows:
+        raise LitmusParseError("no thread body found")
+    return rows, cond
+
+
+def _parse_threads(rows: List[List[str]], init: Dict) -> List[List[tuple]]:
+    headers = rows[0]
+    n_threads = len(headers)
+    # Per-thread register state for immediates: reg -> value.
+    reg_values: List[Dict[str, int]] = [dict() for _ in range(n_threads)]
+    for key, value in init.items():
+        if isinstance(key, tuple):
+            tid, reg = key
+            if tid < n_threads:
+                reg_values[tid][reg] = value
+    threads: List[List[tuple]] = [[] for _ in range(n_threads)]
+    reg_counter = [0] * n_threads
+
+    for row in rows[1:]:
+        for tid, cell in enumerate(row):
+            if tid >= n_threads or not cell:
+                continue
+            _parse_instruction(cell, tid, threads, reg_values,
+                               reg_counter)
+    return threads
+
+
+def _parse_instruction(cell: str, tid: int, threads, reg_values,
+                       reg_counter) -> None:
+    cell = cell.strip()
+    if not cell:
+        return
+    mnemonic, _, rest = cell.partition(" ")
+    rest = rest.replace(" ", "")
+    if mnemonic == "li":
+        reg, value = rest.split(",")
+        reg_values[tid][reg] = int(value)
+    elif mnemonic in ("sw", "sd"):
+        match = re.match(r"^(\w+),0\((\w+)\)$", rest)
+        if not match:
+            raise LitmusParseError(f"bad store operand: {cell!r}")
+        src, loc = match.groups()
+        value = reg_values[tid].get(src, 1)
+        threads[tid].append(("W", loc, value))
+    elif mnemonic in ("lw", "ld"):
+        match = re.match(r"^(\w+),0\((\w+)\)$", rest)
+        if not match:
+            raise LitmusParseError(f"bad load operand: {cell!r}")
+        dst, loc = match.groups()
+        reg_name = f"{tid}:{dst}"
+        threads[tid].append(("R", loc, reg_name))
+        reg_counter[tid] += 1
+    elif mnemonic == "fence":
+        kind = _FENCE_KINDS.get(rest)
+        if kind is None:
+            raise LitmusParseError(f"unsupported fence order: {cell!r}")
+        threads[tid].append(("F", kind) if kind is not FenceKind.FULL
+                            else ("F",))
+    elif mnemonic.startswith("amoswap"):
+        match = re.match(r"^(\w+),(\w+),\((\w+)\)$", rest)
+        if not match:
+            raise LitmusParseError(f"bad amoswap operand: {cell!r}")
+        dst, src, loc = match.groups()
+        value = reg_values[tid].get(src, 1)
+        threads[tid].append(("A", loc, value, f"{tid}:{dst}"))
+    else:
+        raise LitmusParseError(f"unsupported instruction: {cell!r}")
+
+
+def _parse_exists(line: str) -> Optional[LitmusOutcome]:
+    match = re.search(r"\((.*)\)", line)
+    if not match:
+        return None
+    values: Dict[str, int] = {}
+    for clause in re.split(r"/\\|∧", match.group(1)):
+        clause = clause.strip()
+        m = re.match(r"^(\d+):(\w+)\s*=\s*(-?\d+)$", clause)
+        if not m:
+            raise LitmusParseError(f"bad exists clause: {clause!r}")
+        tid, reg, value = m.groups()
+        values[f"{tid}:{reg}"] = int(value)
+    return LitmusOutcome(tuple(sorted(values.items())))
+
+
+def load_litmus_directory(directory, category: str = CAT_BARRIER):
+    """Parse every ``*.litmus`` file in ``directory``.
+
+    Returns the parsed :class:`LitmusTest` objects, sorted by name.
+    The repository ships a starter set under ``litmus_files/``.
+    """
+    from pathlib import Path
+
+    tests = []
+    for path in sorted(Path(directory).glob("*.litmus")):
+        tests.append(parse_litmus(path.read_text(), category=category))
+    return tests

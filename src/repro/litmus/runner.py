@@ -1,0 +1,81 @@
+"""Operational litmus runner (§6.3 methodology).
+
+Each test is run many times on the functional engine with different
+scheduler seeds, twice over: once clean and once with every test
+location's page marked faulting through the EInject interface before
+the run — "to inject bus errors on all load, store, and atomic
+instructions, which generate many precise and imprecise exceptions
+that are silently handled by the minimal handler".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.streams import DrainPolicy
+from ..sim.config import ConsistencyModel, SystemConfig, small_config
+from ..sim.multicore import MulticoreSystem
+from .dsl import LitmusTest
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class RunConfig:
+    """Knobs for one litmus campaign."""
+
+    model: str = ConsistencyModel.PC
+    seeds: int = 60
+    inject_faults: bool = True
+    drain_policy: DrainPolicy = DrainPolicy.SAME_STREAM
+
+    def system_config(self, cores: int) -> SystemConfig:
+        return small_config(cores=cores, consistency=self.model)
+
+
+@dataclass
+class TestRun:
+    """Observed behaviour of one test under one configuration."""
+
+    test: LitmusTest
+    model: str
+    injected: bool
+    outcomes: Set[Outcome] = field(default_factory=set)
+    runs: int = 0
+    imprecise_exceptions: int = 0
+    precise_exceptions: int = 0
+    contract_violations: int = 0
+
+
+def run_test(test: LitmusTest, config: Optional[RunConfig] = None) -> TestRun:
+    """Run one test ``config.seeds`` times; collect distinct outcomes."""
+    config = config or RunConfig()
+    program = test.to_program()
+    result = TestRun(test=test, model=config.model,
+                     injected=config.inject_faults)
+    fault_addrs = [test.location_addr(loc) for loc in test.locations]
+
+    for seed in range(config.seeds):
+        system = MulticoreSystem(
+            test.to_program(),
+            config.system_config(program.cores),
+            seed=seed,
+            drain_policy=config.drain_policy,
+        )
+        if config.inject_faults:
+            system.inject_faults(fault_addrs)
+        run = system.run()
+        result.outcomes.add(run.outcome)
+        result.runs += 1
+        result.imprecise_exceptions += run.stats.imprecise_exceptions
+        result.precise_exceptions += run.stats.precise_exceptions
+        if not run.contract_report.ok:
+            result.contract_violations += 1
+    return result
+
+
+def run_suite(tests: Sequence[LitmusTest],
+              config: Optional[RunConfig] = None) -> List[TestRun]:
+    config = config or RunConfig()
+    return [run_test(test, config) for test in tests]

@@ -1,0 +1,67 @@
+"""Memory-consistency formalism (paper §4).
+
+Public surface:
+
+* :mod:`~repro.memmodel.events` — the Table 4 operation vocabulary.
+* :mod:`~repro.memmodel.axioms` — SC / PC(TSO) / WC / RVWMO models.
+* :mod:`~repro.memmodel.enumerator` — exhaustive allowed-outcome sets.
+* :mod:`~repro.memmodel.imprecise` — the imprecise-store-exception
+  protocol and the split-/same-stream transforms.
+* :mod:`~repro.memmodel.proofs` — executable versions of Proof 1 and
+  the Figure 2 race.
+* :mod:`~repro.memmodel.checker` — observed-vs-allowed conformance.
+"""
+
+from .axioms import (
+    MODELS,
+    PC,
+    RVWMO_MODEL,
+    SC,
+    TSO,
+    WC,
+    MemoryModel,
+    ProcessorConsistency,
+    SequentialConsistency,
+    WeakConsistency,
+    get_model,
+)
+from .checker import ConformanceResult, check_conformance, check_outcome_set
+from .enumerator import (
+    EnumerationResult,
+    allowed_outcomes,
+    compare_models,
+    enumerate_executions,
+)
+from .events import Event, EventKind, FenceKind, initial_writes, program
+from .imprecise import DrainPolicy, ImpreciseTransform, transform
+from .operational import (
+    OperationalSC,
+    OperationalTSO,
+    sc_outcomes,
+    tso_outcomes,
+)
+from .proofs import (
+    ProofReport,
+    RaceDemonstration,
+    demonstrate_figure2_race,
+    prove_rule_suite,
+    prove_store_store_rule,
+)
+from .relations import Execution, is_acyclic
+from .witness import explain_forbidden, find_cycle, render_execution
+
+__all__ = [
+    "MODELS", "PC", "RVWMO_MODEL", "SC", "TSO", "WC",
+    "MemoryModel", "ProcessorConsistency", "SequentialConsistency",
+    "WeakConsistency", "get_model",
+    "ConformanceResult", "check_conformance", "check_outcome_set",
+    "EnumerationResult", "allowed_outcomes", "compare_models",
+    "enumerate_executions",
+    "Event", "EventKind", "FenceKind", "initial_writes", "program",
+    "DrainPolicy", "ImpreciseTransform", "transform",
+    "OperationalSC", "OperationalTSO", "sc_outcomes", "tso_outcomes",
+    "ProofReport", "RaceDemonstration", "demonstrate_figure2_race",
+    "prove_rule_suite", "prove_store_store_rule",
+    "Execution", "is_acyclic",
+    "explain_forbidden", "find_cycle", "render_execution",
+]

@@ -1,0 +1,206 @@
+"""Axiomatic definitions of the memory models used by the paper.
+
+Each model is expressed in the Alglave-style framework the paper's
+formalism builds on (its Table 4 notation and §4.2 rules):
+
+* Every model requires **coherence** (a.k.a. uniproc / SC-per-location):
+  ``acyclic(po_loc ∪ rf ∪ co ∪ fr)``.
+* Every model requires **global-happens-before acyclicity**:
+  ``acyclic(ppo ∪ fences ∪ rfe ∪ co ∪ fr ∪ protocol)``, where ``ppo``
+  is the model's preserved program order and ``protocol`` carries the
+  imprecise-store-exception chain
+  ``DETECT <m PUT <m GET <m S_OS <m RESOLVE``.
+
+Preserved program order per model (§4.2):
+
+* **SC** keeps all of po.
+* **PC / TSO** relaxes only store→load: ``ppo = po \\ (W × R)``.
+  Internal reads-from (store-buffer forwarding) is excluded from the
+  global order, which is what makes the store buffer legal.
+* **WC** keeps only same-address pairs; all other order comes from
+  fences.  (The paper: "WC relaxes all orderings except the ones
+  involving fences and memory operations to the same address.")
+* **RVWMO** is modelled as WC plus dependency edges and atomics being
+  globally ordered — the subset of RVWMO's ppo rules exercised by the
+  litmus families in :mod:`repro.litmus.generator`.  Dependencies are
+  supplied explicitly by programs via ``Execution.extra_ppo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Set, Tuple
+
+from .events import EventKind
+from .relations import Edge, Execution, is_acyclic
+
+
+@dataclass(frozen=True)
+class ModelJudgement:
+    """Result of judging one candidate execution."""
+
+    consistent: bool
+    coherence_ok: bool
+    ghb_ok: bool
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+class MemoryModel:
+    """Base class: a named consistency model with a ppo definition."""
+
+    name = "base"
+    #: True when the model lets a core read its own buffered store early
+    #: (store forwarding); such internal rf edges are excluded from ghb.
+    allows_store_forwarding = False
+
+    def ppo(self, execution: Execution) -> Set[Edge]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def coherent(self, execution: Execution) -> bool:
+        edges = (
+            execution.po_loc_edges()
+            | execution.rf_edges()
+            | execution.co_edges()
+            | execution.fr_edges()
+        )
+        return is_acyclic(edges)
+
+    def global_order_edges(self, execution: Execution) -> Set[Edge]:
+        rf_part = (
+            execution.rfe_edges()
+            if self.allows_store_forwarding
+            else execution.rf_edges()
+        )
+        return (
+            self.ppo(execution)
+            | execution.fence_edges()
+            | set(execution.extra_ppo)
+            | rf_part
+            | execution.co_edges()
+            | execution.fr_edges()
+            | set(execution.protocol_order)
+        )
+
+    def judge(self, execution: Execution) -> ModelJudgement:
+        coherence_ok = (execution.atomicity_ok()
+                        and self.coherent(execution))
+        ghb_ok = is_acyclic(self.global_order_edges(execution))
+        return ModelJudgement(coherence_ok and ghb_ok, coherence_ok, ghb_ok)
+
+    def allows(self, execution: Execution) -> bool:
+        return self.judge(execution).consistent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MemoryModel {self.name}>"
+
+
+class SequentialConsistency(MemoryModel):
+    """SC: program order is fully preserved; no store forwarding."""
+
+    name = "SC"
+    allows_store_forwarding = False
+
+    def ppo(self, execution: Execution) -> Set[Edge]:
+        return {
+            (a, b)
+            for (a, b) in execution.po_edges()
+            if execution.event(a).is_memory_access
+            and execution.event(b).is_memory_access
+        }
+
+
+class ProcessorConsistency(MemoryModel):
+    """PC/TSO: store→load is relaxed; the store buffer forwards.
+
+    The paper uses PC to represent TSO ("identical in modern
+    cache-coherent systems").
+    """
+
+    name = "PC"
+    allows_store_forwarding = True
+
+    def ppo(self, execution: Execution) -> Set[Edge]:
+        edges = set()
+        for (a, b) in execution.po_edges():
+            ea, eb = execution.event(a), execution.event(b)
+            if not (ea.is_memory_access and eb.is_memory_access):
+                continue
+            if ea.kind is EventKind.ATOMIC or eb.kind is EventKind.ATOMIC:
+                # TSO atomics are fully fenced: they order against
+                # every neighbour (the buffer drains before an RMW).
+                edges.add((a, b))
+                continue
+            if ea.is_write and eb.is_read and ea.addr != eb.addr:
+                continue  # the relaxed store->load pair
+            if ea.is_write and eb.is_read and ea.addr == eb.addr:
+                # Same-address W->R order is enforced through forwarding
+                # and coherence, not ghb; skip it here too (classic TSO).
+                continue
+            edges.add((a, b))
+        return edges
+
+
+class WeakConsistency(MemoryModel):
+    """WC: only same-address pairs and fence-induced order survive."""
+
+    name = "WC"
+    allows_store_forwarding = True
+
+    def ppo(self, execution: Execution) -> Set[Edge]:
+        edges = set()
+        for (a, b) in execution.po_loc_edges():
+            ea, eb = execution.event(a), execution.event(b)
+            if ea.is_write and eb.is_read:
+                continue  # forwarding covers same-address W->R
+            edges.add((a, b))
+        return edges
+
+
+class RVWMO(WeakConsistency):
+    """RVWMO-lite: WC plus atomics globally ordered.
+
+    Dependency ordering (addr/data/ctrl) arrives through
+    ``Execution.extra_ppo``, which every model honours; what RVWMO adds
+    over WC here is that atomic RMWs order against all neighbours in
+    program order (RVWMO PPO rules for AMOs).
+    """
+
+    name = "RVWMO"
+
+    def ppo(self, execution: Execution) -> Set[Edge]:
+        edges = super().ppo(execution)
+        for (a, b) in execution.po_edges():
+            ea, eb = execution.event(a), execution.event(b)
+            if not (ea.is_memory_access and eb.is_memory_access):
+                continue
+            if ea.kind is EventKind.ATOMIC or eb.kind is EventKind.ATOMIC:
+                edges.add((a, b))
+        return edges
+
+
+SC = SequentialConsistency()
+PC = ProcessorConsistency()
+TSO = PC  # alias: the paper treats PC and TSO as identical
+WC = WeakConsistency()
+RVWMO_MODEL = RVWMO()
+
+MODELS: Dict[str, MemoryModel] = {
+    "SC": SC,
+    "PC": PC,
+    "TSO": PC,
+    "WC": WC,
+    "RVWMO": RVWMO_MODEL,
+}
+
+
+def get_model(name: str) -> MemoryModel:
+    """Look up a model by name (case-insensitive)."""
+    try:
+        return MODELS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown memory model {name!r}; choose from {sorted(set(MODELS))}"
+        ) from None

@@ -1,0 +1,94 @@
+"""Conformance checking: observed outcomes vs. a model's allowed set.
+
+This is the analogue of the paper's §6.3 methodology: run litmus tests
+on the hardware (here, the operational simulator), collect the set of
+final states actually observed, and flag any *negative difference* —
+an outcome the hardware produced that the model forbids.  Outcomes the
+model allows but the hardware never produced are fine (hardware may be
+stronger than the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .axioms import MemoryModel
+from .enumerator import Outcome, allowed_outcomes
+from .events import Event
+
+
+@dataclass
+class ConformanceResult:
+    """Verdict for one program / one model."""
+
+    model_name: str
+    allowed: Set[Outcome]
+    observed: Set[Outcome]
+
+    @property
+    def negative_differences(self) -> Set[Outcome]:
+        """Outcomes observed but not allowed — consistency violations."""
+        return self.observed - self.allowed
+
+    @property
+    def positive_differences(self) -> Set[Outcome]:
+        """Outcomes allowed but never observed — benign (weakness the
+        hardware did not exhibit, often due to timing)."""
+        return self.allowed - self.observed
+
+    @property
+    def conforms(self) -> bool:
+        return not self.negative_differences
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of allowed outcomes actually exhibited."""
+        if not self.allowed:
+            return 1.0
+        return len(self.observed & self.allowed) / len(self.allowed)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.conforms else "VIOLATION"
+        lines = [
+            f"[{verdict}] model={self.model_name} "
+            f"allowed={len(self.allowed)} observed={len(self.observed)} "
+            f"coverage={self.coverage:.0%}"
+        ]
+        for diff in sorted(self.negative_differences):
+            lines.append(f"  !!! negative difference: {dict(diff)}")
+        return "\n".join(lines)
+
+
+def canonicalise(outcome: Iterable[Tuple[str, int]]) -> Outcome:
+    """Normalise an outcome to the sorted-tuple form used everywhere."""
+    return tuple(sorted(outcome))
+
+
+def check_conformance(
+    threads: Sequence[Sequence[Event]],
+    model: MemoryModel,
+    observed: Iterable[Outcome],
+    **enumerate_kwargs,
+) -> ConformanceResult:
+    """Compare observed outcomes of ``threads`` against ``model``."""
+    allowed = allowed_outcomes(threads, model, **enumerate_kwargs)
+    return ConformanceResult(
+        model_name=model.name,
+        allowed=allowed,
+        observed={canonicalise(o) for o in observed},
+    )
+
+
+def check_outcome_set(
+    allowed: Set[Outcome],
+    observed: Iterable[Outcome],
+    model_name: str = "precomputed",
+) -> ConformanceResult:
+    """Variant for callers that already hold the allowed set (the
+    litmus harness precomputes allowed sets once per test)."""
+    return ConformanceResult(
+        model_name=model_name,
+        allowed={canonicalise(o) for o in allowed},
+        observed={canonicalise(o) for o in observed},
+    )

@@ -1,0 +1,141 @@
+"""Exhaustive enumeration of candidate executions for small programs.
+
+Given per-core event sequences, the enumerator builds every candidate
+execution (all reads-from choices × all coherence orders), filters them
+through a model's axioms, and reports the set of allowed outcomes.
+This plays the role herd7 plays for the paper's litmus methodology:
+the *reference* allowed set against which hardware (here: the
+operational simulator) is compared.
+
+Complexity is exponential in test size, which is fine for litmus tests
+(≤ ~10 events).  ``max_candidates`` guards against accidental misuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .axioms import MemoryModel
+from .events import Event, initial_writes
+from .relations import (
+    Edge,
+    Execution,
+    candidate_co_choices,
+    candidate_rf_choices,
+)
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class EnumerationResult:
+    """Outcomes allowed by a model, with witness executions."""
+
+    model_name: str
+    allowed: Set[Outcome] = field(default_factory=set)
+    witnesses: Dict[Outcome, Execution] = field(default_factory=dict)
+    candidates_examined: int = 0
+    candidates_consistent: int = 0
+
+    def permits(self, outcome: Outcome) -> bool:
+        return tuple(sorted(outcome)) in self.allowed
+
+    def forbidden(self, all_conceivable: Iterable[Outcome]) -> Set[Outcome]:
+        """Outcomes conceivable from value combinations but not allowed."""
+        return {tuple(sorted(o)) for o in all_conceivable} - self.allowed
+
+
+def build_events(
+    threads: Sequence[Sequence[Event]],
+    extra_events: Sequence[Event] = (),
+    init_values: Optional[Dict[int, int]] = None,
+) -> Tuple[Event, ...]:
+    """Assemble the full event set: threads + extras + initial writes."""
+    flat: List[Event] = [e for th in threads for e in th]
+    flat.extend(extra_events)
+    addrs = {e.addr for e in flat if e.addr is not None and e.is_memory_access}
+    inits = initial_writes(sorted(addrs), init_values)
+    return tuple(inits) + tuple(flat)
+
+
+def enumerate_executions(
+    threads: Sequence[Sequence[Event]],
+    model: MemoryModel,
+    extra_ppo: Iterable[Edge] = (),
+    protocol_order: Iterable[Edge] = (),
+    extra_events: Sequence[Event] = (),
+    init_values: Optional[Dict[int, int]] = None,
+    max_candidates: int = 2_000_000,
+) -> EnumerationResult:
+    """Enumerate all candidate executions and judge them under ``model``.
+
+    Args:
+        threads: Per-core event sequences (cores numbered by position
+            is not required; events carry their own core ids).
+        model: The memory model to judge with.
+        extra_ppo: Dependency/atomicity edges preserved by all models.
+        protocol_order: Imprecise-exception protocol edges.
+        extra_events: OS stores or protocol events outside any thread.
+        init_values: Initial memory values (default 0).
+        max_candidates: Safety valve on the search-space size.
+
+    Returns:
+        An :class:`EnumerationResult` with the allowed outcome set.
+    """
+    events = build_events(threads, extra_events, init_values)
+    rf_choices = candidate_rf_choices(events)
+    co_choices = candidate_co_choices(events)
+    total = len(rf_choices) * len(co_choices)
+    if total > max_candidates:
+        raise ValueError(
+            f"{total} candidate executions exceed max_candidates="
+            f"{max_candidates}; shrink the program"
+        )
+
+    result = EnumerationResult(model_name=model.name)
+    extra_ppo_f = frozenset(extra_ppo)
+    protocol_f = frozenset(protocol_order)
+    for rf in rf_choices:
+        for co in co_choices:
+            result.candidates_examined += 1
+            execution = Execution(
+                events=events,
+                rf=dict(rf),
+                co={a: list(order) for a, order in co.items()},
+                extra_ppo=extra_ppo_f,
+                protocol_order=protocol_f,
+            )
+            if not model.allows(execution):
+                continue
+            result.candidates_consistent += 1
+            outcome = execution.outcome()
+            if outcome not in result.allowed:
+                result.allowed.add(outcome)
+                result.witnesses[outcome] = execution
+    return result
+
+
+def allowed_outcomes(
+    threads: Sequence[Sequence[Event]],
+    model: MemoryModel,
+    **kwargs,
+) -> Set[Outcome]:
+    """Convenience wrapper returning only the allowed outcome set."""
+    return enumerate_executions(threads, model, **kwargs).allowed
+
+
+def compare_models(
+    threads: Sequence[Sequence[Event]],
+    weaker: MemoryModel,
+    stronger: MemoryModel,
+    **kwargs,
+) -> Set[Outcome]:
+    """Outcomes the weaker model admits but the stronger forbids.
+
+    Useful for demonstrating relaxations, e.g. the store-buffering
+    outcome PC admits but SC forbids.
+    """
+    weak = allowed_outcomes(threads, weaker, **kwargs)
+    strong = allowed_outcomes(threads, stronger, **kwargs)
+    return weak - strong

@@ -1,0 +1,214 @@
+"""Memory events for the consistency-model formalism.
+
+This module implements the notation of Table 4 of the paper:
+
+=============  ==========================================================
+Notation       Meaning
+=============  ==========================================================
+``L(A)``       Load the latest value from address A
+``S(A, D)``    Store data D to address A
+``S_OS(A,D)``  The OS applies data D to address A (imprecise handling)
+``F``          Fence (memory ordering primitive)
+``PUT(S(A))``  Send a faulting store to the architectural interface
+``GET``        Retrieve one faulting store from the interface
+``DETECT``     Detect an exception on a store
+``RESOLVE``    Resolve the exception and resume execution
+=============  ==========================================================
+
+Every event carries the core that issued it and its position in that
+core's program order.  Executions (see :mod:`repro.memmodel.relations`)
+are built from lists of events plus a global memory order.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class EventKind(enum.Enum):
+    """The kinds of memory-order events used by the formalism."""
+
+    LOAD = "L"
+    STORE = "S"
+    OS_STORE = "S_OS"
+    FENCE = "F"
+    ATOMIC = "A"  # atomic read-modify-write (load + store semantics)
+    DETECT = "DETECT"
+    PUT = "PUT"
+    GET = "GET"
+    RESOLVE = "RESOLVE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Kinds that read from memory.
+READ_KINDS = frozenset({EventKind.LOAD, EventKind.ATOMIC})
+
+#: Kinds that write to memory.
+WRITE_KINDS = frozenset({EventKind.STORE, EventKind.OS_STORE, EventKind.ATOMIC})
+
+#: Kinds that participate in the imprecise-exception protocol.
+PROTOCOL_KINDS = frozenset(
+    {EventKind.DETECT, EventKind.PUT, EventKind.GET, EventKind.RESOLVE}
+)
+
+
+class FenceKind(enum.Enum):
+    """Fence strength; ``FULL`` orders everything across it.
+
+    ``STORE_STORE``/``LOAD_LOAD`` model the one-directional fences used
+    in the paper's message-passing discussion (Figure 1 inserts a fence
+    between the two stores and between the two loads).
+    """
+
+    FULL = "full"
+    STORE_STORE = "ss"
+    LOAD_LOAD = "ll"
+    STORE_LOAD = "sl"
+    LOAD_STORE = "ls"
+
+
+_uid_counter = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single node in a candidate execution.
+
+    Attributes:
+        uid: Globally unique id; identity of the event.
+        core: Index of the hardware thread that issued the event.  OS
+            events (``S_OS``, ``GET``, ``RESOLVE``) carry the core on
+            whose behalf the OS acts.
+        index: Position in the issuing core's program order.
+        kind: The :class:`EventKind`.
+        addr: Address for loads/stores; ``None`` for fences and the
+            pure protocol events (DETECT carries the faulting address).
+        value: Data written (stores) or expected to be read (loads,
+            when used as a litmus postcondition probe).
+        fence: Fence strength for ``FENCE`` events.
+        tag: Free-form label, e.g. the register a load targets.
+        subject_uid: For protocol events, the uid of the store they are
+            about (DETECT/PUT reference the faulting store; GET the PUT
+            they consume).
+    """
+
+    core: int
+    index: int
+    kind: EventKind
+    addr: Optional[int] = None
+    value: Optional[int] = None
+    fence: FenceKind = FenceKind.FULL
+    tag: str = ""
+    subject_uid: Optional[int] = None
+    uid: int = field(default_factory=_next_uid)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in READ_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITE_KINDS
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind is EventKind.FENCE
+
+    @property
+    def is_protocol(self) -> bool:
+        return self.kind in PROTOCOL_KINDS
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.is_read or self.is_write
+
+    def with_value(self, value: int) -> "Event":
+        """Return a copy of this event carrying ``value``.
+
+        Used by the enumerator when binding a load to the write it
+        reads from.  The uid is preserved so relation edges built on
+        the original event stay valid.
+        """
+        return replace(self, value=value)
+
+    def __str__(self) -> str:
+        if self.kind is EventKind.FENCE:
+            body = "F" if self.fence is FenceKind.FULL else f"F.{self.fence.value}"
+        elif self.kind in PROTOCOL_KINDS:
+            inner = f"0x{self.addr:x}" if self.addr is not None else ""
+            body = f"{self.kind.value}({inner})" if inner else self.kind.value
+        else:
+            val = "?" if self.value is None else str(self.value)
+            body = f"{self.kind.value}(0x{self.addr:x},{val})"
+        return f"C{self.core}:{self.index}:{body}"
+
+
+def program(core: int, ops: Iterable[Tuple] ) -> Tuple[Event, ...]:
+    """Build a per-core event sequence from compact op tuples.
+
+    Each op is one of::
+
+        ("L", addr)            load
+        ("S", addr, value)     store
+        ("A", addr, value)     atomic RMW writing ``value``
+        ("F",)                 full fence
+        ("F", FenceKind.X)     directional fence
+
+    Example:
+        >>> evs = program(0, [("S", 0xB, 1), ("F",), ("S", 0xA, 1)])
+        >>> [e.kind.value for e in evs]
+        ['S', 'F', 'S']
+    """
+    events = []
+    for index, op in enumerate(ops):
+        mnemonic = op[0]
+        if mnemonic == "L":
+            events.append(Event(core, index, EventKind.LOAD, addr=op[1]))
+        elif mnemonic == "S":
+            events.append(Event(core, index, EventKind.STORE, addr=op[1], value=op[2]))
+        elif mnemonic == "A":
+            events.append(Event(core, index, EventKind.ATOMIC, addr=op[1], value=op[2]))
+        elif mnemonic == "F":
+            fence = op[1] if len(op) > 1 else FenceKind.FULL
+            events.append(Event(core, index, EventKind.FENCE, fence=fence))
+        else:
+            raise ValueError(f"unknown op mnemonic {mnemonic!r}")
+    return tuple(events)
+
+
+@dataclass(frozen=True)
+class InitialWrite:
+    """The implicit zero-initialising write to an address.
+
+    Axiomatic checkers treat initial values as writes that precede all
+    other writes to the same address in coherence order.
+    """
+
+    addr: int
+    value: int = 0
+
+    def as_event(self) -> Event:
+        return Event(core=-1, index=-1, kind=EventKind.STORE, addr=self.addr,
+                     value=self.value)
+
+
+def initial_writes(addrs: Sequence[int], values: Optional[dict] = None) -> Tuple[Event, ...]:
+    """Materialise initial-value writes for ``addrs``.
+
+    Args:
+        addrs: Addresses appearing in the program.
+        values: Optional overrides; defaults to zero for every address.
+    """
+    values = values or {}
+    return tuple(
+        InitialWrite(addr, values.get(addr, 0)).as_event() for addr in sorted(addrs)
+    )

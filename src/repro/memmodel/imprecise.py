@@ -1,0 +1,273 @@
+"""Formal model of imprecise store exceptions (paper §4).
+
+A *faulting store* never reaches memory directly: its exception is
+DETECTed in the hierarchy, the store is PUT on the architectural
+interface, the OS GETs it, applies it as an OS store (``S_OS``), and
+RESOLVEs the exception.  The protocol chain is totally ordered in the
+global memory order (§4.2):
+
+    DETECT <m PUT(S(A)) <m GET <m S_OS(A) <m RESOLVE
+
+Two drain policies exist for the *other* stores that share the store
+buffer with a faulting store (§4.5-4.6):
+
+* **split stream** — non-faulting stores drain directly to memory;
+  only faulting stores travel through the interface.  The paper shows
+  this admits a PC violation (Figure 2a) unless extra synchronisation
+  is added.
+* **same stream** (the paper's design) — the faulting store and every
+  younger store still in the store buffer are all supplied to the
+  interface in FIFO order, and the OS applies them in that order,
+  yielding ``S_OS(A) <m S_OS(B)`` whenever ``S(A) <p S(B)``.
+
+:func:`transform` rewrites a program containing faulting stores into
+the event set + protocol edges the enumerator can judge, so the
+paper's proofs become executable checks (see
+:mod:`repro.memmodel.proofs`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .events import Event, EventKind
+from .relations import Edge
+
+#: Cores below this id are synthetic OS/protocol actors; they never
+#: contribute program-order edges.
+_OS_CORE_BASE = -100
+
+_os_core_counter = itertools.count()
+
+
+def _fresh_os_core() -> int:
+    return _OS_CORE_BASE - next(_os_core_counter)
+
+
+class DrainPolicy(enum.Enum):
+    """How the store buffer treats stores alongside a faulting store."""
+
+    SPLIT_STREAM = "split"
+    SAME_STREAM = "same"
+
+
+@dataclass
+class ImpreciseTransform:
+    """Result of rewriting a faulting program.
+
+    Attributes:
+        threads: User-visible per-core event sequences with the
+            interface-routed stores removed (they no longer write
+            memory from the core).
+        extra_events: The OS stores and protocol marker events.
+        protocol_order: Global-memory-order edges contributed by the
+            protocol chains and the interface FIFO guarantee.
+        os_stores: Map from original store uid to its ``S_OS`` event.
+        resolves: Per-core RESOLVE event uid (for resume edges).
+    """
+
+    threads: List[List[Event]]
+    extra_events: List[Event] = field(default_factory=list)
+    protocol_order: Set[Edge] = field(default_factory=set)
+    os_stores: Dict[int, Event] = field(default_factory=dict)
+    resolves: Dict[int, int] = field(default_factory=dict)
+
+    def resume_edge(self, core: int, event: Event) -> Edge:
+        """Edge asserting ``event`` re-executes after the handler's
+        RESOLVE (§4.4: RESOLVE <m L(A)/Atomic/F)."""
+        return (self.resolves[core], event.uid)
+
+
+def transform(
+    threads: Sequence[Sequence[Event]],
+    faulting_uids: Iterable[int],
+    policy: DrainPolicy,
+    fifo: bool = True,
+) -> ImpreciseTransform:
+    """Rewrite ``threads`` so faulting stores go through the interface.
+
+    For each core containing faulting stores, the stores selected by
+    ``policy`` are replaced by OS stores:
+
+    * ``SPLIT_STREAM``: exactly the faulting stores; younger
+      non-faulting stores keep draining to memory directly.
+    * ``SAME_STREAM``: the oldest faulting store and *every* younger
+      store on that core (they are co-resident in the store buffer —
+      §5.3 drains all unfinished stores to the FSB).
+
+    Protocol events are materialised per core:
+    ``DETECT <m PUT(s1) <m PUT(s2) … <m GET <m S_OS(s1) <m S_OS(s2) …
+    <m RESOLVE``, with PUT order = program (store-buffer FIFO) order,
+    matching Table 5's core and interface obligations.
+
+    When ``fifo`` is true (PC: the store buffer drains in order), two
+    additional facts are encoded:
+
+    * every store po-before the first faulting store had already
+      completed when the fault was detected, so it precedes DETECT;
+    * under split stream, the drain of a younger non-faulting store
+      leaves the buffer after the PUT of any routed store that is
+      po-older (the paper's ``PUT(S(A)) <m S(B)``).
+
+    For WC runs, pass ``fifo=False`` — the buffer imposes no order.
+
+    Returns the transformed program; callers add
+    ``ImpreciseTransform.resume_edge`` constraints for any instruction
+    the paper requires to re-execute after RESOLVE.
+    """
+    faulting = set(faulting_uids)
+    out = ImpreciseTransform(threads=[])
+
+    for thread in threads:
+        thread = list(thread)
+        fault_positions = [
+            i for i, e in enumerate(thread) if e.uid in faulting
+        ]
+        if not fault_positions:
+            out.threads.append(thread)
+            continue
+        for i in fault_positions:
+            if not thread[i].is_write:
+                raise ValueError(
+                    f"faulting event {thread[i]} is not a store; only "
+                    "store exceptions are imprecise"
+                )
+
+        first_fault = fault_positions[0]
+        core = thread[first_fault].core
+        if policy is DrainPolicy.SAME_STREAM:
+            routed = [
+                e for i, e in enumerate(thread)
+                if e.is_write and (i >= first_fault)
+            ]
+        else:
+            routed = [e for e in thread if e.uid in faulting]
+
+        routed_uids = {e.uid for e in routed}
+        out.threads.append([e for e in thread if e.uid not in routed_uids])
+        chain = _emit_protocol_chain(out, core, routed)
+
+        if fifo:
+            _add_fifo_edges(out, thread, first_fault, routed_uids, chain)
+
+    return out
+
+
+@dataclass
+class _Chain:
+    detect: Event
+    puts: List[Event]
+    get: Event
+    os_stores: List[Event]
+    resolve: Event
+    put_for: Dict[int, Event]  # original store uid -> PUT event
+
+
+def _emit_protocol_chain(
+    out: ImpreciseTransform, core: int, routed: Sequence[Event]
+) -> _Chain:
+    """Append DETECT → PUT* → GET → S_OS* → RESOLVE for one core."""
+    os_core = _fresh_os_core()
+    events: List[Event] = []
+    detect = Event(os_core, 0, EventKind.DETECT, addr=routed[0].addr,
+                   subject_uid=routed[0].uid)
+    events.append(detect)
+
+    puts: List[Event] = []
+    put_for: Dict[int, Event] = {}
+    for i, store in enumerate(routed):
+        put = Event(os_core, 1 + i, EventKind.PUT, addr=store.addr,
+                    value=store.value, subject_uid=store.uid)
+        puts.append(put)
+        put_for[store.uid] = put
+        events.append(put)
+
+    get = Event(os_core, 1 + len(routed), EventKind.GET)
+    events.append(get)
+
+    os_stores: List[Event] = []
+    for i, store in enumerate(routed):
+        s_os = Event(os_core, 2 + len(routed) + i, EventKind.OS_STORE,
+                     addr=store.addr, value=store.value,
+                     subject_uid=store.uid)
+        os_stores.append(s_os)
+        out.os_stores[store.uid] = s_os
+        events.append(s_os)
+
+    resolve = Event(os_core, 2 + 2 * len(routed), EventKind.RESOLVE)
+    events.append(resolve)
+    out.resolves[core] = resolve.uid
+
+    out.extra_events.extend(events)
+    for a, b in zip(events, events[1:]):
+        out.protocol_order.add((a.uid, b.uid))
+    return _Chain(detect, puts, get, os_stores, resolve, put_for)
+
+
+def _add_fifo_edges(
+    out: ImpreciseTransform,
+    thread: Sequence[Event],
+    first_fault: int,
+    routed_uids: Set[int],
+    chain: _Chain,
+) -> None:
+    """Encode in-order (PC) store-buffer drain facts.
+
+    Older completed stores precede DETECT; within the post-fault drain
+    sequence, each store's buffer-exit event (its PUT when routed, the
+    store itself when it drains to memory under split stream) precedes
+    the next store's exit event.
+    """
+    for e in thread[:first_fault]:
+        if e.is_write:
+            out.protocol_order.add((e.uid, chain.detect.uid))
+
+    exit_events: List[int] = []
+    for e in thread[first_fault:]:
+        if not e.is_write:
+            continue
+        if e.uid in routed_uids:
+            exit_events.append(chain.put_for[e.uid].uid)
+        else:
+            exit_events.append(e.uid)
+    for a, b in zip(exit_events, exit_events[1:]):
+        out.protocol_order.add((a, b))
+
+
+def protocol_chain_is_total(transform_result: ImpreciseTransform) -> bool:
+    """Check the §4.2 rule: each chain's edges form a total order.
+
+    The chain edges were emitted pairwise-adjacent, so totality holds
+    by construction; this validates it independently (used by tests
+    and the Table 5 contract checker).
+    """
+    by_core: Dict[int, List[Event]] = {}
+    for e in transform_result.extra_events:
+        by_core.setdefault(e.core, []).append(e)
+    edges = transform_result.protocol_order
+    for events in by_core.values():
+        events.sort(key=lambda e: e.index)
+        for a, b in zip(events, events[1:]):
+            if (a.uid, b.uid) not in edges:
+                return False
+    return True
+
+
+def interface_fifo_edges(puts: Sequence[Event], gets: Sequence[Event]) -> Set[Edge]:
+    """Table 5 interface rule: supply stores to the OS in the order
+    received from the core.
+
+    Produces edges PUT_i <m PUT_{i+1} and GET_i <m GET_{i+1} plus
+    PUT_i <m GET_i (a GET can only return an already-PUT entry).
+    """
+    edges: Set[Edge] = set()
+    for a, b in zip(puts, puts[1:]):
+        edges.add((a.uid, b.uid))
+    for a, b in zip(gets, gets[1:]):
+        edges.add((a.uid, b.uid))
+    for put, get in zip(puts, gets):
+        edges.add((put.uid, get.uid))
+    return edges

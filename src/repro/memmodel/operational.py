@@ -1,0 +1,240 @@
+"""Operational reference models, for cross-validating the axiomatic
+enumerator.
+
+The axiomatic definitions in :mod:`repro.memmodel.axioms` are the
+arbiters everywhere else in the library; this module provides an
+*independent* second opinion: small-step operational machines whose
+reachable final states are enumerated exhaustively (DFS over all
+nondeterministic choices).
+
+* :class:`OperationalSC` — one interleaving point per step; memory is
+  updated immediately.
+* :class:`OperationalTSO` — per-thread FIFO store buffers with
+  forwarding; the nondeterministic choices are "execute next
+  instruction of thread i" and "drain the oldest buffered store of
+  thread i".  This is the textbook TSO machine (Sewell et al.).
+
+For programs of litmus size the exhaustive outcome sets must satisfy
+
+    outcomes(OperationalSC)  == allowed(SC axioms)
+    outcomes(OperationalTSO) == allowed(PC axioms)
+
+which `tests/test_memmodel_crossvalidation.py` verifies over both
+hand-written and randomly generated programs.  Fences are supported
+(full fences drain the buffer); atomics execute with an empty buffer,
+read-modify-write in one step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .events import Event, EventKind, FenceKind
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+
+class _Machine:
+    """Shared DFS plumbing; subclasses define the step rules."""
+
+    def __init__(self, threads: Sequence[Sequence[Event]],
+                 init: Optional[Dict[int, int]] = None) -> None:
+        self.threads = [list(t) for t in threads]
+        self.init = dict(init or {})
+
+    def outcomes(self) -> Set[Outcome]:
+        results: Set[Outcome] = set()
+        seen: Set = set()
+        self._explore(self._initial_state(), results, seen)
+        return results
+
+    # -- to be provided by subclasses ---------------------------------
+    def _initial_state(self):
+        raise NotImplementedError
+
+    def _successors(self, state):
+        raise NotImplementedError
+
+    def _is_final(self, state) -> bool:
+        raise NotImplementedError
+
+    def _outcome(self, state) -> Outcome:
+        raise NotImplementedError
+
+    # -- DFS ------------------------------------------------------------
+    def _explore(self, state, results: Set[Outcome], seen: Set) -> None:
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if self._is_final(current):
+                results.add(self._outcome(current))
+                continue
+            successors = self._successors(current)
+            if not successors:
+                # Stuck non-final state would indicate a machine bug.
+                raise RuntimeError("operational machine deadlocked")
+            stack.extend(successors)
+
+
+def _freeze_mem(mem: Dict[int, int]) -> FrozenSet[Tuple[int, int]]:
+    return frozenset(mem.items())
+
+
+class OperationalSC(_Machine):
+    """Interleaving semantics: one total order of instructions."""
+
+    def _initial_state(self):
+        pcs = tuple(0 for _ in self.threads)
+        regs: Tuple[Tuple[Tuple[str, int], ...], ...] = tuple(
+            () for _ in self.threads)
+        return (pcs, regs, _freeze_mem(self.init))
+
+    def _is_final(self, state) -> bool:
+        pcs, _, _ = state
+        return all(pc >= len(t) for pc, t in zip(pcs, self.threads))
+
+    def _outcome(self, state) -> Outcome:
+        _, regs, _ = state
+        flat = [pair for thread_regs in regs for pair in thread_regs]
+        return tuple(sorted(flat))
+
+    def _successors(self, state):
+        pcs, regs, mem_f = state
+        mem = dict(mem_f)
+        out = []
+        for tid, thread in enumerate(self.threads):
+            pc = pcs[tid]
+            if pc >= len(thread):
+                continue
+            ev = thread[pc]
+            new_pcs = tuple(p + 1 if i == tid else p
+                            for i, p in enumerate(pcs))
+            if ev.kind is EventKind.STORE:
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                out.append((new_pcs, regs, _freeze_mem(new_mem)))
+            elif ev.kind is EventKind.LOAD:
+                value = mem.get(ev.addr, 0)
+                tag = ev.tag or f"r{tid}.{ev.index}"
+                new_regs = tuple(
+                    r + ((tag, value),) if i == tid else r
+                    for i, r in enumerate(regs))
+                out.append((new_pcs, new_regs, mem_f))
+            elif ev.kind is EventKind.ATOMIC:
+                old = mem.get(ev.addr, 0)
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                tag = ev.tag or f"r{tid}.{ev.index}"
+                new_regs = tuple(
+                    r + ((tag, old),) if i == tid else r
+                    for i, r in enumerate(regs))
+                out.append((new_pcs, new_regs, _freeze_mem(new_mem)))
+            else:  # fences are no-ops under SC
+                out.append((new_pcs, regs, mem_f))
+        return out
+
+
+class OperationalTSO(_Machine):
+    """The classic TSO machine: FIFO store buffers + forwarding.
+
+    State: per-thread (pc, registers, buffer) plus shared memory.
+    Nondeterminism: execute the next instruction of any thread, or
+    drain the oldest buffer entry of any thread.
+    """
+
+    def _initial_state(self):
+        pcs = tuple(0 for _ in self.threads)
+        regs = tuple(() for _ in self.threads)
+        buffers: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            () for _ in self.threads)
+        return (pcs, regs, buffers, _freeze_mem(self.init))
+
+    def _is_final(self, state) -> bool:
+        pcs, _, buffers, _ = state
+        return (all(pc >= len(t) for pc, t in zip(pcs, self.threads))
+                and all(not b for b in buffers))
+
+    def _outcome(self, state) -> Outcome:
+        _, regs, _, _ = state
+        flat = [pair for thread_regs in regs for pair in thread_regs]
+        return tuple(sorted(flat))
+
+    @staticmethod
+    def _forward(buffer, addr) -> Optional[int]:
+        for (a, v) in reversed(buffer):
+            if a == addr:
+                return v
+        return None
+
+    def _successors(self, state):
+        pcs, regs, buffers, mem_f = state
+        mem = dict(mem_f)
+        out = []
+
+        # Drain moves: commit the oldest store of any thread.
+        for tid, buffer in enumerate(buffers):
+            if not buffer:
+                continue
+            (addr, value), rest = buffer[0], buffer[1:]
+            new_mem = dict(mem)
+            new_mem[addr] = value
+            new_buffers = tuple(rest if i == tid else b
+                                for i, b in enumerate(buffers))
+            out.append((pcs, regs, new_buffers, _freeze_mem(new_mem)))
+
+        # Instruction moves.
+        for tid, thread in enumerate(self.threads):
+            pc = pcs[tid]
+            if pc >= len(thread):
+                continue
+            ev = thread[pc]
+            buffer = buffers[tid]
+            new_pcs = tuple(p + 1 if i == tid else p
+                            for i, p in enumerate(pcs))
+            if ev.kind is EventKind.STORE:
+                new_buffer = buffer + ((ev.addr, ev.value),)
+                new_buffers = tuple(new_buffer if i == tid else b
+                                    for i, b in enumerate(buffers))
+                out.append((new_pcs, regs, new_buffers, mem_f))
+            elif ev.kind is EventKind.LOAD:
+                forwarded = self._forward(buffer, ev.addr)
+                value = forwarded if forwarded is not None \
+                    else mem.get(ev.addr, 0)
+                tag = ev.tag or f"r{tid}.{ev.index}"
+                new_regs = tuple(
+                    r + ((tag, value),) if i == tid else r
+                    for i, r in enumerate(regs))
+                out.append((new_pcs, new_regs, buffers, mem_f))
+            elif ev.kind is EventKind.ATOMIC:
+                if buffer:
+                    continue  # atomics require an empty buffer
+                old = mem.get(ev.addr, 0)
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                tag = ev.tag or f"r{tid}.{ev.index}"
+                new_regs = tuple(
+                    r + ((tag, old),) if i == tid else r
+                    for i, r in enumerate(regs))
+                out.append((new_pcs, new_regs, buffers,
+                            _freeze_mem(new_mem)))
+            elif ev.kind is EventKind.FENCE:
+                if ev.fence in (FenceKind.FULL, FenceKind.STORE_LOAD) \
+                        and buffer:
+                    continue  # wait for the buffer to drain
+                out.append((new_pcs, regs, buffers, mem_f))
+            else:
+                out.append((new_pcs, regs, buffers, mem_f))
+        return out
+
+
+def sc_outcomes(threads: Sequence[Sequence[Event]],
+                init: Optional[Dict[int, int]] = None) -> Set[Outcome]:
+    return OperationalSC(threads, init).outcomes()
+
+
+def tso_outcomes(threads: Sequence[Sequence[Event]],
+                 init: Optional[Dict[int, int]] = None) -> Set[Outcome]:
+    return OperationalTSO(threads, init).outcomes()

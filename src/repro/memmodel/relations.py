@@ -1,0 +1,331 @@
+"""Relational backbone for axiomatic consistency checking.
+
+A *candidate execution* pairs the events of a program with a choice of
+communication relations:
+
+* ``po``  — program order, per core (from event ``index``).
+* ``rf``  — reads-from: one writer per read, same address, same value.
+* ``co``  — coherence order: a total order on the writes to each
+  address, starting at the initial write.
+* ``fr``  — from-read, derived: a read r is fr-before every write that
+  is co-after the write r reads from.
+
+Models (:mod:`repro.memmodel.axioms`) judge candidate executions by
+requiring acyclicity of unions of these relations with the model's
+preserved program order (ppo).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .events import Event, EventKind, FenceKind
+
+Edge = Tuple[int, int]  # (uid, uid)
+
+
+@dataclass
+class Execution:
+    """A candidate execution over a fixed event set.
+
+    Attributes:
+        events: All events, including initial writes (core == -1) and
+            any OS/protocol events.
+        rf: Mapping from read uid to the uid of the write it reads.
+        co: Per-address write order, each a list of uids starting with
+            the initial write for that address.
+        extra_ppo: Additional preserved-program-order edges supplied by
+            the program itself (address/data/control dependencies,
+            atomicity pairs); these are honoured by every model.
+        protocol_order: Ordering edges contributed by the imprecise
+            store exception protocol (DETECT <m PUT <m GET <m S_OS <m
+            RESOLVE chains); treated as global memory-order edges.
+    """
+
+    events: Tuple[Event, ...]
+    rf: Dict[int, int] = field(default_factory=dict)
+    co: Dict[int, List[int]] = field(default_factory=dict)
+    extra_ppo: FrozenSet[Edge] = frozenset()
+    protocol_order: FrozenSet[Edge] = frozenset()
+
+    def __post_init__(self) -> None:
+        self._by_uid = {e.uid: e for e in self.events}
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def event(self, uid: int) -> Event:
+        return self._by_uid[uid]
+
+    @property
+    def reads(self) -> List[Event]:
+        return [e for e in self.events if e.is_read]
+
+    @property
+    def writes(self) -> List[Event]:
+        return [e for e in self.events if e.is_write]
+
+    @property
+    def fences(self) -> List[Event]:
+        return [e for e in self.events if e.is_fence]
+
+    def core_events(self, core: int) -> List[Event]:
+        evs = [e for e in self.events if e.core == core]
+        evs.sort(key=lambda e: e.index)
+        return evs
+
+    @property
+    def cores(self) -> List[int]:
+        return sorted({e.core for e in self.events if e.core >= 0})
+
+    # ------------------------------------------------------------------
+    # Base relations
+    # ------------------------------------------------------------------
+    def po_edges(self) -> Set[Edge]:
+        """Immediate-successor closure of program order (transitive
+        closure is implied by path reachability in the union graphs, so
+        adjacent pairs suffice for acyclicity checks; we still emit the
+        full relation because ppo filters pairs individually)."""
+        edges: Set[Edge] = set()
+        for core in self.cores:
+            evs = self.core_events(core)
+            for i, a in enumerate(evs):
+                for b in evs[i + 1:]:
+                    edges.add((a.uid, b.uid))
+        return edges
+
+    def po_loc_edges(self) -> Set[Edge]:
+        """Program order restricted to same-address memory accesses."""
+        return {
+            (a, b)
+            for (a, b) in self.po_edges()
+            if self._same_loc(a, b)
+        }
+
+    def _same_loc(self, a_uid: int, b_uid: int) -> bool:
+        a, b = self._by_uid[a_uid], self._by_uid[b_uid]
+        return (
+            a.is_memory_access
+            and b.is_memory_access
+            and a.addr is not None
+            and a.addr == b.addr
+        )
+
+    def rf_edges(self) -> Set[Edge]:
+        return {(w, r) for r, w in self.rf.items()}
+
+    def rfe_edges(self) -> Set[Edge]:
+        """External reads-from: writer and reader on different cores.
+
+        Initial writes (core -1) count as external to every reader, and
+        OS stores applied on behalf of another core count as external
+        when the cores differ.
+        """
+        out = set()
+        for r, w in self.rf.items():
+            if self._by_uid[w].core != self._by_uid[r].core:
+                out.add((w, r))
+        return out
+
+    def rfi_edges(self) -> Set[Edge]:
+        """Internal reads-from (store forwarding on one core)."""
+        return self.rf_edges() - self.rfe_edges()
+
+    def co_edges(self) -> Set[Edge]:
+        edges: Set[Edge] = set()
+        for order in self.co.values():
+            for i, w1 in enumerate(order):
+                for w2 in order[i + 1:]:
+                    edges.add((w1, w2))
+        return edges
+
+    def fr_edges(self) -> Set[Edge]:
+        """from-read: r --fr--> w  iff  rf(r) --co--> w.
+
+        An atomic RMW is both a read and a write; its read component
+        never from-reads its own write component (no self edge).
+        """
+        co_edges = self.co_edges()
+        edges: Set[Edge] = set()
+        for r, w_src in self.rf.items():
+            for (w1, w2) in co_edges:
+                if w1 == w_src and w2 != r:
+                    edges.add((r, w2))
+        return edges
+
+    def atomicity_ok(self) -> bool:
+        """RMW atomicity: an atomic that reads from w must be
+        co-immediately after w — no intervening write to the address.
+        """
+        for r, w in self.rf.items():
+            ev = self._by_uid[r]
+            if ev.kind is not EventKind.ATOMIC:
+                continue
+            order = self.co.get(ev.addr, [])
+            if w not in order or r not in order:
+                return False
+            if order.index(r) != order.index(w) + 1:
+                return False
+        return True
+
+    def com_edges(self) -> Set[Edge]:
+        """Communication = rf ∪ co ∪ fr."""
+        return self.rf_edges() | self.co_edges() | self.fr_edges()
+
+    # ------------------------------------------------------------------
+    # Fence-induced order
+    # ------------------------------------------------------------------
+    def fence_edges(self) -> Set[Edge]:
+        """Order imposed by fences under their directional semantics.
+
+        A full fence orders every earlier access before every later
+        access on the same core.  Directional fences restrict which
+        side(s) they order (e.g. a store-store fence orders earlier
+        stores before later stores only).
+        """
+        edges: Set[Edge] = set()
+        for core in self.cores:
+            evs = self.core_events(core)
+            for fi, fence in enumerate(evs):
+                if not fence.is_fence:
+                    continue
+                before = evs[:fi]
+                after = evs[fi + 1:]
+                for a in before:
+                    if not a.is_memory_access:
+                        continue
+                    if not _fence_orders_before(fence.fence, a):
+                        continue
+                    for b in after:
+                        if not b.is_memory_access:
+                            continue
+                        if _fence_orders_after(fence.fence, b):
+                            edges.add((a.uid, b.uid))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Final state
+    # ------------------------------------------------------------------
+    def final_memory(self) -> Dict[int, int]:
+        """Value left at each address: last write in coherence order."""
+        out = {}
+        for addr, order in self.co.items():
+            last = self._by_uid[order[-1]]
+            out[addr] = last.value if last.value is not None else 0
+        return out
+
+    def load_values(self) -> Dict[int, int]:
+        """Value observed by each read uid, per the rf choice."""
+        out = {}
+        for r, w in self.rf.items():
+            wv = self._by_uid[w].value
+            out[r] = wv if wv is not None else 0
+        return out
+
+    def outcome(self) -> Tuple[Tuple[str, int], ...]:
+        """Canonical, hashable outcome: sorted (tag-or-uid, value) for
+        every tagged read, used to compare against litmus conditions."""
+        vals = self.load_values()
+        items = []
+        for e in self.events:
+            if e.is_read and e.uid in vals:
+                key = e.tag or f"r{e.core}.{e.index}"
+                items.append((key, vals[e.uid]))
+        return tuple(sorted(items))
+
+
+def _fence_orders_before(kind: FenceKind, access: Event) -> bool:
+    if kind is FenceKind.FULL:
+        return True
+    if kind in (FenceKind.STORE_STORE, FenceKind.STORE_LOAD):
+        return access.is_write
+    return access.is_read
+
+
+def _fence_orders_after(kind: FenceKind, access: Event) -> bool:
+    if kind is FenceKind.FULL:
+        return True
+    if kind in (FenceKind.STORE_STORE, FenceKind.LOAD_STORE):
+        return access.is_write
+    return access.is_read
+
+
+def is_acyclic(edges: Iterable[Edge]) -> bool:
+    """True iff the directed graph over the given edges has no cycle."""
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def transitive_closure(edges: Iterable[Edge]) -> Set[Edge]:
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    closure = nx.transitive_closure(graph)
+    return set(closure.edges())
+
+
+def candidate_rf_choices(
+    events: Sequence[Event],
+) -> List[Dict[int, int]]:
+    """Enumerate every reads-from assignment for ``events``.
+
+    Each read may read from any write to the same address (including
+    the initial write).  The cross-product over reads yields all
+    candidates; model axioms prune the inconsistent ones.
+    """
+    writes_by_addr: Dict[int, List[Event]] = {}
+    for e in events:
+        if e.is_write and e.addr is not None:
+            writes_by_addr.setdefault(e.addr, []).append(e)
+
+    reads = [e for e in events if e.is_read and e.addr is not None]
+    per_read_options: List[List[Tuple[int, int]]] = []
+    for r in reads:
+        options = [(r.uid, w.uid) for w in writes_by_addr.get(r.addr, [])]
+        if not options:
+            # A read of a never-written address still needs a source;
+            # the caller must include initial writes to avoid this.
+            raise ValueError(f"read {r} has no candidate writer")
+        per_read_options.append(options)
+
+    choices = []
+    for combo in itertools.product(*per_read_options):
+        choices.append(dict(combo))
+    return choices
+
+
+def candidate_co_choices(
+    events: Sequence[Event],
+) -> List[Dict[int, List[int]]]:
+    """Enumerate every coherence order.
+
+    For each address, permutations of the non-initial writes are
+    prefixed by the initial write.  The cross-product over addresses
+    yields all candidate co maps.
+    """
+    init_by_addr: Dict[int, int] = {}
+    writes_by_addr: Dict[int, List[int]] = {}
+    for e in events:
+        if not (e.is_write and e.addr is not None):
+            continue
+        if e.core == -1:
+            init_by_addr[e.addr] = e.uid
+        else:
+            writes_by_addr.setdefault(e.addr, []).append(e.uid)
+
+    addrs = sorted(set(init_by_addr) | set(writes_by_addr))
+    per_addr_orders: List[List[List[int]]] = []
+    for addr in addrs:
+        rest = writes_by_addr.get(addr, [])
+        prefix = [init_by_addr[addr]] if addr in init_by_addr else []
+        orders = [prefix + list(p) for p in itertools.permutations(rest)]
+        per_addr_orders.append(orders or [[]])
+
+    out = []
+    for combo in itertools.product(*per_addr_orders):
+        out.append({addr: order for addr, order in zip(addrs, combo)})
+    return out

@@ -1,0 +1,109 @@
+"""Human-readable rendering of candidate executions.
+
+When a litmus test fails (or a model decision surprises you), the
+*witness execution* explains it: which write each read observed, the
+coherence order per location, and — for forbidden outcomes — the cycle
+that rules the candidate out.  This module renders those as text, the
+way ``herd7 -show`` renders event graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .axioms import MemoryModel
+from .relations import Edge, Execution
+
+
+def _label(execution: Execution, uid: int) -> str:
+    event = execution.event(uid)
+    if event.core == -1:
+        return f"init[0x{event.addr:x}]={event.value}"
+    return str(event)
+
+
+def render_execution(execution: Execution,
+                     model: Optional[MemoryModel] = None) -> str:
+    """Render one candidate execution's relations (and, with a model,
+    its verdict plus any global-order cycle)."""
+    lines: List[str] = ["events:"]
+    for event in execution.events:
+        if event.core >= 0 or event.core <= -100:
+            lines.append(f"  {event}")
+
+    lines.append("reads-from:")
+    for read_uid, write_uid in sorted(execution.rf.items()):
+        lines.append(f"  {_label(execution, write_uid)} -rf-> "
+                     f"{_label(execution, read_uid)}")
+
+    lines.append("coherence:")
+    for addr in sorted(execution.co):
+        chain = " -> ".join(_label(execution, w)
+                            for w in execution.co[addr])
+        lines.append(f"  0x{addr:x}: {chain}")
+
+    fr = execution.fr_edges()
+    if fr:
+        lines.append("from-read:")
+        for (a, b) in sorted(fr):
+            lines.append(f"  {_label(execution, a)} -fr-> "
+                         f"{_label(execution, b)}")
+
+    if model is not None:
+        judgement = model.judge(execution)
+        lines.append(f"verdict under {model.name}: "
+                     f"{'consistent' if judgement.consistent else 'FORBIDDEN'}")
+        if not judgement.consistent:
+            cycle = find_cycle(execution, model)
+            if cycle:
+                lines.append("cycle: " + " -> ".join(
+                    _label(execution, uid) for uid in cycle))
+    return "\n".join(lines)
+
+
+def find_cycle(execution: Execution,
+               model: MemoryModel) -> Optional[List[int]]:
+    """One cycle in the model's global-order graph, if any."""
+    graph = nx.DiGraph()
+    graph.add_edges_from(model.global_order_edges(execution))
+    try:
+        edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    nodes = [a for (a, _b) in edges]
+    nodes.append(edges[-1][1])
+    return nodes
+
+
+def explain_forbidden(threads, model: MemoryModel,
+                      outcome: Sequence[Tuple[str, int]],
+                      extra_ppo: Sequence[Edge] = ()) -> str:
+    """Why does ``model`` forbid ``outcome`` for this program?
+
+    Searches the candidate space for executions matching the outcome;
+    renders the first one with its forbidding cycle (every matching
+    candidate is inconsistent when the outcome is truly forbidden).
+    Returns a short message when the outcome is actually allowed or
+    unconstructible.
+    """
+    from .enumerator import build_events
+    from .relations import candidate_co_choices, candidate_rf_choices
+
+    target = tuple(sorted(outcome))
+    events = build_events(threads)
+    for rf in candidate_rf_choices(events):
+        for co in candidate_co_choices(events):
+            execution = Execution(events=events, rf=dict(rf),
+                                  co={a: list(order)
+                                      for a, order in co.items()},
+                                  extra_ppo=frozenset(extra_ppo))
+            if execution.outcome() != target:
+                continue
+            if model.allows(execution):
+                return (f"outcome {dict(target)} is ALLOWED under "
+                        f"{model.name}:\n"
+                        + render_execution(execution, model))
+            return render_execution(execution, model)
+    return f"no candidate execution produces outcome {dict(target)}"

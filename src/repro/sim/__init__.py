@@ -1,0 +1,47 @@
+"""Simulation substrate.
+
+Two execution vehicles, mirroring the paper's methodology:
+
+* :mod:`repro.sim.multicore` — the functional-operational engine (the
+  FPGA-prototype analogue): exact shared-memory visibility, seeded
+  random interleaving, real FSB/FSBC/handler objects; used by the
+  litmus harness.
+* :mod:`repro.sim.timing` — the trace-driven timing engine (the QFlex
+  analogue): OoO-interval core model over the MESI/mesh hierarchy;
+  used by the performance experiments (Table 3, Figures 5-6).
+
+Shared infrastructure: :mod:`~repro.sim.config` (Table 2),
+:mod:`~repro.sim.isa` / :mod:`~repro.sim.program` (litmus-scale
+programs), :mod:`~repro.sim.trace` (timing-scale traces), the cache /
+NoC / memory / VM models, and the EInject device.
+"""
+
+from .config import (
+    ConsistencyModel,
+    CoreConfig,
+    SystemConfig,
+    small_config,
+    table2_config,
+)
+from .devices.einject import EInject, PAGE_SIZE
+from .engine import Engine, SimulationError
+from .multicore import (
+    CoreStatus,
+    DeadlockError,
+    MulticoreSystem,
+    RunResult,
+)
+from .program import Program, ThreadProgram, make_program
+from .timing import TimingResult, TimingSystem, run_trace
+from .trace import InstructionMix, TraceOp, measure_mix
+
+__all__ = [
+    "ConsistencyModel", "CoreConfig", "SystemConfig", "small_config",
+    "table2_config",
+    "EInject", "PAGE_SIZE",
+    "Engine", "SimulationError",
+    "CoreStatus", "DeadlockError", "MulticoreSystem", "RunResult",
+    "Program", "ThreadProgram", "make_program",
+    "TimingResult", "TimingSystem", "run_trace",
+    "InstructionMix", "TraceOp", "measure_mix",
+]

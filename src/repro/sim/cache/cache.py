@@ -1,0 +1,127 @@
+"""Set-associative cache arrays (tag store with LRU replacement).
+
+The timing engine needs hit/miss decisions and evictions; data values
+live in the flat functional memory, so the arrays track tags and
+per-block coherence/metadata only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..config import CacheConfig
+
+
+@dataclass
+class CacheBlock:
+    """Metadata for one resident block."""
+
+    tag: int
+    state: str = "V"          # coherence state (MESI letters or 'V')
+    dirty: bool = False
+    #: Per-word speculatively-written / speculatively-read bits (ASO).
+    sw: bool = False
+    sr: bool = False
+
+
+class SetAssociativeCache:
+    """An LRU set-associative tag array.
+
+    Addresses are byte addresses; the array works on block addresses
+    internally.  ``lookup`` returns the block on hit (refreshing LRU);
+    ``insert`` allocates, returning any evicted block's address and
+    metadata so the caller can write back / update the directory.
+    """
+
+    def __init__(self, config: CacheConfig, level: str = "L1") -> None:
+        config.validate()
+        self.config = config
+        self.level = level
+        self._sets: List[Dict[int, CacheBlock]] = [
+            {} for _ in range(config.sets)
+        ]
+        self._lru: List[List[int]] = [[] for _ in range(config.sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def block_addr(self, addr: int) -> int:
+        return addr // self.config.block_bytes
+
+    def _index_tag(self, block_addr: int) -> Tuple[int, int]:
+        index = block_addr % self.config.sets
+        tag = block_addr // self.config.sets
+        return index, tag
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, update_lru: bool = True) -> Optional[CacheBlock]:
+        block_addr = self.block_addr(addr)
+        index, tag = self._index_tag(block_addr)
+        block = self._sets[index].get(tag)
+        if block is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if update_lru:
+            lru = self._lru[index]
+            lru.remove(tag)
+            lru.append(tag)
+        return block
+
+    def peek(self, addr: int) -> Optional[CacheBlock]:
+        """Lookup without touching LRU or counters."""
+        block_addr = self.block_addr(addr)
+        index, tag = self._index_tag(block_addr)
+        return self._sets[index].get(tag)
+
+    def insert(self, addr: int, state: str = "V",
+               dirty: bool = False) -> Optional[Tuple[int, CacheBlock]]:
+        """Allocate a block; returns (evicted_block_addr, meta) or None."""
+        block_addr = self.block_addr(addr)
+        index, tag = self._index_tag(block_addr)
+        cset = self._sets[index]
+        lru = self._lru[index]
+        victim: Optional[Tuple[int, CacheBlock]] = None
+        if tag in cset:
+            block = cset[tag]
+            block.state = state
+            block.dirty = block.dirty or dirty
+            lru.remove(tag)
+            lru.append(tag)
+            return None
+        if len(cset) >= self.config.ways:
+            victim_tag = lru.pop(0)
+            victim_block = cset.pop(victim_tag)
+            victim_addr = (victim_tag * self.config.sets + index)
+            victim = (victim_addr, victim_block)
+            self.evictions += 1
+        cset[tag] = CacheBlock(tag=tag, state=state, dirty=dirty)
+        lru.append(tag)
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheBlock]:
+        block_addr = self.block_addr(addr)
+        index, tag = self._index_tag(block_addr)
+        block = self._sets[index].pop(tag, None)
+        if block is not None:
+            self._lru[index].remove(tag)
+        return block
+
+    def resident_blocks(self) -> Iterator[Tuple[int, CacheBlock]]:
+        for index, cset in enumerate(self._sets):
+            for tag, block in cset.items():
+                yield tag * self.config.sets + index, block
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0

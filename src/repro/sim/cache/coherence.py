@@ -1,0 +1,221 @@
+"""Directory-based MESI coherence over the mesh (Table 2).
+
+The hierarchy is latency-oriented: per-core L1Ds back a distributed,
+address-interleaved L2 whose slices each hold a directory bank.  A
+request's latency is composed from cache lookups, mesh traversals to
+the home slice, forwarding/invalidation traffic, and (on LLC miss)
+the memory controller — where EInject may deny the transaction.
+
+Stores are organically slower than loads here: a write to a shared
+block must invalidate every sharer (paying the farthest sharer's
+round trip), which is the effect Table 3's store-to-load skew study
+amplifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import SystemConfig
+from ..mem.memory import MemoryController
+from ..noc.mesh import Mesh
+from .cache import SetAssociativeCache
+
+
+@dataclass
+class DirectoryEntry:
+    """MESI directory state for one block."""
+
+    state: str = "I"                 # I, S, or M (E folded into M)
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+
+@dataclass
+class AccessResult:
+    """Latency and events for one core memory access."""
+
+    latency: int
+    hit_level: str                   # "L1", "L2", "FWD", "MEM"
+    denied: bool = False
+    error_code: int = 0
+    invalidations: int = 0
+
+
+@dataclass
+class HierarchyStats:
+    l1_hits: int = 0
+    l2_hits: int = 0
+    forwards: int = 0
+    memory_accesses: int = 0
+    invalidation_messages: int = 0
+    upgrades: int = 0
+    denials: int = 0
+
+    def total_accesses(self) -> int:
+        return (self.l1_hits + self.l2_hits + self.forwards
+                + self.memory_accesses)
+
+
+class CoherentHierarchy:
+    """Per-core L1Ds + distributed L2 + directory + memory."""
+
+    def __init__(self, config: SystemConfig, memory: MemoryController) -> None:
+        self.config = config
+        self.memory = memory
+        self.mesh = Mesh(config.noc)
+        self.l1d = [SetAssociativeCache(config.l1d, "L1D")
+                    for _ in range(config.cores)]
+        self.l2 = [SetAssociativeCache(config.l2, "L2")
+                   for _ in range(config.noc.tiles)]
+        self.directory: Dict[int, DirectoryEntry] = {}
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------
+    def _dir_entry(self, block_addr: int) -> DirectoryEntry:
+        entry = self.directory.get(block_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self.directory[block_addr] = entry
+        return entry
+
+    def _home(self, block_addr: int) -> int:
+        return self.mesh.home_tile(block_addr)
+
+    # ------------------------------------------------------------------
+    def access(self, core: int, addr: int, is_write: bool) -> AccessResult:
+        """Perform one coherent access from ``core``; returns latency
+        and whether the transaction was denied by EInject."""
+        l1 = self.l1d[core]
+        block = l1.lookup(addr)
+        block_addr = l1.block_addr(addr)
+        l1_latency = self.config.l1d.latency
+
+        if block is not None:
+            if not is_write or block.state == "M":
+                self.stats.l1_hits += 1
+                if is_write:
+                    block.dirty = True
+                return AccessResult(latency=l1_latency, hit_level="L1")
+            # Write to a Shared L1 block: upgrade through the home.
+            return self._upgrade(core, addr, block_addr, l1_latency)
+
+        return self._miss(core, addr, block_addr, is_write, l1_latency)
+
+    # ------------------------------------------------------------------
+    def _upgrade(self, core: int, addr: int, block_addr: int,
+                 base_latency: int) -> AccessResult:
+        home = self._home(block_addr)
+        entry = self._dir_entry(block_addr)
+        latency = base_latency + self.mesh.round_trip(core, home, 16)
+        invalidations = 0
+        worst = 0
+        for sharer in sorted(entry.sharers - {core}):
+            invalidations += 1
+            worst = max(worst, self.mesh.round_trip(home, sharer, 16))
+            victim = self.l1d[sharer].invalidate(addr)
+            self.stats.invalidation_messages += 1
+        latency += worst
+        entry.state = "M"
+        entry.sharers = {core}
+        entry.owner = core
+        mine = self.l1d[core].peek(addr)
+        if mine is not None:
+            mine.state = "M"
+            mine.dirty = True
+        self.stats.upgrades += 1
+        return AccessResult(latency=latency, hit_level="L2",
+                            invalidations=invalidations)
+
+    # ------------------------------------------------------------------
+    def _miss(self, core: int, addr: int, block_addr: int, is_write: bool,
+              base_latency: int) -> AccessResult:
+        home = self._home(block_addr)
+        entry = self._dir_entry(block_addr)
+        latency = base_latency + self.mesh.round_trip(
+            core, home, 64 if not is_write else 16)
+        invalidations = 0
+
+        if entry.state == "M" and entry.owner is not None and entry.owner != core:
+            # Dirty elsewhere: forward through the owner (3-hop miss).
+            latency += self.mesh.round_trip(home, entry.owner, 64)
+            self.l1d[entry.owner].invalidate(addr)
+            if not is_write:
+                entry.state = "S"
+                entry.sharers = {entry.owner, core}
+                entry.owner = None
+            else:
+                entry.sharers = {core}
+                entry.owner = core
+                self.stats.invalidation_messages += 1
+                invalidations += 1
+            self._fill(core, addr, is_write)
+            self.stats.forwards += 1
+            return AccessResult(latency=latency, hit_level="FWD",
+                                invalidations=invalidations)
+
+        if is_write and entry.state == "S":
+            worst = 0
+            for sharer in sorted(entry.sharers - {core}):
+                invalidations += 1
+                worst = max(worst, self.mesh.round_trip(home, sharer, 16))
+                self.l1d[sharer].invalidate(addr)
+                self.stats.invalidation_messages += 1
+            latency += worst
+
+        l2 = self.l2[home]
+        l2_block = l2.lookup(addr)
+        if l2_block is not None:
+            latency += self.config.l2.latency
+            self._set_dir_after_fill(entry, core, is_write)
+            self._fill(core, addr, is_write)
+            self.stats.l2_hits += 1
+            return AccessResult(latency=latency, hit_level="L2",
+                                invalidations=invalidations)
+
+        # LLC miss: go to memory — EInject monitors this transaction.
+        result = self.memory.access(addr, is_write)
+        latency += self.config.l2.latency + result.latency
+        if result.denied:
+            # The transaction is terminated; nothing is installed and
+            # the error response backtracks, freeing resources (§5.1).
+            self.stats.denials += 1
+            return AccessResult(latency=latency, hit_level="MEM",
+                                denied=True, error_code=result.error_code,
+                                invalidations=invalidations)
+        l2.insert(addr, state="V")
+        self._set_dir_after_fill(entry, core, is_write)
+        self._fill(core, addr, is_write)
+        self.stats.memory_accesses += 1
+        return AccessResult(latency=latency, hit_level="MEM",
+                            invalidations=invalidations)
+
+    # ------------------------------------------------------------------
+    def _set_dir_after_fill(self, entry: DirectoryEntry, core: int,
+                            is_write: bool) -> None:
+        if is_write:
+            entry.state = "M"
+            entry.sharers = {core}
+            entry.owner = core
+        else:
+            entry.state = "S" if entry.sharers else "S"
+            entry.sharers.add(core)
+            entry.owner = None
+
+    def _fill(self, core: int, addr: int, is_write: bool) -> None:
+        state = "M" if is_write else "S"
+        victim = self.l1d[core].insert(addr, state=state, dirty=is_write)
+        if victim is not None:
+            victim_addr, meta = victim
+            ventry = self.directory.get(victim_addr)
+            if ventry is not None:
+                ventry.sharers.discard(core)
+                if ventry.owner == core:
+                    ventry.owner = None
+                    ventry.state = "S" if ventry.sharers else "I"
+            # Non-inclusive L2: dirty victims are written back into the
+            # home slice; timing folded into later misses.
+            if meta.dirty:
+                self.l2[self._home(victim_addr)].insert(
+                    victim_addr * self.config.l1d.block_bytes, dirty=True)

@@ -1,0 +1,72 @@
+"""Miss Status Holding Registers.
+
+MSHRs bound the memory-level parallelism of a cache: each outstanding
+block miss occupies one register until the fill returns; secondary
+misses to an in-flight block merge into the existing entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MshrEntry:
+    block_addr: int
+    issue_time: int
+    ready_time: int
+    is_write: bool = False
+    merged: int = 0
+
+
+class MshrFile:
+    """Fixed-capacity MSHR file keyed by block address."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+        self.allocation_failures = 0
+        self.merges = 0
+        self.peak_occupancy = 0
+
+    def lookup(self, block_addr: int) -> Optional[MshrEntry]:
+        return self._entries.get(block_addr)
+
+    def can_allocate(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def allocate(self, block_addr: int, issue_time: int, ready_time: int,
+                 is_write: bool = False) -> Optional[MshrEntry]:
+        """Allocate (or merge into) an entry; None when full."""
+        existing = self._entries.get(block_addr)
+        if existing is not None:
+            existing.merged += 1
+            existing.is_write = existing.is_write or is_write
+            self.merges += 1
+            return existing
+        if not self.can_allocate():
+            self.allocation_failures += 1
+            return None
+        entry = MshrEntry(block_addr, issue_time, ready_time, is_write)
+        self._entries[block_addr] = entry
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def release_ready(self, now: int) -> List[MshrEntry]:
+        """Free and return every entry whose fill has arrived."""
+        done = [e for e in self._entries.values() if e.ready_time <= now]
+        for entry in done:
+            del self._entries[entry.block_addr]
+        return done
+
+    def earliest_ready_time(self) -> Optional[int]:
+        if not self._entries:
+            return None
+        return min(e.ready_time for e in self._entries.values())
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)

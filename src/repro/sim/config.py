@@ -1,0 +1,214 @@
+"""System configuration (Table 2 of the paper).
+
+The defaults replicate the QFlex simulation setup: 16 ARM
+Cortex-A76-class cores (4-way OoO, WC, 128-entry ROB, 32-entry store
+buffer), 64 KB 4-way L1s, 1 MB/tile 16-way non-inclusive L2,
+directory-based MESI over a 4×4 mesh with 3-cycle hops, and 80-cycle
+memory.  Table 3's latency studies are expressed as multipliers:
+``memory_latency_scale`` (the 2× memory-latency system) and
+``store_latency_skew`` (the 4× store-to-load skew system).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.osconfig import OsConfig
+from typing import Dict, Optional, Tuple
+
+
+class ConsistencyModel:
+    """String constants for the simulator's consistency modes."""
+
+    SC = "SC"
+    PC = "PC"  # == TSO
+    WC = "WC"
+
+    ALL = (SC, PC, WC)
+
+
+@dataclass
+class CoreConfig:
+    """One out-of-order core (ARM Cortex-A76-class)."""
+
+    width: int = 4                  # 4-way OoO
+    rob_entries: int = 128
+    store_buffer_entries: int = 32
+    consistency: str = ConsistencyModel.WC
+    #: Probability that a load depends on the previous load's value
+    #: (pointer chasing); exposed so workload models can override it.
+    load_dependency: float = 0.3
+
+    def validate(self) -> None:
+        if self.consistency not in ConsistencyModel.ALL:
+            raise ValueError(f"unknown consistency {self.consistency!r}")
+        if self.width < 1 or self.rob_entries < 1:
+            raise ValueError("core width and ROB size must be positive")
+        if self.store_buffer_entries < 0:
+            raise ValueError("store buffer size cannot be negative")
+
+
+@dataclass
+class TlbConfig:
+    """Two-level TLB (Table 2: L1 48 entries, L2 1024 entries)."""
+
+    l1_entries: int = 48
+    l2_entries: int = 1024
+    l1_latency: int = 1
+    l2_latency: int = 4
+    walk_latency: int = 40          # page-table walk on full miss
+    page_bits: int = 12             # 4 KB pages
+
+
+@dataclass
+class CacheConfig:
+    """A set-associative cache level."""
+
+    size_bytes: int
+    ways: int
+    block_bytes: int = 64
+    latency: int = 2
+    mshrs: int = 32
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.block_bytes)
+
+    def validate(self) -> None:
+        if self.size_bytes % (self.ways * self.block_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"ways*block ({self.ways}*{self.block_bytes})"
+            )
+
+
+@dataclass
+class NocConfig:
+    """2D mesh interconnect (Table 2: 4x4, 16B links, 3 cycles/hop)."""
+
+    rows: int = 4
+    cols: int = 4
+    link_bytes: int = 16
+    hop_latency: int = 3
+
+    @property
+    def tiles(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass
+class MemoryConfig:
+    """Main memory behind the LLC."""
+
+    access_latency: int = 80        # Table 2 default
+    #: Extra one-way latency applied only to store completions, used
+    #: for Table 3's store-to-load latency-skew study.
+    store_extra_latency: int = 0
+
+
+@dataclass
+class FsbConfig:
+    """Faulting Store Buffer sizing (§5.2).
+
+    Sized to the store buffer: every already-retired store might need
+    draining.  Entries hold address, data, byte mask, exception code.
+    """
+
+    entries: Optional[int] = None   # None -> match store buffer
+    entry_bytes: int = 16           # 8B addr+mask/code packed + 8B data
+    pinned_pages: int = 1           # a few 4K pages per core (§5.4)
+
+
+@dataclass
+class SystemConfig:
+    """Full system: Table 2 defaults, one tile per core."""
+
+    cores: int = 16
+    core: CoreConfig = field(default_factory=CoreConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=64 * 1024, ways=4, block_bytes=64, latency=2, mshrs=32))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=64 * 1024, ways=4, block_bytes=64, latency=2, mshrs=32))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=1024 * 1024, ways=16, block_bytes=64, latency=6,
+        mshrs=32))
+    noc: NocConfig = field(default_factory=NocConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    os: OsConfig = field(default_factory=OsConfig)
+    fsb: FsbConfig = field(default_factory=FsbConfig)
+
+    def validate(self) -> None:
+        self.core.validate()
+        self.l1d.validate()
+        self.l1i.validate()
+        self.l2.validate()
+        if self.cores > self.noc.tiles:
+            raise ValueError(
+                f"{self.cores} cores exceed {self.noc.tiles} mesh tiles")
+
+    @property
+    def fsb_entries(self) -> int:
+        return self.fsb.entries or self.core.store_buffer_entries
+
+    # ------------------------------------------------------------------
+    # Table 3 study variants
+    # ------------------------------------------------------------------
+    def with_consistency(self, model: str) -> "SystemConfig":
+        cfg = copy_config(self)
+        cfg.core.consistency = model
+        return cfg
+
+    def with_memory_latency_scale(self, scale: float) -> "SystemConfig":
+        """The '2× memory latency' system of Table 3."""
+        cfg = copy_config(self)
+        cfg.memory.access_latency = int(self.memory.access_latency * scale)
+        return cfg
+
+    def with_store_load_skew(self, skew: float) -> "SystemConfig":
+        """The '4× store-to-load latency skew' system of Table 3.
+
+        Loads keep the baseline latency; stores take ``skew``× longer
+        to complete (extra coherence hops for invalidations across
+        sockets/chiplets).
+        """
+        cfg = copy_config(self)
+        extra = int(self.memory.access_latency * (skew - 1.0))
+        cfg.memory.store_extra_latency = max(0, extra)
+        return cfg
+
+
+def copy_config(cfg: SystemConfig) -> SystemConfig:
+    """Deep copy via dataclasses.replace on every level."""
+    return dataclasses.replace(
+        cfg,
+        core=dataclasses.replace(cfg.core),
+        tlb=dataclasses.replace(cfg.tlb),
+        l1d=dataclasses.replace(cfg.l1d),
+        l1i=dataclasses.replace(cfg.l1i),
+        l2=dataclasses.replace(cfg.l2),
+        noc=dataclasses.replace(cfg.noc),
+        memory=dataclasses.replace(cfg.memory),
+        os=dataclasses.replace(cfg.os),
+        fsb=dataclasses.replace(cfg.fsb),
+    )
+
+
+def table2_config() -> SystemConfig:
+    """The exact Table 2 system."""
+    cfg = SystemConfig()
+    cfg.validate()
+    return cfg
+
+
+def small_config(cores: int = 2, consistency: str = ConsistencyModel.PC,
+                 seedable: bool = True) -> SystemConfig:
+    """A two-core system mirroring the paper's FPGA prototype scale
+    ("our prototype currently only supports two minimal XiangShan
+    cores") — used by the litmus runner."""
+    cfg = SystemConfig(cores=cores)
+    cfg.core.consistency = consistency
+    cfg.core.store_buffer_entries = 8
+    cfg.validate()
+    return cfg

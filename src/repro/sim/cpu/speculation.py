@@ -1,0 +1,163 @@
+"""ASO-style post-retirement speculation state accounting (paper §3).
+
+ASO (store-wait-free multiprocessors, Wenisch et al.) lets an SC core
+match WC performance by checkpointing and speculatively retiring past
+stalled stores.  The silicon bill per core (§3.3):
+
+* the *scalable store buffer* — 16 B per speculatively retired store;
+* one *checkpoint* per outstanding store miss, each needing a map
+  table (32 logical→physical mappings at 8-10 bits each) plus up to
+  32 extra physical registers (256 B) held until the checkpoint
+  merges;
+* per-word *Speculatively Written* (SW) and valid bits in the L1D and
+  *Speculatively Read* (SR) bits in L1D and L2 for every block touched
+  during speculation.
+
+The tracker is fed by the WC timing run (ASO's goal is exactly WC
+performance, so the WC execution tells us how much speculation the SC
+core would need): by Little's law the number of live checkpoints is
+the store-miss arrival rate × store-miss latency, which is why 2×
+memory latency barely moves the requirement (loads slow the arrival
+rate down too) while 4× store-to-load skew inflates it (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class SpeculationStateConfig:
+    """Per-structure sizing (paper §3.3 numbers)."""
+
+    ssb_entry_bytes: int = 16
+    registers_per_checkpoint: int = 32
+    register_bytes: int = 8                 # 64-bit registers
+    map_table_entries: int = 32
+    map_table_entry_bits: int = 10          # 256-1024 entry PRF index
+    #: SR/SW/valid bits: 2 bits per 8-byte word, 8 words per block, in
+    #: L1D, plus SR bits in L2 -> ~3 B of metadata per tracked block.
+    block_tracking_bytes: int = 3
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        map_table = (self.map_table_entries * self.map_table_entry_bits + 7) // 8
+        regs = self.registers_per_checkpoint * self.register_bytes
+        return map_table + regs
+
+
+@dataclass
+class SpeculationSnapshot:
+    """Speculation state at one instant."""
+
+    ssb_entries: int
+    checkpoints: int
+    tracked_blocks: int
+
+    def bytes_total(self, cfg: SpeculationStateConfig) -> int:
+        return (self.ssb_entries * cfg.ssb_entry_bytes
+                + self.checkpoints * cfg.checkpoint_bytes
+                + self.tracked_blocks * cfg.block_tracking_bytes)
+
+
+@dataclass
+class SpeculationReport:
+    """Aggregated per-core requirement for one run."""
+
+    peak_bytes: int
+    peak_checkpoints: int
+    peak_ssb_entries: int
+    peak_tracked_blocks: int
+    samples: int
+
+    @property
+    def peak_kb(self) -> float:
+        return self.peak_bytes / 1024.0
+
+
+class SpeculationTracker:
+    """Tracks one core's would-be ASO state during a WC timing run.
+
+    The timing engine reports store misses (with completion times) and
+    block touches; the tracker maintains the live-checkpoint set and
+    block set and records the high-water mark of the byte total.
+    """
+
+    BLOCK_BITS = 6  # 64-byte blocks
+
+    def __init__(self, config: Optional[SpeculationStateConfig] = None) -> None:
+        self.config = config or SpeculationStateConfig()
+        #: (start, end) of outstanding store misses (live checkpoints).
+        self._live_misses: List[Tuple[int, int]] = []
+        #: Drain-end times of buffered stores (SSB occupancy).
+        self._ssb_ends: List[int] = []
+        #: Blocks speculatively touched, by last-touch time; pruned to
+        #: the oldest live checkpoint (earlier state has merged).
+        self._blocks: Dict[int, int] = {}
+        self._peak = SpeculationSnapshot(0, 0, 0)
+        self._peak_bytes = 0
+        self._samples = 0
+
+    # ------------------------------------------------------------------
+    def _expire(self, now: int) -> None:
+        self._live_misses = [(s, e) for (s, e) in self._live_misses
+                             if e > now]
+        self._ssb_ends = [e for e in self._ssb_ends if e > now]
+        if not self._live_misses:
+            self._blocks.clear()
+            return
+        oldest_start = min(s for (s, _) in self._live_misses)
+        if len(self._blocks) > 4 * len(self._live_misses):
+            self._blocks = {
+                b: t for b, t in self._blocks.items() if t >= oldest_start
+            }
+
+    def on_store_retire(self, now: int, drain_end: int, missed: bool,
+                        addr: int) -> None:
+        """A store retired speculatively.
+
+        Under the SC baseline any store that is not an L1 hit with
+        write permission stalls retirement, so ASO opens a checkpoint
+        for it (``missed``).  The store occupies the scalable store
+        buffer until it can drain non-speculatively — no earlier than
+        its own completion *and* the resolution of every older live
+        checkpoint (ASO drains checkpoints atomically, in order).
+        """
+        self._expire(now)
+        if missed:
+            self._live_misses.append((now, drain_end))
+        self._blocks[addr >> self.BLOCK_BITS] = now
+        ssb_end = drain_end
+        if self._live_misses:
+            ssb_end = max(ssb_end, max(e for (_, e) in self._live_misses))
+        self._ssb_ends.append(ssb_end)
+        self._sample(now)
+
+    def on_load(self, now: int, addr: int) -> None:
+        self._expire(now)
+        if self._live_misses:
+            self._blocks[addr >> self.BLOCK_BITS] = now
+            self._sample(now)
+
+    def _sample(self, now: int) -> None:
+        self._samples += 1
+        snap = SpeculationSnapshot(
+            ssb_entries=len(self._ssb_ends),
+            checkpoints=len(self._live_misses),
+            tracked_blocks=len(self._blocks),
+        )
+        total = snap.bytes_total(self.config)
+        if total > self._peak_bytes:
+            self._peak_bytes = total
+            self._peak = snap
+
+    # ------------------------------------------------------------------
+    def report(self) -> SpeculationReport:
+        return SpeculationReport(
+            peak_bytes=self._peak_bytes,
+            peak_checkpoints=self._peak.checkpoints,
+            peak_ssb_entries=self._peak.ssb_entries,
+            peak_tracked_blocks=self._peak.tracked_blocks,
+            samples=self._samples,
+        )

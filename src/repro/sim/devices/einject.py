@@ -1,0 +1,105 @@
+"""EInject — the error/poison injection device (paper §6.2).
+
+EInject models the imprecise exceptions a near-memory accelerator
+might generate.  It monitors transactions between the LLC and memory;
+for addresses inside its reserved region it consults a per-4KB-page
+bitmap, and if the target page is marked faulting it terminates the
+transaction with a bus error (``denied``).
+
+Software manages the bitmap through two MMIO registers, ``set`` and
+``clr``: writing an address marks/unmarks the enclosing page.  The
+litmus and workload front-ends use exactly this interface, like the
+paper's Linux driver does via ``ioctl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+
+#: Exception code for an EInject bus error (reserved ISA code, §5.3).
+EINJECT_ERROR_CODE = 0x1F
+
+
+@dataclass
+class InjectVerdict:
+    denied: bool
+    error_code: int = 0
+
+
+class EInject:
+    """Fault-injection device with a page-granular bitmap."""
+
+    def __init__(self, region_base: int = 0, region_size: Optional[int] = None) -> None:
+        """``region_base``/``region_size`` bound the memory EInject
+        monitors; accesses outside pass through untouched.  A ``None``
+        size means the whole address space (convenient for tests)."""
+        self.region_base = region_base
+        self.region_size = region_size
+        self._faulting_pages: Set[int] = set()
+        self.checks = 0
+        self.denials = 0
+        self.set_writes = 0
+        self.clr_writes = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def page_of(addr: int) -> int:
+        return addr >> PAGE_BITS
+
+    def in_region(self, addr: int) -> bool:
+        if self.region_size is None:
+            return addr >= self.region_base
+        return self.region_base <= addr < self.region_base + self.region_size
+
+    # ------------------------------------------------------------------
+    # MMIO register interface
+    # ------------------------------------------------------------------
+    def mmio_set(self, addr: int) -> None:
+        """Write to the `set` register: mark addr's page faulting."""
+        if not self.in_region(addr):
+            raise ValueError(f"address 0x{addr:x} outside EInject region")
+        self.set_writes += 1
+        self._faulting_pages.add(self.page_of(addr))
+
+    def mmio_clr(self, addr: int) -> None:
+        """Write to the `clr` register: mark addr's page non-faulting."""
+        self.clr_writes += 1
+        self._faulting_pages.discard(self.page_of(addr))
+
+    # ------------------------------------------------------------------
+    # Transaction monitoring (called by the memory controller)
+    # ------------------------------------------------------------------
+    def check(self, addr: int) -> InjectVerdict:
+        self.checks += 1
+        if self.in_region(addr) and self.page_of(addr) in self._faulting_pages:
+            self.denials += 1
+            return InjectVerdict(denied=True, error_code=EINJECT_ERROR_CODE)
+        return InjectVerdict(denied=False)
+
+    def is_faulting(self, addr: int) -> bool:
+        return self.in_region(addr) and self.page_of(addr) in self._faulting_pages
+
+    @property
+    def faulting_page_count(self) -> int:
+        return len(self._faulting_pages)
+
+    def clear_all(self) -> None:
+        self._faulting_pages.clear()
+
+    def mark_range(self, base: int, size: int) -> int:
+        """Mark every page overlapping [base, base+size) as faulting.
+
+        Returns the number of pages marked — the litmus harness uses
+        this to poison a whole test's memory before running it (§6.3).
+        """
+        first = self.page_of(base)
+        last = self.page_of(base + max(0, size - 1))
+        for page in range(first, last + 1):
+            self.mmio_set(page << PAGE_BITS)
+        return last - first + 1

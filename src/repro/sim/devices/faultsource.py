@@ -1,0 +1,183 @@
+"""Imprecise-exception sources beyond EInject (paper §2.2).
+
+The paper's design assumes "a generic hardware component situated in
+the cache hierarchy" that can deny memory transactions.  EInject is
+the prototype's synthetic instance; this module adds models of the
+two motivating examples so the same FSB/FSBC/handler machinery can be
+exercised against realistic fault generators:
+
+* :class:`TakoAccelerator` — a täkō-style semi-programmable data
+  transformation engine on the miss path.  Accesses to pages it
+  manages run a user-defined callback (e.g. decompression); the
+  callback faults when its metadata page is absent (a page fault in
+  the callback's address space) and, optionally, on malformed data
+  (divide-by-zero — irrecoverable).
+* :class:`MidgardLateTranslation` — a Midgard-style intermediate
+  address space: the VMA-level (front-side) translation has already
+  succeeded, but the page-level translation at the LLC boundary can
+  still miss, yielding a late page fault on a retired store.
+
+Both implement the EInject duck-type the engines consume:
+``check(addr)`` (transaction monitoring), ``is_faulting(addr)``
+(functional-engine probe), and ``mmio_clr(addr)`` (the OS-side
+resolution hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ...core.exceptions import ExceptionCode
+from ..vm.pagetable import FaultType, PageTable
+from .einject import InjectVerdict, PAGE_BITS
+
+
+class TakoAccelerator:
+    """A täkō-style engine: software-defined callbacks on the miss
+    path, which may themselves fault.
+
+    Args:
+        managed_base/managed_size: the address range whose misses run
+            the callback (the compressed heap).
+        metadata_absent_pages: pages whose callback currently lacks
+            resident metadata — accessing them faults until the OS
+            provides it (``mmio_clr`` = pin the metadata).
+        poison_pages: pages whose content makes the callback divide by
+            zero — irrecoverable; the OS terminates the app.
+    """
+
+    def __init__(self, managed_base: int, managed_size: int,
+                 metadata_absent_pages: Optional[Set[int]] = None,
+                 poison_pages: Optional[Set[int]] = None) -> None:
+        self.managed_base = managed_base
+        self.managed_size = managed_size
+        self._absent = set(metadata_absent_pages or ())
+        self._poison = set(poison_pages or ())
+        self.transformations = 0     # successful callback runs
+        self.faults = 0
+        self.poison_hits = 0
+
+    # ------------------------------------------------------------------
+    def _page(self, addr: int) -> int:
+        return addr >> PAGE_BITS
+
+    def manages(self, addr: int) -> bool:
+        return (self.managed_base <= addr
+                < self.managed_base + self.managed_size)
+
+    def mark_metadata_absent(self, addr: int) -> None:
+        self._absent.add(self._page(addr))
+
+    def mark_poison(self, addr: int) -> None:
+        self._poison.add(self._page(addr))
+
+    # ------------------------------------------------------------------
+    # EInject-compatible surface
+    # ------------------------------------------------------------------
+    def check(self, addr: int) -> InjectVerdict:
+        if not self.manages(addr):
+            return InjectVerdict(denied=False)
+        page = self._page(addr)
+        if page in self._poison:
+            self.poison_hits += 1
+            return InjectVerdict(denied=True,
+                                 error_code=int(ExceptionCode.ACCEL_DIVIDE))
+        if page in self._absent:
+            self.faults += 1
+            return InjectVerdict(denied=True,
+                                 error_code=int(ExceptionCode.PAGE_FAULT_LAZY))
+        self.transformations += 1
+        return InjectVerdict(denied=False)
+
+    def is_faulting(self, addr: int) -> bool:
+        if not self.manages(addr):
+            return False
+        page = self._page(addr)
+        return page in self._absent or page in self._poison
+
+    def mmio_clr(self, addr: int) -> None:
+        """OS resolution: pin the callback metadata for this page.
+
+        Poisoned pages cannot be resolved this way — the fault is
+        irrecoverable (divide-by-zero in user callback logic).
+        """
+        self._absent.discard(self._page(addr))
+
+    @property
+    def faulting_page_count(self) -> int:
+        return len(self._absent) + len(self._poison)
+
+
+class MidgardLateTranslation:
+    """Midgard-style back-side translation at the LLC boundary.
+
+    The front-side (VMA-level) translation already succeeded, so the
+    access reached the cache hierarchy; on an LLC miss the page-level
+    translation runs here and may fault — after the store retired.
+    ``mmio_clr`` models the OS page-fault handler making the page
+    present.
+    """
+
+    def __init__(self, page_table: PageTable) -> None:
+        self.page_table = page_table
+        self.translations = 0
+        self.late_faults = 0
+
+    _FAULT_CODES = {
+        FaultType.NOT_PRESENT_LAZY: ExceptionCode.PAGE_FAULT_LAZY,
+        FaultType.NOT_PRESENT_SWAPPED: ExceptionCode.PAGE_FAULT_SWAPPED,
+        FaultType.PROTECTION: ExceptionCode.PROTECTION,
+        FaultType.UNMAPPED: ExceptionCode.SEGFAULT,
+    }
+
+    def check(self, addr: int) -> InjectVerdict:
+        self.translations += 1
+        result = self.page_table.translate(addr, is_write=False)
+        if result.fault is FaultType.NONE:
+            return InjectVerdict(denied=False)
+        self.late_faults += 1
+        return InjectVerdict(
+            denied=True,
+            error_code=int(self._FAULT_CODES[result.fault]))
+
+    def is_faulting(self, addr: int) -> bool:
+        entry = self.page_table.entry(addr)
+        return entry is None or not entry.present
+
+    def mmio_clr(self, addr: int) -> None:
+        """OS page-fault resolution: map/populate the page."""
+        entry = self.page_table.entry(addr)
+        if entry is None:
+            self.page_table.map_page(addr)
+        else:
+            self.page_table.make_present(addr)
+
+    @property
+    def faulting_page_count(self) -> int:
+        return sum(1 for _ in ())  # unknown a priori; kept for parity
+
+
+class CompositeFaultSource:
+    """Several fault sources monitoring disjoint regions.
+
+    The first source that denies wins; ``mmio_clr`` is broadcast
+    (resolution is idempotent for non-owners).
+    """
+
+    def __init__(self, *sources) -> None:
+        self.sources = list(sources)
+
+    def check(self, addr: int) -> InjectVerdict:
+        for source in self.sources:
+            verdict = source.check(addr)
+            if verdict.denied:
+                return verdict
+        return InjectVerdict(denied=False)
+
+    def is_faulting(self, addr: int) -> bool:
+        return any(s.is_faulting(addr) for s in self.sources)
+
+    def mmio_clr(self, addr: int) -> None:
+        for source in self.sources:
+            source.mmio_clr(addr)

@@ -1,0 +1,99 @@
+"""Discrete-event simulation engine.
+
+A single priority queue of ``(time, seq, callback)`` drives every
+component.  Components schedule work with :meth:`Engine.schedule` and
+read :attr:`Engine.now`.  Ties are broken by insertion order, which
+keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Engine:
+    """Event queue + simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        ev = _ScheduledEvent(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> _ScheduledEvent:
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
+        ev = _ScheduledEvent(time, next(self._seq), callback)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    @staticmethod
+    def cancel(event: _ScheduledEvent) -> None:
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Process the next event; False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_processed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> int:
+        """Drain the queue (optionally up to simulated time ``until``).
+
+        Returns the final simulated time.  ``max_events`` guards
+        against livelock bugs in component logic.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events — livelock suspected at "
+                    f"t={self._now}")
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,83 @@
+"""Functional backing store and the memory controller.
+
+The functional image is single-copy-atomic: a write becomes globally
+visible at the instant it is applied (which is when a store drains
+from a store buffer, or when the OS applies a faulting store).  All
+reordering the litmus harness observes therefore comes from *when*
+components choose to apply/read values — exactly the store-buffer and
+pipeline effects the paper reasons about — not from stale cache data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import MemoryConfig
+
+
+class FlatMemory:
+    """Word-granular functional memory, default-zero."""
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None) -> None:
+        self._words: Dict[int, int] = dict(initial or {})
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> int:
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self._words[addr] = value
+
+    def peek(self, addr: int) -> int:
+        return self._words.get(addr, 0)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._words)
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        self._words.update(image)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._words
+
+
+@dataclass
+class MemoryAccessResult:
+    """Outcome of a transaction below the LLC."""
+
+    latency: int
+    denied: bool = False            # EInject set the `denied` bit
+    error_code: int = 0
+
+
+class MemoryController:
+    """Latency model for the channel behind the LLC.
+
+    This is where EInject sits (paper §6.2): it monitors every
+    LLC↔memory transaction and denies those touching pages marked
+    faulting.
+    """
+
+    def __init__(self, config: MemoryConfig, einject=None) -> None:
+        self.config = config
+        self.einject = einject
+        self.accesses = 0
+        self.denials = 0
+
+    def access(self, addr: int, is_write: bool) -> MemoryAccessResult:
+        self.accesses += 1
+        latency = self.config.access_latency
+        if is_write:
+            latency += self.config.store_extra_latency
+        if self.einject is not None:
+            verdict = self.einject.check(addr)
+            if verdict.denied:
+                self.denials += 1
+                return MemoryAccessResult(
+                    latency=latency, denied=True,
+                    error_code=verdict.error_code)
+        return MemoryAccessResult(latency=latency)

@@ -1,0 +1,732 @@
+"""Functional-operational multicore engine.
+
+This engine plays the role of the paper's RISC-V FPGA prototype: it
+*runs* programs against a shared memory with exact visibility
+semantics and lets a seeded random scheduler explore interleavings.
+The litmus harness (§6.3 methodology) runs each test many times here
+and checks the observed outcomes against the axiomatic model.
+
+Per-core machinery:
+
+* an instruction *window* (in-order fetch, out-of-order execute under
+  the gating rules of the configured consistency model, in-order
+  retire);
+* a *store buffer* — FIFO drain under PC, random-within-segment drain
+  with same-address coalescing under WC, absent under SC;
+* store→load forwarding from the buffer;
+* the FSBC + FSB (:mod:`repro.core`) for imprecise store exceptions,
+  with the configured drain-stream policy;
+* precise exception handling for faulting loads/atomics, including
+  the §5.3 rule that the store buffer is drained (possibly raising
+  imprecise exceptions first) before any precise handler runs.
+
+Visibility: memory is single-copy-atomic (see
+:mod:`repro.sim.mem.memory`); a store becomes visible when it drains
+from the store buffer (or when the OS applies it from the FSB).
+
+The scheduler interleaves micro-actions — instruction executions,
+buffer drains, and OS-handler steps — uniformly at random, so OS
+activity races with other cores' accesses exactly as in Figure 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.contract import ContractChecker
+from ..core.exceptions import ExceptionCode, is_recoverable
+from ..core.interface import ArchitecturalInterface
+from ..core.streams import DrainPolicy, DrainTarget, PendingStore, plan_drain
+from ..memmodel.events import FenceKind
+from .config import ConsistencyModel, SystemConfig, small_config
+from .devices.einject import EInject
+from .isa import Instruction, Op
+from .mem.memory import FlatMemory
+from .program import Program
+
+
+class CoreStatus(enum.Enum):
+    RUNNING = "running"
+    SERVICING = "servicing"   # OS micro-ops pending (drain/handler)
+    TERMINATED = "terminated"  # irrecoverable fault killed the app
+    DONE = "done"
+
+
+class SlotState(enum.Enum):
+    WAITING = "waiting"
+    DONE = "done"
+
+
+@dataclass
+class WindowSlot:
+    instr: Instruction
+    pc: int
+    state: SlotState = SlotState.WAITING
+    value: Optional[int] = None
+
+
+@dataclass
+class SbEntry:
+    addr: int
+    data: int
+    seq: int
+
+
+_BARRIER = "barrier"  # store-buffer barrier marker (store-store fences)
+
+
+@dataclass
+class RunStats:
+    steps: int = 0
+    instructions_retired: int = 0
+    sb_drains: int = 0
+    forwards: int = 0
+    imprecise_exceptions: int = 0
+    precise_exceptions: int = 0
+    faulting_stores_handled: int = 0
+    flushes: int = 0
+    interrupts: int = 0
+    interrupts_deferred: int = 0
+
+
+class DeadlockError(RuntimeError):
+    pass
+
+
+class _Core:
+    """Execution state for one hardware thread."""
+
+    def __init__(self, system: "MulticoreSystem", core_id: int) -> None:
+        self.system = system
+        self.id = core_id
+        cfg = system.config
+        self.model = cfg.core.consistency
+        self.window_capacity = max(2, cfg.core.width * 2)
+        self.sb_capacity = cfg.core.store_buffer_entries
+        self.regs: Dict[int, int] = {}
+        self.pc = 0
+        self.window: Deque[WindowSlot] = deque()
+        self.sb: List = []  # SbEntry | _BARRIER
+        self.status = CoreStatus.RUNNING
+        self.pending_ops: Deque[Callable[[], None]] = deque()
+        self.observations: Dict[str, int] = {}
+        self.interface = ArchitecturalInterface(
+            core_id, fsb_capacity=_fsb_capacity(cfg))
+        self._sb_seq = 0
+        self._program = system.program.threads[core_id].instructions
+
+    # ------------------------------------------------------------------
+    # Register helpers
+    # ------------------------------------------------------------------
+    def read_reg(self, reg: Optional[int]) -> int:
+        if reg is None or reg == 0:
+            return 0
+        return self.regs.get(reg, 0)
+
+    def write_reg(self, reg: Optional[int], value: int) -> None:
+        if reg is not None and reg != 0:
+            self.regs[reg] = value
+
+    # ------------------------------------------------------------------
+    # Fetch / retire
+    # ------------------------------------------------------------------
+    def fetch_fill(self) -> None:
+        if self.status is not CoreStatus.RUNNING:
+            return
+        while (len(self.window) < self.window_capacity
+               and self.pc < len(self._program)):
+            if any(s.instr.is_branch and s.state is SlotState.WAITING
+                   for s in self.window):
+                return  # no speculation past unresolved branches
+            self.window.append(WindowSlot(self._program[self.pc], self.pc))
+            self.pc += 1
+
+    def retire_ready(self) -> None:
+        while self.window and self.window[0].state is SlotState.DONE:
+            slot = self.window.popleft()
+            if slot.instr.label and slot.instr.is_read:
+                self.observations[slot.instr.label] = slot.value or 0
+            self.system.stats.instructions_retired += 1
+
+    @property
+    def finished(self) -> bool:
+        return (self.status in (CoreStatus.DONE, CoreStatus.TERMINATED)
+                or (self.status is CoreStatus.RUNNING
+                    and self.pc >= len(self._program)
+                    and not self.window
+                    and not self.sb_entries()))
+
+    # ------------------------------------------------------------------
+    # Gating rules
+    # ------------------------------------------------------------------
+    def sb_entries(self) -> List[SbEntry]:
+        return [e for e in self.sb if e is not _BARRIER]
+
+    def _older(self, slot: WindowSlot) -> List[WindowSlot]:
+        out = []
+        for s in self.window:
+            if s is slot:
+                break
+            out.append(s)
+        return out
+
+    def _regs_ready(self, slot: WindowSlot) -> bool:
+        needed = {r for r in (slot.instr.rs1, slot.instr.rs2)
+                  if r not in (None, 0)}
+        if not needed:
+            return True
+        for s in self._older(slot):
+            rd = s.instr.rd
+            if rd in needed and s.state is not SlotState.DONE:
+                return False
+        return True
+
+    def _fence_blocks(self, slot: WindowSlot) -> bool:
+        """Does an incomplete older fence order this access?"""
+        for s in self._older(slot):
+            if s.state is SlotState.DONE or not s.instr.is_fence:
+                continue
+            kind = s.instr.fence
+            if kind is FenceKind.FULL:
+                return True
+            if slot.instr.is_read and kind in (FenceKind.LOAD_LOAD,
+                                               FenceKind.STORE_LOAD):
+                return True
+            if slot.instr.is_write and kind in (FenceKind.STORE_STORE,
+                                                FenceKind.LOAD_STORE):
+                return True
+        return False
+
+    def can_execute(self, slot: WindowSlot) -> bool:
+        if slot.state is not SlotState.WAITING:
+            return False
+        if not self._regs_ready(slot):
+            return False
+        instr = slot.instr
+        older = self._older(slot)
+
+        if instr.is_fence:
+            return self._fence_ready(instr, older)
+
+        if instr.is_atomic:
+            return (all(s.state is SlotState.DONE for s in older)
+                    and not self.sb_entries())
+
+        if instr.op is Op.STORE:
+            # In-order retirement into the store buffer.
+            if any(s.state is not SlotState.DONE for s in older):
+                return False
+            if self.model != ConsistencyModel.SC and \
+                    len(self.sb_entries()) >= self.sb_capacity:
+                return False
+            return True
+
+        if instr.op is Op.LOAD:
+            if self._fence_blocks(slot):
+                return False
+            for s in older:
+                if s.state is SlotState.DONE or s.instr.is_fence:
+                    continue  # incomplete fences already checked above
+                if s.instr.is_write or s.instr.is_atomic:
+                    return False  # loads wait for older stores to buffer
+                if s.instr.is_read and self.model != ConsistencyModel.WC:
+                    return False  # PC/SC: loads in order
+                if s.instr.is_read and self._may_alias(s.instr, slot.instr):
+                    return False  # WC coherence: same-location in order
+            return True
+
+        # ALU / branch / nop: regs-ready is enough.
+        return True
+
+    @staticmethod
+    def _may_alias(a: Instruction, b: Instruction) -> bool:
+        """Conservative same-address check before both are resolved."""
+        if a.rs1 is not None or b.rs1 is not None:
+            return True  # indexed address unknown at gating time
+        return a.addr == b.addr
+
+    def _fence_ready(self, instr: Instruction, older: List[WindowSlot]) -> bool:
+        kind = instr.fence
+        if kind is FenceKind.FULL:
+            return (all(s.state is SlotState.DONE for s in older)
+                    and not self.sb_entries())
+        if kind in (FenceKind.STORE_STORE, FenceKind.LOAD_STORE):
+            # Older stores must at least be buffered; barrier preserves
+            # the visibility order inside the buffer.
+            return all(
+                s.state is SlotState.DONE for s in older
+                if s.instr.is_write or s.instr.is_atomic)
+        if kind is FenceKind.STORE_LOAD:
+            return (all(s.state is SlotState.DONE for s in older
+                        if s.instr.is_write or s.instr.is_atomic)
+                    and not self.sb_entries())
+        # LOAD_LOAD
+        return all(s.state is SlotState.DONE for s in older
+                   if s.instr.is_read)
+
+    def executable_slots(self) -> List[WindowSlot]:
+        return [s for s in self.window if self.can_execute(s)]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, slot: WindowSlot) -> None:
+        instr = slot.instr
+        if instr.op is Op.LI:
+            self.write_reg(instr.rd, instr.imm)
+        elif instr.op is Op.ADD:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.rs1) + self.read_reg(instr.rs2))
+        elif instr.op is Op.ADDI:
+            self.write_reg(instr.rd, self.read_reg(instr.rs1) + instr.imm)
+        elif instr.op is Op.XOR:
+            self.write_reg(instr.rd,
+                           self.read_reg(instr.rs1) ^ self.read_reg(instr.rs2))
+        elif instr.op is Op.NOP:
+            pass
+        elif instr.is_branch:
+            self._execute_branch(slot)
+        elif instr.is_fence:
+            if instr.fence in (FenceKind.STORE_STORE, FenceKind.LOAD_STORE):
+                if self.sb_entries():
+                    self.sb.append(_BARRIER)
+        elif instr.op is Op.LOAD:
+            self._execute_load(slot)
+            return  # _execute_load sets state itself
+        elif instr.op is Op.STORE:
+            self._execute_store(slot)
+            return  # _execute_store sets state itself (fault path)
+        elif instr.is_atomic:
+            self._execute_atomic(slot)
+            return
+        slot.state = SlotState.DONE
+
+    def _execute_branch(self, slot: WindowSlot) -> None:
+        instr = slot.instr
+        a, b = self.read_reg(instr.rs1), self.read_reg(instr.rs2)
+        taken = (a == b) if instr.op is Op.BEQ else (a != b)
+        if taken:
+            self.pc = min(len(self._program), self.pc + instr.imm)
+
+    def _effective_addr(self, instr: Instruction) -> int:
+        base = instr.addr or 0
+        if instr.rs1 is not None:
+            base += self.read_reg(instr.rs1)
+        return base
+
+    def _execute_load(self, slot: WindowSlot) -> None:
+        addr = self._effective_addr(slot.instr)
+        forwarded = self._forward(addr)
+        if forwarded is not None:
+            slot.value = forwarded
+            self.write_reg(slot.instr.rd, forwarded)
+            slot.state = SlotState.DONE
+            self.system.stats.forwards += 1
+            return
+        if self.system.einject.is_faulting(addr):
+            self.system.begin_precise_fault(self, slot, addr, is_write=False)
+            return
+        value = self.system.memory.read(addr)
+        slot.value = value
+        self.write_reg(slot.instr.rd, value)
+        slot.state = SlotState.DONE
+
+    def _forward(self, addr: int) -> Optional[int]:
+        for entry in reversed(self.sb_entries()):
+            if entry.addr == addr:
+                return entry.data
+        return None
+
+    def _execute_store(self, slot: WindowSlot) -> None:
+        instr = slot.instr
+        addr = self._effective_addr(instr)
+        data = (self.read_reg(instr.rs2) if instr.rs2 is not None
+                else instr.imm)
+        if self.model == ConsistencyModel.SC:
+            if self.system.einject.is_faulting(addr):
+                # Precise store fault: slot stays WAITING, re-executes
+                # after the handler resolves the page.
+                self.system.begin_precise_fault(self, slot, addr,
+                                                is_write=True)
+                return
+            self.system.memory.write(addr, data)
+            slot.state = SlotState.DONE
+            return
+        self._sb_insert(addr, data)
+        slot.state = SlotState.DONE
+
+    def _sb_insert(self, addr: int, data: int) -> None:
+        seq = self._sb_seq
+        self._sb_seq += 1
+        if self.model == ConsistencyModel.WC:
+            # Coalesce into the open (post-barrier) segment.
+            open_segment_start = 0
+            for i in range(len(self.sb) - 1, -1, -1):
+                if self.sb[i] is _BARRIER:
+                    open_segment_start = i + 1
+                    break
+            for i in range(open_segment_start, len(self.sb)):
+                entry = self.sb[i]
+                if entry is not _BARRIER and entry.addr == addr:
+                    self.sb[i] = SbEntry(addr, data, entry.seq)
+                    return
+        self.sb.append(SbEntry(addr, data, seq))
+
+    def _execute_atomic(self, slot: WindowSlot) -> None:
+        instr = slot.instr
+        addr = self._effective_addr(instr)
+        if self.system.einject.is_faulting(addr):
+            self.system.begin_precise_fault(self, slot, addr, is_write=True)
+            return
+        old = self.system.memory.read(addr)
+        operand = (self.read_reg(instr.rs2) if instr.rs2 is not None
+                   else instr.imm)
+        new = (old + operand) if instr.op is Op.AMOADD else operand
+        self.system.memory.write(addr, new)
+        slot.value = old
+        self.write_reg(instr.rd, old)
+        slot.state = SlotState.DONE
+
+    # ------------------------------------------------------------------
+    # Store-buffer drain
+    # ------------------------------------------------------------------
+    def drainable_indices(self) -> List[int]:
+        """Indices eligible to drain: the whole first segment (WC) or
+        just the head (PC)."""
+        if not self.sb:
+            return []
+        if self.sb[0] is _BARRIER:
+            self.sb.pop(0)
+            return self.drainable_indices()
+        if self.model == ConsistencyModel.PC:
+            return [0]
+        end = len(self.sb)
+        for i, e in enumerate(self.sb):
+            if e is _BARRIER:
+                end = i
+                break
+        return list(range(end))
+
+    def drain_one(self, index: int) -> None:
+        entry = self.sb.pop(index)
+        assert entry is not _BARRIER
+        self.system.stats.sb_drains += 1
+        if self.system.einject.is_faulting(entry.addr):
+            self.sb.insert(index, entry)  # stays buffered; goes to FSB
+            self.system.begin_imprecise_exception(self)
+            return
+        self.system.memory.write(entry.addr, entry.data)
+        self._drop_leading_barriers()
+
+    def _drop_leading_barriers(self) -> None:
+        while self.sb and self.sb[0] is _BARRIER:
+            self.sb.pop(0)
+
+    # ------------------------------------------------------------------
+    # Flush (imprecise exception pinned at oldest uncommitted instr)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self.window:
+            self.pc = self.window[0].pc
+        self.window.clear()
+        self.system.stats.flushes += 1
+
+
+def _fsb_capacity(cfg: SystemConfig) -> int:
+    size = cfg.fsb_entries
+    # round up to a power of two (ring-with-mask requirement)
+    cap = 1
+    while cap < size:
+        cap *= 2
+    return cap
+
+
+class MulticoreSystem:
+    """The full functional system: cores + memory + EInject + OS."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[SystemConfig] = None,
+        seed: int = 0,
+        drain_policy: DrainPolicy = DrainPolicy.SAME_STREAM,
+        fault_source=None,
+        interrupt_rate: float = 0.0,
+    ) -> None:
+        """``fault_source`` is any EInject-compatible object
+        (``check``/``is_faulting``/``mmio_clr``) — e.g. the täkō or
+        Midgard models in :mod:`repro.sim.devices.faultsource`.
+
+        ``interrupt_rate`` injects asynchronous interrupts: at each
+        scheduler step, with this probability, a random core takes an
+        interrupt.  Delivery respects the IE bit (§5.3): a core whose
+        handler is running has the bit set, so the interrupt is
+        deferred; imprecise store exceptions detected meanwhile queue
+        behind it.
+        """
+        self.program = program
+        self.config = config or small_config(cores=program.cores)
+        if self.config.cores < program.cores:
+            raise ValueError(
+                f"program has {program.cores} threads but the system only "
+                f"{self.config.cores} cores")
+        self.rng = random.Random(seed)
+        self.drain_policy = drain_policy
+        self.interrupt_rate = interrupt_rate
+        self.memory = FlatMemory(dict(program.initial_memory))
+        self.einject = fault_source if fault_source is not None else EInject()
+        self.contract = ContractChecker(
+            ordered=self.config.core.consistency == ConsistencyModel.PC)
+        self.stats = RunStats()
+        self.cores = [_Core(self, i) for i in range(program.cores)]
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    # Fault injection front-end (the litmus harness poisons test memory)
+    # ------------------------------------------------------------------
+    def inject_faults(self, addrs: Sequence[int]) -> None:
+        for addr in addrs:
+            self.einject.mmio_set(addr)
+
+    # ------------------------------------------------------------------
+    # Exception flows
+    # ------------------------------------------------------------------
+    def begin_imprecise_exception(self, core: _Core) -> None:
+        """A store drain was denied: route the buffer through the FSB
+        per the drain policy, flush, and queue the OS handler."""
+        if core.status is CoreStatus.SERVICING:
+            return
+        core.status = CoreStatus.SERVICING
+        self.stats.imprecise_exceptions += 1
+
+        pending = []
+        for e in core.sb_entries():
+            if self.einject.is_faulting(e.addr):
+                verdict = self.einject.check(e.addr)
+                code = ExceptionCode(verdict.error_code)
+            else:
+                code = ExceptionCode.NONE
+            pending.append(PendingStore(addr=e.addr, data=e.data,
+                                        error_code=code))
+        core.sb.clear()
+        plan = plan_drain(pending, self.drain_policy)
+
+        seq_base = core.interface.fsb.tail
+        seq = [seq_base]
+
+        def make_drain_op(action):
+            def op() -> None:
+                if action.target is DrainTarget.INTERFACE:
+                    self.contract.sb_send(core.id, seq[0])
+                    core.interface.put(action.store.addr, action.store.data,
+                                       action.store.byte_mask,
+                                       action.store.error_code)
+                    self.contract.put(core.id, seq[0])
+                    seq[0] += 1
+                else:
+                    self.memory.write(action.store.addr, action.store.data)
+            return op
+
+        for action in plan:
+            core.pending_ops.append(make_drain_op(action))
+
+        def flush_and_handle() -> None:
+            core.flush()
+            self._queue_handler_ops(core)
+        core.pending_ops.append(flush_and_handle)
+
+    def _queue_handler_ops(self, core: _Core) -> None:
+        """Minimal-handler micro-steps: GET → resolve → apply, repeated
+        until head == tail, then RESUME (§6.2).
+
+        Irrecoverable faults (§4.1) terminate the application instead:
+        the faulting stores are discarded.
+        """
+        entries = core.interface.peek_all()
+        if any(e.is_faulting and not is_recoverable(e.error_code)
+               for e in entries):
+            def terminate() -> None:
+                core.interface.get_all()     # discard
+                core.status = CoreStatus.TERMINATED
+                self.terminated = True
+            core.pending_ops.append(terminate)
+            return
+        self.stats.faulting_stores_handled += sum(
+            1 for e in entries if e.is_faulting)
+
+        def make_get_resolve_apply(expect_seq):
+            def op() -> None:
+                entry = core.interface.get()
+                assert entry is not None and entry.seq == expect_seq
+                self.contract.get(core.id, entry.seq)
+                if entry.is_faulting:
+                    self.einject.mmio_clr(entry.addr)
+                core.pending_ops.appendleft(_apply(entry))
+            def _apply(entry):
+                def apply_op() -> None:
+                    self.memory.write(entry.addr, entry.data)
+                    self.contract.apply(core.id, entry.seq)
+                return apply_op
+            return op
+
+        for entry in entries:
+            core.pending_ops.append(make_get_resolve_apply(entry.seq))
+
+        def resume() -> None:
+            self.contract.resume(core.id)
+            core.status = CoreStatus.RUNNING
+        core.pending_ops.append(resume)
+
+    def begin_precise_fault(self, core: _Core, slot: WindowSlot,
+                            addr: int, is_write: bool) -> None:
+        """A load/atomic (or SC store) faulted precisely.  Per §5.3 the
+        store buffer is drained first; a faulting store there flips the
+        flow to the imprecise path, after which the instruction
+        re-executes and may fault precisely again."""
+        if core.status is CoreStatus.SERVICING:
+            return
+        faulting_in_sb = any(
+            self.einject.is_faulting(e.addr) for e in core.sb_entries())
+        if faulting_in_sb:
+            # Imprecise exceptions win; this instruction re-executes
+            # after RESOLVE (its slot stays WAITING through the flush).
+            self.begin_imprecise_exception(core)
+            return
+
+        core.status = CoreStatus.SERVICING
+        self.stats.precise_exceptions += 1
+
+        verdict = self.einject.check(addr)
+        if verdict.denied and not is_recoverable(
+                ExceptionCode(verdict.error_code)):
+            def terminate() -> None:
+                core.status = CoreStatus.TERMINATED
+                self.terminated = True
+            core.pending_ops.append(terminate)
+            return
+
+        def drain_all() -> None:
+            # Non-faulting residue drains normally before the handler.
+            for entry in core.sb_entries():
+                self.memory.write(entry.addr, entry.data)
+            core.sb.clear()
+
+        def resolve() -> None:
+            self.einject.mmio_clr(addr)
+
+        def resume() -> None:
+            core.status = CoreStatus.RUNNING  # slot re-executes later
+        core.pending_ops.extend([drain_all, resolve, resume])
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _actions(self) -> List[Callable[[], None]]:
+        actions: List[Callable[[], None]] = []
+        for core in self.cores:
+            if core.status is CoreStatus.SERVICING:
+                if core.pending_ops:
+                    actions.append(lambda c=core: c.pending_ops.popleft()())
+                continue
+            if core.status is not CoreStatus.RUNNING:
+                continue
+            core.fetch_fill()
+            for slot in core.executable_slots():
+                actions.append(lambda c=core, s=slot: c.execute(s))
+            for index in core.drainable_indices():
+                actions.append(lambda c=core, i=index: c.drain_one(i))
+        return actions
+
+    # ------------------------------------------------------------------
+    # Interrupts (§5.3: concurrent with imprecise store exceptions)
+    # ------------------------------------------------------------------
+    def _maybe_deliver_interrupt(self) -> None:
+        if self.interrupt_rate <= 0.0:
+            return
+        if self.rng.random() >= self.interrupt_rate:
+            return
+        candidates = [c for c in self.cores
+                      if c.status is CoreStatus.RUNNING
+                      and not c.finished]
+        masked = [c for c in self.cores
+                  if c.status is CoreStatus.SERVICING]
+        if not candidates:
+            if masked:
+                # IE bit set: the interrupt is deferred, not lost to
+                # the running handler (§5.3's serialisation).
+                self.stats.interrupts_deferred += 1
+            return
+        core = self.rng.choice(candidates)
+        self.stats.interrupts += 1
+        core.status = CoreStatus.SERVICING
+
+        def handler_body() -> None:
+            pass  # device acknowledgement / bottom-half work
+
+        def resume() -> None:
+            core.status = CoreStatus.RUNNING
+        core.pending_ops.extend([handler_body, handler_body, resume])
+
+    def step(self) -> bool:
+        for core in self.cores:
+            core.retire_ready()
+        self._maybe_deliver_interrupt()
+        actions = self._actions()
+        if not actions:
+            return False
+        self.rng.choice(actions)()
+        self.stats.steps += 1
+        return True
+
+    def run(self, max_steps: int = 200_000) -> "RunResult":
+        steps = 0
+        while True:
+            for core in self.cores:
+                core.retire_ready()
+            if all(core.finished for core in self.cores):
+                break
+            progressed = self.step()
+            if not progressed:
+                if all(core.finished for core in self.cores):
+                    break
+                raise DeadlockError(
+                    f"no runnable actions; statuses="
+                    f"{[c.status for c in self.cores]}, "
+                    f"sb={[len(c.sb) for c in self.cores]}")
+            steps += 1
+            if steps > max_steps:
+                raise DeadlockError(f"exceeded {max_steps} steps")
+        return RunResult(self)
+
+
+@dataclass
+class RunResult:
+    """Final architectural state of one run."""
+
+    system: MulticoreSystem
+
+    @property
+    def observations(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for core in self.system.cores:
+            out.update(core.observations)
+        return out
+
+    def memory_value(self, addr: int) -> int:
+        return self.system.memory.peek(addr)
+
+    @property
+    def outcome(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(self.observations.items()))
+
+    @property
+    def contract_report(self):
+        return self.system.contract.check()
+
+    @property
+    def stats(self) -> RunStats:
+        return self.system.stats

@@ -1,0 +1,64 @@
+"""2D-mesh interconnect model (Table 2: 4×4, 16-byte links, 3 cy/hop).
+
+Tiles are numbered row-major; XY routing gives deterministic hop
+counts.  The model is latency-oriented: callers ask for the traversal
+latency between tiles and the mesh accounts messages/flits for stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..config import NocConfig
+
+
+@dataclass
+class MeshStats:
+    messages: int = 0
+    total_hops: int = 0
+    flits: int = 0
+
+    @property
+    def avg_hops(self) -> float:
+        return self.total_hops / self.messages if self.messages else 0.0
+
+
+class Mesh:
+    """XY-routed 2D mesh."""
+
+    def __init__(self, config: NocConfig) -> None:
+        self.config = config
+        self.stats = MeshStats()
+
+    def coordinates(self, tile: int) -> Tuple[int, int]:
+        if not (0 <= tile < self.config.tiles):
+            raise ValueError(f"tile {tile} out of range")
+        return divmod(tile, self.config.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self.coordinates(src), self.coordinates(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def latency(self, src: int, dst: int, payload_bytes: int = 64) -> int:
+        """One-way traversal latency, accounting serialization of the
+        payload over 16-byte links."""
+        hop_count = self.hops(src, dst)
+        serialization = max(
+            0, (payload_bytes + self.config.link_bytes - 1)
+            // self.config.link_bytes - 1)
+        self.stats.messages += 1
+        self.stats.total_hops += hop_count
+        self.stats.flits += max(1, payload_bytes // self.config.link_bytes)
+        return hop_count * self.config.hop_latency + serialization
+
+    def round_trip(self, src: int, dst: int, payload_bytes: int = 64) -> int:
+        return (self.latency(src, dst, 16)
+                + self.latency(dst, src, payload_bytes))
+
+    def home_tile(self, block_addr: int) -> int:
+        """Static address-interleaved home (directory/L2 slice)."""
+        return block_addr % self.config.tiles
+
+    def max_distance_from(self, src: int) -> int:
+        return max(self.hops(src, t) for t in range(self.config.tiles))

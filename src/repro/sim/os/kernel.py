@@ -1,0 +1,115 @@
+"""Minimal OS kernel model (paper §5.3-5.4).
+
+Owns the per-core FSB configuration, the IE-bit protocol, the
+imprecise-store-exception handler selection, and the fence-bracketing
+discipline for kernel code paths that may themselves generate
+imprecise exceptions (``copy_to_user``-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...core.exceptions import ExceptionCode, InterruptEnable, is_recoverable
+from ...core.fsb import FsbEntry
+from ...core.handler import (
+    BatchingHandler,
+    HandlerInvocation,
+    MinimalHandler,
+)
+from ...core.interface import ArchitecturalInterface
+from ..config import OsConfig
+
+
+@dataclass
+class TrapRecord:
+    kind: str                      # "imprecise-store" | "precise" | "irq"
+    core: int
+    cycles: int
+    stores: int = 0
+
+
+class Kernel:
+    """Per-system OS model.
+
+    The kernel pins one FSB region per core (§5.4: a few 4K pages),
+    registers the handler flavour, and exposes the two entry points
+    the hardware calls: :meth:`imprecise_store_trap` and
+    :meth:`precise_trap`.
+    """
+
+    def __init__(self, cores: int, config: Optional[OsConfig] = None,
+                 batching: bool = False) -> None:
+        self.config = config or OsConfig()
+        self.batching = batching
+        self.handler = (BatchingHandler(self.config) if batching
+                        else MinimalHandler(self.config))
+        self.ie = [InterruptEnable() for _ in range(cores)]
+        self.trap_log: List[TrapRecord] = []
+        #: Pages pinned for FSBs — must never themselves fault (§5.4).
+        self.pinned_pages: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Boot-time FSB setup
+    # ------------------------------------------------------------------
+    def pin_fsb(self, core: int, interface: ArchitecturalInterface) -> None:
+        """Record the FSB backing pages as pinned."""
+        pages = max(1, interface.fsb.footprint_bytes // 4096)
+        self.pinned_pages[core] = pages
+
+    def fsb_is_pinned(self, core: int) -> bool:
+        return core in self.pinned_pages
+
+    # ------------------------------------------------------------------
+    # Trap entry points
+    # ------------------------------------------------------------------
+    def imprecise_store_trap(self, core: int,
+                             interface: ArchitecturalInterface,
+                             resolve: Callable[[FsbEntry], int],
+                             apply: Callable[[FsbEntry], None]) -> HandlerInvocation:
+        """Service the dedicated imprecise-store exception code."""
+        self.ie[core].enter_handler()
+        invocation = self.handler.handle(interface, resolve, apply)
+        self.trap_log.append(TrapRecord(
+            "imprecise-store", core, invocation.costs.total,
+            invocation.stores_handled))
+        self.ie[core].return_to_user(pending_imprecise=interface.pending > 0)
+        return invocation
+
+    def precise_trap(self, core: int, resolve_cycles: int) -> int:
+        """A conventional precise exception (load fault etc.)."""
+        self.ie[core].enter_handler()
+        total = (self.config.trap_entry_cycles + self.config.dispatch_cycles
+                 + resolve_cycles + self.config.context_switch_cycles)
+        self.trap_log.append(TrapRecord("precise", core, total))
+        self.ie[core].return_to_user(pending_imprecise=False)
+        return total
+
+    # ------------------------------------------------------------------
+    # Kernel-side imprecise-exception containment (§5.4)
+    # ------------------------------------------------------------------
+    def guarded_kernel_store_sequence(
+            self, core: int, interface: ArchitecturalInterface,
+            resolve: Callable[[FsbEntry], int],
+            apply: Callable[[FsbEntry], None]) -> int:
+        """Model ``copy_to_user`` + fence: the fence forces pending
+        kernel-generated imprecise exceptions to surface and be handled
+        before the function returns, containing them locally.
+
+        Returns the cycles spent handling contained exceptions (0 when
+        none were pending).
+        """
+        if interface.pending == 0:
+            return 0
+        invocation = self.imprecise_store_trap(core, interface, resolve,
+                                               apply)
+        return invocation.costs.total
+
+    @property
+    def imprecise_traps(self) -> int:
+        return sum(1 for t in self.trap_log if t.kind == "imprecise-store")
+
+    @property
+    def precise_traps(self) -> int:
+        return sum(1 for t in self.trap_log if t.kind == "precise")

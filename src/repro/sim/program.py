@@ -1,0 +1,86 @@
+"""Program containers for the functional engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .isa import Instruction, Op
+
+
+@dataclass
+class ThreadProgram:
+    """The instruction stream for one hardware thread."""
+
+    core: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    @property
+    def memory_addresses(self) -> List[int]:
+        return sorted({
+            i.addr for i in self.instructions
+            if i.is_memory and i.addr is not None
+        })
+
+    @property
+    def observation_labels(self) -> List[str]:
+        return [i.label for i in self.instructions if i.label]
+
+
+@dataclass
+class Program:
+    """A multi-threaded program plus initial memory values."""
+
+    threads: List[ThreadProgram]
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    name: str = ""
+
+    @property
+    def cores(self) -> int:
+        return len(self.threads)
+
+    @property
+    def shared_addresses(self) -> List[int]:
+        addrs = set(self.initial_memory)
+        for t in self.threads:
+            addrs.update(t.memory_addresses)
+        return sorted(addrs)
+
+    def instruction_count(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    def validate(self) -> None:
+        """Sanity checks before simulation."""
+        for t in self.threads:
+            for pc, instr in enumerate(t.instructions):
+                if instr.is_branch:
+                    target = pc + 1 + instr.imm
+                    if not (0 <= target <= len(t.instructions)):
+                        raise ValueError(
+                            f"thread {t.core}: branch at {pc} skips out of "
+                            f"range (target {target})")
+                if instr.is_memory and instr.addr is None and instr.rs1 is None:
+                    raise ValueError(
+                        f"thread {t.core}: memory op at {pc} has no address")
+
+
+def make_program(
+    thread_instrs: Sequence[Sequence[Instruction]],
+    initial_memory: Optional[Dict[int, int]] = None,
+    name: str = "",
+) -> Program:
+    """Build and validate a :class:`Program` from raw streams."""
+    threads = [
+        ThreadProgram(core=i, instructions=list(instrs))
+        for i, instrs in enumerate(thread_instrs)
+    ]
+    prog = Program(threads=threads,
+                   initial_memory=dict(initial_memory or {}), name=name)
+    prog.validate()
+    return prog

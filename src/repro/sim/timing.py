@@ -1,0 +1,552 @@
+"""Trace-driven timing engine (the QFlex-analogue, paper §3.3 & §6).
+
+Replays per-core :class:`~repro.sim.trace.TraceOp` streams against the
+coherent hierarchy under SC, PC, or WC store-buffer semantics, with
+EInject fault injection and the full imprecise-exception cost path
+(FSBC drain → flush → OS handler).  Cores are interleaved in time
+order so coherence traffic (invalidations, forwards) is shared.
+
+The model is interval-style rather than cycle-by-cycle:
+
+* the frontend dispatches ``width`` instructions per cycle;
+* a full ROB stalls dispatch until its head retires;
+* loads complete after their hierarchy latency, serialised when
+  ``dep`` marks pointer chasing;
+* stores complete immediately into the store buffer (PC/WC) or after
+  the full write latency (SC);
+* the store buffer drains FIFO-serially under PC, and with up to
+  ``WC_DRAIN_OVERLAP`` overlapping non-blocking drains under WC;
+  a full buffer stalls store dispatch;
+* syncs (fences/atomics) wait for the buffer to drain and for all
+  earlier loads.
+
+This is what makes the SC↔WC gap — and therefore Table 3's speedups —
+emerge from store fraction and latency structure rather than from
+hard-coded numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ExceptionCode
+from ..core.fsb import FsbEntry
+from ..core.handler import BatchingHandler, HandlerCosts, MinimalHandler
+from ..core.interface import ArchitecturalInterface
+from .cache.coherence import CoherentHierarchy
+from .config import ConsistencyModel, SystemConfig
+from .cpu.speculation import SpeculationReport, SpeculationTracker
+from .devices.einject import EInject
+from .mem.memory import MemoryController
+from .trace import ALU, LOAD, STORE, SYNC, TraceOp
+
+#: Maximum overlapping store drains under WC (non-FIFO buffer).
+WC_DRAIN_OVERLAP = 8
+
+#: Cycles to flush and refill the pipeline on an imprecise exception.
+FLUSH_REFILL_CYCLES = 40
+
+
+@dataclass
+class CoreTimingStats:
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    syncs: int = 0
+    cycles: float = 0.0
+    sb_full_stall_cycles: float = 0.0
+    imprecise_exceptions: int = 0
+    precise_exceptions: int = 0
+    faulting_stores: int = 0
+    uarch_cycles: float = 0.0       # FSB drain + flush/refill
+    os_apply_cycles: float = 0.0
+    os_resolve_cycles: float = 0.0
+    os_other_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def exception_cycles(self) -> float:
+        return (self.uarch_cycles + self.os_apply_cycles
+                + self.os_resolve_cycles + self.os_other_cycles)
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one timing run."""
+
+    config: SystemConfig
+    core_stats: List[CoreTimingStats]
+    speculation: Optional[List[SpeculationReport]] = None
+
+    @property
+    def total_cycles(self) -> float:
+        return max((s.cycles for s in self.core_stats), default=0.0)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.instructions for s in self.core_stats)
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.total_cycles
+        return self.total_instructions / cycles if cycles else 0.0
+
+    @property
+    def total_imprecise_exceptions(self) -> int:
+        return sum(s.imprecise_exceptions for s in self.core_stats)
+
+    @property
+    def total_faulting_stores(self) -> int:
+        return sum(s.faulting_stores for s in self.core_stats)
+
+    def overhead_breakdown_per_fault(self) -> Dict[str, float]:
+        """Average per-faulting-store cycle breakdown (Figure 5)."""
+        faults = max(1, self.total_faulting_stores)
+        return {
+            "uarch": sum(s.uarch_cycles for s in self.core_stats) / faults,
+            "os_apply": sum(s.os_apply_cycles for s in self.core_stats) / faults,
+            "os_other": (sum(s.os_other_cycles for s in self.core_stats)
+                         + sum(s.os_resolve_cycles for s in self.core_stats)) / faults,
+        }
+
+    def speculation_peak_kb(self) -> float:
+        if not self.speculation:
+            return 0.0
+        return max(r.peak_kb for r in self.speculation)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable summary, for archiving runs
+        (:mod:`repro.analysis.postprocess`)."""
+        return {
+            "consistency": self.config.core.consistency,
+            "cores": len(self.core_stats),
+            "total_cycles": self.total_cycles,
+            "total_instructions": self.total_instructions,
+            "ipc": self.ipc,
+            "imprecise_exceptions": self.total_imprecise_exceptions,
+            "faulting_stores": self.total_faulting_stores,
+            "precise_exceptions": sum(s.precise_exceptions
+                                      for s in self.core_stats),
+            "speculation_peak_kb": self.speculation_peak_kb(),
+            "per_core": [
+                {
+                    "instructions": s.instructions,
+                    "cycles": s.cycles,
+                    "ipc": s.ipc,
+                    "sb_full_stall_cycles": s.sb_full_stall_cycles,
+                    "exception_cycles": s.exception_cycles,
+                }
+                for s in self.core_stats
+            ],
+        }
+
+
+@dataclass
+class _SbSlot:
+    addr: int
+    drain_end: float
+    missed: bool
+    #: Denied by EInject; ``drain_end`` is then the *detection* time —
+    #: when the error response reaches the store buffer (§5.1).
+    faulted: bool = False
+
+
+class _TimingCore:
+    """Timing state for one core's trace replay."""
+
+    def __init__(self, system: "TimingSystem", core_id: int,
+                 trace: Sequence[TraceOp]) -> None:
+        self.system = system
+        self.id = core_id
+        self.trace = trace
+        self.pos = 0
+        cfg = system.config
+        self.model = cfg.core.consistency
+        self.width = cfg.core.width
+        self.rob_capacity = cfg.core.rob_entries
+        self.sb_capacity = cfg.core.store_buffer_entries
+        self.checkpoint_cap = system.checkpoint_cap
+        self._early_detect_acc = 0.0
+        #: Clock at which the oldest live checkpoint was taken
+        #: (aso_precise rollback accounting).
+        self._oldest_checkpoint_start: float = 0.0
+        self.clock = 0.0
+        self.rob: List[float] = []      # completion times, in order
+        self.sb: List[_SbSlot] = []
+        self.last_drain_end = 0.0
+        self.last_load_complete = 0.0
+        self.stats = CoreTimingStats()
+        self.interface = ArchitecturalInterface(core_id)
+        self.tracker: Optional[SpeculationTracker] = (
+            SpeculationTracker() if system.track_speculation else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.trace)
+
+    def _retire_for_dispatch(self) -> None:
+        """Make room in the ROB; a stalled head pushes the clock."""
+        if len(self.rob) >= self.rob_capacity:
+            head = self.rob.pop(0)
+            if head > self.clock:
+                self.clock = head
+
+    def _sb_occupancy(self) -> int:
+        # Faulted entries never complete on their own; they stay until
+        # the exception flow drains them to the FSB.
+        self.sb = [s for s in self.sb
+                   if s.faulted or s.drain_end > self.clock]
+        return len(self.sb)
+
+    def _check_detection(self) -> None:
+        """Fire the imprecise exception once the earliest denial's
+        error response has arrived (deferred detection — this is what
+        lets several faulting stores batch into one exception)."""
+        faulted = [s for s in self.sb if s.faulted]
+        if faulted and min(s.drain_end for s in faulted) <= self.clock:
+            self._imprecise_exception()
+
+    def _wait_for_checkpoint(self) -> None:
+        """ASO-with-k-checkpoints mode: a store may only retire
+        speculatively when a checkpoint is free, i.e. fewer than
+        ``checkpoint_cap`` store misses are outstanding — otherwise the
+        core stalls like the SC baseline (§3.2: the checkpoint count
+        reflects the number of outstanding store misses)."""
+        while True:
+            live = [s.drain_end for s in self.sb
+                    if s.missed and s.drain_end > self.clock]
+            if len(live) < self.checkpoint_cap:
+                return
+            earliest = min(live)
+            self.stats.sb_full_stall_cycles += max(
+                0.0, earliest - self.clock)
+            self.clock = max(self.clock, earliest)
+
+    def _sb_wait_for_slot(self) -> None:
+        while self._sb_occupancy() >= self.sb_capacity:
+            if any(s.faulted for s in self.sb):
+                self._imprecise_exception()
+                continue
+            earliest = min(s.drain_end for s in self.sb)
+            stall = earliest - self.clock
+            self.stats.sb_full_stall_cycles += max(0.0, stall)
+            self.clock = max(self.clock, earliest)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Replay one trace op, advancing the core clock."""
+        op = self.trace[self.pos]
+        self.pos += 1
+        self.stats.instructions += 1
+        self.clock += 1.0 / self.width
+        self._retire_for_dispatch()
+
+        if op.kind == ALU:
+            self.rob.append(self.clock + 1)
+        elif op.kind == LOAD:
+            self._do_load(op)
+        elif op.kind == STORE:
+            self._do_store(op)
+        else:  # SYNC
+            self._do_sync()
+        self._check_detection()
+        self.stats.cycles = max(self.stats.cycles, self.clock)
+
+    # ------------------------------------------------------------------
+    def _do_load(self, op: TraceOp) -> None:
+        self.stats.loads += 1
+        issue = self.clock
+        if op.dep:
+            issue = max(issue, self.last_load_complete)
+        result = self.system.hierarchy.access(self.id, op.addr, False)
+        if result.denied:
+            self._precise_fault(op.addr)
+            result = self.system.hierarchy.access(self.id, op.addr, False)
+            issue = max(issue, self.clock)
+        complete = issue + result.latency
+        self.last_load_complete = complete
+        self.rob.append(complete)
+        if self.tracker is not None:
+            self.tracker.on_load(int(issue), op.addr)
+
+    def _do_store(self, op: TraceOp) -> None:
+        self.stats.stores += 1
+        if self.model == ConsistencyModel.SC:
+            # No store buffer: the write is irrevocable, so it cannot
+            # begin until the store is non-speculative at the ROB head,
+            # and the store cannot retire until the write completes —
+            # stores serialise their full latency on the retire path.
+            result = self.system.hierarchy.access(self.id, op.addr, True)
+            if result.denied:
+                self._precise_fault(op.addr)
+                result = self.system.hierarchy.access(self.id, op.addr, True)
+            complete = max(self.clock, self.last_drain_end) + result.latency
+            self.last_drain_end = complete
+            self.rob.append(complete)
+            return
+
+        self._sb_wait_for_slot()
+
+        # WC coalescing: a pending drain to the same block absorbs the
+        # store (ASO likewise coalesces into the open checkpoint).
+        if self.model == ConsistencyModel.WC:
+            block = op.addr >> 6
+            for slot in self.sb:
+                if slot.addr >> 6 == block:
+                    self.rob.append(self.clock + 1)
+                    return
+
+        if self.checkpoint_cap is not None:
+            self._wait_for_checkpoint()
+        self.rob.append(self.clock + 1)   # retires into the buffer
+
+        result = self.system.hierarchy.access(self.id, op.addr, True)
+        if result.denied:
+            if self.system.aso_precise:
+                self._aso_rollback(op.addr)
+                return
+            fraction = self.system.early_detection_fraction
+            if fraction > 0.0:
+                # Qiu & Dubois-style early detection: a prefetch
+                # discovered the fault before retirement, so it is
+                # still precise (deterministic thinning).
+                self._early_detect_acc += fraction
+                if self._early_detect_acc >= 1.0:
+                    self._early_detect_acc -= 1.0
+                    self._precise_fault(op.addr)
+                    result = self.system.hierarchy.access(
+                        self.id, op.addr, True)
+                    if not result.denied:
+                        self.rob.append(self.clock + 1)
+                        self.sb.append(_SbSlot(
+                            op.addr, self.clock + result.latency,
+                            missed=result.hit_level != "L1"))
+                        return
+            # The denial is detected when the error response arrives,
+            # a full round trip later; until then the entry occupies
+            # the buffer and further stores keep retiring (§5.1).
+            self.sb.append(_SbSlot(op.addr, self.clock + result.latency,
+                                   missed=True, faulted=True))
+            return
+
+        overlap = sorted(s.drain_end for s in self.sb)
+        if len(overlap) >= WC_DRAIN_OVERLAP:
+            drain_start = max(self.clock, overlap[-WC_DRAIN_OVERLAP])
+        else:
+            drain_start = self.clock
+        drain_end = drain_start + result.latency
+        if self.model == ConsistencyModel.PC:
+            # Write-permission acquisitions overlap, but the buffer
+            # commits values to memory strictly in order (TSO).
+            drain_end = max(drain_end, self.last_drain_end + 1)
+        self.last_drain_end = drain_end
+        if not any(s.missed and s.drain_end > self.clock
+                   for s in self.sb):
+            self._oldest_checkpoint_start = self.clock
+        # Any store that is not an L1 write hit would stall an SC core
+        # at retirement — the ASO checkpoint condition.
+        missed = result.hit_level != "L1"
+        self.sb.append(_SbSlot(op.addr, drain_end, missed))
+        if self.tracker is not None:
+            self.tracker.on_store_retire(int(self.clock), int(drain_end),
+                                         missed, op.addr)
+
+    def _do_sync(self) -> None:
+        self.stats.syncs += 1
+        if any(s.faulted for s in self.sb):
+            # The fence blocks on the buffer; draining it surfaces the
+            # pending imprecise exceptions first (§5.4).
+            self._imprecise_exception()
+        drain = max((s.drain_end for s in self.sb), default=0.0)
+        self.clock = max(self.clock, drain, self.last_load_complete) + 1
+        self.sb.clear()
+        self.rob.append(self.clock)
+
+    def finalize(self) -> None:
+        """End of trace: surface any still-undetected denials."""
+        faulted = [s for s in self.sb if s.faulted]
+        if faulted:
+            self.clock = max(self.clock,
+                             max(s.drain_end for s in faulted))
+            self._imprecise_exception()
+            self.stats.cycles = max(self.stats.cycles, self.clock)
+
+    # ------------------------------------------------------------------
+    # Exceptions
+    # ------------------------------------------------------------------
+    def _imprecise_exception(self) -> None:
+        """Detection completed: FSB drain + flush + OS handler.
+
+        Every unfinished store in the buffer (same-stream) drains to
+        the FSB; all accumulated faulted entries are handled in one
+        invocation — the batching effect of §5.3.
+        """
+        self.stats.imprecise_exceptions += 1
+        cfg = self.system.config
+
+        entries = list(self.sb)
+        self.sb.clear()
+        drain_cycles = 0
+        for slot in entries:
+            code = (ExceptionCode.EINJECT_BUS_ERROR
+                    if self.system.einject.is_faulting(slot.addr)
+                    else ExceptionCode.NONE)
+            drain_cycles += self.interface.put(slot.addr, 0,
+                                               error_code=code)
+        uarch = drain_cycles + FLUSH_REFILL_CYCLES
+        self.stats.uarch_cycles += uarch
+        self.clock += uarch
+        self.rob.clear()
+
+        faults_before = sum(1 for e in self.interface.peek_all()
+                            if e.is_faulting)
+        self.stats.faulting_stores += faults_before
+
+        def resolve(entry: FsbEntry) -> int:
+            self.system.einject.mmio_clr(entry.addr)
+            return cfg.os.resolve_fault_cycles
+
+        def apply(entry: FsbEntry) -> None:
+            self.system.hierarchy.access(self.id, entry.addr, True)
+
+        invocation = self.system.handler.handle(self.interface, resolve,
+                                                apply)
+        costs = invocation.costs
+        self.stats.os_apply_cycles += costs.os_apply
+        self.stats.os_resolve_cycles += costs.os_resolve
+        self.stats.os_other_cycles += costs.os_other
+        self.clock += costs.total
+        self.last_drain_end = self.clock
+
+    def _aso_rollback(self, addr: int) -> None:
+        """ASO precise-exception path (§3.2): squash back to the
+        checkpoint before the faulting store, pay the re-execution of
+        everything speculated since, then take a normal precise trap
+        and retry the store non-speculatively."""
+        self.stats.precise_exceptions += 1
+        cfg = self.system.config
+        # Work speculated since the oldest live checkpoint is redone.
+        live_starts = [s.drain_end for s in self.sb if s.missed]
+        rollback = max(0.0, self.clock - self._oldest_checkpoint_start)
+        self.stats.uarch_cycles += rollback + FLUSH_REFILL_CYCLES
+        self.clock += rollback + FLUSH_REFILL_CYCLES
+        self.sb.clear()
+        self.rob.clear()
+        self.system.einject.mmio_clr(addr)
+        cost = (cfg.os.trap_entry_cycles + cfg.os.dispatch_cycles
+                + cfg.os.resolve_fault_cycles
+                + cfg.os.context_switch_cycles)
+        self.stats.os_other_cycles += cost
+        self.clock += cost
+        retry = self.system.hierarchy.access(self.id, addr, True)
+        self.sb.append(_SbSlot(addr, self.clock + retry.latency,
+                               missed=retry.hit_level != "L1"))
+        self._oldest_checkpoint_start = self.clock
+
+    def _precise_fault(self, addr: int) -> None:
+        """A load/atomic (or SC store) was denied: precise handling."""
+        self.stats.precise_exceptions += 1
+        cfg = self.system.config
+        # §5.3: drain the buffer first; faulting stores there go the
+        # imprecise way before the precise handler runs.
+        if any(s.faulted for s in self.sb):
+            self._imprecise_exception()
+        self.system.einject.mmio_clr(addr)
+        cost = (cfg.os.trap_entry_cycles + cfg.os.dispatch_cycles
+                + cfg.os.resolve_fault_cycles
+                + cfg.os.context_switch_cycles)
+        self.stats.os_other_cycles += cost
+        self.clock += cost
+
+
+class TimingSystem:
+    """Replays one trace per core against the shared hierarchy."""
+
+    def __init__(self, config: SystemConfig,
+                 traces: Sequence[Sequence[TraceOp]],
+                 einject: Optional[EInject] = None,
+                 handler: Optional[object] = None,
+                 track_speculation: bool = False,
+                 checkpoint_cap: Optional[int] = None,
+                 early_detection_fraction: float = 0.0,
+                 aso_precise: bool = False) -> None:
+        """``checkpoint_cap`` enables ASO-with-k-checkpoints mode:
+        stores stall at retirement when ``k`` store misses are already
+        outstanding, interpolating between the SC baseline (cap 0-ish)
+        and full WC (cap = ∞).
+
+        ``early_detection_fraction`` models the Qiu & Dubois
+        prefetch-based alternative the paper discusses (§1's second
+        approach): that fraction of store faults is discovered by a
+        prefetch *before* the store retires, so it is handled as a
+        conventional precise exception (no FSB flow) — at the price of
+        the precise-trap cost and the prefetch traffic it implies.
+
+        ``aso_precise`` models the paper's §3 alternative: ASO keeps
+        exceptions *precise* by rolling the core back to the
+        checkpoint taken before the faulting store and re-executing —
+        so a fault pays a rollback (the speculated work since the
+        checkpoint is squashed and redone) plus a conventional precise
+        trap, but never uses the FSB.  Performance-wise this matches
+        WC in the fault-free common case; the silicon bill is what
+        Table 3 and the checkpoint sweep quantify.
+        """
+        if len(traces) > config.cores:
+            raise ValueError(
+                f"{len(traces)} traces for {config.cores} cores")
+        if not (0.0 <= early_detection_fraction <= 1.0):
+            raise ValueError("early_detection_fraction must be in [0,1]")
+        self.config = config
+        self.checkpoint_cap = checkpoint_cap
+        self.early_detection_fraction = early_detection_fraction
+        self.aso_precise = aso_precise
+        self.einject = einject or EInject()
+        self.memory = MemoryController(config.memory, self.einject)
+        self.hierarchy = CoherentHierarchy(config, self.memory)
+        self.handler = handler or MinimalHandler(config.os)
+        self.track_speculation = track_speculation
+        self.cores = [
+            _TimingCore(self, i, trace) for i, trace in enumerate(traces)
+        ]
+
+    def run(self) -> TimingResult:
+        """Advance cores in time order until every trace is consumed."""
+        heap = [(core.clock, core.id) for core in self.cores
+                if not core.done]
+        heapq.heapify(heap)
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            core = self.cores[core_id]
+            if core.done:
+                continue
+            core.step()
+            if not core.done:
+                heapq.heappush(heap, (core.clock, core.id))
+            else:
+                core.finalize()
+        spec = None
+        if self.track_speculation:
+            spec = [c.tracker.report() for c in self.cores
+                    if c.tracker is not None]
+        return TimingResult(
+            config=self.config,
+            core_stats=[c.stats for c in self.cores],
+            speculation=spec,
+        )
+
+
+def run_trace(config: SystemConfig,
+              traces: Sequence[Sequence[TraceOp]],
+              einject: Optional[EInject] = None,
+              handler: Optional[object] = None,
+              track_speculation: bool = False,
+              checkpoint_cap: Optional[int] = None) -> TimingResult:
+    """One-shot convenience wrapper."""
+    return TimingSystem(config, traces, einject, handler,
+                        track_speculation, checkpoint_cap).run()

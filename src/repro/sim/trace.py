@@ -1,0 +1,80 @@
+"""Instruction traces for the timing engine.
+
+The performance experiments (Table 3, Figures 5-6) are trace-driven,
+like the paper's QFlex runs: workload models emit per-core streams of
+:class:`TraceOp` and the timing engine replays them against the cache
+hierarchy and store-buffer model.
+
+Op kinds:
+
+* ``L`` — load from ``addr``; ``dep`` marks it data-dependent on the
+  previous load (pointer chasing — serialises memory-level
+  parallelism).
+* ``S`` — store to ``addr``.
+* ``A`` — non-memory (ALU/branch/other) work.
+* ``F`` — synchronisation (fence/atomic); drains the store buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence
+
+
+class TraceOp(NamedTuple):
+    kind: str      # 'L' | 'S' | 'A' | 'F'
+    addr: int = 0
+    dep: bool = False
+
+
+LOAD, STORE, ALU, SYNC = "L", "S", "A", "F"
+_VALID_KINDS = frozenset({LOAD, STORE, ALU, SYNC})
+
+
+@dataclass
+class InstructionMix:
+    """Fractions of each class, Table 3 left columns."""
+
+    store: float
+    load: float
+    sync: float
+    other: float
+
+    def as_percentages(self) -> Dict[str, float]:
+        return {
+            "Store": 100 * self.store,
+            "Load": 100 * self.load,
+            "Sync": 100 * self.sync,
+            "Others": 100 * self.other,
+        }
+
+    def validate(self) -> None:
+        total = self.store + self.load + self.sync + self.other
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mix sums to {total}, expected 1.0")
+
+
+def measure_mix(trace: Sequence[TraceOp]) -> InstructionMix:
+    """Measure the instruction mix of a trace."""
+    if not trace:
+        return InstructionMix(0.0, 0.0, 0.0, 0.0)
+    counts = {k: 0 for k in _VALID_KINDS}
+    for op in trace:
+        counts[op.kind] += 1
+    n = len(trace)
+    return InstructionMix(
+        store=counts[STORE] / n,
+        load=counts[LOAD] / n,
+        sync=counts[SYNC] / n,
+        other=counts[ALU] / n,
+    )
+
+
+def validate_trace(trace: Iterable[TraceOp]) -> int:
+    """Check op kinds; returns the length."""
+    n = 0
+    for op in trace:
+        if op.kind not in _VALID_KINDS:
+            raise ValueError(f"bad trace op kind {op.kind!r} at index {n}")
+        n += 1
+    return n

@@ -1,0 +1,73 @@
+"""MMU: TLB + page table, with late-translation support.
+
+Two translation points exist, mirroring the paper's Midgard example
+(§2.2): the *front-side* translation performed before the cache
+hierarchy (always precise — load/store still in the pipeline) and the
+*back-side* translation performed on an LLC miss, whose page faults
+arrive after the store has retired — the imprecise case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import TlbConfig
+from .pagetable import FaultType, PageTable, TranslationResult
+from .tlb import Tlb, TlbResult
+
+
+@dataclass
+class MmuResult:
+    fault: FaultType
+    physical: Optional[int]
+    latency: int
+    tlb_level: str
+
+
+class Mmu:
+    """Per-core MMU front-end."""
+
+    def __init__(self, config: TlbConfig, page_table: PageTable) -> None:
+        self.tlb = Tlb(config)
+        self.page_table = page_table
+
+    def translate(self, vaddr: int, is_write: bool = False) -> MmuResult:
+        tlb_result = self.tlb.lookup(vaddr)
+        if tlb_result.frame is not None:
+            # TLB hit: permissions still checked against the PTE.
+            check = self.page_table.translate(vaddr, is_write)
+            if check.fault is not FaultType.NONE:
+                return MmuResult(check.fault, None, tlb_result.latency,
+                                 tlb_result.level)
+            return MmuResult(FaultType.NONE, check.physical,
+                             tlb_result.latency, tlb_result.level)
+
+        walk = self.page_table.translate(vaddr, is_write)
+        if walk.fault is not FaultType.NONE:
+            return MmuResult(walk.fault, None, tlb_result.latency, "WALK")
+        entry = self.page_table.entry(vaddr)
+        assert entry is not None
+        self.tlb.fill(vaddr, entry.frame)
+        return MmuResult(FaultType.NONE, walk.physical, tlb_result.latency,
+                         "WALK")
+
+
+class LateTranslationPoint:
+    """Back-side (Midgard-style) translation at the LLC boundary.
+
+    Used by scenario models where the page-based translation happens
+    only on a cache-hierarchy miss and can fault long after the store
+    retired.  Latency is charged by the hierarchy; this class only
+    answers whether the access faults.
+    """
+
+    def __init__(self, page_table: PageTable) -> None:
+        self.page_table = page_table
+        self.late_faults = 0
+
+    def check(self, vaddr: int, is_write: bool) -> TranslationResult:
+        result = self.page_table.translate(vaddr, is_write)
+        if result.fault is not FaultType.NONE:
+            self.late_faults += 1
+        return result

@@ -1,0 +1,95 @@
+"""Page tables and translation faults.
+
+A flat virtual→physical map with per-page permissions and presence
+bits.  Demand paging and lazy allocation are expressed as pages that
+are mapped-but-not-present; touching them raises a page fault whose
+resolution latency the OS model charges (µs for lazy allocation, ms
+for demand paging from storage — paper §4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+
+
+class FaultType(enum.Enum):
+    NONE = "none"
+    NOT_PRESENT_LAZY = "lazy-alloc"      # µs-scale fix-up
+    NOT_PRESENT_SWAPPED = "demand-page"  # ms-scale IO
+    PROTECTION = "protection"            # irrecoverable for the app
+    UNMAPPED = "segfault"                # irrecoverable
+
+
+@dataclass
+class PageTableEntry:
+    frame: int
+    present: bool = True
+    writable: bool = True
+    swapped: bool = False
+
+
+@dataclass
+class TranslationResult:
+    fault: FaultType
+    physical: Optional[int] = None
+
+
+class PageTable:
+    """One address space's page table."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+        self.faults: Dict[FaultType, int] = {t: 0 for t in FaultType}
+
+    @staticmethod
+    def vpn(vaddr: int) -> int:
+        return vaddr >> PAGE_BITS
+
+    def map_page(self, vaddr: int, frame: Optional[int] = None,
+                 present: bool = True, writable: bool = True,
+                 swapped: bool = False) -> PageTableEntry:
+        vpn = self.vpn(vaddr)
+        entry = PageTableEntry(
+            frame=frame if frame is not None else vpn,
+            present=present, writable=writable, swapped=swapped)
+        self._entries[vpn] = entry
+        return entry
+
+    def unmap(self, vaddr: int) -> None:
+        self._entries.pop(self.vpn(vaddr), None)
+
+    def entry(self, vaddr: int) -> Optional[PageTableEntry]:
+        return self._entries.get(self.vpn(vaddr))
+
+    def translate(self, vaddr: int, is_write: bool = False) -> TranslationResult:
+        entry = self._entries.get(self.vpn(vaddr))
+        if entry is None:
+            self.faults[FaultType.UNMAPPED] += 1
+            return TranslationResult(FaultType.UNMAPPED)
+        if not entry.present:
+            fault = (FaultType.NOT_PRESENT_SWAPPED if entry.swapped
+                     else FaultType.NOT_PRESENT_LAZY)
+            self.faults[fault] += 1
+            return TranslationResult(fault)
+        if is_write and not entry.writable:
+            self.faults[FaultType.PROTECTION] += 1
+            return TranslationResult(FaultType.PROTECTION)
+        physical = (entry.frame << PAGE_BITS) | (vaddr & (PAGE_SIZE - 1))
+        return TranslationResult(FaultType.NONE, physical)
+
+    def make_present(self, vaddr: int) -> None:
+        """Resolve a not-present fault (lazy alloc / page-in)."""
+        entry = self._entries.get(self.vpn(vaddr))
+        if entry is None:
+            raise KeyError(f"no mapping for 0x{vaddr:x}")
+        entry.present = True
+        entry.swapped = False
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,89 @@
+"""Two-level TLB (Table 2: L1 48 entries, L2 1024 entries)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import TlbConfig
+
+
+class _LruTlb:
+    """One TLB level: LRU, fully-associative (adequate at these sizes)."""
+
+    def __init__(self, entries: int) -> None:
+        self.capacity = entries
+        self._map: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        frame = self._map.get(vpn)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._map.move_to_end(vpn)
+        self.hits += 1
+        return frame
+
+    def insert(self, vpn: int, frame: int) -> None:
+        if vpn in self._map:
+            self._map.move_to_end(vpn)
+        self._map[vpn] = frame
+        if len(self._map) > self.capacity:
+            self._map.popitem(last=False)
+
+    def invalidate(self, vpn: Optional[int] = None) -> None:
+        if vpn is None:
+            self._map.clear()
+        else:
+            self._map.pop(vpn, None)
+
+
+@dataclass
+class TlbResult:
+    frame: Optional[int]
+    latency: int
+    level: str                  # "L1", "L2", "WALK", "MISS"
+
+
+class Tlb:
+    """L1+L2 TLB with a page-walk fallback latency.
+
+    ``lookup`` returns the frame (or None when the page table must be
+    consulted by the caller) plus the cycles spent.  On a walk the
+    caller resolves the mapping and calls :meth:`fill`.
+    """
+
+    def __init__(self, config: TlbConfig) -> None:
+        self.config = config
+        self.l1 = _LruTlb(config.l1_entries)
+        self.l2 = _LruTlb(config.l2_entries)
+        self.walks = 0
+
+    def lookup(self, vaddr: int) -> TlbResult:
+        vpn = vaddr >> self.config.page_bits
+        frame = self.l1.lookup(vpn)
+        if frame is not None:
+            return TlbResult(frame, self.config.l1_latency, "L1")
+        frame = self.l2.lookup(vpn)
+        if frame is not None:
+            self.l1.insert(vpn, frame)
+            return TlbResult(
+                frame, self.config.l1_latency + self.config.l2_latency, "L2")
+        self.walks += 1
+        latency = (self.config.l1_latency + self.config.l2_latency
+                   + self.config.walk_latency)
+        return TlbResult(None, latency, "WALK")
+
+    def fill(self, vaddr: int, frame: int) -> None:
+        vpn = vaddr >> self.config.page_bits
+        self.l1.insert(vpn, frame)
+        self.l2.insert(vpn, frame)
+
+    def shootdown(self, vaddr: Optional[int] = None) -> None:
+        """tlbi: invalidate one page (or everything)."""
+        vpn = None if vaddr is None else vaddr >> self.config.page_bits
+        self.l1.invalidate(vpn)
+        self.l2.invalidate(vpn)

@@ -1,0 +1,37 @@
+"""Workload models: GAP, Tailbench, Cloudsuite, and the Figure 5
+microbenchmark."""
+
+from .base import AddressMap, Region, TraceBuilder, Workload
+from .cloudsuite import (
+    data_caching_workload,
+    data_serving_workload,
+    media_streaming_workload,
+)
+from .gap import BcKernel, BfsKernel, Graph, SsspKernel, gap_workload, generate_graph
+from .microbench import (
+    MicrobenchResult,
+    build_store_loop,
+    figure5_sweep,
+    run_microbenchmark,
+)
+from .registry import (
+    PAPER_TABLE3,
+    PaperReference,
+    build_workload,
+    figure6_workload_names,
+    table3_workload_names,
+)
+from .tailbench import masstree_workload, silo_workload
+
+__all__ = [
+    "AddressMap", "Region", "TraceBuilder", "Workload",
+    "data_caching_workload", "data_serving_workload",
+    "media_streaming_workload",
+    "BcKernel", "BfsKernel", "Graph", "SsspKernel", "gap_workload",
+    "generate_graph",
+    "MicrobenchResult", "build_store_loop", "figure5_sweep",
+    "run_microbenchmark",
+    "PAPER_TABLE3", "PaperReference", "build_workload",
+    "figure6_workload_names", "table3_workload_names",
+    "masstree_workload", "silo_workload",
+]

@@ -1,0 +1,136 @@
+"""Cloudsuite models for Table 3: Data Caching, Media Streaming,
+Data Serving.
+
+These appear only in the Table 3 study (instruction mix, WC speedup,
+speculation state), so the models focus on the memory behaviour that
+drives those numbers:
+
+* **Data Caching** (memcached): GET-heavy hash-table lookups with a
+  small SET fraction — 11 % stores / 24 % loads.
+* **Media Streaming** (nginx): long sequential buffer reads chunked
+  into client send buffers — 9 % stores / 13 % loads.
+* **Data Serving** (Cassandra): keyed reads + memtable appends with a
+  commit log — 9 % stores / 24 % loads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import WORD, AddressMap, TraceBuilder, Workload, calibrate_mix, skewed_index
+
+
+def data_caching_workload(cores: int = 4, requests_per_core: int = 400,
+                          buckets: int = 8192, seed: int = 1) -> Workload:
+    rng = random.Random(seed)
+    amap = AddressMap()
+    table_r = amap.alloc("hashtable", buckets * 2 * WORD)
+    values_r = amap.alloc("values", buckets * 8 * WORD)
+    lru_r = amap.alloc("lru", buckets * WORD)
+
+    traces = []
+    work = 0
+    for core in range(cores):
+        tb = TraceBuilder(random.Random(seed * 43 + core))
+        part = buckets // cores
+        for _ in range(requests_per_core):
+            # Sharded key space: ~90 % of requests hit this worker's
+            # partition (memcached-style key hashing).
+            if rng.random() < 0.9:
+                key = core * part + skewed_index(rng, part)
+            else:
+                key = skewed_index(rng, buckets)
+            tb.load(table_r.addr(key * 2))            # bucket head
+            tb.load(values_r.addr(key * 8), dep=True)  # chase to item
+            tb.load(values_r.addr(key * 8 + 1))
+            tb.alu(5)
+            if rng.random() < 0.30:                   # SET
+                tb.store(values_r.addr(key * 8 + 1))
+                tb.store(lru_r.addr(key))
+                tb.alu(2)
+            else:                                     # GET
+                tb.load(lru_r.addr(key))
+                tb.store(lru_r.addr(key))             # LRU touch
+                tb.alu(3)
+            work += 1
+        stack = amap.alloc(f"stack{core}", 4096)
+        traces.append(calibrate_mix(tb.build(), stack, 11, 24,
+                                    random.Random(seed * 7 + core)))
+    return Workload("Data Caching", traces, amap, work_items=work)
+
+
+def media_streaming_workload(cores: int = 4, chunks_per_core: int = 250,
+                             chunk_words: int = 16, seed: int = 1) -> Workload:
+    rng = random.Random(seed)
+    amap = AddressMap()
+    media_r = amap.alloc("media", 1 << 22)
+    sendbuf_r = amap.alloc("sendbuf", 1 << 16)
+    session_r = amap.alloc("sessions", 4096 * WORD)
+
+    traces = []
+    work = 0
+    for core in range(cores):
+        tb = TraceBuilder(random.Random(seed * 47 + core))
+        cursor = rng.randrange(1 << 20)
+        for _ in range(chunks_per_core):
+            session = rng.randrange(4096)
+            tb.load(session_r.addr(session))
+            tb.alu(6)
+            for w in range(chunk_words):
+                tb.load(media_r.byte(cursor + w * WORD))
+                tb.alu(8)
+                if w % 2 == 0:
+                    tb.store(sendbuf_r.byte((session * 64 + w) * WORD))
+            tb.store(session_r.addr(session))         # cursor update
+            tb.alu(10)
+            cursor += chunk_words * WORD
+            work += 1
+        stack = amap.alloc(f"stack{core}", 4096)
+        traces.append(calibrate_mix(tb.build(), stack, 9, 13,
+                                    random.Random(seed * 7 + core)))
+    return Workload("Media Streaming", traces, amap, work_items=work)
+
+
+def data_serving_workload(cores: int = 4, requests_per_core: int = 350,
+                          rows: int = 8192, seed: int = 1) -> Workload:
+    rng = random.Random(seed)
+    amap = AddressMap()
+    index_r = amap.alloc("rowindex", rows * WORD)
+    memtable_r = amap.alloc("memtable", rows * 4 * WORD)
+    sstable_r = amap.alloc("sstable", 1 << 22)
+    commitlog_r = amap.alloc("commitlog", 1 << 20)
+
+    traces = []
+    work = 0
+    for core in range(cores):
+        tb = TraceBuilder(random.Random(seed * 53 + core))
+        log_cursor = core * (1 << 16)
+        part = rows // cores
+        for _ in range(requests_per_core):
+            if rng.random() < 0.9:
+                row = core * part + skewed_index(rng, part)
+            else:
+                row = skewed_index(rng, rows)
+            tb.load(index_r.addr(row))
+            tb.alu(4)
+            if rng.random() < 0.25:                   # write path
+                tb.store(commitlog_r.byte(log_cursor))
+                log_cursor += 2 * WORD
+                tb.store(memtable_r.addr(row * 4))
+                tb.store(memtable_r.addr(row * 4 + 1))
+                tb.alu(6)
+            else:                                     # read path
+                tb.load(memtable_r.addr(row * 4), dep=True)
+                if rng.random() < 0.5:                # memtable miss
+                    tb.load(sstable_r.byte(row * 64))
+                    tb.load(sstable_r.byte(row * 64 + WORD))
+                tb.alu(7)
+            for _ in range(2):
+                tb.load(index_r.addr(rng.randrange(rows)))
+                tb.alu(3)
+            work += 1
+        stack = amap.alloc(f"stack{core}", 4096)
+        traces.append(calibrate_mix(tb.build(), stack, 9, 24,
+                                    random.Random(seed * 7 + core)))
+    return Workload("Data Serving", traces, amap, work_items=work)

@@ -1,0 +1,90 @@
+"""Workload registry: the Table 3 roster and paper reference values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .base import Workload
+from .cloudsuite import (
+    data_caching_workload,
+    data_serving_workload,
+    media_streaming_workload,
+)
+from .gap import gap_workload
+from .tailbench import masstree_workload, silo_workload
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Table 3's published values for one workload."""
+
+    suite: str
+    store_pct: int
+    load_pct: int
+    sync_pct: float
+    wc_speedup: float
+    state_kb_baseline: int
+    state_kb_2x_memory: int
+    state_kb_4x_skew: int
+
+
+#: Table 3, verbatim from the paper.
+PAPER_TABLE3: Dict[str, PaperReference] = {
+    "BFS": PaperReference("GAP", 11, 22, 0.5, 1.53, 14, 14, 17),
+    "SSSP": PaperReference("GAP", 3, 22, 1.0, 1.06, 21, 21, 21),
+    "BC": PaperReference("GAP", 25, 25, 0.0, 3.24, 18, 18, 18),
+    "Silo": PaperReference("Tailbench", 7, 13, 2.0, 1.15, 18, 18, 25),
+    "Masstree": PaperReference("Tailbench", 14, 13, 0.5, 1.60, 16, 16, 16),
+    "Data Caching": PaperReference("Cloudsuite", 11, 24, 0.5, 1.12, 17, 17, 22),
+    "Media Streaming": PaperReference("Cloudsuite", 9, 13, 0.5, 1.16, 14, 14, 17),
+    "Data Serving": PaperReference("Cloudsuite", 9, 24, 0.5, 1.10, 14, 17, 23),
+}
+
+
+def build_workload(name: str, cores: int = 4, seed: int = 1,
+                   scale: float = 1.0, inject: bool = False,
+                   trials: int = 1) -> Workload:
+    """Build a Table 3 workload by name.
+
+    ``scale`` multiplies the default problem size; ``inject`` allocates
+    the workload's data from the EInject region (Figure 6 only applies
+    to GAP and Tailbench); ``trials`` repeats GAP kernels from fresh
+    sources (ignored elsewhere).
+    """
+    key = name.strip()
+    if key.upper() in ("BFS", "SSSP", "BC"):
+        return gap_workload(key.upper(), cores=cores,
+                            nodes=max(256, int(2048 * scale)), seed=seed,
+                            inject_graph=inject, trials=trials)
+    if key == "Silo":
+        return silo_workload(cores=cores,
+                             requests_per_core=max(50, int(300 * scale)),
+                             seed=seed, inject_packets=inject)
+    if key == "Masstree":
+        return masstree_workload(cores=cores,
+                                 requests_per_core=max(50, int(300 * scale)),
+                                 seed=seed, inject_packets=inject)
+    if key == "Data Caching":
+        return data_caching_workload(cores=cores,
+                                     requests_per_core=max(50, int(400 * scale)),
+                                     seed=seed)
+    if key == "Media Streaming":
+        return media_streaming_workload(cores=cores,
+                                        chunks_per_core=max(50, int(250 * scale)),
+                                        seed=seed)
+    if key == "Data Serving":
+        return data_serving_workload(cores=cores,
+                                     requests_per_core=max(50, int(350 * scale)),
+                                     seed=seed)
+    raise KeyError(f"unknown workload {name!r}; "
+                   f"choose from {sorted(PAPER_TABLE3)}")
+
+
+def table3_workload_names() -> List[str]:
+    return list(PAPER_TABLE3)
+
+
+def figure6_workload_names() -> List[str]:
+    """Figure 6 evaluates GAP (BFS/SSSP/BC) and Tailbench."""
+    return ["BFS", "SSSP", "BC", "Silo", "Masstree"]

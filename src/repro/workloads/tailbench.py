@@ -1,0 +1,158 @@
+"""Tailbench models: Silo and Masstree (paper Table 3, Figure 6).
+
+*Silo* is an in-memory OLTP engine: each request is a short
+transaction over a few records — index lookup, record reads, one or
+two record writes, and a commit-log append.  *Masstree* is a
+trie/B+-tree hybrid key-value store: each request walks tree levels
+(pointer chasing — dependent loads) and occasionally inserts.
+
+Both run in the paper's "integrated mode": a single process serves a
+request stream for a fixed amount of work; the metric is aggregated
+throughput (requests per cycle).  For Figure 6 the request packets
+(and the store's value heap) are allocated from the EInject region.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .base import WORD, AddressMap, TraceBuilder, Workload, calibrate_mix, skewed_index
+
+#: Cold-spill pad fractions, calibrated against Table 3 WC speedups.
+SILO_COLD_FRACTION = 0.0
+MASSTREE_COLD_FRACTION = 0.0
+
+
+def silo_workload(cores: int = 4, requests_per_core: int = 300,
+                  table_records: int = 4096, seed: int = 1,
+                  inject_packets: bool = False,
+                  reads_per_txn: int = 20, writes_per_txn: int = 4) -> Workload:
+    """Silo-style OLTP: read-mostly transactions with a log append.
+
+    Mix target (Table 3): ~7 % stores, ~13 % loads, ~2 % sync.
+
+    With ``inject_packets`` the request/response packet buffers come
+    from the EInject region (the Figure 6 methodology): parsing a new
+    request page raises a precise load fault, writing a new response
+    page raises an imprecise store exception.
+    """
+    rng = random.Random(seed)
+    amap = AddressMap()
+    index_r = amap.alloc("index", table_records * WORD)
+    records_r = amap.alloc("records", table_records * 8 * WORD)
+    log_r = amap.alloc("log", 1 << 20)
+    packets_r = amap.alloc("packets", requests_per_core * cores * 32,
+                           injectable=inject_packets)
+    responses_r = amap.alloc("responses", requests_per_core * cores * 32,
+                             injectable=inject_packets)
+
+    traces = []
+    work = 0
+    for core in range(cores):
+        tb = TraceBuilder(random.Random(seed * 41 + core))
+        log_cursor = core * (1 << 16)
+        part = table_records // cores
+        for req in range(requests_per_core):
+            packet = (core * requests_per_core + req) * 32
+            tb.load(packets_r.byte(packet))          # parse request
+            tb.alu(6)
+            # Read set via the index.
+            written = None
+            for _ in range(reads_per_txn):
+                # Home-warehouse locality (TPC-C style): most records
+                # touched belong to this worker's partition.
+                if rng.random() < 0.9:
+                    key = core * part + skewed_index(rng, part)
+                else:
+                    key = skewed_index(rng, table_records)
+                tb.load(index_r.addr(key))           # hash index probe
+                tb.load(records_r.addr(key * 8), dep=True)
+                tb.load(records_r.addr(key * 8 + 1))
+                tb.alu(8)
+                written = key
+            # Write set: record updates + log append + response.
+            for wr in range(writes_per_txn):
+                tb.store(records_r.addr((written + wr) * 8 + 1))
+                tb.alu(6)
+            tb.store(log_r.byte(log_cursor))
+            log_cursor += WORD
+            tb.store(responses_r.byte(packet))
+            # Commit fence (Silo's epoch-based group commit).
+            if req % 32 == 0:
+                tb.sync()
+            tb.alu(12)
+            work += 1
+        stack = amap.alloc(f"stack{core}", 4096)
+        spill = amap.alloc(f"spill{core}", 128 * 1024)
+        traces.append(calibrate_mix(tb.build(), stack, 7, 13,
+                                    random.Random(seed * 7 + core),
+                                    cold_region=spill,
+                                    cold_fraction=SILO_COLD_FRACTION))
+    return Workload("Silo", traces, amap, work_items=work)
+
+
+def masstree_workload(cores: int = 4, requests_per_core: int = 300,
+                      keys: int = 8192, fanout: int = 16, seed: int = 1,
+                      inject_packets: bool = False,
+                      write_fraction: float = 0.15,
+                      keys_per_request: int = 8) -> Workload:
+    """Masstree-style key-value store: tree descents per request
+    (multi-get of ``keys_per_request`` keys).
+
+    Mix target (Table 3): ~14 % stores, ~13 % loads.
+    """
+    rng = random.Random(seed)
+    amap = AddressMap()
+    levels = 1
+    span = fanout
+    while span < keys:
+        levels += 1
+        span *= fanout
+    node_regions = [amap.alloc(f"level{d}", max(1, keys // (fanout ** (levels - 1 - d))) * fanout * WORD)
+                    for d in range(levels)]
+    values_r = amap.alloc("values", keys * 4 * WORD)
+    packets_r = amap.alloc("packets", requests_per_core * cores * 32,
+                           injectable=inject_packets)
+    responses_r = amap.alloc("responses", requests_per_core * cores * 32,
+                             injectable=inject_packets)
+
+    traces = []
+    work = 0
+    for core in range(cores):
+        tb = TraceBuilder(random.Random(seed * 59 + core))
+        for req in range(requests_per_core):
+            packet = (core * requests_per_core + req) * 32
+            tb.load(packets_r.byte(packet))
+            tb.alu(4)
+            for _ in range(keys_per_request):
+                key = skewed_index(rng, keys, hot_frac=0.1, hot_prob=0.6)
+                # Tree descent: one dependent load per level.
+                slot = key
+                for depth, region in enumerate(node_regions):
+                    tb.load(region.addr(slot % (region.size // WORD)),
+                            dep=depth > 0)
+                    tb.alu(3)
+                    slot //= fanout
+                is_write = rng.random() < write_fraction
+                if is_write:
+                    # Insert/update: write the value + version bump +
+                    # node dirty marks (hand-over-hand versioning).
+                    tb.store(values_r.addr(key * 4))
+                    tb.store(values_r.addr(key * 4 + 1))
+                    tb.store(node_regions[-1].addr(
+                        key % (node_regions[-1].size // WORD)))
+                    tb.alu(4)
+                else:
+                    tb.load(values_r.addr(key * 4), dep=True)
+                    tb.alu(5)
+            tb.store(responses_r.byte(packet))
+            work += 1
+        stack = amap.alloc(f"stack{core}", 4096)
+        spill = amap.alloc(f"spill{core}", 128 * 1024)
+        traces.append(calibrate_mix(tb.build(), stack, 14, 13,
+                                    random.Random(seed * 7 + core),
+                                    cold_region=spill,
+                                    cold_fraction=MASSTREE_COLD_FRACTION))
+    return Workload("Masstree", traces, amap, work_items=work)

@@ -1,0 +1,91 @@
+"""Tests for the analysis drivers and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    measure_figure6,
+    measure_workload,
+    render_bar_series,
+    render_figure5,
+    render_figure6,
+    render_table,
+    render_table3,
+    run_figure6,
+)
+from repro.analysis.figure6 import FIGURE6_PARAMS
+from repro.workloads import PAPER_TABLE3, figure6_workload_names
+
+
+class TestTable3Driver:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return measure_workload("Masstree", cores=2, scale=0.25)
+
+    def test_row_fields(self, row):
+        assert row.workload == "Masstree"
+        assert row.suite == "Tailbench"
+        assert row.paper_wc_speedup == PAPER_TABLE3["Masstree"].wc_speedup
+
+    def test_mix_near_paper(self, row):
+        assert abs(row.store_pct - 14) < 3
+        assert abs(row.load_pct - 13) < 3
+
+    def test_speedup_positive_and_sane(self, row):
+        assert 0.8 < row.wc_speedup < 4.0
+
+    def test_state_columns_populated(self, row):
+        assert row.state_kb_baseline > 0
+        assert row.state_kb_4x_skew > 0
+
+    def test_as_dict_rounding(self, row):
+        d = row.as_dict()
+        assert d["workload"] == "Masstree"
+        assert isinstance(d["WC speedup"], float)
+
+
+class TestFigure6Driver:
+    def test_figure6_params_cover_all_workloads(self):
+        assert set(FIGURE6_PARAMS) == set(figure6_workload_names())
+
+    def test_measure_single_workload(self):
+        row = measure_figure6("Silo", cores=1)
+        assert 0.8 < row.relative_performance <= 1.001
+        assert row.imprecise_exceptions > 0
+        assert row.baseline_throughput >= row.imprecise_throughput
+
+    def test_batching_variant_not_worse(self):
+        minimal = measure_figure6("Masstree", cores=1)
+        batched = measure_figure6("Masstree", cores=1, batching=True)
+        assert (batched.relative_performance
+                >= minimal.relative_performance - 0.02)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [(1, 2.5), ("xx", "y")],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert all(len(lines[2]) >= len("a  bb") for _ in [0])
+
+    def test_render_bar_series(self):
+        text = render_bar_series({"x": 2.0, "y": 1.0}, width=10,
+                                 title="bars")
+        assert "##########" in text
+        assert "#####" in text
+
+    def test_render_bar_series_empty(self):
+        assert render_bar_series({}, title="t") == "t"
+
+    def test_render_figure5_rows(self):
+        rows = [{"fault_fraction": 0.1, "mode": "minimal",
+                 "uarch": 10.0, "os_apply": 20.0, "os_other": 30.0,
+                 "total": 60.0, "stores_per_exception": 2.0}]
+        text = render_figure5(rows)
+        assert "Figure 5" in text and "minimal" in text
+
+    def test_render_figure6_rows(self):
+        rows = run_figure6(workloads=["Silo"], cores=1)
+        text = render_figure6(rows)
+        assert "Silo" in text and "%" in text

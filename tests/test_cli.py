@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParserStructure:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert set(sub.choices) == {
+            "litmus", "table3", "fig5", "fig6", "proofs", "mbench"}
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_litmus_defaults(self):
+        args = build_parser().parse_args(["litmus"])
+        assert args.model == "PC"
+        assert args.seeds == 20
+        assert not args.no_faults
+
+
+class TestCommands:
+    def test_proofs_exit_zero(self, capsys):
+        assert main(["proofs"]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "matches paper          : True" in out
+
+    def test_mbench(self, capsys):
+        assert main(["mbench", "--stores", "500",
+                     "--fault-fraction", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-fault breakdown" in out
+
+    def test_mbench_batching_flag(self, capsys):
+        assert main(["mbench", "--stores", "500",
+                     "--fault-fraction", "0.3", "--batching"]) == 0
+
+    def test_litmus_quick(self, capsys):
+        assert main(["litmus", "--quick", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "litmus suite [OK]" in out
+
+    def test_litmus_clean_mode(self, capsys):
+        assert main(["litmus", "--quick", "--seeds", "5",
+                     "--no-faults"]) == 0
+        assert "faults=off" in capsys.readouterr().out
+
+    def test_litmus_files_mode(self, capsys):
+        assert main(["litmus", "--files", "litmus_files",
+                     "--seeds", "5"]) == 0
+        assert "tests=8" in capsys.readouterr().out
+
+    def test_litmus_save_log(self, capsys, tmp_path):
+        import json
+        prefix = str(tmp_path / "campaign")
+        assert main(["litmus", "--files", "litmus_files",
+                     "--seeds", "5", "--save-log", prefix]) == 0
+        hardware = json.load(open(prefix + ".hw.json"))
+        model = json.load(open(prefix + ".model.json"))
+        assert set(hardware) == set(model)
+        # Hardware outcomes are a subset of the model's per test.
+        for name, observed in hardware.items():
+            allowed = {tuple(map(tuple, o)) for o in model[name]}
+            assert {tuple(map(tuple, o)) for o in observed} <= allowed

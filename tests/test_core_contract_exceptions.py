@@ -1,0 +1,170 @@
+"""Tests for the Table 5 contract checker, taxonomy, and IE bit."""
+
+import pytest
+
+from repro.core.contract import ContractChecker, ContractEventKind
+from repro.core.exceptions import (
+    RECOVERABLE_CODES,
+    X86_EXCEPTIONS,
+    ExceptionClass,
+    ExceptionCode,
+    InterruptEnable,
+    PipelineStage,
+    exceptions_by_stage,
+    is_recoverable,
+)
+
+
+class TestContractChecker:
+    def _clean_sequence(self, checker):
+        for seq in (0, 1, 2):
+            checker.sb_send(0, seq)
+            checker.put(0, seq)
+        for seq in (0, 1, 2):
+            checker.get(0, seq)
+            checker.apply(0, seq)
+        checker.resume(0)
+
+    def test_clean_run_passes(self):
+        checker = ContractChecker(ordered=True)
+        self._clean_sequence(checker)
+        report = checker.check()
+        assert report.ok, report.summary()
+
+    def test_interface_reorder_detected(self):
+        checker = ContractChecker(ordered=True)
+        checker.sb_send(0, 0); checker.put(0, 0)
+        checker.sb_send(0, 1); checker.put(0, 1)
+        checker.get(0, 1)  # out of order
+        checker.get(0, 0)
+        checker.apply(0, 1); checker.apply(0, 0)
+        checker.resume(0)
+        report = checker.check()
+        assert any(v.rule == "interface-order" for v in report.violations)
+
+    def test_core_order_violation(self):
+        checker = ContractChecker(ordered=True)
+        checker.sb_send(0, 0); checker.sb_send(0, 1)
+        checker.put(0, 1); checker.put(0, 0)  # FSBC reordered
+        report = checker.check()
+        assert any(v.rule == "core-order" for v in report.violations)
+
+    def test_apply_order_violation(self):
+        checker = ContractChecker(ordered=True)
+        checker.sb_send(0, 0); checker.put(0, 0)
+        checker.sb_send(0, 1); checker.put(0, 1)
+        checker.get(0, 0); checker.get(0, 1)
+        checker.apply(0, 1); checker.apply(0, 0)
+        report = checker.check()
+        assert any(v.rule == "os-apply-order" for v in report.violations)
+
+    def test_unapplied_store_detected(self):
+        checker = ContractChecker()
+        checker.sb_send(0, 0); checker.put(0, 0)
+        checker.get(0, 0)
+        checker.resume(0)  # resumed without applying
+        report = checker.check()
+        rules = {v.rule for v in report.violations}
+        assert "os-apply-all" in rules
+        assert "os-resume-after-handling" in rules
+
+    def test_resume_before_handling_detected(self):
+        checker = ContractChecker()
+        checker.sb_send(0, 0); checker.put(0, 0)
+        checker.resume(0)
+        checker.get(0, 0); checker.apply(0, 0)
+        report = checker.check()
+        assert any(v.rule == "os-resume-after-handling"
+                   for v in report.violations)
+
+    def test_wc_mode_ignores_order_but_not_completeness(self):
+        checker = ContractChecker(ordered=False)
+        checker.sb_send(0, 0); checker.sb_send(0, 1)
+        checker.put(0, 1); checker.put(0, 0)   # fine under WC
+        checker.get(0, 0); checker.get(0, 1)
+        checker.apply(0, 1); checker.apply(0, 0)
+        checker.resume(0)
+        assert checker.check().ok
+
+    def test_per_core_independence(self):
+        checker = ContractChecker(ordered=True)
+        # core 0 clean; core 1 violates.
+        self._clean_sequence(checker)
+        checker.sb_send(1, 0); checker.put(1, 0)
+        checker.get(1, 0)
+        checker.resume(1)
+        report = checker.check()
+        assert all(v.core == 1 for v in report.violations)
+
+
+class TestTable1Taxonomy:
+    def test_total_exception_count(self):
+        assert len(X86_EXCEPTIONS) == 23
+
+    def test_machine_check_is_only_imprecise(self):
+        imprecise = [d for d in X86_EXCEPTIONS if not d.precise]
+        assert [d.name for d in imprecise] == ["Machine check"]
+        assert imprecise[0].stage is PipelineStage.HIERARCHY
+
+    def test_stage_buckets_match_table1(self):
+        buckets = exceptions_by_stage()
+        assert len(buckets[PipelineStage.FETCH]) == 3
+        assert len(buckets[PipelineStage.DECODE]) == 3
+        assert len(buckets[PipelineStage.EXECUTE]) == 6
+        assert len(buckets[PipelineStage.MEMORY]) == 5
+
+    def test_traps_and_aborts(self):
+        traps = [d for d in X86_EXCEPTIONS if d.klass is ExceptionClass.TRAP]
+        aborts = [d for d in X86_EXCEPTIONS if d.klass is ExceptionClass.ABORT]
+        assert len(traps) == 3
+        assert len(aborts) == 3
+
+    def test_page_fault_recoverable(self):
+        pf = next(d for d in X86_EXCEPTIONS if d.name == "Page fault")
+        assert pf.recoverable
+
+
+class TestExceptionCodes:
+    def test_recoverable_classification(self):
+        assert is_recoverable(ExceptionCode.PAGE_FAULT_LAZY)
+        assert is_recoverable(ExceptionCode.EINJECT_BUS_ERROR)
+        assert not is_recoverable(ExceptionCode.SEGFAULT)
+        assert not is_recoverable(ExceptionCode.PROTECTION)
+
+    def test_dedicated_imprecise_code_is_distinct(self):
+        assert ExceptionCode.IMPRECISE_STORE not in RECOVERABLE_CODES
+        assert ExceptionCode.IMPRECISE_STORE == 0x20
+
+
+class TestInterruptEnable:
+    def test_user_mode_hardwired_unmasked(self):
+        ie = InterruptEnable()
+        assert ie.in_user_mode
+        assert not ie.masked
+
+    def test_handler_entry_masks(self):
+        ie = InterruptEnable()
+        ie.enter_handler()
+        assert ie.masked
+        assert not ie.in_user_mode
+
+    def test_user_mode_cannot_write_ie(self):
+        ie = InterruptEnable()
+        with pytest.raises(PermissionError):
+            ie.enter_critical_section()
+
+    def test_critical_section_protocol(self):
+        ie = InterruptEnable()
+        ie.enter_handler()
+        ie.exit_critical_section()
+        assert not ie.masked
+        ie.enter_critical_section()
+        assert ie.masked
+
+    def test_pending_imprecise_blocks_user_return(self):
+        ie = InterruptEnable()
+        ie.enter_handler()
+        assert not ie.return_to_user(pending_imprecise=True)
+        assert not ie.in_user_mode
+        assert ie.return_to_user(pending_imprecise=False)
+        assert ie.in_user_mode

@@ -1,0 +1,139 @@
+"""Tests for the Faulting Store Buffer and its controller."""
+
+import pytest
+
+from repro.core.exceptions import ExceptionCode
+from repro.core.fsb import FaultingStoreBuffer, FsbEntry, FsbOverflowError
+from repro.core.fsbc import FsbController
+
+
+def entry(addr=0x1000, data=7, code=ExceptionCode.EINJECT_BUS_ERROR, seq=0):
+    return FsbEntry(addr=addr, data=data, error_code=code, seq=seq)
+
+
+class TestFsbRing:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            FaultingStoreBuffer(capacity=12)
+
+    def test_empty_when_head_equals_tail(self):
+        fsb = FaultingStoreBuffer(8)
+        assert fsb.is_empty
+        fsb.drain(entry())
+        assert not fsb.is_empty
+        fsb.pop()
+        assert fsb.is_empty
+        assert fsb.head == fsb.tail
+
+    def test_fifo_order(self):
+        fsb = FaultingStoreBuffer(8)
+        for i in range(5):
+            fsb.drain(entry(addr=0x1000 + i, seq=i))
+        assert [fsb.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_wraps_around(self):
+        fsb = FaultingStoreBuffer(4)
+        for round_ in range(3):
+            for i in range(4):
+                fsb.drain(entry(seq=round_ * 4 + i))
+            for i in range(4):
+                assert fsb.pop().seq == round_ * 4 + i
+
+    def test_overflow_raises(self):
+        fsb = FaultingStoreBuffer(2)
+        fsb.drain(entry())
+        fsb.drain(entry())
+        with pytest.raises(FsbOverflowError):
+            fsb.drain(entry())
+
+    def test_read_head_does_not_consume(self):
+        fsb = FaultingStoreBuffer(4)
+        fsb.drain(entry(seq=9))
+        assert fsb.read_head().seq == 9
+        assert fsb.read_head().seq == 9
+        assert fsb.occupancy == 1
+
+    def test_pop_empty_returns_none(self):
+        assert FaultingStoreBuffer(4).pop() is None
+
+    def test_snapshot_preserves_order_and_content(self):
+        fsb = FaultingStoreBuffer(8)
+        for i in range(3):
+            fsb.drain(entry(seq=i))
+        snap = fsb.snapshot()
+        assert [e.seq for e in snap] == [0, 1, 2]
+        assert fsb.occupancy == 3  # not consumed
+
+    def test_footprint_is_entries_times_16B(self):
+        fsb = FaultingStoreBuffer(32)
+        assert fsb.footprint_bytes == 32 * 16
+
+    def test_peak_occupancy_tracked(self):
+        fsb = FaultingStoreBuffer(8)
+        for i in range(6):
+            fsb.drain(entry(seq=i))
+        for _ in range(6):
+            fsb.pop()
+        assert fsb.peak_occupancy == 6
+
+    def test_non_faulting_entry(self):
+        e = entry(code=ExceptionCode.NONE)
+        assert not e.is_faulting
+        assert entry().is_faulting
+
+
+class TestFsbController:
+    def test_registers_reflect_ring(self):
+        fsb = FaultingStoreBuffer(16, base=0xABC000)
+        ctl = FsbController(0, fsb)
+        assert ctl.reg_base == 0xABC000
+        assert ctl.reg_mask == 15
+        assert ctl.reg_head == 0 and ctl.reg_tail == 0
+
+    def test_drain_increments_tail_and_returns_latency(self):
+        ctl = FsbController(0, FaultingStoreBuffer(8),
+                            drain_cycles_per_entry=4)
+        latency = ctl.drain_store(0x10, 1)
+        assert latency == 4
+        assert ctl.reg_tail == 1
+
+    def test_drain_all_in_order(self):
+        ctl = FsbController(0, FaultingStoreBuffer(8))
+        total = ctl.drain_all([
+            (0x10, 1, 0xFF, ExceptionCode.EINJECT_BUS_ERROR),
+            (0x20, 2, 0xFF, ExceptionCode.NONE),
+        ])
+        assert total == 2 * ctl.drain_cycles_per_entry
+        snap = ctl.fsb.snapshot()
+        assert [e.addr for e in snap] == [0x10, 0x20]
+        assert [e.seq for e in snap] == [0, 1]
+
+    def test_os_write_head_consumes(self):
+        ctl = FsbController(0, FaultingStoreBuffer(8))
+        ctl.drain_store(0x10, 1)
+        ctl.drain_store(0x20, 2)
+        ctl.os_write_head(1)
+        assert ctl.reg_head == 1
+        assert ctl.fsb.read_head().addr == 0x20
+
+    def test_os_write_head_rejects_overrun(self):
+        ctl = FsbController(0, FaultingStoreBuffer(8))
+        ctl.drain_store(0x10, 1)
+        with pytest.raises(ValueError, match="outside"):
+            ctl.os_write_head(5)
+
+    def test_exception_counts_faulting_entries_only(self):
+        ctl = FsbController(3, FaultingStoreBuffer(8))
+        ctl.drain_store(0x10, 1, error_code=ExceptionCode.EINJECT_BUS_ERROR)
+        ctl.drain_store(0x20, 2, error_code=ExceptionCode.NONE)
+        exc = ctl.raise_exception(pinned_pc=0x400)
+        assert exc.core == 3
+        assert exc.pinned_pc == 0x400
+        assert exc.fault_count == 1
+        assert exc.code == ExceptionCode.IMPRECISE_STORE
+
+    def test_prototype_cost_constants(self):
+        # §6.1: 354 LUTs / 763 registers, 0.12% / 0.48% of the core.
+        assert FsbController.PROTOTYPE_LUTS == 354
+        assert FsbController.PROTOTYPE_REGISTERS == 763
+        assert FsbController.PROTOTYPE_LUT_FRACTION < 0.01

@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example runs clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "quickstart OK" in result.stdout
+        assert "contract OK" in result.stdout
+
+    def test_formal_model(self):
+        result = run_example("formal_model.py")
+        assert result.returncode == 0, result.stderr
+        assert "formal model demo OK" in result.stdout
+        assert "FAILS" not in result.stdout
+
+    def test_litmus_campaign_quick(self):
+        result = run_example("litmus_campaign.py", "--seeds", "5")
+        assert result.returncode == 0, result.stderr
+        assert "litmus suite [OK]" in result.stdout
+
+    def test_midgard_scenario(self):
+        result = run_example("midgard_scenario.py")
+        assert result.returncode == 0, result.stderr
+        assert "PC guarantee held" in result.stdout
+
+    def test_accelerator_faults_small(self):
+        result = run_example("accelerator_faults.py", "--kernel", "SSSP",
+                             "--trials", "2")
+        assert result.returncode == 0, result.stderr
+        assert "imprecise handling keeps" in result.stdout

@@ -1,0 +1,125 @@
+"""Tests for engine extensions: interrupts, checkpoint caps, and
+batched-IO demand paging."""
+
+import pytest
+
+from repro.core.exceptions import ExceptionCode
+from repro.core.handler import BatchingHandler
+from repro.core.interface import ArchitecturalInterface
+from repro.core.osconfig import OsConfig
+from repro.sim import isa
+from repro.sim.config import ConsistencyModel, small_config, table2_config
+from repro.sim.multicore import MulticoreSystem
+from repro.sim.program import make_program
+from repro.sim.timing import run_trace
+from repro.workloads import build_workload
+
+A, B = 0x1000, 0x2000
+
+
+class TestInterrupts:
+    def _mp(self):
+        t0 = [isa.store(B, value=1), isa.store(A, value=1)]
+        t1 = [isa.load(1, A, label="ra"), isa.load(2, B, label="rb")]
+        return make_program([t0, t1])
+
+    def test_interrupts_are_delivered(self):
+        total = 0
+        for seed in range(30):
+            system = MulticoreSystem(self._mp(), small_config(2),
+                                     seed=seed, interrupt_rate=0.3)
+            total += system.run().stats.interrupts
+        assert total > 0
+
+    def test_interrupts_preserve_consistency(self):
+        bad = (("ra", 1), ("rb", 0))
+        for seed in range(150):
+            system = MulticoreSystem(
+                self._mp(), small_config(2, ConsistencyModel.PC),
+                seed=seed, interrupt_rate=0.2)
+            system.inject_faults([A, B])
+            result = system.run()
+            assert result.outcome != bad
+            assert result.contract_report.ok
+
+    def test_ie_bit_defers_during_handlers(self):
+        """Interrupts arriving while a handler runs are deferred, not
+        delivered mid-handler (§5.3)."""
+        deferred = 0
+        for seed in range(60):
+            program = make_program([[isa.store(A, value=1),
+                                     isa.store(B, value=2)]])
+            system = MulticoreSystem(program, small_config(1),
+                                     seed=seed, interrupt_rate=0.5)
+            system.inject_faults([A, B])
+            result = system.run()
+            deferred += result.stats.interrupts_deferred
+            assert result.memory_value(A) == 1
+        assert deferred > 0
+
+    def test_zero_rate_means_no_interrupts(self):
+        system = MulticoreSystem(self._mp(), small_config(2), seed=1)
+        assert system.run().stats.interrupts == 0
+
+    def test_deterministic_with_interrupts(self):
+        a = MulticoreSystem(self._mp(), small_config(2), seed=9,
+                            interrupt_rate=0.2).run()
+        b = MulticoreSystem(self._mp(), small_config(2), seed=9,
+                            interrupt_rate=0.2).run()
+        assert a.outcome == b.outcome
+        assert a.stats.interrupts == b.stats.interrupts
+
+
+class TestCheckpointCap:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload("BC", cores=1, scale=0.25)
+
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        cfg = table2_config().with_consistency(ConsistencyModel.WC)
+        cfg.cores = 1
+        return cfg
+
+    def test_performance_monotone_in_cap(self, workload, cfg):
+        ipcs = [run_trace(cfg, workload.traces, checkpoint_cap=cap).ipc
+                for cap in (1, 4, 16)]
+        assert ipcs[0] <= ipcs[1] <= ipcs[2]
+
+    def test_large_cap_reaches_full_wc(self, workload, cfg):
+        full = run_trace(cfg, workload.traces).ipc
+        capped = run_trace(cfg, workload.traces, checkpoint_cap=64).ipc
+        assert capped >= 0.99 * full
+
+    def test_tiny_cap_approaches_sc(self, workload, cfg):
+        sc = run_trace(cfg.with_consistency(ConsistencyModel.SC),
+                       workload.traces).ipc
+        one = run_trace(cfg, workload.traces, checkpoint_cap=1).ipc
+        full = run_trace(cfg, workload.traces).ipc
+        # cap=1 lands between SC and full WC, much nearer SC.
+        assert sc * 0.8 <= one < 0.7 * full
+
+
+class TestBatchedDemandPaging:
+    """§5.3's batching-IO claim: one handler invocation schedules all
+    the batch's IO requests, overlapping their latencies."""
+
+    def _iface_with_swapped_faults(self, pages=6):
+        iface = ArchitecturalInterface(0, fsb_capacity=32)
+        for i in range(pages):
+            iface.put(0x100000 + i * 4096, i,
+                      error_code=ExceptionCode.PAGE_FAULT_SWAPPED)
+        return iface
+
+    def test_io_overlap_amortises_demand_paging(self):
+        io = 2_000_000  # ~10 ms at 2 GHz / per the OsConfig default
+        overlap = BatchingHandler(OsConfig(batch_io=True)).handle(
+            self._iface_with_swapped_faults(),
+            resolve=lambda e: io, apply=lambda e: None)
+        serial = BatchingHandler(OsConfig(batch_io=False)).handle(
+            self._iface_with_swapped_faults(),
+            resolve=lambda e: io, apply=lambda e: None)
+        assert serial.costs.os_resolve == 6 * io
+        assert overlap.costs.os_resolve < 1.1 * io
+        # > 5x IO throughput improvement from batching, as §5.3 argues.
+        assert serial.costs.total / overlap.costs.total > 4

@@ -1,0 +1,130 @@
+"""Tests for the second wave of extensions: early detection, ASO
+rollback, and the PageRank exclusion claim."""
+
+import pytest
+
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.devices.einject import EInject, PAGE_SIZE
+from repro.sim.timing import TimingSystem, run_trace
+from repro.sim.trace import TraceOp, measure_mix
+from repro.workloads import gap_workload
+
+BASE = 1 << 20
+
+
+def cfg_wc(cores=1):
+    cfg = table2_config().with_consistency(ConsistencyModel.WC)
+    cfg.cores = cores
+    return cfg
+
+
+def poisoned(n_pages):
+    einject = EInject()
+    for p in range(n_pages):
+        einject.mmio_set(BASE + p * PAGE_SIZE)
+    return einject
+
+
+def fault_trace(n_pages, pad=200):
+    trace = [TraceOp("S", BASE + p * PAGE_SIZE) for p in range(n_pages)]
+    trace += [TraceOp("A")] * pad
+    return trace
+
+
+class TestEarlyDetection:
+    def test_full_fraction_all_precise(self):
+        system = TimingSystem(cfg_wc(), [fault_trace(6)],
+                              einject=poisoned(6),
+                              early_detection_fraction=1.0)
+        res = system.run()
+        stats = res.core_stats[0]
+        assert stats.imprecise_exceptions == 0
+        assert stats.precise_exceptions == 6
+        assert stats.faulting_stores == 0
+
+    def test_half_fraction_splits(self):
+        system = TimingSystem(cfg_wc(), [fault_trace(8)],
+                              einject=poisoned(8),
+                              early_detection_fraction=0.5)
+        res = system.run()
+        stats = res.core_stats[0]
+        assert stats.precise_exceptions == 4
+        assert stats.faulting_stores == 4
+
+    def test_zero_fraction_all_imprecise(self):
+        system = TimingSystem(cfg_wc(), [fault_trace(5)],
+                              einject=poisoned(5),
+                              early_detection_fraction=0.0)
+        res = system.run()
+        assert res.core_stats[0].precise_exceptions == 0
+        assert res.core_stats[0].faulting_stores == 5
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError, match="early_detection_fraction"):
+            TimingSystem(cfg_wc(), [[TraceOp("A")]],
+                         early_detection_fraction=1.5)
+
+
+class TestAsoPrecise:
+    def test_no_fsb_usage(self):
+        system = TimingSystem(cfg_wc(), [fault_trace(5)],
+                              einject=poisoned(5), aso_precise=True)
+        res = system.run()
+        stats = res.core_stats[0]
+        assert stats.imprecise_exceptions == 0
+        assert stats.faulting_stores == 0
+        assert stats.precise_exceptions == 5
+
+    def test_faults_resolved(self):
+        einject = poisoned(4)
+        system = TimingSystem(cfg_wc(), [fault_trace(4)],
+                              einject=einject, aso_precise=True)
+        system.run()
+        assert einject.faulting_page_count == 0
+
+    def test_rollback_costs_exceed_plain_trap(self):
+        """The rollback penalty (squashed speculated work) makes ASO
+        fault handling dearer than an isolated precise trap."""
+        einject = poisoned(1)
+        # Plenty of in-flight work when the fault lands.
+        trace = ([TraceOp("S", BASE + 0x100000 + i * 4096)
+                  for i in range(8)]
+                 + [TraceOp("S", BASE)] + [TraceOp("A")] * 100)
+        system = TimingSystem(cfg_wc(), [trace], einject=einject,
+                              aso_precise=True)
+        res = system.run()
+        assert res.core_stats[0].uarch_cycles > 0  # rollback charged
+
+    def test_fault_free_aso_matches_wc(self):
+        trace = [TraceOp("S", BASE + i * 4096) for i in range(30)]
+        plain = run_trace(cfg_wc(), [trace])
+        aso = TimingSystem(cfg_wc(), [trace], aso_precise=True).run()
+        assert aso.total_cycles == pytest.approx(plain.total_cycles,
+                                                 rel=0.01)
+
+
+class TestPageRankExclusion:
+    """§3.3: 'PR, CC, and TC ... have <1 % stores and no performance
+    benefits from WC, we do not evaluate them further.'"""
+
+    @pytest.fixture(scope="class")
+    def pr(self):
+        return gap_workload("PR", cores=1, nodes=1024)
+
+    def test_under_one_percent_stores(self, pr):
+        mix = measure_mix(pr.traces[0])
+        assert 100 * mix.store < 1.2
+
+    def test_no_wc_benefit(self, pr):
+        cfg = table2_config()
+        cfg.cores = 1
+        sc = run_trace(cfg.with_consistency(ConsistencyModel.SC),
+                       pr.traces)
+        wc = run_trace(cfg.with_consistency(ConsistencyModel.WC),
+                       pr.traces)
+        assert wc.ipc / sc.ipc < 1.1
+
+    def test_negligible_speculation_state(self, pr):
+        cfg = cfg_wc()
+        res = run_trace(cfg, pr.traces, track_speculation=True)
+        assert res.speculation_peak_kb() < 3.0

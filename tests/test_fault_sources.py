@@ -1,0 +1,183 @@
+"""Tests for the täkō / Midgard fault-source models and their
+integration with both engines (§2.2's motivating examples)."""
+
+import pytest
+
+from repro.core.exceptions import ExceptionCode
+from repro.sim import isa
+from repro.sim.config import ConsistencyModel, small_config, table2_config
+from repro.sim.devices.einject import EInject
+from repro.sim.devices.faultsource import (
+    CompositeFaultSource,
+    MidgardLateTranslation,
+    TakoAccelerator,
+)
+from repro.sim.multicore import CoreStatus, MulticoreSystem
+from repro.sim.program import make_program
+from repro.sim.timing import run_trace
+from repro.sim.trace import TraceOp
+from repro.sim.vm.pagetable import PageTable
+
+MANAGED = 0x100000
+
+
+class TestTakoAccelerator:
+    def _tako(self, absent=(), poison=()):
+        return TakoAccelerator(
+            MANAGED, 0x10000,
+            metadata_absent_pages={a >> 12 for a in absent},
+            poison_pages={p >> 12 for p in poison})
+
+    def test_unmanaged_addresses_pass(self):
+        tako = self._tako(absent=[MANAGED])
+        assert not tako.check(0x1000).denied
+        assert not tako.is_faulting(0x1000)
+
+    def test_managed_clean_pages_transform(self):
+        tako = self._tako()
+        assert not tako.check(MANAGED + 0x2000).denied
+        assert tako.transformations == 1
+
+    def test_absent_metadata_faults_until_resolved(self):
+        tako = self._tako(absent=[MANAGED])
+        verdict = tako.check(MANAGED + 8)
+        assert verdict.denied
+        assert verdict.error_code == ExceptionCode.PAGE_FAULT_LAZY
+        tako.mmio_clr(MANAGED)
+        assert not tako.check(MANAGED + 8).denied
+
+    def test_poison_is_not_resolvable(self):
+        tako = self._tako(poison=[MANAGED])
+        assert tako.check(MANAGED).error_code == ExceptionCode.ACCEL_DIVIDE
+        tako.mmio_clr(MANAGED)
+        assert tako.check(MANAGED).denied  # still poisoned
+
+    def test_functional_engine_recovers_metadata_fault(self):
+        tako = self._tako(absent=[MANAGED])
+        prog = make_program([[isa.store(MANAGED, value=7),
+                              isa.load(1, MANAGED, label="x")]])
+        system = MulticoreSystem(prog, small_config(1),
+                                 fault_source=tako)
+        result = system.run()
+        assert result.memory_value(MANAGED) == 7
+        assert result.stats.imprecise_exceptions >= 1
+
+    def test_functional_engine_terminates_on_poison_store(self):
+        tako = self._tako(poison=[MANAGED])
+        prog = make_program([[isa.store(MANAGED, value=7)]])
+        system = MulticoreSystem(prog, small_config(1),
+                                 fault_source=tako)
+        result = system.run()
+        assert system.terminated
+        assert system.cores[0].status is CoreStatus.TERMINATED
+        # The faulting store was discarded (§4.1).
+        assert result.memory_value(MANAGED) == 0
+
+    def test_functional_engine_terminates_on_poison_load(self):
+        tako = self._tako(poison=[MANAGED])
+        prog = make_program([[isa.load(1, MANAGED, label="x")]])
+        system = MulticoreSystem(prog, small_config(1),
+                                 fault_source=tako)
+        system.run()
+        assert system.terminated
+
+    def test_timing_engine_with_tako(self):
+        tako = self._tako(absent=[MANAGED, MANAGED + 0x1000])
+        trace = [TraceOp("S", MANAGED + i * 64) for i in range(64)]
+        trace += [TraceOp("A")] * 200
+        cfg = table2_config().with_consistency(ConsistencyModel.WC)
+        result = run_trace(cfg, [trace], einject=tako)
+        assert result.total_imprecise_exceptions >= 1
+        assert result.core_stats[0].faulting_stores >= 1
+
+
+class TestMidgardLateTranslation:
+    def _midgard(self):
+        pt = PageTable()
+        pt.map_page(MANAGED, present=True)
+        pt.map_page(MANAGED + 0x1000, present=False)          # lazy
+        pt.map_page(MANAGED + 0x2000, present=False, swapped=True)
+        return MidgardLateTranslation(pt), pt
+
+    def test_present_pages_translate(self):
+        midgard, _ = self._midgard()
+        assert not midgard.check(MANAGED + 8).denied
+        assert midgard.translations == 1
+
+    def test_late_fault_codes(self):
+        midgard, _ = self._midgard()
+        lazy = midgard.check(MANAGED + 0x1000)
+        swapped = midgard.check(MANAGED + 0x2000)
+        assert lazy.error_code == ExceptionCode.PAGE_FAULT_LAZY
+        assert swapped.error_code == ExceptionCode.PAGE_FAULT_SWAPPED
+        assert midgard.late_faults == 2
+
+    def test_unmapped_is_segfault(self):
+        midgard, _ = self._midgard()
+        assert midgard.check(0x9999000).error_code == ExceptionCode.SEGFAULT
+
+    def test_resolution_maps_page(self):
+        midgard, pt = self._midgard()
+        midgard.mmio_clr(MANAGED + 0x1000)
+        assert not midgard.check(MANAGED + 0x1000).denied
+        # Resolving an unmapped address creates the mapping (mmap-ish).
+        midgard.mmio_clr(0x5000000)
+        assert not midgard.check(0x5000000).denied
+
+    def test_functional_engine_midgard_store_fault(self):
+        """The paper's Example 2: a store passes the front-side
+        translation, misses the hierarchy, and faults in the page-level
+        translation after retiring — handled imprecisely."""
+        midgard, pt = self._midgard()
+        addr = MANAGED + 0x1000 + 8
+        prog = make_program([[isa.store(addr, value=5),
+                              isa.load(1, addr, label="x")]])
+        system = MulticoreSystem(prog, small_config(1),
+                                 fault_source=midgard)
+        result = system.run()
+        assert result.memory_value(addr) == 5
+        assert result.stats.imprecise_exceptions >= 1
+        assert pt.entry(addr).present  # OS made it present
+
+    def test_functional_engine_segfault_terminates(self):
+        midgard, pt = self._midgard()
+        pt.map_page(0x700000, writable=False)
+        prog = make_program([[isa.store(0x9990000, value=1)]])
+        system = MulticoreSystem(prog, small_config(1),
+                                 fault_source=midgard)
+        system.run()
+        assert system.terminated
+
+
+class TestCompositeFaultSource:
+    def test_first_denial_wins(self):
+        einject = EInject(region_base=0, region_size=0x1000)
+        einject.mmio_set(0)
+        tako = TakoAccelerator(MANAGED, 0x1000,
+                               metadata_absent_pages={MANAGED >> 12})
+        combo = CompositeFaultSource(einject, tako)
+        assert combo.check(0).error_code == ExceptionCode.EINJECT_BUS_ERROR
+        assert combo.check(MANAGED).error_code == ExceptionCode.PAGE_FAULT_LAZY
+        assert not combo.check(0x500000).denied
+
+    def test_clr_broadcast(self):
+        einject = EInject(region_base=0, region_size=0x1000)
+        einject.mmio_set(0)
+        combo = CompositeFaultSource(einject)
+        combo.mmio_clr(0)
+        assert not combo.is_faulting(0)
+
+    def test_engine_with_two_sources(self):
+        einject = EInject(region_base=0x200000, region_size=0x10000)
+        einject.mmio_set(0x200000)
+        tako = TakoAccelerator(MANAGED, 0x10000,
+                               metadata_absent_pages={MANAGED >> 12})
+        combo = CompositeFaultSource(einject, tako)
+        prog = make_program([[isa.store(MANAGED, value=1),
+                              isa.store(0x200000, value=2)]])
+        system = MulticoreSystem(prog, small_config(1),
+                                 fault_source=combo)
+        result = system.run()
+        assert result.memory_value(MANAGED) == 1
+        assert result.memory_value(0x200000) == 2
+        assert result.stats.imprecise_exceptions >= 1

@@ -1,0 +1,166 @@
+"""Cross-module integration tests: the full software stack wired the
+way a user would wire it."""
+
+import pytest
+
+from repro.core.exceptions import ExceptionCode
+from repro.core.handler import BatchingHandler, MinimalHandler
+from repro.core.interface import ArchitecturalInterface
+from repro.core.osconfig import OsConfig
+from repro.sim import isa
+from repro.sim.config import ConsistencyModel, small_config, table2_config
+from repro.sim.devices.einject import EInject, PAGE_SIZE
+from repro.sim.devices.faultsource import (
+    CompositeFaultSource,
+    MidgardLateTranslation,
+    TakoAccelerator,
+)
+from repro.sim.multicore import MulticoreSystem
+from repro.sim.os.kernel import Kernel
+from repro.sim.program import make_program
+from repro.sim.timing import run_trace
+from repro.sim.trace import TraceOp
+from repro.sim.vm.pagetable import PageTable
+from repro.workloads import build_workload
+
+
+class TestKernelWithInterface:
+    """Kernel + ArchitecturalInterface + EInject as a software stack."""
+
+    def test_full_trap_flow(self):
+        einject = EInject()
+        einject.mmio_set(0x4000)
+        kernel = Kernel(cores=1)
+        iface = ArchitecturalInterface(0)
+        kernel.pin_fsb(0, iface)
+
+        # Hardware side: a store to the poisoned page is denied and
+        # drained into the FSB with its error code.
+        iface.put(0x4008, 99, error_code=ExceptionCode.EINJECT_BUS_ERROR)
+        applied = {}
+
+        def resolve(entry):
+            einject.mmio_clr(entry.addr)
+            return kernel.config.resolve_fault_cycles
+
+        def apply(entry):
+            applied[entry.addr] = entry.data
+
+        invocation = kernel.imprecise_store_trap(0, iface, resolve, apply)
+        assert invocation.stores_handled == 1
+        assert applied == {0x4008: 99}
+        assert not einject.is_faulting(0x4008)
+        assert kernel.imprecise_traps == 1
+        assert kernel.ie[0].in_user_mode
+
+    def test_batching_kernel_on_many_faults(self):
+        kernel = Kernel(cores=1, batching=True)
+        iface = ArchitecturalInterface(0)
+        for i in range(8):
+            iface.put(0x8000 + i * 8, i,
+                      error_code=ExceptionCode.EINJECT_BUS_ERROR)
+        invocation = kernel.imprecise_store_trap(
+            0, iface, resolve=lambda e: 500, apply=lambda e: None)
+        assert invocation.stores_handled == 8
+        # One page -> one resolution despite 8 faulting stores.
+        assert invocation.costs.os_resolve < 8 * 500
+
+
+class TestTimingWithFullStack:
+    def test_workload_with_composite_sources(self):
+        """A workload whose memory is covered by two different fault
+        generators at once (accelerator + demand paging)."""
+        workload = build_workload("Masstree", cores=1, scale=0.3,
+                                  inject=True)
+        pages = workload.injectable_pages()
+        assert len(pages) >= 2
+        half = len(pages) // 2
+
+        einject = EInject()
+        for page in pages[:half]:
+            einject.mmio_set(page)
+        pt = PageTable()
+        for page in pages[half:]:
+            pt.map_page(page, present=False)
+        midgard = MidgardLateTranslation(pt)
+        combo = CompositeFaultSource(einject, midgard)
+
+        cfg = table2_config().with_consistency(ConsistencyModel.WC)
+        result = run_trace(cfg, workload.traces, einject=combo,
+                           handler=BatchingHandler(cfg.os))
+        total_exc = (result.total_imprecise_exceptions
+                     + sum(s.precise_exceptions
+                           for s in result.core_stats))
+        assert total_exc >= 1
+        # Every fault got resolved: a second identical run over the
+        # now-clean sources sees no denials.
+        result2 = run_trace(cfg, workload.traces, einject=combo)
+        assert result2.total_imprecise_exceptions == 0
+
+
+class TestFunctionalEndToEnd:
+    def test_produce_consume_queue_with_faults(self):
+        """A lock-free-style producer/consumer over a poisoned page:
+        values must arrive intact and in order despite imprecise
+        exceptions on every queue cell."""
+        QUEUE, HEAD = 0x10000, 0x20000
+        n = 4
+        producer = []
+        for i in range(n):
+            producer.append(isa.store(QUEUE + i * 8, value=10 + i))
+            producer.append(isa.store(HEAD, value=i + 1))
+        consumer = []
+        for i in range(n):
+            consumer.append(isa.load(1 + i, QUEUE + i * 8,
+                                     label=f"q{i}"))
+        program = make_program([producer, consumer])
+        final = {}
+        for seed in range(40):
+            system = MulticoreSystem(
+                program, small_config(2, ConsistencyModel.PC), seed=seed)
+            system.inject_faults([QUEUE, HEAD])
+            result = system.run()
+            for i in range(n):
+                final[QUEUE + i * 8] = result.memory_value(QUEUE + i * 8)
+            assert result.contract_report.ok
+        assert final == {QUEUE + i * 8: 10 + i for i in range(n)}
+
+    def test_tako_poison_kills_only_offender(self):
+        """An irrecoverable accelerator fault terminates the core that
+        hit it; the other core finishes normally."""
+        MANAGED = 0x100000
+        tako = TakoAccelerator(MANAGED, 0x10000,
+                               poison_pages={MANAGED >> 12})
+        t0 = [isa.store(MANAGED, value=1)]           # will be killed
+        t1 = [isa.store(0x5000, value=7),
+              isa.load(1, 0x5000, label="ok")]
+        system = MulticoreSystem(make_program([t0, t1]),
+                                 small_config(2), fault_source=tako)
+        result = system.run()
+        assert system.terminated
+        assert result.observations["ok"] == 7
+        assert result.memory_value(MANAGED) == 0
+
+
+class TestScaleVariants:
+    @pytest.mark.parametrize("cores", [1, 2, 4, 8, 16])
+    def test_timing_engine_scales_to_table2_cores(self, cores):
+        cfg = table2_config().with_consistency(ConsistencyModel.WC)
+        traces = [[TraceOp("S", 0x1000 * (i + 1)), TraceOp("A"),
+                   TraceOp("L", 0x1000 * (i + 1))] * 50
+                  for i in range(cores)]
+        result = run_trace(cfg, traces)
+        assert len(result.core_stats) == cores
+        assert result.total_instructions == cores * 150
+
+    def test_functional_engine_four_core_program(self):
+        threads = []
+        for core in range(4):
+            threads.append([isa.store(0x1000 + core * 0x1000, value=core),
+                            isa.load(1, 0x1000 + ((core + 1) % 4) * 0x1000,
+                                     label=f"c{core}")])
+        system = MulticoreSystem(make_program(threads),
+                                 small_config(4, ConsistencyModel.PC),
+                                 seed=3)
+        result = system.run()
+        assert len(result.observations) == 4

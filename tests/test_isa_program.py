@@ -1,0 +1,120 @@
+"""Tests for the ISA helpers, program containers, and enumerator
+guard rails."""
+
+import pytest
+
+from repro.memmodel import SC, allowed_outcomes
+from repro.memmodel.events import program as ev_program
+from repro.memmodel.enumerator import enumerate_executions
+from repro.sim import isa
+from repro.sim.config import ConsistencyModel, small_config
+from repro.sim.isa import Op
+from repro.sim.multicore import MulticoreSystem
+from repro.sim.program import Program, ThreadProgram, make_program
+
+
+class TestIsaHelpers:
+    def test_store_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            isa.store(0x10)
+        with pytest.raises(ValueError, match="exactly one"):
+            isa.store(0x10, value=1, src_reg=2)
+
+    def test_instruction_classification(self):
+        assert isa.load(1, 0x10).is_read
+        assert isa.store(0x10, value=1).is_write
+        assert isa.amoadd(1, 0x10, imm=1).is_atomic
+        assert isa.amoadd(1, 0x10, imm=1).is_read
+        assert isa.amoadd(1, 0x10, imm=1).is_write
+        assert isa.fence().is_fence
+        assert isa.beq(1, 2, 1).is_branch
+        assert not isa.nop().is_memory
+
+    def test_str_representations(self):
+        assert "load r1" in str(isa.load(1, 0x20))
+        assert "fence" in str(isa.fence())
+        assert "store" in str(isa.store(0x20, value=3))
+
+    def test_alu_ops_via_engine(self):
+        prog = make_program([[
+            isa.li(1, 6), isa.li(2, 3),
+            isa.add(3, 1, 2), isa.xor(4, 1, 2), isa.addi(5, 3, -4),
+            isa.store(0x100, src_reg=3),
+            isa.store(0x108, src_reg=4),
+            isa.store(0x110, src_reg=5),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.memory_value(0x100) == 9
+        assert result.memory_value(0x108) == 6 ^ 3
+        assert result.memory_value(0x110) == 5
+
+
+class TestProgramValidation:
+    def test_branch_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            make_program([[isa.beq(1, 1, 5), isa.nop()]])
+
+    def test_branch_to_program_end_allowed(self):
+        prog = make_program([[isa.beq(0, 0, 1), isa.nop()]])
+        assert prog.instruction_count() == 2
+
+    def test_memory_op_without_address_rejected(self):
+        from repro.sim.isa import Instruction
+        bad = Instruction(Op.LOAD, rd=1)
+        with pytest.raises(ValueError, match="no address"):
+            make_program([[bad]])
+
+    def test_shared_addresses_include_initial_memory(self):
+        prog = make_program([[isa.load(1, 0x10)]],
+                            initial_memory={0x20: 5})
+        assert prog.shared_addresses == [0x10, 0x20]
+
+    def test_thread_metadata(self):
+        t = ThreadProgram(core=0, instructions=[
+            isa.store(0x10, value=1), isa.load(1, 0x20, label="x")])
+        assert t.memory_addresses == [0x10, 0x20]
+        assert t.observation_labels == ["x"]
+        assert len(t) == 2
+
+
+class TestEnumeratorGuards:
+    def test_max_candidates_enforced(self):
+        # 6 stores to one address: 6! = 720 co orders; many reads too.
+        t0 = list(ev_program(0, [("S", 1, v) for v in range(6)]))
+        t1 = list(ev_program(1, [("L", 1)] * 4))
+        with pytest.raises(ValueError, match="max_candidates"):
+            enumerate_executions([t0, t1], SC, max_candidates=100)
+
+    def test_counts_reported(self):
+        t0 = list(ev_program(0, [("S", 1, 1)]))
+        t1 = list(ev_program(1, [("L", 1)]))
+        result = enumerate_executions([t0, t1], SC)
+        assert result.candidates_examined == 2  # 2 rf choices x 1 co
+        assert result.candidates_consistent >= 1
+        assert result.model_name == "SC"
+
+
+class TestWcBarrierSegments:
+    def test_ss_fence_creates_drain_barrier(self):
+        """Under WC a store-store fence splits the buffer into
+        segments: the young segment cannot drain before the old one."""
+        from repro.memmodel.events import FenceKind
+
+        A, B = 0x1000, 0x2000
+        bad_seen = False
+        for seed in range(200):
+            t0 = [isa.store(A, value=1),
+                  isa.fence(FenceKind.STORE_STORE),
+                  isa.store(B, value=1)]
+            # The reader needs its own load-load fence, else WC's load
+            # reordering alone produces the outcome legally.
+            t1 = [isa.load(1, B, label="rb"),
+                  isa.fence(FenceKind.LOAD_LOAD),
+                  isa.load(2, A, label="ra")]
+            system = MulticoreSystem(
+                make_program([t0, t1]),
+                small_config(2, ConsistencyModel.WC), seed=seed)
+            out = dict(system.run().outcome)
+            if out == {"ra": 0, "rb": 1}:
+                bad_seen = True
+        assert not bad_seen

@@ -1,0 +1,232 @@
+"""Tests for the litmus DSL, library, generators, runner, and harness."""
+
+import pytest
+
+from repro.litmus import (
+    LitmusOutcome,
+    LitmusTest,
+    RunConfig,
+    all_library_tests,
+    allowed_set,
+    check_suite,
+    check_test,
+    generate_all,
+    run_test,
+)
+from repro.litmus.generator import tests_by_category as group_by_category
+from repro.litmus.generator import (
+    generate_barrier_tests,
+    generate_co_tests,
+    generate_dependency_tests,
+    generate_fr_tests,
+    generate_po_loc_tests,
+    generate_ppo_tests,
+    generate_rfe_tests,
+    generate_rfi_tests,
+)
+from repro.litmus.library import (
+    CAT_BARRIER,
+    CAT_DEPS,
+    corr,
+    message_passing,
+    message_passing_fenced,
+    mp_addr_dep,
+    store_buffering,
+)
+from repro.memmodel.axioms import PC, RVWMO_MODEL
+from repro.sim.config import ConsistencyModel
+from repro.sim.isa import Op
+
+
+class TestDsl:
+    def test_locations_and_registers(self):
+        test = message_passing()
+        assert test.locations == ["x", "y"]
+        assert set(test.registers) == {"r0", "r1"}
+
+    def test_location_addresses_page_separated(self):
+        test = message_passing()
+        addrs = [test.location_addr(loc) for loc in test.locations]
+        assert addrs[1] - addrs[0] == 0x1000
+
+    def test_to_program_compiles(self):
+        prog = message_passing().to_program()
+        assert prog.cores == 2
+        kinds = [i.op for i in prog.threads[0].instructions]
+        assert kinds == [Op.STORE, Op.STORE]
+
+    def test_addr_dep_compiles_to_xor_chain(self):
+        prog = mp_addr_dep().to_program()
+        reader = prog.threads[1].instructions
+        assert [i.op for i in reader] == [Op.LOAD, Op.XOR, Op.LOAD]
+        assert reader[2].rs1 is not None  # indexed on the xor result
+
+    def test_to_events_produces_dep_edges(self):
+        threads, edges = mp_addr_dep().to_events()
+        assert len(edges) == 1
+        (src, dst), = edges
+        reader_events = threads[1]
+        assert src == reader_events[0].uid
+        assert dst == reader_events[1].uid
+
+    def test_ctrl_dep_load_has_no_edge(self):
+        test = LitmusTest(
+            name="ctrl-load", category=CAT_DEPS,
+            threads=[
+                [("W", "x", 1)],
+                [("R", "x", "r0"), ("Rctrl", "y", "r1", "r0")],
+            ])
+        _, edges = test.to_events()
+        assert edges == set()
+
+    def test_ctrl_dep_store_has_edge(self):
+        test = LitmusTest(
+            name="ctrl-store", category=CAT_DEPS,
+            threads=[
+                [("W", "x", 1)],
+                [("R", "x", "r0"), ("Wctrl", "y", 1, "r0")],
+            ])
+        _, edges = test.to_events()
+        assert len(edges) == 1
+
+    def test_unknown_op_rejected(self):
+        test = LitmusTest("bad", "x", [[("Z", "x", 1)]])
+        with pytest.raises(ValueError):
+            test.to_program()
+        with pytest.raises(ValueError):
+            test.to_events()
+
+    def test_outcome_helper(self):
+        out = LitmusOutcome.of(r1=0, r0=1)
+        assert out.as_tuple() == (("r0", 1), ("r1", 0))
+
+
+class TestAllowedSets:
+    def test_mp_pc_allowed(self):
+        allowed = allowed_set(message_passing(), PC)
+        assert (("r0", 1), ("r1", 0)) not in allowed
+        assert (("r0", 0), ("r1", 1)) in allowed
+
+    def test_mp_rvwmo_allows_reorder(self):
+        allowed = allowed_set(message_passing(), RVWMO_MODEL)
+        assert (("r0", 1), ("r1", 0)) in allowed
+
+    def test_fenced_mp_rvwmo_forbids_reorder(self):
+        allowed = allowed_set(message_passing_fenced(), RVWMO_MODEL)
+        assert (("r0", 1), ("r1", 0)) not in allowed
+
+    def test_addr_dep_forbids_reorder_under_rvwmo(self):
+        allowed = allowed_set(mp_addr_dep(), RVWMO_MODEL)
+        assert (("r0", 1), ("r1", 0)) not in allowed
+
+
+class TestRunner:
+    def test_run_collects_outcomes(self):
+        run = run_test(store_buffering(),
+                       RunConfig(seeds=60, inject_faults=False))
+        assert run.runs == 60
+        assert len(run.outcomes) >= 2
+
+    def test_fault_injection_generates_exceptions(self):
+        run = run_test(message_passing(),
+                       RunConfig(seeds=20, inject_faults=True))
+        assert run.imprecise_exceptions > 0
+
+    def test_clean_run_has_no_exceptions(self):
+        run = run_test(message_passing(),
+                       RunConfig(seeds=20, inject_faults=False))
+        assert run.imprecise_exceptions == 0
+        assert run.precise_exceptions == 0
+
+
+class TestHarness:
+    @pytest.mark.parametrize("model", [ConsistencyModel.PC,
+                                       ConsistencyModel.WC])
+    @pytest.mark.parametrize("inject", [False, True])
+    def test_library_conforms(self, model, inject):
+        cfg = RunConfig(model=model, seeds=30, inject_faults=inject)
+        for test in all_library_tests():
+            verdict = check_test(test, cfg)
+            assert verdict.ok, (
+                f"{test.name}: {verdict.conformance.summary()}")
+
+    def test_sc_engine_conforms_to_sc(self):
+        cfg = RunConfig(model=ConsistencyModel.SC, seeds=20,
+                        inject_faults=True)
+        for test in (message_passing(), store_buffering(), corr()):
+            assert check_test(test, cfg).ok
+
+    def test_summary_explains_negative_differences(self):
+        """A staged violation (WC engine judged against the PC
+        reference) produces a witness + forbidding cycle."""
+        from repro.litmus.harness import SuiteReport, TestVerdict
+        from repro.memmodel.checker import check_outcome_set
+
+        test = message_passing()
+        wc_run = run_test(test, RunConfig(model=ConsistencyModel.WC,
+                                          seeds=300,
+                                          inject_faults=False))
+        pc_allowed = allowed_set(test, PC)
+        conformance = check_outcome_set(pc_allowed, wc_run.outcomes,
+                                        model_name="PC")
+        assert not conformance.conforms  # WC exhibits the MP reorder
+        report = SuiteReport(model=ConsistencyModel.PC, injected=False)
+        report.verdicts.append(TestVerdict(test=test, run=wc_run,
+                                           conformance=conformance))
+        text = report.summary(explain=True)
+        assert "negative differences" in text
+        assert "FORBIDDEN" in text
+        assert "cycle:" in text
+
+    def test_suite_report_aggregates(self):
+        tests = [message_passing(), store_buffering()]
+        report = check_suite(tests, RunConfig(seeds=15))
+        assert report.ok
+        assert report.tests == 2
+        assert "OK" in report.summary()
+
+    def test_pc_exhibits_its_relaxation(self):
+        """Coverage: the engine actually shows the SB outcome PC allows."""
+        run = run_test(store_buffering(),
+                       RunConfig(seeds=150, inject_faults=False))
+        assert (("r0", 0), ("r1", 0)) in run.outcomes
+
+    def test_wc_exhibits_mp_relaxation(self):
+        cfg = RunConfig(model=ConsistencyModel.WC, seeds=300,
+                        inject_faults=False)
+        run = run_test(message_passing(), cfg)
+        assert (("r0", 1), ("r1", 0)) in run.outcomes
+
+
+class TestGenerator:
+    def test_all_categories_present(self):
+        by_cat = group_by_category(generate_all())
+        assert len(by_cat) == 8
+        assert all(len(v) >= 5 for v in by_cat.values())
+
+    def test_names_unique(self):
+        names = [t.name for t in generate_all()]
+        assert len(names) == len(set(names))
+
+    def test_every_generated_test_compiles_both_ways(self):
+        for test in generate_all():
+            prog = test.to_program()
+            assert prog.cores == 2
+            threads, _ = test.to_events()
+            assert len(threads) == 2
+
+    def test_barrier_family_covers_all_fence_pairs(self):
+        tests = generate_barrier_tests()
+        # 6 shapes x (6x6 fence pairs - the both-none base shape).
+        assert len(tests) == 6 * 35
+
+    @pytest.mark.parametrize("gen", [
+        generate_dependency_tests, generate_po_loc_tests,
+        generate_ppo_tests, generate_rfe_tests, generate_rfi_tests,
+        generate_co_tests, generate_fr_tests,
+    ])
+    def test_family_conforms_under_pc_with_faults(self, gen):
+        cfg = RunConfig(model=ConsistencyModel.PC, seeds=15,
+                        inject_faults=True)
+        report = check_suite(gen(), cfg)
+        assert report.ok, report.summary()

@@ -1,0 +1,56 @@
+"""3- and 4-core litmus tests: conformance with and without faults."""
+
+import pytest
+
+from repro.litmus import RunConfig, check_test
+from repro.litmus.multicore_tests import (
+    all_multicore_tests,
+    iriw,
+    isa2,
+    wrc,
+)
+from repro.memmodel import PC, allowed_outcomes
+from repro.sim.config import ConsistencyModel
+
+
+class TestMulticoreAllowedSets:
+    def test_wrc_pc_forbids_causality_violation(self):
+        test = wrc()
+        threads, deps = test.to_events()
+        allowed = allowed_outcomes(threads, PC, extra_ppo=deps)
+        bad = tuple(sorted({"r0": 1, "r1": 1, "r2": 0}.items()))
+        assert bad not in allowed
+
+    def test_iriw_pc_forbids_disagreement(self):
+        test = iriw()
+        threads, deps = test.to_events()
+        allowed = allowed_outcomes(threads, PC, extra_ppo=deps)
+        bad = tuple(sorted({"r0": 1, "r1": 0, "r2": 1, "r3": 0}.items()))
+        assert bad not in allowed
+
+    def test_isa2_events_compile(self):
+        threads, _ = isa2().to_events()
+        assert len(threads) == 3
+
+
+@pytest.mark.parametrize("inject", [False, True])
+@pytest.mark.parametrize("model", [ConsistencyModel.PC,
+                                   ConsistencyModel.WC])
+class TestMulticoreConformance:
+    def test_all_multicore_tests_conform(self, model, inject):
+        config = RunConfig(model=model, seeds=25, inject_faults=inject)
+        for test in all_multicore_tests():
+            verdict = check_test(test, config)
+            assert verdict.ok, (
+                f"{test.name} [{model}, faults={inject}]: "
+                f"{verdict.conformance.summary()}")
+
+
+class TestMulticoreExceptions:
+    def test_faults_exercised_on_every_core(self):
+        config = RunConfig(model=ConsistencyModel.PC, seeds=20,
+                           inject_faults=True)
+        verdict = check_test(iriw(), config)
+        run = verdict.run
+        assert run.imprecise_exceptions + run.precise_exceptions > 0
+        assert verdict.ok

@@ -1,0 +1,113 @@
+"""Tests for the .litmus text-format parser."""
+
+import pytest
+
+from repro.litmus import RunConfig, check_test
+from repro.litmus.parser import LitmusParseError, parse_litmus
+from repro.memmodel import PC
+from repro.litmus.harness import allowed_set
+from repro.sim.config import ConsistencyModel
+
+MP_TEXT = """
+RISCV MP
+{
+0:x5=1; x=0; y=0;
+}
+ P0          | P1          ;
+ sw x5,0(y)  | lw x6,0(x)  ;
+ fence w,w   | fence r,r   ;
+ sw x5,0(x)  | lw x7,0(y)  ;
+
+exists (1:x6=1 /\\ 1:x7=0)
+"""
+
+SB_TEXT = """
+RISCV SB
+{
+0:x5=1; 1:x5=1;
+}
+ P0          | P1          ;
+ sw x5,0(x)  | sw x5,0(y)  ;
+ lw x6,0(y)  | lw x6,0(x)  ;
+
+exists (0:x6=0 /\\ 1:x6=0)
+"""
+
+AMO_TEXT = """
+RISCV AMO-swap
+{
+0:x5=3;
+}
+ P0                 | P1          ;
+ amoswap x6,x5,(x)  | lw x6,0(x)  ;
+"""
+
+
+class TestParser:
+    def test_parses_mp(self):
+        test = parse_litmus(MP_TEXT)
+        assert test.name == "MP"
+        assert len(test.threads) == 2
+        assert test.threads[0] == [
+            ("W", "y", 1),
+            ("F", pytest.importorskip("repro.memmodel.events").FenceKind.STORE_STORE),
+            ("W", "x", 1),
+        ]
+        assert test.threads[1][0] == ("R", "x", "1:x6")
+
+    def test_exists_becomes_spotlight(self):
+        test = parse_litmus(MP_TEXT)
+        assert test.spotlight is not None
+        assert dict(test.spotlight.as_tuple()) == {"1:x6": 1, "1:x7": 0}
+
+    def test_li_sets_store_value(self):
+        text = """RISCV VAL
+ P0          ;
+ li x5,7     ;
+ sw x5,0(x)  ;
+"""
+        test = parse_litmus(text)
+        assert test.threads[0] == [("W", "x", 7)]
+
+    def test_amoswap(self):
+        test = parse_litmus(AMO_TEXT)
+        assert test.threads[0] == [("A", "x", 3, "0:x6")]
+
+    def test_parsed_mp_allowed_set_is_correct(self):
+        test = parse_litmus(MP_TEXT)
+        allowed = allowed_set(test, PC)
+        prohibited = test.spotlight.as_tuple()
+        assert prohibited not in allowed
+
+    def test_parsed_test_runs_through_harness(self):
+        test = parse_litmus(SB_TEXT)
+        verdict = check_test(test, RunConfig(model=ConsistencyModel.PC,
+                                             seeds=40,
+                                             inject_faults=True))
+        assert verdict.ok
+        # The SB relaxed outcome is PC-allowed and observable.
+        assert test.spotlight.as_tuple() in verdict.conformance.allowed
+
+    def test_errors(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("")
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n P0 ;\n bogus x1,x2 ;\n")
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n P0 ;\n fence q,q ;\n")
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n{\nnot an init\n}\n P0 ;\n li x1,1 ;\n")
+
+    def test_round_trip_with_init_values(self):
+        text = """RISCV INIT
+{
+x=5;
+}
+ P0          ;
+ lw x6,0(x)  ;
+"""
+        test = parse_litmus(text)
+        # Initial memory values arrive via the program, not the DSL —
+        # locations default to 0 in the harness, so the init block for
+        # memory is informational. The load should still compile.
+        assert test.threads[0] == [("R", "x", "0:x6")]

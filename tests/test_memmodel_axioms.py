@@ -1,0 +1,172 @@
+"""Model-level tests: classic litmus shapes under SC / PC / WC / RVWMO.
+
+Each test checks the *defining* relaxation of a model using exact
+enumeration, mirroring the §4.2 rules.
+"""
+
+import pytest
+
+from repro.memmodel import (
+    PC,
+    RVWMO_MODEL,
+    SC,
+    WC,
+    allowed_outcomes,
+    compare_models,
+    get_model,
+)
+from repro.memmodel.events import FenceKind, program
+
+A, B = 0xA0, 0xB0
+
+
+def outcome(**kv):
+    return tuple(sorted(kv.items()))
+
+
+def sb_threads():
+    """Store buffering (Dekker): S(A);L(B) || S(B);L(A)."""
+    t0 = list(program(0, [("S", A, 1), ("L", B)]))
+    t1 = list(program(1, [("S", B, 1), ("L", A)]))
+    return t0, t1
+
+
+def mp_threads(fenced=False):
+    """Message passing: S(B);S(A) || L(A);L(B)."""
+    w = [("S", B, 1)] + ([("F",)] if fenced else []) + [("S", A, 1)]
+    r = [("L", A)] + ([("F",)] if fenced else []) + [("L", B)]
+    return list(program(0, w)), list(program(1, r))
+
+
+class TestStoreBuffering:
+    def test_sc_forbids_both_zero(self):
+        t0, t1 = sb_threads()
+        allowed = allowed_outcomes([t0, t1], SC)
+        assert outcome(**{"r0.1": 0, "r1.1": 0}) not in allowed
+
+    def test_pc_allows_both_zero(self):
+        t0, t1 = sb_threads()
+        allowed = allowed_outcomes([t0, t1], PC)
+        assert outcome(**{"r0.1": 0, "r1.1": 0}) in allowed
+
+    def test_pc_is_strictly_weaker_than_sc_on_sb(self):
+        t0, t1 = sb_threads()
+        extra = compare_models([t0, t1], PC, SC)
+        assert extra == {outcome(**{"r0.1": 0, "r1.1": 0})}
+
+    def test_fenced_sb_restores_sc(self):
+        t0 = list(program(0, [("S", A, 1), ("F",), ("L", B)]))
+        t1 = list(program(1, [("S", B, 1), ("F",), ("L", A)]))
+        allowed = allowed_outcomes([t0, t1], PC)
+        assert outcome(**{"r0.2": 0, "r1.2": 0}) not in allowed
+
+
+class TestMessagePassing:
+    def test_pc_forbids_stale_flag(self):
+        """PC keeps store->store and load->load: L(A)=1 ⟹ L(B)=1."""
+        t0, t1 = mp_threads()
+        allowed = allowed_outcomes([t0, t1], PC)
+        assert outcome(**{"r1.0": 1, "r1.1": 0}) not in allowed
+
+    def test_wc_allows_stale_flag(self):
+        t0, t1 = mp_threads()
+        allowed = allowed_outcomes([t0, t1], WC)
+        assert outcome(**{"r1.0": 1, "r1.1": 0}) in allowed
+
+    def test_fences_make_wc_behave_like_pc(self):
+        """Figure 1: with both fences, the violating result is gone."""
+        t0, t1 = mp_threads(fenced=True)
+        allowed = allowed_outcomes([t0, t1], WC)
+        assert outcome(**{"r1.0": 1, "r1.2": 0}) not in allowed
+
+    def test_figure1_other_three_results_allowed(self):
+        t0, t1 = mp_threads(fenced=True)
+        allowed = allowed_outcomes([t0, t1], WC)
+        for la, lb in [(0, 0), (0, 1), (1, 1)]:
+            assert outcome(**{"r1.0": la, "r1.2": lb}) in allowed
+
+
+class TestCoherence:
+    """All models are coherent (SC per location)."""
+
+    @pytest.mark.parametrize("model", [SC, PC, WC, RVWMO_MODEL])
+    def test_coww_single_core_order(self, model):
+        # Two stores to the same address on one core: final value must
+        # be the second store's under every model.
+        t0 = list(program(0, [("S", A, 1), ("S", A, 2), ("L", A)]))
+        allowed = allowed_outcomes([t0], model)
+        assert allowed == {outcome(**{"r0.2": 2})}
+
+    @pytest.mark.parametrize("model", [SC, PC, WC, RVWMO_MODEL])
+    def test_corr_no_backwards_reads(self, model):
+        # Reads of the same address on one core may not go backwards.
+        t0 = list(program(0, [("S", A, 1)]))
+        t1 = list(program(1, [("L", A), ("L", A)]))
+        allowed = allowed_outcomes([t0, t1], model)
+        assert outcome(**{"r1.0": 1, "r1.1": 0}) not in allowed
+
+    @pytest.mark.parametrize("model", [SC, PC, WC])
+    def test_read_own_write(self, model):
+        t0 = list(program(0, [("S", A, 3), ("L", A)]))
+        allowed = allowed_outcomes([t0], model)
+        assert allowed == {outcome(**{"r0.1": 3})}
+
+
+class TestWeakConsistency:
+    def test_wc_relaxes_store_store(self):
+        t0, t1 = mp_threads()
+        extra = compare_models([t0, t1], WC, PC)
+        assert outcome(**{"r1.0": 1, "r1.1": 0}) in extra
+
+    def test_wc_keeps_same_address_order(self):
+        t0 = list(program(0, [("S", A, 1), ("S", A, 2)]))
+        t1 = list(program(1, [("L", A), ("L", A)]))
+        allowed = allowed_outcomes([t0, t1], WC)
+        # Coherence: cannot read 2 then 1.
+        assert outcome(**{"r1.0": 2, "r1.1": 1}) not in allowed
+
+    def test_directional_fence_orders_stores_only(self):
+        w = list(program(0, [("S", B, 1), ("F", FenceKind.STORE_STORE),
+                             ("S", A, 1)]))
+        r = list(program(1, [("L", A), ("F", FenceKind.LOAD_LOAD),
+                             ("L", B)]))
+        allowed = allowed_outcomes([w, r], WC)
+        assert outcome(**{"r1.0": 1, "r1.2": 0}) not in allowed
+
+
+class TestRVWMO:
+    def test_atomics_are_ordered(self):
+        # AMO acts as both fence-like pivot under RVWMO-lite.
+        w = list(program(0, [("S", B, 1), ("A", A, 1)]))
+        r = list(program(1, [("L", A), ("L", B)]))
+        rv = allowed_outcomes([w, r], RVWMO_MODEL)
+        # Under plain WC, seeing A=1 with B=0 is fine; RVWMO orders the
+        # AMO after the store, and PC-like load order is still relaxed
+        # on the reader, so add a fence on the reader to observe it.
+        w2 = list(program(0, [("S", B, 1), ("A", A, 1)]))
+        r2 = list(program(1, [("L", A), ("F",), ("L", B)]))
+        rv2 = allowed_outcomes([w2, r2], RVWMO_MODEL)
+        assert outcome(**{"r1.0": 1, "r1.2": 0}) not in rv2
+
+    def test_dependency_edges_respected(self):
+        # Address dependency: L(A) -> L(B) via extra_ppo forbids the
+        # stale read even under WC-like relaxation.
+        w = list(program(0, [("S", B, 1), ("F",), ("S", A, 1)]))
+        r = list(program(1, [("L", A), ("L", B)]))
+        dep = [(r[0].uid, r[1].uid)]
+        allowed = allowed_outcomes([w, r], RVWMO_MODEL, extra_ppo=dep)
+        assert outcome(**{"r1.0": 1, "r1.1": 0}) not in allowed
+
+
+class TestModelRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_model("pc") is PC
+        assert get_model("tso") is PC
+        assert get_model("RVWMO") is RVWMO_MODEL
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown memory model"):
+            get_model("PSO")
+
+    def test_model_names(self):
+        assert SC.name == "SC" and PC.name == "PC" and WC.name == "WC"

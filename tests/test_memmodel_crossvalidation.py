@@ -1,0 +1,128 @@
+"""Cross-validation: axiomatic models vs independent operational
+machines.
+
+For litmus-sized programs the axiomatic SC/PC allowed sets must equal
+the exhaustively enumerated outcome sets of the interleaving machine
+and the TSO store-buffer machine respectively.  Agreement over random
+programs is strong evidence the axiomatic enumerator (the arbiter for
+the whole litmus harness) is right.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.memmodel import PC, SC, allowed_outcomes
+from repro.memmodel.events import FenceKind, program
+from repro.memmodel.operational import sc_outcomes, tso_outcomes
+
+A, B = 0xA, 0xB
+
+
+def both(t0_ops, t1_ops):
+    t0 = list(program(0, t0_ops))
+    t1 = list(program(1, t1_ops))
+    return [t0, t1]
+
+
+CLASSICS = {
+    "SB": ([("S", A, 1), ("L", B)], [("S", B, 1), ("L", A)]),
+    "MP": ([("S", B, 1), ("S", A, 1)], [("L", A), ("L", B)]),
+    "LB": ([("L", A), ("S", B, 1)], [("L", B), ("S", A, 1)]),
+    "S": ([("S", B, 2), ("S", A, 1)], [("L", A), ("S", B, 1)]),
+    "R": ([("S", A, 1), ("S", B, 1)], [("S", B, 2), ("L", A)]),
+    "2+2W": ([("S", A, 1), ("S", B, 2)], [("S", B, 1), ("S", A, 2)]),
+    "CoRR": ([("S", A, 1)], [("L", A), ("L", A)]),
+    "CoWR": ([("S", A, 1), ("L", A)], [("S", A, 2)]),
+    "SB+fences": ([("S", A, 1), ("F",), ("L", B)],
+                  [("S", B, 1), ("F",), ("L", A)]),
+    "MP+amo": ([("S", B, 1), ("A", A, 1)], [("L", A), ("L", B)]),
+}
+
+
+class TestClassicShapes:
+    @pytest.mark.parametrize("name", sorted(CLASSICS))
+    def test_sc_axioms_equal_interleavings(self, name):
+        t0_ops, t1_ops = CLASSICS[name]
+        threads = both(t0_ops, t1_ops)
+        axiomatic = allowed_outcomes(threads, SC)
+        threads2 = both(t0_ops, t1_ops)
+        operational = sc_outcomes(threads2)
+        assert axiomatic == operational, name
+
+    @pytest.mark.parametrize("name", sorted(CLASSICS))
+    def test_pc_axioms_equal_tso_machine(self, name):
+        t0_ops, t1_ops = CLASSICS[name]
+        threads = both(t0_ops, t1_ops)
+        axiomatic = allowed_outcomes(threads, PC)
+        threads2 = both(t0_ops, t1_ops)
+        operational = tso_outcomes(threads2)
+        assert axiomatic == operational, name
+
+
+def _ops(addr_pool, rng, n):
+    ops = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.4:
+            ops.append(("S", rng.choice(addr_pool), rng.randint(1, 2)))
+        elif roll < 0.85:
+            ops.append(("L", rng.choice(addr_pool)))
+        else:
+            ops.append(("F",))
+    return ops
+
+
+class TestRandomPrograms:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_program_agreement(self, seed):
+        rng = random.Random(seed)
+        t0_ops = _ops([A, B], rng, rng.randint(1, 3))
+        t1_ops = _ops([A, B], rng, rng.randint(1, 3))
+
+        threads = both(t0_ops, t1_ops)
+        sc_ax = allowed_outcomes(threads, SC)
+        threads = both(t0_ops, t1_ops)
+        pc_ax = allowed_outcomes(threads, PC)
+        threads = both(t0_ops, t1_ops)
+        sc_op = sc_outcomes(threads)
+        threads = both(t0_ops, t1_ops)
+        pc_op = tso_outcomes(threads)
+
+        assert sc_ax == sc_op, (t0_ops, t1_ops)
+        assert pc_ax == pc_op, (t0_ops, t1_ops)
+        assert sc_op <= pc_op  # TSO is weaker than SC
+
+
+class TestInitialValues:
+    def test_nonzero_initial_memory(self):
+        threads = both([("L", A)], [("S", A, 5)])
+        ax = allowed_outcomes(threads, SC, init_values={A: 9})
+        threads = both([("L", A)], [("S", A, 5)])
+        op = sc_outcomes(threads, init={A: 9})
+        assert ax == op
+        values = {dict(o)["r0.0"] for o in op}
+        assert values == {9, 5}
+
+
+class TestTsoMachineSpecifics:
+    def test_forwarding_reads_own_buffer(self):
+        threads = both([("S", A, 7), ("L", A)], [])
+        outcomes = tso_outcomes(threads)
+        assert all(dict(o)["r0.1"] == 7 for o in outcomes)
+
+    def test_fence_forces_drain(self):
+        threads = both([("S", A, 1), ("F",), ("L", B)],
+                       [("S", B, 1), ("F",), ("L", A)])
+        outcomes = tso_outcomes(threads)
+        both_zero = tuple(sorted([("r0.2", 0), ("r1.2", 0)]))
+        assert both_zero not in outcomes
+
+    def test_sb_shape_differs_between_machines(self):
+        threads = both(*CLASSICS["SB"])
+        sc_set = sc_outcomes(threads)
+        threads = both(*CLASSICS["SB"])
+        tso_set = tso_outcomes(threads)
+        assert sc_set < tso_set  # strictly weaker on SB

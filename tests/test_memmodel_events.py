@@ -1,0 +1,91 @@
+"""Unit tests for repro.memmodel.events."""
+
+import pytest
+
+from repro.memmodel.events import (
+    Event,
+    EventKind,
+    FenceKind,
+    InitialWrite,
+    initial_writes,
+    program,
+)
+
+
+class TestProgramBuilder:
+    def test_builds_loads_and_stores(self):
+        evs = program(0, [("S", 0x10, 7), ("L", 0x10)])
+        assert evs[0].kind is EventKind.STORE
+        assert evs[0].addr == 0x10
+        assert evs[0].value == 7
+        assert evs[1].kind is EventKind.LOAD
+        assert evs[1].value is None
+
+    def test_indices_follow_program_order(self):
+        evs = program(2, [("S", 1, 1), ("F",), ("L", 1)])
+        assert [e.index for e in evs] == [0, 1, 2]
+        assert all(e.core == 2 for e in evs)
+
+    def test_full_fence_default(self):
+        (fence,) = program(0, [("F",)])
+        assert fence.kind is EventKind.FENCE
+        assert fence.fence is FenceKind.FULL
+
+    def test_directional_fence(self):
+        (fence,) = program(0, [("F", FenceKind.STORE_STORE)])
+        assert fence.fence is FenceKind.STORE_STORE
+
+    def test_atomic(self):
+        (amo,) = program(0, [("A", 0x20, 5)])
+        assert amo.kind is EventKind.ATOMIC
+        assert amo.is_read and amo.is_write
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            program(0, [("X", 1)])
+
+
+class TestEventProperties:
+    def test_uids_are_unique(self):
+        evs = program(0, [("S", 1, 1)] * 5)
+        assert len({e.uid for e in evs}) == 5
+
+    def test_load_is_read_not_write(self):
+        (ld,) = program(0, [("L", 1)])
+        assert ld.is_read and not ld.is_write and ld.is_memory_access
+
+    def test_store_is_write_not_read(self):
+        (st,) = program(0, [("S", 1, 2)])
+        assert st.is_write and not st.is_read
+
+    def test_fence_is_not_memory_access(self):
+        (fence,) = program(0, [("F",)])
+        assert not fence.is_memory_access
+        assert fence.is_fence
+
+    def test_with_value_preserves_uid(self):
+        (ld,) = program(0, [("L", 1)])
+        bound = ld.with_value(42)
+        assert bound.uid == ld.uid
+        assert bound.value == 42
+
+    def test_str_formats(self):
+        (st,) = program(3, [("S", 0xA, 1)])
+        assert "C3" in str(st) and "S(0xa,1)" in str(st)
+
+
+class TestInitialWrites:
+    def test_defaults_to_zero(self):
+        inits = initial_writes([0x1, 0x2])
+        assert all(e.value == 0 for e in inits)
+        assert all(e.core == -1 for e in inits)
+
+    def test_override_values(self):
+        inits = initial_writes([0x1, 0x2], {0x2: 9})
+        by_addr = {e.addr: e.value for e in inits}
+        assert by_addr == {0x1: 0, 0x2: 9}
+
+    def test_initial_write_is_store_event(self):
+        ev = InitialWrite(0x5, 3).as_event()
+        assert ev.kind is EventKind.STORE
+        assert ev.is_write

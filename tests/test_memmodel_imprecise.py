@@ -1,0 +1,172 @@
+"""Tests for the imprecise-store-exception formalism and proofs."""
+
+import pytest
+
+from repro.memmodel import PC, WC, allowed_outcomes
+from repro.memmodel.events import Event, EventKind, program
+from repro.memmodel.imprecise import (
+    DrainPolicy,
+    interface_fifo_edges,
+    protocol_chain_is_total,
+    transform,
+)
+from repro.memmodel.proofs import (
+    ADDR_A,
+    ADDR_B,
+    demonstrate_figure2_race,
+    observable_outcomes,
+    prove_rule_suite,
+    prove_store_store_rule,
+)
+
+
+def writer_thread():
+    return list(program(0, [("S", ADDR_A, 1), ("S", ADDR_B, 1)]))
+
+
+class TestTransform:
+    def test_same_stream_routes_fault_and_younger(self):
+        w = writer_thread()
+        tr = transform([w], [w[0].uid], DrainPolicy.SAME_STREAM)
+        assert tr.threads[0] == []  # both stores routed
+        kinds = [e.kind for e in tr.extra_events]
+        assert kinds.count(EventKind.OS_STORE) == 2
+        assert kinds.count(EventKind.PUT) == 2
+
+    def test_same_stream_keeps_older_stores(self):
+        w = writer_thread()
+        tr = transform([w], [w[1].uid], DrainPolicy.SAME_STREAM)
+        # Only S(B) faulting: S(A) stays in the thread.
+        assert [e.addr for e in tr.threads[0]] == [ADDR_A]
+        assert len([e for e in tr.extra_events
+                    if e.kind is EventKind.OS_STORE]) == 1
+
+    def test_split_stream_routes_only_faulting(self):
+        w = writer_thread()
+        tr = transform([w], [w[0].uid], DrainPolicy.SPLIT_STREAM)
+        assert [e.addr for e in tr.threads[0]] == [ADDR_B]
+        os_stores = [e for e in tr.extra_events
+                     if e.kind is EventKind.OS_STORE]
+        assert [e.addr for e in os_stores] == [ADDR_A]
+
+    def test_protocol_chain_order(self):
+        w = writer_thread()
+        tr = transform([w], [w[0].uid], DrainPolicy.SAME_STREAM)
+        assert protocol_chain_is_total(tr)
+        kinds = [e.kind for e in sorted(
+            (e for e in tr.extra_events), key=lambda e: e.index)]
+        assert kinds[0] is EventKind.DETECT
+        assert kinds[-1] is EventKind.RESOLVE
+
+    def test_fifo_adds_older_store_to_detect_edge(self):
+        w = writer_thread()
+        tr = transform([w], [w[1].uid], DrainPolicy.SAME_STREAM, fifo=True)
+        detect = [e for e in tr.extra_events
+                  if e.kind is EventKind.DETECT][0]
+        assert (w[0].uid, detect.uid) in tr.protocol_order
+
+    def test_no_fifo_for_wc(self):
+        w = writer_thread()
+        tr = transform([w], [w[1].uid], DrainPolicy.SAME_STREAM, fifo=False)
+        detect = [e for e in tr.extra_events
+                  if e.kind is EventKind.DETECT][0]
+        assert (w[0].uid, detect.uid) not in tr.protocol_order
+
+    def test_faulting_load_rejected(self):
+        t = list(program(0, [("L", ADDR_A)]))
+        with pytest.raises(ValueError, match="not a store"):
+            transform([t], [t[0].uid], DrainPolicy.SAME_STREAM)
+
+    def test_non_faulting_thread_untouched(self):
+        w = writer_thread()
+        obs = list(program(1, [("L", ADDR_B)]))
+        tr = transform([w, obs], [w[0].uid], DrainPolicy.SAME_STREAM)
+        assert tr.threads[1] == obs
+
+    def test_os_store_preserves_address_and_data(self):
+        w = writer_thread()
+        tr = transform([w], [w[0].uid], DrainPolicy.SAME_STREAM)
+        s_os = tr.os_stores[w[0].uid]
+        assert s_os.addr == ADDR_A and s_os.value == 1
+        assert s_os.kind is EventKind.OS_STORE
+
+    def test_resolve_registered_per_core(self):
+        w = writer_thread()
+        tr = transform([w], [w[0].uid], DrainPolicy.SAME_STREAM)
+        assert 0 in tr.resolves
+
+
+class TestInterfaceFifo:
+    def test_put_get_pairing_edges(self):
+        puts = list(program(0, [("S", 1, 1), ("S", 2, 2)]))
+        gets = list(program(1, [("L", 1), ("L", 2)]))
+        edges = interface_fifo_edges(puts, gets)
+        assert (puts[0].uid, puts[1].uid) in edges
+        assert (gets[0].uid, gets[1].uid) in edges
+        assert (puts[0].uid, gets[0].uid) in edges
+        assert (puts[1].uid, gets[1].uid) in edges
+
+
+class TestProof1:
+    def test_store_store_rule_holds(self):
+        report = prove_store_store_rule()
+        assert report.holds, report.summary()
+
+    def test_all_four_cases_present(self):
+        report = prove_store_store_rule()
+        assert len(report.cases) == 4
+        assert {c.faulting for c in report.cases} == {
+            (), ("B",), ("A", "B"), ("A",)}
+
+    def test_each_case_outcome_set_matches_baseline(self):
+        report = prove_store_store_rule()
+        for case in report.cases:
+            # Not just subset: same-stream is fully transparent here.
+            assert case.observed == case.baseline, case.label
+
+    def test_rule_suite_all_hold(self):
+        for report in prove_rule_suite():
+            assert report.holds, report.summary()
+
+
+class TestFigure2Race:
+    def test_matches_paper(self):
+        demo = demonstrate_figure2_race()
+        assert demo.matches_paper, demo.summary()
+
+    def test_split_stream_superset_of_baseline(self):
+        demo = demonstrate_figure2_race()
+        assert demo.baseline_outcomes < demo.split_outcomes
+
+    def test_same_stream_within_baseline(self):
+        demo = demonstrate_figure2_race()
+        assert demo.same_outcomes <= demo.baseline_outcomes
+
+    def test_wc_tolerates_split_stream(self):
+        """The paper: 'such execution is legal in WC' — the Fig 2a
+        outcome is not a WC violation because WC never ordered the two
+        stores in the first place."""
+        w = writer_thread()
+        obs = list(program(1, [("L", ADDR_B), ("L", ADDR_A)]))
+        fault_a = [w[0].uid]
+        wc_base = observable_outcomes([w, obs], WC)
+        wc_split = observable_outcomes(
+            [w, obs], WC, fault_a, DrainPolicy.SPLIT_STREAM, fifo=False)
+        assert wc_split <= wc_base
+
+
+class TestResumeEdge:
+    def test_resume_orders_reexecution_after_resolve(self):
+        """§4.4: RESOLVE <m the re-executed instruction."""
+        w = writer_thread()
+        obs = list(program(1, [("L", ADDR_A)]))
+        tr = transform([w], [w[0].uid], DrainPolicy.SAME_STREAM)
+        edge = tr.resume_edge(0, obs[0])
+        assert edge == (tr.resolves[0], obs[0].uid)
+        # With the resume edge, the observer load must see the OS store.
+        allowed = allowed_outcomes(
+            tr.threads + [obs], PC,
+            extra_events=tr.extra_events,
+            protocol_order=set(tr.protocol_order) | {edge},
+        )
+        assert all(dict(o)["r1.0"] == 1 for o in allowed)

@@ -1,0 +1,200 @@
+"""Unit tests for repro.memmodel.relations."""
+
+import pytest
+
+from repro.memmodel.events import FenceKind, initial_writes, program
+from repro.memmodel.relations import (
+    Execution,
+    candidate_co_choices,
+    candidate_rf_choices,
+    is_acyclic,
+    transitive_closure,
+)
+
+
+def make_inits(threads):
+    flat = [e for th in threads for e in th]
+    addrs = {e.addr for e in flat if e.addr is not None}
+    return initial_writes(sorted(addrs))
+
+
+def make_exec(threads, rf=None, co=None, inits=None):
+    if inits is None:
+        inits = make_inits(threads)
+    flat = [e for th in threads for e in th]
+    return Execution(events=tuple(inits) + tuple(flat), rf=rf or {},
+                     co=co or {}), inits
+
+
+class TestProgramOrder:
+    def test_po_within_core(self):
+        t0 = list(program(0, [("S", 1, 1), ("S", 2, 1), ("L", 1)]))
+        ex, _ = make_exec([t0])
+        po = ex.po_edges()
+        assert (t0[0].uid, t0[1].uid) in po
+        assert (t0[0].uid, t0[2].uid) in po
+        assert (t0[1].uid, t0[2].uid) in po
+        assert (t0[2].uid, t0[0].uid) not in po
+
+    def test_no_po_across_cores(self):
+        t0 = list(program(0, [("S", 1, 1)]))
+        t1 = list(program(1, [("L", 1)]))
+        ex, _ = make_exec([t0, t1])
+        assert not any(
+            (a, b) in ex.po_edges()
+            for a in [t0[0].uid] for b in [t1[0].uid]
+        )
+
+    def test_initial_writes_outside_po(self):
+        t0 = list(program(0, [("L", 1)]))
+        ex, inits = make_exec([t0])
+        po = ex.po_edges()
+        assert all(inits[0].uid not in edge for edge in po)
+
+    def test_po_loc_filters_different_addresses(self):
+        t0 = list(program(0, [("S", 1, 1), ("S", 2, 1), ("L", 1)]))
+        ex, _ = make_exec([t0])
+        po_loc = ex.po_loc_edges()
+        assert (t0[0].uid, t0[2].uid) in po_loc
+        assert (t0[0].uid, t0[1].uid) not in po_loc
+
+
+class TestCommunicationRelations:
+    def test_rf_internal_vs_external(self):
+        t0 = list(program(0, [("S", 1, 1), ("L", 1)]))
+        t1 = list(program(1, [("L", 1)]))
+        ex, inits = make_exec(
+            [t0, t1],
+            rf={t0[1].uid: t0[0].uid, t1[0].uid: t0[0].uid},
+        )
+        assert (t0[0].uid, t0[1].uid) in ex.rfi_edges()
+        assert (t0[0].uid, t1[0].uid) in ex.rfe_edges()
+
+    def test_initial_write_reads_are_external(self):
+        t0 = list(program(0, [("L", 1)]))
+        inits = make_inits([t0])
+        ex, _ = make_exec([t0], rf={t0[0].uid: inits[0].uid}, inits=inits)
+        assert (inits[0].uid, t0[0].uid) in ex.rfe_edges()
+
+    def test_co_edges_transitive(self):
+        t0 = list(program(0, [("S", 1, 1), ("S", 1, 2)]))
+        inits = make_inits([t0])
+        ex, _ = make_exec(
+            [t0], co={1: [inits[0].uid, t0[0].uid, t0[1].uid]}, inits=inits
+        )
+        co = ex.co_edges()
+        assert (inits[0].uid, t0[0].uid) in co
+        assert (inits[0].uid, t0[1].uid) in co
+        assert (t0[0].uid, t0[1].uid) in co
+
+    def test_fr_derivation(self):
+        # r reads init; a later write w is co-after init => r fr w.
+        t0 = list(program(0, [("L", 1)]))
+        t1 = list(program(1, [("S", 1, 5)]))
+        inits = make_inits([t0, t1])
+        ex, _ = make_exec(
+            [t0, t1],
+            rf={t0[0].uid: inits[0].uid},
+            co={1: [inits[0].uid, t1[0].uid]},
+            inits=inits,
+        )
+        assert (t0[0].uid, t1[0].uid) in ex.fr_edges()
+
+    def test_fr_empty_when_read_sees_last_write(self):
+        t0 = list(program(0, [("L", 1)]))
+        t1 = list(program(1, [("S", 1, 5)]))
+        inits = make_inits([t0, t1])
+        ex, _ = make_exec(
+            [t0, t1],
+            rf={t0[0].uid: t1[0].uid},
+            co={1: [inits[0].uid, t1[0].uid]},
+            inits=inits,
+        )
+        assert ex.fr_edges() == set()
+
+
+class TestFenceEdges:
+    def test_full_fence_orders_across(self):
+        t0 = list(program(0, [("S", 1, 1), ("F",), ("L", 2)]))
+        ex, _ = make_exec([t0])
+        assert (t0[0].uid, t0[2].uid) in ex.fence_edges()
+
+    def test_store_store_fence_ignores_loads(self):
+        t0 = list(program(0, [
+            ("L", 1), ("S", 1, 1), ("F", FenceKind.STORE_STORE),
+            ("L", 2), ("S", 2, 1),
+        ]))
+        ex, _ = make_exec([t0])
+        fe = ex.fence_edges()
+        assert (t0[1].uid, t0[4].uid) in fe        # S -> S ordered
+        assert (t0[0].uid, t0[3].uid) not in fe    # L -> L not ordered
+        assert (t0[0].uid, t0[4].uid) not in fe    # L -> S not ordered
+        assert (t0[1].uid, t0[3].uid) not in fe    # S -> L not ordered
+
+    def test_load_load_fence(self):
+        t0 = list(program(0, [
+            ("L", 1), ("S", 1, 1), ("F", FenceKind.LOAD_LOAD),
+            ("L", 2), ("S", 2, 1),
+        ]))
+        ex, _ = make_exec([t0])
+        fe = ex.fence_edges()
+        assert (t0[0].uid, t0[3].uid) in fe
+        assert (t0[1].uid, t0[4].uid) not in fe
+
+
+class TestFinalState:
+    def test_final_memory_is_co_max(self):
+        t0 = list(program(0, [("S", 1, 1), ("S", 1, 2)]))
+        inits = make_inits([t0])
+        ex, _ = make_exec(
+            [t0], co={1: [inits[0].uid, t0[1].uid, t0[0].uid]}, inits=inits
+        )
+        assert ex.final_memory()[1] == 1  # t0[0] is co-last
+
+    def test_outcome_uses_tags_or_positions(self):
+        t0 = list(program(0, [("S", 1, 7)]))
+        t1 = list(program(1, [("L", 1)]))
+        ex, inits = make_exec([t1, t0], rf={t1[0].uid: t0[0].uid})
+        assert ex.outcome() == (("r1.0", 7),)
+
+
+class TestCandidateEnumeration:
+    def test_rf_choices_cover_all_writers(self):
+        t0 = list(program(0, [("S", 1, 1)]))
+        t1 = list(program(1, [("L", 1)]))
+        inits = initial_writes([1])
+        events = tuple(inits) + tuple(t0) + tuple(t1)
+        choices = candidate_rf_choices(events)
+        sources = {c[t1[0].uid] for c in choices}
+        assert sources == {inits[0].uid, t0[0].uid}
+
+    def test_read_without_writer_raises(self):
+        t1 = list(program(1, [("L", 99)]))
+        with pytest.raises(ValueError, match="no candidate writer"):
+            candidate_rf_choices(tuple(t1))
+
+    def test_co_choices_keep_init_first(self):
+        t0 = list(program(0, [("S", 1, 1), ("S", 1, 2)]))
+        inits = initial_writes([1])
+        events = tuple(inits) + tuple(t0)
+        for co in candidate_co_choices(events):
+            assert co[1][0] == inits[0].uid
+        assert len(candidate_co_choices(events)) == 2  # 2! permutations
+
+    def test_co_count_grows_factorially(self):
+        t0 = list(program(0, [("S", 1, v) for v in range(4)]))
+        inits = initial_writes([1])
+        events = tuple(inits) + tuple(t0)
+        assert len(candidate_co_choices(events)) == 24
+
+
+class TestGraphHelpers:
+    def test_is_acyclic_true(self):
+        assert is_acyclic([(1, 2), (2, 3)])
+
+    def test_is_acyclic_false(self):
+        assert not is_acyclic([(1, 2), (2, 3), (3, 1)])
+
+    def test_transitive_closure(self):
+        closure = transitive_closure([(1, 2), (2, 3)])
+        assert (1, 3) in closure

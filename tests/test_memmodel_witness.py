@@ -1,0 +1,69 @@
+"""Tests for the execution-witness renderer."""
+
+import pytest
+
+from repro.memmodel import PC, SC, WC, enumerate_executions
+from repro.memmodel.events import program
+from repro.memmodel.witness import explain_forbidden, find_cycle, render_execution
+
+A, B = 0xA0, 0xB0
+
+
+def mp_threads():
+    t0 = list(program(0, [("S", B, 1), ("S", A, 1)]))
+    t1 = list(program(1, [("L", A), ("L", B)]))
+    return [t0, t1]
+
+
+class TestRenderExecution:
+    def _witness(self, model):
+        threads = mp_threads()
+        result = enumerate_executions(threads, model)
+        outcome = next(iter(result.allowed))
+        return result.witnesses[outcome], outcome
+
+    def test_renders_all_sections(self):
+        execution, _ = self._witness(PC)
+        text = render_execution(execution, PC)
+        assert "events:" in text
+        assert "reads-from:" in text
+        assert "coherence:" in text
+        assert "verdict under PC: consistent" in text
+
+    def test_init_writes_labelled(self):
+        execution, _ = self._witness(PC)
+        text = render_execution(execution)
+        assert "init[" in text
+
+
+class TestExplainForbidden:
+    def test_forbidden_outcome_gets_cycle(self):
+        text = explain_forbidden(
+            mp_threads(), PC, [("r1.0", 1), ("r1.1", 0)])
+        assert "FORBIDDEN" in text
+        assert "cycle:" in text
+
+    def test_allowed_outcome_reported(self):
+        text = explain_forbidden(
+            mp_threads(), WC, [("r1.0", 1), ("r1.1", 0)])
+        assert "ALLOWED" in text
+
+    def test_unconstructible_outcome(self):
+        text = explain_forbidden(
+            mp_threads(), PC, [("r1.0", 7), ("r1.1", 7)])
+        assert "no candidate execution" in text
+
+    def test_sb_forbidden_under_sc(self):
+        t0 = list(program(0, [("S", A, 1), ("L", B)]))
+        t1 = list(program(1, [("S", B, 1), ("L", A)]))
+        text = explain_forbidden(
+            [t0, t1], SC, [("r0.1", 0), ("r1.1", 0)])
+        assert "FORBIDDEN" in text
+
+
+class TestFindCycle:
+    def test_consistent_execution_has_no_cycle(self):
+        threads = mp_threads()
+        result = enumerate_executions(threads, PC)
+        execution = next(iter(result.witnesses.values()))
+        assert find_cycle(execution, PC) is None

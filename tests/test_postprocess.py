@@ -1,0 +1,117 @@
+"""Tests for the artifact-style log post-processing."""
+
+import json
+
+import pytest
+
+from repro.analysis.figure6 import Figure6Row
+from repro.analysis.postprocess import (
+    NEGATIVE_DIFF_PREFIX,
+    analyse_mbench_log,
+    analyse_workload_logs,
+    compare_litmus_logs,
+    litmus_verdict,
+    read_litmus_log,
+    write_litmus_log,
+    write_mbench_log,
+    write_workload_log,
+)
+from repro.litmus import RunConfig, allowed_set, load_litmus_directory, run_test
+from repro.memmodel import PC
+from repro.sim.config import ConsistencyModel
+
+
+class TestLitmusLogs:
+    def _outcome(self, **kv):
+        return tuple(sorted(kv.items()))
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "hw.log"
+        results = {"MP": {self._outcome(r0=0, r1=0),
+                          self._outcome(r0=1, r1=1)}}
+        write_litmus_log(path, results)
+        back = read_litmus_log(path)
+        assert back == results
+
+    def test_compare_clean(self, tmp_path):
+        hw = tmp_path / "hw.log"
+        model = tmp_path / "model.log"
+        write_litmus_log(hw, {"T": {self._outcome(r0=0)}})
+        write_litmus_log(model, {"T": {self._outcome(r0=0),
+                                       self._outcome(r0=1)}})
+        lines = compare_litmus_logs(hw, model)
+        assert litmus_verdict(lines) == "OK"
+        assert "1 allowed-but-unseen" in lines[0]
+
+    def test_compare_negative_difference(self, tmp_path):
+        hw = tmp_path / "hw.log"
+        model = tmp_path / "model.log"
+        write_litmus_log(hw, {"T": {self._outcome(r0=7)}})
+        write_litmus_log(model, {"T": {self._outcome(r0=0)}})
+        lines = compare_litmus_logs(hw, model)
+        assert lines[0].startswith(NEGATIVE_DIFF_PREFIX)
+        assert litmus_verdict(lines).startswith("FAIL")
+
+    def test_missing_test_reported(self, tmp_path):
+        hw = tmp_path / "hw.log"
+        model = tmp_path / "model.log"
+        write_litmus_log(hw, {"T": set()})
+        write_litmus_log(model, {})
+        assert "missing from model" in compare_litmus_logs(hw, model)[0]
+
+    def test_end_to_end_with_shipped_files(self, tmp_path):
+        """The full artifact workflow: run the shipped .litmus files,
+        write hardware + model logs, post-process, expect OK."""
+        tests = load_litmus_directory("litmus_files")[:4]
+        config = RunConfig(model=ConsistencyModel.PC, seeds=15,
+                           inject_faults=True)
+        hardware = {}
+        model = {}
+        for test in tests:
+            run = run_test(test, config)
+            hardware[test.name] = run.outcomes
+            model[test.name] = allowed_set(test, PC)
+        hw_path = tmp_path / "litmus.log"
+        model_path = tmp_path / "herd.log"
+        write_litmus_log(hw_path, hardware)
+        write_litmus_log(model_path, model)
+        lines = compare_litmus_logs(hw_path, model_path)
+        assert litmus_verdict(lines) == "OK", "\n".join(lines)
+
+
+class TestMbenchLogs:
+    def test_roundtrip_and_analysis(self, tmp_path):
+        rows = [
+            {"fault_fraction": 0.05, "mode": "minimal", "uarch": 100.0,
+             "os_apply": 50.0, "os_other": 400.0, "total": 550.0,
+             "stores_per_exception": 1.2},
+        ]
+        path = tmp_path / "mbench.log"
+        write_mbench_log(path, rows)
+        data = analyse_mbench_log(path)
+        assert data["0.05/minimal"]["total"] == 550.0
+
+
+class TestWorkloadLogs:
+    def _rows(self):
+        return [Figure6Row("BFS", baseline_cycles=1000.0,
+                           imprecise_cycles=1050.0,
+                           imprecise_exceptions=4, faulting_stores=4,
+                           precise_exceptions=10, work_items=100)]
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "gap.log"
+        write_workload_log(path, self._rows())
+        analysed = analyse_workload_logs(path)
+        assert analysed[0]["workload"] == "BFS"
+        assert analysed[0]["relative"] == pytest.approx(1000 / 1050)
+
+    def test_reference_log_overrides_baseline(self, tmp_path):
+        run_path = tmp_path / "gap.log"
+        ref_path = tmp_path / "gap-ref.log"
+        write_workload_log(run_path, self._rows())
+        ref = self._rows()
+        ref[0].baseline_cycles = 900.0
+        write_workload_log(ref_path, ref)
+        analysed = analyse_workload_logs(run_path, ref_path)
+        assert analysed[0]["relative"] == pytest.approx(900 / 1050)

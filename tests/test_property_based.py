@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core data structures and
+model invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ExceptionCode
+from repro.core.fsb import FaultingStoreBuffer, FsbEntry
+from repro.core.interface import ArchitecturalInterface
+from repro.core.streams import DrainPolicy, PendingStore, plan_drain
+from repro.memmodel import PC, SC, WC, allowed_outcomes
+from repro.memmodel.events import program
+from repro.memmodel.relations import is_acyclic, transitive_closure
+from repro.sim.cache.cache import SetAssociativeCache
+from repro.sim.config import CacheConfig
+from repro.sim.devices.einject import EInject, PAGE_SIZE
+from repro.sim.noc.mesh import Mesh
+from repro.sim.config import NocConfig
+from repro.sim.trace import measure_mix
+from repro.workloads.base import Region, TraceBuilder, calibrate_mix
+
+# ----------------------------------------------------------------------
+# FSB ring invariants
+# ----------------------------------------------------------------------
+ops_strategy = st.lists(st.sampled_from(["drain", "pop"]),
+                        min_size=1, max_size=64)
+
+
+@given(ops=ops_strategy,
+       capacity_exp=st.integers(min_value=1, max_value=5))
+def test_fsb_fifo_and_occupancy_invariants(ops, capacity_exp):
+    """The ring always pops in drain order; occupancy == tail - head;
+    occupancy is bounded by capacity."""
+    capacity = 1 << capacity_exp
+    fsb = FaultingStoreBuffer(capacity)
+    drained = []
+    popped = []
+    seq = 0
+    for op in ops:
+        if op == "drain" and not fsb.is_full:
+            fsb.drain(FsbEntry(addr=seq * 8, data=seq, seq=seq))
+            drained.append(seq)
+            seq += 1
+        elif op == "pop":
+            entry = fsb.pop()
+            if entry is not None:
+                popped.append(entry.seq)
+        assert 0 <= fsb.occupancy <= capacity
+        assert fsb.occupancy == fsb.tail - fsb.head
+    assert popped == drained[:len(popped)]
+
+
+@given(n=st.integers(min_value=0, max_value=32))
+def test_fsb_snapshot_matches_pop_sequence(n):
+    fsb = FaultingStoreBuffer(32)
+    for i in range(n):
+        fsb.drain(FsbEntry(addr=i, data=i, seq=i))
+    snap = [e.seq for e in fsb.snapshot()]
+    popped = [fsb.pop().seq for _ in range(n)]
+    assert snap == popped
+
+
+# ----------------------------------------------------------------------
+# Interface FIFO property
+# ----------------------------------------------------------------------
+@given(puts=st.lists(st.integers(min_value=0, max_value=2 ** 32),
+                     min_size=0, max_size=30))
+def test_interface_fifo_for_any_put_sequence(puts):
+    iface = ArchitecturalInterface(0, fsb_capacity=32)
+    for i, addr in enumerate(puts):
+        iface.put(addr & ~7, i)
+    got = [e.addr for e in iface.get_all()]
+    assert got == [a & ~7 for a in puts]
+    assert iface.fifo_respected()
+
+
+# ----------------------------------------------------------------------
+# Drain-policy properties
+# ----------------------------------------------------------------------
+pending_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 20),
+              st.booleans()),
+    min_size=0, max_size=24)
+
+
+@given(entries=pending_strategy)
+def test_drain_plans_preserve_order_and_partition(entries):
+    """Both policies emit every entry exactly once, preserving the
+    relative order; same-stream targets the interface for all entries
+    whenever any entry faults."""
+    pending = [
+        PendingStore(addr & ~7, i,
+                     error_code=(ExceptionCode.EINJECT_BUS_ERROR if f
+                                 else ExceptionCode.NONE))
+        for i, (addr, f) in enumerate(entries)
+    ]
+    any_fault = any(p.is_faulting for p in pending)
+    for policy in DrainPolicy:
+        plan = plan_drain(pending, policy)
+        assert [a.store for a in plan] == pending  # order + totality
+        if not any_fault:
+            assert all(a.target.value == "memory" for a in plan)
+    if any_fault:
+        same = plan_drain(pending, DrainPolicy.SAME_STREAM)
+        assert all(a.target.value == "interface" for a in same)
+        split = plan_drain(pending, DrainPolicy.SPLIT_STREAM)
+        for action in split:
+            expected = ("interface" if action.store.is_faulting
+                        else "memory")
+            assert action.target.value == expected
+
+
+# ----------------------------------------------------------------------
+# Memory-model inclusion: SC ⊆ PC ⊆ WC on arbitrary small programs
+# ----------------------------------------------------------------------
+def _ops_strategy(addr_pool):
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("S"), st.sampled_from(addr_pool),
+                      st.integers(min_value=1, max_value=3)),
+            st.tuples(st.just("L"), st.sampled_from(addr_pool)),
+            st.tuples(st.just("F")),
+        ),
+        min_size=1, max_size=3)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(t0=_ops_strategy([0xA, 0xB]), t1=_ops_strategy([0xA, 0xB]))
+def test_model_outcome_inclusion(t0, t1):
+    """Stronger models allow fewer behaviours: SC ⊆ PC ⊆ WC."""
+    threads = [list(program(0, t0)), list(program(1, t1))]
+    sc = allowed_outcomes(threads, SC)
+
+    threads2 = [list(program(0, t0)), list(program(1, t1))]
+    pc = allowed_outcomes(threads2, PC)
+
+    threads3 = [list(program(0, t0)), list(program(1, t1))]
+    wc = allowed_outcomes(threads3, WC)
+    assert sc <= pc <= wc
+    assert sc, "SC must allow at least one outcome"
+
+
+# ----------------------------------------------------------------------
+# Graph helpers
+# ----------------------------------------------------------------------
+@given(edges=st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20))
+def test_transitive_closure_contains_edges_and_is_transitive(edges):
+    closure = transitive_closure(edges)
+    assert set(e for e in edges if e[0] != e[1]) - closure == set() or \
+        all((a, b) in closure for a, b in edges if a != b)
+    for (a, b) in closure:
+        for (c, d) in closure:
+            if b == c:
+                assert (a, d) in closure
+
+
+# ----------------------------------------------------------------------
+# Cache LRU invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 14),
+                      min_size=1, max_size=100))
+def test_cache_occupancy_bounded_and_rehit(addrs):
+    cache = SetAssociativeCache(
+        CacheConfig(size_bytes=1024, ways=2, block_bytes=64))
+    for addr in addrs:
+        if cache.lookup(addr) is None:
+            cache.insert(addr)
+        # Immediately re-probing must hit.
+        assert cache.peek(addr) is not None
+        assert cache.occupancy <= 16  # 8 sets x 2 ways
+
+
+# ----------------------------------------------------------------------
+# Mesh metric properties
+# ----------------------------------------------------------------------
+@given(a=st.integers(0, 15), b=st.integers(0, 15), c=st.integers(0, 15))
+def test_mesh_hops_is_a_metric(a, b, c):
+    mesh = Mesh(NocConfig())
+    assert mesh.hops(a, b) == mesh.hops(b, a)
+    assert mesh.hops(a, b) == 0 if a == b else mesh.hops(a, b) > 0
+    assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+
+# ----------------------------------------------------------------------
+# EInject set/clr idempotence
+# ----------------------------------------------------------------------
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                      min_size=1, max_size=30))
+def test_einject_set_then_clear_roundtrip(addrs):
+    einject = EInject()
+    for addr in addrs:
+        einject.mmio_set(addr)
+        assert einject.check(addr).denied
+    for addr in addrs:
+        einject.mmio_clr(addr)
+    for addr in addrs:
+        assert not einject.check(addr).denied
+    assert einject.faulting_page_count == 0
+
+
+# ----------------------------------------------------------------------
+# Mix calibration properties
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(n_loads=st.integers(5, 60), n_stores=st.integers(0, 20),
+       store_pct=st.integers(5, 30), load_pct=st.integers(10, 40))
+def test_calibrate_mix_hits_targets_and_preserves_ops(
+        n_loads, n_stores, store_pct, load_pct):
+    tb = TraceBuilder()
+    for i in range(n_loads):
+        tb.load(0x10000 + i * 8)
+    for i in range(n_stores):
+        tb.store(0x20000 + i * 8)
+    stack = Region("stack", 0x1000, 4096)
+    out = calibrate_mix(tb.build(), stack, store_pct, load_pct,
+                        random.Random(0))
+    mix = measure_mix(out)
+    # Discreteness bound: one op of slack on small traces.
+    tolerance = 2.0 + 100.0 / len(out)
+    assert abs(100 * mix.store - store_pct) < tolerance
+    assert abs(100 * mix.load - load_pct) < tolerance
+    # Algorithmic accesses survive, in order.
+    algo_loads = [op.addr for op in out
+                  if op.kind == "L" and op.addr >= 0x10000]
+    assert algo_loads[:n_loads] == [0x10000 + i * 8
+                                    for i in range(n_loads)]

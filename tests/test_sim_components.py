@@ -1,0 +1,387 @@
+"""Unit tests for simulator components: config, engine, caches, MSHRs,
+mesh, coherence, EInject, memory, VM."""
+
+import pytest
+
+from repro.core.osconfig import OsConfig
+from repro.sim.cache.cache import SetAssociativeCache
+from repro.sim.cache.coherence import CoherentHierarchy
+from repro.sim.cache.mshr import MshrFile
+from repro.sim.config import (
+    CacheConfig,
+    ConsistencyModel,
+    SystemConfig,
+    small_config,
+    table2_config,
+)
+from repro.sim.devices.einject import EInject, PAGE_SIZE
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.mem.memory import FlatMemory, MemoryController
+from repro.sim.noc.mesh import Mesh
+from repro.sim.vm.mmu import LateTranslationPoint, Mmu
+from repro.sim.vm.pagetable import FaultType, PageTable
+from repro.sim.vm.tlb import Tlb
+from repro.sim.config import MemoryConfig, NocConfig, TlbConfig
+
+
+class TestConfig:
+    def test_table2_defaults(self):
+        cfg = table2_config()
+        assert cfg.cores == 16
+        assert cfg.core.width == 4
+        assert cfg.core.rob_entries == 128
+        assert cfg.core.store_buffer_entries == 32
+        assert cfg.l1d.size_bytes == 64 * 1024 and cfg.l1d.ways == 4
+        assert cfg.l2.size_bytes == 1024 * 1024 and cfg.l2.ways == 16
+        assert cfg.noc.tiles == 16 and cfg.noc.hop_latency == 3
+        assert cfg.memory.access_latency == 80
+        assert cfg.tlb.l1_entries == 48 and cfg.tlb.l2_entries == 1024
+
+    def test_consistency_validation(self):
+        cfg = table2_config()
+        cfg.core.consistency = "PSO"
+        with pytest.raises(ValueError, match="unknown consistency"):
+            cfg.validate()
+
+    def test_too_many_cores_rejected(self):
+        cfg = SystemConfig(cores=20)
+        with pytest.raises(ValueError, match="exceed"):
+            cfg.validate()
+
+    def test_variants_do_not_mutate_base(self):
+        base = table2_config()
+        scaled = base.with_memory_latency_scale(2)
+        skewed = base.with_store_load_skew(4)
+        assert base.memory.access_latency == 80
+        assert scaled.memory.access_latency == 160
+        assert skewed.memory.store_extra_latency == 240
+        assert base.memory.store_extra_latency == 0
+
+    def test_with_consistency(self):
+        wc = table2_config().with_consistency(ConsistencyModel.SC)
+        assert wc.core.consistency == "SC"
+
+    def test_fsb_defaults_to_store_buffer_size(self):
+        cfg = table2_config()
+        assert cfg.fsb_entries == cfg.core.store_buffer_entries
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(10, lambda: order.append("b"))
+        engine.schedule(5, lambda: order.append("a"))
+        engine.schedule(20, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 20
+
+    def test_ties_break_by_insertion(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append(1))
+        engine.schedule(5, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_cancel(self):
+        engine = Engine()
+        fired = []
+        ev = engine.schedule(5, lambda: fired.append(1))
+        Engine.cancel(ev)
+        engine.run()
+        assert fired == []
+
+    def test_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5, lambda: fired.append(1))
+        engine.schedule(50, lambda: fired.append(2))
+        engine.run(until=10)
+        assert fired == [1]
+        assert engine.now == 10
+
+    def test_chained_scheduling(self):
+        engine = Engine()
+        times = []
+        def tick():
+            times.append(engine.now)
+            if len(times) < 3:
+                engine.schedule(7, tick)
+        engine.schedule(0, tick)
+        engine.run()
+        assert times == [0, 7, 14]
+
+
+class TestSetAssociativeCache:
+    def _cache(self, size=1024, ways=2, block=64):
+        return SetAssociativeCache(CacheConfig(size_bytes=size, ways=ways,
+                                               block_bytes=block))
+
+    def test_miss_then_hit(self):
+        c = self._cache()
+        assert c.lookup(0x100) is None
+        c.insert(0x100)
+        assert c.lookup(0x100) is not None
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_block_hits(self):
+        c = self._cache()
+        c.insert(0x100)
+        assert c.lookup(0x13F) is not None  # same 64B block
+        assert c.lookup(0x140) is None      # next block
+
+    def test_lru_eviction(self):
+        c = self._cache(size=256, ways=2, block=64)  # 2 sets, 2 ways
+        # Three blocks mapping to the same set (stride = sets*block).
+        stride = c.config.sets * 64
+        c.insert(0x0)
+        c.insert(stride)
+        c.lookup(0x0)            # refresh LRU of 0x0
+        victim = c.insert(2 * stride)
+        assert victim is not None
+        victim_addr, _ = victim
+        assert victim_addr * 64 == stride  # the non-refreshed one
+
+    def test_invalidate(self):
+        c = self._cache()
+        c.insert(0x100)
+        assert c.invalidate(0x100) is not None
+        assert c.peek(0x100) is None
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            SetAssociativeCache(CacheConfig(size_bytes=1000, ways=3))
+
+
+class TestMshr:
+    def test_allocate_and_merge(self):
+        m = MshrFile(capacity=2)
+        assert m.allocate(1, 0, 100) is not None
+        entry = m.allocate(1, 5, 100)
+        assert entry.merged == 1
+        assert m.merges == 1
+        assert m.occupancy == 1
+
+    def test_capacity_limits(self):
+        m = MshrFile(capacity=1)
+        m.allocate(1, 0, 100)
+        assert m.allocate(2, 0, 100) is None
+        assert m.allocation_failures == 1
+
+    def test_release_ready(self):
+        m = MshrFile(capacity=4)
+        m.allocate(1, 0, 50)
+        m.allocate(2, 0, 100)
+        done = m.release_ready(now=60)
+        assert [e.block_addr for e in done] == [1]
+        assert m.occupancy == 1
+        assert m.earliest_ready_time() == 100
+
+
+class TestMesh:
+    def test_hop_counts(self):
+        mesh = Mesh(NocConfig(rows=4, cols=4))
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3
+        assert mesh.hops(0, 15) == 6  # corner to corner
+        assert mesh.hops(5, 10) == 2
+
+    def test_latency_includes_serialization(self):
+        mesh = Mesh(NocConfig(rows=4, cols=4, hop_latency=3, link_bytes=16))
+        lat16 = mesh.latency(0, 1, payload_bytes=16)
+        lat64 = mesh.latency(0, 1, payload_bytes=64)
+        assert lat16 == 3
+        assert lat64 == 3 + 3  # 4 flits -> 3 extra cycles
+
+    def test_home_tile_interleaving(self):
+        mesh = Mesh(NocConfig())
+        homes = {mesh.home_tile(b) for b in range(64)}
+        assert homes == set(range(16))
+
+    def test_out_of_range_tile(self):
+        with pytest.raises(ValueError):
+            Mesh(NocConfig()).coordinates(16)
+
+
+class TestCoherentHierarchy:
+    def _system(self):
+        cfg = table2_config()
+        cfg.cores = 4
+        mem = MemoryController(cfg.memory)
+        return CoherentHierarchy(cfg, mem), cfg
+
+    def test_cold_miss_goes_to_memory(self):
+        h, cfg = self._system()
+        res = h.access(0, 0x1000, False)
+        assert res.hit_level == "MEM"
+        assert res.latency > cfg.memory.access_latency
+
+    def test_second_access_hits_l1(self):
+        h, _ = self._system()
+        h.access(0, 0x1000, False)
+        res = h.access(0, 0x1000, False)
+        assert res.hit_level == "L1"
+        assert res.latency == 2
+
+    def test_write_to_shared_invalidates(self):
+        h, _ = self._system()
+        h.access(0, 0x1000, False)
+        h.access(1, 0x1000, False)   # both share
+        res = h.access(0, 0x1000, True)
+        assert res.invalidations == 1
+        # Core 1 lost its copy.
+        assert h.l1d[1].peek(0x1000) is None
+
+    def test_dirty_forwarding(self):
+        h, _ = self._system()
+        h.access(0, 0x1000, True)    # core 0 owns dirty
+        res = h.access(1, 0x1000, False)
+        assert res.hit_level == "FWD"
+
+    def test_store_slower_than_load_when_shared(self):
+        """The organic store-vs-load latency skew (§3.3)."""
+        h, _ = self._system()
+        # Warm: every core shares the block.
+        for core in range(4):
+            h.access(core, 0x2000, False)
+        load = h.access(3, 0x2000, False)
+        store = h.access(3, 0x2000, True)
+        assert load.latency < store.latency
+
+    def test_einject_denial_propagates(self):
+        cfg = table2_config()
+        einject = EInject()
+        einject.mmio_set(0x5000)
+        mem = MemoryController(cfg.memory, einject)
+        h = CoherentHierarchy(cfg, mem)
+        res = h.access(0, 0x5000, True)
+        assert res.denied
+        assert res.error_code == 0x1F
+        # Nothing installed: a retry still goes to memory.
+        res2 = h.access(0, 0x5000, True)
+        assert res2.denied
+
+
+class TestEInject:
+    def test_set_and_check(self):
+        e = EInject()
+        e.mmio_set(0x4000)
+        assert e.check(0x4000).denied
+        assert e.check(0x4008).denied       # same page
+        assert not e.check(0x4000 + PAGE_SIZE).denied
+
+    def test_clr(self):
+        e = EInject()
+        e.mmio_set(0x4000)
+        e.mmio_clr(0x4FFF)
+        assert not e.check(0x4000).denied
+
+    def test_region_bounds(self):
+        e = EInject(region_base=0x10000, region_size=0x10000)
+        with pytest.raises(ValueError, match="outside"):
+            e.mmio_set(0x5000)
+        e.mmio_set(0x10000)
+        assert not e.check(0x5000).denied   # outside region passes
+
+    def test_mark_range(self):
+        e = EInject()
+        pages = e.mark_range(0x10000, 3 * PAGE_SIZE)
+        assert pages == 3
+        assert e.faulting_page_count == 3
+
+    def test_error_code(self):
+        e = EInject()
+        e.mmio_set(0)
+        assert e.check(0).error_code == 0x1F
+
+
+class TestMemory:
+    def test_default_zero(self):
+        assert FlatMemory().read(0x123) == 0
+
+    def test_write_read(self):
+        m = FlatMemory()
+        m.write(0x10, 42)
+        assert m.read(0x10) == 42
+
+    def test_initial_image(self):
+        m = FlatMemory({0x1: 7})
+        assert m.peek(0x1) == 7
+
+    def test_controller_store_skew(self):
+        mem = MemoryController(MemoryConfig(access_latency=80,
+                                            store_extra_latency=240))
+        assert mem.access(0, False).latency == 80
+        assert mem.access(0, True).latency == 320
+
+
+class TestVirtualMemory:
+    def test_translate_present_page(self):
+        pt = PageTable()
+        pt.map_page(0x4000, frame=7)
+        res = pt.translate(0x4123)
+        assert res.fault is FaultType.NONE
+        assert res.physical == (7 << 12) | 0x123
+
+    def test_unmapped_is_segfault(self):
+        assert PageTable().translate(0x9000).fault is FaultType.UNMAPPED
+
+    def test_lazy_vs_swapped(self):
+        pt = PageTable()
+        pt.map_page(0x1000, present=False)
+        pt.map_page(0x2000, present=False, swapped=True)
+        assert pt.translate(0x1000).fault is FaultType.NOT_PRESENT_LAZY
+        assert pt.translate(0x2000).fault is FaultType.NOT_PRESENT_SWAPPED
+        pt.make_present(0x1000)
+        assert pt.translate(0x1000).fault is FaultType.NONE
+
+    def test_write_protection(self):
+        pt = PageTable()
+        pt.map_page(0x1000, writable=False)
+        assert pt.translate(0x1000, is_write=True).fault is FaultType.PROTECTION
+        assert pt.translate(0x1000, is_write=False).fault is FaultType.NONE
+
+    def test_tlb_two_levels(self):
+        tlb = Tlb(TlbConfig(l1_entries=2, l2_entries=4))
+        tlb.fill(0x1000, 1)
+        assert tlb.lookup(0x1000).level == "L1"
+        tlb.fill(0x2000, 2)
+        tlb.fill(0x3000, 3)  # evicts 0x1000 from tiny L1
+        res = tlb.lookup(0x1000)
+        assert res.level == "L2"
+
+    def test_tlb_walk_on_full_miss(self):
+        tlb = Tlb(TlbConfig())
+        res = tlb.lookup(0x8000)
+        assert res.frame is None and res.level == "WALK"
+        assert res.latency == 1 + 4 + 40
+
+    def test_tlb_shootdown(self):
+        tlb = Tlb(TlbConfig())
+        tlb.fill(0x1000, 1)
+        tlb.shootdown(0x1000)
+        assert tlb.lookup(0x1000).frame is None
+
+    def test_mmu_fills_tlb_after_walk(self):
+        pt = PageTable()
+        pt.map_page(0x5000, frame=9)
+        mmu = Mmu(TlbConfig(), pt)
+        first = mmu.translate(0x5000)
+        second = mmu.translate(0x5000)
+        assert first.tlb_level == "WALK"
+        assert second.tlb_level == "L1"
+        assert second.physical == 9 << 12
+
+    def test_late_translation_point_counts_faults(self):
+        pt = PageTable()
+        pt.map_page(0x5000, present=False)
+        late = LateTranslationPoint(pt)
+        res = late.check(0x5000, is_write=True)
+        assert res.fault is FaultType.NOT_PRESENT_LAZY
+        assert late.late_faults == 1

@@ -1,0 +1,271 @@
+"""Tests for the functional-operational multicore engine."""
+
+import pytest
+
+from repro.core.streams import DrainPolicy
+from repro.memmodel.events import FenceKind
+from repro.sim import isa
+from repro.sim.config import ConsistencyModel, small_config
+from repro.sim.multicore import DeadlockError, MulticoreSystem
+from repro.sim.program import make_program
+
+A, B, C = 0x1000, 0x2000, 0x3000
+
+
+def run_outcomes(program, model=ConsistencyModel.PC, seeds=200,
+                 faults=(), policy=DrainPolicy.SAME_STREAM,
+                 check_contract=True):
+    outcomes = set()
+    for seed in range(seeds):
+        system = MulticoreSystem(program, small_config(program.cores, model),
+                                 seed=seed, drain_policy=policy)
+        if faults:
+            system.inject_faults(list(faults))
+        result = system.run()
+        outcomes.add(result.outcome)
+        if check_contract:
+            report = result.contract_report
+            assert report.ok, report.summary()
+    return outcomes
+
+
+def mp_program(fenced=False):
+    t0 = [isa.store(B, value=1)]
+    if fenced:
+        t0.append(isa.fence())
+    t0.append(isa.store(A, value=1))
+    t1 = [isa.load(1, A, label="ra")]
+    if fenced:
+        t1.append(isa.fence())
+    t1.append(isa.load(2, B, label="rb"))
+    return make_program([t0, t1], name="MP")
+
+
+def sb_program():
+    t0 = [isa.store(A, value=1), isa.load(1, B, label="r0")]
+    t1 = [isa.store(B, value=1), isa.load(1, A, label="r1")]
+    return make_program([t0, t1], name="SB")
+
+
+class TestSingleThread:
+    def test_arithmetic(self):
+        prog = make_program([[
+            isa.li(1, 5), isa.addi(2, 1, 3), isa.add(3, 1, 2),
+            isa.xor(4, 3, 3),
+            isa.store(A, src_reg=3), isa.load(5, A, label="out"),
+        ]])
+        system = MulticoreSystem(prog, small_config(1))
+        result = system.run()
+        assert result.observations["out"] == 13
+        assert result.memory_value(A) == 13
+
+    def test_store_forwarding(self):
+        prog = make_program([[
+            isa.store(A, value=9), isa.load(1, A, label="fwd"),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.observations["fwd"] == 9
+
+    def test_initial_memory(self):
+        prog = make_program([[isa.load(1, A, label="x")]],
+                            initial_memory={A: 77})
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.observations["x"] == 77
+
+    def test_branch_skips(self):
+        prog = make_program([[
+            isa.li(1, 1),
+            isa.bne(1, 0, 1),           # taken: skip next
+            isa.store(A, value=5),      # skipped
+            isa.store(B, value=6),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.memory_value(A) == 0
+        assert result.memory_value(B) == 6
+
+    def test_branch_not_taken(self):
+        prog = make_program([[
+            isa.li(1, 1),
+            isa.beq(1, 0, 1),           # not taken
+            isa.store(A, value=5),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.memory_value(A) == 5
+
+    def test_indexed_addressing(self):
+        prog = make_program([[
+            isa.li(1, 0x8),
+            isa.store(A, value=3, index_reg=1),   # A+8
+            isa.load(2, A, index_reg=1, label="y"),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.observations["y"] == 3
+        assert result.memory_value(A + 8) == 3
+
+    def test_atomic_amoadd(self):
+        prog = make_program([[
+            isa.store(A, value=10),
+            isa.amoadd(1, A, imm=5, ),
+            isa.load(2, A, label="after"),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.observations["after"] == 15
+
+    def test_amoswap_returns_old(self):
+        prog = make_program([[
+            isa.store(A, value=4),
+            isa.amoswap(1, A, imm=9, label="old"),
+        ]])
+        result = MulticoreSystem(prog, small_config(1)).run()
+        assert result.observations["old"] == 4
+        assert result.memory_value(A) == 9
+
+
+class TestConsistencyModes:
+    def test_pc_forbids_mp_reorder(self):
+        bad = (("ra", 1), ("rb", 0))
+        assert bad not in run_outcomes(mp_program(), ConsistencyModel.PC)
+
+    def test_wc_exhibits_mp_reorder(self):
+        bad = (("ra", 1), ("rb", 0))
+        assert bad in run_outcomes(mp_program(), ConsistencyModel.WC,
+                                   seeds=400, check_contract=False)
+
+    def test_wc_fenced_mp_is_ordered(self):
+        bad = (("ra", 1), ("rb", 0))
+        assert bad not in run_outcomes(mp_program(fenced=True),
+                                       ConsistencyModel.WC, seeds=400,
+                                       check_contract=False)
+
+    def test_pc_exhibits_store_buffering(self):
+        both_zero = (("r0", 0), ("r1", 0))
+        assert both_zero in run_outcomes(sb_program(), ConsistencyModel.PC,
+                                         seeds=400)
+
+    def test_sc_forbids_store_buffering(self):
+        both_zero = (("r0", 0), ("r1", 0))
+        assert both_zero not in run_outcomes(sb_program(),
+                                             ConsistencyModel.SC)
+
+    def test_full_fence_restores_sb(self):
+        t0 = [isa.store(A, value=1), isa.fence(), isa.load(1, B, label="r0")]
+        t1 = [isa.store(B, value=1), isa.fence(), isa.load(1, A, label="r1")]
+        prog = make_program([t0, t1])
+        both_zero = (("r0", 0), ("r1", 0))
+        assert both_zero not in run_outcomes(prog, ConsistencyModel.PC,
+                                             seeds=400)
+
+    def test_coherence_same_address(self):
+        # CoRR: reads of the same location never go backwards.
+        t0 = [isa.store(A, value=1)]
+        t1 = [isa.load(1, A, label="x"), isa.load(2, A, label="y")]
+        prog = make_program([t0, t1])
+        for model in (ConsistencyModel.PC, ConsistencyModel.WC):
+            outcomes = run_outcomes(prog, model, seeds=300,
+                                    check_contract=False)
+            assert (("x", 1), ("y", 0)) not in outcomes
+
+    def test_ss_fence_orders_wc_stores(self):
+        t0 = [isa.store(B, value=1),
+              isa.fence(FenceKind.STORE_STORE),
+              isa.store(A, value=1)]
+        t1 = [isa.load(1, A, label="ra"),
+              isa.fence(FenceKind.LOAD_LOAD),
+              isa.load(2, B, label="rb")]
+        prog = make_program([t0, t1])
+        outcomes = run_outcomes(prog, ConsistencyModel.WC, seeds=400,
+                                check_contract=False)
+        assert (("ra", 1), ("rb", 0)) not in outcomes
+
+
+class TestFaultInjection:
+    def test_faulting_stores_still_complete(self):
+        prog = make_program([[isa.store(A, value=1),
+                              isa.load(1, A, label="x")]])
+        system = MulticoreSystem(prog, small_config(1))
+        system.inject_faults([A])
+        result = system.run()
+        assert result.memory_value(A) == 1
+        assert result.stats.imprecise_exceptions >= 1
+
+    def test_faulting_load_precise_exception(self):
+        prog = make_program([[isa.load(1, A, label="x")]],
+                            initial_memory={A: 3})
+        system = MulticoreSystem(prog, small_config(1))
+        system.inject_faults([A])
+        result = system.run()
+        assert result.observations["x"] == 3
+        assert result.stats.precise_exceptions >= 1
+
+    def test_mp_with_faults_still_pc(self):
+        bad = (("ra", 1), ("rb", 0))
+        outcomes = run_outcomes(mp_program(), ConsistencyModel.PC,
+                                seeds=300, faults=[A, B])
+        assert bad not in outcomes
+
+    def test_split_stream_violates_pc(self):
+        t0 = [isa.store(A, value=1), isa.store(B, value=1)]
+        t1 = [isa.load(1, B, label="rb"), isa.load(2, A, label="ra")]
+        prog = make_program([t0, t1])
+        bad = (("ra", 0), ("rb", 1))
+        split = run_outcomes(prog, ConsistencyModel.PC, seeds=400,
+                             faults=[A], policy=DrainPolicy.SPLIT_STREAM,
+                             check_contract=False)
+        same = run_outcomes(prog, ConsistencyModel.PC, seeds=400,
+                            faults=[A], policy=DrainPolicy.SAME_STREAM)
+        assert bad in split       # Figure 2a
+        assert bad not in same    # Figure 2b
+
+    def test_contract_holds_with_many_faults(self):
+        t0 = [isa.store(A, value=1), isa.store(B, value=2),
+              isa.store(C, value=3)]
+        t1 = [isa.load(1, C, label="rc"), isa.load(2, B, label="rb"),
+              isa.load(3, A, label="ra")]
+        prog = make_program([t0, t1])
+        run_outcomes(prog, ConsistencyModel.PC, seeds=150,
+                     faults=[A, B, C])
+
+    def test_atomic_to_faulting_page(self):
+        prog = make_program([[isa.amoadd(1, A, imm=2),
+                              isa.load(2, A, label="x")]],
+                            initial_memory={A: 5})
+        system = MulticoreSystem(prog, small_config(1))
+        system.inject_faults([A])
+        result = system.run()
+        assert result.observations["x"] == 7
+
+    def test_imprecise_before_precise(self):
+        """§5.3: a faulting store in the buffer is handled before the
+        precise exception of a younger faulting load."""
+        prog = make_program([[
+            isa.store(A, value=1),
+            isa.load(1, B, label="x"),
+        ]], initial_memory={B: 6})
+        system = MulticoreSystem(prog, small_config(1))
+        system.inject_faults([A, B])
+        result = system.run()
+        assert result.memory_value(A) == 1
+        assert result.observations["x"] == 6
+        assert result.stats.imprecise_exceptions >= 1
+
+
+class TestEngineBehaviour:
+    def test_deterministic_given_seed(self):
+        prog = sb_program()
+        r1 = MulticoreSystem(prog, small_config(2), seed=42).run()
+        prog2 = sb_program()
+        r2 = MulticoreSystem(prog2, small_config(2), seed=42).run()
+        assert r1.outcome == r2.outcome
+
+    def test_different_seeds_explore(self):
+        outcomes = run_outcomes(sb_program(), seeds=300)
+        assert len(outcomes) >= 3
+
+    def test_too_few_cores_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            MulticoreSystem(sb_program(), small_config(1))
+
+    def test_stats_populated(self):
+        result = MulticoreSystem(sb_program(), small_config(2)).run()
+        assert result.stats.instructions_retired == 4
+        assert result.stats.sb_drains == 2

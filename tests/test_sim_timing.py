@@ -1,0 +1,294 @@
+"""Tests for the trace-driven timing engine and OS models."""
+
+import random
+
+import pytest
+
+from repro.core.handler import BatchingHandler, MinimalHandler
+from repro.core.osconfig import OsConfig
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.devices.einject import EInject, PAGE_SIZE
+from repro.sim.os.kernel import Kernel
+from repro.sim.os.pagefault import (
+    DEMAND_PAGING_CYCLES,
+    LAZY_ALLOC_CYCLES,
+    resolve_batch,
+    resolve_one,
+)
+from repro.sim.timing import TimingSystem, run_trace
+from repro.sim.trace import InstructionMix, TraceOp, measure_mix, validate_trace
+from repro.sim.vm.pagetable import FaultType, PageTable
+from repro.core.interface import ArchitecturalInterface
+from repro.core.exceptions import ExceptionCode
+
+
+def make_trace(n, store_frac=0.1, load_frac=0.3, seed=0,
+               hot_bytes=1 << 15, cold_bytes=1 << 22, hot_frac=0.9,
+               base=0):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        r = rng.random()
+        if rng.random() < hot_frac:
+            addr = base + (rng.randrange(hot_bytes) & ~7)
+        else:
+            addr = base + hot_bytes + (rng.randrange(cold_bytes) & ~7)
+        if r < store_frac:
+            ops.append(TraceOp("S", addr))
+        elif r < store_frac + load_frac:
+            ops.append(TraceOp("L", addr, dep=rng.random() < 0.3))
+        else:
+            ops.append(TraceOp("A"))
+    return ops
+
+
+def cfg_with(model, cores=2):
+    cfg = table2_config()
+    cfg.cores = cores
+    return cfg.with_consistency(model)
+
+
+class TestTraceUtilities:
+    def test_measure_mix(self):
+        trace = [TraceOp("S"), TraceOp("L"), TraceOp("L"), TraceOp("A")]
+        mix = measure_mix(trace)
+        assert mix.store == 0.25 and mix.load == 0.5 and mix.other == 0.25
+        mix.validate()
+
+    def test_empty_trace_mix(self):
+        assert measure_mix([]).store == 0.0
+
+    def test_validate_trace_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="bad trace op"):
+            validate_trace([TraceOp("X")])
+
+    def test_mix_validation_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            InstructionMix(0.5, 0.5, 0.5, 0.5).validate()
+
+
+class TestTimingModes:
+    def test_wc_not_slower_than_pc_not_slower_than_sc(self):
+        traces = [make_trace(5000, store_frac=0.2, seed=i)
+                  for i in range(2)]
+        ipcs = {}
+        for model in (ConsistencyModel.SC, ConsistencyModel.PC,
+                      ConsistencyModel.WC):
+            ipcs[model] = run_trace(cfg_with(model), traces).ipc
+        assert ipcs["WC"] >= ipcs["PC"] >= ipcs["SC"]
+
+    def test_store_heavy_gains_more_from_wc(self):
+        heavy = [make_trace(5000, store_frac=0.25, seed=1)]
+        light = [make_trace(5000, store_frac=0.03, load_frac=0.22, seed=2)]
+        def speedup(traces):
+            sc = run_trace(cfg_with(ConsistencyModel.SC, 1), traces).ipc
+            wc = run_trace(cfg_with(ConsistencyModel.WC, 1), traces).ipc
+            return wc / sc
+        assert speedup(heavy) > speedup(light)
+
+    def test_sync_heavy_trace_limits_wc(self):
+        rng = random.Random(3)
+        base = make_trace(3000, store_frac=0.2, seed=3)
+        fenced = []
+        for op in base:
+            fenced.append(op)
+            if rng.random() < 0.2:
+                fenced.append(TraceOp("F"))
+        wc_plain = run_trace(cfg_with(ConsistencyModel.WC, 1), [base]).ipc
+        wc_fenced = run_trace(cfg_with(ConsistencyModel.WC, 1), [fenced]).ipc
+        assert wc_fenced < wc_plain
+
+    def test_alu_only_trace_hits_width(self):
+        trace = [TraceOp("A")] * 4000
+        res = run_trace(cfg_with(ConsistencyModel.WC, 1), [trace])
+        assert res.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_results_deterministic(self):
+        traces = [make_trace(2000, seed=7)]
+        a = run_trace(cfg_with(ConsistencyModel.WC, 1), traces)
+        b = run_trace(cfg_with(ConsistencyModel.WC, 1), traces)
+        assert a.total_cycles == b.total_cycles
+
+    def test_too_many_traces_rejected(self):
+        with pytest.raises(ValueError, match="traces"):
+            run_trace(cfg_with(ConsistencyModel.WC, 1),
+                      [[TraceOp("A")], [TraceOp("A")]])
+
+
+class TestSpeculationState:
+    def test_tracked_only_when_requested(self):
+        traces = [make_trace(2000, seed=5)]
+        res = run_trace(cfg_with(ConsistencyModel.WC, 1), traces)
+        assert res.speculation is None
+        res2 = run_trace(cfg_with(ConsistencyModel.WC, 1), traces,
+                         track_speculation=True)
+        assert res2.speculation is not None
+
+    def test_skew_increases_state(self):
+        """Table 3: 4× store-to-load skew inflates the requirement;
+        2× overall memory latency does not (Little's law)."""
+        traces = [make_trace(8000, store_frac=0.11, load_frac=0.22, seed=6)]
+        base_cfg = cfg_with(ConsistencyModel.WC, 1)
+        base = run_trace(base_cfg, traces, track_speculation=True)
+        skew = run_trace(base_cfg.with_store_load_skew(4), traces,
+                         track_speculation=True)
+        mem2 = run_trace(base_cfg.with_memory_latency_scale(2), traces,
+                         track_speculation=True)
+        assert skew.speculation_peak_kb() > base.speculation_peak_kb()
+        growth_mem = mem2.speculation_peak_kb() / base.speculation_peak_kb()
+        growth_skew = skew.speculation_peak_kb() / base.speculation_peak_kb()
+        assert growth_skew > growth_mem
+
+
+class TestTimingFaults:
+    def _run(self, handler=None, pages=4, n=4000, store_frac=0.15):
+        einject = EInject()
+        base = 1 << 20
+        for p in range(pages):
+            einject.mmio_set(base + p * PAGE_SIZE)
+        traces = [make_trace(n, store_frac=store_frac, seed=9, base=base)]
+        cfg = cfg_with(ConsistencyModel.WC, 1)
+        return run_trace(cfg, traces, einject=einject, handler=handler)
+
+    def test_faults_handled_and_counted(self):
+        res = self._run()
+        assert res.total_imprecise_exceptions >= 1
+        assert res.total_faulting_stores >= 1
+
+    def test_fault_free_run_has_no_exception_cycles(self):
+        traces = [make_trace(2000, seed=11)]
+        res = run_trace(cfg_with(ConsistencyModel.WC, 1), traces)
+        assert res.total_imprecise_exceptions == 0
+        assert res.core_stats[0].exception_cycles == 0
+
+    def test_injection_slows_execution(self):
+        einject = EInject()
+        base = 1 << 20
+        for p in range(16):
+            einject.mmio_set(base + p * PAGE_SIZE)
+        traces = [make_trace(4000, store_frac=0.15, seed=9, base=base)]
+        cfg = cfg_with(ConsistencyModel.WC, 1)
+        clean = run_trace(cfg, traces)
+        faulty = run_trace(cfg, traces, einject=einject)
+        assert faulty.total_cycles > clean.total_cycles
+
+    def test_breakdown_dominated_by_os(self):
+        """Figure 5: the microarchitectural part is a tiny fraction."""
+        res = self._run()
+        br = res.overhead_breakdown_per_fault()
+        total = sum(br.values())
+        assert br["uarch"] / total < 0.35
+        assert br["os_other"] > br["uarch"]
+
+    def test_batching_handler_reduces_overhead(self):
+        minimal = self._run(handler=MinimalHandler(OsConfig()), pages=16,
+                            store_frac=0.3)
+        batching = self._run(handler=BatchingHandler(OsConfig()), pages=16,
+                             store_frac=0.3)
+        per_min = (sum(s.exception_cycles for s in minimal.core_stats)
+                   / max(1, minimal.total_faulting_stores))
+        per_bat = (sum(s.exception_cycles for s in batching.core_stats)
+                   / max(1, batching.total_faulting_stores))
+        assert per_bat <= per_min
+
+    def test_precise_faults_on_loads(self):
+        einject = EInject()
+        base = 1 << 20
+        einject.mmio_set(base)
+        traces = [[TraceOp("L", base + 8)] + [TraceOp("A")] * 10]
+        res = run_trace(cfg_with(ConsistencyModel.WC, 1), traces,
+                        einject=einject)
+        assert res.core_stats[0].precise_exceptions == 1
+
+
+class TestKernel:
+    def _interface_with_faults(self, n=3):
+        iface = ArchitecturalInterface(0)
+        for i in range(n):
+            iface.put(0x1000 + i * 8, i,
+                      error_code=ExceptionCode.EINJECT_BUS_ERROR)
+        return iface
+
+    def test_imprecise_trap_logs_and_unmasks(self):
+        kernel = Kernel(cores=1)
+        iface = self._interface_with_faults()
+        inv = kernel.imprecise_store_trap(
+            0, iface, resolve=lambda e: 10, apply=lambda e: None)
+        assert inv.stores_handled == 3
+        assert kernel.imprecise_traps == 1
+        assert kernel.ie[0].in_user_mode
+
+    def test_precise_trap_cost(self):
+        kernel = Kernel(cores=1, config=OsConfig())
+        cost = kernel.precise_trap(0, resolve_cycles=60)
+        cfg = OsConfig()
+        assert cost == (cfg.trap_entry_cycles + cfg.dispatch_cycles + 60
+                        + cfg.context_switch_cycles)
+        assert kernel.precise_traps == 1
+
+    def test_batching_flag_selects_handler(self):
+        assert isinstance(Kernel(1, batching=True).handler, BatchingHandler)
+        assert isinstance(Kernel(1).handler, MinimalHandler)
+
+    def test_pin_fsb(self):
+        kernel = Kernel(cores=2)
+        iface = ArchitecturalInterface(0)
+        kernel.pin_fsb(0, iface)
+        assert kernel.fsb_is_pinned(0)
+        assert not kernel.fsb_is_pinned(1)
+
+    def test_guarded_kernel_sequence_contains_exceptions(self):
+        kernel = Kernel(cores=1)
+        iface = self._interface_with_faults(2)
+        cycles = kernel.guarded_kernel_store_sequence(
+            0, iface, resolve=lambda e: 5, apply=lambda e: None)
+        assert cycles > 0
+        assert iface.pending == 0
+        # Nothing pending: the fence costs nothing.
+        assert kernel.guarded_kernel_store_sequence(
+            0, iface, resolve=lambda e: 5, apply=lambda e: None) == 0
+
+
+class TestPageFaultModels:
+    def test_lazy_vs_demand_costs(self):
+        pt = PageTable()
+        pt.map_page(0x1000, present=False)
+        pt.map_page(0x2000, present=False, swapped=True)
+        lazy = resolve_one(pt, 0x1000, FaultType.NOT_PRESENT_LAZY)
+        demand = resolve_one(pt, 0x2000, FaultType.NOT_PRESENT_SWAPPED)
+        assert lazy.cycles == LAZY_ALLOC_CYCLES
+        assert demand.cycles == DEMAND_PAGING_CYCLES
+        assert demand.cycles > 1000 * lazy.cycles
+
+    def test_batch_overlaps_io(self):
+        def faults():
+            pt = PageTable()
+            fs = []
+            for i in range(4):
+                vaddr = 0x10000 + i * 0x1000
+                pt.map_page(vaddr, present=False, swapped=True)
+                fs.append((vaddr, FaultType.NOT_PRESENT_SWAPPED))
+            return pt, fs
+        pt1, fs1 = faults()
+        overlapped, ok1 = resolve_batch(pt1, fs1, overlap_io=True)
+        pt2, fs2 = faults()
+        serial, ok2 = resolve_batch(pt2, fs2, overlap_io=False)
+        assert ok1 and ok2
+        assert serial == 4 * DEMAND_PAGING_CYCLES
+        assert overlapped < serial / 2
+
+    def test_batch_dedups_pages(self):
+        pt = PageTable()
+        pt.map_page(0x5000, present=False)
+        faults = [(0x5000 + i * 8, FaultType.NOT_PRESENT_LAZY)
+                  for i in range(10)]
+        cycles, ok = resolve_batch(pt, faults)
+        assert ok
+        assert cycles == LAZY_ALLOC_CYCLES  # one page, one fix-up
+
+    def test_protection_not_recoverable(self):
+        pt = PageTable()
+        pt.map_page(0x1000, writable=False)
+        cycles, ok = resolve_batch(
+            pt, [(0x1000, FaultType.PROTECTION)])
+        assert not ok

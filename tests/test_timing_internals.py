@@ -1,0 +1,156 @@
+"""Focused tests on timing-engine internals: deferred detection,
+end-of-trace finalisation, drain ordering, and checkpoint stalls."""
+
+import pytest
+
+from repro.core.handler import MinimalHandler
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.devices.einject import EInject, PAGE_SIZE
+from repro.sim.timing import TimingSystem, run_trace
+from repro.sim.trace import TraceOp
+
+BASE = 1 << 20
+
+
+def cfg_wc(cores=1):
+    cfg = table2_config().with_consistency(ConsistencyModel.WC)
+    cfg.cores = max(cores, 1)
+    return cfg
+
+
+def poisoned(pages):
+    einject = EInject()
+    for p in pages:
+        einject.mmio_set(p)
+    return einject
+
+
+class TestDeferredDetection:
+    def test_detection_batches_consecutive_faulting_stores(self):
+        """A run of stores into one faulting page lands in a single
+        exception (the detection window)."""
+        einject = poisoned([BASE])
+        trace = [TraceOp("S", BASE + i * 64) for i in range(8)]
+        trace += [TraceOp("A")] * 400
+        res = run_trace(cfg_wc(), [trace], einject=einject)
+        stats = res.core_stats[0]
+        assert stats.faulting_stores == 8
+        assert stats.imprecise_exceptions < 8  # batched
+
+    def test_trailing_faults_flushed_at_end_of_trace(self):
+        """Faults whose detection would land after the last trace op
+        still surface (finalize)."""
+        einject = poisoned([BASE])
+        trace = [TraceOp("S", BASE)]  # nothing after the store
+        res = run_trace(cfg_wc(), [trace], einject=einject)
+        assert res.core_stats[0].imprecise_exceptions == 1
+        assert res.core_stats[0].faulting_stores == 1
+
+    def test_sync_surfaces_pending_faults(self):
+        einject = poisoned([BASE])
+        trace = [TraceOp("S", BASE), TraceOp("F")] + [TraceOp("A")] * 10
+        res = run_trace(cfg_wc(), [trace], einject=einject)
+        assert res.core_stats[0].imprecise_exceptions == 1
+
+    def test_fault_pages_resolved_exactly_once(self):
+        einject = poisoned([BASE, BASE + PAGE_SIZE])
+        trace = []
+        for rep in range(3):  # re-touch the same pages
+            trace += [TraceOp("S", BASE + 8 * rep),
+                      TraceOp("S", BASE + PAGE_SIZE + 8 * rep)]
+            trace += [TraceOp("A")] * 300
+        res = run_trace(cfg_wc(), [trace], einject=einject)
+        # Once cleared, later stores to the page do not fault.
+        assert res.core_stats[0].faulting_stores == 2
+        assert einject.faulting_page_count == 0
+
+    def test_sb_full_of_faults_fires_exception(self):
+        cfg = cfg_wc()
+        cfg.core.store_buffer_entries = 4
+        einject = poisoned([BASE, BASE + PAGE_SIZE])
+        trace = [TraceOp("S", BASE + i * 64) for i in range(12)]
+        res = run_trace(cfg, [trace], einject=einject)
+        assert res.core_stats[0].imprecise_exceptions >= 1
+
+
+class TestRobAndBufferPressure:
+    def test_rob_full_stalls_on_slow_head(self):
+        cfg = cfg_wc()
+        cfg.core.rob_entries = 4
+        # Dependent loads to cold lines: the tiny ROB must stall.
+        trace = [TraceOp("L", BASE + i * 4096, dep=True)
+                 for i in range(50)]
+        small = run_trace(cfg, [trace])
+        cfg_big = cfg_wc()
+        trace2 = [TraceOp("L", BASE + i * 4096, dep=True)
+                  for i in range(50)]
+        big = run_trace(cfg_big, [trace2])
+        assert small.total_cycles >= big.total_cycles
+
+    def test_sb_full_stall_counted(self):
+        cfg = cfg_wc()
+        cfg.core.store_buffer_entries = 2
+        trace = [TraceOp("S", BASE + i * 4096) for i in range(40)]
+        res = run_trace(cfg, [trace])
+        assert res.core_stats[0].sb_full_stall_cycles > 0
+
+    def test_wc_coalesces_same_block_stores(self):
+        trace_same = [TraceOp("S", BASE + (i % 8) * 8)
+                      for i in range(64)]
+        trace_diff = [TraceOp("S", BASE + i * 4096) for i in range(64)]
+        same = run_trace(cfg_wc(), [trace_same])
+        diff = run_trace(cfg_wc(), [trace_diff])
+        assert same.total_cycles < diff.total_cycles
+
+
+class TestPcDrainOrdering:
+    def test_pc_commits_slower_than_wc_on_scattered_stores(self):
+        cfg_pc = table2_config().with_consistency(ConsistencyModel.PC)
+        cfg_pc.cores = 1
+        def mk():
+            return [TraceOp("S", BASE + i * 4096) for i in range(60)]
+        pc = run_trace(cfg_pc, [mk()])
+        wc = run_trace(cfg_wc(), [mk()])
+        assert wc.total_cycles <= pc.total_cycles
+
+
+class TestCheckpointCapEdges:
+    def test_cap_zero_like_behaviour_with_cap_one(self):
+        trace = [TraceOp("S", BASE + i * 4096) for i in range(30)]
+        res = run_trace(cfg_wc(), [trace], checkpoint_cap=1)
+        assert res.core_stats[0].sb_full_stall_cycles > 0
+
+    def test_cap_does_not_affect_l1_hit_stores(self):
+        # Same-block stores hit L1 after the first: no checkpoints.
+        trace = [TraceOp("S", BASE)] * 40
+        capped = run_trace(cfg_wc(), [trace], checkpoint_cap=1)
+        free = run_trace(cfg_wc(), [trace])
+        assert capped.total_cycles <= free.total_cycles * 1.6
+
+
+class TestHandlerAccounting:
+    def test_exception_cycles_sum_matches_breakdown(self):
+        einject = poisoned([BASE])
+        trace = [TraceOp("S", BASE)] + [TraceOp("A")] * 50
+        system = TimingSystem(cfg_wc(), [trace], einject=einject,
+                              handler=MinimalHandler())
+        res = system.run()
+        stats = res.core_stats[0]
+        assert stats.exception_cycles == pytest.approx(
+            stats.uarch_cycles + stats.os_apply_cycles
+            + stats.os_resolve_cycles + stats.os_other_cycles)
+        breakdown = res.overhead_breakdown_per_fault()
+        assert breakdown["uarch"] > 0
+        assert breakdown["os_other"] > 0
+
+
+class TestSerialization:
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+        trace = [TraceOp("S", BASE), TraceOp("L", BASE), TraceOp("A")]
+        res = run_trace(cfg_wc(), [trace])
+        data = json.loads(json.dumps(res.to_dict()))
+        assert data["total_instructions"] == 3
+        assert data["consistency"] == "WC"
+        assert len(data["per_core"]) == 1
+        assert data["per_core"][0]["instructions"] == 3

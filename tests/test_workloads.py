@@ -1,0 +1,221 @@
+"""Tests for the workload models."""
+
+import random
+
+import pytest
+
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.timing import run_trace
+from repro.sim.trace import measure_mix, validate_trace
+from repro.workloads import (
+    PAPER_TABLE3,
+    AddressMap,
+    build_workload,
+    figure6_workload_names,
+    gap_workload,
+    generate_graph,
+    run_microbenchmark,
+    table3_workload_names,
+)
+from repro.workloads.base import Region, TraceBuilder, calibrate_mix, skewed_index
+from repro.sim.trace import TraceOp
+
+
+class TestAddressMap:
+    def test_regions_page_aligned_and_disjoint(self):
+        amap = AddressMap()
+        a = amap.alloc("a", 1000)
+        b = amap.alloc("b", 5000)
+        assert a.base % 4096 == 0
+        assert b.base >= a.end
+
+    def test_injectable_regions_separated(self):
+        amap = AddressMap()
+        low = amap.alloc("low", 4096)
+        high = amap.alloc("high", 4096, injectable=True)
+        assert low.base < amap.einject_base <= high.base
+        assert amap.injectable_regions() == [high]
+
+    def test_injectable_span(self):
+        amap = AddressMap()
+        amap.alloc("a", 4096, injectable=True)
+        amap.alloc("b", 8192, injectable=True)
+        base, size = amap.injectable_span()
+        assert size >= 4096 + 8192
+
+    def test_region_addr_wraps(self):
+        region = Region("r", 0x1000, 64)
+        assert region.addr(0) == 0x1000
+        assert region.addr(8) == 0x1000  # wraps at 64 bytes / 8 words
+
+
+class TestCalibrateMix:
+    def test_hits_target_mix(self):
+        tb = TraceBuilder()
+        for i in range(100):
+            tb.load(0x1000 + i * 8)
+        stack = Region("stack", 0x9000, 4096)
+        out = calibrate_mix(tb.build(), stack, store_pct=10, load_pct=25)
+        mix = measure_mix(out)
+        assert abs(100 * mix.store - 10) < 1.5
+        assert abs(100 * mix.load - 25) < 1.5
+
+    def test_preserves_algorithmic_ops_in_order(self):
+        tb = TraceBuilder()
+        addrs = [0x1000, 0x2000, 0x3000]
+        for a in addrs:
+            tb.store(a)
+        stack = Region("stack", 0x9000, 4096)
+        out = calibrate_mix(tb.build(), stack, 30, 30)
+        algo = [op.addr for op in out if op.kind == "S"
+                and op.addr in addrs]
+        assert algo == addrs
+
+    def test_cold_fraction_places_in_cold_region(self):
+        tb = TraceBuilder()
+        for i in range(50):
+            tb.load(0x1000)
+        stack = Region("stack", 0x9000, 4096)
+        cold = Region("cold", 0x100000, 1 << 16)
+        out = calibrate_mix(tb.build(), stack, 20, 30,
+                            rng=random.Random(1),
+                            cold_region=cold, cold_fraction=1.0)
+        pad_stores = [op for op in out if op.kind == "S"]
+        assert all(cold.base <= op.addr < cold.end for op in pad_stores)
+
+    def test_skewed_index_hits_hot_set(self):
+        rng = random.Random(0)
+        hits = sum(1 for _ in range(1000)
+                   if skewed_index(rng, 1000, 0.05, 0.85) < 50)
+        assert hits > 700
+
+
+class TestGapWorkloads:
+    def test_graph_generation(self):
+        g = generate_graph(nodes=100, degree=4, seed=0)
+        assert g.nodes == 100
+        assert g.edges == 400
+        assert len(g.neighbors(0)) == 4
+        assert all(0 <= v < 100 for v in g.targets)
+
+    @pytest.mark.parametrize("kernel", ["BFS", "SSSP", "BC"])
+    def test_kernel_produces_valid_traces(self, kernel):
+        w = gap_workload(kernel, cores=2, nodes=256, seed=3)
+        assert w.cores == 2
+        for trace in w.traces:
+            assert validate_trace(trace) > 100
+
+    @pytest.mark.parametrize("kernel,store_pct,load_pct", [
+        ("BFS", 11, 22), ("SSSP", 3, 22), ("BC", 25, 25)])
+    def test_kernel_mix_matches_table3(self, kernel, store_pct, load_pct):
+        w = gap_workload(kernel, cores=1, nodes=512, seed=1)
+        mix = measure_mix(w.traces[0])
+        assert abs(100 * mix.store - store_pct) < 2.0
+        assert abs(100 * mix.load - load_pct) < 2.0
+
+    def test_inject_graph_marks_csr_regions(self):
+        w = gap_workload("BFS", cores=1, nodes=256, inject_graph=True)
+        pages = w.injectable_pages()
+        assert len(pages) >= 2  # offsets + targets
+        w2 = gap_workload("BFS", cores=1, nodes=256, inject_graph=False)
+        assert w2.injectable_pages() == []
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown GAP kernel"):
+            gap_workload("TC")
+
+    def test_bfs_visits_whole_component(self):
+        w = gap_workload("BFS", cores=1, nodes=256, seed=1)
+        # On a random degree-8 graph virtually all nodes are reached.
+        assert w.work_items > 200
+
+
+class TestRegistry:
+    def test_all_table3_workloads_build(self):
+        for name in table3_workload_names():
+            w = build_workload(name, cores=2, scale=0.2)
+            assert w.total_ops() > 500, name
+
+    def test_mixes_match_paper(self):
+        for name, ref in PAPER_TABLE3.items():
+            w = build_workload(name, cores=2, scale=0.3)
+            mix = measure_mix(w.traces[0])
+            assert abs(100 * mix.store - ref.store_pct) < 3.0, name
+            assert abs(100 * mix.load - ref.load_pct) < 3.0, name
+
+    def test_figure6_names_subset(self):
+        assert set(figure6_workload_names()) <= set(table3_workload_names())
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("Nginx")
+
+    def test_deterministic_given_seed(self):
+        a = build_workload("Silo", cores=1, scale=0.2, seed=5)
+        b = build_workload("Silo", cores=1, scale=0.2, seed=5)
+        assert a.traces[0] == b.traces[0]
+
+    def test_inject_flag_gap_and_tailbench(self):
+        for name in ("BFS", "Silo", "Masstree"):
+            w = build_workload(name, cores=1, scale=0.2, inject=True)
+            assert w.injectable_pages(), name
+
+
+class TestTable3Shape:
+    """The WC-speedup ordering of Table 3 (shape, not exact values)."""
+
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        cfg = table2_config()
+        cfg.cores = 2
+        out = {}
+        for name in ("BC", "SSSP", "Masstree"):
+            w = build_workload(name, cores=2, scale=0.3)
+            sc = run_trace(cfg.with_consistency(ConsistencyModel.SC),
+                           w.traces)
+            wc = run_trace(cfg.with_consistency(ConsistencyModel.WC),
+                           w.traces)
+            out[name] = wc.ipc / sc.ipc
+        return out
+
+    def test_bc_gains_most(self, speedups):
+        assert speedups["BC"] > speedups["Masstree"] > speedups["SSSP"]
+
+    def test_sssp_near_unity(self, speedups):
+        assert speedups["SSSP"] < 1.25
+
+    def test_bc_substantial(self, speedups):
+        assert speedups["BC"] > 1.8
+
+
+class TestMicrobenchmark:
+    def test_runs_and_reports_breakdown(self):
+        res = run_microbenchmark(faulting_page_fraction=0.05,
+                                 stores=800, array_bytes=1 << 20)
+        assert res.faulting_stores > 0
+        assert res.imprecise_exceptions > 0
+        assert res.total_per_fault > 0
+
+    def test_os_dominates_uarch(self):
+        """Figure 5: microarchitectural overhead is a tiny fraction."""
+        res = run_microbenchmark(faulting_page_fraction=0.05,
+                                 stores=800, array_bytes=1 << 20)
+        assert res.os_other_per_fault > res.uarch_per_fault
+
+    def test_batching_reduces_per_fault_cost(self):
+        minimal = run_microbenchmark(faulting_page_fraction=0.3,
+                                     batching=False, stores=1500,
+                                     array_bytes=1 << 20)
+        batched = run_microbenchmark(faulting_page_fraction=0.3,
+                                     batching=True, stores=1500,
+                                     array_bytes=1 << 20)
+        assert batched.total_per_fault < minimal.total_per_fault
+
+    def test_minimal_near_600_cycles(self):
+        """§6.4: roughly 600 cycles per faulting store with the
+        minimal handler at low exception rates (we accept a 2x band —
+        the absolute number depends on the OS cost calibration)."""
+        res = run_microbenchmark(faulting_page_fraction=0.01,
+                                 batching=False, stores=2000,
+                                 array_bytes=1 << 21)
+        assert 300 <= res.total_per_fault <= 1200
