@@ -1,0 +1,55 @@
+"""Parallel campaign engine — serial vs sharded wall time.
+
+Runs the full generated litmus suite (§6.3 scale-down) twice, once
+serially and once sharded over a worker pool, asserts the merged
+reports carry bit-identical per-test outcome sets (the determinism
+guarantee of per-test seed derivation), and records both wall times
+plus the speedup in the benchmark report.  The speedup itself is only
+asserted on multi-core hosts — on one CPU the pool can't win.
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.litmus import RunConfig, run_campaign
+from repro.litmus.generator import generate_all
+
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def campaign(jobs):
+    tests = generate_all()
+    config = RunConfig(seeds=6, inject_faults=True)
+    return run_campaign(tests, config, jobs=jobs)
+
+
+def outcome_sets(report):
+    return [(v.test.name, v.run.outcomes,
+             v.clean_run.outcomes if v.clean_run else None)
+            for v in report.verdicts]
+
+
+def test_campaign_parallel(benchmark):
+    serial = campaign(jobs=1)
+    parallel = run_once(benchmark, campaign, jobs=JOBS)
+
+    assert outcome_sets(serial) == outcome_sets(parallel)
+    assert serial.ok and parallel.ok
+    assert parallel.tests == serial.tests == len(generate_all())
+
+    speedup = serial.wall_time / max(1e-9, parallel.wall_time)
+    print(f"\ncampaign: {serial.tests} tests  "
+          f"serial {serial.wall_time:.2f}s  "
+          f"parallel(x{JOBS}) {parallel.wall_time:.2f}s  "
+          f"speedup {speedup:.2f}x")
+    benchmark.extra_info["tests"] = serial.tests
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["serial_wall_s"] = round(serial.wall_time, 3)
+    benchmark.extra_info["parallel_wall_s"] = round(parallel.wall_time, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    if JOBS >= 2:
+        assert speedup > 1.0, (
+            f"sharding over {JOBS} workers should beat serial "
+            f"({serial.wall_time:.2f}s vs {parallel.wall_time:.2f}s)")

@@ -9,6 +9,7 @@ observed outcomes never exceeds what the axiomatic reference model
 allows — "no negative differences".
 
 Run:  python examples/litmus_campaign.py [--model PC|WC] [--seeds N]
+                                         [--jobs N]
 """
 
 import argparse
@@ -28,6 +29,9 @@ def main() -> None:
                         help="interleavings per test (default 25)")
     parser.add_argument("--no-faults", action="store_true",
                         help="skip EInject poisoning (clean baseline)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (outcomes identical "
+                             "for any value; see docs/campaign.md)")
     args = parser.parse_args()
 
     tests = generate_all() + all_library_tests()
@@ -39,7 +43,7 @@ def main() -> None:
 
     config = RunConfig(model=args.model, seeds=args.seeds,
                        inject_faults=not args.no_faults)
-    report = check_suite(tests, config)
+    report = check_suite(tests, config, jobs=args.jobs)
 
     rows = []
     for category, members in sorted(by_category.items()):

@@ -1,12 +1,16 @@
 """Experiment drivers and reporting for the paper's tables/figures."""
 
-from .figure6 import FIGURE6_PARAMS, Figure6Row, measure_figure6, run_figure6
+from .figure6 import (FIGURE6_PARAMS, Figure6Row, Figure6Verdict,
+                      figure6_gate, measure_figure6, run_figure6)
 from .postprocess import (
     analyse_mbench_log,
     analyse_workload_logs,
+    campaign_report_dict,
     compare_litmus_logs,
     litmus_verdict,
+    read_campaign_report,
     read_litmus_log,
+    write_campaign_report,
     write_litmus_log,
     write_mbench_log,
     write_workload_log,
@@ -21,9 +25,11 @@ from .reporting import (
 from .table3 import Table3Row, measure_workload, run_table3
 
 __all__ = [
-    "FIGURE6_PARAMS", "Figure6Row", "measure_figure6", "run_figure6",
-    "analyse_mbench_log", "analyse_workload_logs", "compare_litmus_logs",
-    "litmus_verdict", "read_litmus_log", "write_litmus_log",
+    "FIGURE6_PARAMS", "Figure6Row", "Figure6Verdict", "figure6_gate",
+    "measure_figure6", "run_figure6",
+    "analyse_mbench_log", "analyse_workload_logs", "campaign_report_dict",
+    "compare_litmus_logs", "litmus_verdict", "read_campaign_report",
+    "read_litmus_log", "write_campaign_report", "write_litmus_log",
     "write_mbench_log", "write_workload_log",
     "render_bar_series", "render_figure5", "render_figure6",
     "render_table", "render_table3",

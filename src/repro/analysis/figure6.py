@@ -94,3 +94,72 @@ def run_figure6(workloads: Optional[Sequence[str]] = None,
                 cores: int = 2, seed: int = 1) -> List[Figure6Row]:
     names = list(workloads) if workloads else figure6_workload_names()
     return [measure_figure6(name, cores, seed) for name in names]
+
+
+# ----------------------------------------------------------------------
+# The paper's pass criteria (§6.5)
+# ----------------------------------------------------------------------
+#: GAP kernels must retain ≥ 96.5 % of baseline performance, each.
+GAP_MIN_RELATIVE = 0.965
+#: Tailbench *aggregated* throughput loss must stay ≤ 4 %.
+TAILBENCH_MIN_THROUGHPUT_RATIO = 0.96
+
+
+@dataclass
+class Figure6Verdict:
+    """Per-suite judgement of a Figure 6 run."""
+
+    gap_relative: Dict[str, float]
+    tailbench_ratio: Dict[str, float]
+    tailbench_aggregate: float
+    failures: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def figure6_gate(rows: Sequence[Figure6Row]) -> Figure6Verdict:
+    """Judge Figure 6 rows against the paper's per-suite criteria:
+    every GAP kernel ≥ 96.5 % of baseline, and Tailbench aggregated
+    throughput (work items over total cycles, across the Tailbench
+    apps) within 4 % of baseline.  Per-app Tailbench ratios are
+    reported for diagnosis but only the aggregate gates, matching the
+    paper's "aggregated throughput" reading.
+    """
+    from ..workloads.registry import PAPER_TABLE3
+
+    gap: Dict[str, float] = {}
+    tail: Dict[str, float] = {}
+    tail_rows: List[Figure6Row] = []
+    failures: List[str] = []
+    for row in rows:
+        suite = PAPER_TABLE3[row.workload].suite
+        if suite == "GAP":
+            gap[row.workload] = row.relative_performance
+            if row.relative_performance < GAP_MIN_RELATIVE:
+                failures.append(
+                    f"GAP/{row.workload}: relative performance "
+                    f"{row.relative_performance:.1%} < "
+                    f"{GAP_MIN_RELATIVE:.1%}")
+        elif suite == "Tailbench":
+            tail_rows.append(row)
+            tail[row.workload] = (row.imprecise_throughput
+                                  / max(1e-12, row.baseline_throughput))
+    aggregate = 1.0
+    if tail_rows:
+        baseline_thr = (sum(r.work_items for r in tail_rows)
+                        / max(1.0, sum(r.baseline_cycles
+                                       for r in tail_rows)))
+        imprecise_thr = (sum(r.work_items for r in tail_rows)
+                         / max(1.0, sum(r.imprecise_cycles
+                                        for r in tail_rows)))
+        aggregate = imprecise_thr / max(1e-12, baseline_thr)
+        if aggregate < TAILBENCH_MIN_THROUGHPUT_RATIO:
+            failures.append(
+                f"Tailbench aggregate throughput {aggregate:.1%} of "
+                f"baseline, loss exceeds "
+                f"{1 - TAILBENCH_MIN_THROUGHPUT_RATIO:.0%}")
+    return Figure6Verdict(gap_relative=gap, tailbench_ratio=tail,
+                          tailbench_aggregate=aggregate,
+                          failures=failures)

@@ -19,6 +19,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 Outcome = Tuple[Tuple[str, int], ...]
 
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
+MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
+
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v1"
 
 
 # ----------------------------------------------------------------------
@@ -49,11 +52,21 @@ def compare_litmus_logs(hardware_path, model_path) -> List[str]:
     ``!!! Warning negative differences in`` marks a test where the
     hardware exhibited an outcome the model forbids — exactly the
     condition the paper's ``2-litmus.py`` greps for.
+
+    Tests present in only one log are coverage holes, not silent
+    no-ops: the paper's criterion quantifies over *all* tests, so a
+    test the hardware log never ran cannot count towards "no negative
+    differences".  Model-only tests produce
+    ``!!! Warning missing from hardware log:`` lines, which
+    :func:`litmus_verdict` counts as failures.
     """
     hardware = read_litmus_log(hardware_path)
     model = read_litmus_log(model_path)
     lines: List[str] = []
-    for name in sorted(hardware):
+    for name in sorted(set(hardware) | set(model)):
+        if name not in hardware:
+            lines.append(f"{MISSING_FROM_HARDWARE_PREFIX} {name}")
+            continue
         observed = hardware[name]
         allowed = model.get(name)
         if allowed is None:
@@ -72,10 +85,98 @@ def compare_litmus_logs(hardware_path, model_path) -> List[str]:
 
 
 def litmus_verdict(report_lines: Sequence[str]) -> str:
-    """"OK" iff no negative-difference line exists (§A.5)."""
+    """"OK" iff no negative-difference line exists (§A.5) *and* no
+    model-log test is missing from the hardware log."""
     bad = [ln for ln in report_lines
-           if ln.startswith(NEGATIVE_DIFF_PREFIX)]
+           if ln.startswith(NEGATIVE_DIFF_PREFIX)
+           or ln.startswith(MISSING_FROM_HARDWARE_PREFIX)]
     return "OK" if not bad else f"FAIL ({len(bad)} tests)"
+
+
+# ----------------------------------------------------------------------
+# Structured campaign reports (schema: docs/campaign.md)
+# ----------------------------------------------------------------------
+def _encode_outcome_set(outcomes: Iterable[Outcome]) -> List[List[List]]:
+    return sorted([list(pair) for pair in outcome] for outcome in outcomes)
+
+
+def _test_run_dict(run) -> Dict:
+    """Serialise one :class:`repro.litmus.runner.TestRun` pass."""
+    return {
+        "runs": run.runs,
+        "outcomes": _encode_outcome_set(run.outcomes),
+        "imprecise_exceptions": run.imprecise_exceptions,
+        "precise_exceptions": run.precise_exceptions,
+        "contract_violations": run.contract_violations,
+    }
+
+
+def campaign_report_dict(report) -> Dict:
+    """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
+
+    Schema ``repro.litmus.campaign-report/v1`` (documented in
+    ``docs/campaign.md``): campaign-level metadata plus one entry per
+    test with wall time, the judged passes (``injected``/``clean``,
+    ``None`` when a pass did not run), and any negative differences.
+    """
+    results = []
+    for v in report.verdicts:
+        passes = {"injected": None, "clean": None}
+        passes["injected" if v.run.injected else "clean"] = \
+            _test_run_dict(v.run)
+        if v.clean_run is not None:
+            passes["clean"] = _test_run_dict(v.clean_run)
+        negative = set(v.conformance.negative_differences)
+        if v.clean_conformance is not None:
+            negative |= v.clean_conformance.negative_differences
+        results.append({
+            "name": v.test.name,
+            "category": v.test.category,
+            "ok": v.ok,
+            "wall_time_s": round(v.wall_time, 6),
+            "allowed_outcomes": len(v.conformance.allowed),
+            "negative_differences": _encode_outcome_set(negative),
+            "injected": passes["injected"],
+            "clean": passes["clean"],
+        })
+    return {
+        "schema": CAMPAIGN_REPORT_SCHEMA,
+        "model": report.model,
+        "injected": report.injected,
+        "jobs": report.jobs,
+        "tests": report.tests,
+        "ok": report.ok,
+        "wall_time_s": round(report.wall_time, 6),
+        "cache": {"hits": report.cache_hits,
+                  "misses": report.cache_misses},
+        "totals": {
+            "failures": len(report.failures),
+            "imprecise_exceptions": report.total_imprecise_exceptions,
+            "precise_exceptions": report.total_precise_exceptions,
+            "clean_passes": report.clean_passes,
+            "clean_imprecise_exceptions":
+                report.total_clean_imprecise_exceptions,
+            "clean_precise_exceptions":
+                report.total_clean_precise_exceptions,
+        },
+        "results": results,
+    }
+
+
+def write_campaign_report(path, report) -> Dict:
+    """Write the structured campaign report; returns the dict."""
+    payload = campaign_report_dict(report)
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return payload
+
+
+def read_campaign_report(path) -> Dict:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != CAMPAIGN_REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: not a campaign report "
+            f"(schema {payload.get('schema')!r})")
+    return payload
 
 
 # ----------------------------------------------------------------------

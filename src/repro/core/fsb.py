@@ -9,6 +9,16 @@ per-core system registers expose it to the OS:
 * ``tail`` — written by the FSBC, read by the OS: next drain slot.
 * ``head`` — written by the OS, read by the FSBC: oldest unread entry.
 
+``head``/``tail`` are **fixed-width** registers (``reg_bits`` wide,
+64 by default) that count monotonically modulo ``2**reg_bits``; the
+slot index is the counter masked by ``mask``.  Keeping the counters
+one wrap-level above the slot index is what lets ``head == tail``
+mean *empty* and ``tail - head == capacity`` mean *full* without a
+separate flag — provided the capacity is strictly smaller than the
+register's modulus, which the constructor enforces.  All occupancy
+arithmetic is modular, so the ring stays correct across arbitrarily
+many counter wraparounds.
+
 Order among faulting stores is encoded purely by ring position —
 exactly the property the same-stream formalism needs the interface to
 provide (Table 5, row "Interface").
@@ -16,7 +26,7 @@ provide (Table 5, row "Interface").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .exceptions import ExceptionCode
@@ -57,15 +67,32 @@ class FsbEntry:
 
 
 class FaultingStoreBuffer:
-    """The in-memory ring with head/tail system-register semantics."""
+    """The in-memory ring with head/tail system-register semantics.
 
-    def __init__(self, capacity: int, base: int = 0x7F00_0000) -> None:
+    Args:
+        capacity: Ring slots; a positive power of two.
+        base: Physical base address of the backing pages.
+        reg_bits: Modeled width of the head/tail system registers.
+            Must give a modulus strictly greater than ``capacity``
+            (i.e. ``2**reg_bits >= 2*capacity``) so empty and full are
+            distinguishable.
+    """
+
+    def __init__(self, capacity: int, base: int = 0x7F00_0000,
+                 reg_bits: int = 64) -> None:
         if capacity < 1 or capacity & (capacity - 1):
             raise ValueError("FSB capacity must be a positive power of two")
+        if reg_bits < 1 or capacity >= (1 << reg_bits):
+            raise ValueError(
+                f"head/tail registers of {reg_bits} bits cannot index a "
+                f"{capacity}-entry ring distinguishably (need "
+                f"2**reg_bits > capacity)")
         self.capacity = capacity
+        self.reg_bits = reg_bits
         #: System registers.
         self.base = base
         self.mask = capacity - 1
+        self.reg_mask = (1 << reg_bits) - 1
         self.head = 0
         self.tail = 0
         self._slots: List[Optional[FsbEntry]] = [None] * capacity
@@ -76,7 +103,9 @@ class FaultingStoreBuffer:
     # ------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return self.tail - self.head
+        """Unread entries; modular difference of the fixed-width
+        counters, correct across register wraparound."""
+        return (self.tail - self.head) & self.reg_mask
 
     @property
     def is_empty(self) -> bool:
@@ -106,7 +135,7 @@ class FaultingStoreBuffer:
                 "than the ring it drains into")
         slot = self.tail & self.mask
         self._slots[slot] = entry
-        self.tail += 1
+        self.tail = (self.tail + 1) & self.reg_mask
         self.total_drained += 1
         self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
         return slot
@@ -126,7 +155,7 @@ class FaultingStoreBuffer:
         if entry is None:
             return None
         self._slots[self.head & self.mask] = None
-        self.head += 1
+        self.head = (self.head + 1) & self.reg_mask
         self.total_read += 1
         return entry
 
@@ -137,8 +166,8 @@ class FaultingStoreBuffer:
         into an OS data structure (§5.3).
         """
         out = []
-        for pos in range(self.head, self.tail):
-            entry = self._slots[pos & self.mask]
+        for offset in range(self.occupancy):
+            entry = self._slots[(self.head + offset) & self.mask]
             assert entry is not None
             out.append(entry)
         return out

@@ -75,12 +75,20 @@ class FsbController:
         return self.fsb.head
 
     def os_write_head(self, value: int) -> None:
-        """The OS-side head update (reads one entry off the ring)."""
-        if not (self.fsb.head <= value <= self.fsb.tail):
+        """The OS-side head update (reads entries off the ring).
+
+        ``value`` is a fixed-width register value; the advance is the
+        modular distance from the current head, valid up to the
+        current occupancy (i.e. not past the tail), so the check
+        stays correct across counter wraparound.
+        """
+        fsb = self.fsb
+        advance = (value - fsb.head) & fsb.reg_mask
+        if advance > fsb.occupancy:
             raise ValueError(
-                f"head {value} outside [{self.fsb.head}, {self.fsb.tail}]")
-        while self.fsb.head < value:
-            self.fsb.pop()
+                f"head {value} outside [{fsb.head}, {fsb.tail}]")
+        for _ in range(advance):
+            fsb.pop()
 
     # ------------------------------------------------------------------
     # Store-buffer side

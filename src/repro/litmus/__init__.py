@@ -1,18 +1,23 @@
-"""Litmus engine: DSL, library, generators, runner, and harness."""
+"""Litmus engine: DSL, library, generators, runner, harness, and the
+parallel campaign engine."""
 
+from .campaign import AllowedSetCache, canonical_test_digest, run_campaign
 from .dsl import LitmusOutcome, LitmusTest
 from .generator import generate_all, tests_by_category
 from .harness import SuiteReport, TestVerdict, allowed_set, check_suite, check_test
 from .library import all_library_tests
 from .multicore_tests import all_multicore_tests
 from .parser import LitmusParseError, load_litmus_directory, parse_litmus
-from .runner import RunConfig, TestRun, run_suite, run_test
+from .runner import (DEFAULT_SEEDS, RunConfig, TestRun, derive_seed,
+                     derive_seeds, run_suite, run_test)
 
 __all__ = [
+    "AllowedSetCache", "canonical_test_digest", "run_campaign",
     "LitmusOutcome", "LitmusTest",
     "generate_all", "tests_by_category",
     "SuiteReport", "TestVerdict", "allowed_set", "check_suite", "check_test",
     "all_library_tests", "all_multicore_tests",
     "LitmusParseError", "load_litmus_directory", "parse_litmus",
-    "RunConfig", "TestRun", "run_suite", "run_test",
+    "DEFAULT_SEEDS", "RunConfig", "TestRun", "derive_seed", "derive_seeds",
+    "run_suite", "run_test",
 ]

@@ -1,0 +1,261 @@
+"""Parallel sharded litmus campaign engine.
+
+The paper's §6.3 correctness claim rests on a ~1600-test campaign
+with faults injected on every location.  This module runs that
+campaign at scale, herd7-style:
+
+* **Sharding** — tests are dispatched in chunks to a
+  ``multiprocessing`` worker pool (``jobs`` workers); ``jobs=1`` is a
+  plain in-process loop with no pool overhead.  Scheduler seeds are
+  derived per test from a stable digest
+  (:func:`repro.litmus.runner.derive_seed`), so the merged
+  :class:`~repro.litmus.harness.SuiteReport` carries outcome sets
+  bit-identical to a serial run regardless of sharding.
+* **Allowed-set cache** — ``allowed_outcomes`` is a pure function of
+  a test's event structure and reference model, so
+  :class:`AllowedSetCache` memoizes it in-process and optionally
+  persists it to a JSON file keyed by :func:`canonical_test_digest`;
+  repeat campaigns skip re-enumeration entirely.
+* **Observability** — per-test wall time and exception counters land
+  in each :class:`~repro.litmus.harness.TestVerdict`; chunk-level
+  progress goes to the ``repro.litmus.campaign`` logger; the merged
+  report records campaign wall time, job count, and cache hit/miss
+  counts (serialised to JSON by
+  :func:`repro.analysis.postprocess.write_campaign_report`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import multiprocessing
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from .dsl import LitmusTest
+from .harness import (ENGINE_REFERENCE_MODEL, SuiteReport, TestVerdict,
+                      check_test)
+from .runner import Outcome, RunConfig
+
+log = logging.getLogger("repro.litmus.campaign")
+
+CACHE_SCHEMA = "repro.litmus.allowed-cache/v1"
+
+
+# ----------------------------------------------------------------------
+# Canonical test identity
+# ----------------------------------------------------------------------
+def canonical_test_digest(test: LitmusTest, model_name: str) -> str:
+    """Stable digest of a test's event structure under one model.
+
+    Built from the axiomatic compilation (events + dependency edges)
+    with event uids normalised to ``(thread, index)`` positions, so
+    the digest is independent of process-global uid counters, test
+    names, and suite order.  Two tests with the same digest have the
+    same allowed set by construction.
+    """
+    threads, edges = test.to_events()
+    uid_pos: Dict[int, Tuple[int, int]] = {}
+    for tid, events in enumerate(threads):
+        for i, event in enumerate(events):
+            uid_pos[event.uid] = (tid, i)
+    payload = {
+        "model": model_name,
+        "threads": [
+            [
+                [
+                    event.kind.value,
+                    event.addr,
+                    event.value,
+                    event.fence.value if event.fence is not None else None,
+                    event.tag,
+                ]
+                for event in events
+            ]
+            for events in threads
+        ],
+        "edges": sorted(list(uid_pos[a]) + list(uid_pos[b])
+                        for a, b in edges),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Allowed-set cache
+# ----------------------------------------------------------------------
+def _encode_outcomes(outcomes: Set[Outcome]) -> List[List[List]]:
+    return sorted([list(pair) for pair in outcome] for outcome in outcomes)
+
+
+def _decode_outcomes(raw) -> Set[Outcome]:
+    return {tuple(tuple(pair) for pair in outcome) for outcome in raw}
+
+
+class AllowedSetCache:
+    """In-process + optionally file-backed allowed-set memo.
+
+    Keys are :func:`canonical_test_digest` hex strings; values are
+    allowed outcome sets.  With a ``path``, the cache loads existing
+    entries on construction and :meth:`save` persists the union back
+    (atomic rename), so concurrent campaigns at worst recompute.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._memo: Dict[str, Set[Outcome]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            try:
+                raw = json.loads(self.path.read_text())
+            except (OSError, ValueError):
+                raw = {}
+            if raw.get("schema") == CACHE_SCHEMA:
+                for digest, outcomes in raw.get("entries", {}).items():
+                    self._memo[digest] = _decode_outcomes(outcomes)
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def get(self, digest: str) -> Optional[Set[Outcome]]:
+        found = self._memo.get(digest)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, digest: str, allowed: Set[Outcome]) -> None:
+        self._memo[digest] = set(allowed)
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "entries": {digest: _encode_outcomes(outcomes)
+                        for digest, outcomes in sorted(self._memo.items())},
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+
+
+#: Process-wide memo used when the caller passes no cache: repeat
+#: campaigns in one process (tests, notebooks) still skip
+#: re-enumeration.
+_PROCESS_CACHE = AllowedSetCache()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _check_chunk(payload):
+    """Run one shard; top-level so it pickles under any start method.
+
+    ``payload`` is ``(chunk_index, tests, config, allowed_sets)`` with
+    ``allowed_sets[i]`` the cached allowed set for ``tests[i]`` or
+    ``None`` (the worker then enumerates it; the parent harvests the
+    result from the verdict's conformance to refill the cache).
+    """
+    chunk_index, tests, config, allowed_sets = payload
+    verdicts = [check_test(test, config, allowed=allowed)
+                for test, allowed in zip(tests, allowed_sets)]
+    return chunk_index, verdicts
+
+
+def _chunk_size(n_tests: int, jobs: int) -> int:
+    """~4 chunks per worker balances load against dispatch overhead."""
+    return max(1, -(-n_tests // max(1, jobs * 4)))
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+def run_campaign(tests: Sequence[LitmusTest],
+                 config: Optional[RunConfig] = None,
+                 jobs: int = 1,
+                 cache: Optional[Union[AllowedSetCache, str, Path]] = None,
+                 chunk_size: Optional[int] = None) -> SuiteReport:
+    """Run the §6.3 campaign over ``tests``, sharded across ``jobs``
+    workers, and merge the per-shard verdicts into one
+    :class:`~repro.litmus.harness.SuiteReport` in suite order.
+
+    Guarantee: for fixed ``tests`` and ``config``, the per-test
+    outcome sets (and hence every verdict) are identical for any
+    ``jobs``/``chunk_size`` — seeds depend only on test identity.
+    """
+    config = config or RunConfig()
+    tests = list(tests)
+    if cache is None:
+        cache = _PROCESS_CACHE
+    elif not isinstance(cache, AllowedSetCache):
+        cache = AllowedSetCache(cache)
+
+    started = time.perf_counter()
+    reference_name = ENGINE_REFERENCE_MODEL[config.model]
+    digests = [canonical_test_digest(test, reference_name)
+               for test in tests]
+    allowed_sets = [cache.get(digest) for digest in digests]
+    hits = sum(1 for a in allowed_sets if a is not None)
+    log.info("campaign start: %d tests model=%s jobs=%d "
+             "(allowed-set cache: %d hits, %d to enumerate)",
+             len(tests), config.model, jobs, hits, len(tests) - hits)
+
+    size = chunk_size or _chunk_size(len(tests), jobs)
+    payloads = [
+        (start, tests[start:start + size], config,
+         allowed_sets[start:start + size])
+        for start in range(0, len(tests), size)
+    ]
+
+    merged: Dict[int, List[TestVerdict]] = {}
+    done = 0
+
+    def note_progress(chunk: List[TestVerdict]) -> None:
+        nonlocal done
+        done += len(chunk)
+        failures = sum(1 for v in chunk if not v.ok)
+        log.info("campaign progress: %d/%d tests (%d chunk failures, "
+                 "%.1fs elapsed)", done, len(tests), failures,
+                 time.perf_counter() - started)
+
+    if jobs <= 1 or len(tests) <= 1:
+        for payload in payloads:
+            index, verdicts = _check_chunk(payload)
+            merged[index] = verdicts
+            note_progress(verdicts)
+    else:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for index, verdicts in pool.imap_unordered(
+                    _check_chunk, payloads):
+                merged[index] = verdicts
+                note_progress(verdicts)
+
+    report = SuiteReport(model=config.model,
+                         injected=config.inject_faults,
+                         jobs=max(1, jobs))
+    for start in sorted(merged):
+        report.verdicts.extend(merged[start])
+
+    # Harvest worker-enumerated allowed sets back into the cache.
+    for digest, cached, verdict in zip(digests, allowed_sets,
+                                       report.verdicts):
+        if cached is None:
+            cache.put(digest, verdict.conformance.allowed)
+    cache.save()
+
+    report.wall_time = time.perf_counter() - started
+    report.cache_hits = hits
+    report.cache_misses = len(tests) - hits
+    log.info("campaign done: %d tests, %d failures, %.1fs "
+             "(imprecise=%d precise=%d)", report.tests,
+             len(report.failures), report.wall_time,
+             report.total_imprecise_exceptions,
+             report.total_precise_exceptions)
+    return report

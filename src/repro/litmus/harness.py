@@ -6,11 +6,22 @@ engine's observed outcomes against it.  A **negative difference** —
 an observed outcome the model forbids — is a consistency violation;
 the paper's pass criterion is zero negative differences across the
 whole suite, with faults injected on every tested location (§6.3).
+
+Per the §6.3 methodology each test runs **twice over**: once clean
+and once with faults injected on every test location, both passes
+judged against the same allowed set.  ``RunConfig.clean_pass=False``
+skips the clean pass for speed-sensitive callers.
+
+:func:`check_suite` accepts ``jobs``/``cache`` and delegates to the
+parallel campaign engine (:mod:`repro.litmus.campaign`); results are
+bit-identical across job counts because scheduler seeds are derived
+per test (:func:`repro.litmus.runner.derive_seed`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..memmodel.axioms import MemoryModel, get_model
@@ -39,14 +50,32 @@ def allowed_set(test: LitmusTest, model: MemoryModel) -> Set[Outcome]:
 
 @dataclass
 class TestVerdict:
+    """Both passes of one test, judged against the allowed set.
+
+    ``run``/``conformance`` hold the primary pass (injected when
+    ``config.inject_faults``); ``clean_run``/``clean_conformance``
+    hold the extra clean pass, ``None`` when it was skipped or when
+    the primary pass is itself clean.
+    """
+
     test: LitmusTest
     run: TestRun
     conformance: ConformanceResult
+    clean_run: Optional[TestRun] = None
+    clean_conformance: Optional[ConformanceResult] = None
+    #: Seconds spent running + judging this test (both passes).
+    wall_time: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return (self.conformance.conforms
-                and self.run.contract_violations == 0)
+        if not (self.conformance.conforms
+                and self.run.contract_violations == 0):
+            return False
+        if self.clean_run is not None:
+            return (self.clean_conformance is not None
+                    and self.clean_conformance.conforms
+                    and self.clean_run.contract_violations == 0)
+        return True
 
 
 @dataclass
@@ -56,6 +85,11 @@ class SuiteReport:
     model: str
     injected: bool
     verdicts: List[TestVerdict] = field(default_factory=list)
+    #: Campaign observability (filled by the campaign engine).
+    wall_time: float = 0.0
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def tests(self) -> int:
@@ -77,6 +111,20 @@ class SuiteReport:
     def total_precise_exceptions(self) -> int:
         return sum(v.run.precise_exceptions for v in self.verdicts)
 
+    @property
+    def total_clean_imprecise_exceptions(self) -> int:
+        return sum(v.clean_run.imprecise_exceptions
+                   for v in self.verdicts if v.clean_run is not None)
+
+    @property
+    def total_clean_precise_exceptions(self) -> int:
+        return sum(v.clean_run.precise_exceptions
+                   for v in self.verdicts if v.clean_run is not None)
+
+    @property
+    def clean_passes(self) -> int:
+        return sum(1 for v in self.verdicts if v.clean_run is not None)
+
     def category_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for v in self.verdicts:
@@ -95,11 +143,25 @@ class SuiteReport:
             f"imprecise={self.total_imprecise_exceptions} "
             f"precise={self.total_precise_exceptions}"
         ]
+        if self.clean_passes:
+            lines.append(
+                f"  clean passes={self.clean_passes} "
+                f"imprecise={self.total_clean_imprecise_exceptions} "
+                f"precise={self.total_clean_precise_exceptions}")
+        if self.wall_time:
+            lines.append(
+                f"  wall={self.wall_time:.2f}s jobs={self.jobs} "
+                f"allowed-set cache hits={self.cache_hits} "
+                f"misses={self.cache_misses}")
         for v in self.failures:
-            neg = v.conformance.negative_differences
+            neg = set(v.conformance.negative_differences)
+            if v.clean_conformance is not None:
+                neg |= v.clean_conformance.negative_differences
+            contract = v.run.contract_violations + (
+                v.clean_run.contract_violations if v.clean_run else 0)
             lines.append(f"  !!! {v.test.name}: "
                          f"negative differences {sorted(neg)} "
-                         f"contract violations {v.run.contract_violations}")
+                         f"contract violations {contract}")
             if explain and neg:
                 from ..memmodel.witness import explain_forbidden
                 reference = get_model(ENGINE_REFERENCE_MODEL[self.model])
@@ -111,23 +173,46 @@ class SuiteReport:
 
 
 def check_test(test: LitmusTest,
-               config: Optional[RunConfig] = None) -> TestVerdict:
-    """Run one test and judge it against its reference model."""
+               config: Optional[RunConfig] = None,
+               allowed: Optional[Set[Outcome]] = None) -> TestVerdict:
+    """Run one test and judge it against its reference model.
+
+    Runs the primary pass per ``config.inject_faults``; when faults
+    are injected and ``config.clean_pass`` is set (the default), a
+    clean pass also runs, judged against the same allowed set.
+    ``allowed`` lets campaign callers supply a cached allowed set and
+    skip re-enumeration.
+    """
     config = config or RunConfig()
+    started = time.perf_counter()
     reference = get_model(ENGINE_REFERENCE_MODEL[config.model])
-    allowed = allowed_set(test, reference)
+    if allowed is None:
+        allowed = allowed_set(test, reference)
     run = run_test(test, config)
     conformance = check_outcome_set(allowed, run.outcomes,
                                     model_name=reference.name)
-    return TestVerdict(test=test, run=run, conformance=conformance)
+    clean_run = clean_conformance = None
+    if config.inject_faults and config.clean_pass:
+        clean_run = run_test(test, replace(config, inject_faults=False))
+        clean_conformance = check_outcome_set(
+            allowed, clean_run.outcomes, model_name=reference.name)
+    return TestVerdict(test=test, run=run, conformance=conformance,
+                       clean_run=clean_run,
+                       clean_conformance=clean_conformance,
+                       wall_time=time.perf_counter() - started)
 
 
 def check_suite(tests: Sequence[LitmusTest],
-                config: Optional[RunConfig] = None) -> SuiteReport:
-    """The §6.3 campaign: every test, faults injected, zero negative
-    differences expected."""
-    config = config or RunConfig()
-    report = SuiteReport(model=config.model, injected=config.inject_faults)
-    for test in tests:
-        report.verdicts.append(check_test(test, config))
-    return report
+                config: Optional[RunConfig] = None,
+                jobs: int = 1,
+                cache=None) -> SuiteReport:
+    """The §6.3 campaign: every test, faults injected (plus a clean
+    pass each), zero negative differences expected.
+
+    ``jobs`` > 1 shards the tests over a worker pool; ``cache`` is an
+    :class:`repro.litmus.campaign.AllowedSetCache` or a path for the
+    persistent allowed-set cache.  Outcome sets are identical for any
+    ``jobs`` value (per-test seed derivation).
+    """
+    from .campaign import run_campaign
+    return run_campaign(tests, config=config, jobs=jobs, cache=cache)

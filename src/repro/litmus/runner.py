@@ -1,17 +1,27 @@
 """Operational litmus runner (§6.3 methodology).
 
 Each test is run many times on the functional engine with different
-scheduler seeds, twice over: once clean and once with every test
-location's page marked faulting through the EInject interface before
-the run — "to inject bus errors on all load, store, and atomic
-instructions, which generate many precise and imprecise exceptions
-that are silently handled by the minimal handler".
+scheduler seeds.  The harness (:mod:`repro.litmus.harness`) runs each
+test twice over: once clean and once with every test location's page
+marked faulting through the EInject interface before the run — "to
+inject bus errors on all load, store, and atomic instructions, which
+generate many precise and imprecise exceptions that are silently
+handled by the minimal handler".  :func:`run_test` executes one such
+pass; ``config.inject_faults`` selects which.
+
+Scheduler seeds are **derived per test** from a stable digest of the
+test name, consistency model, and seed index (:func:`derive_seed`).
+Because a test's seed sequence depends only on its own identity —
+never on suite order, sharding, or which worker process runs it — a
+parallel campaign (:mod:`repro.litmus.campaign`) produces outcome
+sets bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..core.streams import DrainPolicy
 from ..sim.config import ConsistencyModel, SystemConfig, small_config
@@ -20,14 +30,42 @@ from .dsl import LitmusTest
 
 Outcome = Tuple[Tuple[str, int], ...]
 
+#: One documented campaign default, shared by :class:`RunConfig` and
+#: the CLI ``--seeds`` flag.  20 seeds per pass (x2 passes with the
+#: clean+injected default) explores enough interleavings for every
+#: generated family to exhibit its spotlight relaxations while keeping
+#: the full campaign interactive; raise it for soak runs.
+DEFAULT_SEEDS = 20
+
+
+def derive_seed(test_name: str, model: str, index: int) -> int:
+    """Deterministic scheduler seed for run ``index`` of one test.
+
+    A stable 64-bit digest of ``(test_name, model, index)`` — no
+    dependence on Python's hash randomisation, suite order, or the
+    process the test happens to run in.
+    """
+    key = f"{test_name}|{model}|{index}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+def derive_seeds(test_name: str, model: str, count: int) -> List[int]:
+    """The full per-test seed schedule (see :func:`derive_seed`)."""
+    return [derive_seed(test_name, model, i) for i in range(count)]
+
 
 @dataclass
 class RunConfig:
     """Knobs for one litmus campaign."""
 
     model: str = ConsistencyModel.PC
-    seeds: int = 60
+    seeds: int = DEFAULT_SEEDS
     inject_faults: bool = True
+    #: Harness-level: also run (and judge) a clean pass per test when
+    #: faults are injected.  Speed-sensitive callers set this False to
+    #: halve campaign time (see :func:`repro.litmus.harness.check_test`).
+    clean_pass: bool = True
     drain_policy: DrainPolicy = DrainPolicy.SAME_STREAM
 
     def system_config(self, cores: int) -> SystemConfig:
@@ -51,15 +89,18 @@ class TestRun:
 def run_test(test: LitmusTest, config: Optional[RunConfig] = None) -> TestRun:
     """Run one test ``config.seeds`` times; collect distinct outcomes."""
     config = config or RunConfig()
+    # One compile for the whole schedule: MulticoreSystem never mutates
+    # the Program (it copies initial memory and only reads instructions).
     program = test.to_program()
     result = TestRun(test=test, model=config.model,
                      injected=config.inject_faults)
     fault_addrs = [test.location_addr(loc) for loc in test.locations]
+    system_config = config.system_config(program.cores)
 
-    for seed in range(config.seeds):
+    for seed in derive_seeds(test.name, config.model, config.seeds):
         system = MulticoreSystem(
-            test.to_program(),
-            config.system_config(program.cores),
+            program,
+            system_config,
             seed=seed,
             drain_policy=config.drain_policy,
         )

@@ -60,6 +60,60 @@ class TestFigure6Driver:
                 >= minimal.relative_performance - 0.02)
 
 
+class TestFigure6Gate:
+    """The paper's §6.5 criteria: per-GAP-kernel >= 96.5 % of
+    baseline; Tailbench *aggregated* throughput loss <= 4 %."""
+
+    def _row(self, name, baseline, imprecise, work=100):
+        from repro.analysis import Figure6Row
+        return Figure6Row(workload=name, baseline_cycles=baseline,
+                          imprecise_cycles=imprecise,
+                          imprecise_exceptions=1, faulting_stores=1,
+                          precise_exceptions=1, work_items=work)
+
+    def test_all_criteria_met(self):
+        from repro.analysis import figure6_gate
+        verdict = figure6_gate([
+            self._row("BFS", 1000, 1010),
+            self._row("Silo", 1000, 1020),
+            self._row("Masstree", 1000, 1030),
+        ])
+        assert verdict.ok
+        assert verdict.gap_relative["BFS"] == pytest.approx(1000 / 1010)
+        assert verdict.tailbench_aggregate == pytest.approx(2000 / 2050)
+
+    def test_gap_kernel_below_965_fails_by_name(self):
+        from repro.analysis import figure6_gate
+        verdict = figure6_gate([
+            self._row("BFS", 1000, 1010),
+            self._row("SSSP", 1000, 1050),  # 95.2 % < 96.5 %
+        ])
+        assert not verdict.ok
+        assert len(verdict.failures) == 1
+        assert "GAP/SSSP" in verdict.failures[0]
+
+    def test_tailbench_gates_on_aggregate_not_per_app(self):
+        from repro.analysis import figure6_gate
+        # Masstree alone is at 95.2 % (would fail a per-app gate) but
+        # the aggregated throughput stays within the 4 % budget.
+        verdict = figure6_gate([
+            self._row("Silo", 1000, 1010),
+            self._row("Masstree", 1000, 1050),
+        ])
+        assert verdict.ok
+        assert verdict.tailbench_ratio["Masstree"] < 0.96
+        assert verdict.tailbench_aggregate >= 0.96
+
+    def test_tailbench_aggregate_breach_fails(self):
+        from repro.analysis import figure6_gate
+        verdict = figure6_gate([
+            self._row("Silo", 1000, 1080),
+            self._row("Masstree", 1000, 1080),
+        ])
+        assert not verdict.ok
+        assert "Tailbench aggregate" in verdict.failures[0]
+
+
 class TestReporting:
     def test_render_table_alignment(self):
         text = render_table(["a", "bb"], [(1, 2.5), ("xx", "y")],

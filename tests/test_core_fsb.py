@@ -82,6 +82,86 @@ class TestFsbRing:
         assert entry().is_faulting
 
 
+class TestFsbRegisterWraparound:
+    """head/tail are fixed-width system registers: the ring must stay
+    correct when the counters themselves wrap modulo 2**reg_bits, far
+    past mere slot-index wraparound."""
+
+    def test_register_width_must_exceed_capacity(self):
+        with pytest.raises(ValueError, match="reg_bits"):
+            FaultingStoreBuffer(capacity=16, reg_bits=4)
+        FaultingStoreBuffer(capacity=16, reg_bits=5)  # ok
+
+    def test_counters_stay_within_register_width(self):
+        fsb = FaultingStoreBuffer(capacity=4, reg_bits=4)
+        for i in range(100):
+            fsb.drain(entry(seq=i))
+            fsb.pop()
+        assert 0 <= fsb.head < 16
+        assert 0 <= fsb.tail < 16
+        assert fsb.total_drained == fsb.total_read == 100
+
+    def test_fifo_survives_many_counter_wraps(self):
+        fsb = FaultingStoreBuffer(capacity=8, reg_bits=5)
+        seq = 0
+        for _ in range(50):  # 400 entries through a 32-count register
+            for _ in range(8):
+                fsb.drain(entry(seq=seq))
+                seq += 1
+            assert fsb.is_full
+            expect = list(range(seq - 8, seq))
+            assert [fsb.pop().seq for _ in range(8)] == expect
+            assert fsb.is_empty
+
+    def test_occupancy_across_register_wrap(self):
+        fsb = FaultingStoreBuffer(capacity=4, reg_bits=3)
+        # Park head/tail right below the register wrap point.
+        for i in range(6):
+            fsb.drain(entry(seq=i))
+            fsb.pop()
+        assert fsb.head == fsb.tail == 6
+        for i in range(4):
+            fsb.drain(entry(seq=10 + i))
+        assert fsb.tail == (6 + 4) % 8 == 2  # tail wrapped past head
+        assert fsb.occupancy == 4
+        assert fsb.is_full and not fsb.is_empty
+
+    def test_snapshot_and_pop_across_register_wrap(self):
+        fsb = FaultingStoreBuffer(capacity=4, reg_bits=3)
+        for i in range(7):
+            fsb.drain(entry(seq=i))
+            fsb.pop()
+        for i in range(3):
+            fsb.drain(entry(seq=100 + i))
+        assert [e.seq for e in fsb.snapshot()] == [100, 101, 102]
+        assert [fsb.pop().seq for _ in range(3)] == [100, 101, 102]
+        assert fsb.pop() is None
+
+    def test_overflow_still_detected_after_wraps(self):
+        fsb = FaultingStoreBuffer(capacity=2, reg_bits=2)
+        for i in range(9):
+            fsb.drain(entry(seq=i))
+            fsb.pop()
+        fsb.drain(entry())
+        fsb.drain(entry())
+        with pytest.raises(FsbOverflowError):
+            fsb.drain(entry())
+
+    def test_os_write_head_across_register_wrap(self):
+        fsb = FaultingStoreBuffer(capacity=4, reg_bits=3)
+        ctl = FsbController(0, fsb)
+        for i in range(7):
+            ctl.drain_store(0x10 + i, i)
+            fsb.pop()
+        ctl.drain_store(0x80, 1)
+        ctl.drain_store(0x81, 2)
+        assert fsb.head == 7 and fsb.tail == 1  # tail wrapped
+        ctl.os_write_head(0)  # consume one entry across the wrap
+        assert fsb.read_head().addr == 0x81
+        with pytest.raises(ValueError, match="outside"):
+            ctl.os_write_head(2)  # past the tail
+
+
 class TestFsbController:
     def test_registers_reflect_ring(self):
         fsb = FaultingStoreBuffer(16, base=0xABC000)

@@ -59,6 +59,34 @@ class TestLitmusLogs:
         write_litmus_log(model, {})
         assert "missing from model" in compare_litmus_logs(hw, model)[0]
 
+    def test_model_only_test_is_a_coverage_failure(self, tmp_path):
+        """Tests in the model log but absent from the hardware log
+        must not vanish — the paper's criterion quantifies over all
+        tests, so they count as failures."""
+        from repro.analysis.postprocess import MISSING_FROM_HARDWARE_PREFIX
+        hw = tmp_path / "hw.log"
+        model = tmp_path / "model.log"
+        write_litmus_log(hw, {"A": {self._outcome(r0=0)}})
+        write_litmus_log(model, {"A": {self._outcome(r0=0)},
+                                 "B": {self._outcome(r0=0)},
+                                 "C": {self._outcome(r0=0)}})
+        lines = compare_litmus_logs(hw, model)
+        missing = [ln for ln in lines
+                   if ln.startswith(MISSING_FROM_HARDWARE_PREFIX)]
+        assert len(missing) == 2
+        assert any("B" in ln for ln in missing)
+        assert any("C" in ln for ln in missing)
+        assert litmus_verdict(lines) == "FAIL (2 tests)"
+
+    def test_mixed_negative_and_missing_counted_together(self, tmp_path):
+        hw = tmp_path / "hw.log"
+        model = tmp_path / "model.log"
+        write_litmus_log(hw, {"A": {self._outcome(r0=7)}})
+        write_litmus_log(model, {"A": {self._outcome(r0=0)},
+                                 "B": {self._outcome(r0=0)}})
+        assert litmus_verdict(compare_litmus_logs(hw, model)) == \
+            "FAIL (2 tests)"
+
     def test_end_to_end_with_shipped_files(self, tmp_path):
         """The full artifact workflow: run the shipped .litmus files,
         write hardware + model logs, post-process, expect OK."""
