@@ -1,0 +1,207 @@
+"""Enumerator performance: incremental search vs the old hot path.
+
+Two baselines, both producing bit-identical allowed sets:
+
+* **seed-old** — what ``allowed_outcomes`` executed before the
+  incremental rewrite: the flat rf × co cross-product with every
+  relation re-derived per candidate and networkx-based acyclicity
+  checks.  Reconstructed here by running ``strategy="naive"`` with the
+  original networkx cycle check patched back in.  The acceptance
+  criterion (≥ 5× on the standard litmus library) is measured against
+  this baseline.
+* **native-naive** — the in-tree ``strategy="naive"`` escape hatch,
+  which already shares the rewrite's native Kahn cycle check and
+  no-copy Executions.  The incremental search must still beat it
+  clearly (≥ 2× asserted; typically ~4×).
+
+The measured sweep is the campaign shape: every generated litmus test
+compiled once and judged under all four models (SC/PC/WC/RVWMO), cold
+static-relation caches.  Set ``REPRO_BENCH_RECORD=1`` to append the
+measurement to ``BENCH_enumerator.json`` (the cross-PR trajectory).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import networkx as nx
+import pytest
+from conftest import run_once
+
+from repro.litmus.generator import generate_all
+from repro.memmodel import MODELS, program
+from repro.memmodel import axioms as AX
+from repro.memmodel import enumerator as EN
+from repro.memmodel import relations as REL
+
+MODEL_SET = [MODELS[name] for name in ("SC", "PC", "WC", "RVWMO")]
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_enumerator.json"
+ROUNDS = 3
+
+
+def _nx_is_acyclic(edges):
+    """The seed implementation this PR replaced."""
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    return nx.is_directed_acyclic_graph(graph)
+
+
+class _seed_cycle_check:
+    """Temporarily restore the networkx acyclicity check."""
+
+    def __enter__(self):
+        self._native = REL.is_acyclic
+        REL.is_acyclic = _nx_is_acyclic
+        AX.is_acyclic = _nx_is_acyclic
+
+    def __exit__(self, *exc):
+        REL.is_acyclic = self._native
+        AX.is_acyclic = self._native
+        return False
+
+
+def _library_pairs():
+    return [(t.name, t.to_events()) for t in generate_all()]
+
+
+def _sweep(pairs, strategy):
+    """Judge every test under every model; returns (allowed, seconds)."""
+    EN._STATIC_CACHE.clear()
+    out = {}
+    started = time.perf_counter()
+    for name, (threads, deps) in pairs:
+        for model in MODEL_SET:
+            res = EN.enumerate_executions(threads, model,
+                                          extra_ppo=deps,
+                                          strategy=strategy)
+            out[(name, model.name)] = frozenset(res.allowed)
+    return out, time.perf_counter() - started
+
+
+def _best_of(pairs, strategy, rounds=ROUNDS, seed_old=False):
+    best = float("inf")
+    allowed = None
+    for _ in range(rounds):
+        if seed_old:
+            with _seed_cycle_check():
+                allowed, elapsed = _sweep(pairs, strategy)
+        else:
+            allowed, elapsed = _sweep(pairs, strategy)
+        best = min(best, elapsed)
+    return allowed, best
+
+
+def _record(entry):
+    if not os.environ.get("REPRO_BENCH_RECORD"):
+        return
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+
+def test_library_speedup_vs_seed_old(benchmark):
+    """Acceptance: ≥ 5× over the pre-rewrite ``allowed_outcomes``."""
+    pairs = _library_pairs()
+    old_allowed, old_s = _best_of(pairs, "naive", seed_old=True)
+
+    def incremental():
+        return _best_of(pairs, "incremental")
+
+    new_allowed, new_s = run_once(benchmark, incremental)
+    assert new_allowed == old_allowed  # bit-identical, every test × model
+    speedup = old_s / new_s
+    entry = {
+        "bench": "library-vs-seed-old",
+        "tests": len(pairs),
+        "models": [m.name for m in MODEL_SET],
+        "seed_old_s": round(old_s, 4),
+        "incremental_s": round(new_s, 4),
+        "speedup": round(speedup, 2),
+    }
+    benchmark.extra_info.update(entry)
+    _record(entry)
+    print(f"\nseed-old={old_s:.3f}s incremental={new_s:.3f}s "
+          f"-> {speedup:.1f}x over {len(pairs)} tests x 4 models")
+    assert speedup >= 5.0, (
+        f"incremental enumerator only {speedup:.1f}x over the seed "
+        f"implementation (need >= 5x)")
+
+
+def test_library_speedup_vs_native_naive(benchmark):
+    """The escape-hatch naive strategy (already native) as baseline."""
+    pairs = _library_pairs()
+    naive_allowed, naive_s = _best_of(pairs, "naive")
+
+    def incremental():
+        return _best_of(pairs, "incremental")
+
+    inc_allowed, inc_s = run_once(benchmark, incremental)
+    assert inc_allowed == naive_allowed
+    speedup = naive_s / inc_s
+    entry = {
+        "bench": "library-vs-native-naive",
+        "naive_s": round(naive_s, 4),
+        "incremental_s": round(inc_s, 4),
+        "speedup": round(speedup, 2),
+    }
+    benchmark.extra_info.update(entry)
+    _record(entry)
+    print(f"\nnative-naive={naive_s:.3f}s incremental={inc_s:.3f}s "
+          f"-> {speedup:.1f}x")
+    assert speedup >= 2.0, (
+        f"incremental enumerator only {speedup:.1f}x over the native "
+        f"naive strategy (need >= 2x)")
+
+
+MICROS = {
+    "SB": lambda: [program(0, [("S", 0xA, 1), ("L", 0xB)]),
+                   program(1, [("S", 0xB, 1), ("L", 0xA)])],
+    "MP": lambda: [program(0, [("S", 0xA, 1), ("S", 0xB, 1)]),
+                   program(1, [("L", 0xB), ("L", 0xA)])],
+    "IRIW": lambda: [program(0, [("S", 0xA, 1)]),
+                     program(1, [("S", 0xB, 1)]),
+                     program(2, [("L", 0xA), ("L", 0xB)]),
+                     program(3, [("L", 0xB), ("L", 0xA)])],
+}
+
+
+@pytest.mark.parametrize("name", sorted(MICROS))
+def test_micro_kernel(benchmark, name):
+    """SB/MP/IRIW micros: per-call cold timings + equivalence."""
+    threads = MICROS[name]()
+
+    def cold_all_models(strategy):
+        EN._STATIC_CACHE.clear()
+        started = time.perf_counter()
+        allowed = {}
+        for model in MODEL_SET:
+            res = EN.enumerate_executions(threads, model,
+                                          strategy=strategy)
+            allowed[model.name] = frozenset(res.allowed)
+        return allowed, time.perf_counter() - started
+
+    naive_allowed, naive_s = min(
+        (cold_all_models("naive") for _ in range(ROUNDS)),
+        key=lambda pair: pair[1])
+
+    def incremental():
+        return min((cold_all_models("incremental")
+                    for _ in range(ROUNDS)),
+                   key=lambda pair: pair[1])
+
+    inc_allowed, inc_s = run_once(benchmark, incremental)
+    assert inc_allowed == naive_allowed
+    entry = {
+        "bench": f"micro-{name}",
+        "naive_s": round(naive_s, 6),
+        "incremental_s": round(inc_s, 6),
+        "speedup": round(naive_s / inc_s, 2),
+    }
+    benchmark.extra_info.update(entry)
+    _record(entry)
+    print(f"\n{name}: naive={naive_s * 1e3:.2f}ms "
+          f"incremental={inc_s * 1e3:.2f}ms "
+          f"({naive_s / inc_s:.1f}x)")

@@ -21,7 +21,10 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v1"
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v2"
+#: Still readable; v2 added the ``enumerator`` totals block, per-test
+#: ``enumerator`` stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V1 = "repro.litmus.campaign-report/v1"
 
 
 # ----------------------------------------------------------------------
@@ -114,10 +117,13 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v1`` (documented in
+    Schema ``repro.litmus.campaign-report/v2`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
-    ``None`` when a pass did not run), and any negative differences.
+    ``None`` when a pass did not run), any negative differences, and
+    the reference enumerator's stats (``None`` for cache-served
+    tests).  The top level adds summed enumerator counters and the
+    allowed-set cache hit rate.
     """
     results = []
     for v in report.verdicts:
@@ -138,7 +144,9 @@ def campaign_report_dict(report) -> Dict:
             "negative_differences": _encode_outcome_set(negative),
             "injected": passes["injected"],
             "clean": passes["clean"],
+            "enumerator": v.enum_stats,
         })
+    lookups = report.cache_hits + report.cache_misses
     return {
         "schema": CAMPAIGN_REPORT_SCHEMA,
         "model": report.model,
@@ -148,7 +156,10 @@ def campaign_report_dict(report) -> Dict:
         "ok": report.ok,
         "wall_time_s": round(report.wall_time, 6),
         "cache": {"hits": report.cache_hits,
-                  "misses": report.cache_misses},
+                  "misses": report.cache_misses,
+                  "hit_rate": (round(report.cache_hits / lookups, 4)
+                               if lookups else 0.0)},
+        "enumerator": report.enumerator_totals(),
         "totals": {
             "failures": len(report.failures),
             "imprecise_exceptions": report.total_imprecise_exceptions,
@@ -172,7 +183,8 @@ def write_campaign_report(path, report) -> Dict:
 
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema") != CAMPAIGN_REPORT_SCHEMA:
+    if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V1):
         raise ValueError(
             f"{path}: not a campaign report "
             f"(schema {payload.get('schema')!r})")

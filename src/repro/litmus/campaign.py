@@ -258,4 +258,14 @@ def run_campaign(tests: Sequence[LitmusTest],
              len(report.failures), report.wall_time,
              report.total_imprecise_exceptions,
              report.total_precise_exceptions)
+    totals = report.enumerator_totals()
+    log.info("campaign enumerator: %d enumerated / %d cache-served, "
+             "%d rf leaves (%d partial prunes, %d co prunes, "
+             "%d outcome skips), %d candidates examined, "
+             "%d relation-cache hits, %.3fs enumeration",
+             totals["tests_enumerated"], totals["tests_cached"],
+             totals["rf_assignments"], totals["rf_partial_prunes"],
+             totals["addr_co_prunes"], totals["known_outcome_skips"],
+             totals["candidates_examined"],
+             totals["relation_cache_hits"], totals["wall_time_s"])
     return report

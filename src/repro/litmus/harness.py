@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..memmodel.axioms import MemoryModel, get_model
 from ..memmodel.checker import ConformanceResult, check_outcome_set
-from ..memmodel.enumerator import allowed_outcomes
+from ..memmodel.enumerator import (EnumerationStats, allowed_outcomes,
+                                   enumerate_executions)
 from ..sim.config import ConsistencyModel
 from .dsl import LitmusTest
 from .runner import Outcome, RunConfig, TestRun, run_test
@@ -48,6 +49,16 @@ def allowed_set(test: LitmusTest, model: MemoryModel) -> Set[Outcome]:
     return allowed_outcomes(threads, model, extra_ppo=dep_edges)
 
 
+def allowed_set_with_stats(
+        test: LitmusTest,
+        model: MemoryModel) -> Tuple[Set[Outcome], EnumerationStats]:
+    """The allowed set plus the enumerator's observability record
+    (prune/cache counters, wall time) for campaign reporting."""
+    threads, dep_edges = test.to_events()
+    result = enumerate_executions(threads, model, extra_ppo=dep_edges)
+    return result.allowed, result.stats
+
+
 @dataclass
 class TestVerdict:
     """Both passes of one test, judged against the allowed set.
@@ -65,6 +76,9 @@ class TestVerdict:
     clean_conformance: Optional[ConformanceResult] = None
     #: Seconds spent running + judging this test (both passes).
     wall_time: float = 0.0
+    #: ``EnumerationStats.as_dict()`` for the reference enumeration,
+    #: or ``None`` when the allowed set came from a cache.
+    enum_stats: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +138,34 @@ class SuiteReport:
     @property
     def clean_passes(self) -> int:
         return sum(1 for v in self.verdicts if v.clean_run is not None)
+
+    def enumerator_totals(self) -> Dict[str, float]:
+        """Summed :class:`~repro.memmodel.enumerator.EnumerationStats`
+        counters over every verdict that enumerated its allowed set
+        (cache-served tests carry no stats and are counted in
+        ``tests_cached``)."""
+        totals: Dict[str, float] = {
+            "tests_enumerated": 0,
+            "tests_cached": 0,
+            "rf_assignments": 0,
+            "rf_partial_prunes": 0,
+            "addr_co_prunes": 0,
+            "known_outcome_skips": 0,
+            "candidates_examined": 0,
+            "candidates_consistent": 0,
+            "relation_cache_hits": 0,
+            "wall_time_s": 0.0,
+        }
+        for v in self.verdicts:
+            if v.enum_stats is None:
+                totals["tests_cached"] += 1
+                continue
+            totals["tests_enumerated"] += 1
+            for key, value in v.enum_stats.items():
+                if key in totals and key != "tests_enumerated":
+                    totals[key] += value
+        totals["wall_time_s"] = round(totals["wall_time_s"], 6)
+        return totals
 
     def category_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -186,8 +228,10 @@ def check_test(test: LitmusTest,
     config = config or RunConfig()
     started = time.perf_counter()
     reference = get_model(ENGINE_REFERENCE_MODEL[config.model])
+    enum_stats = None
     if allowed is None:
-        allowed = allowed_set(test, reference)
+        allowed, stats = allowed_set_with_stats(test, reference)
+        enum_stats = stats.as_dict()
     run = run_test(test, config)
     conformance = check_outcome_set(allowed, run.outcomes,
                                     model_name=reference.name)
@@ -199,7 +243,8 @@ def check_test(test: LitmusTest,
     return TestVerdict(test=test, run=run, conformance=conformance,
                        clean_run=clean_run,
                        clean_conformance=clean_conformance,
-                       wall_time=time.perf_counter() - started)
+                       wall_time=time.perf_counter() - started,
+                       enum_stats=enum_stats)
 
 
 def check_suite(tests: Sequence[LitmusTest],

@@ -27,8 +27,11 @@ from .axioms import (
 )
 from .checker import ConformanceResult, check_conformance, check_outcome_set
 from .enumerator import (
+    STRATEGIES,
     EnumerationResult,
+    EnumerationStats,
     allowed_outcomes,
+    canonical_outcome,
     compare_models,
     enumerate_executions,
 )
@@ -47,7 +50,7 @@ from .proofs import (
     prove_rule_suite,
     prove_store_store_rule,
 )
-from .relations import Execution, is_acyclic
+from .relations import Execution, StaticRelations, is_acyclic
 from .witness import explain_forbidden, find_cycle, render_execution
 
 __all__ = [
@@ -55,13 +58,14 @@ __all__ = [
     "MemoryModel", "ProcessorConsistency", "SequentialConsistency",
     "WeakConsistency", "get_model",
     "ConformanceResult", "check_conformance", "check_outcome_set",
-    "EnumerationResult", "allowed_outcomes", "compare_models",
+    "STRATEGIES", "EnumerationResult", "EnumerationStats",
+    "allowed_outcomes", "canonical_outcome", "compare_models",
     "enumerate_executions",
     "Event", "EventKind", "FenceKind", "initial_writes", "program",
     "DrainPolicy", "ImpreciseTransform", "transform",
     "OperationalSC", "OperationalTSO", "sc_outcomes", "tso_outcomes",
     "ProofReport", "RaceDemonstration", "demonstrate_figure2_race",
     "prove_rule_suite", "prove_store_store_rule",
-    "Execution", "is_acyclic",
+    "Execution", "StaticRelations", "is_acyclic",
     "explain_forbidden", "find_cycle", "render_execution",
 ]

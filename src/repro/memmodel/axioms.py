@@ -48,7 +48,13 @@ class ModelJudgement:
 
 
 class MemoryModel:
-    """Base class: a named consistency model with a ppo definition."""
+    """Base class: a named consistency model with a ppo definition.
+
+    Subclasses implement :meth:`_ppo`; :meth:`ppo` serves it from the
+    execution's shared :class:`~repro.memmodel.relations.StaticRelations`
+    cache when one is attached (ppo depends only on program order and
+    event kinds, never on rf/co, so it is a per-test constant).
+    """
 
     name = "base"
     #: True when the model lets a core read its own buffered store early
@@ -56,6 +62,11 @@ class MemoryModel:
     allows_store_forwarding = False
 
     def ppo(self, execution: Execution) -> Set[Edge]:
+        if execution.static is not None:
+            return execution.static.ppo(self)
+        return self._ppo(execution)
+
+    def _ppo(self, execution: Execution) -> Set[Edge]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -103,7 +114,7 @@ class SequentialConsistency(MemoryModel):
     name = "SC"
     allows_store_forwarding = False
 
-    def ppo(self, execution: Execution) -> Set[Edge]:
+    def _ppo(self, execution: Execution) -> Set[Edge]:
         return {
             (a, b)
             for (a, b) in execution.po_edges()
@@ -122,7 +133,7 @@ class ProcessorConsistency(MemoryModel):
     name = "PC"
     allows_store_forwarding = True
 
-    def ppo(self, execution: Execution) -> Set[Edge]:
+    def _ppo(self, execution: Execution) -> Set[Edge]:
         edges = set()
         for (a, b) in execution.po_edges():
             ea, eb = execution.event(a), execution.event(b)
@@ -149,7 +160,7 @@ class WeakConsistency(MemoryModel):
     name = "WC"
     allows_store_forwarding = True
 
-    def ppo(self, execution: Execution) -> Set[Edge]:
+    def _ppo(self, execution: Execution) -> Set[Edge]:
         edges = set()
         for (a, b) in execution.po_loc_edges():
             ea, eb = execution.event(a), execution.event(b)
@@ -170,8 +181,8 @@ class RVWMO(WeakConsistency):
 
     name = "RVWMO"
 
-    def ppo(self, execution: Execution) -> Set[Edge]:
-        edges = super().ppo(execution)
+    def _ppo(self, execution: Execution) -> Set[Edge]:
+        edges = super()._ppo(execution)
         for (a, b) in execution.po_edges():
             ea, eb = execution.event(a), execution.event(b)
             if not (ea.is_memory_access and eb.is_memory_access):

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .axioms import MemoryModel
-from .enumerator import Outcome, allowed_outcomes
+from .enumerator import Outcome, allowed_outcomes, canonical_outcome
 from .events import Event
 
 
@@ -61,8 +61,12 @@ class ConformanceResult:
 
 
 def canonicalise(outcome: Iterable[Tuple[str, int]]) -> Outcome:
-    """Normalise an outcome to the sorted-tuple form used everywhere."""
-    return tuple(sorted(outcome))
+    """Normalise an outcome to the sorted-tuple form used everywhere.
+
+    Enumerator outputs are canonical at construction, so the common
+    path is a cheap sortedness probe, not a re-sort.
+    """
+    return canonical_outcome(outcome)
 
 
 def check_conformance(

@@ -1,49 +1,144 @@
-"""Exhaustive enumeration of candidate executions for small programs.
+"""Enumeration of candidate executions for small programs.
 
-Given per-core event sequences, the enumerator builds every candidate
-execution (all reads-from choices × all coherence orders), filters them
+Given per-core event sequences, the enumerator explores candidate
+executions (reads-from choices × coherence orders), filters them
 through a model's axioms, and reports the set of allowed outcomes.
 This plays the role herd7 plays for the paper's litmus methodology:
 the *reference* allowed set against which hardware (here: the
 operational simulator) is compared.
 
-Complexity is exponential in test size, which is fine for litmus tests
-(≤ ~10 events).  ``max_candidates`` guards against accidental misuse.
+Two strategies produce bit-identical allowed sets
+(``tests/test_enumerator_equivalence.py`` asserts it across the whole
+litmus library):
+
+* ``"incremental"`` (default) — the herd-style search.  A
+  :class:`~repro.memmodel.relations.StaticRelations` object holds
+  every rf/co-independent relation (po, po_loc, fences, dependency
+  and protocol edges, the per-model ppo), computed once per call.  A
+  backtracking DFS assigns a writer to one read at a time, grouped by
+  address; each assignment is checked against SC-per-location
+  immediately (``acyclic(po_loc_a ∪ rf_a)``), and once an address's
+  reads are complete only its *coherent* co orders survive into the
+  cross-product, so inconsistent partial assignments die before any
+  co order is enumerated.  Because an outcome depends only on rf, a
+  complete rf assignment whose outcome is already witnessed is
+  skipped outright, and otherwise the co search stops at the first
+  globally consistent candidate.  Cycle checks run over int-indexed
+  adjacency lists (iterative Kahn peel), not graph-library objects.
+* ``"naive"`` — the flat rf × co cross-product with one full
+  per-candidate judgement each, kept as the escape hatch and as the
+  oracle the incremental path is verified against.
+* ``"verify"`` — runs both and raises if they disagree.
+
+Complexity: the naive product visits ``Π_r |writers(r)| × Π_a |W_a|!``
+candidates and re-derives every relation per candidate; the
+incremental search bounds the same worst case but prunes rf prefixes
+per address and shares all static relations, which collapses litmus
+workloads to a small multiple of the number of *distinct outcomes*.
+``max_candidates`` still guards the worst case against misuse.
 """
 
 from __future__ import annotations
 
+import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple)
 
 from .axioms import MemoryModel
-from .events import Event, initial_writes
+from .events import Event, EventKind, initial_writes
 from .relations import (
     Edge,
     Execution,
+    StaticRelations,
     candidate_co_choices,
     candidate_rf_choices,
+    count_co_choices,
+    count_rf_choices,
+    is_acyclic,
+    per_addr_co_orders,
+    per_read_rf_options,
 )
 
 Outcome = Tuple[Tuple[str, int], ...]
 
+STRATEGIES = ("incremental", "naive", "verify")
+
+
+def canonical_outcome(outcome: Iterable[Tuple[str, int]]) -> Outcome:
+    """The sorted-tuple form, without re-sorting already-sorted input."""
+    t = outcome if isinstance(outcome, tuple) else tuple(outcome)
+    if all(t[i] <= t[i + 1] for i in range(len(t) - 1)):
+        return t
+    return tuple(sorted(t))
+
+
+@dataclass
+class EnumerationStats:
+    """Observability record for one ``enumerate_executions`` call.
+
+    ``candidates_examined``/``candidates_consistent`` count full
+    (rf, co) candidates that reached the global-order check and passed
+    it; the prune counters say where the incremental search cut the
+    space before that point (the naive strategy never prunes, so its
+    prune counters stay zero and ``candidates_examined`` equals the
+    full product).
+    """
+
+    strategy: str = "incremental"
+    #: Complete rf assignments that survived all per-address pruning.
+    rf_assignments: int = 0
+    #: Partial rf assignments cut by the po_loc ∪ rf cycle check.
+    rf_partial_prunes: int = 0
+    #: rf assignments cut because some address had no coherent co order.
+    addr_co_prunes: int = 0
+    #: Coherent-but-redundant rf leaves skipped (outcome already witnessed).
+    known_outcome_skips: int = 0
+    #: (rf, co) candidates that reached the global acyclicity check.
+    candidates_examined: int = 0
+    candidates_consistent: int = 0
+    #: Times a precomputed static relation was served on the hot path
+    #: where the naive path would have re-derived it.
+    relation_cache_hits: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "strategy": self.strategy,
+            "rf_assignments": self.rf_assignments,
+            "rf_partial_prunes": self.rf_partial_prunes,
+            "addr_co_prunes": self.addr_co_prunes,
+            "known_outcome_skips": self.known_outcome_skips,
+            "candidates_examined": self.candidates_examined,
+            "candidates_consistent": self.candidates_consistent,
+            "relation_cache_hits": self.relation_cache_hits,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
 
 @dataclass
 class EnumerationResult:
-    """Outcomes allowed by a model, with witness executions."""
+    """Outcomes allowed by a model, with witness executions.
+
+    Outcomes are stored canonically (sorted at construction by
+    :meth:`Execution.outcome`), so membership checks need no re-sort
+    for canonical callers.
+    """
 
     model_name: str
     allowed: Set[Outcome] = field(default_factory=set)
     witnesses: Dict[Outcome, Execution] = field(default_factory=dict)
     candidates_examined: int = 0
     candidates_consistent: int = 0
+    stats: Optional[EnumerationStats] = None
 
     def permits(self, outcome: Outcome) -> bool:
-        return tuple(sorted(outcome)) in self.allowed
+        return canonical_outcome(outcome) in self.allowed
 
     def forbidden(self, all_conceivable: Iterable[Outcome]) -> Set[Outcome]:
         """Outcomes conceivable from value combinations but not allowed."""
-        return {tuple(sorted(o)) for o in all_conceivable} - self.allowed
+        return {canonical_outcome(o) for o in all_conceivable} - self.allowed
 
 
 def build_events(
@@ -67,8 +162,9 @@ def enumerate_executions(
     extra_events: Sequence[Event] = (),
     init_values: Optional[Dict[int, int]] = None,
     max_candidates: int = 2_000_000,
+    strategy: str = "incremental",
 ) -> EnumerationResult:
-    """Enumerate all candidate executions and judge them under ``model``.
+    """Enumerate candidate executions and judge them under ``model``.
 
     Args:
         threads: Per-core event sequences (cores numbered by position
@@ -78,42 +174,644 @@ def enumerate_executions(
         protocol_order: Imprecise-exception protocol edges.
         extra_events: OS stores or protocol events outside any thread.
         init_values: Initial memory values (default 0).
-        max_candidates: Safety valve on the search-space size.
+        max_candidates: Safety valve on the search-space size (counted
+            as the full rf × co product for either strategy).
+        strategy: ``"incremental"`` (default), ``"naive"``, or
+            ``"verify"`` (run both, assert identical allowed sets).
 
     Returns:
         An :class:`EnumerationResult` with the allowed outcome set.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    extra_ppo_f = frozenset(extra_ppo)
+    protocol_f = frozenset(protocol_order)
+    if strategy == "verify":
+        incremental = _run_incremental(threads, model, extra_ppo_f,
+                                       protocol_f, extra_events,
+                                       init_values, max_candidates)
+        naive = _run_naive(threads, model, extra_ppo_f, protocol_f,
+                           extra_events, init_values, max_candidates)
+        if incremental.allowed != naive.allowed:
+            raise AssertionError(
+                f"strategy divergence under {model.name}: "
+                f"incremental-only={incremental.allowed - naive.allowed} "
+                f"naive-only={naive.allowed - incremental.allowed}")
+        return incremental
+    if strategy == "naive":
+        return _run_naive(threads, model, extra_ppo_f, protocol_f,
+                          extra_events, init_values, max_candidates)
+    return _run_incremental(threads, model, extra_ppo_f, protocol_f,
+                            extra_events, init_values, max_candidates)
+
+
+def _run_naive(threads, model, extra_ppo_f, protocol_f,
+               extra_events, init_values, max_candidates):
+    result = EnumerationResult(model_name=model.name)
+    stats = EnumerationStats(strategy="naive")
+    started = time.perf_counter()
     events = build_events(threads, extra_events, init_values)
-    rf_choices = candidate_rf_choices(events)
-    co_choices = candidate_co_choices(events)
-    total = len(rf_choices) * len(co_choices)
+    total = count_rf_choices(events) * count_co_choices(events)
     if total > max_candidates:
         raise ValueError(
             f"{total} candidate executions exceed max_candidates="
             f"{max_candidates}; shrink the program"
         )
+    _enumerate_naive(events, model, extra_ppo_f, protocol_f,
+                     result, stats)
+    return _finish(result, stats, started)
 
+
+def _run_incremental(threads, model, extra_ppo_f, protocol_f,
+                     extra_events, init_values, max_candidates):
     result = EnumerationResult(model_name=model.name)
-    extra_ppo_f = frozenset(extra_ppo)
-    protocol_f = frozenset(protocol_order)
+    stats = EnumerationStats(strategy="incremental")
+    started = time.perf_counter()
+    entry = _static_entry(threads, extra_events, init_values,
+                          extra_ppo_f, protocol_f, max_candidates, stats)
+    _enumerate_incremental(entry, model, result, stats)
+    return _finish(result, stats, started)
+
+
+def _finish(result, stats, started):
+    stats.wall_time_s = time.perf_counter() - started
+    result.stats = stats
+    result.candidates_examined = stats.candidates_examined
+    result.candidates_consistent = stats.candidates_consistent
+    return result
+
+
+# ----------------------------------------------------------------------
+# Naive strategy: the flat product, one full judgement per candidate
+# ----------------------------------------------------------------------
+def _enumerate_naive(events, model, extra_ppo_f, protocol_f,
+                     result, stats) -> None:
+    """Judge every (rf, co) pair independently.
+
+    Every relation is re-derived per candidate — this is the baseline
+    the perf benchmark measures the incremental search against, and
+    the oracle of the equivalence guard.  rf dicts and co tuples are
+    shared across candidates without copying (they are never mutated).
+    """
+    rf_choices = candidate_rf_choices(events)
+    co_choices = candidate_co_choices(events)
     for rf in rf_choices:
         for co in co_choices:
-            result.candidates_examined += 1
+            stats.candidates_examined += 1
             execution = Execution(
                 events=events,
-                rf=dict(rf),
-                co={a: list(order) for a, order in co.items()},
+                rf=rf,
+                co=co,
                 extra_ppo=extra_ppo_f,
                 protocol_order=protocol_f,
             )
             if not model.allows(execution):
                 continue
-            result.candidates_consistent += 1
+            stats.candidates_consistent += 1
             outcome = execution.outcome()
             if outcome not in result.allowed:
                 result.allowed.add(outcome)
                 result.witnesses[outcome] = execution
-    return result
+    stats.rf_assignments = len(rf_choices)
+
+
+# ----------------------------------------------------------------------
+# Incremental strategy: backtracking rf search with early pruning
+# ----------------------------------------------------------------------
+class _StaticEntry:
+    """Everything rf/co-independent about one event set.
+
+    Computed once per test — not per candidate, not per model — and
+    memoized in :data:`_STATIC_CACHE`, so judging the same program
+    under SC/PC/WC/RVWMO shares one setup (only the per-model ppo and
+    base ghb graph differ, and those memoize inside the entry too).
+    """
+
+    def __init__(self, events, per_read, total,
+                 extra_ppo_f, protocol_f) -> None:
+        self.events = events
+        #: Full rf × co product, for the ``max_candidates`` guard.
+        self.total = total
+        self.static = StaticRelations(events, extra_ppo_f, protocol_f)
+        self.per_read = per_read
+        self.perms = per_addr_co_orders(events)
+        self.addr_list = list(self.perms)
+        self.reads_of_addr: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {}
+        self.outcome_reads: List[Tuple[int, str]] = []
+        for r, options in per_read:
+            self.reads_of_addr.setdefault(r.addr, []).append(
+                (r.uid, options))
+            self.outcome_reads.append(
+                (r.uid, r.tag or f"r{r.core}.{r.index}"))
+        self.write_value = {e.uid: (e.value if e.value is not None else 0)
+                            for e in events if e.is_write}
+        self.core_of = {e.uid: e.core for e in events}
+        # The ghb node universe is model-independent: initial writes
+        # never acquire an incoming edge (po/ppo/fences exclude core
+        # -1, co orders start at the initial write, fr targets
+        # co-successors, rf targets reads) unless an explicit
+        # extra_ppo/protocol edge targets them, so they can never sit
+        # on a cycle and are dropped — with every edge leaving them —
+        # from the graph all checkers share.
+        stray_targets = {b for _, b in itertools.chain(extra_ppo_f,
+                                                       protocol_f)}
+        self.ghb_skip = frozenset(
+            e.uid for e in events
+            if e.core == -1 and e.uid not in stray_targets)
+        ghb_index: Dict[int, int] = {}
+        for e in events:
+            if e.uid not in self.ghb_skip:
+                ghb_index[e.uid] = len(ghb_index)
+        for (a, b) in itertools.chain(extra_ppo_f, protocol_f):
+            for u in (a, b):
+                if u not in ghb_index and u not in self.ghb_skip:
+                    ghb_index[u] = len(ghb_index)
+        self.ghb_index = ghb_index
+        # Model-independent ghb edges (fences ∪ extra_ppo ∪ protocol)
+        # as int pairs; each checker appends only its ppo.
+        self.ghb_static_int: List[Tuple[int, int]] = [
+            (ghb_index[a], ghb_index[b])
+            for (a, b) in itertools.chain(self.static.fence_edges,
+                                          extra_ppo_f, protocol_f)
+            if a not in self.ghb_skip
+        ]
+        # (addr, rf pairs) -> coherent co orders with their ghb edge
+        # fragments.  SC-per-location is model-independent, so this
+        # memo is shared by all models.
+        self._valid_co: Dict[tuple, List[tuple]] = {}
+        # Write-only addresses: their coherent co orders do not depend
+        # on rf, so filter them once here.  An address with no coherent
+        # order at all makes every candidate inconsistent.
+        self.wo_valid: Dict[int, List[tuple]] = {}
+        self.impossible_addr: Optional[int] = None
+        seed_stats = EnumerationStats()
+        for addr in self.addr_list:
+            if addr in self.reads_of_addr:
+                continue
+            valid = self.co_fragments(addr, (), seed_stats)
+            if not valid:
+                self.impossible_addr = addr
+                break
+            self.wo_valid[addr] = valid
+        # Flattened search order: reads grouped per address, addresses
+        # in co-map order, so an address's coherence closes as soon as
+        # its last read is assigned.
+        self.seq: List[Tuple[int, int, Tuple[int, ...], bool]] = []
+        for addr in self.addr_list:
+            group = self.reads_of_addr.get(addr, ())
+            for i, (uid, options) in enumerate(group):
+                self.seq.append((uid, addr, options, i == len(group) - 1))
+        # Per-address po_loc successor maps for the incremental
+        # reachability prune.
+        self.succ_by_addr: Dict[int, Dict[int, List[int]]] = {}
+        for addr, edges in self.static.po_loc_by_addr.items():
+            d: Dict[int, List[int]] = {}
+            for a, b in edges:
+                d.setdefault(a, []).append(b)
+            self.succ_by_addr[addr] = d
+        self._checkers: Dict[str, "_GlobalOrderChecker"] = {}
+        # Coherent rf skeleton (see coherent_leaves); None until built.
+        self._leaves: Optional[List[tuple]] = None
+
+    def rf_int_edges(self, rf: Dict[int, int]) -> Tuple[list, list]:
+        """One rf assignment as int ghb edges: (all, external-only).
+
+        Store-forwarding models use only the external edges; SC uses
+        all of them.  Both variants are model-independent, so the
+        skeleton precomputes them once per leaf.
+        """
+        idx = self.ghb_index
+        skip = self.ghb_skip
+        core_of = self.core_of
+        rf_all: List[Tuple[int, int]] = []
+        rf_ext: List[Tuple[int, int]] = []
+        for r, w in rf.items():
+            if w in skip:
+                continue
+            edge = (idx[w], idx[r])
+            rf_all.append(edge)
+            if core_of[w] != core_of[r]:
+                rf_ext.append(edge)
+        return rf_all, rf_ext
+
+    def coherent_leaves(self, stats) -> Optional[List[tuple]]:
+        """The model-independent part of the search, run once per test.
+
+        Coherence (SC-per-location) never depends on the model, so the
+        backtracking DFS over rf assignments — with its partial-prune
+        and per-address co filtering — yields the same set of coherent
+        leaves ``(rf, outcome, rf_all, rf_ext, fragments)`` for every
+        model (``fragments`` holds each address's coherent co orders
+        with their ghb edges already int-encoded).  Judging a test
+        under a second model replays the cached leaves straight into
+        the model's global-order check.
+
+        Returns ``None`` for search spaces too large to materialise
+        (the caller then streams the DFS instead).
+        """
+        if self._leaves is not None:
+            stats.relation_cache_hits += 1
+            return self._leaves
+        rf_total = 1
+        for _, options in self.per_read:
+            rf_total *= len(options)
+        if rf_total > _LEAF_CACHE_MAX:
+            return None
+        leaves: List[tuple] = []
+        addr_list = self.addr_list
+        write_value = self.write_value
+        outcome_reads = self.outcome_reads
+
+        def on_leaf(rf, pairs_by_addr, valid_cos):
+            outcome = tuple(sorted(
+                (key, write_value[rf[uid]])
+                for uid, key in outcome_reads))
+            rf_all, rf_ext = self.rf_int_edges(rf)
+            leaves.append((dict(rf), outcome, rf_all, rf_ext,
+                           [valid_cos[a] for a in addr_list]))
+
+        _rf_search(self, stats, on_leaf)
+        self._leaves = leaves
+        return leaves
+
+    def co_fragments(self, addr, pairs, stats) -> List[tuple]:
+        """Coherent co orders for one address under one rf slice, each
+        paired with its ghb contribution — co-adjacency plus minimal
+        fr — as precomputed int edges: ``[(order, edges), ...]``."""
+        key = (addr, tuple(pairs))
+        found = self._valid_co.get(key)
+        if found is None:
+            idx = self.ghb_index
+            skip = self.ghb_skip
+            found = []
+            for order in self.perms[addr]:
+                if not _addr_coherent(self.static, addr, order, pairs):
+                    continue
+                edges: List[Tuple[int, int]] = []
+                start = 1 if order and order[0] in skip else 0
+                for i in range(start, len(order) - 1):
+                    edges.append((idx[order[i]], idx[order[i + 1]]))
+                for (r, w) in pairs:
+                    nxt = order.index(w) + 1
+                    if nxt < len(order) and order[nxt] != r:
+                        edges.append((idx[r], idx[order[nxt]]))
+                found.append((order, tuple(edges)))
+            if len(self._valid_co) >= 4096:
+                self._valid_co.clear()
+            self._valid_co[key] = found
+        else:
+            stats.relation_cache_hits += 1
+        return found
+
+    def checker(self, model, stats) -> "_GlobalOrderChecker":
+        found = self._checkers.get(model.name)
+        if found is None:
+            # Two models with the same ppo and forwarding rule induce
+            # the same ghb graph (WC and RVWMO coincide on programs
+            # without atomics), so key the heavy graph build on that.
+            graph_key = (self.static.ppo(model),
+                         model.allows_store_forwarding)
+            found = self._checkers.get(graph_key)
+            if found is None:
+                found = _GlobalOrderChecker(self, model)
+                self._checkers[graph_key] = found
+            else:
+                stats.relation_cache_hits += 1
+            self._checkers[model.name] = found
+        else:
+            stats.relation_cache_hits += 1
+        return found
+
+
+#: LRU memo of :class:`_StaticEntry` keyed by event identity (uids are
+#: process-unique) plus init values and static edge sets.
+_STATIC_CACHE: "Dict[tuple, _StaticEntry]" = {}
+_STATIC_CACHE_MAX = 512
+#: Largest rf product for which the coherent-leaf skeleton is
+#: materialised; above it the DFS streams leaves instead.
+_LEAF_CACHE_MAX = 20_000
+
+
+def _static_entry(threads, extra_events, init_values,
+                  extra_ppo_f, protocol_f, max_candidates,
+                  stats) -> _StaticEntry:
+    key = (
+        tuple(tuple(e.uid for e in th) for th in threads),
+        tuple(e.uid for e in extra_events),
+        tuple(sorted(init_values.items())) if init_values else (),
+        extra_ppo_f,
+        protocol_f,
+    )
+    entry = _STATIC_CACHE.get(key)
+    if entry is None:
+        events = build_events(threads, extra_events, init_values)
+        per_read = per_read_rf_options(events)
+        total = count_co_choices(events)
+        for _, options in per_read:
+            total *= len(options)
+        if total > max_candidates:
+            raise ValueError(
+                f"{total} candidate executions exceed max_candidates="
+                f"{max_candidates}; shrink the program"
+            )
+        entry = _StaticEntry(events, per_read, total,
+                             extra_ppo_f, protocol_f)
+        if len(_STATIC_CACHE) >= _STATIC_CACHE_MAX:
+            _STATIC_CACHE.pop(next(iter(_STATIC_CACHE)))
+        _STATIC_CACHE[key] = entry
+    else:
+        stats.relation_cache_hits += 1
+        if entry.total > max_candidates:
+            raise ValueError(
+                f"{entry.total} candidate executions exceed max_candidates="
+                f"{max_candidates}; shrink the program"
+            )
+    return entry
+
+
+class _GlobalOrderChecker:
+    """Global-happens-before acyclicity over int-indexed adjacency.
+
+    The static part of the graph (ppo ∪ fences ∪ extra_ppo ∪ protocol)
+    is built once per model — over the node universe the entry already
+    computed, shared by all models — and condensed into per-node
+    reachability bitmasks.  Per candidate only the dynamic rf/co/fr
+    edges (pre-encoded as int pairs by the entry) are closed through
+    those masks.  Minimal edge forms are used — co as adjacent pairs
+    and fr as the first co-successor of the read's writer — which
+    preserve reachability, hence acyclicity.
+    """
+
+    def __init__(self, entry: "_StaticEntry", model: MemoryModel) -> None:
+        idx = entry.ghb_index
+        n = len(idx)
+        base = list(entry.ghb_static_int)
+        # ppo ⊆ po, so its endpoints are core events — always indexed,
+        # never skipped.
+        for (a, b) in entry.static.ppo(model):
+            base.append((idx[a], idx[b]))
+        adj: List[List[int]] = [[] for _ in range(n)]
+        indeg = [0] * n
+        for a, b in base:
+            adj[a].append(b)
+            indeg[b] += 1
+        self.forwarding = model.allows_store_forwarding
+        # Reachability bitmasks over the (acyclic) base graph: the
+        # per-candidate check then only has to close the handful of
+        # dynamic rf/co/fr edges through them.
+        order: List[int] = []
+        stack = [i for i in range(n) if indeg[i] == 0]
+        while stack:
+            i = stack.pop()
+            order.append(i)
+            for j in adj[i]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    stack.append(j)
+        self.base_cyclic = len(order) != n
+        reach = [0] * n
+        for v in reversed(order):
+            m = 0
+            for w in adj[v]:
+                m |= (1 << w) | reach[w]
+            reach[v] = m
+        self.reach = reach
+
+    def consistent(self, dyn: List[Tuple[int, int]]) -> bool:
+        """Acyclicity of base ∪ dyn for one candidate, where ``dyn``
+        is the candidate's rf/co/fr edges as int pairs.
+
+        Any cycle must traverse at least one dynamic edge, so instead
+        of peeling the whole graph we close only the dynamic edges
+        through the precomputed base-reachability bitmasks: edge i can
+        feed edge j iff j's source lies in the reach of i's target,
+        and a cycle exists iff that d-node condensation (d = a few
+        dynamic edges) has one — checked by a bitmask Floyd-Warshall.
+        """
+        if self.base_cyclic:
+            return False
+        reach = self.reach
+        srcs: List[int] = []
+        outs: List[int] = []
+        for a, b in dyn:
+            if a == b or (reach[b] >> a) & 1:
+                return False  # the edge alone closes a base cycle
+            srcs.append(a)
+            outs.append((1 << b) | reach[b])
+        d = len(srcs)
+        closure: List[int] = []
+        for i in range(d):
+            oi = outs[i]
+            m = 0
+            for j in range(d):
+                if j != i and (oi >> srcs[j]) & 1:
+                    m |= 1 << j
+            closure.append(m)
+        for k in range(d):
+            rk = closure[k]
+            bit = 1 << k
+            for i in range(d):
+                if closure[i] & bit:
+                    closure[i] |= rk
+            if closure[k] & bit:
+                return False
+        return True
+
+
+def _addr_coherent(static: StaticRelations, addr: int,
+                   order: Tuple[int, ...],
+                   pairs: Sequence[Tuple[int, int]]) -> bool:
+    """SC-per-location for one address under one co order.
+
+    Checks RMW atomicity (the atomic sits co-immediately after its
+    writer) and acyclicity of ``po_loc_a ∪ rf_a ∪ co_a ∪ fr_a`` —
+    exactly the per-address slice of the full coherence axiom, which
+    decomposes because communication edges never cross addresses.
+
+    The acyclicity check is positional rather than graph-based: place
+    write ``w`` at ``2·pos(w)`` and a read of ``w`` at ``2·pos(w)+1``
+    (an RMW takes its write slot).  Every rf/co/fr edge then ascends
+    strictly by construction, and for any same-address pair with
+    ``eff(x) > eff(y)`` a communication path ``y →* x`` exists, so the
+    graph is acyclic iff every po_loc edge ascends too (ties are
+    two plain reads of the same write, which only po_loc can relate —
+    never cyclically).
+    """
+    by_uid = static.by_uid
+    pos = {uid: i for i, uid in enumerate(order)}
+    eff = {uid: 2 * i for i, uid in enumerate(order)}
+    for (r, w) in pairs:
+        if by_uid[r].kind is EventKind.ATOMIC:
+            if pos.get(r, -1) != pos.get(w, -99) + 1:
+                return False
+        else:
+            eff[r] = 2 * pos[w] + 1
+    for (x, y) in static.po_loc_by_addr.get(addr, ()):
+        if eff[x] > eff[y]:
+            return False
+    return True
+
+
+_EMPTY_SUCC: Dict[int, List[int]] = {}
+
+
+def _reaches(succ: Dict[int, List[int]],
+             rf_by_writer: Dict[int, List[int]],
+             src: int, dst: int) -> bool:
+    """Is ``dst`` reachable from ``src`` over po_loc ∪ assigned rf?
+
+    Used as the incremental SC-per-location prune: the per-address
+    graph was acyclic before the new rf edge ``w → r``, so the edge
+    closes a cycle iff ``w`` is reachable from ``r``.
+    """
+    stack = [src]
+    seen = {src}
+    while stack:
+        x = stack.pop()
+        for y in succ.get(x, ()):
+            if y == dst:
+                return True
+            if y not in seen:
+                seen.add(y)
+                stack.append(y)
+        for y in rf_by_writer.get(x, ()):
+            if y == dst:
+                return True
+            if y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return False
+
+
+def _rf_search(entry: _StaticEntry, stats, on_leaf) -> None:
+    """Backtracking DFS over per-read rf choices with early pruning.
+
+    Assigns a writer to one read at a time (reads grouped by address);
+    each assignment runs the incremental SC-per-location prune, and a
+    completed address filters its co orders immediately, so
+    inconsistent partial assignments are abandoned before any co order
+    of the remaining addresses is enumerated.  ``on_leaf`` fires for
+    every surviving (coherent) complete rf assignment with the live
+    ``rf``/``pairs_by_addr``/``valid_cos`` state (callees must copy
+    what they keep).
+    """
+    seq = entry.seq
+    nseq = len(seq)
+    succ_by_addr = entry.succ_by_addr
+
+    valid_cos: Dict[int, List[tuple]] = dict(entry.wo_valid)
+    rf: Dict[int, int] = {}
+    pairs_by_addr: Dict[int, List[Tuple[int, int]]] = {
+        addr: [] for addr in entry.reads_of_addr}
+    rfw_by_addr: Dict[int, Dict[int, List[int]]] = {
+        addr: {} for addr in entry.reads_of_addr}
+
+    def descend(i: int) -> None:
+        if i == nseq:
+            on_leaf(rf, pairs_by_addr, valid_cos)
+            return
+        r_uid, addr, options, last_of_addr = seq[i]
+        pairs = pairs_by_addr[addr]
+        succ = succ_by_addr.get(addr, _EMPTY_SUCC)
+        rfw = rfw_by_addr[addr]
+        for w in options:
+            if w == r_uid or _reaches(succ, rfw, r_uid, w):
+                # Partial SC-per-location violation: no co/fr extension
+                # can ever make this prefix coherent.
+                stats.rf_partial_prunes += 1
+                continue
+            pairs.append((r_uid, w))
+            rf[r_uid] = w
+            rfw.setdefault(w, []).append(r_uid)
+            if last_of_addr:
+                valid = entry.co_fragments(addr, pairs, stats)
+                if not valid:
+                    stats.addr_co_prunes += 1
+                else:
+                    valid_cos[addr] = valid
+                    descend(i + 1)
+                    del valid_cos[addr]
+            else:
+                descend(i + 1)
+            rfw[w].pop()
+            if not rfw[w]:
+                del rfw[w]
+            pairs.pop()
+            del rf[r_uid]
+
+    descend(0)
+
+
+def _enumerate_incremental(entry: _StaticEntry, model, result,
+                           stats) -> None:
+    if entry.impossible_addr is not None:
+        stats.addr_co_prunes += 1
+        return
+    static = entry.static
+    addr_list = entry.addr_list
+    checker = entry.checker(model, stats)
+    forwarding = checker.forwarding
+    consistent = checker.consistent
+    allowed = result.allowed
+    witnesses = result.witnesses
+    product = itertools.product
+    # Hot-loop counters live in locals and flush into ``stats`` once.
+    n_leaves = known_skips = examined = n_consistent = 0
+
+    def judge_leaf(rf, outcome, rf_all, rf_ext, frag_lists) -> None:
+        nonlocal n_leaves, known_skips, examined, n_consistent
+        n_leaves += 1
+        if outcome in allowed:
+            # The outcome depends only on rf; a witness already exists.
+            known_skips += 1
+            return
+        rf_part = rf_ext if forwarding else rf_all
+        for combo in product(*frag_lists):
+            examined += 1
+            dyn = [*rf_part]
+            for frag in combo:
+                dyn += frag[1]
+            if consistent(dyn):
+                n_consistent += 1
+                allowed.add(outcome)
+                witnesses[outcome] = Execution(
+                    events=entry.events,
+                    rf=dict(rf),
+                    co={a: frag[0]
+                        for a, frag in zip(addr_list, combo)},
+                    extra_ppo=static.extra_ppo,
+                    protocol_order=static.protocol_order,
+                    static=static,
+                )
+                return
+
+    leaves = entry.coherent_leaves(stats)
+    if leaves is not None:
+        for rf, outcome, rf_all, rf_ext, frag_lists in leaves:
+            judge_leaf(rf, outcome, rf_all, rf_ext, frag_lists)
+    else:
+        # Search space too large to materialise: stream the DFS,
+        # judging each coherent leaf as it appears.
+        outcome_reads = entry.outcome_reads
+        write_value = entry.write_value
+
+        def on_leaf(rf, pairs_by_addr, valid_cos):
+            outcome = tuple(sorted((key, write_value[rf[uid]])
+                                   for uid, key in outcome_reads))
+            rf_all, rf_ext = entry.rf_int_edges(rf)
+            judge_leaf(rf, outcome, rf_all, rf_ext,
+                       [valid_cos[a] for a in addr_list])
+
+        _rf_search(entry, stats, on_leaf)
+
+    stats.rf_assignments += n_leaves
+    stats.known_outcome_skips += known_skips
+    stats.candidates_examined += examined
+    # Each examined candidate reuses the precomputed static relations
+    # the naive path would have re-derived.
+    stats.relation_cache_hits += examined
+    stats.candidates_consistent += n_consistent
 
 
 def allowed_outcomes(

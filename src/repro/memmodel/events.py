@@ -113,11 +113,17 @@ class Event:
 
     @property
     def is_read(self) -> bool:
-        return self.kind in READ_KINDS
+        # Identity chains instead of frozenset membership: these
+        # properties run inside the enumerator's hot loops, and enum
+        # hashing dominates the set lookup at this size.
+        k = self.kind
+        return k is EventKind.LOAD or k is EventKind.ATOMIC
 
     @property
     def is_write(self) -> bool:
-        return self.kind in WRITE_KINDS
+        k = self.kind
+        return (k is EventKind.STORE or k is EventKind.ATOMIC
+                or k is EventKind.OS_STORE)
 
     @property
     def is_fence(self) -> bool:
@@ -129,7 +135,9 @@ class Event:
 
     @property
     def is_memory_access(self) -> bool:
-        return self.is_read or self.is_write
+        k = self.kind
+        return (k is EventKind.LOAD or k is EventKind.STORE
+                or k is EventKind.ATOMIC or k is EventKind.OS_STORE)
 
     def with_value(self, value: int) -> "Event":
         """Return a copy of this event carrying ``value``.

@@ -18,14 +18,132 @@ preserved program order (ppo).
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
-
-import networkx as nx
+from typing import (Dict, FrozenSet, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 from .events import Event, EventKind, FenceKind
 
 Edge = Tuple[int, int]  # (uid, uid)
+
+
+class StaticRelations:
+    """Relations derivable from the event set alone, computed once.
+
+    Every candidate execution of a program shares its program order,
+    fence-induced order, dependency edges, protocol edges, and
+    per-address read/write groupings — only ``rf``/``co`` (and their
+    derived ``fr``) vary.  The enumerator builds one
+    :class:`StaticRelations` per test and threads it through every
+    :class:`Execution`, so these sets are derived once instead of once
+    per candidate.  Per-model preserved program order is memoized via
+    :meth:`ppo` (models are stateless singletons, so the model name is
+    a sound cache key).
+
+    ``cache_hits`` counts servings of an already-computed relation —
+    the work the naive per-candidate path would have re-derived.
+    """
+
+    def __init__(self, events: Sequence[Event],
+                 extra_ppo: Iterable[Edge] = (),
+                 protocol_order: Iterable[Edge] = ()) -> None:
+        self.events: Tuple[Event, ...] = tuple(events)
+        self.by_uid: Dict[int, Event] = {e.uid: e for e in self.events}
+        self.extra_ppo: FrozenSet[Edge] = frozenset(extra_ppo)
+        self.protocol_order: FrozenSet[Edge] = frozenset(protocol_order)
+        self.cache_hits = 0
+
+        by_core: Dict[int, List[Event]] = {}
+        for e in self.events:
+            if e.core >= 0:
+                by_core.setdefault(e.core, []).append(e)
+        for evs in by_core.values():
+            evs.sort(key=lambda e: e.index)
+        self.cores: List[int] = sorted(by_core)
+        self._core_events = by_core
+
+        # uid -> addr for memory accesses; doubles as the membership
+        # test the po_loc slice needs (avoids per-pair property calls).
+        mem_addr: Dict[int, int] = {
+            e.uid: e.addr for e in self.events
+            if e.addr is not None and e.is_memory_access}
+        po: Set[Edge] = set()
+        po_loc: Set[Edge] = set()
+        for evs in by_core.values():
+            for i, a in enumerate(evs):
+                a_addr = mem_addr.get(a.uid)
+                for b in evs[i + 1:]:
+                    po.add((a.uid, b.uid))
+                    if a_addr is not None and a_addr == mem_addr.get(b.uid):
+                        po_loc.add((a.uid, b.uid))
+        self.po_edges: FrozenSet[Edge] = frozenset(po)
+        self.po_loc_edges: FrozenSet[Edge] = frozenset(po_loc)
+        self.fence_edges: FrozenSet[Edge] = frozenset(
+            self._derive_fence_edges())
+
+        # Per-address structure for rf/co search.
+        self.init_write: Dict[int, int] = {}
+        self.writes_by_addr: Dict[int, List[int]] = {}
+        self.reads_by_addr: Dict[int, List[int]] = {}
+        for e in self.events:
+            if e.addr is None or not e.is_memory_access:
+                continue
+            if e.is_write:
+                if e.core == -1:
+                    self.init_write[e.addr] = e.uid
+                else:
+                    self.writes_by_addr.setdefault(e.addr, []).append(e.uid)
+            if e.is_read:
+                self.reads_by_addr.setdefault(e.addr, []).append(e.uid)
+        self.addrs: Tuple[int, ...] = tuple(
+            sorted(set(self.init_write) | set(self.writes_by_addr)))
+
+        # po_loc partitioned per address (both endpoints share one).
+        self.po_loc_by_addr: Dict[int, List[Edge]] = {}
+        for (a, b) in self.po_loc_edges:
+            addr = self.by_uid[a].addr
+            self.po_loc_by_addr.setdefault(addr, []).append((a, b))
+
+        self._ppo_cache: Dict[str, FrozenSet[Edge]] = {}
+        self._probe: Optional["Execution"] = None
+
+    def _derive_fence_edges(self) -> Set[Edge]:
+        edges: Set[Edge] = set()
+        for evs in self._core_events.values():
+            for fi, fence in enumerate(evs):
+                if not fence.is_fence:
+                    continue
+                for a in evs[:fi]:
+                    if not a.is_memory_access:
+                        continue
+                    if not _fence_orders_before(fence.fence, a):
+                        continue
+                    for b in evs[fi + 1:]:
+                        if (b.is_memory_access
+                                and _fence_orders_after(fence.fence, b)):
+                            edges.add((a.uid, b.uid))
+        return edges
+
+    def core_events(self, core: int) -> List[Event]:
+        return self._core_events.get(core, [])
+
+    def ppo(self, model) -> FrozenSet[Edge]:
+        """The model's preserved program order, computed once per model.
+
+        ppo depends only on program order and event kinds, never on
+        ``rf``/``co``, so one probe execution suffices.
+        """
+        cached = self._ppo_cache.get(model.name)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        if self._probe is None:
+            self._probe = Execution(events=self.events, rf={}, co={},
+                                    static=self)
+        edges = frozenset(model._ppo(self._probe))
+        self._ppo_cache[model.name] = edges
+        return edges
 
 
 @dataclass
@@ -44,16 +162,29 @@ class Execution:
         protocol_order: Ordering edges contributed by the imprecise
             store exception protocol (DETECT <m PUT <m GET <m S_OS <m
             RESOLVE chains); treated as global memory-order edges.
+        static: Shared :class:`StaticRelations` for the event set.
+            When provided, the uid index and the rf/co-independent
+            relations (po, po_loc, fences) are served from it instead
+            of being re-derived per execution.
+
+    ``rf`` and ``co`` are never mutated, so candidates may share the
+    same mappings and tuple orders (the enumerator passes them through
+    without copying).
     """
 
     events: Tuple[Event, ...]
-    rf: Dict[int, int] = field(default_factory=dict)
-    co: Dict[int, List[int]] = field(default_factory=dict)
+    rf: Mapping[int, int] = field(default_factory=dict)
+    co: Mapping[int, Sequence[int]] = field(default_factory=dict)
     extra_ppo: FrozenSet[Edge] = frozenset()
     protocol_order: FrozenSet[Edge] = frozenset()
+    static: Optional[StaticRelations] = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self._by_uid = {e.uid: e for e in self.events}
+        if self.static is not None:
+            self._by_uid = self.static.by_uid
+        else:
+            self._by_uid = {e.uid: e for e in self.events}
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -90,6 +221,9 @@ class Execution:
         closure is implied by path reachability in the union graphs, so
         adjacent pairs suffice for acyclicity checks; we still emit the
         full relation because ppo filters pairs individually)."""
+        if self.static is not None:
+            self.static.cache_hits += 1
+            return self.static.po_edges
         edges: Set[Edge] = set()
         for core in self.cores:
             evs = self.core_events(core)
@@ -100,6 +234,9 @@ class Execution:
 
     def po_loc_edges(self) -> Set[Edge]:
         """Program order restricted to same-address memory accesses."""
+        if self.static is not None:
+            self.static.cache_hits += 1
+            return self.static.po_loc_edges
         return {
             (a, b)
             for (a, b) in self.po_edges()
@@ -187,6 +324,9 @@ class Execution:
         side(s) they order (e.g. a store-store fence orders earlier
         stores before later stores only).
         """
+        if self.static is not None:
+            self.static.cache_hits += 1
+            return self.static.fence_edges
         edges: Set[Edge] = set()
         for core in self.cores:
             evs = self.core_events(core)
@@ -255,58 +395,86 @@ def _fence_orders_after(kind: FenceKind, access: Event) -> bool:
 
 
 def is_acyclic(edges: Iterable[Edge]) -> bool:
-    """True iff the directed graph over the given edges has no cycle."""
-    graph = nx.DiGraph()
-    graph.add_edges_from(edges)
-    return nx.is_directed_acyclic_graph(graph)
+    """True iff the directed graph over the given edges has no cycle.
+
+    Iterative Kahn peel over plain dict adjacency — no graph-library
+    object churn on the enumerator's hot path.  Nodes may be any
+    hashable; duplicate edges are harmless (in-degrees balance).
+    """
+    adj: Dict[int, List[int]] = {}
+    indeg: Dict[int, int] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        if a not in indeg:
+            indeg[a] = 0
+        indeg[b] = indeg.get(b, 0) + 1
+    stack = [n for n, d in indeg.items() if d == 0]
+    peeled = 0
+    while stack:
+        n = stack.pop()
+        peeled += 1
+        for m in adj.get(n, ()):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                stack.append(m)
+    return peeled == len(indeg)
 
 
 def transitive_closure(edges: Iterable[Edge]) -> Set[Edge]:
-    graph = nx.DiGraph()
-    graph.add_edges_from(edges)
-    closure = nx.transitive_closure(graph)
-    return set(closure.edges())
+    """Reachability pairs of the edge set (iterative DFS per source)."""
+    adj: Dict[int, List[int]] = {}
+    nodes: Set[int] = set()
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        nodes.add(a)
+        nodes.add(b)
+    closure: Set[Edge] = set()
+    for src in nodes:
+        seen: Set[int] = set()
+        stack = list(adj.get(src, ()))
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            closure.add((src, n))
+            stack.extend(adj.get(n, ()))
+    return closure
 
 
-def candidate_rf_choices(
+def per_read_rf_options(
     events: Sequence[Event],
-) -> List[Dict[int, int]]:
-    """Enumerate every reads-from assignment for ``events``.
+) -> List[Tuple[Event, Tuple[int, ...]]]:
+    """Candidate writers per read: ``[(read, (writer_uid, ...)), ...]``.
 
     Each read may read from any write to the same address (including
-    the initial write).  The cross-product over reads yields all
-    candidates; model axioms prune the inconsistent ones.
+    the initial write).  Shared by the naive cross-product and the
+    backtracking enumerator so both validate and order options
+    identically.
     """
     writes_by_addr: Dict[int, List[Event]] = {}
     for e in events:
         if e.is_write and e.addr is not None:
             writes_by_addr.setdefault(e.addr, []).append(e)
 
-    reads = [e for e in events if e.is_read and e.addr is not None]
-    per_read_options: List[List[Tuple[int, int]]] = []
-    for r in reads:
-        options = [(r.uid, w.uid) for w in writes_by_addr.get(r.addr, [])]
+    out: List[Tuple[Event, Tuple[int, ...]]] = []
+    for r in events:
+        if not (r.is_read and r.addr is not None):
+            continue
+        options = tuple(w.uid for w in writes_by_addr.get(r.addr, ()))
         if not options:
             # A read of a never-written address still needs a source;
             # the caller must include initial writes to avoid this.
             raise ValueError(f"read {r} has no candidate writer")
-        per_read_options.append(options)
-
-    choices = []
-    for combo in itertools.product(*per_read_options):
-        choices.append(dict(combo))
-    return choices
+        out.append((r, options))
+    return out
 
 
-def candidate_co_choices(
+def per_addr_co_orders(
     events: Sequence[Event],
-) -> List[Dict[int, List[int]]]:
-    """Enumerate every coherence order.
-
-    For each address, permutations of the non-initial writes are
-    prefixed by the initial write.  The cross-product over addresses
-    yields all candidate co maps.
-    """
+) -> Dict[int, List[Tuple[int, ...]]]:
+    """All coherence orders per address: permutations of the non-initial
+    writes, each prefixed by the initial write."""
     init_by_addr: Dict[int, int] = {}
     writes_by_addr: Dict[int, List[int]] = {}
     for e in events:
@@ -317,15 +485,64 @@ def candidate_co_choices(
         else:
             writes_by_addr.setdefault(e.addr, []).append(e.uid)
 
-    addrs = sorted(set(init_by_addr) | set(writes_by_addr))
-    per_addr_orders: List[List[List[int]]] = []
-    for addr in addrs:
+    out: Dict[int, List[Tuple[int, ...]]] = {}
+    for addr in sorted(set(init_by_addr) | set(writes_by_addr)):
         rest = writes_by_addr.get(addr, [])
-        prefix = [init_by_addr[addr]] if addr in init_by_addr else []
-        orders = [prefix + list(p) for p in itertools.permutations(rest)]
-        per_addr_orders.append(orders or [[]])
-
-    out = []
-    for combo in itertools.product(*per_addr_orders):
-        out.append({addr: order for addr, order in zip(addrs, combo)})
+        prefix = ((init_by_addr[addr],) if addr in init_by_addr else ())
+        out[addr] = [prefix + p for p in itertools.permutations(rest)] \
+            or [()]
     return out
+
+
+def candidate_rf_choices(
+    events: Sequence[Event],
+) -> List[Dict[int, int]]:
+    """Enumerate every reads-from assignment for ``events``.
+
+    The cross-product over reads yields all candidates; model axioms
+    prune the inconsistent ones.  Each returned dict is freshly built
+    and never mutated downstream, so callers may pass them straight
+    into :class:`Execution` without copying.
+    """
+    per_read = per_read_rf_options(events)
+    choices = []
+    for combo in itertools.product(*(options for _, options in per_read)):
+        choices.append({r.uid: w for (r, _), w in zip(per_read, combo)})
+    return choices
+
+
+def candidate_co_choices(
+    events: Sequence[Event],
+) -> List[Dict[int, Tuple[int, ...]]]:
+    """Enumerate every coherence order.
+
+    The cross-product over addresses yields all candidate co maps;
+    orders are immutable tuples shared by every candidate that uses
+    them (no per-candidate copying).
+    """
+    per_addr = per_addr_co_orders(events)
+    addrs = list(per_addr)
+    out = []
+    for combo in itertools.product(*(per_addr[a] for a in addrs)):
+        out.append(dict(zip(addrs, combo)))
+    return out
+
+
+def count_rf_choices(events: Sequence[Event]) -> int:
+    """``len(candidate_rf_choices(events))`` without materialising it."""
+    total = 1
+    for _, options in per_read_rf_options(events):
+        total *= len(options)
+    return total
+
+
+def count_co_choices(events: Sequence[Event]) -> int:
+    """``len(candidate_co_choices(events))`` without materialising it."""
+    per_addr_writes: Dict[int, int] = {}
+    for e in events:
+        if e.is_write and e.addr is not None and e.core != -1:
+            per_addr_writes[e.addr] = per_addr_writes.get(e.addr, 0) + 1
+    total = 1
+    for n in per_addr_writes.values():
+        total *= math.factorial(n)
+    return total

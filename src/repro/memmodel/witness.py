@@ -88,17 +88,21 @@ def explain_forbidden(threads, model: MemoryModel,
     Returns a short message when the outcome is actually allowed or
     unconstructible.
     """
-    from .enumerator import build_events
-    from .relations import candidate_co_choices, candidate_rf_choices
+    from .enumerator import build_events, canonical_outcome
+    from .relations import (StaticRelations, candidate_co_choices,
+                            candidate_rf_choices)
 
-    target = tuple(sorted(outcome))
+    target = canonical_outcome(outcome)
     events = build_events(threads)
+    # One static-relation set serves every candidate; rf/co pass
+    # through unchanged (candidate generators yield fresh immutable
+    # structures, so no defensive copies are needed).
+    static = StaticRelations(events, frozenset(extra_ppo))
     for rf in candidate_rf_choices(events):
         for co in candidate_co_choices(events):
-            execution = Execution(events=events, rf=dict(rf),
-                                  co={a: list(order)
-                                      for a, order in co.items()},
-                                  extra_ppo=frozenset(extra_ppo))
+            execution = Execution(events=events, rf=rf, co=co,
+                                  extra_ppo=static.extra_ppo,
+                                  static=static)
             if execution.outcome() != target:
                 continue
             if model.allows(execution):

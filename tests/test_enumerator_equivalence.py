@@ -1,0 +1,229 @@
+"""Incremental-vs-naive enumerator equivalence (the PR's guard).
+
+The incremental strategy must produce allowed sets *bit-identical* to
+the naive cross-product for every program it can see: the full litmus
+library under all four models, imprecise-protocol programs with extra
+events and protocol edges, and randomly generated programs.  Witness
+executions must reproduce the outcome they witness.
+"""
+
+import math
+
+import pytest
+
+from repro.litmus.generator import generate_all
+from repro.memmodel import (MODELS, EnumerationStats, enumerate_executions,
+                            program)
+from repro.memmodel.enumerator import (STRATEGIES, build_events,
+                                       canonical_outcome)
+from repro.memmodel.events import FenceKind
+from repro.memmodel.imprecise import DrainPolicy, transform
+from repro.memmodel.relations import count_co_choices, count_rf_choices
+
+ALL_MODELS = [MODELS[name] for name in ("SC", "PC", "WC", "RVWMO")]
+
+
+def both_strategies(threads, model, **kwargs):
+    inc = enumerate_executions(threads, model, strategy="incremental",
+                               **kwargs)
+    naive = enumerate_executions(threads, model, strategy="naive",
+                                 **kwargs)
+    return inc, naive
+
+
+def assert_equivalent(threads, model, **kwargs):
+    inc, naive = both_strategies(threads, model, **kwargs)
+    assert inc.allowed == naive.allowed, (
+        f"{model.name}: incremental-only={inc.allowed - naive.allowed} "
+        f"naive-only={naive.allowed - inc.allowed}")
+    # Every allowed outcome carries a witness that reproduces it.
+    assert set(inc.witnesses) == inc.allowed
+    for outcome, execution in inc.witnesses.items():
+        assert execution.outcome() == outcome
+        assert model.allows(execution)
+    return inc, naive
+
+
+class TestLitmusLibrary:
+    """All 289 generated tests × all four models, bit-identical."""
+
+    @pytest.mark.parametrize("model", ALL_MODELS,
+                             ids=lambda m: m.name)
+    def test_library_equivalence(self, model):
+        for test in generate_all():
+            threads, deps = test.to_events()
+            assert_equivalent(threads, model, extra_ppo=deps)
+
+    def test_verify_strategy_smoke(self):
+        for test in generate_all()[:10]:
+            threads, deps = test.to_events()
+            for model in ALL_MODELS:
+                res = enumerate_executions(threads, model,
+                                           extra_ppo=deps,
+                                           strategy="verify")
+                assert res.stats.strategy == "incremental"
+
+    def test_unknown_strategy_rejected(self):
+        threads = [program(0, [("S", 0xA, 1)])]
+        with pytest.raises(ValueError, match="unknown strategy"):
+            enumerate_executions(threads, MODELS["SC"],
+                                 strategy="bogus")
+        assert set(STRATEGIES) == {"incremental", "naive", "verify"}
+
+
+class TestProtocolPrograms:
+    """Imprecise-exception transforms: extra events + protocol edges."""
+
+    @pytest.mark.parametrize("policy", [DrainPolicy.SPLIT_STREAM,
+                                        DrainPolicy.SAME_STREAM])
+    def test_transform_equivalence(self, policy):
+        writer = program(0, [("S", 0xA, 1), ("S", 0xB, 1)])
+        observer = program(1, [("L", 0xB), ("L", 0xA)])
+        tr = transform([writer], [writer[0].uid], policy)
+        for model in ALL_MODELS:
+            assert_equivalent(
+                tr.threads + [observer], model,
+                extra_events=tr.extra_events,
+                protocol_order=tr.protocol_order)
+
+    def test_fenced_and_atomic_program(self):
+        threads = [
+            program(0, [("S", 0xA, 1), ("F",), ("A", 0xB, 2)]),
+            program(1, [("A", 0xB, 3), ("F", FenceKind.LOAD_LOAD),
+                        ("L", 0xA)]),
+        ]
+        for model in ALL_MODELS:
+            assert_equivalent(threads, model)
+
+    def test_init_values_respected(self):
+        threads = [program(0, [("L", 0xA)]),
+                   program(1, [("S", 0xA, 7)])]
+        inc, naive = assert_equivalent(
+            threads, MODELS["SC"], init_values={0xA: 5})
+        values = {dict(o)["r0.0"] for o in inc.allowed}
+        assert values == {5, 7}
+
+
+class TestMaxCandidatesWraparound:
+    """Both strategies enforce the guard at exactly the same size."""
+
+    def make_threads(self):
+        return [
+            program(0, [("S", 0xA, 1), ("L", 0xA)]),
+            program(1, [("S", 0xA, 2), ("L", 0xA)]),
+        ]
+
+    def total(self, threads):
+        events = build_events(threads)
+        return count_rf_choices(events) * count_co_choices(events)
+
+    @pytest.mark.parametrize("strategy", ["incremental", "naive"])
+    def test_exact_limit_passes(self, strategy):
+        threads = self.make_threads()
+        total = self.total(threads)
+        res = enumerate_executions(threads, MODELS["SC"],
+                                   max_candidates=total,
+                                   strategy=strategy)
+        assert res.allowed
+
+    @pytest.mark.parametrize("strategy", ["incremental", "naive"])
+    def test_one_below_limit_raises(self, strategy):
+        threads = self.make_threads()
+        total = self.total(threads)
+        with pytest.raises(ValueError, match="exceed max_candidates"):
+            enumerate_executions(threads, MODELS["SC"],
+                                 max_candidates=total - 1,
+                                 strategy=strategy)
+
+    def test_identical_guard_messages(self):
+        threads = self.make_threads()
+        messages = {}
+        for strategy in ("incremental", "naive"):
+            with pytest.raises(ValueError) as exc:
+                enumerate_executions(threads, MODELS["SC"],
+                                     max_candidates=1,
+                                     strategy=strategy)
+            messages[strategy] = str(exc.value)
+        assert messages["incremental"] == messages["naive"]
+
+
+class TestStats:
+    def test_stats_attached_and_consistent(self):
+        threads = [program(0, [("S", 0xA, 1)]),
+                   program(1, [("L", 0xA)])]
+        inc, naive = both_strategies(threads, MODELS["SC"])
+        assert isinstance(inc.stats, EnumerationStats)
+        assert inc.stats.strategy == "incremental"
+        assert naive.stats.strategy == "naive"
+        # The naive path never prunes.
+        assert naive.stats.rf_partial_prunes == 0
+        assert naive.stats.addr_co_prunes == 0
+        assert naive.stats.candidates_examined == \
+            self_product_size(threads)
+        # The incremental path can only examine fewer candidates.
+        assert inc.stats.candidates_examined <= \
+            naive.stats.candidates_examined
+        d = inc.stats.as_dict()
+        assert d["strategy"] == "incremental"
+        assert d["wall_time_s"] >= 0
+
+    def test_partial_prune_on_load_before_store(self):
+        # A load po-before a same-address store: reading from that
+        # later store closes a po_loc ∪ rf cycle on a *partial*
+        # assignment, which the DFS prunes before touching co.
+        threads = [
+            program(0, [("L", 0xA), ("S", 0xA, 1)]),
+            program(1, [("S", 0xA, 2), ("L", 0xA)]),
+        ]
+        inc, naive = assert_equivalent(threads, MODELS["SC"])
+        assert inc.stats.rf_partial_prunes > 0
+        assert inc.stats.candidates_examined < \
+            naive.stats.candidates_examined
+
+    def test_co_prune_on_conflicting_reads(self):
+        # Two same-address writes + interleaved reads: incoherent rf
+        # slices leave an address with no coherent co order.
+        threads = [
+            program(0, [("S", 0xA, 1), ("L", 0xA), ("L", 0xA)]),
+            program(1, [("S", 0xA, 2), ("L", 0xA)]),
+        ]
+        inc, naive = assert_equivalent(threads, MODELS["SC"])
+        assert inc.stats.addr_co_prunes > 0
+        assert inc.stats.candidates_examined < \
+            naive.stats.candidates_examined
+
+
+def self_product_size(threads):
+    events = build_events(threads)
+    return count_rf_choices(events) * count_co_choices(events)
+
+
+# ----------------------------------------------------------------------
+# Property-style randomised equivalence
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+OPS = st.one_of(
+    st.tuples(st.just("S"), st.sampled_from([0xA, 0xB]),
+              st.integers(min_value=1, max_value=3)),
+    st.tuples(st.just("L"), st.sampled_from([0xA, 0xB])),
+    st.tuples(st.just("A"), st.sampled_from([0xA, 0xB]),
+              st.integers(min_value=1, max_value=3)),
+    st.tuples(st.just("F")),
+)
+
+
+@given(st.lists(st.lists(OPS, min_size=1, max_size=3),
+                min_size=1, max_size=2),
+       st.sampled_from(["SC", "PC", "WC", "RVWMO"]))
+@settings(max_examples=60, deadline=None)
+def test_random_program_equivalence(op_lists, model_name):
+    threads = [program(core, ops)
+               for core, ops in enumerate(op_lists)]
+    if self_product_size(threads) > 50_000:
+        return  # keep the naive oracle tractable
+    inc, naive = both_strategies(threads, MODELS[model_name])
+    assert inc.allowed == naive.allowed
+    for outcome, execution in inc.witnesses.items():
+        assert canonical_outcome(execution.outcome()) == outcome
