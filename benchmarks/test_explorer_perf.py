@@ -1,0 +1,105 @@
+"""Explorer reduction: DPOR vs the naive full-interleaving oracle.
+
+Both strategies explore bit-identical outcome sets (that is asserted
+test-by-test); the benchmark measures how many complete interleavings
+each had to execute over the hand-written litmus library on the TSO
+machine.  Acceptance: DPOR runs ≥ 5× fewer interleavings than the
+exact naive enumeration (typically ~20×).  Set
+``REPRO_BENCH_RECORD=1`` to append the measurement to
+``BENCH_explorer.json`` (the cross-PR trajectory).
+
+A naive enumeration that blows the per-test state budget is counted
+at the budget floor — a *lower* bound on its interleavings — so the
+asserted ratio can only be understated, never inflated.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.explore import (ExplorationBudgetExceeded, explore,
+                           machine_for)
+from repro.litmus.library import all_library_tests
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_explorer.json"
+NAIVE_BUDGET = 200_000
+
+
+def _machines():
+    out = []
+    for test in all_library_tests():
+        threads, deps = test.to_events()
+        out.append((test.name,
+                    machine_for("PC", threads, extra_ppo=deps)))
+    return out
+
+
+def _record(entry):
+    if not os.environ.get("REPRO_BENCH_RECORD"):
+        return
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+
+def test_dpor_interleaving_reduction(benchmark):
+    machines = _machines()
+
+    naive_interleavings = 0
+    naive_capped = 0
+    naive_outcomes = {}
+    naive_started = time.perf_counter()
+    for name, machine in machines:
+        try:
+            result = explore(machine, strategy="naive",
+                             max_states=NAIVE_BUDGET,
+                             dedupe_states=False)
+            naive_interleavings += result.stats.interleavings
+            naive_outcomes[name] = frozenset(result.outcomes)
+        except ExplorationBudgetExceeded:
+            naive_capped += 1
+            naive_interleavings += NAIVE_BUDGET  # lower bound
+    naive_s = time.perf_counter() - naive_started
+
+    def dpor_sweep():
+        total = 0
+        outcomes = {}
+        for name, machine in machines:
+            result = explore(machine, strategy="dpor")
+            total += result.stats.interleavings
+            outcomes[name] = frozenset(result.outcomes)
+        return total, outcomes
+
+    dpor_started = time.perf_counter()
+    dpor_interleavings, dpor_outcomes = run_once(benchmark, dpor_sweep)
+    dpor_s = time.perf_counter() - dpor_started
+
+    for name in dpor_outcomes:
+        if name in naive_outcomes:
+            assert dpor_outcomes[name] == naive_outcomes[name], name
+
+    ratio = naive_interleavings / max(1, dpor_interleavings)
+    entry = {
+        "bench": "library-dpor-vs-naive",
+        "tests": len(machines),
+        "machine": "tso",
+        "naive_interleavings": naive_interleavings,
+        "naive_capped_tests": naive_capped,
+        "dpor_interleavings": dpor_interleavings,
+        "reduction": round(ratio, 2),
+        "naive_s": round(naive_s, 4),
+        "dpor_s": round(dpor_s, 4),
+    }
+    benchmark.extra_info.update(entry)
+    _record(entry)
+    print(f"\nnaive={naive_interleavings} interleavings "
+          f"({naive_capped} capped)  dpor={dpor_interleavings}  "
+          f"-> {ratio:.1f}x reduction over {len(machines)} tests")
+    assert ratio >= 5.0, (
+        f"DPOR only reduced interleavings {ratio:.1f}x vs naive "
+        f"(need >= 5x)")

@@ -21,9 +21,12 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v2"
-#: Still readable; v2 added the ``enumerator`` totals block, per-test
-#: ``enumerator`` stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v3"
+#: Still readable; v3 added the ``explorer`` totals block and the
+#: per-test ``explorer`` cross-check entries; v2 added the
+#: ``enumerator`` totals block, per-test ``enumerator`` stats, and
+#: ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V2 = "repro.litmus.campaign-report/v2"
 CAMPAIGN_REPORT_SCHEMA_V1 = "repro.litmus.campaign-report/v1"
 
 
@@ -117,12 +120,14 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v2`` (documented in
+    Schema ``repro.litmus.campaign-report/v3`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
-    ``None`` when a pass did not run), any negative differences, and
-    the reference enumerator's stats (``None`` for cache-served
-    tests).  The top level adds summed enumerator counters and the
+    ``None`` when a pass did not run), any negative differences, the
+    reference enumerator's stats (``None`` for cache-served tests),
+    and the operational exploration cross-check (``None`` when
+    ``config.explore`` was off).  The top level adds summed
+    enumerator counters, summed explorer counters, and the
     allowed-set cache hit rate.
     """
     results = []
@@ -145,6 +150,7 @@ def campaign_report_dict(report) -> Dict:
             "injected": passes["injected"],
             "clean": passes["clean"],
             "enumerator": v.enum_stats,
+            "explorer": v.explore_check,
         })
     lookups = report.cache_hits + report.cache_misses
     return {
@@ -160,6 +166,7 @@ def campaign_report_dict(report) -> Dict:
                   "hit_rate": (round(report.cache_hits / lookups, 4)
                                if lookups else 0.0)},
         "enumerator": report.enumerator_totals(),
+        "explorer": report.explorer_totals(),
         "totals": {
             "failures": len(report.failures),
             "imprecise_exceptions": report.total_imprecise_exceptions,
@@ -184,6 +191,7 @@ def write_campaign_report(path, report) -> Dict:
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V2,
                                      CAMPAIGN_REPORT_SCHEMA_V1):
         raise ValueError(
             f"{path}: not a campaign report "

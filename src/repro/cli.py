@@ -13,6 +13,10 @@ command     regenerates
 ``fig6``    GAP/Tailbench relative performance under injection
 ``proofs``  the executable §4 formalism (Proof 1 + Figure 2)
 ``mbench``  one microbenchmark configuration (§6.4)
+``explore`` exhaustive operational model checking (DPOR) of litmus
+            tests, incl. imprecise-machine drain-policy sweeps
+``fuzz``    random litmus mutation + divergence shrinking over the
+            operational/axiomatic pair
 ==========  ==========================================================
 """
 
@@ -40,7 +44,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         tests = tests[:40]
     config = RunConfig(model=args.model, seeds=args.seeds,
                        inject_faults=not args.no_faults,
-                       clean_pass=not args.skip_clean)
+                       clean_pass=not args.skip_clean,
+                       explore=args.explore)
     report = check_suite(tests, config, jobs=args.jobs, cache=args.cache)
     print(report.summary(explain=True))
 
@@ -58,6 +63,92 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         write_litmus_log(f"{args.save_log}.model.json", model_log)
         print(f"logs written: {args.save_log}.hw.json / .model.json")
     return 0 if report.ok else 1
+
+
+def _select_tests(names):
+    """Resolve test names against the library + generated suite; no
+    names selects the whole hand-written library."""
+    from .litmus import all_library_tests
+    from .litmus.generator import generate_all
+
+    library = all_library_tests()
+    if not names:
+        return library
+    pool = {t.name: t for t in library + generate_all()}
+    missing = [n for n in names if n not in pool]
+    if missing:
+        known = ", ".join(sorted(pool)[:12])
+        raise SystemExit(f"unknown test(s): {', '.join(missing)} "
+                         f"(known include: {known}, ...)")
+    return [pool[n] for n in names]
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import check_drain_policy, crosscheck_test
+    from .memmodel.imprecise import DrainPolicy
+
+    tests = _select_tests(args.tests)
+    ok = True
+    if args.policy:
+        policy = (DrainPolicy.SAME_STREAM if args.policy == "same"
+                  else DrainPolicy.SPLIT_STREAM)
+        for test in tests:
+            check = check_drain_policy(
+                test, policy, faulting_locs=args.fault or None,
+                strategy=args.strategy, max_states=args.max_states)
+            status = ("preserves PC+WC" if check.preserves_model else
+                      f"RACE: {len(check.violations_pc)} PC-forbidden "
+                      f"outcome(s)")
+            print(f"{test.name} [{policy.value}, faults="
+                  f"{','.join(check.faulting_locs)}]: {status} "
+                  f"({check.stats.interleavings} interleavings, "
+                  f"{check.stats.states_visited} states)")
+            for outcome, schedule in sorted(
+                    check.violation_schedules.items()):
+                print(f"  outcome {dict(outcome)}")
+                print("  schedule: " + " | ".join(schedule))
+            # A race is the *expected* finding for split-stream; only
+            # same-stream races falsify the paper's claim.
+            if policy is DrainPolicy.SAME_STREAM:
+                ok = ok and check.preserves_model
+    else:
+        for test in tests:
+            check = crosscheck_test(test, model=args.model,
+                                    strategy=args.strategy,
+                                    max_states=args.max_states)
+            rel = "==" if check.require_equality else "<="
+            verdict = "ok" if check.ok else "MISMATCH"
+            print(f"{test.name} [{check.machine}/{args.strategy}]: "
+                  f"{verdict} operational {len(check.operational)} "
+                  f"{rel} allowed {len(check.allowed)} "
+                  f"({check.stats.interleavings} interleavings, "
+                  f"{check.stats.states_visited} states, "
+                  f"{check.stats.wall_time_s:.3f}s)")
+            for outcome, schedule in sorted(
+                    check.violation_schedules.items()):
+                print(f"  forbidden outcome {dict(outcome)}")
+                print("  schedule: " + " | ".join(schedule))
+            ok = ok and check.ok
+    return 0 if ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .explore import fuzz
+    from .memmodel.imprecise import DrainPolicy
+
+    policies = []
+    if not args.no_policies:
+        policies = [DrainPolicy.SAME_STREAM, DrainPolicy.SPLIT_STREAM]
+    report = fuzz(seed=args.seed, iterations=args.iterations,
+                  models=tuple(args.model or ("SC", "PC")),
+                  policies=tuple(policies),
+                  shrink=not args.no_shrink,
+                  time_budget_s=args.time_budget,
+                  max_findings=args.max_findings)
+    print(report.summary())
+    # Split-stream policy races are the fuzzer's purpose; only a
+    # model divergence (operational != axiomatic) is a repo bug.
+    return 1 if report.model_divergences else 0
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -159,7 +250,53 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--skip-clean", action="store_true",
                         help="skip the per-test clean pass (faster, "
                              "judges only the injected run)")
+    litmus.add_argument("--explore", metavar="STRATEGY", default=None,
+                        choices=["dpor", "naive", "verify"],
+                        help="also exhaustively cross-check each test "
+                             "on the operational machine "
+                             "(repro.explore); adds an 'explorer' "
+                             "block to verdicts and the JSON report")
     litmus.set_defaults(fn=_cmd_litmus)
+
+    explore = sub.add_parser(
+        "explore", help="exhaustively model-check litmus tests")
+    explore.add_argument("tests", nargs="*", metavar="TEST",
+                         help="test names (default: the whole "
+                              "hand-written library)")
+    explore.add_argument("--model", default="PC",
+                         choices=["SC", "TSO", "PC", "WC", "RVWMO"])
+    explore.add_argument("--strategy", default="dpor",
+                         choices=["dpor", "naive", "verify"])
+    explore.add_argument("--max-states", type=int, default=500_000,
+                         help="exploration budget per test")
+    explore.add_argument("--policy", default=None,
+                         choices=["same", "split"],
+                         help="explore the imprecise machine under "
+                              "this FSB drain policy instead of the "
+                              "clean machine")
+    explore.add_argument("--fault", action="append", metavar="LOC",
+                         help="faulting location for --policy "
+                              "(repeatable; default: all locations)")
+    explore.set_defaults(fn=_cmd_explore)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz the operational/axiomatic pair")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iterations", type=int, default=50,
+                      help="mutants to generate (default 50)")
+    fuzz.add_argument("--model", action="append",
+                      choices=["SC", "PC", "WC"], default=None,
+                      help="models to conformance-check (repeatable; "
+                           "default SC and PC)")
+    fuzz.add_argument("--no-policies", action="store_true",
+                      help="skip the imprecise drain-policy sweep")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report findings without delta-debugging")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop mutating after this much wall time")
+    fuzz.add_argument("--max-findings", type=int, default=10)
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     table3 = sub.add_parser("table3", help="regenerate Table 3")
     table3.add_argument("--cores", type=int, default=4)

@@ -1,0 +1,56 @@
+"""Stateless model checking over operational memory-model machines.
+
+The subsystem has three layers:
+
+* :mod:`~repro.explore.machines` — pluggable operational machines
+  (SC, TSO/PC, WC, and the imprecise-exception machine with FSB
+  drain policies) exposing enabled transitions with DPOR metadata;
+* :mod:`~repro.explore.engine` — exhaustive exploration with dynamic
+  partial-order reduction and sleep sets, a naive full-interleaving
+  oracle, ``strategy="verify"``, and litmus-level cross-checks
+  against the axiomatic enumerator;
+* :mod:`~repro.explore.fuzz` / :mod:`~repro.explore.shrink` — a
+  mutation fuzzer diffing operational vs axiomatic outcome sets and
+  a ddmin shrinker producing minimal counterexample programs with
+  replayable schedule traces.
+"""
+
+from ..memmodel.operational import ExplorationBudgetExceeded
+from .engine import (
+    DEFAULT_MAX_STATES,
+    STRATEGIES,
+    ExplorationCheck,
+    ExplorationResult,
+    ExplorationStats,
+    PolicyCheck,
+    check_drain_policy,
+    crosscheck_test,
+    explore,
+    sample_schedules,
+)
+from .fuzz import Finding, FuzzReport, fuzz, mutate
+from .machines import (
+    MACHINES,
+    ImpreciseMachine,
+    Machine,
+    SCMachine,
+    TSOMachine,
+    Transition,
+    WCMachine,
+    independent,
+    machine_for,
+)
+from .shrink import ShrinkResult, rebuild_test, sanitise_threads, shrink_test
+
+__all__ = [
+    "DEFAULT_MAX_STATES", "STRATEGIES",
+    "ExplorationBudgetExceeded", "ExplorationCheck",
+    "ExplorationResult", "ExplorationStats", "PolicyCheck",
+    "check_drain_policy", "crosscheck_test", "explore",
+    "sample_schedules",
+    "Finding", "FuzzReport", "fuzz", "mutate",
+    "MACHINES", "ImpreciseMachine", "Machine", "SCMachine",
+    "TSOMachine", "Transition", "WCMachine", "independent",
+    "machine_for",
+    "ShrinkResult", "rebuild_test", "sanitise_threads", "shrink_test",
+]

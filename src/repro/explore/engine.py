@@ -1,0 +1,492 @@
+"""Stateless exploration engine: DPOR + sleep sets over the pluggable
+machines of :mod:`repro.explore.machines`.
+
+Three strategies, mirroring the axiomatic enumerator's contract:
+
+* ``"dpor"`` (default) — stateless depth-first search with
+  persistent/backtrack sets in the style of Flanagan-Godefroid
+  dynamic partial-order reduction, plus sleep sets.  When a newly
+  scheduled transition is *dependent* (see
+  :func:`repro.explore.machines.independent`) on an earlier one from
+  a different core, the engine adds the later transition's group as a
+  backtrack point at the earlier frame — conservatively at **every**
+  dependent earlier frame, not just the last race, which keeps the
+  reduction sound without a happens-before vector-clock layer.  Sleep
+  sets prune sibling schedules already covered by an earlier subtree.
+  The engine never hashes states in this mode (DPOR + naive state
+  caching is unsound: a cached state does not remember which
+  backtrack obligations were pending when it was first reached).
+* ``"naive"`` — enumerate schedules with no reduction: the oracle.
+  ``dedupe_states=True`` turns it into a state-hashed graph search
+  (same outcome set and witnesses, far fewer visits);
+  ``dedupe_states=False`` enumerates every complete interleaving,
+  which is what the DPOR benchmark measures against.
+* ``"verify"`` — run both and raise :class:`AssertionError` on any
+  outcome-set divergence, returning the DPOR result.
+
+Soundness invariant the backtracking relies on (established in
+:mod:`repro.explore.machines`): enabledness is group-local — no
+transition can enable or disable a transition of another group — so
+every transition enabled now stays enabled until its own group moves,
+and adding the racing group's currently-enabled transitions at the
+earlier frame suffices to reorder any discovered race.
+
+Budget: every strategy counts visited search nodes against
+``max_states`` and raises the typed
+:class:`~repro.memmodel.operational.ExplorationBudgetExceeded` from
+the operational layer when exceeded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
+
+from ..memmodel.enumerator import allowed_outcomes
+from ..memmodel.events import Event
+from ..memmodel.imprecise import DrainPolicy
+from ..memmodel.operational import ExplorationBudgetExceeded
+from .machines import Machine, Outcome, Transition, independent, machine_for
+
+STRATEGIES = ("dpor", "naive", "verify")
+
+DEFAULT_MAX_STATES = 500_000
+
+Schedule = Tuple[str, ...]
+
+
+@dataclass
+class ExplorationStats:
+    """Search-effort counters, ``as_dict``-serialisable like the
+    enumerator's ``EnumerationStats``."""
+
+    strategy: str = "dpor"
+    states_visited: int = 0
+    transitions_executed: int = 0
+    interleavings: int = 0
+    sleep_set_blocks: int = 0
+    races_detected: int = 0
+    max_depth: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "states_visited": self.states_visited,
+            "transitions_executed": self.transitions_executed,
+            "interleavings": self.interleavings,
+            "sleep_set_blocks": self.sleep_set_blocks,
+            "races_detected": self.races_detected,
+            "max_depth": self.max_depth,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+    def merge(self, other: "ExplorationStats") -> None:
+        self.states_visited += other.states_visited
+        self.transitions_executed += other.transitions_executed
+        self.interleavings += other.interleavings
+        self.sleep_set_blocks += other.sleep_set_blocks
+        self.races_detected += other.races_detected
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.wall_time_s += other.wall_time_s
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome set of an exhaustive exploration, with one witnessing
+    schedule per outcome."""
+
+    machine: str
+    model_name: str
+    outcomes: Set[Outcome]
+    schedules: Dict[Outcome, Schedule]
+    stats: ExplorationStats
+
+    def violations(self, allowed: Set[Outcome]) -> Dict[Outcome, Schedule]:
+        """Explored outcomes outside ``allowed``, with witnesses."""
+        return {o: self.schedules[o]
+                for o in sorted(self.outcomes - set(allowed))}
+
+
+def explore(machine: Machine,
+            strategy: str = "dpor",
+            max_states: int = DEFAULT_MAX_STATES,
+            dedupe_states: bool = True) -> ExplorationResult:
+    """Exhaustively explore ``machine`` and return its outcome set.
+
+    ``dedupe_states`` only affects the naive strategy (see module
+    docstring).  Raises :class:`ExplorationBudgetExceeded` when more
+    than ``max_states`` search nodes are visited, and
+    :class:`AssertionError` from ``strategy="verify"`` on divergence.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"choose from {STRATEGIES}")
+    if strategy == "verify":
+        dpor = explore(machine, "dpor", max_states)
+        naive = explore(machine, "naive", max_states,
+                        dedupe_states=dedupe_states)
+        if dpor.outcomes != naive.outcomes:
+            only_dpor = sorted(dpor.outcomes - naive.outcomes)
+            only_naive = sorted(naive.outcomes - dpor.outcomes)
+            raise AssertionError(
+                f"strategy divergence on machine {machine.name}: "
+                f"dpor-only={only_dpor} naive-only={only_naive}")
+        dpor.stats.strategy = "verify"
+        return dpor
+
+    stats = ExplorationStats(strategy=strategy)
+    outcomes: Set[Outcome] = set()
+    schedules: Dict[Outcome, Schedule] = {}
+
+    def record(outcome: Outcome, schedule: Schedule) -> None:
+        stats.interleavings += 1
+        if outcome not in outcomes:
+            outcomes.add(outcome)
+            schedules[outcome] = schedule
+
+    started = time.perf_counter()
+    if strategy == "dpor":
+        _explore_dpor(machine, stats, record, max_states)
+    else:
+        _explore_naive(machine, stats, record, max_states, dedupe_states)
+    stats.wall_time_s = time.perf_counter() - started
+    return ExplorationResult(machine=machine.name,
+                             model_name=machine.model_name,
+                             outcomes=outcomes, schedules=schedules,
+                             stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Naive strategy (the oracle)
+# ----------------------------------------------------------------------
+def _explore_naive(machine: Machine, stats: ExplorationStats,
+                   record, max_states: int, dedupe_states: bool) -> None:
+    seen: Set = set()
+    labels: List[str] = []
+
+    def visit(state) -> None:
+        if dedupe_states:
+            if state in seen:
+                return
+            seen.add(state)
+        stats.states_visited += 1
+        if stats.states_visited > max_states:
+            raise ExplorationBudgetExceeded(
+                f"exploration exceeded max_states={max_states}; "
+                f"shrink the program or raise the budget")
+        depth = len(labels)
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        succs = machine.successors(state)
+        if not succs:
+            if not machine.is_final(state):
+                raise RuntimeError(
+                    f"machine {machine.name} deadlocked (non-final "
+                    f"state with no enabled transition)")
+            record(machine.outcome(state), tuple(labels))
+            return
+        for transition, next_state in succs:
+            stats.transitions_executed += 1
+            labels.append(transition.label)
+            visit(next_state)
+            labels.pop()
+
+    visit(machine.initial_state())
+
+
+# ----------------------------------------------------------------------
+# DPOR strategy
+# ----------------------------------------------------------------------
+def _explore_dpor(machine: Machine, stats: ExplorationStats,
+                  record, max_states: int) -> None:
+    # Per-depth frame: (successor list, backtrack keys, sleep set).
+    frames: List[Tuple[list, Set, Dict]] = []
+    trace: List[Transition] = []
+    labels: List[str] = []
+
+    def visit(state, sleep: Dict) -> None:
+        stats.states_visited += 1
+        if stats.states_visited > max_states:
+            raise ExplorationBudgetExceeded(
+                f"exploration exceeded max_states={max_states}; "
+                f"shrink the program or raise the budget")
+        depth = len(trace)
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        succs = machine.successors(state)
+        if not succs:
+            if not machine.is_final(state):
+                raise RuntimeError(
+                    f"machine {machine.name} deadlocked (non-final "
+                    f"state with no enabled transition)")
+            record(machine.outcome(state), tuple(labels))
+            return
+        by_key = {t.key: (t, ns) for t, ns in succs}
+        available = [t for t, _ in succs if t.key not in sleep]
+        if not available:
+            # Every enabled move is covered by an earlier sibling
+            # subtree; this whole branch is redundant.
+            stats.sleep_set_blocks += 1
+            return
+        backtrack: Set = {available[0].key}
+        done: Dict = {}
+        frames.append((succs, backtrack, sleep))
+        while True:
+            key = next((k for k in backtrack
+                        if k not in done and k not in sleep), None)
+            if key is None:
+                break
+            transition, next_state = by_key[key]
+            done[key] = transition
+            # Intra-group nondeterminism (a core's drain vs its next
+            # instruction) is real branching, not schedule choice:
+            # same-group siblings are dependent by definition and
+            # classic DPOR's race scan never sees them (it assumes
+            # deterministic processes), so enqueue them here.
+            backtrack.update(
+                t.key for t, _ in succs
+                if t.group == transition.group and t.key not in sleep)
+            # Race detection against the whole schedule prefix:
+            # conservatively add a backtrack point at *every* frame
+            # whose transition is dependent on this one (no
+            # happens-before pruning — sound, slightly redundant).
+            for i, earlier in enumerate(trace):
+                if earlier.group == transition.group:
+                    continue
+                if independent(earlier, transition):
+                    continue
+                stats.races_detected += 1
+                frame_succs, frame_backtrack, frame_sleep = frames[i]
+                alternatives = [t.key for t, _ in frame_succs
+                                if t.group == transition.group
+                                and t.key not in frame_sleep]
+                if not alternatives:
+                    # The racing group has nothing *awake* enabled at
+                    # that frame (nothing enabled, or its only moves
+                    # are asleep, i.e. covered by sibling subtrees
+                    # that may not contain this race's reversal):
+                    # fall back to "try every awake move" (Flanagan-
+                    # Godefroid's conservative branch).
+                    alternatives = [t.key for t, _ in frame_succs
+                                    if t.key not in frame_sleep]
+                frame_backtrack.update(alternatives)
+            # Sleep-set inheritance: moves independent of the chosen
+            # transition stay asleep; explored siblings go to sleep in
+            # the child if independent of it.
+            child_sleep = {k: t for k, t in sleep.items()
+                           if independent(t, transition)}
+            for k, t in done.items():
+                if k != key and independent(t, transition):
+                    child_sleep[k] = t
+            stats.transitions_executed += 1
+            trace.append(transition)
+            labels.append(transition.label)
+            visit(next_state, child_sleep)
+            labels.pop()
+            trace.pop()
+        frames.pop()
+
+    visit(machine.initial_state(), {})
+
+
+# ----------------------------------------------------------------------
+# Random schedule sampling (used by the fuzzer on oversized mutants)
+# ----------------------------------------------------------------------
+def sample_schedules(machine: Machine, rng, n_schedules: int,
+                     max_steps: int = 10_000,
+                     stats: Optional[ExplorationStats] = None
+                     ) -> Tuple[Set[Outcome], Dict[Outcome, Schedule]]:
+    """Run ``n_schedules`` uniformly random complete schedules.
+
+    Under-approximates :func:`explore` (observed ⊆ explored) but
+    never exceeds a linear budget per schedule — the fuzzer's
+    fallback when a mutant blows the exhaustive state budget.
+    """
+    outcomes: Set[Outcome] = set()
+    schedules: Dict[Outcome, Schedule] = {}
+    for _ in range(n_schedules):
+        state = machine.initial_state()
+        labels: List[str] = []
+        for _ in range(max_steps):
+            succs = machine.successors(state)
+            if not succs:
+                break
+            transition, state = succs[rng.randrange(len(succs))]
+            labels.append(transition.label)
+            if stats is not None:
+                stats.transitions_executed += 1
+        if machine.is_final(state):
+            if stats is not None:
+                stats.interleavings += 1
+            outcome = machine.outcome(state)
+            if outcome not in outcomes:
+                outcomes.add(outcome)
+                schedules[outcome] = tuple(labels)
+    return outcomes, schedules
+
+
+# ----------------------------------------------------------------------
+# Litmus-level conveniences: cross-checks against the axiomatic layer
+# ----------------------------------------------------------------------
+@dataclass
+class ExplorationCheck:
+    """Operational-vs-axiomatic comparison for one litmus test.
+
+    ``require_equality`` is set for exact machines (SC, TSO): the
+    explored outcome set must be *bit-identical* to the axiomatic
+    allowed set.  For the conservative WC machine only soundness
+    (explored ⊆ allowed) is required.
+    """
+
+    test_name: str
+    machine: str
+    model_name: str
+    strategy: str
+    require_equality: bool
+    operational: Set[Outcome]
+    allowed: Set[Outcome]
+    stats: ExplorationStats
+    violation_schedules: Dict[Outcome, Schedule] = field(
+        default_factory=dict)
+
+    @property
+    def violations(self) -> Set[Outcome]:
+        """Explored but axiomatically forbidden — always a bug."""
+        return self.operational - self.allowed
+
+    @property
+    def missing(self) -> Set[Outcome]:
+        """Allowed but never explored — a bug for exact machines."""
+        return self.allowed - self.operational
+
+    @property
+    def ok(self) -> bool:
+        if self.violations:
+            return False
+        return not (self.require_equality and self.missing)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test_name,
+            "machine": self.machine,
+            "model": self.model_name,
+            "strategy": self.strategy,
+            "require_equality": self.require_equality,
+            "ok": self.ok,
+            "operational_outcomes": len(self.operational),
+            "allowed_outcomes": len(self.allowed),
+            "violations": sorted(
+                [list(pair) for pair in outcome]
+                for outcome in self.violations),
+            "missing": sorted(
+                [list(pair) for pair in outcome]
+                for outcome in self.missing),
+            "stats": self.stats.as_dict(),
+        }
+
+
+def crosscheck_test(test, model: str = "PC",
+                    strategy: str = "dpor",
+                    max_states: int = DEFAULT_MAX_STATES,
+                    allowed: Optional[Set[Outcome]] = None
+                    ) -> ExplorationCheck:
+    """Explore ``test`` on the operational machine for ``model`` and
+    compare against the axiomatic allowed set.
+
+    ``test`` is a :class:`repro.litmus.dsl.LitmusTest`; ``model`` is
+    an engine model name (``SC`` / ``PC`` / ``WC``, aliases ``TSO`` /
+    ``RVWMO``).  Pass ``allowed`` to skip re-enumeration (campaign
+    cache integration).
+    """
+    threads, deps = test.to_events()
+    machine = machine_for(model, threads, extra_ppo=deps)
+    result = explore(machine, strategy=strategy, max_states=max_states)
+    if allowed is None:
+        from ..memmodel.axioms import get_model
+        allowed = allowed_outcomes(threads, get_model(machine.model_name),
+                                   extra_ppo=deps)
+    check = ExplorationCheck(
+        test_name=test.name, machine=machine.name,
+        model_name=machine.model_name, strategy=result.stats.strategy,
+        require_equality=machine.exact,
+        operational=set(result.outcomes), allowed=set(allowed),
+        stats=result.stats)
+    check.violation_schedules = {
+        o: result.schedules[o] for o in check.violations}
+    return check
+
+
+@dataclass
+class PolicyCheck:
+    """Drain-policy exploration of one litmus test: the imprecise
+    machine's explored outcomes vs the clean program's allowed sets.
+
+    ``violations_pc`` are explored outcomes forbidden by PC on the
+    fault-free program — the Figure 2a class of races.  ``violations_wc``
+    is the same against WC (PC-allowed ⊆ WC-allowed on these
+    programs, so this set is always a subset of ``violations_pc``;
+    reported separately because the paper claims same-stream
+    preserves *both*).
+    """
+
+    test_name: str
+    policy: str
+    faulting_locs: Tuple[str, ...]
+    outcomes: Set[Outcome]
+    allowed_pc: Set[Outcome]
+    allowed_wc: Set[Outcome]
+    violation_schedules: Dict[Outcome, Schedule]
+    stats: ExplorationStats
+
+    @property
+    def violations_pc(self) -> Set[Outcome]:
+        return self.outcomes - self.allowed_pc
+
+    @property
+    def violations_wc(self) -> Set[Outcome]:
+        return self.outcomes - self.allowed_wc
+
+    @property
+    def preserves_model(self) -> bool:
+        return not self.violations_pc and not self.violations_wc
+
+
+def check_drain_policy(test, policy: DrainPolicy,
+                       faulting_locs: Optional[Iterable[str]] = None,
+                       strategy: str = "dpor",
+                       max_states: int = DEFAULT_MAX_STATES
+                       ) -> PolicyCheck:
+    """Exhaustively explore ``test`` on the imprecise machine with
+    stores to ``faulting_locs`` faulting (default: every location),
+    under ``policy``, and compare against the *clean* program's
+    PC- and WC-allowed sets.
+
+    This is the operational form of the paper's §4.5-4.6 claim:
+    same-stream must produce an empty ``violations_pc`` /
+    ``violations_wc`` on every test; split-stream is expected to
+    populate them on message-passing shapes (Figure 2a).
+    """
+    from ..memmodel.axioms import get_model
+    if faulting_locs is None:
+        locs = tuple(test.locations)
+    else:
+        locs = tuple(faulting_locs)
+    faulting = frozenset(test.location_addr(loc) for loc in locs)
+    threads, deps = test.to_events()
+    machine = machine_for("PC", threads, extra_ppo=deps,
+                          faulting=faulting, policy=policy)
+    result = explore(machine, strategy=strategy, max_states=max_states)
+    allowed_pc = allowed_outcomes(threads, get_model("PC"),
+                                  extra_ppo=deps)
+    allowed_wc = allowed_outcomes(threads, get_model("WC"),
+                                  extra_ppo=deps)
+    bad = result.outcomes - allowed_pc
+    return PolicyCheck(
+        test_name=test.name, policy=policy.value, faulting_locs=locs,
+        outcomes=set(result.outcomes), allowed_pc=set(allowed_pc),
+        allowed_wc=set(allowed_wc),
+        violation_schedules={o: result.schedules[o] for o in bad},
+        stats=result.stats)

@@ -1,0 +1,323 @@
+"""Random-schedule fuzzer over mutated litmus programs.
+
+Each iteration mutates a litmus test drawn from
+:func:`repro.litmus.generator.generate_all` (plus the curated
+library), then checks two things:
+
+* **model conformance** — the operational machine's explored outcome
+  set vs the axiomatic allowed set for SC and TSO (bit-equality
+  expected; any divergence is an engine or model bug and the
+  finding of last resort);
+* **drain-policy races** — the imprecise machine under each
+  requested policy with a single faulting location at a time, vs the
+  clean program's PC-allowed set (split-stream findings are the
+  Figure 2a class the subsystem exists to surface).
+
+Exploration is exhaustive (DPOR) while the mutant fits the state
+budget; oversized mutants fall back to random schedule sampling
+(:func:`repro.explore.engine.sample_schedules` — observed ⊆
+explored, so sampled findings are still sound witnesses).  Every
+finding is shrunk with :func:`repro.explore.shrink.shrink_test` to a
+minimal program plus replayable schedule trace.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..litmus.dsl import FenceKind, LitmusTest
+from ..memmodel.imprecise import DrainPolicy
+from ..memmodel.operational import ExplorationBudgetExceeded
+from .engine import (ExplorationStats, check_drain_policy,
+                     crosscheck_test, sample_schedules)
+from .machines import Outcome, machine_for
+from .shrink import ShrinkResult, rebuild_test, sanitise_threads, shrink_test
+
+DEFAULT_LOCATIONS = ("x", "y", "z")
+DEFAULT_FENCES = (FenceKind.FULL, FenceKind.STORE_STORE,
+                  FenceKind.LOAD_LOAD, FenceKind.STORE_LOAD,
+                  FenceKind.LOAD_STORE)
+MAX_THREADS = 3
+MAX_OPS = 4
+#: Exhaustive-exploration budget per mutant before falling back to
+#: random schedule sampling.
+FUZZ_MAX_STATES = 60_000
+FUZZ_SAMPLES = 200
+
+
+@dataclass
+class Finding:
+    """One divergence the fuzzer surfaced (already shrunk if possible)."""
+
+    kind: str  # "model-divergence" | "policy-race"
+    test: LitmusTest
+    model: str
+    policy: Optional[str]
+    faulting_locs: Tuple[str, ...]
+    outcome: Outcome
+    schedule: Tuple[str, ...]
+    shrunk: Optional[ShrinkResult] = None
+
+    def describe(self) -> str:
+        where = self.model if self.policy is None else \
+            f"{self.model}/{self.policy} faults={list(self.faulting_locs)}"
+        lines = [f"[{self.kind}] {self.test.name} under {where}",
+                 f"  outcome: {dict(self.outcome)}"]
+        if self.shrunk is not None:
+            lines.append("  shrunk:")
+            lines.extend("  " + line
+                         for line in self.shrunk.describe().splitlines())
+        else:
+            lines.append("  schedule: " + " | ".join(self.schedule))
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzzing run."""
+
+    seed: int
+    iterations: int
+    policies: Tuple[str, ...]
+    models: Tuple[str, ...]
+    findings: List[Finding] = field(default_factory=list)
+    mutants_explored: int = 0
+    mutants_sampled: int = 0
+    wall_time_s: float = 0.0
+    stats: ExplorationStats = field(
+        default_factory=lambda: ExplorationStats(strategy="fuzz"))
+
+    @property
+    def model_divergences(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "model-divergence"]
+
+    @property
+    def policy_races(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "policy-race"]
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed={self.seed}: {self.iterations} mutants "
+            f"({self.mutants_explored} exhaustive, "
+            f"{self.mutants_sampled} sampled) in {self.wall_time_s:.1f}s",
+            f"  model divergences: {len(self.model_divergences)} "
+            f"(engine bugs — expect 0)",
+            f"  drain-policy races: {len(self.policy_races)}",
+        ]
+        for finding in self.findings:
+            lines.append(finding.describe())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Mutation
+# ----------------------------------------------------------------------
+def _random_op(rng: random.Random, locations: Sequence[str]) -> tuple:
+    roll = rng.random()
+    loc = rng.choice(list(locations))
+    if roll < 0.45:
+        return ("W", loc, rng.randint(1, 2))
+    if roll < 0.85:
+        return ("R", loc, "rX")  # renamed by sanitise_threads
+    if roll < 0.93:
+        return ("F", rng.choice(DEFAULT_FENCES))
+    return ("A", loc, rng.randint(1, 2), "rX")
+
+
+def mutate(test: LitmusTest, rng: random.Random,
+           locations: Sequence[str] = DEFAULT_LOCATIONS) -> LitmusTest:
+    """One random structural mutation, re-sanitised and size-capped."""
+    threads = [list(ops) for ops in test.threads]
+    mutation = rng.randrange(6)
+    tid = rng.randrange(len(threads))
+    ops = threads[tid]
+    if mutation == 0 and ops:  # drop an op
+        ops.pop(rng.randrange(len(ops)))
+    elif mutation == 1 and len(ops) < MAX_OPS:  # insert an op
+        ops.insert(rng.randint(0, len(ops)), _random_op(rng, locations))
+    elif mutation == 2 and len(ops) >= 2:  # swap adjacent ops
+        i = rng.randrange(len(ops) - 1)
+        ops[i], ops[i + 1] = ops[i + 1], ops[i]
+    elif mutation == 3 and ops:  # retarget an op's location
+        i = rng.randrange(len(ops))
+        op = ops[i]
+        if op[0] != "F":
+            ops[i] = (op[0], rng.choice(list(locations))) + op[2:]
+    elif mutation == 4 and ops:  # tweak a store's value
+        stores = [i for i, op in enumerate(ops)
+                  if op[0] in ("W", "Waddr", "Wdata", "Wctrl")]
+        if stores:
+            i = rng.choice(stores)
+            op = ops[i]
+            ops[i] = (op[0], op[1], rng.randint(1, 3)) + op[3:]
+    elif len(threads) < MAX_THREADS and rng.random() < 0.5:  # new thread
+        threads.append([_random_op(rng, locations)])
+    elif ops:  # fence flip: toggle a fence in/out
+        fences = [i for i, op in enumerate(ops) if op[0] == "F"]
+        if fences:
+            ops.pop(rng.choice(fences))
+        elif len(ops) < MAX_OPS:
+            ops.insert(rng.randint(0, len(ops)),
+                       ("F", rng.choice(DEFAULT_FENCES)))
+    threads = [ops[:MAX_OPS] for ops in threads if ops][:MAX_THREADS]
+    if not threads:
+        threads = [[("W", locations[0], 1)]]
+    return LitmusTest(name=f"{test.name}~mut", category=test.category,
+                      threads=sanitise_threads(threads))
+
+
+# ----------------------------------------------------------------------
+# Divergence checks
+# ----------------------------------------------------------------------
+def _explored_outcomes(test: LitmusTest, model: str,
+                       faulting_locs: Tuple[str, ...],
+                       policy: Optional[DrainPolicy],
+                       rng: random.Random,
+                       report: Optional[FuzzReport]):
+    """(outcomes, schedules, exhaustive?) with sampling fallback."""
+    threads, deps = test.to_events()
+    faulting = frozenset(test.location_addr(loc) for loc in faulting_locs
+                         if loc in test.locations)
+    machine = machine_for(model, threads, extra_ppo=deps,
+                          faulting=faulting, policy=policy)
+    try:
+        from .engine import explore
+        result = explore(machine, strategy="dpor",
+                         max_states=FUZZ_MAX_STATES)
+        if report is not None:
+            report.stats.merge(result.stats)
+            report.mutants_explored += 1
+        return result.outcomes, result.schedules, True
+    except ExplorationBudgetExceeded:
+        if report is not None:
+            report.mutants_sampled += 1
+        outcomes, schedules = sample_schedules(
+            machine, rng, FUZZ_SAMPLES,
+            stats=report.stats if report is not None else None)
+        return outcomes, schedules, False
+
+
+def _allowed(test: LitmusTest, model_name: str) -> Set[Outcome]:
+    from ..memmodel.axioms import get_model
+    from ..memmodel.enumerator import allowed_outcomes
+    threads, deps = test.to_events()
+    return allowed_outcomes(threads, get_model(model_name),
+                            extra_ppo=deps)
+
+
+def _shrink_finding(finding: Finding, policy: Optional[DrainPolicy],
+                    rng: random.Random) -> None:
+    reference = {"SC": "SC", "PC": "PC", "WC": "RVWMO"}[finding.model]
+
+    def predicate(candidate: LitmusTest):
+        try:
+            if policy is None:
+                outcomes, schedules, exhaustive = _explored_outcomes(
+                    candidate, finding.model, (), None, rng, None)
+                allowed = _allowed(candidate, reference)
+                bad = outcomes - allowed
+                missing = allowed - outcomes if exhaustive else set()
+                if bad:
+                    pick = sorted(bad)[0]
+                    return pick, schedules[pick]
+                if missing and finding.model in ("SC", "PC"):
+                    return sorted(missing)[0], ()
+                return None
+            check = check_drain_policy(
+                candidate, policy, faulting_locs=[
+                    loc for loc in finding.faulting_locs
+                    if loc in candidate.locations],
+                max_states=FUZZ_MAX_STATES)
+            if check.violations_pc:
+                pick = sorted(check.violations_pc)[0]
+                return pick, check.violation_schedules[pick]
+            return None
+        except ExplorationBudgetExceeded:
+            return None
+
+    finding.shrunk = shrink_test(finding.test, predicate)
+
+
+def fuzz(seed: int = 0,
+         iterations: int = 50,
+         models: Sequence[str] = ("SC", "PC"),
+         policies: Sequence[DrainPolicy] = (DrainPolicy.SAME_STREAM,
+                                            DrainPolicy.SPLIT_STREAM),
+         base_tests: Optional[Sequence[LitmusTest]] = None,
+         shrink: bool = True,
+         time_budget_s: Optional[float] = None,
+         max_findings: int = 10) -> FuzzReport:
+    """Run the mutation fuzzer; see the module docstring.
+
+    Deterministic for a fixed ``seed`` and test corpus (unless
+    ``time_budget_s`` cuts it short).  Stops early after
+    ``max_findings`` findings.
+    """
+    rng = random.Random(seed)
+    if base_tests is None:
+        from ..litmus.generator import generate_all
+        from ..litmus.library import all_library_tests
+        base_tests = all_library_tests() + generate_all()
+    base_tests = list(base_tests)
+    report = FuzzReport(seed=seed, iterations=0,
+                        policies=tuple(p.value for p in policies),
+                        models=tuple(models))
+    started = time.perf_counter()
+
+    for _ in range(iterations):
+        if time_budget_s is not None and \
+                time.perf_counter() - started > time_budget_s:
+            break
+        if len(report.findings) >= max_findings:
+            break
+        report.iterations += 1
+        mutant = mutate(rng.choice(base_tests), rng)
+        mutant = rebuild_test(mutant, mutant.threads, suffix="")
+
+        # Model conformance: operational vs axiomatic.
+        for model in models:
+            reference = {"SC": "SC", "PC": "PC", "WC": "RVWMO"}[model]
+            outcomes, schedules, exhaustive = _explored_outcomes(
+                mutant, model, (), None, rng, report)
+            allowed = _allowed(mutant, reference)
+            bad = sorted(outcomes - allowed)
+            missing = sorted(allowed - outcomes) \
+                if exhaustive and model in ("SC", "PC") else []
+            if bad or missing:
+                outcome = bad[0] if bad else missing[0]
+                finding = Finding(
+                    kind="model-divergence", test=mutant, model=model,
+                    policy=None, faulting_locs=(), outcome=outcome,
+                    schedule=schedules.get(outcome, ()))
+                if shrink:
+                    _shrink_finding(finding, None, rng)
+                report.findings.append(finding)
+
+        # Drain-policy races, one faulting location at a time.
+        for policy in policies:
+            for loc in mutant.locations:
+                try:
+                    check = check_drain_policy(
+                        mutant, policy, faulting_locs=[loc],
+                        max_states=FUZZ_MAX_STATES)
+                except ExplorationBudgetExceeded:
+                    continue
+                report.stats.merge(check.stats)
+                if not check.violations_pc:
+                    continue
+                outcome = sorted(check.violations_pc)[0]
+                finding = Finding(
+                    kind="policy-race", test=mutant, model="PC",
+                    policy=policy.value, faulting_locs=(loc,),
+                    outcome=outcome,
+                    schedule=check.violation_schedules[outcome])
+                if shrink:
+                    _shrink_finding(finding, policy, rng)
+                report.findings.append(finding)
+                break  # one race per policy per mutant is enough
+
+    report.wall_time_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,717 @@
+"""Pluggable operational machines for the stateless explorer.
+
+Each machine is a labelled transition system over hashable states:
+:meth:`Machine.successors` returns every enabled transition together
+with the state it produces, and the engine (:mod:`repro.explore.engine`)
+owns the search strategy.  This generalises the fixed-DFS machines of
+:mod:`repro.memmodel.operational` in three ways:
+
+* **Pluggable models** — SC (interleaving), TSO/PC (FIFO store
+  buffers + forwarding), and WC/RVWMO-lite (out-of-order issue with a
+  non-FIFO buffer constrained by same-address order, fences,
+  dependencies, and globally-ordered atomics).
+* **Imprecise exceptions** — :class:`ImpreciseMachine` extends the
+  TSO machine with EInject-style faulting addresses and both FSB
+  drain policies of the paper (§4.5-4.6) as *schedulable
+  transitions*: a faulting store's drain routes it to the per-core
+  FSB stream (DETECT+PUT) instead of memory, and the OS apply
+  (GET+S_OS, final apply = RESOLVE) is a separate transition the
+  scheduler can delay arbitrarily — exactly the nondeterminism the
+  split-stream race of Figure 2a lives in.
+* **Transition metadata for DPOR** — every transition carries the
+  physical core that owns it and its exact read/write footprint on
+  shared memory in the current state, from which
+  :func:`independent` derives the commutation relation the engine's
+  partial-order reduction needs.
+
+State invariant used by the engine: enabledness of a transition
+depends only on the state owned by its group (core-local pipeline,
+buffer, and FSB), never on shared-memory *values*, so a transition of
+one group can never enable or disable a transition of another.  This
+makes :func:`independent` a valid (conservative) independence
+relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple)
+
+from ..memmodel.events import Event, EventKind, FenceKind
+from ..memmodel.imprecise import DrainPolicy
+from ..memmodel.relations import Edge
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One enabled move of a machine.
+
+    Attributes:
+        group: Physical core owning the transition.  OS agents acting
+            on a core's behalf (FSB applies) share that core's group,
+            which makes intra-pipeline enabling (drain enables apply)
+            a same-group affair — see the module invariant.
+        key: Stable identity of the move across sibling states (e.g.
+            ``("step", core, pc)``): executing an *independent*
+            transition never changes which move a key denotes, which
+            is what sleep and backtrack sets require.
+        kind: ``"step"`` | ``"drain"`` | ``"route"`` | ``"apply"``.
+        reads: Shared-memory addresses whose values the move reads
+            (empty for forwarded loads — their value is core-local).
+        writes: Shared-memory addresses the move writes.
+        label: Human-readable trace element for witness schedules.
+    """
+
+    group: int
+    key: Tuple
+    kind: str
+    reads: FrozenSet[int] = _EMPTY
+    writes: FrozenSet[int] = _EMPTY
+    label: str = ""
+
+
+def independent(a: Transition, b: Transition) -> bool:
+    """Do ``a`` and ``b`` commute (and neither enables/disables the
+    other)?  Different groups plus disjoint conflict footprints."""
+    if a.group == b.group:
+        return False
+    aw, bw = a.writes, b.writes
+    if aw:
+        if aw & bw or aw & b.reads:
+            return False
+    if bw and bw & a.reads:
+        return False
+    return True
+
+
+def _tag(ev: Event) -> str:
+    return ev.tag or f"r{ev.core}.{ev.index}"
+
+
+class Machine:
+    """Base operational machine over per-core event sequences."""
+
+    #: Machine name, for reports.
+    name = "base"
+    #: Axiomatic reference model this machine is cross-checked against.
+    model_name = "SC"
+    #: Whether equality with the reference allowed set is expected
+    #: (SC/TSO) or only soundness, i.e. outcomes ⊆ allowed (the WC
+    #: machine's fence handling is deliberately conservative).
+    exact = True
+
+    def __init__(self, threads: Sequence[Sequence[Event]],
+                 init: Optional[Dict[int, int]] = None,
+                 extra_ppo: Iterable[Edge] = ()) -> None:
+        self.threads = [list(t) for t in threads]
+        self.init = dict(init or {})
+        self.extra_ppo = frozenset(extra_ppo)
+
+    # -- subclass surface ----------------------------------------------
+    def initial_state(self):
+        raise NotImplementedError
+
+    def successors(self, state) -> List[Tuple[Transition, tuple]]:
+        raise NotImplementedError
+
+    def is_final(self, state) -> bool:
+        raise NotImplementedError
+
+    def outcome(self, state) -> Outcome:
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------
+    @staticmethod
+    def _flat_outcome(regs) -> Outcome:
+        return tuple(sorted(pair for core_regs in regs for pair in core_regs))
+
+
+def _freeze(mem: Dict[int, int]) -> FrozenSet[Tuple[int, int]]:
+    return frozenset(mem.items())
+
+
+# ----------------------------------------------------------------------
+# SC: plain interleaving
+# ----------------------------------------------------------------------
+class SCMachine(Machine):
+    """One interleaving point per instruction; memory updates at once."""
+
+    name = "sc"
+    model_name = "SC"
+
+    def initial_state(self):
+        return (tuple(0 for _ in self.threads),
+                tuple(() for _ in self.threads),
+                _freeze(self.init))
+
+    def is_final(self, state) -> bool:
+        pcs = state[0]
+        return all(pc >= len(t) for pc, t in zip(pcs, self.threads))
+
+    def outcome(self, state) -> Outcome:
+        return self._flat_outcome(state[1])
+
+    def successors(self, state):
+        pcs, regs, mem_f = state
+        mem = dict(mem_f)
+        out = []
+        for tid, thread in enumerate(self.threads):
+            pc = pcs[tid]
+            if pc >= len(thread):
+                continue
+            ev = thread[pc]
+            key = ("step", tid, pc)
+            new_pcs = tuple(p + 1 if i == tid else p
+                            for i, p in enumerate(pcs))
+            if ev.kind is EventKind.STORE:
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                t = Transition(tid, key, "step",
+                               writes=frozenset((ev.addr,)),
+                               label=f"C{tid}: S(0x{ev.addr:x},{ev.value})")
+                out.append((t, (new_pcs, regs, _freeze(new_mem))))
+            elif ev.kind is EventKind.LOAD:
+                value = mem.get(ev.addr, 0)
+                new_regs = tuple(
+                    r + ((_tag(ev), value),) if i == tid else r
+                    for i, r in enumerate(regs))
+                t = Transition(tid, key, "step",
+                               reads=frozenset((ev.addr,)),
+                               label=f"C{tid}: L(0x{ev.addr:x})={value}")
+                out.append((t, (new_pcs, new_regs, mem_f)))
+            elif ev.kind is EventKind.ATOMIC:
+                old = mem.get(ev.addr, 0)
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                new_regs = tuple(
+                    r + ((_tag(ev), old),) if i == tid else r
+                    for i, r in enumerate(regs))
+                t = Transition(tid, key, "step",
+                               reads=frozenset((ev.addr,)),
+                               writes=frozenset((ev.addr,)),
+                               label=f"C{tid}: A(0x{ev.addr:x},{ev.value})")
+                out.append((t, (new_pcs, new_regs, _freeze(new_mem))))
+            else:  # fences are no-ops under SC
+                t = Transition(tid, key, "step", label=f"C{tid}: F")
+                out.append((t, (new_pcs, regs, mem_f)))
+        return out
+
+
+# ----------------------------------------------------------------------
+# TSO: FIFO store buffers, forwarding, drains as transitions
+# ----------------------------------------------------------------------
+class TSOMachine(Machine):
+    """The classic TSO machine with drains exposed to the scheduler.
+
+    State: ``(pcs, regs, buffers, mem, drained)`` where ``drained``
+    holds per-core drain counters that give drain transitions stable
+    keys.
+    """
+
+    name = "tso"
+    model_name = "PC"
+
+    def initial_state(self):
+        n = len(self.threads)
+        return (tuple(0 for _ in range(n)), tuple(() for _ in range(n)),
+                tuple(() for _ in range(n)), _freeze(self.init),
+                tuple(0 for _ in range(n)))
+
+    def is_final(self, state) -> bool:
+        pcs, _, buffers = state[0], state[1], state[2]
+        return (all(pc >= len(t) for pc, t in zip(pcs, self.threads))
+                and all(not b for b in buffers))
+
+    def outcome(self, state) -> Outcome:
+        return self._flat_outcome(state[1])
+
+    @staticmethod
+    def _forward(buffer, addr) -> Optional[int]:
+        for (a, v) in reversed(buffer):
+            if a == addr:
+                return v
+        return None
+
+    def _fence_ready(self, state, tid, fence: FenceKind) -> bool:
+        """May a fence of this kind complete?  Under TSO only fences
+        that order stores before later accesses wait for the buffer."""
+        if fence in (FenceKind.FULL, FenceKind.STORE_LOAD,
+                     FenceKind.STORE_STORE):
+            return not state[2][tid]
+        return True
+
+    def _atomic_ready(self, state, tid) -> bool:
+        return not state[2][tid]
+
+    def successors(self, state):
+        out = []
+        self._drain_moves(state, out)
+        self._step_moves(state, out)
+        return out
+
+    def _drain_moves(self, state, out) -> None:
+        pcs, regs, buffers, mem_f, drained = state
+        for tid, buffer in enumerate(buffers):
+            if not buffer:
+                continue
+            (addr, value), rest = buffer[0], buffer[1:]
+            new_mem = dict(mem_f)
+            new_mem[addr] = value
+            new_buffers = tuple(rest if i == tid else b
+                                for i, b in enumerate(buffers))
+            new_drained = tuple(d + 1 if i == tid else d
+                                for i, d in enumerate(drained))
+            t = Transition(tid, ("drain", tid, drained[tid]), "drain",
+                           writes=frozenset((addr,)),
+                           label=f"C{tid}: drain S(0x{addr:x},{value})")
+            out.append((t, (pcs, regs, new_buffers, _freeze(new_mem),
+                            new_drained)))
+
+    def _step_moves(self, state, out) -> None:
+        # Subclass states may extend the tuple (FSBs, apply counters);
+        # step moves never touch that tail, so carry it through.
+        pcs, regs, buffers, mem_f, drained = state[:5]
+        tail = state[5:]
+        mem = dict(mem_f)
+        for tid, thread in enumerate(self.threads):
+            pc = pcs[tid]
+            if pc >= len(thread):
+                continue
+            ev = thread[pc]
+            buffer = buffers[tid]
+            key = ("step", tid, pc)
+            new_pcs = tuple(p + 1 if i == tid else p
+                            for i, p in enumerate(pcs))
+            if ev.kind is EventKind.STORE:
+                new_buffer = buffer + ((ev.addr, ev.value),)
+                new_buffers = tuple(new_buffer if i == tid else b
+                                    for i, b in enumerate(buffers))
+                # Buffer insertion is core-local: empty footprint.
+                t = Transition(tid, key, "step",
+                               label=f"C{tid}: issue S(0x{ev.addr:x},"
+                                     f"{ev.value})")
+                out.append((t, (new_pcs, regs, new_buffers, mem_f,
+                                drained) + tail))
+            elif ev.kind is EventKind.LOAD:
+                forwarded = self._load_value(state, tid, ev.addr)
+                if forwarded is not None:
+                    value, reads = forwarded, _EMPTY
+                else:
+                    value, reads = mem.get(ev.addr, 0), \
+                        frozenset((ev.addr,))
+                new_regs = tuple(
+                    r + ((_tag(ev), value),) if i == tid else r
+                    for i, r in enumerate(regs))
+                t = Transition(tid, key, "step", reads=reads,
+                               label=f"C{tid}: L(0x{ev.addr:x})={value}")
+                out.append((t, (new_pcs, new_regs, buffers, mem_f,
+                                drained) + tail))
+            elif ev.kind is EventKind.ATOMIC:
+                if not self._atomic_ready(state, tid):
+                    continue
+                old = mem.get(ev.addr, 0)
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                new_regs = tuple(
+                    r + ((_tag(ev), old),) if i == tid else r
+                    for i, r in enumerate(regs))
+                t = Transition(tid, key, "step",
+                               reads=frozenset((ev.addr,)),
+                               writes=frozenset((ev.addr,)),
+                               label=f"C{tid}: A(0x{ev.addr:x},{ev.value})")
+                out.append((t, (new_pcs, new_regs, buffers,
+                                _freeze(new_mem), drained) + tail))
+            elif ev.kind is EventKind.FENCE:
+                if not self._fence_ready(state, tid, ev.fence):
+                    continue
+                t = Transition(tid, key, "step",
+                               label=f"C{tid}: F.{ev.fence.value}")
+                out.append((t, (new_pcs, regs, buffers, mem_f,
+                                drained) + tail))
+            else:
+                t = Transition(tid, key, "step", label=f"C{tid}: nop")
+                out.append((t, (new_pcs, regs, buffers, mem_f,
+                                drained) + tail))
+
+    def _load_value(self, state, tid, addr) -> Optional[int]:
+        """Forwarded value for a load, or ``None`` to read memory."""
+        return self._forward(state[2][tid], addr)
+
+
+# ----------------------------------------------------------------------
+# Imprecise-exception machine: TSO + faulting addresses + FSB drains
+# ----------------------------------------------------------------------
+class ImpreciseMachine(TSOMachine):
+    """TSO with EInject-style faulting stores and FSB drain policies.
+
+    A store to a faulting address cannot drain to memory: its drain
+    becomes DETECT+PUT, moving the entry onto the core's FSB stream.
+    The OS applies FSB entries in FIFO order via separate ``apply``
+    transitions (GET+S_OS; the apply that empties the stream is the
+    RESOLVE).  What happens to the *other* stores is the drain policy:
+
+    * :attr:`~repro.memmodel.imprecise.DrainPolicy.SAME_STREAM` —
+      while the FSB holds unapplied entries, every drain of that core
+      routes through the stream too, so memory sees the core's stores
+      in program order (the paper's design, §4.6/§5.3).
+    * :attr:`~repro.memmodel.imprecise.DrainPolicy.SPLIT_STREAM` —
+      only faulting stores route; younger non-faulting stores keep
+      draining directly and *race* the OS applies (Figure 2a).
+
+    Loads forward from the newest same-address entry of the core's
+    ``FSB ++ buffer`` sequence (both are chronologically ordered, and
+    every FSB entry left the buffer before anything still in it), so
+    a core always sees its own stores — routed or not.  Fences and
+    atomics that wait for stores wait for the FSB too.
+
+    State: ``(pcs, regs, buffers, mem, drained, fsbs, applied)``.
+    """
+
+    name = "imprecise-tso"
+    model_name = "PC"
+    #: Not exact wrt clean PC: same-stream explores a subset (faults
+    #: serialise some interleavings), split-stream a *superset* (the
+    #: Figure 2a races) — policy checks compare both directions
+    #: explicitly instead (:func:`repro.explore.engine.check_drain_policy`).
+    exact = False
+
+    def __init__(self, threads, init=None, extra_ppo=(),
+                 faulting: Iterable[int] = (),
+                 policy: DrainPolicy = DrainPolicy.SAME_STREAM) -> None:
+        super().__init__(threads, init, extra_ppo)
+        self.faulting = frozenset(faulting)
+        self.policy = policy
+
+    def initial_state(self):
+        base = super().initial_state()
+        n = len(self.threads)
+        return base + (tuple(() for _ in range(n)),
+                       tuple(0 for _ in range(n)))
+
+    def is_final(self, state) -> bool:
+        return super().is_final(state) and all(not f for f in state[5])
+
+    def _fence_ready(self, state, tid, fence: FenceKind) -> bool:
+        """Store-ordering fences wait for buffered *and* routed
+        stores: a PUT store is only globally visible at its S_OS."""
+        if fence in (FenceKind.FULL, FenceKind.STORE_LOAD,
+                     FenceKind.STORE_STORE):
+            return not state[2][tid] and not state[5][tid]
+        return True
+
+    def _atomic_ready(self, state, tid) -> bool:
+        return not state[2][tid] and not state[5][tid]
+
+    def _load_value(self, state, tid, addr) -> Optional[int]:
+        forwarded = self._forward(state[2][tid], addr)
+        if forwarded is not None:
+            return forwarded
+        return self._forward(state[5][tid], addr)
+
+    def _drain_moves(self, state, out) -> None:
+        pcs, regs, buffers, mem_f, drained, fsbs, applied = state
+        for tid, buffer in enumerate(buffers):
+            if not buffer:
+                continue
+            (addr, value), rest = buffer[0], buffer[1:]
+            fsb = fsbs[tid]
+            new_buffers = tuple(rest if i == tid else b
+                                for i, b in enumerate(buffers))
+            new_drained = tuple(d + 1 if i == tid else d
+                                for i, d in enumerate(drained))
+            faults = addr in self.faulting
+            routed = faults or (
+                self.policy is DrainPolicy.SAME_STREAM and bool(fsb))
+            if routed:
+                new_fsbs = tuple(f + ((addr, value),) if i == tid else f
+                                 for i, f in enumerate(fsbs))
+                verb = "DETECT+PUT" if faults and not fsb else "PUT"
+                t = Transition(
+                    tid, ("drain", tid, drained[tid]), "route",
+                    label=f"C{tid}: {verb} S(0x{addr:x},{value})")
+                out.append((t, (pcs, regs, new_buffers, mem_f,
+                                new_drained, new_fsbs, applied)))
+            else:
+                new_mem = dict(mem_f)
+                new_mem[addr] = value
+                t = Transition(
+                    tid, ("drain", tid, drained[tid]), "drain",
+                    writes=frozenset((addr,)),
+                    label=f"C{tid}: drain S(0x{addr:x},{value})")
+                out.append((t, (pcs, regs, new_buffers, _freeze(new_mem),
+                                new_drained, fsbs, applied)))
+
+    def successors(self, state):
+        out = []
+        self._drain_moves(state, out)
+        self._apply_moves(state, out)
+        self._step_moves(state, out)
+        return out
+
+    def _apply_moves(self, state, out) -> None:
+        pcs, regs, buffers, mem_f, drained, fsbs, applied = state
+        for tid, fsb in enumerate(fsbs):
+            if not fsb:
+                continue
+            (addr, value), rest = fsb[0], fsb[1:]
+            new_mem = dict(mem_f)
+            new_mem[addr] = value
+            new_fsbs = tuple(rest if i == tid else f
+                             for i, f in enumerate(fsbs))
+            new_applied = tuple(a + 1 if i == tid else a
+                                for i, a in enumerate(applied))
+            verb = "S_OS+RESOLVE" if not rest else "S_OS"
+            t = Transition(
+                tid, ("apply", tid, applied[tid]), "apply",
+                writes=frozenset((addr,)),
+                label=f"OS@C{tid}: {verb}(0x{addr:x},{value})")
+            out.append((t, (pcs, regs, buffers, _freeze(new_mem),
+                            drained, new_fsbs, new_applied)))
+
+
+# ----------------------------------------------------------------------
+# WC / RVWMO-lite: out-of-order issue over a non-FIFO store buffer
+# ----------------------------------------------------------------------
+#: Per fence kind: (prior loads must have issued, prior stores must
+#: have issued, prior stores must have fully drained).
+_FENCE_NEEDS = {
+    FenceKind.FULL: (True, True, True),
+    FenceKind.STORE_STORE: (False, True, True),
+    FenceKind.STORE_LOAD: (False, True, True),
+    FenceKind.LOAD_LOAD: (True, False, False),
+    FenceKind.LOAD_STORE: (True, False, False),
+}
+
+
+def _fence_blocks(fence: FenceKind, ev: Event) -> bool:
+    """Does an un-issued po-earlier fence of this kind block ``ev``?"""
+    if fence is FenceKind.FULL:
+        return True
+    if fence in (FenceKind.STORE_STORE, FenceKind.LOAD_STORE):
+        return ev.is_write
+    return ev.is_read  # SL / LL order later loads
+
+
+class WCMachine(Machine):
+    """Weak machine: instructions issue out of order within the
+    constraints RVWMO-lite preserves (the engine's WC reference).
+
+    Per core the state tracks which instruction indices have issued
+    (a bitmask) and a non-FIFO store buffer; the scheduler picks any
+    issueable instruction or drains any buffered store that is the
+    oldest to its address.  Issue prerequisites: same-address
+    accesses and atomics stay in program order, dependency edges
+    (``extra_ppo``) are honoured, and fences wait for / block their
+    ordered classes per :data:`_FENCE_NEEDS`.  The fence treatment is
+    deliberately conservative (a store behind a store-store fence may
+    not even *issue* until the fence does), so the machine is checked
+    for soundness — outcomes ⊆ RVWMO-allowed — rather than equality
+    (:attr:`exact` is ``False``).
+
+    State: ``(masks, regs, buffers, mem)`` with ``buffers`` entries
+    ``(index, addr, value)``.
+    """
+
+    name = "wc"
+    model_name = "RVWMO"
+    exact = False
+
+    def __init__(self, threads, init=None, extra_ppo=()) -> None:
+        super().__init__(threads, init, extra_ppo)
+        # Same-thread dependency predecessors by instruction index.
+        self._dep_preds: List[Dict[int, List[int]]] = []
+        edges = self.extra_ppo
+        for thread in self.threads:
+            idx_of = {e.uid: i for i, e in enumerate(thread)}
+            preds: Dict[int, List[int]] = {}
+            for (a, b) in edges:
+                if a in idx_of and b in idx_of:
+                    preds.setdefault(idx_of[b], []).append(idx_of[a])
+            self._dep_preds.append(preds)
+
+    def initial_state(self):
+        n = len(self.threads)
+        return (tuple(0 for _ in range(n)), tuple(() for _ in range(n)),
+                tuple(() for _ in range(n)), _freeze(self.init))
+
+    def is_final(self, state) -> bool:
+        masks, _, buffers, _ = state
+        return (all(mask == (1 << len(t)) - 1
+                    for mask, t in zip(masks, self.threads))
+                and all(not b for b in buffers))
+
+    def outcome(self, state) -> Outcome:
+        return self._flat_outcome(state[1])
+
+    # -- issue rules ----------------------------------------------------
+    def _can_issue(self, tid: int, i: int, mask: int, buffer) -> bool:
+        thread = self.threads[tid]
+        ev = thread[i]
+        buffered = {idx for (idx, _, _) in buffer}
+        for j in self._dep_preds[tid].get(i, ()):
+            if not (mask >> j) & 1:
+                return False
+        if ev.kind is EventKind.FENCE:
+            loads_done, stores_done, stores_drained = \
+                _FENCE_NEEDS[ev.fence]
+            for j in range(i):
+                ej = thread[j]
+                issued = (mask >> j) & 1
+                if ej.kind is EventKind.FENCE and not issued:
+                    return False  # fences issue in program order
+                if ej.is_read and loads_done and not issued:
+                    return False
+                if ej.is_write:
+                    if stores_done and not issued:
+                        return False
+                    if stores_drained and (not issued or j in buffered):
+                        return False
+            return True
+        if ev.kind is EventKind.ATOMIC:
+            # Globally ordered: everything earlier issued and visible.
+            return mask == (1 << i) - 1 and not buffer
+        for j in range(i):
+            ej = thread[j]
+            issued = (mask >> j) & 1
+            if issued:
+                continue
+            if ej.kind is EventKind.FENCE and _fence_blocks(ej.fence, ev):
+                return False
+            if ej.kind is EventKind.ATOMIC:
+                return False  # atomics order their po-successors
+            if (ej.is_memory_access and ev.is_memory_access
+                    and ej.addr == ev.addr):
+                return False  # same-address accesses stay in order
+        return True
+
+    @staticmethod
+    def _forward(buffer, addr) -> Optional[int]:
+        for (_, a, v) in reversed(buffer):
+            if a == addr:
+                return v
+        return None
+
+    def successors(self, state):
+        masks, regs, buffers, mem_f = state
+        mem = dict(mem_f)
+        out = []
+        # Drain moves: any buffered store oldest to its address.
+        for tid, buffer in enumerate(buffers):
+            seen_addrs: Set[int] = set()
+            for pos, (idx, addr, value) in enumerate(buffer):
+                if addr in seen_addrs:
+                    continue  # same-address drains stay FIFO
+                seen_addrs.add(addr)
+                new_mem = dict(mem)
+                new_mem[addr] = value
+                new_buffer = buffer[:pos] + buffer[pos + 1:]
+                new_buffers = tuple(new_buffer if i == tid else b
+                                    for i, b in enumerate(buffers))
+                t = Transition(
+                    tid, ("drain", tid, idx), "drain",
+                    writes=frozenset((addr,)),
+                    label=f"C{tid}: drain S(0x{addr:x},{value})")
+                out.append((t, (masks, regs, new_buffers,
+                                _freeze(new_mem))))
+        # Issue moves: any instruction whose prerequisites are met.
+        for tid, thread in enumerate(self.threads):
+            mask = masks[tid]
+            buffer = buffers[tid]
+            for i, ev in enumerate(thread):
+                if (mask >> i) & 1:
+                    continue
+                if not self._can_issue(tid, i, mask, buffer):
+                    continue
+                key = ("step", tid, i)
+                new_masks = tuple(m | (1 << i) if t == tid else m
+                                  for t, m in enumerate(masks))
+                if ev.kind is EventKind.STORE:
+                    new_buffer = buffer + ((i, ev.addr, ev.value),)
+                    new_buffers = tuple(new_buffer if t == tid else b
+                                        for t, b in enumerate(buffers))
+                    t = Transition(
+                        tid, key, "step",
+                        label=f"C{tid}: issue S(0x{ev.addr:x},"
+                              f"{ev.value})")
+                    out.append((t, (new_masks, regs, new_buffers,
+                                    mem_f)))
+                elif ev.kind is EventKind.LOAD:
+                    forwarded = self._forward(buffer, ev.addr)
+                    if forwarded is not None:
+                        value, reads = forwarded, _EMPTY
+                    else:
+                        value, reads = mem.get(ev.addr, 0), \
+                            frozenset((ev.addr,))
+                    new_regs = tuple(
+                        r + ((_tag(ev), value),) if t == tid else r
+                        for t, r in enumerate(regs))
+                    t = Transition(
+                        tid, key, "step", reads=reads,
+                        label=f"C{tid}: L(0x{ev.addr:x})={value}")
+                    out.append((t, (new_masks, new_regs, buffers,
+                                    mem_f)))
+                elif ev.kind is EventKind.ATOMIC:
+                    old = mem.get(ev.addr, 0)
+                    new_mem = dict(mem)
+                    new_mem[ev.addr] = ev.value
+                    new_regs = tuple(
+                        r + ((_tag(ev), old),) if t == tid else r
+                        for t, r in enumerate(regs))
+                    t = Transition(
+                        tid, key, "step",
+                        reads=frozenset((ev.addr,)),
+                        writes=frozenset((ev.addr,)),
+                        label=f"C{tid}: A(0x{ev.addr:x},{ev.value})")
+                    out.append((t, (new_masks, new_regs, buffers,
+                                    _freeze(new_mem))))
+                else:  # fence
+                    t = Transition(tid, key, "step",
+                                   label=f"C{tid}: F.{ev.fence.value}")
+                    out.append((t, (new_masks, regs, buffers, mem_f)))
+        return out
+
+
+#: Model name → machine class for clean (fault-free) exploration.
+MACHINES = {
+    "SC": SCMachine,
+    "PC": TSOMachine,
+    "TSO": TSOMachine,
+    "WC": WCMachine,
+    "RVWMO": WCMachine,
+}
+
+
+def machine_for(model: str,
+                threads: Sequence[Sequence[Event]],
+                init: Optional[Dict[int, int]] = None,
+                extra_ppo: Iterable[Edge] = (),
+                faulting: Iterable[int] = (),
+                policy: Optional[DrainPolicy] = None) -> Machine:
+    """Build the operational machine for a model name.
+
+    With ``faulting`` addresses the imprecise machine (TSO-based) is
+    returned; ``policy`` then selects the drain policy (default
+    same-stream).  ``model`` is case-insensitive.
+    """
+    name = model.upper()
+    faulting = frozenset(faulting)
+    if faulting:
+        if name not in ("PC", "TSO"):
+            raise ValueError(
+                f"faulting exploration is defined over the TSO machine; "
+                f"got model {model!r}")
+        return ImpreciseMachine(threads, init, extra_ppo,
+                                faulting=faulting,
+                                policy=policy or DrainPolicy.SAME_STREAM)
+    try:
+        cls = MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine model {model!r}; choose from "
+            f"{sorted(set(MACHINES))}") from None
+    return cls(threads, init, extra_ppo)

@@ -1,0 +1,187 @@
+"""Delta-debugging shrinker for divergence-witnessing litmus programs.
+
+Given a litmus test on which some *interesting* property holds (an
+operational-vs-axiomatic divergence, a drain-policy race), shrink it
+to a locally minimal program that still exhibits the property, using
+Zeller-Hildebrandt ``ddmin`` over the flattened ``(thread, op)``
+list followed by a value-normalisation pass.  The predicate returns
+the witness (outcome + schedule trace) so the
+:class:`ShrinkResult` always carries a replayable counterexample for
+the *minimal* program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    TypeVar)
+
+from ..litmus.dsl import LitmusTest
+
+#: Predicate contract: return ``None`` when the candidate is not
+#: interesting, else the ``(outcome, schedule)`` witness.
+Witness = Tuple[Tuple[Tuple[str, int], ...], Tuple[str, ...]]
+Predicate = Callable[[LitmusTest], Optional[Witness]]
+
+
+def sanitise_threads(threads: Sequence[Sequence[tuple]]
+                     ) -> List[List[tuple]]:
+    """Make a mutated/shrunk op soup a well-formed litmus program.
+
+    * drop empty threads;
+    * rename observation registers to unique ``r0..rN`` (duplicate
+      tags would collide in the flat outcome tuples);
+    * rewire dependency references to the renamed producer, or strip
+      the dependency (``Raddr`` → ``R``, ``W*`` → ``W``) when the
+      producing load/atomic no longer exists earlier in the thread.
+    """
+    fresh = 0
+    out: List[List[tuple]] = []
+    for ops in threads:
+        produced: Dict[str, str] = {}
+        clean: List[tuple] = []
+        for op in ops:
+            kind = op[0]
+            if kind == "F":
+                clean.append(op)
+                continue
+            if kind in ("R", "Raddr", "Rctrl", "A"):
+                new_reg = f"r{fresh}"
+                fresh += 1
+            if kind == "W":
+                clean.append(op)
+            elif kind == "R":
+                produced[op[2]] = new_reg
+                clean.append(("R", op[1], new_reg))
+            elif kind == "A":
+                produced[op[3]] = new_reg
+                clean.append(("A", op[1], op[2], new_reg))
+            elif kind in ("Raddr", "Rctrl"):
+                _, loc, reg, dep = op
+                if dep in produced:
+                    clean.append((kind, loc, new_reg, produced[dep]))
+                else:
+                    clean.append(("R", loc, new_reg))
+                produced[reg] = new_reg
+            elif kind in ("Waddr", "Wdata", "Wctrl"):
+                _, loc, val, dep = op
+                if dep in produced:
+                    clean.append((kind, loc, val, produced[dep]))
+                else:
+                    clean.append(("W", loc, val))
+            else:
+                raise ValueError(f"unknown litmus op {kind!r}")
+        if clean:
+            out.append(clean)
+    return out
+
+
+def rebuild_test(base: LitmusTest,
+                 threads: Sequence[Sequence[tuple]],
+                 suffix: str = "~min") -> LitmusTest:
+    """A well-formed test from raw threads, named after ``base``."""
+    return LitmusTest(name=base.name + suffix, category=base.category,
+                      threads=sanitise_threads(threads))
+
+
+@dataclass
+class ShrinkResult:
+    """A locally minimal interesting program plus its witness."""
+
+    test: LitmusTest
+    outcome: Tuple[Tuple[str, int], ...]
+    schedule: Tuple[str, ...]
+    rounds: int
+    candidates_tried: int
+    original_ops: int
+    final_ops: int
+
+    @property
+    def removed_ops(self) -> int:
+        return self.original_ops - self.final_ops
+
+    def describe(self) -> str:
+        lines = [f"{self.test.name}: {self.original_ops} ops -> "
+                 f"{self.final_ops} ({self.rounds} rounds, "
+                 f"{self.candidates_tried} candidates)"]
+        for tid, ops in enumerate(self.test.threads):
+            lines.append(f"  T{tid}: " + "; ".join(map(str, ops)))
+        lines.append(f"  outcome: {dict(self.outcome)}")
+        lines.append("  schedule: " + " | ".join(self.schedule))
+        return "\n".join(lines)
+
+
+def _flatten(test: LitmusTest) -> List[Tuple[int, tuple]]:
+    return [(tid, op) for tid, ops in enumerate(test.threads)
+            for op in ops]
+
+
+def _build(base: LitmusTest,
+           items: Sequence[Tuple[int, tuple]]) -> LitmusTest:
+    threads: Dict[int, List[tuple]] = {}
+    for tid, op in items:
+        threads.setdefault(tid, []).append(op)
+    ordered = [threads[tid] for tid in sorted(threads)]
+    return rebuild_test(base, ordered)
+
+
+def shrink_test(test: LitmusTest, predicate: Predicate,
+                max_candidates: int = 2000) -> Optional[ShrinkResult]:
+    """ddmin ``test`` down to a locally minimal program for which
+    ``predicate`` still returns a witness.
+
+    Returns ``None`` if the original test is not interesting.  After
+    op-level minimisation, store values are normalised towards 1
+    where the property survives.  ``max_candidates`` bounds predicate
+    evaluations (the shrink is best-effort beyond it).
+    """
+    items = _flatten(test)
+    witness = predicate(_build(test, items))
+    if witness is None:
+        return None
+    tried = 0
+    rounds = 0
+
+    def check(candidate_items) -> Optional[Witness]:
+        nonlocal tried
+        if tried >= max_candidates:
+            return None
+        tried += 1
+        return predicate(_build(test, candidate_items))
+
+    # --- ddmin over the flattened op list ----------------------------
+    granularity = 2
+    while len(items) >= 2:
+        rounds += 1
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk:]
+            if not complement:
+                continue
+            found = check(complement)
+            if found is not None:
+                items, witness = complement, found
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items) or tried >= max_candidates:
+                break
+            granularity = min(len(items), granularity * 2)
+
+    # --- value normalisation: push store data towards 1 --------------
+    for i, (tid, op) in enumerate(list(items)):
+        if op[0] in ("W", "Waddr", "Wdata", "Wctrl") and op[2] != 1:
+            normalised = (op[0], op[1], 1) + op[3:]
+            candidate = items[:i] + [(tid, normalised)] + items[i + 1:]
+            found = check(candidate)
+            if found is not None:
+                items, witness = candidate, found
+
+    outcome, schedule = witness
+    final = _build(test, items)
+    return ShrinkResult(test=final, outcome=outcome, schedule=schedule,
+                        rounds=rounds, candidates_tried=tried,
+                        original_ops=sum(map(len, test.threads)),
+                        final_ops=sum(map(len, final.threads)))

@@ -3,7 +3,8 @@ parallel campaign engine."""
 
 from .campaign import AllowedSetCache, canonical_test_digest, run_campaign
 from .dsl import LitmusOutcome, LitmusTest
-from .generator import generate_all, tests_by_category
+from .generator import (dedupe_tests, generate_all, program_digest,
+                        tests_by_category)
 from .harness import SuiteReport, TestVerdict, allowed_set, check_suite, check_test
 from .library import all_library_tests
 from .multicore_tests import all_multicore_tests
@@ -14,7 +15,8 @@ from .runner import (DEFAULT_SEEDS, RunConfig, TestRun, derive_seed,
 __all__ = [
     "AllowedSetCache", "canonical_test_digest", "run_campaign",
     "LitmusOutcome", "LitmusTest",
-    "generate_all", "tests_by_category",
+    "dedupe_tests", "generate_all", "program_digest",
+    "tests_by_category",
     "SuiteReport", "TestVerdict", "allowed_set", "check_suite", "check_test",
     "all_library_tests", "all_multicore_tests",
     "LitmusParseError", "load_litmus_directory", "parse_litmus",

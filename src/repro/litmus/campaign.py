@@ -268,4 +268,15 @@ def run_campaign(tests: Sequence[LitmusTest],
              totals["addr_co_prunes"], totals["known_outcome_skips"],
              totals["candidates_examined"],
              totals["relation_cache_hits"], totals["wall_time_s"])
+    if config.explore:
+        xt = report.explorer_totals()
+        log.info("campaign explorer: %d tests explored (%s), "
+                 "%d mismatches, %d states / %d transitions / "
+                 "%d interleavings (%d sleep blocks, %d races), "
+                 "%.3fs exploration",
+                 xt["tests_explored"], config.explore,
+                 xt["mismatches"], xt["states_visited"],
+                 xt["transitions_executed"], xt["interleavings"],
+                 xt["sleep_set_blocks"], xt["races_detected"],
+                 xt["wall_time_s"])
     return report

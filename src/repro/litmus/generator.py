@@ -12,8 +12,10 @@ the per-category totals alongside the paper's.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from typing import Dict, List, Sequence
+import json
+from typing import Dict, List, Sequence, Set
 
 from ..memmodel.events import FenceKind
 from .dsl import LitmusTest
@@ -341,9 +343,45 @@ def generate_barrier_tests() -> List[LitmusTest]:
     return tests
 
 
+def program_digest(test: LitmusTest) -> str:
+    """Stable digest of a test's symbolic program structure.
+
+    Two tests with equal digests compile to the same events and
+    dependency edges (fence kinds are normalised through their enum
+    values), hence have identical allowed sets and runs — structural
+    duplicates, whatever their names.
+    """
+    def encode(op: tuple):
+        return [part.value if isinstance(part, FenceKind) else part
+                for part in op]
+
+    payload = [[encode(op) for op in ops] for ops in test.threads]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def dedupe_tests(tests: Sequence[LitmusTest]) -> List[LitmusTest]:
+    """Drop structural duplicates, keeping first occurrences."""
+    seen: Set[str] = set()
+    unique: List[LitmusTest] = []
+    for test in tests:
+        digest = program_digest(test)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        unique.append(test)
+    return unique
+
+
 def generate_all() -> List[LitmusTest]:
-    """The full generated suite, all eight Table 6 categories."""
-    return (
+    """The full generated suite, all eight Table 6 categories.
+
+    Structurally deduplicated: the fence/dependency cross-products
+    emit some identical programs under different names (e.g. the
+    ``ctrl`` dependency variants compile as ``addr``), and duplicate
+    programs would double-count campaign coverage.
+    """
+    return dedupe_tests(
         generate_dependency_tests()
         + generate_po_loc_tests()
         + generate_ppo_tests()

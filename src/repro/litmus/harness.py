@@ -79,11 +79,26 @@ class TestVerdict:
     #: ``EnumerationStats.as_dict()`` for the reference enumeration,
     #: or ``None`` when the allowed set came from a cache.
     enum_stats: Optional[Dict] = None
+    #: ``ExplorationCheck.as_dict()`` for the operational exploration
+    #: cross-check (:mod:`repro.explore`), or ``None`` when
+    #: ``config.explore`` was off.  Carries the exploration verdict
+    #: (``ok``), violation/missing outcome lists, and the
+    #: ``ExplorationStats`` counters.
+    explore_check: Optional[Dict] = None
+
+    @property
+    def explore_ok(self) -> Optional[bool]:
+        """The exploration cross-check verdict; ``None`` if not run."""
+        if self.explore_check is None:
+            return None
+        return bool(self.explore_check["ok"])
 
     @property
     def ok(self) -> bool:
         if not (self.conformance.conforms
                 and self.run.contract_violations == 0):
+            return False
+        if self.explore_ok is False:
             return False
         if self.clean_run is not None:
             return (self.clean_conformance is not None
@@ -167,6 +182,35 @@ class SuiteReport:
         totals["wall_time_s"] = round(totals["wall_time_s"], 6)
         return totals
 
+    def explorer_totals(self) -> Dict[str, float]:
+        """Summed :class:`~repro.explore.ExplorationStats` counters
+        over every verdict that ran the operational exploration
+        cross-check (``None`` entries are counted in
+        ``tests_skipped``)."""
+        totals: Dict[str, float] = {
+            "tests_explored": 0,
+            "tests_skipped": 0,
+            "mismatches": 0,
+            "states_visited": 0,
+            "transitions_executed": 0,
+            "interleavings": 0,
+            "sleep_set_blocks": 0,
+            "races_detected": 0,
+            "wall_time_s": 0.0,
+        }
+        for v in self.verdicts:
+            if v.explore_check is None:
+                totals["tests_skipped"] += 1
+                continue
+            totals["tests_explored"] += 1
+            if not v.explore_check["ok"]:
+                totals["mismatches"] += 1
+            for key, value in v.explore_check["stats"].items():
+                if key in totals:
+                    totals[key] += value
+        totals["wall_time_s"] = round(totals["wall_time_s"], 6)
+        return totals
+
     def category_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for v in self.verdicts:
@@ -204,6 +248,11 @@ class SuiteReport:
             lines.append(f"  !!! {v.test.name}: "
                          f"negative differences {sorted(neg)} "
                          f"contract violations {contract}")
+            if v.explore_ok is False:
+                lines.append(
+                    f"      explorer mismatch: violations="
+                    f"{v.explore_check['violations']} "
+                    f"missing={v.explore_check['missing']}")
             if explain and neg:
                 from ..memmodel.witness import explain_forbidden
                 reference = get_model(ENGINE_REFERENCE_MODEL[self.model])
@@ -232,6 +281,13 @@ def check_test(test: LitmusTest,
     if allowed is None:
         allowed, stats = allowed_set_with_stats(test, reference)
         enum_stats = stats.as_dict()
+    explore_check = None
+    if config.explore:
+        from ..explore import crosscheck_test
+        check = crosscheck_test(test, config.model,
+                                strategy=config.explore,
+                                allowed=allowed)
+        explore_check = check.as_dict()
     run = run_test(test, config)
     conformance = check_outcome_set(allowed, run.outcomes,
                                     model_name=reference.name)
@@ -244,7 +300,8 @@ def check_test(test: LitmusTest,
                        clean_run=clean_run,
                        clean_conformance=clean_conformance,
                        wall_time=time.perf_counter() - started,
-                       enum_stats=enum_stats)
+                       enum_stats=enum_stats,
+                       explore_check=explore_check)
 
 
 def check_suite(tests: Sequence[LitmusTest],

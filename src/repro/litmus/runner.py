@@ -67,6 +67,10 @@ class RunConfig:
     #: halve campaign time (see :func:`repro.litmus.harness.check_test`).
     clean_pass: bool = True
     drain_policy: DrainPolicy = DrainPolicy.SAME_STREAM
+    #: Exploration strategy for the operational cross-check
+    #: (:mod:`repro.explore`): ``None`` disables it, else one of
+    #: :data:`repro.explore.STRATEGIES` (``"dpor"`` recommended).
+    explore: Optional[str] = None
 
     def system_config(self, cores: int) -> SystemConfig:
         return small_config(cores=cores, consistency=self.model)

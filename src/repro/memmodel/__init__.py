@@ -38,6 +38,7 @@ from .enumerator import (
 from .events import Event, EventKind, FenceKind, initial_writes, program
 from .imprecise import DrainPolicy, ImpreciseTransform, transform
 from .operational import (
+    ExplorationBudgetExceeded,
     OperationalSC,
     OperationalTSO,
     sc_outcomes,
@@ -63,7 +64,8 @@ __all__ = [
     "enumerate_executions",
     "Event", "EventKind", "FenceKind", "initial_writes", "program",
     "DrainPolicy", "ImpreciseTransform", "transform",
-    "OperationalSC", "OperationalTSO", "sc_outcomes", "tso_outcomes",
+    "ExplorationBudgetExceeded", "OperationalSC", "OperationalTSO",
+    "sc_outcomes", "tso_outcomes",
     "ProofReport", "RaceDemonstration", "demonstrate_figure2_race",
     "prove_rule_suite", "prove_store_store_rule",
     "Execution", "StaticRelations", "is_acyclic",

@@ -33,14 +33,32 @@ from .events import Event, EventKind, FenceKind
 
 Outcome = Tuple[Tuple[str, int], ...]
 
+#: Default state budget for exhaustive exploration.  Litmus-sized
+#: programs visit a few thousand states; the guard exists so that
+#: adversarial inputs fail fast with a typed error instead of running
+#: away (mirroring the enumerator's ``max_candidates`` contract).
+DEFAULT_MAX_STATES = 1_000_000
+
+
+class ExplorationBudgetExceeded(RuntimeError):
+    """Exhaustive exploration visited more states than ``max_states``.
+
+    The operational counterpart of the axiomatic enumerator's
+    ``max_candidates`` :class:`ValueError`: a typed, catchable signal
+    that the program is too large for exhaustive treatment, raised
+    before memory or wall time run away.
+    """
+
 
 class _Machine:
     """Shared DFS plumbing; subclasses define the step rules."""
 
     def __init__(self, threads: Sequence[Sequence[Event]],
-                 init: Optional[Dict[int, int]] = None) -> None:
+                 init: Optional[Dict[int, int]] = None,
+                 max_states: int = DEFAULT_MAX_STATES) -> None:
         self.threads = [list(t) for t in threads]
         self.init = dict(init or {})
+        self.max_states = max_states
 
     def outcomes(self) -> Set[Outcome]:
         results: Set[Outcome] = set()
@@ -69,6 +87,11 @@ class _Machine:
             if current in seen:
                 continue
             seen.add(current)
+            if len(seen) > self.max_states:
+                raise ExplorationBudgetExceeded(
+                    f"exploration exceeded max_states="
+                    f"{self.max_states}; shrink the program or raise "
+                    f"the budget")
             if self._is_final(current):
                 results.add(self._outcome(current))
                 continue
@@ -231,10 +254,12 @@ class OperationalTSO(_Machine):
 
 
 def sc_outcomes(threads: Sequence[Sequence[Event]],
-                init: Optional[Dict[int, int]] = None) -> Set[Outcome]:
-    return OperationalSC(threads, init).outcomes()
+                init: Optional[Dict[int, int]] = None,
+                max_states: int = DEFAULT_MAX_STATES) -> Set[Outcome]:
+    return OperationalSC(threads, init, max_states=max_states).outcomes()
 
 
 def tso_outcomes(threads: Sequence[Sequence[Event]],
-                 init: Optional[Dict[int, int]] = None) -> Set[Outcome]:
-    return OperationalTSO(threads, init).outcomes()
+                 init: Optional[Dict[int, int]] = None,
+                 max_states: int = DEFAULT_MAX_STATES) -> Set[Outcome]:
+    return OperationalTSO(threads, init, max_states=max_states).outcomes()

@@ -249,6 +249,52 @@ class TestCampaignReport:
             read_campaign_report(path)
 
 
+class TestExplorerIntegration:
+    def _report(self, strategy="verify"):
+        cfg = RunConfig(seeds=3, explore=strategy)
+        return check_suite([message_passing(), store_buffering()], cfg)
+
+    def test_verdicts_carry_exploration_check(self):
+        report = self._report()
+        for v in report.verdicts:
+            assert v.explore_ok is True
+            assert v.explore_check["strategy"] == "verify"
+            assert v.explore_check["stats"]["interleavings"] > 0
+        totals = report.explorer_totals()
+        assert totals["tests_explored"] == 2
+        assert totals["tests_skipped"] == 0
+        assert totals["mismatches"] == 0
+
+    def test_off_by_default(self):
+        cfg = RunConfig(seeds=2, clean_pass=False)
+        report = check_suite([message_passing()], cfg)
+        assert report.verdicts[0].explore_ok is None
+        assert report.explorer_totals()["tests_skipped"] == 1
+
+    def test_report_json_has_explorer_blocks(self, tmp_path):
+        payload = campaign_report_dict(self._report())
+        assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
+        assert payload["explorer"]["tests_explored"] == 2
+        for result in payload["results"]:
+            assert result["explorer"]["ok"] is True
+
+    def test_v2_reports_still_readable(self, tmp_path):
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(
+            {"schema": "repro.litmus.campaign-report/v2", "tests": 0}))
+        assert read_campaign_report(path)["tests"] == 0
+
+    def test_cli_explore_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "out.json"
+        assert main(["litmus", "--quick", "--seeds", "2",
+                     "--skip-clean", "--explore", "dpor",
+                     "--json", str(out)]) == 0
+        report = read_campaign_report(out)
+        assert report["explorer"]["tests_explored"] == 40
+        assert report["explorer"]["mismatches"] == 0
+
+
 class TestCliCampaignFlags:
     def test_quick_parallel_json(self, tmp_path, capsys):
         from repro.cli import main

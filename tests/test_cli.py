@@ -11,7 +11,8 @@ class TestParserStructure:
         sub = next(a for a in parser._actions
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {
-            "litmus", "table3", "fig5", "fig6", "proofs", "mbench"}
+            "litmus", "table3", "fig5", "fig6", "proofs", "mbench",
+            "explore", "fuzz"}
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -68,3 +69,32 @@ class TestCommands:
         for name, observed in hardware.items():
             allowed = {tuple(map(tuple, o)) for o in model[name]}
             assert {tuple(map(tuple, o)) for o in observed} <= allowed
+
+
+class TestExploreCommand:
+    def test_explore_named_tests(self, capsys):
+        assert main(["explore", "MP", "SB", "--strategy",
+                     "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "MP [tso/verify]: ok" in out
+        assert "SB [tso/verify]: ok" in out
+
+    def test_explore_unknown_test_errors(self):
+        with pytest.raises(SystemExit, match="unknown test"):
+            main(["explore", "no-such-test"])
+
+    def test_explore_split_policy_prints_witness(self, capsys):
+        assert main(["explore", "MP", "--policy", "split",
+                     "--fault", "y"]) == 0
+        out = capsys.readouterr().out
+        assert "RACE" in out
+        assert "DETECT+PUT" in out
+
+    def test_explore_same_policy_preserves(self, capsys):
+        assert main(["explore", "MP", "--policy", "same"]) == 0
+        assert "preserves PC+WC" in capsys.readouterr().out
+
+    def test_fuzz_smoke(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--iterations", "8",
+                     "--no-shrink"]) == 0
+        assert "model divergences: 0" in capsys.readouterr().out

@@ -45,7 +45,7 @@ def assert_equivalent(threads, model, **kwargs):
 
 
 class TestLitmusLibrary:
-    """All 289 generated tests × all four models, bit-identical."""
+    """Every generated test × all four models, bit-identical."""
 
     @pytest.mark.parametrize("model", ALL_MODELS,
                              ids=lambda m: m.name)

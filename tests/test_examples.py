@@ -38,6 +38,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "PC guarantee held" in result.stdout
 
+    def test_exploration(self):
+        result = run_example("exploration.py")
+        assert result.returncode == 0, result.stderr
+        assert "exploration demo OK" in result.stdout
+        assert "MISMATCH" not in result.stdout
+        assert "DETECT+PUT" in result.stdout
+
     def test_accelerator_faults_small(self):
         result = run_example("accelerator_faults.py", "--kernel", "SSSP",
                              "--trials", "2")

@@ -1,0 +1,223 @@
+"""Exploration engine: DPOR soundness, litmus cross-checks, and the
+drain-policy acceptance results of the exploration subsystem.
+
+The two headline results pinned here:
+
+* **same-stream admits no consistency violation** — exhaustive
+  exploration of the imprecise machine over every hand-written
+  library test and every non-empty faulting-location subset finds
+  only PC/WC-allowed outcomes;
+* **split-stream races on Figure 2a** — the MP shape with the data
+  store faulting explores a PC-forbidden outcome, and the engine
+  emits the witnessing schedule (pinned as a regression below).
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (ExplorationBudgetExceeded, ExplorationStats,
+                           check_drain_policy, crosscheck_test,
+                           explore, machine_for, sample_schedules)
+from repro.litmus.dsl import LitmusTest
+from repro.litmus.library import all_library_tests, message_passing
+from repro.memmodel.imprecise import DrainPolicy
+from repro.memmodel.operational import sc_outcomes, tso_outcomes
+
+LIBRARY = all_library_tests()
+
+#: Figure 2a witness under split-stream with the data store ('y')
+#: faulting: the data store is routed to the FSB (DETECT+PUT), the
+#: younger flag store drains straight to memory, the observer reads
+#: flag=1 then data=0, and only afterwards does the OS apply resolve
+#: the routed store.  DPOR traversal is deterministic, so the exact
+#: trace is a stable regression anchor.
+FIG2A_WITNESS = (
+    "C0: issue S(0x101000,1)",
+    "C0: DETECT+PUT S(0x101000,1)",
+    "C0: issue S(0x100000,1)",
+    "C0: drain S(0x100000,1)",
+    "C1: L(0x100000)=1",
+    "C1: L(0x101000)=0",
+    "OS@C0: S_OS+RESOLVE(0x101000,1)",
+)
+
+
+def fault_subsets(test):
+    locs = test.locations
+    for r in range(1, len(locs) + 1):
+        yield from itertools.combinations(locs, r)
+
+
+class TestLibraryCrossCheck:
+    """Acceptance: operational exploration is bit-identical to the
+    axiomatic enumerator on every library test for the exact
+    machines, and sound for WC."""
+
+    @pytest.mark.parametrize("model", ["SC", "PC"])
+    def test_verify_bit_identical(self, model):
+        for test in LIBRARY:
+            check = crosscheck_test(test, model, strategy="verify")
+            assert check.require_equality
+            assert check.ok, (
+                f"{test.name}/{model}: violations={check.violations} "
+                f"missing={check.missing}")
+            assert not check.violations and not check.missing
+
+    def test_wc_sound(self):
+        for test in LIBRARY:
+            check = crosscheck_test(test, "WC")
+            assert not check.require_equality
+            assert check.ok, f"{test.name}/WC: {check.violations}"
+
+
+class TestDrainPolicies:
+    def test_same_stream_admits_no_violation_anywhere(self):
+        """Every library test x every non-empty faulting subset."""
+        pairs = 0
+        for test in LIBRARY:
+            for subset in fault_subsets(test):
+                check = check_drain_policy(
+                    test, DrainPolicy.SAME_STREAM, subset)
+                assert check.preserves_model, (
+                    f"{test.name} faults={subset}: "
+                    f"{sorted(check.violations_pc)}")
+                pairs += 1
+        assert pairs >= 70  # the sweep really covered the library
+
+    def test_split_stream_races_on_fig2a(self):
+        check = check_drain_policy(message_passing(),
+                                   DrainPolicy.SPLIT_STREAM, ("y",))
+        assert sorted(check.violations_pc) == [(("r0", 1), ("r1", 0))]
+        # The WC model allows the raced outcome: split-stream weakens
+        # PC towards WC rather than into the totally unordered.
+        assert not check.violations_wc
+
+    def test_fig2a_witness_schedule_pinned(self):
+        check = check_drain_policy(message_passing(),
+                                   DrainPolicy.SPLIT_STREAM, ("y",))
+        [(outcome, schedule)] = check.violation_schedules.items()
+        assert outcome == (("r0", 1), ("r1", 0))
+        assert schedule == FIG2A_WITNESS
+
+    def test_witness_schedule_is_causally_shaped(self):
+        """Structural (refactor-proof) form of the pinned witness."""
+        check = check_drain_policy(message_passing(),
+                                   DrainPolicy.SPLIT_STREAM, ("y",))
+        for schedule in check.violation_schedules.values():
+            routed = next(i for i, s in enumerate(schedule)
+                          if "DETECT+PUT" in s)
+            flag_read = next(i for i, s in enumerate(schedule)
+                             if "L(0x100000)=1" in s)
+            resolve = next(i for i, s in enumerate(schedule)
+                           if "RESOLVE" in s)
+            assert routed < flag_read < resolve
+
+
+class TestBudgets:
+    def test_engine_budget_raises_typed_error(self):
+        threads, deps = message_passing().to_events()
+        machine = machine_for("PC", threads, extra_ppo=deps)
+        for strategy in ("dpor", "naive"):
+            with pytest.raises(ExplorationBudgetExceeded):
+                explore(machine, strategy=strategy, max_states=3)
+
+    def test_crosscheck_budget(self):
+        with pytest.raises(ExplorationBudgetExceeded):
+            crosscheck_test(message_passing(), "PC", max_states=3)
+
+    def test_operational_layer_budget(self):
+        threads, _ = message_passing().to_events()
+        with pytest.raises(ExplorationBudgetExceeded):
+            sc_outcomes(threads, max_states=2)
+        with pytest.raises(ExplorationBudgetExceeded):
+            tso_outcomes(threads, max_states=2)
+        # Default budget is ample for litmus-sized programs.
+        assert sc_outcomes(threads) <= tso_outcomes(threads)
+
+
+class TestStrategies:
+    def test_dpor_never_exceeds_naive_interleavings(self):
+        for test in LIBRARY[:8]:
+            threads, deps = test.to_events()
+            machine = machine_for("PC", threads, extra_ppo=deps)
+            dpor = explore(machine, strategy="dpor")
+            naive = explore(machine, strategy="naive",
+                            dedupe_states=False)
+            assert dpor.outcomes == naive.outcomes
+            assert (dpor.stats.interleavings
+                    <= naive.stats.interleavings)
+
+    def test_every_outcome_has_a_schedule(self):
+        threads, deps = message_passing().to_events()
+        machine = machine_for("PC", threads, extra_ppo=deps)
+        result = explore(machine)
+        assert set(result.schedules) == result.outcomes
+        assert all(result.schedules.values())
+
+    def test_sample_schedules_subset_of_exhaustive(self):
+        threads, deps = message_passing().to_events()
+        machine = machine_for("PC", threads, extra_ppo=deps)
+        exhaustive = explore(machine).outcomes
+        stats = ExplorationStats(strategy="sample")
+        sampled, schedules = sample_schedules(machine,
+                                              random.Random(7), 50,
+                                              200, stats)
+        assert sampled <= exhaustive
+        assert set(schedules) == sampled
+
+    def test_stats_merge(self):
+        a = ExplorationStats(strategy="dpor", states_visited=3,
+                             interleavings=2, wall_time_s=0.5)
+        b = ExplorationStats(strategy="dpor", states_visited=4,
+                             interleavings=1, wall_time_s=0.25,
+                             max_depth=9)
+        a.merge(b)
+        assert a.states_visited == 7
+        assert a.interleavings == 3
+        assert a.max_depth == 9
+        assert a.as_dict()["wall_time_s"] == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# Property-based: DPOR is a sound and complete reduction
+# ----------------------------------------------------------------------
+LOCS = ("x", "y")
+
+
+@st.composite
+def small_programs(draw):
+    n_threads = draw(st.integers(min_value=2, max_value=3))
+    threads = []
+    budget = 6  # total ops, keeps the naive oracle tractable
+    for tid in range(n_threads):
+        # Leave at least one op of budget for every later thread.
+        cap = min(3, budget - (n_threads - tid - 1))
+        n_ops = draw(st.integers(min_value=1, max_value=cap))
+        budget -= n_ops
+        ops = []
+        for i in range(n_ops):
+            loc = draw(st.sampled_from(LOCS))
+            if draw(st.booleans()):
+                ops.append(("W", loc, draw(st.integers(1, 2))))
+            else:
+                ops.append(("R", loc, f"t{tid}r{i}"))
+        threads.append(ops)
+    return LitmusTest(name="prop", category="fuzz", threads=threads)
+
+
+class TestDPORProperty:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(test=small_programs(), model=st.sampled_from(["SC", "PC"]))
+    def test_dpor_equals_naive(self, test, model):
+        threads, deps = test.to_events()
+        machine = machine_for(model, threads, extra_ppo=deps)
+        dpor = explore(machine, strategy="dpor", max_states=200_000)
+        naive = explore(machine, strategy="naive",
+                        max_states=200_000, dedupe_states=False)
+        assert dpor.outcomes == naive.outcomes
+        assert dpor.stats.interleavings <= naive.stats.interleavings

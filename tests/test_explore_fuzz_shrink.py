@@ -1,0 +1,169 @@
+"""Fuzzer + ddmin shrinker over the exploration subsystem."""
+
+import pytest
+
+from repro.explore import (check_drain_policy, fuzz, mutate,
+                           rebuild_test, sanitise_threads, shrink_test)
+from repro.litmus.dsl import LitmusTest
+from repro.litmus.library import message_passing
+from repro.memmodel.imprecise import DrainPolicy
+
+import random
+
+
+def split_stream_race(test):
+    """Predicate: does any single faulting location make the test
+    race under split-stream?  Returns the (outcome, schedule) witness."""
+    for loc in test.locations:
+        check = check_drain_policy(test, DrainPolicy.SPLIT_STREAM,
+                                   (loc,), max_states=60_000)
+        for outcome in sorted(check.violations_pc):
+            return outcome, check.violation_schedules[outcome]
+    return None
+
+
+def mp_with_junk():
+    """MP plus irrelevant ops the shrinker must strip."""
+    mp = message_passing()
+    threads = [list(mp.threads[0]) + [("W", "z", 2), ("R", "z", "r9")],
+               [("R", "z", "r8")] + list(mp.threads[1]),
+               [("W", "z", 3)]]
+    return LitmusTest(name="MP+junk", category="fuzz",
+                      threads=sanitise_threads(threads))
+
+
+class TestSanitise:
+    def test_renames_registers_uniquely(self):
+        threads = sanitise_threads([
+            [("R", "x", "r0")], [("R", "y", "r0")],
+        ])
+        regs = [op[2] for ops in threads for op in ops]
+        assert len(set(regs)) == 2
+
+    def test_drops_empty_threads(self):
+        assert sanitise_threads([[], [("W", "x", 1)], []]) == \
+            [[("W", "x", 1)]]
+
+    def test_strips_dangling_dependencies(self):
+        threads = sanitise_threads([
+            [("Raddr", "x", "r1", "r_gone"), ("Wdata", "y", 1, "r_gone")],
+        ])
+        assert threads[0][0][0] == "R"
+        assert threads[0][1] == ("W", "y", 1)
+
+    def test_rewires_live_dependencies(self):
+        threads = sanitise_threads([
+            [("R", "x", "a"), ("Raddr", "y", "b", "a")],
+        ])
+        first_reg = threads[0][0][2]
+        assert threads[0][1] == ("Raddr", "y", threads[0][1][2],
+                                 first_reg)
+
+    def test_sanitised_output_compiles(self):
+        test = mp_with_junk()
+        test.to_events()
+        test.to_program()
+
+
+class TestShrink:
+    def test_uninteresting_test_returns_none(self):
+        # No store ever faults under an always-False predicate.
+        assert shrink_test(message_passing(), lambda t: None) is None
+
+    def test_shrinks_mp_junk_to_the_race_core(self):
+        base = mp_with_junk()
+        result = shrink_test(base, split_stream_race)
+        assert result is not None
+        assert result.original_ops == 8
+        # The Figure 2a race needs exactly data-W, flag-W, flag-R,
+        # data-R; everything else must go.
+        assert result.final_ops == 4
+        assert result.removed_ops == 4
+        assert len(result.test.threads) == 2
+        # The witness belongs to the *minimal* program: replay it.
+        assert split_stream_race(result.test) is not None
+        assert result.schedule
+        assert any("DETECT+PUT" in step for step in result.schedule)
+
+    def test_shrink_normalises_store_values(self):
+        base = mp_with_junk()
+        # Make the racing data store use a non-canonical value.
+        threads = [list(ops) for ops in base.threads]
+        threads[0][0] = ("W", "y", 7)
+        noisy = LitmusTest(name="MP+v7", category="fuzz",
+                           threads=threads)
+        result = shrink_test(noisy, split_stream_race)
+        assert result is not None
+        values = [op[2] for ops in result.test.threads
+                  for op in ops if op[0] == "W"]
+        assert set(values) == {1}
+
+    def test_describe_carries_schedule(self):
+        result = shrink_test(mp_with_junk(), split_stream_race)
+        text = result.describe()
+        assert "schedule:" in text and "outcome:" in text
+
+
+class TestMutate:
+    def test_mutants_are_well_formed(self):
+        rng = random.Random(0)
+        test = message_passing()
+        for _ in range(50):
+            test = mutate(test, rng)
+            test.to_events()  # compiles axiomatically
+            total = sum(len(ops) for ops in test.threads)
+            assert 1 <= total
+            assert len(test.threads) <= 3
+
+
+class TestFuzz:
+    def test_deterministic_for_fixed_seed(self):
+        kwargs = dict(seed=11, iterations=12, shrink=False)
+        a = fuzz(**kwargs)
+        b = fuzz(**kwargs)
+        assert a.mutants_explored == b.mutants_explored
+        assert [(f.kind, f.test.name, f.outcome) for f in a.findings] \
+            == [(f.kind, f.test.name, f.outcome) for f in b.findings]
+
+    def test_no_model_divergences_on_seeded_run(self):
+        """Operational and axiomatic layers agree on every mutant —
+        a divergence here is an engine bug."""
+        report = fuzz(seed=5, iterations=40,
+                      policies=())  # conformance only
+        assert report.model_divergences == []
+
+    def test_finds_and_shrinks_split_stream_race(self):
+        report = fuzz(seed=3, iterations=30,
+                      models=(),  # policy sweep only
+                      base_tests=[message_passing()],
+                      policies=(DrainPolicy.SAME_STREAM,
+                                DrainPolicy.SPLIT_STREAM))
+        races = report.policy_races
+        assert races, "fuzzer failed to find the Figure 2a race class"
+        # Same-stream must stay quiet: the paper's design admits no
+        # consistency-violating race.
+        assert all(f.policy == DrainPolicy.SPLIT_STREAM.value
+                   for f in races)
+        shrunk = [f for f in races if f.shrunk is not None]
+        assert shrunk, "no finding could be shrunk"
+        best = min(f.shrunk.final_ops for f in shrunk)
+        assert best == 4  # the minimal MP race core
+        for f in shrunk:
+            assert f.shrunk.schedule
+            assert f.shrunk.final_ops <= f.shrunk.original_ops
+
+    def test_summary_mentions_findings(self):
+        report = fuzz(seed=3, iterations=10, models=(),
+                      base_tests=[message_passing()],
+                      policies=(DrainPolicy.SPLIT_STREAM,))
+        text = report.summary()
+        assert "model divergences" in text
+        if report.findings:
+            assert "policy-race" in text
+
+    def test_max_findings_cap(self):
+        report = fuzz(seed=3, iterations=40, models=(),
+                      base_tests=[message_passing()],
+                      policies=(DrainPolicy.SPLIT_STREAM,),
+                      shrink=False, max_findings=1)
+        assert len(report.findings) == 1

@@ -1,0 +1,169 @@
+"""Semantics of the pluggable operational machines (repro.explore)."""
+
+import pytest
+
+from repro.explore import (ImpreciseMachine, Transition, explore,
+                           independent, machine_for)
+from repro.litmus.library import (amo_ordering, load_buffering,
+                                  message_passing,
+                                  message_passing_fenced, mp_addr_dep,
+                                  sb_with_forwarding, store_buffering,
+                                  store_buffering_fenced)
+from repro.memmodel.axioms import get_model
+from repro.memmodel.enumerator import allowed_outcomes
+from repro.memmodel.imprecise import DrainPolicy
+
+
+def explored(test, model, **kwargs):
+    threads, deps = test.to_events()
+    machine = machine_for(model, threads, extra_ppo=deps, **kwargs)
+    return explore(machine).outcomes
+
+
+def allowed(test, model_name):
+    threads, deps = test.to_events()
+    return allowed_outcomes(threads, get_model(model_name),
+                            extra_ppo=deps)
+
+
+def outcome(**regs):
+    return tuple(sorted(regs.items()))
+
+
+class TestCleanMachines:
+    def test_sc_matches_axiomatic(self):
+        for test in (store_buffering(), message_passing(),
+                     load_buffering()):
+            assert explored(test, "SC") == allowed(test, "SC")
+
+    def test_sc_forbids_sb_relaxation(self):
+        assert outcome(r0=0, r1=0) not in explored(store_buffering(),
+                                                   "SC")
+
+    def test_tso_allows_sb_relaxation(self):
+        test = store_buffering()
+        outs = explored(test, "PC")
+        assert outcome(r0=0, r1=0) in outs
+        assert outs == allowed(test, "PC")
+
+    def test_fences_restore_sc_on_sb(self):
+        test = store_buffering_fenced()
+        assert explored(test, "PC") == allowed(test, "SC")
+
+    def test_store_forwarding(self):
+        test = sb_with_forwarding()
+        assert explored(test, "PC") == allowed(test, "PC")
+
+    def test_atomics_globally_ordered(self):
+        test = amo_ordering()
+        assert explored(test, "PC") == allowed(test, "PC")
+
+    def test_wc_allows_mp_relaxation(self):
+        assert outcome(r0=1, r1=0) in explored(message_passing(), "WC")
+
+    def test_wc_sound_wrt_rvwmo(self):
+        for test in (message_passing(), message_passing_fenced(),
+                     mp_addr_dep(), load_buffering()):
+            assert explored(test, "WC") <= allowed(test, "RVWMO")
+
+    def test_wc_respects_addr_dependency(self):
+        test = mp_addr_dep()
+        assert outcome(r0=1, r1=0) not in explored(test, "WC")
+
+
+class TestImpreciseMachine:
+    def test_same_stream_preserves_pc(self):
+        for test in (message_passing(), store_buffering()):
+            threads, deps = test.to_events()
+            faults = frozenset(test.location_addr(loc)
+                               for loc in test.locations)
+            machine = machine_for("PC", threads, extra_ppo=deps,
+                                  faulting=faults,
+                                  policy=DrainPolicy.SAME_STREAM)
+            assert explore(machine).outcomes <= allowed(test, "PC")
+
+    def test_same_stream_keeps_sb_relaxation_observable(self):
+        test = store_buffering()
+        threads, deps = test.to_events()
+        faults = frozenset(test.location_addr(loc)
+                           for loc in test.locations)
+        machine = machine_for("PC", threads, extra_ppo=deps,
+                              faulting=faults,
+                              policy=DrainPolicy.SAME_STREAM)
+        assert outcome(r0=0, r1=0) in explore(machine).outcomes
+
+    def test_split_stream_breaks_pc_on_mp(self):
+        test = message_passing()
+        threads, deps = test.to_events()
+        machine = machine_for("PC", threads, extra_ppo=deps,
+                              faulting={test.location_addr("y")},
+                              policy=DrainPolicy.SPLIT_STREAM)
+        outs = explore(machine).outcomes
+        assert outcome(r0=1, r1=0) in outs
+        assert outcome(r0=1, r1=0) not in allowed(test, "PC")
+
+    def test_all_locations_faulting_makes_policies_equal(self):
+        # When every store faults, split-stream degenerates to a
+        # single in-order stream: both policies explore the same set.
+        for test in (message_passing(), store_buffering()):
+            threads, deps = test.to_events()
+            faults = frozenset(test.location_addr(loc)
+                               for loc in test.locations)
+            per_policy = []
+            for policy in (DrainPolicy.SAME_STREAM,
+                           DrainPolicy.SPLIT_STREAM):
+                machine = machine_for("PC", threads, extra_ppo=deps,
+                                      faulting=faults, policy=policy)
+                per_policy.append(explore(machine).outcomes)
+            assert per_policy[0] == per_policy[1]
+
+    def test_faulting_requires_tso_base(self):
+        threads, deps = message_passing().to_events()
+        for model in ("SC", "WC"):
+            with pytest.raises(ValueError):
+                machine_for(model, threads, extra_ppo=deps,
+                            faulting={0x100000})
+
+    def test_machine_for_rejects_unknown_model(self):
+        with pytest.raises(KeyError):
+            machine_for("POWER", [[]])
+
+    def test_imprecise_machine_is_inexact(self):
+        threads, deps = message_passing().to_events()
+        machine = machine_for("PC", threads, extra_ppo=deps,
+                              faulting={0x100000})
+        assert isinstance(machine, ImpreciseMachine)
+        assert machine.exact is False
+
+
+class TestIndependence:
+    @staticmethod
+    def t(group, key, reads=(), writes=()):
+        return Transition(group=group, key=key, kind="step",
+                          reads=frozenset(reads),
+                          writes=frozenset(writes), label=str(key))
+
+    def test_same_group_never_independent(self):
+        a = self.t(0, ("step", 0, 0), writes={1})
+        b = self.t(0, ("drain", 0, 1), writes={2})
+        assert not independent(a, b)
+
+    def test_disjoint_footprints_commute(self):
+        a = self.t(0, ("step", 0, 0), writes={1})
+        b = self.t(1, ("step", 1, 0), writes={2})
+        assert independent(a, b)
+
+    def test_write_write_conflict(self):
+        a = self.t(0, ("step", 0, 0), writes={1})
+        b = self.t(1, ("step", 1, 0), writes={1})
+        assert not independent(a, b)
+
+    def test_write_read_conflict(self):
+        a = self.t(0, ("step", 0, 0), writes={1})
+        b = self.t(1, ("step", 1, 0), reads={1})
+        assert not independent(a, b)
+
+    def test_read_read_commutes(self):
+        a = self.t(0, ("step", 0, 0), reads={1})
+        b = self.t(1, ("step", 1, 0), reads={1})
+        assert independent(a, b)

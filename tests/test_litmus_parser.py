@@ -111,3 +111,26 @@ x=5;
         # locations default to 0 in the harness, so the init block for
         # memory is informational. The load should still compile.
         assert test.threads[0] == [("R", "x", "0:x6")]
+
+
+class TestGeneratedSuiteUniqueness:
+    """generate_all() must not hand the campaign duplicate programs."""
+
+    def test_no_duplicate_programs(self):
+        from repro.litmus.generator import generate_all, program_digest
+        tests = generate_all()
+        digests = [program_digest(t) for t in tests]
+        assert len(digests) == len(set(digests)), \
+            "generate_all() returned structurally identical programs"
+
+    def test_names_still_unique(self):
+        from repro.litmus.generator import generate_all
+        names = [t.name for t in generate_all()]
+        assert len(names) == len(set(names))
+
+    def test_dedupe_keeps_first_occurrence(self):
+        from repro.litmus.generator import dedupe_tests, generate_co_tests
+        tests = generate_co_tests()
+        doubled = tests + tests
+        assert [t.name for t in dedupe_tests(doubled)] == \
+            [t.name for t in tests]
