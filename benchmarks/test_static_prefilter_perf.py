@@ -1,0 +1,109 @@
+"""Static pre-filter effectiveness on the campaign enumeration path.
+
+The metric is the one the classifier actually changes: how many tests
+need their allowed set enumerated under the *relaxed* reference model
+(PC here — the campaign default).  Without the pre-filter that is
+every test; with it, only the tests the Shasha–Snir classifier could
+not prove SC-equivalent.  The acceptance criterion is a ≥ 2× drop
+(under PC most generated shapes carry enough fences/dependencies to
+be provably SC-equivalent), plus the end-to-end assertion that the
+pre-filtered sweep yields bit-identical allowed sets.  Wall times for
+both sweeps are recorded for the trajectory but not asserted — on
+this corpus's tiny tests classification overhead can rival the
+enumeration it saves; the win scales with test size, the counter is
+the stable signal.
+
+Set ``REPRO_BENCH_RECORD=1`` to append the measurement to
+``BENCH_static.json`` (the cross-PR trajectory).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.litmus.generator import generate_all
+from repro.litmus.harness import allowed_set
+from repro.litmus.library import all_library_tests
+from repro.memmodel import enumerator as EN
+from repro.memmodel.axioms import get_model
+from repro.staticanalysis import classify
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_static.json"
+REFERENCE = "PC"
+
+
+def _corpus():
+    return generate_all() + all_library_tests()
+
+
+def _sweep_without_prefilter(tests, model):
+    EN._STATIC_CACHE.clear()
+    out = {}
+    started = time.perf_counter()
+    for test in tests:
+        out[test.name] = frozenset(allowed_set(test, model))
+    return out, time.perf_counter() - started, len(tests)
+
+
+def _sweep_with_prefilter(tests, model):
+    """Classify first; SC-equivalent tests enumerate under SC."""
+    EN._STATIC_CACHE.clear()
+    sc = get_model("SC")
+    out = {}
+    relaxed_enumerations = 0
+    started = time.perf_counter()
+    for test in tests:
+        if classify(test, model).sc_equivalent:
+            out[test.name] = frozenset(allowed_set(test, sc))
+        else:
+            relaxed_enumerations += 1
+            out[test.name] = frozenset(allowed_set(test, model))
+    return out, time.perf_counter() - started, relaxed_enumerations
+
+
+def _record(entry):
+    if not os.environ.get("REPRO_BENCH_RECORD"):
+        return
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+
+def test_prefilter_halves_relaxed_enumerations(benchmark):
+    """Acceptance: ≥ 2× fewer tests need a full relaxed-model
+    enumeration, with bit-identical allowed sets."""
+    tests = _corpus()
+    model = get_model(REFERENCE)
+    base_allowed, base_s, base_enums = \
+        _sweep_without_prefilter(tests, model)
+
+    def prefiltered():
+        return _sweep_with_prefilter(tests, model)
+
+    pre_allowed, pre_s, pre_enums = run_once(benchmark, prefiltered)
+    assert pre_allowed == base_allowed  # soundness, end to end
+    assert base_enums == len(tests)
+    reduction = base_enums / max(1, pre_enums)
+    entry = {
+        "bench": "static-prefilter",
+        "model": REFERENCE,
+        "tests": len(tests),
+        "relaxed_enumerations_without": base_enums,
+        "relaxed_enumerations_with": pre_enums,
+        "reduction": round(reduction, 2),
+        "baseline_s": round(base_s, 4),
+        "prefiltered_s": round(pre_s, 4),
+    }
+    benchmark.extra_info.update(entry)
+    _record(entry)
+    print(f"\nrelaxed enumerations {base_enums} -> {pre_enums} "
+          f"({reduction:.1f}x) | sweep {base_s:.3f}s -> {pre_s:.3f}s "
+          f"over {len(tests)} tests under {REFERENCE}")
+    assert reduction >= 2.0, (
+        f"pre-filter only cut relaxed-model enumerations by "
+        f"{reduction:.1f}x (need >= 2x)")

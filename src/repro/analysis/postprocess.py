@@ -21,11 +21,13 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v3"
-#: Still readable; v3 added the ``explorer`` totals block and the
-#: per-test ``explorer`` cross-check entries; v2 added the
-#: ``enumerator`` totals block, per-test ``enumerator`` stats, and
-#: ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v4"
+#: Still readable; v4 added the ``static`` pre-filter totals block
+#: and per-test ``static`` classifications; v3 added the ``explorer``
+#: totals block and the per-test ``explorer`` cross-check entries; v2
+#: added the ``enumerator`` totals block, per-test ``enumerator``
+#: stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V3 = "repro.litmus.campaign-report/v3"
 CAMPAIGN_REPORT_SCHEMA_V2 = "repro.litmus.campaign-report/v2"
 CAMPAIGN_REPORT_SCHEMA_V1 = "repro.litmus.campaign-report/v1"
 
@@ -120,15 +122,17 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v3`` (documented in
+    Schema ``repro.litmus.campaign-report/v4`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
     ``None`` when a pass did not run), any negative differences, the
     reference enumerator's stats (``None`` for cache-served tests),
-    and the operational exploration cross-check (``None`` when
-    ``config.explore`` was off).  The top level adds summed
-    enumerator counters, summed explorer counters, and the
-    allowed-set cache hit rate.
+    the operational exploration cross-check (``None`` when
+    ``config.explore`` was off), and the static pre-filter
+    classification (``None`` when ``config.prefilter`` was off or the
+    allowed set came from the cache).  The top level adds summed
+    enumerator counters, summed explorer counters, summed static
+    pre-filter counters, and the allowed-set cache hit rate.
     """
     results = []
     for v in report.verdicts:
@@ -151,6 +155,7 @@ def campaign_report_dict(report) -> Dict:
             "clean": passes["clean"],
             "enumerator": v.enum_stats,
             "explorer": v.explore_check,
+            "static": v.static_check,
         })
     lookups = report.cache_hits + report.cache_misses
     return {
@@ -167,6 +172,7 @@ def campaign_report_dict(report) -> Dict:
                                if lookups else 0.0)},
         "enumerator": report.enumerator_totals(),
         "explorer": report.explorer_totals(),
+        "static": report.static_totals(),
         "totals": {
             "failures": len(report.failures),
             "imprecise_exceptions": report.total_imprecise_exceptions,
@@ -191,6 +197,7 @@ def write_campaign_report(path, report) -> Dict:
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V3,
                                      CAMPAIGN_REPORT_SCHEMA_V2,
                                      CAMPAIGN_REPORT_SCHEMA_V1):
         raise ValueError(

@@ -17,6 +17,9 @@ command     regenerates
             tests, incl. imprecise-machine drain-policy sweeps
 ``fuzz``    random litmus mutation + divergence shrinking over the
             operational/axiomatic pair
+``lint``    static well-formedness lint over litmus tests and
+            ``.litmus`` files (rule catalogue:
+            ``docs/static_analysis.md``)
 ==========  ==========================================================
 """
 
@@ -45,7 +48,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     config = RunConfig(model=args.model, seeds=args.seeds,
                        inject_faults=not args.no_faults,
                        clean_pass=not args.skip_clean,
-                       explore=args.explore)
+                       explore=args.explore,
+                       prefilter=args.prefilter)
     report = check_suite(tests, config, jobs=args.jobs, cache=args.cache)
     print(report.summary(explain=True))
 
@@ -130,6 +134,58 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 print("  schedule: " + " | ".join(schedule))
             ok = ok and check.ok
     return 0 if ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .staticanalysis import has_lint_errors, lint_file, lint_tests
+
+    ignore = tuple(args.ignore or ())
+    findings = []
+    scanned = 0
+
+    def lint_dir(directory) -> None:
+        nonlocal scanned
+        paths = sorted(Path(directory).glob("*.litmus"))
+        if not paths:
+            raise SystemExit(f"no .litmus files under {directory}")
+        for path in paths:
+            scanned += 1
+            findings.extend(lint_file(path, ignore=ignore))
+
+    selected = False
+    if args.all:
+        from .litmus import all_library_tests
+        from .litmus.generator import generate_all
+        tests = generate_all() + all_library_tests()
+        scanned += len(tests)
+        findings.extend(lint_tests(tests, ignore=ignore))
+        if Path("litmus_files").is_dir():
+            lint_dir("litmus_files")
+        selected = True
+    if args.files:
+        lint_dir(args.files)
+        selected = True
+    if args.tests or not selected:
+        tests = _select_tests(args.tests)
+        scanned += len(tests)
+        findings.extend(lint_tests(tests, ignore=ignore))
+
+    for finding in findings:
+        print(finding.render())
+    errors = sum(1 for f in findings if f.severity == "error")
+    print(f"lint: {scanned} test(s) scanned, {len(findings)} "
+          f"finding(s), {errors} error(s)")
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            {"schema": "repro.lint-report/v1", "scanned": scanned,
+             "errors": errors,
+             "findings": [f.as_dict() for f in findings]},
+            indent=1, sort_keys=True))
+        print(f"lint report written: {args.json}")
+    return 1 if has_lint_errors(findings) else 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -256,7 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "on the operational machine "
                              "(repro.explore); adds an 'explorer' "
                              "block to verdicts and the JSON report")
+    litmus.add_argument("--prefilter", action="store_true",
+                        help="classify each test statically first and "
+                             "enumerate provably SC-equivalent tests "
+                             "under SC (repro.staticanalysis); adds a "
+                             "'static' block to the JSON report")
     litmus.set_defaults(fn=_cmd_litmus)
+
+    lint = sub.add_parser(
+        "lint", help="static well-formedness lint for litmus tests")
+    lint.add_argument("tests", nargs="*", metavar="TEST",
+                      help="test names (default: the hand-written "
+                           "library, unless --all/--files is given)")
+    lint.add_argument("--all", action="store_true",
+                      help="lint the library + generated suite, plus "
+                           "./litmus_files if present")
+    lint.add_argument("--files", metavar="DIR",
+                      help="lint every .litmus file in DIR (parse "
+                           "failures become L000 findings)")
+    lint.add_argument("--ignore", action="append", metavar="RULE",
+                      help="drop a rule ID (repeatable, e.g. "
+                           "--ignore L004)")
+    lint.add_argument("--json", metavar="PATH",
+                      help="write machine-readable findings")
+    lint.set_defaults(fn=_cmd_lint)
 
     explore = sub.add_parser(
         "explore", help="exhaustively model-check litmus tests")

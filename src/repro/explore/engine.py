@@ -351,6 +351,11 @@ class ExplorationCheck:
     stats: ExplorationStats
     violation_schedules: Dict[Outcome, Schedule] = field(
         default_factory=dict)
+    #: True when the static pre-filter proved the test SC-equivalent
+    #: and the (cheaper) SC machine was explored in place of the
+    #: requested relaxed machine — sound because the outcome sets are
+    #: provably identical.
+    prefiltered: bool = False
 
     @property
     def violations(self) -> Set[Outcome]:
@@ -384,6 +389,7 @@ class ExplorationCheck:
             "missing": sorted(
                 [list(pair) for pair in outcome]
                 for outcome in self.missing),
+            "prefiltered": self.prefiltered,
             "stats": self.stats.as_dict(),
         }
 
@@ -391,7 +397,8 @@ class ExplorationCheck:
 def crosscheck_test(test, model: str = "PC",
                     strategy: str = "dpor",
                     max_states: int = DEFAULT_MAX_STATES,
-                    allowed: Optional[Set[Outcome]] = None
+                    allowed: Optional[Set[Outcome]] = None,
+                    prefilter: bool = False
                     ) -> ExplorationCheck:
     """Explore ``test`` on the operational machine for ``model`` and
     compare against the axiomatic allowed set.
@@ -399,10 +406,24 @@ def crosscheck_test(test, model: str = "PC",
     ``test`` is a :class:`repro.litmus.dsl.LitmusTest`; ``model`` is
     an engine model name (``SC`` / ``PC`` / ``WC``, aliases ``TSO`` /
     ``RVWMO``).  Pass ``allowed`` to skip re-enumeration (campaign
-    cache integration).
+    cache integration).  ``prefilter`` runs the static Shasha–Snir
+    classifier first and, on an ``SC_EQUIVALENT`` verdict, explores
+    the SC machine instead — sound because exact machines realise
+    exactly their model's allowed set, and SC-equivalence makes the
+    relaxed machine's set bit-identical to SC's.
     """
     threads, deps = test.to_events()
     machine = machine_for(model, threads, extra_ppo=deps)
+    prefiltered = False
+    if prefilter and machine.model_name != "SC":
+        from ..memmodel.axioms import get_model
+        from ..staticanalysis import classify_events
+        cls = classify_events(threads, deps,
+                              get_model(machine.model_name),
+                              test_name=test.name)
+        if cls.sc_equivalent:
+            machine = machine_for("SC", threads, extra_ppo=deps)
+            prefiltered = True
     result = explore(machine, strategy=strategy, max_states=max_states)
     if allowed is None:
         from ..memmodel.axioms import get_model
@@ -413,7 +434,7 @@ def crosscheck_test(test, model: str = "PC",
         model_name=machine.model_name, strategy=result.stats.strategy,
         require_equality=machine.exact,
         operational=set(result.outcomes), allowed=set(allowed),
-        stats=result.stats)
+        stats=result.stats, prefiltered=prefiltered)
     check.violation_schedules = {
         o: result.schedules[o] for o in check.violations}
     return check

@@ -279,4 +279,13 @@ def run_campaign(tests: Sequence[LitmusTest],
                  xt["transitions_executed"], xt["interleavings"],
                  xt["sleep_set_blocks"], xt["races_detected"],
                  xt["wall_time_s"])
+    if config.prefilter:
+        st = report.static_totals()
+        log.info("campaign static pre-filter: %d classified "
+                 "(%d sc-equivalent, %d relaxable, %d unknown), "
+                 "%d short-circuited to SC, %d cache-served, %.3fs",
+                 st["tests_classified"], st["sc_equivalent"],
+                 st["relaxable"], st["unknown"],
+                 st["short_circuited"], st["tests_skipped"],
+                 st["wall_time_s"])
     return report

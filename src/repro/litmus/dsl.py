@@ -73,6 +73,11 @@ class LitmusTest:
     #: Outcome the weaker model permits but a stronger model forbids
     #: (purely informational; the harness computes allowed sets).
     spotlight: Optional[LitmusOutcome] = None
+    #: Initialiser block as parsed from ``.litmus`` text — keys are
+    #: location names or ``(thread, register)`` pairs.  Informational
+    #: (compilation zero-initialises memory); the linter checks it
+    #: for dead entries (rule ``L004``).
+    init: Optional[Dict] = field(default=None, compare=False, repr=False)
 
     @property
     def locations(self) -> List[str]:

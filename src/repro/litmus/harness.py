@@ -85,6 +85,12 @@ class TestVerdict:
     #: (``ok``), violation/missing outcome lists, and the
     #: ``ExplorationStats`` counters.
     explore_check: Optional[Dict] = None
+    #: ``Classification.as_dict()`` from the static pre-filter
+    #: (:mod:`repro.staticanalysis`), plus a ``short_circuited`` flag
+    #: recording whether the allowed set was enumerated under SC
+    #: instead of the relaxed reference.  ``None`` when
+    #: ``config.prefilter`` was off or a cached allowed set was used.
+    static_check: Optional[Dict] = None
 
     @property
     def explore_ok(self) -> Optional[bool]:
@@ -211,6 +217,33 @@ class SuiteReport:
         totals["wall_time_s"] = round(totals["wall_time_s"], 6)
         return totals
 
+    def static_totals(self) -> Dict[str, float]:
+        """Summed static pre-filter counters over every verdict that
+        classified its test (``None`` entries are counted in
+        ``tests_skipped``)."""
+        totals: Dict[str, float] = {
+            "tests_classified": 0,
+            "tests_skipped": 0,
+            "sc_equivalent": 0,
+            "relaxable": 0,
+            "unknown": 0,
+            "short_circuited": 0,
+            "wall_time_s": 0.0,
+        }
+        for v in self.verdicts:
+            if v.static_check is None:
+                totals["tests_skipped"] += 1
+                continue
+            totals["tests_classified"] += 1
+            key = str(v.static_check.get("verdict", "")).replace("-", "_")
+            if key in totals:
+                totals[key] += 1
+            if v.static_check.get("short_circuited"):
+                totals["short_circuited"] += 1
+            totals["wall_time_s"] += v.static_check.get("wall_time_s", 0.0)
+        totals["wall_time_s"] = round(totals["wall_time_s"], 6)
+        return totals
+
     def category_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for v in self.verdicts:
@@ -278,6 +311,19 @@ def check_test(test: LitmusTest,
     started = time.perf_counter()
     reference = get_model(ENGINE_REFERENCE_MODEL[config.model])
     enum_stats = None
+    static_check = None
+    if config.prefilter and allowed is None:
+        # Sound pre-filter: an SC_EQUIVALENT verdict proves the
+        # reference allowed set is bit-identical to SC's, so the far
+        # cheaper SC enumeration stands in for the relaxed one.
+        from ..staticanalysis import classify
+        cls = classify(test, reference)
+        static_check = cls.as_dict()
+        short = cls.sc_equivalent and reference.name != "SC"
+        static_check["short_circuited"] = short
+        if short:
+            allowed, stats = allowed_set_with_stats(test, get_model("SC"))
+            enum_stats = stats.as_dict()
     if allowed is None:
         allowed, stats = allowed_set_with_stats(test, reference)
         enum_stats = stats.as_dict()
@@ -286,7 +332,8 @@ def check_test(test: LitmusTest,
         from ..explore import crosscheck_test
         check = crosscheck_test(test, config.model,
                                 strategy=config.explore,
-                                allowed=allowed)
+                                allowed=allowed,
+                                prefilter=config.prefilter)
         explore_check = check.as_dict()
     run = run_test(test, config)
     conformance = check_outcome_set(allowed, run.outcomes,
@@ -301,7 +348,8 @@ def check_test(test: LitmusTest,
                        clean_conformance=clean_conformance,
                        wall_time=time.perf_counter() - started,
                        enum_stats=enum_stats,
-                       explore_check=explore_check)
+                       explore_check=explore_check,
+                       static_check=static_check)
 
 
 def check_suite(tests: Sequence[LitmusTest],

@@ -64,37 +64,52 @@ def parse_litmus(text: str, category: str = CAT_BARRIER) -> LitmusTest:
     spotlight = _parse_exists(cond_line) if cond_line else None
 
     test = LitmusTest(name=name, category=category, threads=threads,
-                      spotlight=spotlight)
+                      spotlight=spotlight, init=init_block or None)
     return test
 
 
 # ----------------------------------------------------------------------
 def _parse_init(lines: List[str]) -> Tuple[Dict, int]:
     """Parse the ``{ ... }`` init block; returns (assignments, index
-    of the first body line)."""
-    init: Dict[str, int] = {}
+    of the first body line).
+
+    Each ``reg=value`` / ``loc=value`` statement may appear at most
+    once: a duplicate key raises :class:`LitmusParseError` naming both
+    lines instead of silently letting the last assignment win (line
+    numbers are 1-based over the test text).
+    """
+    init: Dict = {}
+    first_line: Dict = {}
     idx = 1
     if idx >= len(lines) or not lines[idx].strip().startswith("{"):
         return init, idx
-    # Accumulate until the closing brace.
-    content = []
+    # Collect (statement, line number) pairs until the closing brace.
+    stmts: List[Tuple[str, int]] = []
     while idx < len(lines):
         line = lines[idx].strip()
-        content.append(line.strip("{}"))
+        lineno = idx + 1
+        for stmt in line.strip("{}").split(";"):
+            stmt = stmt.strip()
+            if stmt:
+                stmts.append((stmt, lineno))
         idx += 1
         if line.endswith("}"):
             break
-    for stmt in ";".join(content).split(";"):
-        stmt = stmt.strip()
-        if not stmt:
-            continue
+    for stmt, lineno in stmts:
         match = re.match(r"^(?:(\d+):)?([A-Za-z_]\w*)\s*=\s*(-?\d+)$",
                          stmt)
         if not match:
-            raise LitmusParseError(f"bad init statement: {stmt!r}")
+            raise LitmusParseError(
+                f"line {lineno}: bad init statement: {stmt!r}")
         thread, target, value = match.groups()
         key = (int(thread), target) if thread is not None else target
+        if key in init:
+            label = f"{thread}:{target}" if thread is not None else target
+            raise LitmusParseError(
+                f"line {lineno}: duplicate initialiser for {label} "
+                f"(first defined at line {first_line[key]})")
         init[key] = int(value)
+        first_line[key] = lineno
     return init, idx
 
 

@@ -71,6 +71,11 @@ class RunConfig:
     #: (:mod:`repro.explore`): ``None`` disables it, else one of
     #: :data:`repro.explore.STRATEGIES` (``"dpor"`` recommended).
     explore: Optional[str] = None
+    #: Run the static Shasha–Snir classifier before enumeration and,
+    #: on a proven ``SC_EQUIVALENT`` verdict, enumerate (and explore)
+    #: under SC instead of the relaxed reference — bit-identical
+    #: results, far cheaper (:mod:`repro.staticanalysis`).
+    prefilter: bool = False
 
     def system_config(self, cores: int) -> SystemConfig:
         return small_config(cores=cores, consistency=self.model)

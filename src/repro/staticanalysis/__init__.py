@@ -1,0 +1,43 @@
+"""Static happens-before analysis over litmus programs.
+
+Everything in this package works from program *structure* alone — no
+rf/co enumeration, no operational exploration:
+
+* :mod:`~repro.staticanalysis.cycles` — Shasha–Snir delay-set
+  classifier: build the static conflict graph and decide per model
+  whether any critical cycle can exist (``RELAXABLE``) or the test is
+  provably ``SC_EQUIVALENT`` (its allowed set equals SC's, so the
+  enumerator may run under SC instead — the campaign pre-filter).
+* :mod:`~repro.staticanalysis.fences` — fence advisor: a minimal
+  fence insertion covering every delay pair, emitting a patched test.
+* :mod:`~repro.staticanalysis.drain` — split-stream hazard detector:
+  the Figure 2a faulting-store → younger-store → remote-observer
+  cycle shape, found without exploring the imprecise machine.
+* :mod:`~repro.staticanalysis.lint` — well-formedness linter with a
+  machine-readable rule catalogue (``repro lint``).
+
+Soundness contracts (enforced by ``tests/test_staticanalysis.py``):
+``SC_EQUIVALENT`` implies bit-identical allowed sets under the model
+and SC; a ``race-free`` drain verdict implies
+:func:`repro.explore.check_drain_policy` finds no split-stream race.
+The converse directions are conservative — ``RELAXABLE`` and
+``possible-race`` may be false alarms, never silent misses.
+"""
+
+from .cycles import (Classification, CriticalCycle, Verdict, classify,
+                     classify_events)
+from .drain import (DrainHazardReport, DrainVerdict, HazardWitness,
+                    detect_drain_hazards)
+from .fences import FenceAdvice, FencePlacement, advise_fences
+from .lint import (LINT_RULES, LintFinding, has_lint_errors, lint_file,
+                   lint_test, lint_tests)
+
+__all__ = [
+    "Classification", "CriticalCycle", "Verdict", "classify",
+    "classify_events",
+    "DrainHazardReport", "DrainVerdict", "HazardWitness",
+    "detect_drain_hazards",
+    "FenceAdvice", "FencePlacement", "advise_fences",
+    "LINT_RULES", "LintFinding", "has_lint_errors", "lint_file",
+    "lint_test", "lint_tests",
+]

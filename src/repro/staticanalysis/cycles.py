@@ -1,0 +1,307 @@
+"""Shasha–Snir delay-set classification of litmus programs.
+
+A relaxed model M can only disagree with SC on a program if some
+*critical cycle* exists: a cycle alternating intra-core program-order
+segments with cross-core conflict edges (two accesses to the same
+address, at least one a write) in which at least one segment's
+endpoint pair is **not** preserved by M.  This module builds that
+graph statically — from the event structure alone, before any rf/co
+enumeration — and classifies each test:
+
+* ``SC_EQUIVALENT`` — no delay pair closes a cycle, so every
+  M-consistent candidate is SC-consistent and the allowed sets are
+  bit-identical.  The campaign pre-filter exploits this by
+  enumerating under SC (far fewer ghb edges to order) instead of M.
+* ``RELAXABLE`` — at least one delay pair sits on a conflict cycle;
+  the witnessing cycles are reported (and drive the fence advisor).
+  This direction is conservative: a ``RELAXABLE`` verdict does *not*
+  guarantee the allowed sets differ.
+* ``UNKNOWN`` — the analyzer declined (unexpected event kinds or an
+  internal error); callers must fall back to full enumeration.
+
+Soundness of ``SC_EQUIVALENT`` (the argument is spelled out in
+``docs/static_analysis.md``): take an M-consistent, SC-inconsistent
+candidate.  Coherence forces internal rf/co/fr onto program order, so
+a minimal SC-ghb cycle normalises to po segments joined by external
+communication edges — a cycle in our conflict graph.  A segment whose
+endpoint pair is in the transitive closure of
+``ppo_M ∪ fences ∪ deps`` is an M-ghb path; a same-address
+store→load segment (the one hole every model here leaves open, for
+forwarding) is bypassed by coherence: ``w →po_loc→ r`` forces
+``rf(r) ∈ {w} ∪ co-after(w)``, so the fr edge leaving ``r`` targets a
+write co-after ``w`` and ``w →co→ w'`` replaces the segment inside
+M-ghb.  If every segment is preserved or bypassed the whole cycle
+lands in M-ghb — contradicting M-consistency.  Hence a cycle requires
+a *delay pair*: a po pair neither closed under preserved order nor a
+same-address store→load.  No delay pair on a conflict cycle ⇒ no
+critical cycle ⇒ allowed(M) = allowed(SC).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..memmodel.axioms import MemoryModel, get_model
+from ..memmodel.events import Event, EventKind
+from ..memmodel.relations import Edge, StaticRelations, transitive_closure
+
+#: Event kinds the classifier reasons about; anything else (future
+#: protocol events, OS stores) flips the verdict to ``UNKNOWN``.
+_SUPPORTED_KINDS = frozenset((EventKind.LOAD, EventKind.STORE,
+                              EventKind.ATOMIC, EventKind.FENCE))
+
+
+class Verdict(Enum):
+    """Classifier outcome for one (test, model) pair."""
+
+    SC_EQUIVALENT = "sc-equivalent"
+    RELAXABLE = "relaxable"
+    UNKNOWN = "unknown"
+
+
+def describe_event(ev: Event) -> str:
+    """Stable human-readable event label for witnesses/reports."""
+    if ev.is_fence:
+        return f"C{ev.core}:{ev.index}:F.{ev.fence.value}"
+    kind = {EventKind.LOAD: "R", EventKind.STORE: "W",
+            EventKind.ATOMIC: "A"}.get(ev.kind, ev.kind.value)
+    addr = f"0x{ev.addr:x}" if ev.addr is not None else "?"
+    return f"C{ev.core}:{ev.index}:{kind}({addr})"
+
+
+@dataclass(frozen=True)
+class CriticalCycle:
+    """One witnessing cycle: uids in order, edge kind after each node.
+
+    ``nodes[0] → nodes[1]`` is always the delay pair (edge kind
+    ``"delay"``); subsequent edges are ``"po"`` (same core) or
+    ``"cf"`` (cross-core conflict).  The cycle closes from the last
+    node back to ``nodes[0]``.
+    """
+
+    nodes: Tuple[int, ...]
+    edges: Tuple[str, ...]
+    delay: Edge
+
+    def describe(self, by_uid: Dict[int, Event]) -> str:
+        parts = []
+        for uid, kind in zip(self.nodes, self.edges):
+            parts.append(f"{describe_event(by_uid[uid])} -{kind}->")
+        return " ".join(parts) + f" {describe_event(by_uid[self.nodes[0]])}"
+
+
+@dataclass
+class Classification:
+    """Static verdict for one (test, model) pair."""
+
+    test_name: str
+    model_name: str
+    verdict: Verdict
+    #: Po pairs not preserved by the model *and* closing a conflict
+    #: cycle — the pairs a fence must cover.
+    delay_pairs: Tuple[Edge, ...] = ()
+    #: One minimal witnessing cycle per delay pair.
+    cycles: Tuple[CriticalCycle, ...] = ()
+    #: Why the verdict is ``UNKNOWN`` (empty otherwise).
+    reason: str = ""
+    wall_time_s: float = 0.0
+    cycle_descriptions: Tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def sc_equivalent(self) -> bool:
+        return self.verdict is Verdict.SC_EQUIVALENT
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test_name,
+            "model": self.model_name,
+            "verdict": self.verdict.value,
+            "delay_pairs": len(self.delay_pairs),
+            "cycles": list(self.cycle_descriptions),
+            "reason": self.reason,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+
+# ----------------------------------------------------------------------
+# Graph construction
+# ----------------------------------------------------------------------
+def po_chain_adjacency(static: StaticRelations) -> Dict[int, Set[int]]:
+    """Immediate program-order successors per event (transitivity is
+    recovered by path reachability, so the chain suffices)."""
+    adj: Dict[int, Set[int]] = {e.uid: set() for e in static.events}
+    for core in static.cores:
+        evs = static.core_events(core)
+        for a, b in zip(evs, evs[1:]):
+            adj[a.uid].add(b.uid)
+    return adj
+
+
+def conflict_edges(static: StaticRelations) -> Set[Edge]:
+    """Symmetric cross-core conflict pairs: same address, at least one
+    write, different cores.  Initial writes (core -1) are excluded —
+    they have no incoming edges and cannot sit on a cycle."""
+    by_addr: Dict[int, List[Event]] = {}
+    for e in static.events:
+        if e.core >= 0 and e.is_memory_access and e.addr is not None:
+            by_addr.setdefault(e.addr, []).append(e)
+    edges: Set[Edge] = set()
+    for accesses in by_addr.values():
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if a.core == b.core:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                edges.add((a.uid, b.uid))
+                edges.add((b.uid, a.uid))
+    return edges
+
+
+def conflict_graph(static: StaticRelations) -> Dict[int, Set[int]]:
+    """The Shasha–Snir graph: po chains plus conflict edges."""
+    adj = po_chain_adjacency(static)
+    for a, b in conflict_edges(static):
+        adj.setdefault(a, set()).add(b)
+    return adj
+
+
+def preserved_order(static: StaticRelations,
+                    model: MemoryModel) -> Set[Edge]:
+    """Transitive closure of every order M guarantees intra-core:
+    the model's ppo, fence-induced edges, and dependency edges."""
+    base = (set(static.ppo(model)) | set(static.fence_edges)
+            | set(static.extra_ppo))
+    return transitive_closure(base)
+
+
+def delay_candidates(static: StaticRelations,
+                     model: MemoryModel) -> List[Edge]:
+    """Memory-access po pairs M does not preserve.
+
+    Same-address store→load pairs are exempt even when absent from
+    ppo (every model here drops them for forwarding): the coherence
+    bypass in the module docstring shows no critical cycle can hinge
+    on one.  The exemption requires the later event to be a *pure*
+    load — an atomic's write half can exit a cycle through co, which
+    the bypass does not cover, so atomics stay candidates unless the
+    model orders them.
+    """
+    preserved = preserved_order(static, model)
+    out: List[Edge] = []
+    for (a, b) in static.po_edges:
+        if (a, b) in preserved:
+            continue
+        ea, eb = static.by_uid[a], static.by_uid[b]
+        if not (ea.is_memory_access and eb.is_memory_access):
+            continue
+        if (ea.is_write and eb.kind is EventKind.LOAD
+                and ea.addr == eb.addr):
+            continue  # coherence bypass (same-address W -> R)
+        out.append((a, b))
+    return out
+
+
+def _shortest_return_path(adj: Dict[int, Set[int]], src: int,
+                          dst: int) -> Optional[List[int]]:
+    """BFS path ``src → … → dst`` (inclusive), or ``None``."""
+    if src == dst:
+        return [src]
+    parents: Dict[int, int] = {src: src}
+    frontier = [src]
+    while frontier:
+        nxt: List[int] = []
+        for node in frontier:
+            for succ in adj.get(node, ()):
+                if succ in parents:
+                    continue
+                parents[succ] = node
+                if succ == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                nxt.append(succ)
+        frontier = nxt
+    return None
+
+
+def _witness_cycle(static: StaticRelations, delay: Edge,
+                   path: List[int]) -> CriticalCycle:
+    """Assemble the cycle ``a -delay-> b -…-> a`` from the BFS path
+    (which runs ``b → … → a``), labelling each edge po or cf."""
+    a, _ = delay
+    nodes = [a] + path[:-1]  # path ends at a, which closes the cycle
+    edges = ["delay"]
+    for x, y in zip(path, path[1:]):
+        same_core = (static.by_uid[x].core == static.by_uid[y].core)
+        edges.append("po" if same_core else "cf")
+    return CriticalCycle(nodes=tuple(nodes), edges=tuple(edges),
+                         delay=delay)
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+def classify_events(threads: Sequence[Sequence[Event]],
+                    deps: Sequence[Edge],
+                    model: MemoryModel,
+                    test_name: str = "?") -> Classification:
+    """Classify an already-compiled event structure (see
+    :func:`classify` for the :class:`LitmusTest` entry point)."""
+    started = time.perf_counter()
+    try:
+        events = [e for th in threads for e in th]
+        unsupported = [e for e in events
+                       if e.kind not in _SUPPORTED_KINDS]
+        if unsupported:
+            return Classification(
+                test_name=test_name, model_name=model.name,
+                verdict=Verdict.UNKNOWN,
+                reason=f"unsupported event kinds: "
+                       f"{sorted({e.kind.value for e in unsupported})}",
+                wall_time_s=time.perf_counter() - started)
+        static = StaticRelations(events, extra_ppo=deps)
+        adj = conflict_graph(static)
+        delays: List[Edge] = []
+        cycles: List[CriticalCycle] = []
+        for (a, b) in sorted(delay_candidates(static, model)):
+            path = _shortest_return_path(adj, b, a)
+            if path is None:
+                continue
+            delays.append((a, b))
+            cycles.append(_witness_cycle(static, (a, b), path))
+        verdict = Verdict.RELAXABLE if delays else Verdict.SC_EQUIVALENT
+        return Classification(
+            test_name=test_name, model_name=model.name, verdict=verdict,
+            delay_pairs=tuple(delays), cycles=tuple(cycles),
+            cycle_descriptions=tuple(c.describe(static.by_uid)
+                                     for c in cycles),
+            wall_time_s=time.perf_counter() - started)
+    except Exception as exc:  # sound fallback: never guess
+        return Classification(
+            test_name=test_name, model_name=model.name,
+            verdict=Verdict.UNKNOWN,
+            reason=f"{type(exc).__name__}: {exc}",
+            wall_time_s=time.perf_counter() - started)
+
+
+def classify(test, model) -> Classification:
+    """Classify a :class:`~repro.litmus.dsl.LitmusTest` under a model
+    (instance or name).  Never raises: analysis failures produce an
+    ``UNKNOWN`` verdict so callers can fall back to enumeration."""
+    if isinstance(model, str):
+        model = get_model(model)
+    try:
+        threads, deps = test.to_events()
+    except Exception as exc:
+        return Classification(
+            test_name=getattr(test, "name", "?"), model_name=model.name,
+            verdict=Verdict.UNKNOWN,
+            reason=f"{type(exc).__name__}: {exc}")
+    return classify_events(threads, deps, model,
+                           test_name=getattr(test, "name", "?"))

@@ -1,0 +1,197 @@
+"""Static split-stream hazard detection (the Figure 2a shape).
+
+Under the split-stream drain policy only *faulting* stores route
+through the FSB; younger non-faulting stores keep draining straight
+to memory and race the OS applies.  The only program order the policy
+can break, relative to the clean TSO/PC machine, is therefore
+
+    faulting store  →po→  younger non-faulting store
+
+with no intervening barrier (on the imprecise machine, ``FULL`` /
+``w,w`` / ``w,r`` fences and atomics wait for the FSB to drain, so
+they restore the order; ``r,*`` fences and loads do not wait).  Such
+a broken pair is *observable* — can produce an outcome the clean
+program's PC model forbids — only when a remote observer closes the
+Shasha–Snir cycle: a conflict-graph path from the younger store back
+to the faulting store (in Figure 2a: flag store → remote flag read
+→po→ remote data read → data store).
+
+The detector enumerates exactly these pairs and checks the return
+path on the static conflict graph.  Verdicts:
+
+* ``RACE_FREE`` — **sound**: no hazard pair exists, so split-stream
+  explores only clean-PC-allowed outcomes for this program/fault set
+  (enforced against :func:`repro.explore.check_drain_policy` by
+  tests: no false negatives).
+* ``POSSIBLE_RACE`` — a hazard pair with an observer path exists.
+  Conservative: exploration may still find no violating outcome
+  (e.g. the observed values coincide); this is the documented
+  false-positive direction and is a report, never an error.
+* ``UNKNOWN`` — the analyzer declined (unexpected structure).
+
+Same-stream is statically ``RACE_FREE`` for every program: once an
+entry routes, *all* of the core's drains route through the same FIFO
+stream, so memory sees its stores in program order (the PR 3
+exploration theorem, re-derived here without exploring).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..memmodel.events import Event, EventKind, FenceKind
+from ..memmodel.imprecise import DrainPolicy
+from ..memmodel.relations import StaticRelations
+from .cycles import (_SUPPORTED_KINDS, _shortest_return_path,
+                     conflict_graph, describe_event)
+
+#: Fence kinds that wait for the FSB on the imprecise machine
+#: (see ``ImpreciseMachine._fence_ready``): anything ordering stores.
+_FSB_BARRIER_FENCES = frozenset((FenceKind.FULL, FenceKind.STORE_STORE,
+                                 FenceKind.STORE_LOAD))
+
+
+class DrainVerdict(Enum):
+    RACE_FREE = "race-free"
+    POSSIBLE_RACE = "possible-race"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class HazardWitness:
+    """One statically detected split-stream hazard."""
+
+    #: Uid of the store to a faulting address (routed to the FSB).
+    faulting_store: int
+    #: Uid of the younger non-faulting store that overtakes it.
+    younger_store: int
+    #: Conflict-graph path younger store → … → faulting store closing
+    #: the cycle (uids, endpoints included).
+    observer_path: Tuple[int, ...]
+    description: str = ""
+    #: Compilation-independent mirrors of the uids above (uids are
+    #: process-global per ``to_events()`` call, so callers that
+    #: recompile the test cannot resolve them).
+    faulting_addr: Optional[int] = None
+    younger_addr: Optional[int] = None
+    observer_cores: Tuple[int, ...] = ()
+
+
+@dataclass
+class DrainHazardReport:
+    """Static drain-policy verdict for one (test, policy, faults)."""
+
+    test_name: str
+    policy: str
+    faulting_locs: Tuple[str, ...]
+    verdict: DrainVerdict
+    hazards: Tuple[HazardWitness, ...] = ()
+    reason: str = ""
+    wall_time_s: float = 0.0
+
+    @property
+    def race_free(self) -> bool:
+        return self.verdict is DrainVerdict.RACE_FREE
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test_name,
+            "policy": self.policy,
+            "faulting_locs": list(self.faulting_locs),
+            "verdict": self.verdict.value,
+            "hazards": [h.description for h in self.hazards],
+            "reason": self.reason,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+
+def _barrier_between(evs: List[Event], i: int, j: int) -> bool:
+    """Does any event strictly between positions ``i`` and ``j`` of a
+    core's event list restore the drain order?  Store-waiting fences
+    and atomics both stall until the FSB is empty."""
+    for ev in evs[i + 1:j]:
+        if ev.is_fence and ev.fence in _FSB_BARRIER_FENCES:
+            return True
+        if ev.kind is EventKind.ATOMIC:
+            return True
+    return False
+
+
+def detect_drain_hazards(
+        test,
+        policy: DrainPolicy = DrainPolicy.SPLIT_STREAM,
+        faulting_locs: Optional[Iterable[str]] = None
+) -> DrainHazardReport:
+    """Statically check one program/policy/fault-set combination.
+
+    Mirrors :func:`repro.explore.check_drain_policy`'s interface
+    (``faulting_locs`` defaults to every location) without exploring.
+    Never raises: failures yield an ``UNKNOWN`` verdict.
+    """
+    started = time.perf_counter()
+    locs = tuple(faulting_locs) if faulting_locs is not None \
+        else tuple(test.locations)
+    try:
+        faulting = {test.location_addr(loc) for loc in locs}
+        if policy is DrainPolicy.SAME_STREAM:
+            return DrainHazardReport(
+                test_name=test.name, policy=policy.value,
+                faulting_locs=locs, verdict=DrainVerdict.RACE_FREE,
+                reason="same-stream drains FIFO through one stream",
+                wall_time_s=time.perf_counter() - started)
+
+        threads, deps = test.to_events()
+        events = [e for th in threads for e in th]
+        if any(e.kind not in _SUPPORTED_KINDS for e in events):
+            return DrainHazardReport(
+                test_name=test.name, policy=policy.value,
+                faulting_locs=locs, verdict=DrainVerdict.UNKNOWN,
+                reason="unsupported event kinds",
+                wall_time_s=time.perf_counter() - started)
+        static = StaticRelations(events, extra_ppo=deps)
+        adj = conflict_graph(static)
+
+        hazards: List[HazardWitness] = []
+        for core in static.cores:
+            evs = static.core_events(core)
+            for i, w1 in enumerate(evs):
+                if w1.kind is not EventKind.STORE or w1.addr not in faulting:
+                    continue
+                for j in range(i + 1, len(evs)):
+                    ev = evs[j]
+                    if (ev.kind is not EventKind.STORE
+                            or ev.addr in faulting):
+                        continue  # routed stores keep FIFO order
+                    if _barrier_between(evs, i, j):
+                        break  # this and all later stores are ordered
+                    path = _shortest_return_path(adj, ev.uid, w1.uid)
+                    if path is None:
+                        continue
+                    hazards.append(HazardWitness(
+                        faulting_store=w1.uid, younger_store=ev.uid,
+                        observer_path=tuple(path),
+                        faulting_addr=w1.addr, younger_addr=ev.addr,
+                        observer_cores=tuple(static.by_uid[u].core
+                                             for u in path),
+                        description=(
+                            f"{describe_event(w1)} routed to FSB; "
+                            f"{describe_event(ev)} drains past it; "
+                            "observed via "
+                            + " -> ".join(describe_event(static.by_uid[u])
+                                          for u in path))))
+        verdict = (DrainVerdict.POSSIBLE_RACE if hazards
+                   else DrainVerdict.RACE_FREE)
+        return DrainHazardReport(
+            test_name=test.name, policy=policy.value, faulting_locs=locs,
+            verdict=verdict, hazards=tuple(hazards),
+            wall_time_s=time.perf_counter() - started)
+    except Exception as exc:  # sound fallback: never claim race-free
+        return DrainHazardReport(
+            test_name=test.name, policy=getattr(policy, "value",
+                                                str(policy)),
+            faulting_locs=locs, verdict=DrainVerdict.UNKNOWN,
+            reason=f"{type(exc).__name__}: {exc}",
+            wall_time_s=time.perf_counter() - started)

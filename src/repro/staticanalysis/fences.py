@@ -1,0 +1,159 @@
+"""Fence advisor: minimal fence insertion covering every delay pair.
+
+Given a ``RELAXABLE`` classification, every delay pair ``(a, b)`` must
+be ordered for the test to become SC-equivalent under the model.  A
+fence inserted at gap ``g`` of a thread (before the op at index ``g``)
+covers the pair iff ``a.index < g <= b.index`` and the fence's
+direction orders ``a`` before and ``b`` after.  Minimising insertions
+is then interval point cover per thread, which the classic greedy
+solves exactly: scan intervals by right endpoint, place a fence at the
+right endpoint of the first uncovered interval.
+
+The fence kind per placement is the weakest direction that orders all
+pairs assigned to it (``w,w`` / ``w,r`` / ``r,w`` / ``r,r``), widening
+to a full fence when pairs disagree.  Atomics count as stores on
+either side (every directional fence that orders stores orders them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..memmodel.axioms import MemoryModel, get_model
+from ..memmodel.events import Event, FenceKind
+from .cycles import Classification, Verdict, classify
+
+#: (earlier side is write?, later side is write?) → directional fence.
+_DIRECTIONAL = {
+    (True, True): FenceKind.STORE_STORE,
+    (True, False): FenceKind.STORE_LOAD,
+    (False, True): FenceKind.LOAD_STORE,
+    (False, False): FenceKind.LOAD_LOAD,
+}
+
+
+@dataclass(frozen=True)
+class FencePlacement:
+    """Insert a fence of ``kind`` before op ``gap`` of thread
+    ``thread`` (``gap`` indexes the *original* op list)."""
+
+    thread: int
+    gap: int
+    kind: FenceKind
+
+    def as_op(self) -> tuple:
+        if self.kind is FenceKind.FULL:
+            return ("F",)
+        return ("F", self.kind)
+
+
+@dataclass
+class FenceAdvice:
+    """Advisor output: placements plus the patched test."""
+
+    test_name: str
+    model_name: str
+    classification: Classification
+    placements: Tuple[FencePlacement, ...]
+    patched: "object"  # LitmusTest (kept untyped to avoid an import cycle)
+    #: Re-classification of the patched test — ``SC_EQUIVALENT``
+    #: whenever the input classified cleanly (asserted by tests).
+    patched_verdict: Verdict
+
+    @property
+    def needed(self) -> bool:
+        return bool(self.placements)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test_name,
+            "model": self.model_name,
+            "verdict": self.classification.verdict.value,
+            "placements": [
+                {"thread": p.thread, "gap": p.gap,
+                 "kind": p.kind.value}
+                for p in self.placements],
+            "patched_verdict": self.patched_verdict.value,
+        }
+
+
+def _pair_direction(a: Event, b: Event) -> Tuple[bool, bool]:
+    """(earlier orders as write?, later orders as write?).
+
+    A pure load only responds to load-ordering fence sides; anything
+    that writes (stores, atomics) responds to store-ordering sides.
+    """
+    return (a.is_write, b.is_write)
+
+
+def _kind_for(directions: Set[Tuple[bool, bool]]) -> FenceKind:
+    if len(directions) == 1:
+        return _DIRECTIONAL[next(iter(directions))]
+    return FenceKind.FULL
+
+
+def _cover_thread(intervals: List[Tuple[int, int, Tuple[bool, bool]]],
+                  thread: int) -> List[FencePlacement]:
+    """Greedy interval point cover; intervals are
+    ``(lo_gap, hi_gap, direction)`` with gaps inclusive."""
+    placements: List[FencePlacement] = []
+    chosen: List[Tuple[int, Set[Tuple[bool, bool]]]] = []
+    for lo, hi, direction in sorted(intervals, key=lambda iv: iv[1]):
+        for gap, directions in chosen:
+            if lo <= gap <= hi:
+                directions.add(direction)
+                break
+        else:
+            chosen.append((hi, {direction}))
+    for gap, directions in chosen:
+        placements.append(FencePlacement(thread=thread, gap=gap,
+                                         kind=_kind_for(directions)))
+    return placements
+
+
+def advise_fences(test, model) -> FenceAdvice:
+    """Compute a minimal fence insertion making ``test`` classify
+    ``SC_EQUIVALENT`` under ``model``, and emit the patched test.
+
+    A test that already classifies ``SC_EQUIVALENT`` (or ``UNKNOWN``)
+    gets no placements and is returned unchanged.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    # Compile once: uids are process-global, so the classification and
+    # the gap mapping must share one event structure.
+    try:
+        threads, deps = test.to_events()
+    except Exception:
+        threads, deps = [], []
+    from .cycles import classify_events
+    cls = classify_events(threads, deps, model, test_name=test.name)
+    if cls.verdict is not Verdict.RELAXABLE:
+        return FenceAdvice(test_name=test.name, model_name=model.name,
+                           classification=cls, placements=(),
+                           patched=test, patched_verdict=cls.verdict)
+
+    by_uid: Dict[int, Event] = {e.uid: e for th in threads for e in th}
+    per_thread: Dict[int, List[Tuple[int, int, Tuple[bool, bool]]]] = {}
+    for (a_uid, b_uid) in cls.delay_pairs:
+        a, b = by_uid[a_uid], by_uid[b_uid]
+        per_thread.setdefault(a.core, []).append(
+            (a.index + 1, b.index, _pair_direction(a, b)))
+
+    placements: List[FencePlacement] = []
+    for thread, intervals in sorted(per_thread.items()):
+        placements.extend(_cover_thread(intervals, thread))
+    placements.sort(key=lambda p: (p.thread, p.gap))
+
+    patched_threads = [list(ops) for ops in test.threads]
+    # Insert from the highest gap down so earlier gaps stay valid.
+    for p in sorted(placements, key=lambda p: (p.thread, -p.gap)):
+        patched_threads[p.thread].insert(p.gap, p.as_op())
+    patched = replace(test, name=f"{test.name}+advised",
+                      threads=patched_threads)
+    patched_cls = classify(patched, model)
+    return FenceAdvice(test_name=test.name, model_name=model.name,
+                       classification=cls,
+                       placements=tuple(placements), patched=patched,
+                       patched_verdict=patched_cls.verdict)

@@ -1,0 +1,259 @@
+"""Well-formedness linter for litmus programs (``repro lint``).
+
+Rule catalogue (IDs are stable; ``docs/static_analysis.md`` carries
+the prose versions):
+
+=======  ========  ====================================================
+ID       severity  finding
+=======  ========  ====================================================
+``L000`` error     ``.litmus`` file failed to parse
+``L001`` error     dependency on a register with no earlier producer
+                   (the DSL would silently compile it as zero)
+``L002`` error     spotlight/``exists`` register never written by any op
+``L003`` error     duplicate observation register (outcome keys collide)
+``L004`` warning   dead initialisation: init entry for a location never
+                   accessed or a thread that does not exist
+``L005`` error     unaligned or aliasing location addresses
+``L006`` error     unreachable final condition: spotlight expects a
+                   value no write to the register's location produces
+=======  ========  ====================================================
+
+``L001`` is the hard form of the historical implicit-zero behaviour of
+``LitmusTest._compile_thread``: a dependency op whose ``dep`` register
+has no earlier producing load/atomic reads a freshly allocated
+zero-valued register *and* drops the axiomatic dependency edge.  No
+library or generator test relies on it (asserted by the test suite),
+so there is no whitelist — pass ``ignore=("L001",)`` explicitly to
+accept such programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Dict, Iterable, List, Optional, Set, Tuple
+
+LINT_RULES: Dict[str, Tuple[str, str]] = {
+    "L000": ("error", "litmus file failed to parse"),
+    "L001": ("error", "dependency on never-written register"),
+    "L002": ("error", "spotlight register never written"),
+    "L003": ("error", "duplicate observation register"),
+    "L004": ("warning", "dead initialisation"),
+    "L005": ("error", "unaligned or aliasing location address"),
+    "L006": ("error", "unreachable final condition"),
+}
+
+#: Op kinds that produce an observation register, with the tuple slot
+#: holding the register name.
+_PRODUCERS = {"R": 2, "Raddr": 2, "Rctrl": 2, "A": 3}
+#: Op kinds carrying a dependency register in their last slot.
+_DEP_OPS = ("Raddr", "Rctrl", "Waddr", "Wdata", "Wctrl")
+#: Op kinds that write a value to their location (value in slot 2).
+_WRITERS = ("W", "Waddr", "Wdata", "Wctrl", "A")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One machine-readable lint finding."""
+
+    rule: str
+    severity: str
+    test: str
+    message: str
+    thread: Optional[int] = None
+    op: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "test": self.test,
+            "message": self.message,
+            "thread": self.thread,
+            "op": self.op,
+        }
+
+    def render(self) -> str:
+        where = ""
+        if self.thread is not None:
+            where = f" [T{self.thread}" + (
+                f".{self.op}]" if self.op is not None else "]")
+        return f"{self.severity.upper()} {self.rule} {self.test}{where}: " \
+               f"{self.message}"
+
+
+def has_lint_errors(findings: Iterable[LintFinding]) -> bool:
+    return any(f.severity == "error" for f in findings)
+
+
+def _finding(rule: str, test_name: str, message: str,
+             thread: Optional[int] = None,
+             op: Optional[int] = None) -> LintFinding:
+    severity, _ = LINT_RULES[rule]
+    return LintFinding(rule=rule, severity=severity, test=test_name,
+                       message=message, thread=thread, op=op)
+
+
+# ----------------------------------------------------------------------
+# Individual rules
+# ----------------------------------------------------------------------
+def _check_dependencies(test) -> List[LintFinding]:
+    """L001: every dependency register needs an earlier producer."""
+    out = []
+    for tid, ops in enumerate(test.threads):
+        produced: Set[str] = set()
+        for i, op in enumerate(ops):
+            kind = op[0]
+            if kind in _DEP_OPS:
+                dep = op[3]
+                if dep not in produced:
+                    out.append(_finding(
+                        "L001", test.name,
+                        f"{kind} depends on register {dep!r} with no "
+                        f"earlier producing load/atomic (would compile "
+                        f"as implicit zero)", thread=tid, op=i))
+            slot = _PRODUCERS.get(kind)
+            if slot is not None:
+                produced.add(op[slot])
+    return out
+
+
+def _register_sites(test) -> Dict[str, List[Tuple[int, int, tuple]]]:
+    """Register name → [(thread, op index, op), ...] producing it."""
+    sites: Dict[str, List[Tuple[int, int, tuple]]] = {}
+    for tid, ops in enumerate(test.threads):
+        for i, op in enumerate(ops):
+            slot = _PRODUCERS.get(op[0])
+            if slot is not None:
+                sites.setdefault(op[slot], []).append((tid, i, op))
+    return sites
+
+
+def _check_spotlight(test, sites) -> List[LintFinding]:
+    """L002 + L006 over the spotlight outcome."""
+    out = []
+    if test.spotlight is None:
+        return out
+    # Feasible values per location: 0 (the initial value — memory
+    # inits are informational, see the parser docs) plus every value
+    # some write to that location can produce.
+    writes: Dict[str, Set[int]] = {}
+    for ops in test.threads:
+        for op in ops:
+            if op[0] in _WRITERS:
+                writes.setdefault(op[1], set()).add(op[2])
+    for reg, expected in test.spotlight.as_tuple():
+        produced_at = sites.get(reg, [])
+        if not produced_at:
+            out.append(_finding(
+                "L002", test.name,
+                f"spotlight register {reg!r} is never written by any "
+                f"load or atomic"))
+            continue
+        if len(produced_at) > 1:
+            continue  # L003 already fires; feasibility is ambiguous
+        tid, i, op = produced_at[0]
+        loc = op[1]
+        feasible = {0} | writes.get(loc, set())
+        if expected not in feasible:
+            out.append(_finding(
+                "L006", test.name,
+                f"spotlight expects {reg!r}={expected} but location "
+                f"{loc!r} only ever holds {sorted(feasible)}",
+                thread=tid, op=i))
+    return out
+
+
+def _check_duplicate_registers(test, sites) -> List[LintFinding]:
+    """L003: a register produced twice collides in outcome tuples."""
+    out = []
+    for reg, produced_at in sorted(sites.items()):
+        if len(produced_at) > 1:
+            where = ", ".join(f"T{tid}.{i}" for tid, i, _ in produced_at)
+            out.append(_finding(
+                "L003", test.name,
+                f"observation register {reg!r} written at {where}; "
+                f"outcome keys collide"))
+    return out
+
+
+def _check_init(test) -> List[LintFinding]:
+    """L004: init entries that cannot affect the test."""
+    out = []
+    init = getattr(test, "init", None)
+    if not init:
+        return out
+    locations = set(test.locations)
+    for key in sorted(init, key=str):
+        if isinstance(key, tuple):
+            tid, reg = key
+            if tid >= len(test.threads):
+                out.append(_finding(
+                    "L004", test.name,
+                    f"init {tid}:{reg} targets thread {tid} but the "
+                    f"test has {len(test.threads)} thread(s)"))
+        elif key not in locations:
+            out.append(_finding(
+                "L004", test.name,
+                f"init sets location {key!r} which no thread accesses"))
+    return out
+
+
+def _check_addresses(test) -> List[LintFinding]:
+    """L005: the symbolic address map must be injective and aligned."""
+    out = []
+    from ..litmus.dsl import LOCATION_STRIDE
+    seen: Dict[int, str] = {}
+    for loc in test.locations:
+        addr = test.location_addr(loc)
+        if addr % LOCATION_STRIDE:
+            out.append(_finding(
+                "L005", test.name,
+                f"location {loc!r} address 0x{addr:x} is not "
+                f"0x{LOCATION_STRIDE:x}-aligned (EInject poisoning is "
+                f"page-granular)"))
+        if addr in seen:
+            out.append(_finding(
+                "L005", test.name,
+                f"locations {seen[addr]!r} and {loc!r} alias address "
+                f"0x{addr:x}"))
+        seen[addr] = loc
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_test(test, ignore: Collection[str] = ()) -> List[LintFinding]:
+    """All findings for one :class:`~repro.litmus.dsl.LitmusTest`,
+    ordered by rule.  ``ignore`` drops whole rule IDs."""
+    sites = _register_sites(test)
+    findings = (_check_dependencies(test)
+                + _check_spotlight(test, sites)
+                + _check_duplicate_registers(test, sites)
+                + _check_init(test)
+                + _check_addresses(test))
+    findings.sort(key=lambda f: (f.rule, f.thread or 0, f.op or 0))
+    return [f for f in findings if f.rule not in ignore]
+
+
+def lint_tests(tests, ignore: Collection[str] = ()) -> List[LintFinding]:
+    out: List[LintFinding] = []
+    for test in tests:
+        out.extend(lint_test(test, ignore=ignore))
+    return out
+
+
+def lint_file(path, ignore: Collection[str] = ()) -> List[LintFinding]:
+    """Parse and lint one ``.litmus`` file; parse failures become
+    ``L000`` findings instead of raising."""
+    from pathlib import Path
+
+    from ..litmus.parser import LitmusParseError, parse_litmus
+    path = Path(path)
+    try:
+        test = parse_litmus(path.read_text())
+    except LitmusParseError as exc:
+        if "L000" in ignore:
+            return []
+        return [_finding("L000", path.name, str(exc))]
+    return lint_test(test, ignore=ignore)

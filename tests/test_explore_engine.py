@@ -16,7 +16,7 @@ import itertools
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.explore import (ExplorationBudgetExceeded, ExplorationStats,
@@ -217,7 +217,13 @@ class TestDPORProperty:
         threads, deps = test.to_events()
         machine = machine_for(model, threads, extra_ppo=deps)
         dpor = explore(machine, strategy="dpor", max_states=200_000)
-        naive = explore(machine, strategy="naive",
-                        max_states=200_000, dedupe_states=False)
+        try:
+            naive = explore(machine, strategy="naive",
+                            max_states=200_000, dedupe_states=False)
+        except ExplorationBudgetExceeded:
+            # Rare draws (e.g. five same-address stores over three
+            # threads under PC) are tractable for DPOR but not for
+            # the dedupe-free naive oracle; skip rather than flake.
+            assume(False)
         assert dpor.outcomes == naive.outcomes
         assert dpor.stats.interleavings <= naive.stats.interleavings

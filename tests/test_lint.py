@@ -1,0 +1,177 @@
+"""Litmus linter: per-rule unit tests, the corpus-clean invariant,
+and the ``repro lint`` CLI.
+
+The corpus-clean assertion is the hard form of the implicit-zero
+satellite: no library, generated, or shipped ``.litmus`` test may
+depend on a never-written register (L001) or any other error rule —
+the DSL would silently compile such reads as zero, so the linter
+makes them loud instead of whitelisting them.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.litmus.dsl import LitmusTest, LitmusOutcome
+from repro.litmus.generator import generate_all
+from repro.litmus.library import all_library_tests
+from repro.litmus.parser import load_litmus_directory
+from repro.staticanalysis import (LINT_RULES, has_lint_errors, lint_file,
+                                  lint_test, lint_tests)
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestLintRules:
+    def test_l001_dependency_on_never_written_register(self):
+        test = LitmusTest(name="t", category="x", threads=[
+            [("Raddr", "x", "r0", "ghost")]])
+        findings = lint_test(test)
+        assert "L001" in rules_of(findings)
+        finding = next(f for f in findings if f.rule == "L001")
+        assert finding.severity == "error"
+        assert finding.thread == 0 and finding.op == 0
+        assert "ghost" in finding.message
+
+    def test_l001_satisfied_by_earlier_producer(self):
+        test = LitmusTest(name="t", category="x", threads=[
+            [("R", "x", "r0"), ("Waddr", "y", 1, "r0")]])
+        assert "L001" not in rules_of(lint_test(test))
+
+    def test_l001_producer_must_be_earlier_in_program_order(self):
+        test = LitmusTest(name="t", category="x", threads=[
+            [("Wdata", "y", 1, "r0"), ("R", "x", "r0")]])
+        assert "L001" in rules_of(lint_test(test))
+
+    def test_l002_spotlight_register_never_written(self):
+        test = LitmusTest(name="t", category="x",
+                          threads=[[("W", "x", 1)]],
+                          spotlight=LitmusOutcome.of(r9=1))
+        assert "L002" in rules_of(lint_test(test))
+
+    def test_l003_duplicate_observation_register(self):
+        test = LitmusTest(name="t", category="x", threads=[
+            [("R", "x", "r0")], [("R", "y", "r0")]])
+        findings = lint_test(test)
+        assert "L003" in rules_of(findings)
+        assert "T0.0" in findings[0].message
+        assert "T1.0" in findings[0].message
+
+    def test_l004_init_for_unknown_location_warns(self):
+        test = LitmusTest(name="t", category="x",
+                          threads=[[("R", "x", "r0")]],
+                          init={"zz": 1, "x": 0})
+        findings = lint_test(test)
+        assert rules_of(findings) == ["L004"]
+        assert findings[0].severity == "warning"
+        assert not has_lint_errors(findings)
+
+    def test_l004_init_for_missing_thread(self):
+        test = LitmusTest(name="t", category="x",
+                          threads=[[("R", "x", "r0")]],
+                          init={(3, "x5"): 1})
+        assert rules_of(lint_test(test)) == ["L004"]
+
+    def test_l006_unreachable_final_condition(self):
+        test = LitmusTest(name="t", category="x",
+                          threads=[[("W", "x", 1), ("R", "x", "r0")]],
+                          spotlight=LitmusOutcome.of(r0=7))
+        findings = lint_test(test)
+        assert "L006" in rules_of(findings)
+        assert "[0, 1]" in findings[0].message
+
+    def test_l006_zero_is_always_feasible(self):
+        test = LitmusTest(name="t", category="x",
+                          threads=[[("R", "x", "r0")]],
+                          spotlight=LitmusOutcome.of(r0=0))
+        assert lint_test(test) == []
+
+    def test_ignore_drops_whole_rules(self):
+        test = LitmusTest(name="t", category="x", threads=[
+            [("Raddr", "x", "r0", "ghost")]])
+        assert "L001" not in rules_of(lint_test(test, ignore=("L001",)))
+
+    def test_l000_unparseable_file(self, tmp_path):
+        path = tmp_path / "broken.litmus"
+        path.write_text("RISCV X\n P0 ;\n bogus x1,x2 ;\n")
+        findings = lint_file(path)
+        assert rules_of(findings) == ["L000"]
+        assert findings[0].test == "broken.litmus"
+
+    def test_rule_catalogue_is_closed(self):
+        assert set(LINT_RULES) == {
+            "L000", "L001", "L002", "L003", "L004", "L005", "L006"}
+        assert all(sev in ("error", "warning")
+                   for sev, _ in LINT_RULES.values())
+
+    def test_findings_are_machine_readable(self):
+        test = LitmusTest(name="t", category="x", threads=[
+            [("Rctrl", "x", "r0", "ghost")]])
+        payload = [f.as_dict() for f in lint_test(test)]
+        json.dumps(payload)
+        assert payload[0]["rule"] == "L001"
+
+
+class TestCorpusIsClean:
+    """The whole shipped corpus must lint clean — the implicit-zero
+    behaviour has no legitimate user, so there is no whitelist."""
+
+    def test_library_and_generated(self):
+        findings = lint_tests(generate_all() + all_library_tests())
+        assert findings == [], [f.render() for f in findings]
+
+    def test_shipped_litmus_files(self):
+        tests = load_litmus_directory(REPO / "litmus_files")
+        assert len(tests) >= 8
+        findings = lint_tests(tests)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_invalid_fixtures_are_not_silently_loaded(self):
+        names = {t.name
+                 for t in load_litmus_directory(REPO / "litmus_files")}
+        assert not any("DUP" in name for name in names)
+
+
+class TestLintCli:
+    def test_lint_all_is_clean(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_named_test(self, capsys):
+        assert main(["lint", "MP"]) == 0
+        assert "1 test(s) scanned" in capsys.readouterr().out
+
+    def test_lint_invalid_directory_fails_with_findings(self, capsys):
+        rc = main(["lint", "--files",
+                   str(REPO / "litmus_files" / "invalid")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "L000" in out and "duplicate initialiser" in out
+
+    def test_lint_json_report(self, tmp_path, capsys):
+        path = tmp_path / "lint.json"
+        rc = main(["lint", "--files",
+                   str(REPO / "litmus_files" / "invalid"),
+                   "--json", str(path)])
+        assert rc == 1
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.lint-report/v1"
+        assert payload["errors"] == 2
+        assert {f["rule"] for f in payload["findings"]} == {"L000"}
+
+    def test_lint_ignore_flag(self, capsys):
+        rc = main(["lint", "--files",
+                   str(REPO / "litmus_files" / "invalid"),
+                   "--ignore", "L000"])
+        assert rc == 0
+
+    def test_unknown_test_name_fails(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "no-such-test"])

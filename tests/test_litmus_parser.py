@@ -134,3 +134,60 @@ class TestGeneratedSuiteUniqueness:
         doubled = tests + tests
         assert [t.name for t in dedupe_tests(doubled)] == \
             [t.name for t in tests]
+
+
+class TestDuplicateInitialisers:
+    """A duplicate key in the ``{...}`` init block is a parse error
+    naming both lines, not a silent last-one-wins."""
+
+    def test_duplicate_register_init_raises_with_lines(self):
+        text = ("RISCV DUP\n"
+                "{\n"
+                "0:x5=1;\n"
+                "x=0;\n"
+                "0:x5=2;\n"
+                "}\n"
+                " P0          ;\n"
+                " sw x5,0(x)  ;\n")
+        with pytest.raises(LitmusParseError) as exc:
+            parse_litmus(text)
+        msg = str(exc.value)
+        assert "line 5" in msg and "0:x5" in msg
+        assert "first defined at line 3" in msg
+
+    def test_duplicate_location_init_raises_with_lines(self):
+        text = ("RISCV DUP\n"
+                "{\n"
+                "x=0; y=0;\n"
+                "x=1;\n"
+                "}\n"
+                " P0          ;\n"
+                " lw x6,0(x)  ;\n")
+        with pytest.raises(LitmusParseError) as exc:
+            parse_litmus(text)
+        assert "line 4: duplicate initialiser for x" in str(exc.value)
+        assert "line 3" in str(exc.value)
+
+    def test_same_register_on_different_threads_is_fine(self):
+        test = parse_litmus(SB_TEXT)  # 0:x5 and 1:x5 both init to 1
+        assert test.init == {(0, "x5"): 1, (1, "x5"): 1}
+
+    def test_bad_init_statement_reports_line(self):
+        text = "RISCV X\n{\nx=0;\nnot an init;\n}\n P0 ;\n li x1,1 ;\n"
+        with pytest.raises(LitmusParseError) as exc:
+            parse_litmus(text)
+        assert "line 4" in str(exc.value)
+
+    def test_invalid_fixture_files_raise(self):
+        from pathlib import Path
+        fixtures = sorted((Path(__file__).resolve().parents[1]
+                           / "litmus_files" / "invalid").glob("*.litmus"))
+        assert len(fixtures) >= 2
+        for path in fixtures:
+            with pytest.raises(LitmusParseError) as exc:
+                parse_litmus(path.read_text())
+            assert "duplicate initialiser" in str(exc.value)
+
+    def test_parsed_init_lands_on_the_test(self):
+        test = parse_litmus(MP_TEXT)
+        assert test.init == {(0, "x5"): 1, "x": 0, "y": 0}

@@ -1,0 +1,383 @@
+"""Static happens-before analysis: soundness against the axiomatic
+enumerator and the operational explorer.
+
+The contracts pinned here (the PR 4 acceptance results):
+
+* **classifier soundness** — an ``SC_EQUIVALENT`` verdict implies a
+  bit-identical allowed set under the model and SC, checked by full
+  enumeration over the hand-written library, the generated suite, and
+  a fuzzed mutant corpus, for every supported model;
+* **drain detector has no false negatives** — wherever exhaustive
+  split-stream exploration (:func:`check_drain_policy`) finds a
+  PC-forbidden outcome, the static detector reports a hazard, over
+  every library test × faulting subset; the Figure 2a witness is
+  pinned structurally;
+* **fence advisor property** — for every ``RELAXABLE`` library test
+  the advised (patched) test classifies ``SC_EQUIVALENT``, its
+  allowed set collapses to SC's, and the spotlight relaxed outcome
+  becomes forbidden.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.explore import check_drain_policy, crosscheck_test
+from repro.explore.fuzz import mutate
+from repro.litmus.dsl import LitmusTest
+from repro.litmus.generator import generate_all
+from repro.litmus.harness import allowed_set, check_test
+from repro.litmus.library import (all_library_tests, message_passing,
+                                  store_buffering)
+from repro.litmus.runner import RunConfig
+from repro.memmodel.axioms import get_model
+from repro.memmodel.imprecise import DrainPolicy
+from repro.staticanalysis import (DrainVerdict, Verdict, advise_fences,
+                                  classify, detect_drain_hazards)
+
+LIBRARY = all_library_tests()
+GENERATED = generate_all()
+#: Models the pre-filter must be sound for (TSO aliases PC; RVWMO is
+#: the WC reference).
+MODELS = ("SC", "PC", "WC", "RVWMO")
+
+
+def fault_subsets(test):
+    locs = test.locations
+    for r in range(1, len(locs) + 1):
+        yield from itertools.combinations(locs, r)
+
+
+def mutant_corpus(n=200, seed=4):
+    """Deterministic fuzzed corpus seeded from the small tests."""
+    rng = random.Random(seed)
+    bases = [t for t in GENERATED + LIBRARY
+             if sum(len(ops) for ops in t.threads) <= 8]
+    return [mutate(rng.choice(bases), rng) for _ in range(n)]
+
+
+def outcome_matches(spotlight, outcome) -> bool:
+    values = dict(outcome)
+    return all(values.get(reg) == val
+               for reg, val in spotlight.as_tuple())
+
+
+# ----------------------------------------------------------------------
+# Classifier: pinned verdicts
+# ----------------------------------------------------------------------
+class TestClassifierVerdicts:
+    def test_mp_is_sc_equivalent_under_pc(self):
+        assert classify(message_passing(), "PC").sc_equivalent
+
+    def test_mp_is_relaxable_under_wc(self):
+        cls = classify(message_passing(), "WC")
+        assert cls.verdict is Verdict.RELAXABLE
+        assert cls.delay_pairs and cls.cycles
+
+    def test_sb_is_relaxable_under_pc_with_witness(self):
+        cls = classify(store_buffering(), "PC")
+        assert cls.verdict is Verdict.RELAXABLE
+        # The witnessing cycle is the classic SB shape: a W->R delay
+        # on each core joined by cross-core conflict edges.
+        assert cls.cycle_descriptions
+        assert all("delay" in d for d in cls.cycle_descriptions)
+
+    def test_everything_is_sc_equivalent_under_sc(self):
+        for test in LIBRARY + GENERATED:
+            assert classify(test, "SC").sc_equivalent, test.name
+
+    def test_library_relaxable_set_under_pc_is_exact(self):
+        relaxable = {t.name for t in LIBRARY
+                     if classify(t, "PC").verdict is Verdict.RELAXABLE}
+        assert relaxable == {"SB", "SB+rfi", "RWC-2", "SB+onefence"}
+
+    def test_fenced_sb_is_sc_equivalent_under_pc(self):
+        fenced = next(t for t in LIBRARY if t.name == "SB+fences")
+        assert classify(fenced, "PC").sc_equivalent
+
+    def test_unknown_on_unparseable_test(self):
+        broken = LitmusTest(name="broken", category="x",
+                            threads=[[("Z", "x", 1)]])
+        cls = classify(broken, "PC")
+        assert cls.verdict is Verdict.UNKNOWN
+        assert cls.reason
+
+    def test_as_dict_is_json_ready(self):
+        import json
+        payload = classify(store_buffering(), "PC").as_dict()
+        json.dumps(payload)
+        assert payload["verdict"] == "relaxable"
+        assert payload["delay_pairs"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Classifier: soundness against the enumerator (the acceptance sweep)
+# ----------------------------------------------------------------------
+class TestClassifierSoundness:
+    """``SC_EQUIVALENT`` must imply ``allowed(M) == allowed(SC)``.
+
+    Zero disagreements are tolerated; a single counterexample is an
+    unsoundness bug in :mod:`repro.staticanalysis.cycles`, not noise.
+    """
+
+    @pytest.mark.parametrize("model_name", ["PC", "WC", "RVWMO"])
+    def test_library_and_generated(self, model_name):
+        model = get_model(model_name)
+        checked = 0
+        for test in LIBRARY + GENERATED:
+            cls = classify(test, model)
+            if not cls.sc_equivalent:
+                continue
+            checked += 1
+            assert allowed_set(test, model) == \
+                allowed_set(test, get_model("SC")), \
+                f"{test.name}: classifier unsound under {model_name}"
+        assert checked >= 20  # the sweep really exercised the claim
+
+    def test_fuzzed_mutants(self):
+        mutants = mutant_corpus(n=200)
+        assert len(mutants) >= 200
+        disagreements = []
+        for test in mutants:
+            sc_allowed = None
+            for model_name in ("PC", "WC", "RVWMO"):
+                model = get_model(model_name)
+                cls = classify(test, model)
+                if not cls.sc_equivalent:
+                    continue
+                if sc_allowed is None:
+                    sc_allowed = allowed_set(test, get_model("SC"))
+                if allowed_set(test, model) != sc_allowed:
+                    disagreements.append((test.name, model_name))
+        assert disagreements == []
+
+    def test_relaxable_is_complete_on_the_library(self):
+        """Contrapositive sanity: whenever the allowed sets *differ*,
+        the verdict must be RELAXABLE (never SC_EQUIVALENT/UNKNOWN by
+        accident of the witness search)."""
+        for test in LIBRARY:
+            for model_name in ("PC", "WC", "RVWMO"):
+                model = get_model(model_name)
+                if allowed_set(test, model) != \
+                        allowed_set(test, get_model("SC")):
+                    cls = classify(test, model)
+                    assert cls.verdict is Verdict.RELAXABLE, \
+                        f"{test.name}/{model_name}: sets differ but " \
+                        f"verdict is {cls.verdict}"
+
+
+# ----------------------------------------------------------------------
+# Fence advisor
+# ----------------------------------------------------------------------
+class TestFenceAdvisor:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_advised_tests_become_sc_equivalent(self, model_name):
+        model = get_model(model_name)
+        advised = 0
+        for test in LIBRARY:
+            advice = advise_fences(test, model)
+            if not advice.needed:
+                assert advice.patched is test
+                continue
+            advised += 1
+            assert advice.patched_verdict is Verdict.SC_EQUIVALENT, \
+                f"{test.name}/{model_name}"
+            assert allowed_set(advice.patched, model) == \
+                allowed_set(advice.patched, get_model("SC")), \
+                f"{test.name}/{model_name}: patched sets differ"
+        if model_name != "SC":
+            assert advised >= 4
+
+    @pytest.mark.parametrize("model_name", ["PC", "WC", "RVWMO"])
+    def test_patched_test_forbids_the_spotlight_outcome(self,
+                                                       model_name):
+        """The satellite property: the spotlight (relaxed) outcome of
+        every RELAXABLE library test is forbidden after patching —
+        unless SC itself allows it, in which case no fence can (or
+        should) forbid it."""
+        model = get_model(model_name)
+        checked = 0
+        for test in LIBRARY:
+            if test.spotlight is None:
+                continue
+            advice = advise_fences(test, model)
+            if not advice.needed:
+                continue
+            sc_allowed = allowed_set(advice.patched, get_model("SC"))
+            if any(outcome_matches(test.spotlight, o)
+                   for o in sc_allowed):
+                continue  # SC-allowed: out of the advisor's power
+            patched_allowed = allowed_set(advice.patched, model)
+            assert not any(outcome_matches(test.spotlight, o)
+                           for o in patched_allowed), \
+                f"{test.name}/{model_name}: spotlight survives fences"
+            checked += 1
+        assert checked >= 1
+
+    def test_sb_placements_are_minimal_directional(self):
+        advice = advise_fences(store_buffering(), "PC")
+        placed = [(p.thread, p.gap, p.kind.value)
+                  for p in advice.placements]
+        # One w,r fence per thread, between the store and the load —
+        # the textbook SB repair, not a blanket full-fence spray.
+        assert placed == [(0, 1, "sl"), (1, 1, "sl")]
+
+    def test_advice_dict_is_json_ready(self):
+        import json
+        json.dumps(advise_fences(store_buffering(), "PC").as_dict())
+
+
+# ----------------------------------------------------------------------
+# Drain-hazard detector
+# ----------------------------------------------------------------------
+class TestDrainDetector:
+    def test_figure2a_is_detected_statically(self):
+        """The pinned Figure 2a shape: MP with the data store
+        faulting must produce a hazard whose faulting store is the
+        data store and whose younger store is the flag store."""
+        mp = message_passing()
+        report = detect_drain_hazards(
+            mp, DrainPolicy.SPLIT_STREAM, faulting_locs=("y",))
+        assert report.verdict is DrainVerdict.POSSIBLE_RACE
+        hazard = report.hazards[0]
+        assert hazard.faulting_addr == mp.location_addr("y")
+        assert hazard.younger_addr == mp.location_addr("x")
+        # Observer path closes the cycle through core 1.
+        assert 1 in hazard.observer_cores
+
+    def test_figure2a_flag_fault_is_race_free(self):
+        report = detect_drain_hazards(
+            message_passing(), DrainPolicy.SPLIT_STREAM,
+            faulting_locs=("x",))
+        assert report.race_free
+
+    def test_same_stream_is_race_free_everywhere(self):
+        for test in LIBRARY:
+            for subset in fault_subsets(test):
+                report = detect_drain_hazards(
+                    test, DrainPolicy.SAME_STREAM, subset)
+                assert report.race_free, f"{test.name} {subset}"
+
+    def test_no_false_negatives_against_exploration(self):
+        """Acceptance: wherever exhaustive split-stream exploration
+        finds a PC-forbidden outcome, the static detector must have
+        flagged the pair (POSSIBLE_RACE or UNKNOWN — never
+        RACE_FREE).  The reverse direction (static hazard, no
+        explored violation) is allowed and counted for reporting."""
+        pairs = false_positives = races = 0
+        for test in LIBRARY:
+            for subset in fault_subsets(test):
+                pairs += 1
+                static = detect_drain_hazards(
+                    test, DrainPolicy.SPLIT_STREAM, subset)
+                dynamic = check_drain_policy(
+                    test, DrainPolicy.SPLIT_STREAM, subset)
+                if dynamic.violations_pc:
+                    races += 1
+                    assert not static.race_free, (
+                        f"{test.name} faults={subset}: explorer found "
+                        f"{sorted(dynamic.violations_pc)} but static "
+                        f"verdict is race-free")
+                elif not static.race_free:
+                    false_positives += 1
+        assert pairs >= 70
+        assert races >= 1  # Figure 2a exists in the library
+        # Conservatism is expected but must not be vacuous: the
+        # detector proves strictly more pairs race-free than not.
+        assert false_positives < pairs / 2
+
+    def test_fence_between_stores_suppresses_hazard(self):
+        fenced = LitmusTest(
+            name="MP+ssfence", category="t",
+            threads=[[("W", "y", 1), ("F",), ("W", "x", 1)],
+                     [("R", "x", "r0"), ("R", "y", "r1")]])
+        report = detect_drain_hazards(
+            fenced, DrainPolicy.SPLIT_STREAM, faulting_locs=("y",))
+        assert report.race_free
+
+    def test_report_dict_is_json_ready(self):
+        import json
+        report = detect_drain_hazards(message_passing(),
+                                      DrainPolicy.SPLIT_STREAM)
+        json.dumps(report.as_dict())
+        assert report.as_dict()["policy"] == DrainPolicy.SPLIT_STREAM.value
+
+
+# ----------------------------------------------------------------------
+# Pre-filter integration (harness + explorer)
+# ----------------------------------------------------------------------
+class TestPrefilterIntegration:
+    def test_check_test_short_circuits_sc_equivalent(self):
+        mp = message_passing()
+        base = check_test(mp, RunConfig(seeds=2, clean_pass=False))
+        pre = check_test(mp, RunConfig(seeds=2, clean_pass=False,
+                                       prefilter=True))
+        assert pre.static_check is not None
+        assert pre.static_check["short_circuited"] is True
+        assert pre.conformance.allowed == base.conformance.allowed
+        assert pre.ok
+
+    def test_check_test_does_not_short_circuit_relaxable(self):
+        verdict = check_test(store_buffering(),
+                             RunConfig(seeds=2, clean_pass=False,
+                                       prefilter=True))
+        assert verdict.static_check["verdict"] == "relaxable"
+        assert verdict.static_check["short_circuited"] is False
+        assert verdict.ok
+
+    def test_cached_allowed_set_skips_classification(self):
+        mp = message_passing()
+        allowed = allowed_set(mp, get_model("PC"))
+        verdict = check_test(mp, RunConfig(seeds=2, clean_pass=False,
+                                           prefilter=True),
+                             allowed=allowed)
+        assert verdict.static_check is None
+
+    def test_crosscheck_prefilter_explores_sc_machine(self):
+        check = crosscheck_test(message_passing(), "PC",
+                                prefilter=True)
+        assert check.prefiltered
+        assert check.model_name == "SC"
+        assert check.ok
+
+    def test_crosscheck_prefilter_keeps_relaxable_on_pc(self):
+        check = crosscheck_test(store_buffering(), "PC",
+                                prefilter=True)
+        assert not check.prefiltered
+        assert check.model_name == "PC"
+        assert check.ok
+
+    def test_crosscheck_prefilter_agrees_with_unfiltered(self):
+        for test in LIBRARY:
+            plain = crosscheck_test(test, "PC")
+            pre = crosscheck_test(test, "PC", prefilter=True)
+            assert pre.operational == plain.operational, test.name
+            assert pre.ok == plain.ok
+
+    def test_suite_static_totals_and_v4_report(self, tmp_path):
+        from repro.analysis.postprocess import (
+            CAMPAIGN_REPORT_SCHEMA, read_campaign_report,
+            write_campaign_report)
+        from repro.litmus.campaign import AllowedSetCache
+        from repro.litmus.harness import check_suite
+
+        tests = LIBRARY[:6]
+        # Fresh cache: the process-wide memo would serve allowed sets
+        # from earlier tests and (correctly) skip classification.
+        report = check_suite(tests, RunConfig(
+            seeds=2, clean_pass=False, prefilter=True),
+            cache=AllowedSetCache())
+        totals = report.static_totals()
+        assert totals["tests_classified"] == len(tests)
+        assert totals["sc_equivalent"] + totals["relaxable"] + \
+            totals["unknown"] == len(tests)
+        assert totals["short_circuited"] >= 1
+
+        path = tmp_path / "report.json"
+        payload = write_campaign_report(path, report)
+        assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
+        assert payload["schema"].endswith("/v4")
+        assert payload["static"] == totals
+        assert all("static" in r for r in payload["results"])
+        assert read_campaign_report(path)["static"] == totals
