@@ -21,12 +21,16 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v4"
-#: Still readable; v4 added the ``static`` pre-filter totals block
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v5"
+#: Still readable; v5 added the top-level ``telemetry`` block (the
+#: campaign telemetry summary — span/event counts and the merged
+#: metrics registry — ``None`` when the campaign ran without
+#: telemetry); v4 added the ``static`` pre-filter totals block
 #: and per-test ``static`` classifications; v3 added the ``explorer``
 #: totals block and the per-test ``explorer`` cross-check entries; v2
 #: added the ``enumerator`` totals block, per-test ``enumerator``
 #: stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V4 = "repro.litmus.campaign-report/v4"
 CAMPAIGN_REPORT_SCHEMA_V3 = "repro.litmus.campaign-report/v3"
 CAMPAIGN_REPORT_SCHEMA_V2 = "repro.litmus.campaign-report/v2"
 CAMPAIGN_REPORT_SCHEMA_V1 = "repro.litmus.campaign-report/v1"
@@ -122,7 +126,7 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v4`` (documented in
+    Schema ``repro.litmus.campaign-report/v5`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
     ``None`` when a pass did not run), any negative differences, the
@@ -132,7 +136,8 @@ def campaign_report_dict(report) -> Dict:
     classification (``None`` when ``config.prefilter`` was off or the
     allowed set came from the cache).  The top level adds summed
     enumerator counters, summed explorer counters, summed static
-    pre-filter counters, and the allowed-set cache hit rate.
+    pre-filter counters, the allowed-set cache hit rate, and the
+    campaign telemetry summary (``None`` when telemetry was off).
     """
     results = []
     for v in report.verdicts:
@@ -173,6 +178,7 @@ def campaign_report_dict(report) -> Dict:
         "enumerator": report.enumerator_totals(),
         "explorer": report.explorer_totals(),
         "static": report.static_totals(),
+        "telemetry": getattr(report, "telemetry", None),
         "totals": {
             "failures": len(report.failures),
             "imprecise_exceptions": report.total_imprecise_exceptions,
@@ -197,6 +203,7 @@ def write_campaign_report(path, report) -> Dict:
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V4,
                                      CAMPAIGN_REPORT_SCHEMA_V3,
                                      CAMPAIGN_REPORT_SCHEMA_V2,
                                      CAMPAIGN_REPORT_SCHEMA_V1):

@@ -20,6 +20,12 @@ command     regenerates
 ``lint``    static well-formedness lint over litmus tests and
             ``.litmus`` files (rule catalogue:
             ``docs/static_analysis.md``)
+``profile`` any other command, run under live telemetry
+            (``repro.obs``): streams records to JSONL, exports a
+            Chrome/Perfetto trace, prints an end-of-run summary
+``stats``   offline summary of a telemetry JSONL stream or a
+            structured campaign report (Figure 5 breakdown recomputed
+            from spans when present)
 ==========  ==========================================================
 """
 
@@ -271,6 +277,53 @@ def _cmd_mbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from . import obs
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit("profile: no command given "
+                         "(e.g. repro profile --chrome t.json mbench)")
+    if rest[0] == "profile":
+        raise SystemExit("profile: cannot profile itself")
+    sinks: list = []
+    if args.jsonl:
+        sinks.append(obs.JsonlSink(args.jsonl))
+    if args.chrome:
+        sinks.append(obs.ChromeTraceSink(args.chrome))
+    if not args.quiet:
+        sinks.append(obs.ConsoleSummarySink())
+    tel = obs.Telemetry(sinks=sinks)
+    with obs.use(tel):
+        try:
+            code = main(rest)
+        finally:
+            tel.close()
+    if args.jsonl:
+        print(f"telemetry stream written: {args.jsonl}")
+    if args.chrome:
+        print(f"chrome trace written: {args.chrome} "
+              f"(load in Perfetto or chrome://tracing)")
+    return code
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import (load_stats_input, render_summary,
+                      summarize_campaign_report, summarize_records)
+
+    loaded = load_stats_input(args.path)
+    try:
+        if loaded["kind"] == "campaign":
+            print(summarize_campaign_report(loaded["payload"]))
+        else:
+            print(render_summary(summarize_records(loaded["records"])))
+    except BrokenPipeError:  # `repro stats ... | head`
+        sys.stderr.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -397,6 +450,32 @@ def build_parser() -> argparse.ArgumentParser:
     mbench.add_argument("--stores", type=int, default=2000)
     mbench.add_argument("--batching", action="store_true")
     mbench.set_defaults(fn=_cmd_mbench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run another repro command under live telemetry")
+    profile.add_argument("--jsonl", metavar="PATH",
+                         help="stream telemetry records as JSON lines "
+                              "(the 'repro stats' input format)")
+    profile.add_argument("--chrome", metavar="PATH",
+                         help="write a Chrome trace-event JSON, "
+                              "loadable in Perfetto / chrome://tracing")
+    profile.add_argument("--quiet", action="store_true",
+                         help="suppress the end-of-run console summary")
+    profile.add_argument("rest", nargs=argparse.REMAINDER,
+                         metavar="COMMAND",
+                         help="the repro command (and its arguments) "
+                              "to run under telemetry")
+    profile.set_defaults(fn=_cmd_profile)
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a telemetry JSONL stream or campaign report")
+    stats.add_argument("path", metavar="PATH",
+                       help="telemetry .jsonl from 'repro profile "
+                            "--jsonl' or a campaign report JSON from "
+                            "'repro litmus --json'")
+    stats.set_defaults(fn=_cmd_stats)
     return parser
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..obs.telemetry import current as _telemetry
 from .exceptions import ExceptionCode
 
 
@@ -137,7 +138,13 @@ class FaultingStoreBuffer:
         self._slots[slot] = entry
         self.tail = (self.tail + 1) & self.reg_mask
         self.total_drained += 1
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        occupancy = self.occupancy
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+        tel = _telemetry()
+        if tel.enabled:
+            tel.counter("fsb.drains").inc()
+            tel.gauge("fsb.ring_occupancy").set(occupancy)
         return slot
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from ..obs.telemetry import current as _telemetry
 from .exceptions import ExceptionCode, ImpreciseStoreException
 from .fsb import FaultingStoreBuffer, FsbEntry
 
@@ -117,6 +118,10 @@ class FsbController:
         total = 0
         for addr, data, byte_mask, error_code in entries:
             total += self.drain_store(addr, data, byte_mask, error_code)
+        tel = _telemetry()
+        if tel.enabled:
+            tel.histogram("fsb.drain_batch").observe(len(entries))
+            tel.counter("fsb.activations").inc()
         return total
 
     def raise_exception(self, pinned_pc: int) -> ImpreciseStoreException:

@@ -45,6 +45,7 @@ from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
                     Sequence, Set, Tuple)
 
 from ..memmodel.enumerator import allowed_outcomes
+from ..obs.telemetry import current as _telemetry
 from ..memmodel.events import Event
 from ..memmodel.imprecise import DrainPolicy
 from ..memmodel.operational import ExplorationBudgetExceeded
@@ -153,10 +154,34 @@ def explore(machine: Machine,
     else:
         _explore_naive(machine, stats, record, max_states, dedupe_states)
     stats.wall_time_s = time.perf_counter() - started
+    _publish_stats(machine, stats, started, len(outcomes))
     return ExplorationResult(machine=machine.name,
                              model_name=machine.model_name,
                              outcomes=outcomes, schedules=schedules,
                              stats=stats)
+
+
+def _publish_stats(machine: Machine, stats: ExplorationStats,
+                   started: float, outcomes: int) -> None:
+    """Mirror one exploration's counters into the ambient telemetry —
+    once per :func:`explore`, never per search node."""
+    tel = _telemetry()
+    if not tel.enabled:
+        return
+    tel.record_span("explore.run", started, started + stats.wall_time_s,
+                    attrs={"machine": machine.name,
+                           "model": machine.model_name,
+                           "strategy": stats.strategy,
+                           "outcomes": outcomes})
+    tel.counter("explore.calls").inc()
+    for key, value in stats.as_dict().items():
+        if key in ("strategy", "wall_time_s", "max_depth"):
+            continue
+        tel.counter(f"explore.{key}").inc(value)
+    depth = tel.gauge("explore.max_depth")
+    if stats.max_depth > depth.value:
+        depth.set(stats.max_depth)
+    tel.histogram("explore.wall_time_s").observe(stats.wall_time_s)
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,9 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..obs.sinks import MemorySink
+from ..obs.telemetry import (WALL, Telemetry, current as _telemetry,
+                             reset_current, use as _use)
 from .dsl import LitmusTest
 from .harness import (ENGINE_REFERENCE_MODEL, SuiteReport, TestVerdict,
                       check_test)
@@ -158,15 +161,57 @@ _PROCESS_CACHE = AllowedSetCache()
 def _check_chunk(payload):
     """Run one shard; top-level so it pickles under any start method.
 
-    ``payload`` is ``(chunk_index, tests, config, allowed_sets)`` with
-    ``allowed_sets[i]`` the cached allowed set for ``tests[i]`` or
-    ``None`` (the worker then enumerates it; the parent harvests the
-    result from the verdict's conformance to refill the cache).
+    ``payload`` is ``(chunk_index, tests, config, allowed_sets,
+    telemetry_on)`` with ``allowed_sets[i]`` the cached allowed set
+    for ``tests[i]`` or ``None`` (the worker then enumerates it; the
+    parent harvests the result from the verdict's conformance to
+    refill the cache).
+
+    Returns ``(chunk_index, verdicts, records)``.  With telemetry on,
+    the worker runs under its own buffered :class:`Telemetry` and
+    ``records`` is its drained record stream — per-test
+    ``campaign.test`` events whose fields depend only on test identity
+    and verdict (never on sharding or timing), per-test wall spans,
+    and the worker's metric snapshot.  The parent ingests the stream,
+    so the merged event content is the same for any ``jobs`` value,
+    up to arrival order.
     """
-    chunk_index, tests, config, allowed_sets = payload
-    verdicts = [check_test(test, config, allowed=allowed)
-                for test, allowed in zip(tests, allowed_sets)]
-    return chunk_index, verdicts
+    chunk_index, tests, config, allowed_sets, telemetry_on = payload
+    if not telemetry_on:
+        verdicts = [check_test(test, config, allowed=allowed)
+                    for test, allowed in zip(tests, allowed_sets)]
+        return chunk_index, verdicts, []
+
+    worker = Telemetry(sinks=[MemorySink()])
+    verdicts = []
+    chunk_started = time.perf_counter()
+    with _use(worker):
+        for offset, (test, allowed) in enumerate(zip(tests, allowed_sets)):
+            started = time.perf_counter()
+            verdict = check_test(test, config, allowed=allowed)
+            verdicts.append(verdict)
+            worker.record_span(
+                "campaign.test", started, time.perf_counter(),
+                attrs={"test": test.name, "index": chunk_index + offset,
+                       "ok": verdict.ok})
+            worker.event(
+                "campaign.test", index=chunk_index + offset,
+                test=test.name, ok=verdict.ok,
+                outcomes=len(verdict.run.outcomes),
+                imprecise=verdict.run.imprecise_exceptions,
+                precise=verdict.run.precise_exceptions,
+                cached=verdict.enum_stats is None)
+    worker.record_span("campaign.chunk", chunk_started,
+                       time.perf_counter(),
+                       attrs={"chunk": chunk_index, "tests": len(tests)})
+    records = worker.drain_records()
+    # Each shard gets its own wall lane in the merged stream, so the
+    # parent's Chrome trace keeps every worker's spans properly
+    # nested on a thread of their own (lane 0 stays the parent's).
+    for record in records:
+        if record.get("track") == WALL:
+            record["lane"] = 1 + chunk_index
+    return chunk_index, verdicts, records
 
 
 def _chunk_size(n_tests: int, jobs: int) -> int:
@@ -197,6 +242,7 @@ def run_campaign(tests: Sequence[LitmusTest],
     elif not isinstance(cache, AllowedSetCache):
         cache = AllowedSetCache(cache)
 
+    tel = _telemetry()
     started = time.perf_counter()
     reference_name = ENGINE_REFERENCE_MODEL[config.model]
     digests = [canonical_test_digest(test, reference_name)
@@ -210,32 +256,47 @@ def run_campaign(tests: Sequence[LitmusTest],
     size = chunk_size or _chunk_size(len(tests), jobs)
     payloads = [
         (start, tests[start:start + size], config,
-         allowed_sets[start:start + size])
+         allowed_sets[start:start + size], tel.enabled)
         for start in range(0, len(tests), size)
     ]
 
     merged: Dict[int, List[TestVerdict]] = {}
     done = 0
 
-    def note_progress(chunk: List[TestVerdict]) -> None:
+    def note_progress(index: int, chunk: List[TestVerdict],
+                      records) -> None:
         nonlocal done
         done += len(chunk)
         failures = sum(1 for v in chunk if not v.ok)
         log.info("campaign progress: %d/%d tests (%d chunk failures, "
                  "%.1fs elapsed)", done, len(tests), failures,
                  time.perf_counter() - started)
+        if tel.enabled:
+            tel.ingest(records)
+            # Deterministic fields only (no wall times, no done
+            # counts): for a fixed chunk partition the progress
+            # stream's content matches the serial run's for any jobs
+            # value, up to arrival order.  (The per-test
+            # ``campaign.test`` events from the workers match for
+            # *any* jobs/chunk_size.)
+            tel.event("campaign.progress", chunk=index,
+                      tests=len(chunk), failures=failures)
 
     if jobs <= 1 or len(tests) <= 1:
         for payload in payloads:
-            index, verdicts = _check_chunk(payload)
+            index, verdicts, records = _check_chunk(payload)
             merged[index] = verdicts
-            note_progress(verdicts)
+            note_progress(index, verdicts, records)
     else:
-        with multiprocessing.Pool(processes=jobs) as pool:
-            for index, verdicts in pool.imap_unordered(
+        # ``reset_current`` as initializer: forked workers must not
+        # inherit the parent's ambient telemetry (open sinks); each
+        # shard builds its own buffered context in ``_check_chunk``.
+        with multiprocessing.Pool(processes=jobs,
+                                  initializer=reset_current) as pool:
+            for index, verdicts, records in pool.imap_unordered(
                     _check_chunk, payloads):
                 merged[index] = verdicts
-                note_progress(verdicts)
+                note_progress(index, verdicts, records)
 
     report = SuiteReport(model=config.model,
                          injected=config.inject_faults,
@@ -253,6 +314,17 @@ def run_campaign(tests: Sequence[LitmusTest],
     report.wall_time = time.perf_counter() - started
     report.cache_hits = hits
     report.cache_misses = len(tests) - hits
+    if tel.enabled:
+        tel.record_span("campaign.run", started,
+                        time.perf_counter(),
+                        attrs={"tests": len(tests),
+                               "jobs": max(1, jobs),
+                               "model": str(config.model)})
+        tel.counter("campaign.tests").inc(len(tests))
+        tel.counter("campaign.failures").inc(len(report.failures))
+        tel.counter("campaign.cache_hits").inc(hits)
+        tel.counter("campaign.cache_misses").inc(len(tests) - hits)
+        report.telemetry = tel.summary()
     log.info("campaign done: %d tests, %d failures, %.1fs "
              "(imprecise=%d precise=%d)", report.tests,
              len(report.failures), report.wall_time,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..memmodel.axioms import MemoryModel, get_model
+from ..obs.metrics import MetricsRegistry
 from ..memmodel.checker import ConformanceResult, check_outcome_set
 from ..memmodel.enumerator import (EnumerationStats, allowed_outcomes,
                                    enumerate_executions)
@@ -125,6 +126,11 @@ class SuiteReport:
     jobs: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Telemetry summary block — span/event counts plus the merged
+    #: metrics registry — filled by the campaign engine when a live
+    #: :mod:`repro.obs` context was ambient; ``None`` otherwise.
+    #: Serialised as the report schema's (v5+) ``telemetry`` entry.
+    telemetry: Optional[Dict] = None
 
     @property
     def tests(self) -> int:
@@ -160,89 +166,90 @@ class SuiteReport:
     def clean_passes(self) -> int:
         return sum(1 for v in self.verdicts if v.clean_run is not None)
 
+    def metrics_registry(self) -> MetricsRegistry:
+        """The suite's per-subsystem counters as one
+        :class:`~repro.obs.metrics.MetricsRegistry`, rebuilt from the
+        verdicts on each call: ``enum.*`` from the reference
+        enumerations, ``explore.*`` from the operational cross-checks,
+        ``static.*`` from the pre-filter classifications.  The legacy
+        totals accessors below are namespace projections of this
+        registry — one canonical store, the historical dict layouts
+        served as thin views."""
+        reg = MetricsRegistry()
+        for v in self.verdicts:
+            if v.enum_stats is None:
+                reg.counter("enum.tests_cached").inc()
+            else:
+                reg.counter("enum.tests_enumerated").inc()
+                for key, value in v.enum_stats.items():
+                    if isinstance(value, (int, float)):
+                        reg.counter(f"enum.{key}").inc(value)
+            if v.explore_check is None:
+                reg.counter("explore.tests_skipped").inc()
+            else:
+                reg.counter("explore.tests_explored").inc()
+                if not v.explore_check["ok"]:
+                    reg.counter("explore.mismatches").inc()
+                for key, value in v.explore_check["stats"].items():
+                    if isinstance(value, (int, float)):
+                        reg.counter(f"explore.{key}").inc(value)
+            if v.static_check is None:
+                reg.counter("static.tests_skipped").inc()
+            else:
+                reg.counter("static.tests_classified").inc()
+                verdict = str(v.static_check.get("verdict", ""))
+                if verdict:
+                    reg.counter(
+                        "static." + verdict.replace("-", "_")).inc()
+                if v.static_check.get("short_circuited"):
+                    reg.counter("static.short_circuited").inc()
+                reg.counter("static.wall_time_s").inc(
+                    v.static_check.get("wall_time_s", 0.0))
+        return reg
+
+    @staticmethod
+    def _totals_view(registry: MetricsRegistry, prefix: str,
+                     keys: Sequence[str]) -> Dict[str, float]:
+        """Project one namespace of ``registry`` onto a legacy totals
+        layout: fixed key set, integer counts, rounded wall time."""
+        projected = registry.namespace(prefix)
+        return {key: (round(projected.get(key, 0.0), 6)
+                      if key == "wall_time_s"
+                      else int(projected.get(key, 0)))
+                for key in keys}
+
     def enumerator_totals(self) -> Dict[str, float]:
         """Summed :class:`~repro.memmodel.enumerator.EnumerationStats`
         counters over every verdict that enumerated its allowed set
         (cache-served tests carry no stats and are counted in
-        ``tests_cached``)."""
-        totals: Dict[str, float] = {
-            "tests_enumerated": 0,
-            "tests_cached": 0,
-            "rf_assignments": 0,
-            "rf_partial_prunes": 0,
-            "addr_co_prunes": 0,
-            "known_outcome_skips": 0,
-            "candidates_examined": 0,
-            "candidates_consistent": 0,
-            "relation_cache_hits": 0,
-            "wall_time_s": 0.0,
-        }
-        for v in self.verdicts:
-            if v.enum_stats is None:
-                totals["tests_cached"] += 1
-                continue
-            totals["tests_enumerated"] += 1
-            for key, value in v.enum_stats.items():
-                if key in totals and key != "tests_enumerated":
-                    totals[key] += value
-        totals["wall_time_s"] = round(totals["wall_time_s"], 6)
-        return totals
+        ``tests_cached``).  A thin view over :meth:`metrics_registry`
+        (namespace ``enum``)."""
+        return self._totals_view(self.metrics_registry(), "enum", (
+            "tests_enumerated", "tests_cached", "rf_assignments",
+            "rf_partial_prunes", "addr_co_prunes",
+            "known_outcome_skips", "candidates_examined",
+            "candidates_consistent", "relation_cache_hits",
+            "wall_time_s"))
 
     def explorer_totals(self) -> Dict[str, float]:
         """Summed :class:`~repro.explore.ExplorationStats` counters
         over every verdict that ran the operational exploration
         cross-check (``None`` entries are counted in
-        ``tests_skipped``)."""
-        totals: Dict[str, float] = {
-            "tests_explored": 0,
-            "tests_skipped": 0,
-            "mismatches": 0,
-            "states_visited": 0,
-            "transitions_executed": 0,
-            "interleavings": 0,
-            "sleep_set_blocks": 0,
-            "races_detected": 0,
-            "wall_time_s": 0.0,
-        }
-        for v in self.verdicts:
-            if v.explore_check is None:
-                totals["tests_skipped"] += 1
-                continue
-            totals["tests_explored"] += 1
-            if not v.explore_check["ok"]:
-                totals["mismatches"] += 1
-            for key, value in v.explore_check["stats"].items():
-                if key in totals:
-                    totals[key] += value
-        totals["wall_time_s"] = round(totals["wall_time_s"], 6)
-        return totals
+        ``tests_skipped``).  A thin view over :meth:`metrics_registry`
+        (namespace ``explore``)."""
+        return self._totals_view(self.metrics_registry(), "explore", (
+            "tests_explored", "tests_skipped", "mismatches",
+            "states_visited", "transitions_executed", "interleavings",
+            "sleep_set_blocks", "races_detected", "wall_time_s"))
 
     def static_totals(self) -> Dict[str, float]:
         """Summed static pre-filter counters over every verdict that
         classified its test (``None`` entries are counted in
-        ``tests_skipped``)."""
-        totals: Dict[str, float] = {
-            "tests_classified": 0,
-            "tests_skipped": 0,
-            "sc_equivalent": 0,
-            "relaxable": 0,
-            "unknown": 0,
-            "short_circuited": 0,
-            "wall_time_s": 0.0,
-        }
-        for v in self.verdicts:
-            if v.static_check is None:
-                totals["tests_skipped"] += 1
-                continue
-            totals["tests_classified"] += 1
-            key = str(v.static_check.get("verdict", "")).replace("-", "_")
-            if key in totals:
-                totals[key] += 1
-            if v.static_check.get("short_circuited"):
-                totals["short_circuited"] += 1
-            totals["wall_time_s"] += v.static_check.get("wall_time_s", 0.0)
-        totals["wall_time_s"] = round(totals["wall_time_s"], 6)
-        return totals
+        ``tests_skipped``).  A thin view over :meth:`metrics_registry`
+        (namespace ``static``)."""
+        return self._totals_view(self.metrics_registry(), "static", (
+            "tests_classified", "tests_skipped", "sc_equivalent",
+            "relaxable", "unknown", "short_circuited", "wall_time_s"))
 
     def category_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

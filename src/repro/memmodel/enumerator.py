@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
                     Set, Tuple)
 
+from ..obs.telemetry import current as _telemetry
 from .axioms import MemoryModel
 from .events import Event, EventKind, initial_writes
 from .relations import (
@@ -239,7 +240,30 @@ def _finish(result, stats, started):
     result.stats = stats
     result.candidates_examined = stats.candidates_examined
     result.candidates_consistent = stats.candidates_consistent
+    _publish_stats(result, stats, started)
     return result
+
+
+def _publish_stats(result, stats, started) -> None:
+    """Mirror one enumeration's counters into the ambient telemetry.
+
+    Called once per ``enumerate_executions`` (never per search node),
+    so the rf-DFS hot path carries no instrumentation at all and the
+    disabled-telemetry overhead is one global read per call.
+    """
+    tel = _telemetry()
+    if not tel.enabled:
+        return
+    tel.record_span("enum.enumerate", started, started + stats.wall_time_s,
+                    attrs={"model": result.model_name,
+                           "strategy": stats.strategy,
+                           "allowed": len(result.allowed)})
+    tel.counter("enum.calls").inc()
+    for key, value in stats.as_dict().items():
+        if key in ("strategy", "wall_time_s"):
+            continue
+        tel.counter(f"enum.{key}").inc(value)
+    tel.histogram("enum.wall_time_s").observe(stats.wall_time_s)
 
 
 # ----------------------------------------------------------------------

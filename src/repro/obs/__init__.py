@@ -1,0 +1,37 @@
+"""Unified telemetry: span tracing, metrics, structured events.
+
+The correlation layer for every subsystem — the timing engine's
+per-fault phase spans (Figure 5), the enumerator's search counters,
+the explorer's DPOR counters, and the campaign's shard progress all
+flow through one :class:`Telemetry` context into pluggable sinks
+(JSONL stream, Chrome/Perfetto trace, console summary).
+
+Hot paths read the ambient context via :func:`current`; disabled
+telemetry is the process-wide :data:`NULL` no-op, so instrumentation
+costs one global read plus an ``enabled`` check.  See
+``docs/observability.md``.
+"""
+
+from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry, NULL_INSTRUMENT)
+from .sinks import (ChromeTraceSink, ConsoleSummarySink, JsonlSink,
+                    MemorySink, NullSink, assert_valid_chrome_trace,
+                    chrome_trace_events, read_jsonl,
+                    validate_chrome_trace)
+from .stats import (figure5_from_spans, load_stats_input,
+                    render_summary, summarize_campaign_report,
+                    summarize_jsonl, summarize_records)
+from .telemetry import (NULL, NullTelemetry, SIM, Telemetry, WALL,
+                        current, reset_current, set_current, use)
+
+__all__ = [
+    "ChromeTraceSink", "ConsoleSummarySink", "Counter",
+    "DEFAULT_BUCKETS", "Gauge", "Histogram", "JsonlSink",
+    "MemorySink", "MetricsRegistry", "NULL", "NULL_INSTRUMENT",
+    "NullSink", "NullTelemetry", "SIM", "Telemetry", "WALL",
+    "assert_valid_chrome_trace", "chrome_trace_events", "current",
+    "figure5_from_spans", "load_stats_input", "read_jsonl",
+    "render_summary", "reset_current", "set_current",
+    "summarize_campaign_report", "summarize_jsonl",
+    "summarize_records", "use", "validate_chrome_trace",
+]

@@ -1,0 +1,266 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Zero-dependency and allocation-light: instruments are plain objects
+with integer/float fields, created once per name and mutated in
+place.  Histograms use *fixed* bucket boundaries so percentile
+estimates need no per-sample storage and two registries (e.g. a
+worker's and the campaign parent's) merge exactly by adding bucket
+counts — the property the sharded campaign relies on.
+
+Names are dotted (``enum.rf_assignments``); the leading segment is
+the namespace, and :meth:`MetricsRegistry.namespace` projects one
+namespace into a flat dict — this is how the legacy per-subsystem
+totals (``enumerator_totals`` and friends) are served as thin views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets: exponential upper bounds covering
+#: sub-microsecond wall times up to minutes and 1..1M counts alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    base * 10 ** exp
+    for exp in range(-7, 7)
+    for base in (1.0, 2.0, 5.0)
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value, tracking the observed maximum."""
+
+    __slots__ = ("name", "value", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max = 0.0
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value, "max": self.max,
+                "samples": self.samples}
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``buckets`` are the inclusive upper bounds of each bucket, in
+    ascending order; samples above the last bound land in an implicit
+    overflow bucket.  Percentiles are reported as the upper bound of
+    the bucket containing the requested rank (the overflow bucket
+    reports the observed maximum) — an upper-bound estimate, exact
+    when samples are integers and buckets are unit-spaced.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram {name}: buckets must ascend")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper-bound estimate of the ``p``-th percentile, 0..100."""
+        if not self.count:
+            return 0.0
+        rank = max(1, -(-int(p * self.count) // 100))  # ceil(p*n/100)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                if i < len(self.buckets):
+                    return min(self.buckets[i], self.max)
+                return self.max
+        return self.max
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with exact merge."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name, buckets)
+        return found
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # ------------------------------------------------------------------
+    def namespace(self, prefix: str) -> Dict[str, float]:
+        """Counter values under ``prefix.`` with the prefix stripped —
+        the thin-view projection the legacy totals accessors use."""
+        start = prefix + "."
+        return {name[len(start):]: c.value
+                for name, c in self._counters.items()
+                if name.startswith(start)}
+
+    def as_dict(self) -> Dict[str, Dict]:
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.as_dict()
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.as_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    # ------------------------------------------------------------------
+    def merge_record(self, record: Dict) -> None:
+        """Merge one serialised metric record (see
+        :meth:`repro.obs.telemetry.Telemetry.drain_records`):
+        counters add, gauges keep last/max, histograms add bucket
+        counts — exact when bucket layouts match (they do: workers and
+        parents run the same code)."""
+        kind = record.get("metric")
+        name = record["name"]
+        if kind == "counter":
+            self.counter(name).inc(record["value"])
+        elif kind == "gauge":
+            gauge = self.gauge(name)
+            gauge.value = record["value"]
+            gauge.max = max(gauge.max, record["max"])
+            gauge.samples += record.get("samples", 0)
+        elif kind == "histogram":
+            hist = self.histogram(name, record["buckets"])
+            if tuple(record["buckets"]) != hist.buckets:
+                hist = self.histogram(name)  # layout drift: best effort
+            for i, n in enumerate(record["counts"]):
+                if i < len(hist.counts):
+                    hist.counts[i] += n
+            hist.count += record["count"]
+            hist.total += record["total"]
+            hist.min = min(hist.min, record["min"])
+            hist.max = max(hist.max, record["max"])
+        else:
+            raise ValueError(f"unknown metric record kind {kind!r}")
+
+    def records(self) -> Iterable[Dict]:
+        """Serialise every instrument as mergeable records."""
+        for name, counter in sorted(self._counters.items()):
+            yield {"type": "metric", "metric": "counter", "name": name,
+                   "value": counter.value}
+        for name, gauge in sorted(self._gauges.items()):
+            yield {"type": "metric", "metric": "gauge", "name": name,
+                   "value": gauge.value, "max": gauge.max,
+                   "samples": gauge.samples}
+        for name, hist in sorted(self._histograms.items()):
+            yield {"type": "metric", "metric": "histogram", "name": name,
+                   "buckets": list(hist.buckets),
+                   "counts": list(hist.counts), "count": hist.count,
+                   "total": hist.total, "min": hist.min, "max": hist.max}
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled
+    telemetry; every mutator is a constant-time no-op."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    max = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    samples = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {}
+
+
+NULL_INSTRUMENT = _NullInstrument()

@@ -1,0 +1,333 @@
+"""Telemetry sinks and the Chrome trace-event exporter/validator.
+
+Sinks receive every record a :class:`~repro.obs.telemetry.Telemetry`
+produces (``on_record``) and are closed once with the final summary
+(``close``).  Four are provided:
+
+* :class:`NullSink` — drops everything (disabled telemetry is the
+  ambient ``NULL`` telemetry, which never calls sinks at all; this
+  exists for explicit wiring).
+* :class:`MemorySink` — buffers records in a list; the campaign
+  workers' record bus and the tests' inspection point.
+* :class:`JsonlSink` — streams one JSON object per line; the
+  ``repro stats`` input format.
+* :class:`ChromeTraceSink` — buffers spans/events/samples and writes
+  a Chrome trace-event JSON file on close, loadable in Perfetto or
+  ``chrome://tracing``.  Wall-clock spans land on the ``wall``
+  process (seconds → µs); simulated-cycle spans land on the ``sim``
+  process at **1 cycle = 1 µs** with one thread lane per core, so the
+  per-fault drain → dispatch → resolve → apply phases read directly
+  off the timeline.
+* :class:`ConsoleSummarySink` — end-of-run textual summary.
+
+:func:`validate_chrome_trace` is the structural validator the tests
+and CI run over emitted traces: required keys, known phases,
+per-lane monotonic timestamps, balanced and name-matched B/E pairs,
+non-negative X durations.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Tuple
+
+from .telemetry import SIM
+
+
+class NullSink:
+    def on_record(self, record: Dict) -> None:
+        pass
+
+    def close(self, summary: Dict) -> None:
+        pass
+
+
+class MemorySink:
+    """Buffer records in memory (tests, worker record bus)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+        self.summary: Optional[Dict] = None
+
+    def on_record(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def close(self, summary: Dict) -> None:
+        self.summary = summary
+
+
+class JsonlSink:
+    """Stream records to ``path``, one JSON object per line."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO] = self.path.open("w")
+
+    def on_record(self, record: Dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+
+    def close(self, summary: Dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(
+                {"type": "summary", **summary}, sort_keys=True,
+                separators=(",", ":")) + "\n")
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Load a :class:`JsonlSink` stream back into records."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+#: Track name → trace pid.  The sim track's cycle timestamps map
+#: 1 cycle = 1 µs; everything else is seconds → µs.
+_TRACK_PIDS = {"wall": 1, SIM: 2}
+
+
+def _track_pid(track: str) -> int:
+    return _TRACK_PIDS.get(track, 9)
+
+
+def _to_us(track: str, value: float) -> float:
+    if track == SIM:
+        return float(value)          # 1 cycle = 1 µs
+    return value * 1e6               # seconds
+
+
+class ChromeTraceSink:
+    """Collect spans/events/samples; write trace-event JSON on close."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._spans: List[Dict] = []
+        self._instants: List[Dict] = []
+        self._counters: List[Dict] = []
+
+    def on_record(self, record: Dict) -> None:
+        kind = record.get("type")
+        if kind == "span":
+            self._spans.append(record)
+        elif kind == "event":
+            self._instants.append(record)
+        elif kind == "sample":
+            self._counters.append(record)
+
+    def close(self, summary: Dict) -> None:
+        payload = chrome_trace_events(self._spans, self._instants,
+                                      self._counters)
+        payload["metadata"] = {"spans": summary.get("spans", 0),
+                               "events": summary.get("events", 0)}
+        self.path.write_text(json.dumps(payload, sort_keys=True,
+                                        separators=(",", ":")))
+
+
+def chrome_trace_events(spans: List[Dict], instants: List[Dict] = (),
+                        counters: List[Dict] = ()) -> Dict:
+    """Convert telemetry records to ``{"traceEvents": [...]}``.
+
+    Span B/E pairs are generated per (track, lane) with a sweep that
+    closes every open span ending at or before the next span's start,
+    which yields balanced, properly nested, timestamp-monotonic
+    pairs even when spans were recorded at completion (children
+    before parents).
+    """
+    events: List[Dict] = []
+    seen_tracks: Dict[str, None] = {}
+    lanes: Dict[Tuple[str, int], List[Dict]] = {}
+    for span in spans:
+        lanes.setdefault((span["track"], span["lane"]), []).append(span)
+        seen_tracks.setdefault(span["track"])
+
+    for (track, lane), members in sorted(lanes.items()):
+        pid, tid = _track_pid(track), lane
+        ordered = sorted(members, key=lambda s: (s["ts"], -s["dur"]))
+        stack: List[Tuple[float, str]] = []   # (end_us, name)
+        lane_events: List[Dict] = []
+
+        def close_until(limit: float) -> None:
+            while stack and stack[-1][0] <= limit:
+                end_us, name = stack.pop()
+                lane_events.append({"name": name, "ph": "E",
+                                    "ts": end_us, "pid": pid,
+                                    "tid": tid})
+
+        for span in ordered:
+            start = _to_us(track, span["ts"])
+            end = start + max(0.0, _to_us(track, span["dur"]))
+            close_until(start)
+            lane_events.append({"name": span["name"], "ph": "B",
+                                "ts": start, "pid": pid, "tid": tid,
+                                "args": dict(span.get("attrs") or {})})
+            stack.append((end, span["name"]))
+        close_until(float("inf"))
+        events.extend(lane_events)
+
+    for record in instants:
+        track = record["track"]
+        seen_tracks.setdefault(track)
+        events.append({"name": record["name"], "ph": "i", "s": "t",
+                       "ts": _to_us(track, record["ts"]),
+                       "pid": _track_pid(track), "tid": record["lane"],
+                       "args": dict(record.get("fields") or {})})
+    for record in counters:
+        track = record["track"]
+        seen_tracks.setdefault(track)
+        events.append({"name": record["name"], "ph": "C",
+                       "ts": _to_us(track, record["ts"]),
+                       "pid": _track_pid(track), "tid": record["lane"],
+                       "args": {"value": record["value"]}})
+
+    # Stable sort by (pid, tid, ts): preserves B/E nesting among
+    # equal timestamps while interleaving instants and counters.
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+
+    meta = [{"name": "process_name", "ph": "M", "ts": 0.0,
+             "pid": _track_pid(track), "tid": 0,
+             "args": {"name": {"wall": "wall-clock",
+                               SIM: "sim-cycles"}.get(track, track)}}
+            for track in sorted(seen_tracks)]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Structural validator (tests + CI)
+# ----------------------------------------------------------------------
+_KNOWN_PHASES = frozenset({"M", "B", "E", "X", "i", "C"})
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(payload) -> List[str]:
+    """Structural check of a Chrome trace-event payload.
+
+    Returns a list of problems (empty when valid): required keys on
+    every event, known phase codes, per-(pid, tid) non-decreasing
+    timestamps over non-metadata events, balanced B/E pairs with
+    matching names, and non-negative X durations.
+    """
+    problems: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["missing or non-list 'traceEvents'"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return ["payload is neither an object nor an event list"]
+
+    last_ts: Dict[Tuple, float] = {}
+    stacks: Dict[Tuple, List[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in _REQUIRED_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        ph = event["ph"]
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(event["ts"], (int, float)):
+            problems.append(f"event {i}: non-numeric ts")
+            continue
+        lane = (event["pid"], event["tid"])
+        ts = float(event["ts"])
+        if lane in last_ts and ts < last_ts[lane]:
+            problems.append(
+                f"event {i}: ts {ts} < {last_ts[lane]} on lane {lane} "
+                f"(timestamps must be non-decreasing per pid/tid)")
+        last_ts[lane] = ts
+        if ph == "B":
+            stacks.setdefault(lane, []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.setdefault(lane, [])
+            if not stack:
+                problems.append(
+                    f"event {i}: E {event['name']!r} with no open B "
+                    f"on lane {lane}")
+            else:
+                opened = stack.pop()
+                if opened != event["name"]:
+                    problems.append(
+                        f"event {i}: E {event['name']!r} closes B "
+                        f"{opened!r} on lane {lane}")
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X with bad dur {dur!r}")
+    for lane, stack in sorted(stacks.items()):
+        if stack:
+            problems.append(
+                f"lane {lane}: {len(stack)} unclosed B event(s): "
+                f"{stack[-3:]}")
+    return problems
+
+
+def assert_valid_chrome_trace(payload) -> None:
+    """Raise :class:`ValueError` listing every structural problem."""
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError("invalid Chrome trace: "
+                         + "; ".join(problems[:10]))
+
+
+class ConsoleSummarySink:
+    """Human-readable end-of-run summary to ``stream``."""
+
+    def __init__(self, stream: Optional[IO] = None) -> None:
+        self.stream = stream
+        #: name → [count, total_dur, track]
+        self._spans: Dict[str, List] = {}
+        self._events: Dict[str, int] = {}
+
+    def on_record(self, record: Dict) -> None:
+        kind = record.get("type")
+        if kind == "span":
+            agg = self._spans.setdefault(
+                record["name"], [0, 0.0, record["track"]])
+            agg[0] += 1
+            agg[1] += record["dur"]
+        elif kind == "event":
+            name = record["name"]
+            self._events[name] = self._events.get(name, 0) + 1
+
+    def close(self, summary: Dict) -> None:
+        stream = self.stream or sys.stderr
+        print("-- telemetry summary --", file=stream)
+        print(f"spans={summary.get('spans', 0)} "
+              f"events={summary.get('events', 0)}", file=stream)
+        for name, (count, total, track) in sorted(self._spans.items()):
+            unit = "cycles" if track == SIM else "s"
+            mean = total / count if count else 0.0
+            print(f"  span {name:<28} n={count:<7} "
+                  f"total={total:.6g}{unit} mean={mean:.6g}{unit}",
+                  file=stream)
+        for name, count in sorted(self._events.items()):
+            print(f"  event {name:<27} n={count}", file=stream)
+        metrics = summary.get("metrics") or {}
+        for name, value in sorted((metrics.get("counters") or {}).items()):
+            print(f"  counter {name:<25} {value:.10g}", file=stream)
+        for name, gauge in sorted((metrics.get("gauges") or {}).items()):
+            print(f"  gauge {name:<27} last={gauge['value']:.6g} "
+                  f"max={gauge['max']:.6g}", file=stream)
+        for name, hist in sorted(
+                (metrics.get("histograms") or {}).items()):
+            print(f"  histogram {name:<23} n={hist['count']} "
+                  f"mean={hist['mean']:.6g} p50={hist['p50']:.6g} "
+                  f"p99={hist['p99']:.6g}", file=stream)

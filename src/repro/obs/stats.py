@@ -1,0 +1,188 @@
+"""Offline analysis of telemetry streams (the ``repro stats`` brain).
+
+Two inputs are understood:
+
+* a telemetry JSONL stream written by
+  :class:`~repro.obs.sinks.JsonlSink` — summarised into span
+  aggregates, event counts, merged metrics, and (when the stream
+  contains the timing engine's per-fault phase spans) the Figure
+  5-style per-fault overhead breakdown *recomputed from spans*;
+* a structured campaign report JSON
+  (``repro.litmus.campaign-report/v*``) — summarised from its totals
+  blocks, so one ``repro stats`` call covers a whole campaign.
+
+:func:`figure5_from_spans` is the acceptance-criterion function: the
+breakdown it derives from the span stream must match
+:meth:`repro.sim.timing.TimingResult.overhead_breakdown_per_fault`
+within one cycle per phase (asserted by the tests), because both are
+computed from the same cycle quantities — the spans just carry them
+as first-class timeline intervals instead of private stat fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import MetricsRegistry
+from .sinks import read_jsonl
+from .telemetry import SIM
+
+#: Span-attribute phase → Figure 5 bucket.  ``os_resolve`` folds into
+#: ``os_other``, mirroring ``overhead_breakdown_per_fault``.
+_PHASE_BUCKET = {
+    "uarch": "uarch",
+    "os_apply": "os_apply",
+    "os_resolve": "os_other",
+    "os_other": "os_other",
+}
+
+
+def figure5_from_spans(records: Iterable[Dict]) -> Dict[str, float]:
+    """Per-faulting-store cycle breakdown from recorded fault spans.
+
+    Sums the duration of every ``sim``-track span carrying a
+    ``phase`` attribute into the three Figure 5 buckets and divides
+    by the number of faulting stores (the ``faults`` attribute on
+    ``fault.drain`` spans).  Returns zeros when the stream has no
+    fault spans.
+    """
+    sums = {"uarch": 0.0, "os_apply": 0.0, "os_other": 0.0}
+    faults = 0
+    for record in records:
+        if record.get("type") != "span" or record.get("track") != SIM:
+            continue
+        attrs = record.get("attrs") or {}
+        bucket = _PHASE_BUCKET.get(attrs.get("phase"))
+        if bucket is None:
+            continue
+        sums[bucket] += record["dur"]
+        faults += int(attrs.get("faults", 0))
+    faults = max(1, faults)
+    return {name: total / faults for name, total in sums.items()}
+
+
+def summarize_records(records: Iterable[Dict]) -> Dict:
+    """Aggregate a record stream into a JSON-ready summary dict."""
+    records = list(records)
+    spans: Dict[str, Dict] = {}
+    events: Dict[str, int] = {}
+    registry = MetricsRegistry()
+    summary_record: Optional[Dict] = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            agg = spans.setdefault(record["name"], {
+                "count": 0, "total": 0.0, "min": float("inf"),
+                "max": float("-inf"), "track": record["track"]})
+            agg["count"] += 1
+            agg["total"] += record["dur"]
+            agg["min"] = min(agg["min"], record["dur"])
+            agg["max"] = max(agg["max"], record["dur"])
+        elif kind == "event":
+            events[record["name"]] = events.get(record["name"], 0) + 1
+        elif kind == "metric":
+            registry.merge_record(record)
+        elif kind == "summary":
+            summary_record = record
+    for agg in spans.values():
+        agg["mean"] = agg["total"] / agg["count"]
+    breakdown = figure5_from_spans(records)
+    return {
+        "spans": spans,
+        "events": events,
+        "metrics": registry.as_dict(),
+        "figure5_per_fault": (breakdown
+                              if any(breakdown.values()) else None),
+        "stream_summary": summary_record,
+    }
+
+
+def summarize_jsonl(path) -> Dict:
+    return summarize_records(read_jsonl(path))
+
+
+def render_summary(summary: Dict) -> str:
+    """Text rendering of :func:`summarize_records` output."""
+    lines: List[str] = []
+    for name, agg in sorted(summary["spans"].items()):
+        unit = "cycles" if agg["track"] == SIM else "s"
+        lines.append(
+            f"span {name:<30} n={agg['count']:<7} "
+            f"total={agg['total']:.6g}{unit} mean={agg['mean']:.6g}{unit} "
+            f"max={agg['max']:.6g}{unit}")
+    for name, count in sorted(summary["events"].items()):
+        lines.append(f"event {name:<29} n={count}")
+    metrics = summary["metrics"]
+    for name, value in sorted(metrics["counters"].items()):
+        lines.append(f"counter {name:<27} {value:.10g}")
+    for name, gauge in sorted(metrics["gauges"].items()):
+        lines.append(f"gauge {name:<29} last={gauge['value']:.6g} "
+                     f"max={gauge['max']:.6g}")
+    for name, hist in sorted(metrics["histograms"].items()):
+        lines.append(f"histogram {name:<25} n={hist['count']} "
+                     f"mean={hist['mean']:.6g} p50={hist['p50']:.6g} "
+                     f"p90={hist['p90']:.6g} p99={hist['p99']:.6g}")
+    breakdown = summary.get("figure5_per_fault")
+    if breakdown:
+        lines.append(
+            "figure5 per-fault breakdown (from spans): "
+            f"uarch {breakdown['uarch']:.1f}  "
+            f"os-apply {breakdown['os_apply']:.1f}  "
+            f"os-other {breakdown['os_other']:.1f}  total "
+            f"{sum(breakdown.values()):.1f} cycles")
+    return "\n".join(lines) if lines else "(empty telemetry stream)"
+
+
+# ----------------------------------------------------------------------
+# Campaign report summarisation
+# ----------------------------------------------------------------------
+def summarize_campaign_report(payload: Dict) -> str:
+    """One-screen summary of a structured campaign report (any
+    schema version; blocks absent in old versions are skipped)."""
+    lines = [
+        f"campaign report [{payload.get('schema', '?')}] "
+        f"model={payload.get('model')} tests={payload.get('tests')} "
+        f"ok={payload.get('ok')} "
+        f"wall={payload.get('wall_time_s', 0.0):.2f}s "
+        f"jobs={payload.get('jobs', 1)}"
+    ]
+    cache = payload.get("cache")
+    if cache:
+        lines.append(f"  cache: hits={cache.get('hits')} "
+                     f"misses={cache.get('misses')} "
+                     f"hit_rate={cache.get('hit_rate')}")
+    for block in ("enumerator", "explorer", "static"):
+        totals = payload.get(block)
+        if totals:
+            body = " ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+            lines.append(f"  {block}: {body}")
+    telemetry = payload.get("telemetry")
+    if telemetry:
+        lines.append(f"  telemetry: enabled={telemetry.get('enabled')} "
+                     f"spans={telemetry.get('spans', 0)} "
+                     f"events={telemetry.get('events', 0)}")
+        metrics = telemetry.get("metrics") or {}
+        for name, value in sorted((metrics.get("counters") or {}).items()):
+            lines.append(f"    counter {name:<25} {value:.10g}")
+    return "\n".join(lines)
+
+
+def load_stats_input(path) -> Dict:
+    """Classify ``path`` as a telemetry JSONL or a campaign report and
+    return ``{"kind": ..., "payload"/"records": ...}``."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        if (isinstance(payload, dict)
+                and str(payload.get("schema", "")).startswith(
+                    "repro.litmus.campaign-report/")):
+            return {"kind": "campaign", "payload": payload}
+    records = [json.loads(line) for line in text.splitlines()
+               if line.strip()]
+    return {"kind": "telemetry", "records": records}

@@ -1,0 +1,289 @@
+"""The telemetry context: span tracer + metrics + structured events.
+
+One :class:`Telemetry` object carries the three observability
+primitives the subsystems share:
+
+* **Spans** — timed intervals with attributes, on two timebases:
+  wall-clock spans (``with tel.span("enum.enumerate"):``, measured in
+  seconds via ``perf_counter``) and *virtual-time* spans
+  (:meth:`Telemetry.record_span` with caller-supplied timestamps —
+  the timing engine emits per-fault phase spans in **simulated
+  cycles**, which is what lets Figure 5's breakdown be recomputed
+  from the span stream instead of from ad-hoc stat fields).
+* **Metrics** — a :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters/gauges/histograms.
+* **Events** — structured one-shot records (the campaign's shard
+  progress bus).
+
+Records are plain dicts, picklable and JSON-ready; sinks
+(:mod:`repro.obs.sinks`) receive them as they are produced.
+Cross-process merging works by draining a worker telemetry's records
+(:meth:`drain_records`) and replaying them into the parent
+(:meth:`ingest`) — metric records merge exactly, span/event records
+forward to the sinks untouched.
+
+The ambient context: hot paths call :func:`current`, which returns
+the installed telemetry or the process-wide :data:`NULL` no-op whose
+every operation is constant-time (``enabled`` is ``False``, spans are
+a shared reusable no-op context manager, instruments are a shared
+null object).  Disabled telemetry therefore costs one global read
+plus an attribute check per instrumentation site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .metrics import NULL_INSTRUMENT, MetricsRegistry
+
+#: Track names: ``wall`` spans carry perf_counter seconds, ``sim``
+#: spans carry simulated cycles (lane = core id).
+WALL, SIM = "wall", "sim"
+
+
+class _Span:
+    """Reusable wall-clock span context manager."""
+
+    __slots__ = ("_tel", "name", "attrs", "_start")
+
+    def __init__(self, tel: "Telemetry", name: str, attrs: Dict) -> None:
+        self._tel = tel
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tel.record_span(self.name, self._start,
+                              time.perf_counter(), track=WALL,
+                              attrs=self.attrs)
+
+
+class _NullSpan:
+    __slots__ = ()
+    name = ""
+    attrs: Dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """A live telemetry context writing to ``sinks``."""
+
+    enabled = True
+
+    def __init__(self, sinks: Sequence = ()) -> None:
+        self.sinks = list(sinks)
+        self.metrics = MetricsRegistry()
+        self.spans_recorded = 0
+        self.events_recorded = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _Span:
+        """Wall-clock span: ``with tel.span("phase", core=0): ...``."""
+        return _Span(self, name, attrs)
+
+    def record_span(self, name: str, start: float, end: float,
+                    track: str = WALL, lane: int = 0,
+                    attrs: Optional[Dict] = None) -> None:
+        """Record a completed span with caller-supplied timestamps.
+
+        ``track=SIM`` marks simulated-cycle timestamps (the timing
+        engine's per-fault phases); ``lane`` separates concurrent
+        timelines within a track (core id, campaign chunk).
+        """
+        self.spans_recorded += 1
+        self._emit({"type": "span", "name": name, "track": track,
+                    "lane": lane, "ts": start, "dur": end - start,
+                    "attrs": attrs or {}})
+
+    # ------------------------------------------------------------------
+    # Events and samples
+    # ------------------------------------------------------------------
+    def event(self, name: str, track: str = WALL, lane: int = 0,
+              **fields) -> None:
+        """Structured one-shot event (instant in the trace view)."""
+        self.events_recorded += 1
+        self._emit({"type": "event", "name": name, "track": track,
+                    "lane": lane, "ts": time.perf_counter(),
+                    "fields": fields})
+
+    def sample(self, name: str, value: float, ts: Optional[float] = None,
+               track: str = WALL, lane: int = 0) -> None:
+        """Time-series sample (a Chrome trace counter event); also
+        mirrored into the ``name`` gauge."""
+        self.metrics.gauge(name).set(value)
+        self._emit({"type": "sample", "name": name, "track": track,
+                    "lane": lane,
+                    "ts": time.perf_counter() if ts is None else ts,
+                    "value": value})
+
+    # ------------------------------------------------------------------
+    # Metrics pass-throughs
+    # ------------------------------------------------------------------
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, buckets=None):
+        return self.metrics.histogram(name, buckets)
+
+    # ------------------------------------------------------------------
+    # Cross-process record bus
+    # ------------------------------------------------------------------
+    def ingest(self, records: Iterable[Dict]) -> None:
+        """Replay records drained from another telemetry (a campaign
+        worker): metric records merge into this registry, everything
+        else forwards to the sinks."""
+        for record in records:
+            if record.get("type") == "metric":
+                self.metrics.merge_record(record)
+            else:
+                if record.get("type") == "span":
+                    self.spans_recorded += 1
+                elif record.get("type") == "event":
+                    self.events_recorded += 1
+                self._emit(record)
+
+    def drain_records(self) -> List[Dict]:
+        """All records buffered by :class:`~repro.obs.sinks.MemorySink`
+        sinks plus the metric snapshot — the picklable payload a
+        campaign worker returns to the parent."""
+        out: List[Dict] = []
+        for sink in self.sinks:
+            records = getattr(sink, "records", None)
+            if records is not None:
+                out.extend(records)
+        out.extend(self.metrics.records())
+        return out
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict:
+        """JSON-ready overview (the campaign report's ``telemetry``
+        block and the console sink's input)."""
+        return {
+            "enabled": True,
+            "spans": self.spans_recorded,
+            "events": self.events_recorded,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def close(self) -> None:
+        """Emit the final metric records and close every sink."""
+        if self._closed:
+            return
+        self._closed = True
+        for record in self.metrics.records():
+            self._emit(record)
+        summary = self.summary()
+        for sink in self.sinks:
+            sink.close(summary)
+
+    def _emit(self, record: Dict) -> None:
+        for sink in self.sinks:
+            sink.on_record(record)
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a constant-time no-op."""
+
+    enabled = False
+    metrics = MetricsRegistry()  # shared, always empty
+    spans_recorded = 0
+    events_recorded = 0
+    sinks: List = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name: str, start: float, end: float,
+                    track: str = WALL, lane: int = 0,
+                    attrs: Optional[Dict] = None) -> None:
+        pass
+
+    def event(self, name: str, track: str = WALL, lane: int = 0,
+              **fields) -> None:
+        pass
+
+    def sample(self, name: str, value: float, ts: Optional[float] = None,
+               track: str = WALL, lane: int = 0) -> None:
+        pass
+
+    def counter(self, name: str):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None):
+        return NULL_INSTRUMENT
+
+    def ingest(self, records: Iterable[Dict]) -> None:
+        pass
+
+    def drain_records(self) -> List[Dict]:
+        return []
+
+    def summary(self) -> Dict:
+        return {"enabled": False, "spans": 0, "events": 0, "metrics": {}}
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide disabled telemetry.
+NULL = NullTelemetry()
+
+_current = NULL
+
+
+def current():
+    """The ambient telemetry (the no-op :data:`NULL` by default)."""
+    return _current
+
+
+def set_current(telemetry) -> None:
+    global _current
+    _current = telemetry if telemetry is not None else NULL
+
+
+def reset_current() -> None:
+    """Back to disabled — also the pool-worker initializer, so forked
+    campaign workers never inherit the parent's open sinks."""
+    global _current
+    _current = NULL
+
+
+class use:
+    """``with obs.use(tel): ...`` — install ``tel`` as the ambient
+    telemetry for the block, restoring the previous one after."""
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry if telemetry is not None else NULL
+        self._previous = None
+
+    def __enter__(self):
+        global _current
+        self._previous = _current
+        _current = self.telemetry
+        return self.telemetry
+
+    def __exit__(self, *exc) -> None:
+        global _current
+        _current = self._previous

@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..obs.telemetry import current as _telemetry
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
@@ -81,17 +83,25 @@ class Engine:
         against livelock bugs in component logic.
         """
         processed = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
-                self._now = until
-                break
-            if not self.step():
-                break
-            processed += 1
-            if processed > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events — livelock suspected at "
-                    f"t={self._now}")
+        try:
+            while self._queue:
+                if until is not None and self._queue[0].time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events — livelock "
+                        f"suspected at t={self._now}")
+        finally:
+            # Bulk update once per drain, never per event: the hot
+            # loop stays telemetry-free.
+            tel = _telemetry()
+            if tel.enabled and processed:
+                tel.counter("sim.engine.events").inc(processed)
+                tel.gauge("sim.engine.now").set(self._now)
         return self._now
 
     @property

@@ -35,6 +35,7 @@ from ..core.exceptions import ExceptionCode
 from ..core.fsb import FsbEntry
 from ..core.handler import BatchingHandler, HandlerCosts, MinimalHandler
 from ..core.interface import ArchitecturalInterface
+from ..obs.telemetry import SIM, current as _telemetry
 from .cache.coherence import CoherentHierarchy
 from .config import ConsistencyModel, SystemConfig
 from .cpu.speculation import SpeculationReport, SpeculationTracker
@@ -181,6 +182,7 @@ class _TimingCore:
         self.last_drain_end = 0.0
         self.last_load_complete = 0.0
         self.stats = CoreTimingStats()
+        self.tel = system.telemetry
         self.interface = ArchitecturalInterface(core_id)
         self.tracker: Optional[SpeculationTracker] = (
             SpeculationTracker() if system.track_speculation else None)
@@ -389,6 +391,7 @@ class _TimingCore:
         """
         self.stats.imprecise_exceptions += 1
         cfg = self.system.config
+        detect_clock = self.clock
 
         entries = list(self.sb)
         self.sb.clear()
@@ -424,6 +427,46 @@ class _TimingCore:
         self.clock += costs.total
         self.last_drain_end = self.clock
 
+        tel = self.tel
+        if tel.enabled:
+            # The per-fault phase spans Figure 5 is recomputed from:
+            # detect→drain→flush on the uarch side, then the handler's
+            # dispatch/resolve/apply, laid end-to-end in cycle time.
+            core = self.id
+            t = detect_clock
+            tel.record_span("fault.drain", t, t + drain_cycles,
+                            track=SIM, lane=core,
+                            attrs={"phase": "uarch",
+                                   "faults": faults_before,
+                                   "stores": len(entries)})
+            t += drain_cycles
+            tel.record_span("fault.flush", t, t + FLUSH_REFILL_CYCLES,
+                            track=SIM, lane=core,
+                            attrs={"phase": "uarch"})
+            t += FLUSH_REFILL_CYCLES
+            tel.record_span("fault.os_dispatch", t, t + costs.os_other,
+                            track=SIM, lane=core,
+                            attrs={"phase": "os_other"})
+            t += costs.os_other
+            tel.record_span("fault.os_resolve", t, t + costs.os_resolve,
+                            track=SIM, lane=core,
+                            attrs={"phase": "os_resolve",
+                                   "resolved": invocation.faults_resolved})
+            t += costs.os_resolve
+            tel.record_span("fault.os_apply", t, t + costs.os_apply,
+                            track=SIM, lane=core,
+                            attrs={"phase": "os_apply",
+                                   "stores": invocation.stores_handled})
+            tel.sample("fsb.occupancy", len(entries),
+                       ts=detect_clock + drain_cycles, track=SIM,
+                       lane=core)
+            tel.sample("fsb.occupancy", self.interface.pending,
+                       ts=self.clock, track=SIM, lane=core)
+            tel.counter("timing.imprecise_exceptions").inc()
+            tel.counter("timing.faulting_stores").inc(faults_before)
+            tel.histogram("fault.batch_stores").observe(len(entries))
+            tel.histogram("fault.batch_faults").observe(faults_before)
+
     def _aso_rollback(self, addr: int) -> None:
         """ASO precise-exception path (§3.2): squash back to the
         checkpoint before the faulting store, pay the re-execution of
@@ -433,6 +476,7 @@ class _TimingCore:
         cfg = self.system.config
         # Work speculated since the oldest live checkpoint is redone.
         live_starts = [s.drain_end for s in self.sb if s.missed]
+        rollback_start = self.clock
         rollback = max(0.0, self.clock - self._oldest_checkpoint_start)
         self.stats.uarch_cycles += rollback + FLUSH_REFILL_CYCLES
         self.clock += rollback + FLUSH_REFILL_CYCLES
@@ -444,6 +488,17 @@ class _TimingCore:
                 + cfg.os.context_switch_cycles)
         self.stats.os_other_cycles += cost
         self.clock += cost
+        tel = self.tel
+        if tel.enabled:
+            tel.record_span("fault.rollback", rollback_start,
+                            rollback_start + rollback
+                            + FLUSH_REFILL_CYCLES,
+                            track=SIM, lane=self.id,
+                            attrs={"phase": "uarch"})
+            tel.record_span("fault.precise_trap", self.clock - cost,
+                            self.clock, track=SIM, lane=self.id,
+                            attrs={"phase": "os_other"})
+            tel.counter("timing.precise_exceptions").inc()
         retry = self.system.hierarchy.access(self.id, addr, True)
         self.sb.append(_SbSlot(addr, self.clock + retry.latency,
                                missed=retry.hit_level != "L1"))
@@ -463,6 +518,12 @@ class _TimingCore:
                 + cfg.os.context_switch_cycles)
         self.stats.os_other_cycles += cost
         self.clock += cost
+        tel = self.tel
+        if tel.enabled:
+            tel.record_span("fault.precise_trap", self.clock - cost,
+                            self.clock, track=SIM, lane=self.id,
+                            attrs={"phase": "os_other", "addr": addr})
+            tel.counter("timing.precise_exceptions").inc()
 
 
 class TimingSystem:
@@ -475,7 +536,8 @@ class TimingSystem:
                  track_speculation: bool = False,
                  checkpoint_cap: Optional[int] = None,
                  early_detection_fraction: float = 0.0,
-                 aso_precise: bool = False) -> None:
+                 aso_precise: bool = False,
+                 telemetry=None) -> None:
         """``checkpoint_cap`` enables ASO-with-k-checkpoints mode:
         stores stall at retirement when ``k`` store misses are already
         outstanding, interpolating between the SC baseline (cap 0-ish)
@@ -506,6 +568,10 @@ class TimingSystem:
         self.checkpoint_cap = checkpoint_cap
         self.early_detection_fraction = early_detection_fraction
         self.aso_precise = aso_precise
+        #: Ambient telemetry unless one is supplied explicitly; the
+        #: default NULL context makes every hook a cheap no-op.
+        self.telemetry = (telemetry if telemetry is not None
+                          else _telemetry())
         self.einject = einject or EInject()
         self.memory = MemoryController(config.memory, self.einject)
         self.hierarchy = CoherentHierarchy(config, self.memory)
@@ -517,6 +583,18 @@ class TimingSystem:
 
     def run(self) -> TimingResult:
         """Advance cores in time order until every trace is consumed."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._run()
+        with tel.span("timing.run",
+                      consistency=str(self.config.core.consistency),
+                      cores=len(self.cores)):
+            result = self._run()
+        tel.counter("timing.instructions").inc(
+            result.total_instructions)
+        return result
+
+    def _run(self) -> TimingResult:
         heap = [(core.clock, core.id) for core in self.cores
                 if not core.done]
         heapq.heapify(heap)
@@ -546,7 +624,9 @@ def run_trace(config: SystemConfig,
               einject: Optional[EInject] = None,
               handler: Optional[object] = None,
               track_speculation: bool = False,
-              checkpoint_cap: Optional[int] = None) -> TimingResult:
+              checkpoint_cap: Optional[int] = None,
+              telemetry=None) -> TimingResult:
     """One-shot convenience wrapper."""
     return TimingSystem(config, traces, einject, handler,
-                        track_speculation, checkpoint_cap).run()
+                        track_speculation, checkpoint_cap,
+                        telemetry=telemetry).run()

@@ -1,0 +1,380 @@
+"""Unit tests for the telemetry subsystem (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (ChromeTraceSink, ConsoleSummarySink, Counter,
+                       Gauge, Histogram, JsonlSink, MemorySink,
+                       MetricsRegistry, NULL, NullTelemetry, SIM,
+                       Telemetry, WALL, assert_valid_chrome_trace,
+                       chrome_trace_events, figure5_from_spans,
+                       load_stats_input, read_jsonl, render_summary,
+                       summarize_jsonl, summarize_records,
+                       validate_chrome_trace)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_registry_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a") is not reg.counter("b")
+
+
+class TestGauge:
+    def test_tracks_last_and_max(self):
+        g = Gauge("occ")
+        g.set(3)
+        g.set(9)
+        g.set(1)
+        assert g.value == 1
+        assert g.max == 9
+        assert g.samples == 3
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 4
+        assert d["mean"] == 4.0
+        assert d["min"] == 1 and d["max"] == 10
+
+    def test_percentiles_with_unit_buckets(self):
+        h = Histogram("h", buckets=list(range(1, 101)))
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(50) == 0.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("h", buckets=[1.0])
+        h.observe(123456.0)
+        assert h.percentile(99) == 123456.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+
+class TestRegistryMerge:
+    def test_counter_and_histogram_merge_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, values in ((a, (1, 5, 9)), (b, (2, 4))):
+            reg.counter("n").inc(len(values))
+            for v in values:
+                reg.histogram("h").observe(v)
+        for record in b.records():
+            a.merge_record(record)
+        assert a.counter("n").value == 5
+        merged = a.histogram("h").as_dict()
+        assert merged["count"] == 5
+        assert merged["total"] == 21
+        assert merged["min"] == 1 and merged["max"] == 9
+
+    def test_gauge_merge_keeps_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(2)
+        b.gauge("g").set(7)
+        b.gauge("g").set(1)
+        for record in b.records():
+            a.merge_record(record)
+        assert a.gauge("g").max == 7
+
+    def test_unknown_record_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_record(
+                {"metric": "nope", "name": "x"})
+
+    def test_namespace_projection(self):
+        reg = MetricsRegistry()
+        reg.counter("enum.a").inc(3)
+        reg.counter("enum.b").inc(4)
+        reg.counter("other.c").inc(5)
+        assert reg.namespace("enum") == {"a": 3, "b": 4}
+
+
+# ----------------------------------------------------------------------
+# Telemetry context
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def test_wall_span_records_duration(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("work", step=1):
+            pass
+        (record,) = sink.records
+        assert record["type"] == "span"
+        assert record["name"] == "work"
+        assert record["track"] == WALL
+        assert record["dur"] >= 0
+        assert record["attrs"] == {"step": 1}
+
+    def test_record_span_virtual_time(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.record_span("fault.drain", 100, 228, track=SIM, lane=2,
+                        attrs={"phase": "uarch"})
+        (record,) = sink.records
+        assert record["ts"] == 100 and record["dur"] == 128
+        assert record["track"] == SIM and record["lane"] == 2
+
+    def test_event_and_sample(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.event("progress", chunk=3)
+        tel.sample("occ", 17.0, ts=5.0, track=SIM)
+        kinds = [r["type"] for r in sink.records]
+        assert kinds == ["event", "sample"]
+        assert tel.gauge("occ").value == 17.0
+
+    def test_drain_ingest_round_trip(self):
+        worker = Telemetry(sinks=[MemorySink()])
+        worker.counter("enum.calls").inc(3)
+        worker.record_span("t", 0.0, 1.0)
+        worker.event("e", k=1)
+        parent_sink = MemorySink()
+        parent = Telemetry(sinks=[parent_sink])
+        parent.counter("enum.calls").inc(2)
+        parent.ingest(worker.drain_records())
+        assert parent.counter("enum.calls").value == 5
+        assert parent.spans_recorded == 1
+        assert parent.events_recorded == 1
+        # Spans/events forward to the sinks; metric records merge
+        # into the registry instead (re-emitted at close).
+        forwarded = {r["type"] for r in parent_sink.records}
+        assert forwarded == {"span", "event"}
+
+    def test_close_emits_summary_and_is_idempotent(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.counter("c").inc()
+        tel.close()
+        tel.close()
+        assert sink.summary["enabled"] is True
+        assert sink.summary["metrics"]["counters"] == {"c": 1}
+
+    def test_ambient_default_is_null(self):
+        assert obs.current() is NULL
+        assert not obs.current().enabled
+
+    def test_use_installs_and_restores(self):
+        tel = Telemetry()
+        with obs.use(tel) as installed:
+            assert installed is tel
+            assert obs.current() is tel
+        assert obs.current() is NULL
+
+    def test_reset_current(self):
+        obs.set_current(Telemetry())
+        obs.reset_current()
+        assert obs.current() is NULL
+
+    def test_null_telemetry_is_inert(self):
+        tel = NullTelemetry()
+        with tel.span("x"):
+            pass
+        tel.record_span("x", 0, 1)
+        tel.event("x")
+        tel.sample("x", 1.0)
+        tel.counter("x").inc()
+        tel.gauge("x").set(5)
+        tel.histogram("x").observe(2)
+        assert tel.drain_records() == []
+        assert tel.summary()["enabled"] is False
+        assert len(tel.metrics) == 0
+
+
+# ----------------------------------------------------------------------
+# Sinks + Chrome trace export
+# ----------------------------------------------------------------------
+class TestJsonlSink:
+    def test_stream_and_read_back(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        tel.record_span("s", 0.0, 0.5)
+        tel.event("e", n=1)
+        tel.counter("c").inc(2)
+        tel.close()
+        records = read_jsonl(path)
+        kinds = [r["type"] for r in records]
+        assert kinds[:2] == ["span", "event"]
+        assert kinds[-1] == "summary"
+        assert any(r["type"] == "metric" and r["name"] == "c"
+                   for r in records)
+
+
+class TestChromeTrace:
+    def _spans(self):
+        # Parent span plus two children, recorded child-first (the
+        # completion order a context-manager tracer produces).
+        return [
+            {"type": "span", "name": "child1", "track": SIM, "lane": 0,
+             "ts": 10, "dur": 5, "attrs": {}},
+            {"type": "span", "name": "child2", "track": SIM, "lane": 0,
+             "ts": 20, "dur": 5, "attrs": {}},
+            {"type": "span", "name": "parent", "track": SIM, "lane": 0,
+             "ts": 0, "dur": 100, "attrs": {"k": 1}},
+        ]
+
+    def test_balanced_nested_pairs(self):
+        payload = chrome_trace_events(self._spans())
+        assert validate_chrome_trace(payload) == []
+        names = [(e["ph"], e["name"]) for e in payload["traceEvents"]
+                 if e["ph"] in "BE"]
+        assert names == [("B", "parent"), ("B", "child1"),
+                         ("E", "child1"), ("B", "child2"),
+                         ("E", "child2"), ("E", "parent")]
+
+    def test_sim_track_is_cycle_microseconds(self):
+        payload = chrome_trace_events(self._spans())
+        begins = {e["name"]: e["ts"] for e in payload["traceEvents"]
+                  if e["ph"] == "B"}
+        assert begins["child1"] == 10.0   # cycles map 1:1 to us
+
+    def test_wall_track_scales_seconds_to_us(self):
+        span = {"type": "span", "name": "w", "track": WALL, "lane": 0,
+                "ts": 1.5, "dur": 0.25, "attrs": {}}
+        payload = chrome_trace_events([span])
+        (begin,) = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        assert begin["ts"] == pytest.approx(1.5e6)
+
+    def test_instants_and_counters(self):
+        payload = chrome_trace_events(
+            [], [{"type": "event", "name": "e", "track": WALL,
+                  "lane": 0, "ts": 1.0, "fields": {"n": 1}}],
+            [{"type": "sample", "name": "occ", "track": SIM, "lane": 0,
+              "ts": 5, "value": 3.0}])
+        phases = sorted(e["ph"] for e in payload["traceEvents"])
+        assert "i" in phases and "C" in phases
+        assert validate_chrome_trace(payload) == []
+
+    def test_sink_writes_loadable_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        tel = Telemetry(sinks=[ChromeTraceSink(path)])
+        tel.record_span("a", 0, 10, track=SIM)
+        tel.close()
+        payload = json.loads(path.read_text())
+        assert_valid_chrome_trace(payload)
+        assert payload["metadata"]["spans"] == 1
+
+
+class TestChromeValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) != []
+
+    def test_rejects_unknown_phase(self):
+        bad = [{"name": "x", "ph": "Z", "ts": 0, "pid": 1, "tid": 0}]
+        assert any("unknown phase" in p
+                   for p in validate_chrome_trace(bad))
+
+    def test_rejects_backwards_timestamps(self):
+        bad = [{"name": "a", "ph": "i", "s": "t", "ts": 5, "pid": 1,
+                "tid": 0},
+               {"name": "b", "ph": "i", "s": "t", "ts": 1, "pid": 1,
+                "tid": 0}]
+        assert any("non-decreasing" in p
+                   for p in validate_chrome_trace(bad))
+
+    def test_rejects_unbalanced_begin(self):
+        bad = [{"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0}]
+        assert any("unclosed" in p for p in validate_chrome_trace(bad))
+
+    def test_rejects_mismatched_end(self):
+        bad = [{"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+               {"name": "b", "ph": "E", "ts": 1, "pid": 1, "tid": 0}]
+        assert any("closes B" in p for p in validate_chrome_trace(bad))
+
+    def test_rejects_stray_end(self):
+        bad = [{"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 0}]
+        assert any("no open B" in p for p in validate_chrome_trace(bad))
+
+    def test_assert_helper_raises(self):
+        with pytest.raises(ValueError):
+            assert_valid_chrome_trace([{"ph": "B"}])
+
+
+class TestConsoleSummarySink:
+    def test_renders_spans_and_counters(self):
+        stream = io.StringIO()
+        tel = Telemetry(sinks=[ConsoleSummarySink(stream)])
+        tel.record_span("phase", 0, 10, track=SIM)
+        tel.event("tick")
+        tel.counter("n").inc(3)
+        tel.close()
+        text = stream.getvalue()
+        assert "telemetry summary" in text
+        assert "phase" in text and "cycles" in text
+        assert "tick" in text and "n" in text
+
+
+# ----------------------------------------------------------------------
+# Offline stats
+# ----------------------------------------------------------------------
+class TestStats:
+    def _fault_records(self):
+        mk = lambda name, dur, phase, faults=0: {
+            "type": "span", "name": name, "track": SIM, "lane": 0,
+            "ts": 0, "dur": dur,
+            "attrs": {"phase": phase, **({"faults": faults}
+                                         if faults else {})}}
+        return [mk("fault.drain", 100, "uarch", faults=2),
+                mk("fault.os_dispatch", 300, "os_other"),
+                mk("fault.os_resolve", 60, "os_resolve"),
+                mk("fault.os_apply", 80, "os_apply")]
+
+    def test_figure5_from_spans_buckets_and_normalises(self):
+        breakdown = figure5_from_spans(self._fault_records())
+        assert breakdown == {"uarch": 50.0, "os_apply": 40.0,
+                             "os_other": 180.0}
+
+    def test_figure5_empty_stream_is_zero(self):
+        assert figure5_from_spans([]) == {
+            "uarch": 0.0, "os_apply": 0.0, "os_other": 0.0}
+
+    def test_summarize_and_render(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        for record in self._fault_records():
+            tel.record_span(record["name"], record["ts"],
+                            record["ts"] + record["dur"], track=SIM,
+                            attrs=record["attrs"])
+        tel.counter("enum.calls").inc(7)
+        tel.close()
+        summary = summarize_jsonl(path)
+        assert summary["spans"]["fault.drain"]["count"] == 1
+        assert summary["metrics"]["counters"]["enum.calls"] == 7
+        assert summary["figure5_per_fault"]["uarch"] == 50.0
+        text = render_summary(summary)
+        assert "fault.drain" in text and "figure5" in text
+
+    def test_render_empty(self):
+        assert "empty" in render_summary(summarize_records([]))
+
+    def test_load_stats_input_detects_kinds(self, tmp_path):
+        stream = tmp_path / "t.jsonl"
+        stream.write_text('{"type":"event","name":"e","track":"wall",'
+                          '"lane":0,"ts":0,"fields":{}}\n')
+        assert load_stats_input(stream)["kind"] == "telemetry"
+        report = tmp_path / "r.json"
+        report.write_text(json.dumps(
+            {"schema": "repro.litmus.campaign-report/v5"}))
+        assert load_stats_input(report)["kind"] == "campaign"

@@ -1,0 +1,76 @@
+"""Edge cases for the trace utilities (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim.trace import (ALU, InstructionMix, LOAD, STORE, SYNC,
+                             TraceOp, measure_mix, validate_trace)
+
+
+class TestMeasureMix:
+    def test_empty_trace_is_all_zero(self):
+        mix = measure_mix([])
+        assert (mix.store, mix.load, mix.sync, mix.other) == \
+            (0.0, 0.0, 0.0, 0.0)
+        # The empty mix is intentionally not a valid distribution.
+        with pytest.raises(ValueError):
+            mix.validate()
+
+    def test_fractions_sum_to_one(self):
+        trace = [TraceOp(STORE, 0), TraceOp(LOAD, 8),
+                 TraceOp(ALU), TraceOp(SYNC)]
+        mix = measure_mix(trace)
+        mix.validate()
+        assert mix.store == mix.load == mix.sync == mix.other == 0.25
+
+    def test_single_kind_trace(self):
+        mix = measure_mix([TraceOp(STORE, 0)] * 7)
+        mix.validate()
+        assert mix.store == 1.0
+        assert mix.load == mix.sync == mix.other == 0.0
+
+    def test_non_divisible_counts_stay_exact(self):
+        # 1/3 is not representable in decimal; the fractions must
+        # still sum to 1.0 within the validator's 1e-6 tolerance.
+        trace = [TraceOp(STORE, 0), TraceOp(LOAD, 8), TraceOp(ALU)]
+        mix = measure_mix(trace)
+        mix.validate()
+        assert mix.store == pytest.approx(1 / 3)
+
+    def test_percentages_rounding(self):
+        mix = measure_mix([TraceOp(STORE, 0)] * 3 + [TraceOp(ALU)] * 5)
+        pct = mix.as_percentages()
+        assert pct["Store"] == pytest.approx(37.5)
+        assert pct["Others"] == pytest.approx(62.5)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_validate_rejects_short_mix(self):
+        with pytest.raises(ValueError, match="sums to"):
+            InstructionMix(store=0.5, load=0.2, sync=0.0,
+                           other=0.0).validate()
+
+
+class TestValidateTrace:
+    def test_accepts_all_known_kinds_and_counts(self):
+        trace = [TraceOp(LOAD, 0), TraceOp(STORE, 8), TraceOp(ALU),
+                 TraceOp(SYNC)]
+        assert validate_trace(trace) == 4
+
+    def test_empty_trace_is_length_zero(self):
+        assert validate_trace([]) == 0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="bad trace op kind"):
+            validate_trace([TraceOp("X", 0)])
+
+    def test_error_reports_offending_index(self):
+        trace = [TraceOp(LOAD, 0), TraceOp(STORE, 8), TraceOp("?", 0)]
+        with pytest.raises(ValueError, match="index 2"):
+            validate_trace(trace)
+
+    def test_consumes_generators(self):
+        gen = (TraceOp(ALU) for _ in range(5))
+        assert validate_trace(gen) == 5
+
+    def test_rejects_lowercase_kind(self):
+        with pytest.raises(ValueError):
+            validate_trace([TraceOp("s", 0)])

@@ -355,7 +355,7 @@ class TestPrefilterIntegration:
             assert pre.operational == plain.operational, test.name
             assert pre.ok == plain.ok
 
-    def test_suite_static_totals_and_v4_report(self, tmp_path):
+    def test_suite_static_totals_and_v5_report(self, tmp_path):
         from repro.analysis.postprocess import (
             CAMPAIGN_REPORT_SCHEMA, read_campaign_report,
             write_campaign_report)
@@ -377,7 +377,7 @@ class TestPrefilterIntegration:
         path = tmp_path / "report.json"
         payload = write_campaign_report(path, report)
         assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
-        assert payload["schema"].endswith("/v4")
+        assert payload["schema"].endswith("/v5")
         assert payload["static"] == totals
         assert all("static" in r for r in payload["results"])
         assert read_campaign_report(path)["static"] == totals
