@@ -1,0 +1,152 @@
+"""Verdict-store service performance: incremental no-op re-campaigns
+and warm ``repro serve`` query latency.
+
+Two acceptance criteria pin the store's reason to exist:
+
+* A **no-op incremental re-campaign** over the full 266-test
+  generated library replays every verdict from the store — 100% store
+  hits, zero enumerations, and at least a 3x wall-clock speedup over
+  the cold campaign that populated it.
+* A **warm serve query** (store resident, fingerprints memoised)
+  answers in under 1 ms median over one query per library test on a
+  Unix domain socket — the daemon must be cheap enough to sit inside
+  an edit-verify loop.
+
+Set ``REPRO_BENCH_RECORD=1`` to append the measurement to
+``BENCH_service.json`` (the cross-PR trajectory).
+"""
+
+import asyncio
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.litmus import RunConfig, run_campaign
+from repro.litmus.generator import generate_all
+from repro.serve import ServeClient, VerdictServer
+from repro.store import VerdictStore
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Bench config: injected pass only, few seeds — the store criteria
+#: (hit rate, replay speedup, query latency) are config-independent.
+CONFIG = dict(seeds=3, clean_pass=False)
+
+
+def _record(entry):
+    if not os.environ.get("REPRO_BENCH_RECORD"):
+        return
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+
+def test_noop_incremental_recampaign_is_all_hits(benchmark, tmp_path):
+    """Acceptance: re-verifying an unchanged library is pure replay —
+    100% store hits, nothing enumerated, >= 3x faster."""
+    tests = generate_all()
+    config = RunConfig(**CONFIG)
+    root = tmp_path / "store"
+
+    started = time.perf_counter()
+    cold = run_campaign(tests, config, store=VerdictStore(root),
+                        incremental=True)
+    cold_s = time.perf_counter() - started
+    assert cold.store["misses"] == len(tests)
+
+    def warm_recampaign():
+        # Fresh store instance: replay comes from disk, not memory.
+        return run_campaign(tests, config, store=VerdictStore(root),
+                            incremental=True)
+
+    started = time.perf_counter()
+    warm = run_once(benchmark, warm_recampaign)
+    warm_s = time.perf_counter() - started
+
+    assert warm.store["hits"] == len(tests)
+    assert warm.store["misses"] == 0
+    assert warm.store["hit_rate"] == 1.0
+    assert warm.enumerator_totals()["tests_enumerated"] == 0
+    assert warm.ok == cold.ok
+    for a, b in zip(cold.verdicts, warm.verdicts):
+        assert a.run.outcomes == b.run.outcomes
+    speedup = cold_s / max(warm_s, 1e-9)
+    assert speedup > 3, (
+        f"no-op re-campaign only {speedup:.1f}x faster "
+        f"({cold_s:.2f}s cold vs {warm_s:.2f}s warm)")
+
+    benchmark.extra_info["tests"] = len(tests)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    _record({
+        "bench": "service-incremental",
+        "tests": len(tests),
+        "store_hit_rate": warm.store["hit_rate"],
+        "tests_enumerated": warm.enumerator_totals()["tests_enumerated"],
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+    })
+
+
+def test_warm_serve_query_latency(benchmark, tmp_path):
+    """Acceptance: warm verdict queries answer in < 1 ms median."""
+    tests = generate_all()
+    config = RunConfig(**CONFIG)
+    root = tmp_path / "store"
+    run_campaign(tests, config, store=VerdictStore(root),
+                 incremental=True)  # populate
+
+    uds = tmp_path / "serve.sock"
+    server = VerdictServer(root, config, tests=tests,
+                           batch_window_s=0.02)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.run(uds=uds, ready=lambda a: ready.set())),
+        daemon=True)
+    thread.start()
+    assert ready.wait(10)
+
+    try:
+        with ServeClient(uds=uds) as client:
+            names = [t.name for t in tests]
+            # First sweep warms the server's fingerprint memo and the
+            # blob cache; the measured sweep is the steady state.
+            for name in names:
+                assert client.query(name=name)["hit"]
+
+            def warm_sweep():
+                latencies = []
+                for name in names:
+                    started = time.perf_counter()
+                    response = client.query(name=name)
+                    latencies.append(time.perf_counter() - started)
+                    assert response["hit"]
+                return latencies
+
+            latencies = run_once(benchmark, warm_sweep)
+            with ServeClient(uds=uds) as admin:
+                admin.shutdown()
+    finally:
+        thread.join(10)
+
+    median_ms = statistics.median(latencies) * 1e3
+    p99_ms = sorted(latencies)[int(0.99 * (len(latencies) - 1))] * 1e3
+    assert median_ms < 1.0, (
+        f"warm serve query median {median_ms:.3f} ms (budget 1 ms)")
+
+    benchmark.extra_info["median_ms"] = round(median_ms, 4)
+    benchmark.extra_info["queries"] = len(latencies)
+    _record({
+        "bench": "service-query",
+        "queries": len(latencies),
+        "median_ms": round(median_ms, 4),
+        "p99_ms": round(p99_ms, 4),
+    })

@@ -21,15 +21,19 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v5"
-#: Still readable; v5 added the top-level ``telemetry`` block (the
-#: campaign telemetry summary — span/event counts and the merged
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v6"
+#: Still readable; v6 added the top-level ``store`` block (the verdict
+#: store's path, record count, replay hits/misses, store-served
+#: allowed sets — ``None`` when no store was attached) and the
+#: ``incremental`` flag; v5 added the top-level ``telemetry`` block
+#: (the campaign telemetry summary — span/event counts and the merged
 #: metrics registry — ``None`` when the campaign ran without
 #: telemetry); v4 added the ``static`` pre-filter totals block
 #: and per-test ``static`` classifications; v3 added the ``explorer``
 #: totals block and the per-test ``explorer`` cross-check entries; v2
 #: added the ``enumerator`` totals block, per-test ``enumerator``
 #: stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V5 = "repro.litmus.campaign-report/v5"
 CAMPAIGN_REPORT_SCHEMA_V4 = "repro.litmus.campaign-report/v4"
 CAMPAIGN_REPORT_SCHEMA_V3 = "repro.litmus.campaign-report/v3"
 CAMPAIGN_REPORT_SCHEMA_V2 = "repro.litmus.campaign-report/v2"
@@ -126,7 +130,7 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v5`` (documented in
+    Schema ``repro.litmus.campaign-report/v6`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
     ``None`` when a pass did not run), any negative differences, the
@@ -136,8 +140,9 @@ def campaign_report_dict(report) -> Dict:
     classification (``None`` when ``config.prefilter`` was off or the
     allowed set came from the cache).  The top level adds summed
     enumerator counters, summed explorer counters, summed static
-    pre-filter counters, the allowed-set cache hit rate, and the
-    campaign telemetry summary (``None`` when telemetry was off).
+    pre-filter counters, the allowed-set cache hit rate, the campaign
+    telemetry summary (``None`` when telemetry was off), and the
+    verdict-store block (``None`` when no store was attached).
     """
     results = []
     for v in report.verdicts:
@@ -179,6 +184,8 @@ def campaign_report_dict(report) -> Dict:
         "explorer": report.explorer_totals(),
         "static": report.static_totals(),
         "telemetry": getattr(report, "telemetry", None),
+        "store": getattr(report, "store", None),
+        "incremental": bool(getattr(report, "incremental", False)),
         "totals": {
             "failures": len(report.failures),
             "imprecise_exceptions": report.total_imprecise_exceptions,
@@ -203,6 +210,7 @@ def write_campaign_report(path, report) -> Dict:
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V5,
                                      CAMPAIGN_REPORT_SCHEMA_V4,
                                      CAMPAIGN_REPORT_SCHEMA_V3,
                                      CAMPAIGN_REPORT_SCHEMA_V2,

@@ -20,6 +20,9 @@ command     regenerates
 ``lint``    static well-formedness lint over litmus tests and
             ``.litmus`` files (rule catalogue:
             ``docs/static_analysis.md``)
+``serve``   the verdict-store daemon: newline-JSON queries and batched
+            incremental verification over TCP/UDS
+            (``docs/service.md``)
 ``profile`` any other command, run under live telemetry
             (``repro.obs``): streams records to JSONL, exports a
             Chrome/Perfetto trace, prints an end-of-run summary
@@ -56,7 +59,14 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
                        clean_pass=not args.skip_clean,
                        explore=args.explore,
                        prefilter=args.prefilter)
-    report = check_suite(tests, config, jobs=args.jobs, cache=args.cache)
+    if args.incremental and not args.store:
+        raise SystemExit("litmus: --incremental needs --store DIR")
+    store = None
+    if args.store:
+        from .store import VerdictStore
+        store = VerdictStore(args.store)
+    report = check_suite(tests, config, jobs=args.jobs, cache=args.cache,
+                         store=store, incremental=args.incremental)
     print(report.summary(explain=True))
 
     if args.json:
@@ -277,6 +287,38 @@ def _cmd_mbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from .litmus import RunConfig
+    from .serve import VerdictServer
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(levelname)s %(name)s: %(message)s")
+    if not args.uds and not args.port:
+        raise SystemExit("serve: need --uds PATH or --port N")
+    config = RunConfig(model=args.model, seeds=args.seeds,
+                       inject_faults=not args.no_faults,
+                       clean_pass=not args.skip_clean)
+    server = VerdictServer(args.store, config, jobs=args.jobs,
+                           batch_window_s=args.batch_window,
+                           batch_max=args.batch_max)
+
+    def ready(address) -> None:
+        where = address.get("uds") or \
+            f"{address['host']}:{address['port']}"
+        print(f"repro serve: listening on {where} "
+              f"(store={args.store}, model={args.model})", flush=True)
+
+    try:
+        asyncio.run(server.run(uds=args.uds, host=args.host,
+                               port=args.port or 0, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from . import obs
 
@@ -356,6 +398,15 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--cache", metavar="PATH",
                         help="persistent allowed-set cache file; "
                              "repeat campaigns skip re-enumeration")
+    litmus.add_argument("--store", metavar="DIR",
+                        help="content-addressed verdict store "
+                             "directory (repro.store); verdicts are "
+                             "recorded and the report gains a 'store' "
+                             "block")
+    litmus.add_argument("--incremental", action="store_true",
+                        help="with --store: replay stored verdicts "
+                             "for unchanged (test, config) inputs and "
+                             "run only the misses")
     litmus.add_argument("--skip-clean", action="store_true",
                         help="skip the per-test clean pass (faster, "
                              "judges only the injected run)")
@@ -450,6 +501,35 @@ def build_parser() -> argparse.ArgumentParser:
     mbench.add_argument("--stores", type=int, default=2000)
     mbench.add_argument("--batching", action="store_true")
     mbench.set_defaults(fn=_cmd_mbench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the verdict-store daemon (newline-JSON over "
+             "TCP/UDS; protocol: docs/service.md)")
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="verdict store directory to serve")
+    serve.add_argument("--uds", metavar="PATH",
+                       help="listen on a Unix domain socket")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--model", default="PC",
+                       choices=["SC", "PC", "WC"])
+    serve.add_argument("--seeds", type=int, default=20,
+                       help="scheduler seeds per pass (default 20)")
+    serve.add_argument("--no-faults", action="store_true")
+    serve.add_argument("--skip-clean", action="store_true",
+                       help="skip clean passes in batch campaigns")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per batch campaign")
+    serve.add_argument("--batch-window", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="how long to coalesce submissions before "
+                            "running a batch (default 0.05)")
+    serve.add_argument("--batch-max", type=int, default=512,
+                       help="max submissions per batch (default 512)")
+    serve.set_defaults(fn=_cmd_serve)
 
     profile = sub.add_parser(
         "profile",

@@ -103,8 +103,12 @@ class AllowedSetCache:
 
     Keys are :func:`canonical_test_digest` hex strings; values are
     allowed outcome sets.  With a ``path``, the cache loads existing
-    entries on construction and :meth:`save` persists the union back
-    (atomic rename), so concurrent campaigns at worst recompute.
+    entries on construction and :meth:`save` persists them back via
+    read-merge-replace under an advisory lock: on-disk entries written
+    by a concurrent campaign since our load are folded in before the
+    atomic rename, so parallel campaigns sharing one cache file lose
+    zero entries.  ``hits``/``misses`` count :meth:`get` lookups and
+    are the campaign report's single source of cache accounting.
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
@@ -112,14 +116,37 @@ class AllowedSetCache:
         self._memo: Dict[str, Set[Outcome]] = {}
         self.hits = 0
         self.misses = 0
-        if self.path is not None and self.path.exists():
-            try:
-                raw = json.loads(self.path.read_text())
-            except (OSError, ValueError):
-                raw = {}
-            if raw.get("schema") == CACHE_SCHEMA:
-                for digest, outcomes in raw.get("entries", {}).items():
-                    self._memo[digest] = _decode_outcomes(outcomes)
+        if self.path is not None:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            if tmp.exists():
+                log.warning("removing orphaned cache temp file %s "
+                            "(crashed save?)", tmp)
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            self._memo.update(self._read_entries(self.path))
+
+    @staticmethod
+    def _read_entries(path: Path) -> Dict[str, Set[Outcome]]:
+        """Entries of one on-disk cache file; loud about damage."""
+        if not path.exists():
+            return {}
+        try:
+            raw = json.loads(path.read_text())
+        except OSError:
+            return {}
+        except ValueError:
+            log.warning("ignoring corrupt allowed-set cache %s "
+                        "(not valid JSON)", path)
+            return {}
+        schema = raw.get("schema") if isinstance(raw, dict) else None
+        if schema != CACHE_SCHEMA:
+            log.warning("ignoring allowed-set cache %s: schema %r "
+                        "(expected %r)", path, schema, CACHE_SCHEMA)
+            return {}
+        return {digest: _decode_outcomes(outcomes)
+                for digest, outcomes in raw.get("entries", {}).items()}
 
     def __len__(self) -> int:
         return len(self._memo)
@@ -138,15 +165,29 @@ class AllowedSetCache:
     def save(self) -> None:
         if self.path is None:
             return
-        payload = {
-            "schema": CACHE_SCHEMA,
-            "entries": {digest: _encode_outcomes(outcomes)
-                        for digest, outcomes in sorted(self._memo.items())},
-        }
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        lock_path = self.path.with_suffix(self.path.suffix + ".lock")
         tmp.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        os.replace(tmp, self.path)
+        with open(lock_path, "w") as lock:
+            try:
+                import fcntl
+                fcntl.flock(lock, fcntl.LOCK_EX)
+            except ImportError:  # pragma: no cover - non-POSIX
+                pass
+            # Merge-on-save: a concurrent campaign may have persisted
+            # entries since our load; fold them in (allowed sets for
+            # one digest are identical by construction, so keeping
+            # ours on overlap is safe) instead of clobbering them.
+            for digest, outcomes in self._read_entries(self.path).items():
+                self._memo.setdefault(digest, outcomes)
+            payload = {
+                "schema": CACHE_SCHEMA,
+                "entries": {digest: _encode_outcomes(outcomes)
+                            for digest, outcomes
+                            in sorted(self._memo.items())},
+            }
+            tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+            os.replace(tmp, self.path)
 
 
 #: Process-wide memo used when the caller passes no cache: repeat
@@ -226,14 +267,28 @@ def run_campaign(tests: Sequence[LitmusTest],
                  config: Optional[RunConfig] = None,
                  jobs: int = 1,
                  cache: Optional[Union[AllowedSetCache, str, Path]] = None,
-                 chunk_size: Optional[int] = None) -> SuiteReport:
+                 chunk_size: Optional[int] = None,
+                 store=None,
+                 incremental: bool = False) -> SuiteReport:
     """Run the §6.3 campaign over ``tests``, sharded across ``jobs``
     workers, and merge the per-shard verdicts into one
     :class:`~repro.litmus.harness.SuiteReport` in suite order.
 
+    ``store`` (a :class:`repro.store.VerdictStore` or a directory
+    path) persists full verdict records keyed by input fingerprint;
+    with ``incremental=True`` a test whose fingerprint — test digest x
+    model x verdict-relevant config — is already stored is *replayed*
+    from its record instead of re-run, so a no-op re-campaign
+    short-circuits to ~100% store hits.  The store also serves allowed
+    sets to cache-miss tests (any stored record for the digest, even
+    under a different seed count, skips re-enumeration).
+
     Guarantee: for fixed ``tests`` and ``config``, the per-test
     outcome sets (and hence every verdict) are identical for any
-    ``jobs``/``chunk_size`` — seeds depend only on test identity.
+    ``jobs``/``chunk_size`` — seeds depend only on test identity —
+    and a replayed verdict is judged from its stored outcomes by the
+    same conformance check, so incremental mode preserves verdicts
+    bit-identically.
     """
     config = config or RunConfig()
     tests = list(tests)
@@ -241,23 +296,69 @@ def run_campaign(tests: Sequence[LitmusTest],
         cache = _PROCESS_CACHE
     elif not isinstance(cache, AllowedSetCache):
         cache = AllowedSetCache(cache)
+    if store is not None:
+        from ..store import VerdictRecord, VerdictStore, verdict_fingerprint
+        if not isinstance(store, VerdictStore):
+            store = VerdictStore(store)
 
     tel = _telemetry()
     started = time.perf_counter()
     reference_name = ENGINE_REFERENCE_MODEL[config.model]
     digests = [canonical_test_digest(test, reference_name)
                for test in tests]
-    allowed_sets = [cache.get(digest) for digest in digests]
-    hits = sum(1 for a in allowed_sets if a is not None)
-    log.info("campaign start: %d tests model=%s jobs=%d "
-             "(allowed-set cache: %d hits, %d to enumerate)",
-             len(tests), config.model, jobs, hits, len(tests) - hits)
 
-    size = chunk_size or _chunk_size(len(tests), jobs)
+    # Incremental replay: serve whole verdicts for fingerprints whose
+    # inputs did not change since the stored run.
+    fingerprints: List[Optional[str]] = [None] * len(tests)
+    replayed: Dict[int, TestVerdict] = {}
+    if store is not None:
+        fingerprints = [verdict_fingerprint(digest, config,
+                                            name=test.name)
+                        for digest, test in zip(digests, tests)]
+        if incremental:
+            for i, fingerprint in enumerate(fingerprints):
+                record = store.get(fingerprint)
+                if record is not None and record.has_runs:
+                    replay_started = time.perf_counter()
+                    verdict = record.to_verdict(tests[i])
+                    verdict.wall_time = (time.perf_counter()
+                                         - replay_started)
+                    replayed[i] = verdict
+    store_hits = len(replayed)
+    store_misses = len(tests) - store_hits
+    pending = [i for i in range(len(tests)) if i not in replayed]
+    pending_tests = [tests[i] for i in pending]
+
+    # Allowed-set lookups for the tests that will actually run.  The
+    # cache's own hit/miss counters are the single source of cache
+    # accounting (report block, summary line, and obs counters all
+    # read the same deltas); store-served allowed sets land in the
+    # report's ``store`` block instead.
+    hits_before, misses_before = cache.hits, cache.misses
+    allowed_served = 0
+    allowed_sets: List[Optional[Set[Outcome]]] = []
+    for i in pending:
+        found = cache.get(digests[i])
+        if found is None and store is not None:
+            found = store.get_allowed(digests[i])
+            if found is not None:
+                allowed_served += 1
+                cache.put(digests[i], found)
+        allowed_sets.append(found)
+    hits = cache.hits - hits_before
+    misses = cache.misses - misses_before
+    log.info("campaign start: %d tests model=%s jobs=%d "
+             "(allowed-set cache: %d hits, %d to enumerate%s)",
+             len(tests), config.model, jobs, hits + allowed_served,
+             len(pending) - hits - allowed_served,
+             f"; store: {store_hits} verdicts replayed"
+             if store is not None else "")
+
+    size = chunk_size or _chunk_size(len(pending_tests), jobs)
     payloads = [
-        (start, tests[start:start + size], config,
+        (start, pending_tests[start:start + size], config,
          allowed_sets[start:start + size], tel.enabled)
-        for start in range(0, len(tests), size)
+        for start in range(0, len(pending_tests), size)
     ]
 
     merged: Dict[int, List[TestVerdict]] = {}
@@ -269,7 +370,7 @@ def run_campaign(tests: Sequence[LitmusTest],
         done += len(chunk)
         failures = sum(1 for v in chunk if not v.ok)
         log.info("campaign progress: %d/%d tests (%d chunk failures, "
-                 "%.1fs elapsed)", done, len(tests), failures,
+                 "%.1fs elapsed)", done, len(pending_tests), failures,
                  time.perf_counter() - started)
         if tel.enabled:
             tel.ingest(records)
@@ -282,7 +383,7 @@ def run_campaign(tests: Sequence[LitmusTest],
             tel.event("campaign.progress", chunk=index,
                       tests=len(chunk), failures=failures)
 
-    if jobs <= 1 or len(tests) <= 1:
+    if jobs <= 1 or len(pending_tests) <= 1:
         for payload in payloads:
             index, verdicts, records = _check_chunk(payload)
             merged[index] = verdicts
@@ -298,22 +399,44 @@ def run_campaign(tests: Sequence[LitmusTest],
                 merged[index] = verdicts
                 note_progress(index, verdicts, records)
 
+    computed: List[TestVerdict] = []
+    for start in sorted(merged):
+        computed.extend(merged[start])
+    by_position: Dict[int, TestVerdict] = dict(replayed)
+    by_position.update(zip(pending, computed))
+
     report = SuiteReport(model=config.model,
                          injected=config.inject_faults,
                          jobs=max(1, jobs))
-    for start in sorted(merged):
-        report.verdicts.extend(merged[start])
+    report.verdicts.extend(by_position[i] for i in range(len(tests)))
 
-    # Harvest worker-enumerated allowed sets back into the cache.
-    for digest, cached, verdict in zip(digests, allowed_sets,
-                                       report.verdicts):
+    # Harvest worker-enumerated allowed sets back into the cache, and
+    # full verdict records into the store.
+    for i, cached, verdict in zip(pending, allowed_sets, computed):
         if cached is None:
-            cache.put(digest, verdict.conformance.allowed)
+            cache.put(digests[i], verdict.conformance.allowed)
     cache.save()
+    if store is not None:
+        for i, verdict in zip(pending, computed):
+            store.put(VerdictRecord.from_verdict(
+                verdict, config, fingerprints[i], digests[i]))
+        store.save()
 
     report.wall_time = time.perf_counter() - started
     report.cache_hits = hits
-    report.cache_misses = len(tests) - hits
+    report.cache_misses = misses
+    report.incremental = bool(incremental and store is not None)
+    if store is not None:
+        report.store = {
+            "path": str(store.root),
+            "records": len(store),
+            "incremental": bool(incremental),
+            "hits": store_hits,
+            "misses": store_misses,
+            "hit_rate": (round(store_hits / len(tests), 4)
+                         if tests else 0.0),
+            "allowed_served": allowed_served,
+        }
     if tel.enabled:
         tel.record_span("campaign.run", started,
                         time.perf_counter(),
@@ -323,13 +446,20 @@ def run_campaign(tests: Sequence[LitmusTest],
         tel.counter("campaign.tests").inc(len(tests))
         tel.counter("campaign.failures").inc(len(report.failures))
         tel.counter("campaign.cache_hits").inc(hits)
-        tel.counter("campaign.cache_misses").inc(len(tests) - hits)
+        tel.counter("campaign.cache_misses").inc(misses)
+        if store is not None:
+            tel.counter("campaign.store_hits").inc(store_hits)
+            tel.counter("campaign.store_misses").inc(store_misses)
         report.telemetry = tel.summary()
     log.info("campaign done: %d tests, %d failures, %.1fs "
              "(imprecise=%d precise=%d)", report.tests,
              len(report.failures), report.wall_time,
              report.total_imprecise_exceptions,
              report.total_precise_exceptions)
+    if store is not None:
+        log.info("campaign store: %d verdicts replayed, %d computed "
+                 "(%d records in %s)", store_hits, store_misses,
+                 len(store), store.root)
     totals = report.enumerator_totals()
     log.info("campaign enumerator: %d enumerated / %d cache-served, "
              "%d rf leaves (%d partial prunes, %d co prunes, "

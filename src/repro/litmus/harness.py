@@ -131,6 +131,15 @@ class SuiteReport:
     #: :mod:`repro.obs` context was ambient; ``None`` otherwise.
     #: Serialised as the report schema's (v5+) ``telemetry`` entry.
     telemetry: Optional[Dict] = None
+    #: Verdict-store block — path, record count, replay hits/misses,
+    #: store-served allowed sets — filled by the campaign engine when
+    #: a :class:`repro.store.VerdictStore` was attached; ``None``
+    #: otherwise.  Serialised as the report schema's (v6+) ``store``
+    #: entry.
+    store: Optional[Dict] = None
+    #: Whether the campaign ran in incremental mode (store-backed
+    #: replay of unchanged fingerprints).
+    incremental: bool = False
 
     @property
     def tests(self) -> int:
@@ -279,6 +288,12 @@ class SuiteReport:
                 f"  wall={self.wall_time:.2f}s jobs={self.jobs} "
                 f"allowed-set cache hits={self.cache_hits} "
                 f"misses={self.cache_misses}")
+        if self.store is not None:
+            lines.append(
+                f"  store replays={self.store['hits']} "
+                f"computed={self.store['misses']} "
+                f"records={self.store['records']} "
+                f"incremental={'on' if self.incremental else 'off'}")
         for v in self.failures:
             neg = set(v.conformance.negative_differences)
             if v.clean_conformance is not None:
@@ -362,14 +377,21 @@ def check_test(test: LitmusTest,
 def check_suite(tests: Sequence[LitmusTest],
                 config: Optional[RunConfig] = None,
                 jobs: int = 1,
-                cache=None) -> SuiteReport:
+                cache=None,
+                store=None,
+                incremental: bool = False) -> SuiteReport:
     """The §6.3 campaign: every test, faults injected (plus a clean
     pass each), zero negative differences expected.
 
     ``jobs`` > 1 shards the tests over a worker pool; ``cache`` is an
     :class:`repro.litmus.campaign.AllowedSetCache` or a path for the
-    persistent allowed-set cache.  Outcome sets are identical for any
-    ``jobs`` value (per-test seed derivation).
+    persistent allowed-set cache; ``store`` is a
+    :class:`repro.store.VerdictStore` (or directory path) persisting
+    full verdict records, and ``incremental=True`` replays stored
+    verdicts whose input fingerprints did not change instead of
+    re-running them.  Outcome sets are identical for any ``jobs``
+    value (per-test seed derivation).
     """
     from .campaign import run_campaign
-    return run_campaign(tests, config=config, jobs=jobs, cache=cache)
+    return run_campaign(tests, config=config, jobs=jobs, cache=cache,
+                        store=store, incremental=incremental)

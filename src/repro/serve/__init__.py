@@ -1,0 +1,29 @@
+"""``repro serve`` — the always-warm verdict daemon.
+
+:class:`~repro.serve.server.VerdictServer` keeps a
+:class:`~repro.store.VerdictStore` resident and answers newline-JSON
+queries over TCP or a Unix socket; cache-miss submissions from
+concurrent clients coalesce into one incremental campaign batch.
+:class:`~repro.serve.client.ServeClient` is the matching blocking
+client.  Protocol details live in :mod:`repro.serve.protocol` and
+``docs/service.md``.
+"""
+
+from .client import ServeClient, ServeError
+from .protocol import (MAX_LINE_BYTES, PROTOCOL, ProtocolError,
+                       decode_line, encode_line, test_from_wire,
+                       test_to_wire)
+from .server import VerdictServer
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "VerdictServer",
+    "decode_line",
+    "encode_line",
+    "test_from_wire",
+    "test_to_wire",
+]

@@ -1,0 +1,129 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+Thin by design: one socket, one request line out, one response line
+back (:mod:`repro.serve.protocol`).  Intended both for scripting
+(``ServeClient(uds=...).query(name="SB")``) and as the transport
+behind the ``repro serve-*`` CLI verbs and the e2e tests.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Iterator, List, Optional
+
+from ..litmus.dsl import LitmusTest
+from .protocol import decode_line, encode_line, test_to_wire
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false`` or the connection died."""
+
+
+class ServeClient:
+    """Synchronous newline-JSON client (TCP or Unix domain socket).
+
+    Usable as a context manager; one instance == one connection.  A
+    connection in ``watch`` mode becomes a one-way event stream and
+    cannot issue further requests — use a second client for that.
+    """
+
+    def __init__(self, uds=None, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 timeout: float = 300.0) -> None:
+        if uds is not None:
+            self._sock = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(uds))
+        elif host is not None and port is not None:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        else:
+            raise ValueError("need uds=... or host=.../port=...")
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> Dict:
+        """Send one op, return the decoded response; raises
+        :class:`ServeError` on ``ok: false`` or a dropped connection."""
+        message = {"op": op}
+        message.update(fields)
+        self._file.write(encode_line(message))
+        self._file.flush()
+        response = self._read_line()
+        if not response.get("ok", False):
+            raise ServeError(response.get("error", "request failed"))
+        return response
+
+    def _read_line(self) -> Dict:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("connection closed by server")
+        return decode_line(line)
+
+    # ------------------------------------------------------------------
+    # Op wrappers
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict:
+        return self.request("ping")
+
+    def stats(self) -> Dict:
+        return self.request("stats")
+
+    def query(self, name: Optional[str] = None,
+              names: Optional[List[str]] = None,
+              test: Optional[LitmusTest] = None,
+              fingerprint: Optional[str] = None) -> Dict:
+        fields: Dict = {}
+        if name is not None:
+            fields["name"] = name
+        if names is not None:
+            fields["names"] = list(names)
+        if test is not None:
+            fields["test"] = test_to_wire(test)
+        if fingerprint is not None:
+            fields["fingerprint"] = fingerprint
+        return self.request("query", **fields)
+
+    def submit(self, name: Optional[str] = None,
+               names: Optional[List[str]] = None,
+               test: Optional[LitmusTest] = None,
+               tests: Optional[List[LitmusTest]] = None) -> Dict:
+        fields: Dict = {}
+        if name is not None:
+            fields["name"] = name
+        if names is not None:
+            fields["names"] = list(names)
+        if test is not None:
+            fields["test"] = test_to_wire(test)
+        if tests is not None:
+            fields["tests"] = [test_to_wire(t) for t in tests]
+        return self.request("submit", **fields)
+
+    def shutdown(self) -> Dict:
+        return self.request("shutdown")
+
+    def watch(self) -> Iterator[Dict]:
+        """Switch this connection into watch mode; yields campaign
+        events until the server stops or the caller closes."""
+        self.request("watch")
+        while True:
+            try:
+                message = self._read_line()
+            except ServeError:
+                return
+            if "event" in message:
+                yield message["event"]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,115 @@
+"""The ``repro serve`` wire protocol: newline-delimited JSON.
+
+One request per line, one response per line, over TCP or a Unix
+domain socket.  Every request is an object with an ``op`` field;
+every response carries ``ok`` (and ``error`` when ``ok`` is false).
+The ``watch`` op switches the connection into a one-way event stream
+(one ``{"event": ...}`` object per line) fed from the campaign's obs
+event bus.
+
+Ops
+===
+
+==========  ==========================================================
+``ping``     liveness + protocol/server identification
+``stats``    store + server counters
+``query``    verdict lookup by ``name`` (known test), inline ``test``,
+             or raw ``fingerprint``; never enumerates
+``submit``   verify one ``name``/``test`` (or a ``names``/``tests``
+             suite); cache misses are batched across concurrent
+             clients into one sharded campaign; responds when the
+             verdict is stored
+``watch``    subscribe to campaign progress events
+``shutdown`` drain and stop the daemon
+==========  ==========================================================
+
+Litmus tests travel as plain JSON (:func:`test_to_wire` /
+:func:`test_from_wire`): name, category, and the DSL op threads, with
+fence kinds flattened to their string values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..litmus.dsl import LitmusTest
+from ..memmodel.events import FenceKind
+
+PROTOCOL = "repro.serve/v1"
+
+#: One request/response line may not exceed this (keeps a misbehaving
+#: client from ballooning the reader buffer).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Malformed request or unserialisable test."""
+
+
+def encode_line(message: Dict) -> bytes:
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: bytes) -> Dict:
+    try:
+        message = json.loads(line.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def _op_to_wire(op: tuple) -> List:
+    wire = list(op)
+    if wire and wire[0] == "F" and len(wire) > 1:
+        wire[1] = wire[1].value if isinstance(wire[1], FenceKind) \
+            else str(wire[1])
+    return wire
+
+
+def _op_from_wire(raw) -> tuple:
+    if not isinstance(raw, list) or not raw or \
+            not isinstance(raw[0], str):
+        raise ProtocolError(f"malformed litmus op {raw!r}")
+    op = list(raw)
+    if op[0] == "F" and len(op) > 1:
+        try:
+            op[1] = FenceKind(op[1])
+        except ValueError:
+            raise ProtocolError(
+                f"unknown fence kind {op[1]!r}") from None
+    return tuple(op)
+
+
+def test_to_wire(test: LitmusTest) -> Dict:
+    """A :class:`LitmusTest` as a JSON-ready dict."""
+    return {
+        "name": test.name,
+        "category": test.category,
+        "threads": [[_op_to_wire(op) for op in thread]
+                    for thread in test.threads],
+    }
+
+
+def test_from_wire(payload: Dict) -> LitmusTest:
+    """Rebuild a :class:`LitmusTest` from its wire form."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("test must be a JSON object")
+    try:
+        name = payload["name"]
+        threads = payload["threads"]
+    except KeyError as exc:
+        raise ProtocolError(f"test missing field {exc}") from None
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("test name must be a non-empty string")
+    if not isinstance(threads, list) or not threads:
+        raise ProtocolError("test threads must be a non-empty list")
+    return LitmusTest(
+        name=name,
+        category=str(payload.get("category", "submitted")),
+        threads=[[_op_from_wire(op) for op in thread]
+                 for thread in threads],
+    )

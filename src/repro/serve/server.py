@@ -1,0 +1,428 @@
+"""``repro serve`` — the asyncio verdict daemon.
+
+The campaign as a long-running system: a :class:`VerdictServer` owns
+one :class:`~repro.store.VerdictStore` and answers newline-JSON
+requests (:mod:`repro.serve.protocol`) over TCP or a Unix domain
+socket.
+
+* **Queries** never enumerate: a warm lookup is an in-memory index
+  hit plus one JSON line each way — sub-millisecond.
+* **Submissions** that miss the store are *batched across concurrent
+  clients*: the batch worker collects submissions for a short window
+  (``batch_window_s``, up to ``batch_max``), dedupes them by input
+  fingerprint, and runs one incremental
+  :func:`~repro.litmus.campaign.run_campaign` over the union in a
+  worker thread (sharded over ``jobs`` processes like any campaign).
+  Every waiting client is answered from the records the campaign
+  stored.
+* **Watchers** receive the campaign's obs event bus live: the batch
+  runs under a private :class:`~repro.obs.Telemetry` whose sink
+  forwards ``campaign.*`` events (per-test verdicts, per-chunk
+  progress) to every ``watch`` connection as they happen.
+
+Shutdown (the ``shutdown`` op) drains queued submissions before
+stopping, so no accepted work is dropped; the store index is merged
+to disk on every batch and once more on exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..litmus.campaign import (AllowedSetCache, canonical_test_digest,
+                               run_campaign)
+from ..litmus.dsl import LitmusTest
+from ..litmus.harness import ENGINE_REFERENCE_MODEL
+from ..litmus.runner import RunConfig
+from ..obs.telemetry import Telemetry, use as _use
+from ..store import VerdictStore, verdict_fingerprint
+from .protocol import (MAX_LINE_BYTES, PROTOCOL, ProtocolError,
+                       decode_line, encode_line, test_from_wire)
+
+log = logging.getLogger("repro.serve")
+
+
+class _Submission:
+    """One queued cache-miss verification request."""
+
+    __slots__ = ("test", "fingerprint", "future")
+
+    def __init__(self, test: LitmusTest, fingerprint: str,
+                 future: "asyncio.Future") -> None:
+        self.test = test
+        self.fingerprint = fingerprint
+        self.future = future
+
+
+class _EventBusSink:
+    """Obs sink forwarding campaign events from the batch worker
+    thread onto the event loop for the watch streams."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 broadcast) -> None:
+        self._loop = loop
+        self._broadcast = broadcast
+
+    def on_record(self, record: Dict) -> None:
+        if record.get("type") == "event":
+            self._loop.call_soon_threadsafe(self._broadcast, record)
+
+    def close(self, summary: Dict) -> None:
+        pass
+
+
+class VerdictServer:
+    """One store, one batch queue, many clients."""
+
+    def __init__(self, store, config: Optional[RunConfig] = None,
+                 jobs: int = 1,
+                 tests: Optional[List[LitmusTest]] = None,
+                 batch_window_s: float = 0.05,
+                 batch_max: int = 512) -> None:
+        self.store = (store if isinstance(store, VerdictStore)
+                      else VerdictStore(store))
+        self.config = config or RunConfig()
+        self.jobs = max(1, jobs)
+        self.batch_window_s = batch_window_s
+        self.batch_max = max(1, batch_max)
+        self._reference = ENGINE_REFERENCE_MODEL[self.config.model]
+        self._pool: Optional[Dict[str, LitmusTest]] = (
+            {t.name: t for t in tests} if tests is not None else None)
+        #: pool-test name -> (digest, fingerprint); inline submissions
+        #: are fingerprinted per request (their body may vary).
+        self._fp_memo: Dict[str, Tuple[str, str]] = {}
+        self._cache = AllowedSetCache()  # in-process allowed-set memo
+        self.counters = {"connections": 0, "queries": 0,
+                         "submissions": 0, "served_from_store": 0,
+                         "batches": 0, "batched_tests": 0}
+        self.address: Dict = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._watchers: Set[asyncio.Queue] = set()
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Test resolution + fingerprinting
+    # ------------------------------------------------------------------
+    def pool(self) -> Dict[str, LitmusTest]:
+        """Known tests, lazily the library + generated suite."""
+        if self._pool is None:
+            from ..litmus import all_library_tests
+            from ..litmus.generator import generate_all
+            self._pool = {t.name: t
+                          for t in generate_all() + all_library_tests()}
+        return self._pool
+
+    def _resolve(self, message: Dict) -> List[Tuple[LitmusTest, bool]]:
+        """The (test, is_pool_test) targets of a query/submit."""
+        targets: List[Tuple[LitmusTest, bool]] = []
+        names = message.get("names", [])
+        if "name" in message:
+            names = list(names) + [message["name"]]
+        for name in names:
+            test = self.pool().get(name)
+            if test is None:
+                raise ProtocolError(f"unknown test {name!r}")
+            targets.append((test, True))
+        wires = message.get("tests", [])
+        if "test" in message:
+            wires = list(wires) + [message["test"]]
+        for wire in wires:
+            targets.append((test_from_wire(wire), False))
+        if not targets:
+            raise ProtocolError(
+                "no target: pass name/names, test/tests, "
+                "or fingerprint")
+        return targets
+
+    def _fingerprint(self, test: LitmusTest,
+                     is_pool: bool) -> Tuple[str, str]:
+        if is_pool and test.name in self._fp_memo:
+            return self._fp_memo[test.name]
+        digest = canonical_test_digest(test, self._reference)
+        fingerprint = verdict_fingerprint(digest, self.config,
+                                          name=test.name)
+        if is_pool:
+            self._fp_memo[test.name] = (digest, fingerprint)
+        return digest, fingerprint
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def run(self, *, uds=None, host: str = "127.0.0.1",
+                  port: int = 0, ready=None) -> None:
+        """Bind, serve until ``shutdown``, then drain and clean up.
+
+        ``ready(address)`` is called once listening — ``address`` is
+        ``{"uds": path}`` or ``{"host": ..., "port": ...}`` with the
+        actually-bound port.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stopping = asyncio.Event()
+        self._started_at = time.monotonic()
+        if uds is not None:
+            server = await asyncio.start_unix_server(
+                self._handle, path=str(uds), limit=MAX_LINE_BYTES)
+            self.address = {"uds": str(uds)}
+        else:
+            server = await asyncio.start_server(
+                self._handle, host, port, limit=MAX_LINE_BYTES)
+            bound = server.sockets[0].getsockname()
+            self.address = {"host": bound[0], "port": bound[1]}
+        batch_task = asyncio.create_task(self._batch_loop())
+        log.info("serving on %s (model=%s jobs=%d store=%s)",
+                 self.address, self.config.model, self.jobs,
+                 self.store.root)
+        if ready is not None:
+            ready(self.address)
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            batch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await batch_task
+            self._fail_pending("server stopped")
+            self.store.save()
+            log.info("serve shut down: %s", self.counters)
+
+    def _fail_pending(self, reason: str) -> None:
+        if self._queue is None:
+            return
+        while not self._queue.empty():
+            submission = self._queue.get_nowait()
+            if not submission.future.done():
+                submission.future.set_exception(RuntimeError(reason))
+            self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.counters["connections"] += 1
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_line(
+                        {"ok": False, "error": "request line too long"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                stop_after = False
+                try:
+                    message = decode_line(line)
+                    op = message.get("op")
+                    if op == "watch":
+                        await self._watch(writer)
+                        break
+                    stop_after = op == "shutdown"
+                    response = await self._dispatch(message)
+                except ProtocolError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except Exception as exc:  # one bad request != dead conn
+                    log.exception("request failed")
+                    response = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(encode_line(response))
+                await writer.drain()
+                if stop_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, message: Dict) -> Dict:
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping", "server": "repro-serve",
+                    "protocol": PROTOCOL,
+                    "model": str(self.config.model)}
+        if op == "stats":
+            return {"ok": True, "op": "stats",
+                    "protocol": PROTOCOL,
+                    "store": self.store.stats(),
+                    "counters": dict(self.counters),
+                    "pending": self._queue.qsize(),
+                    "watchers": len(self._watchers),
+                    "uptime_s": round(
+                        time.monotonic() - self._started_at, 3)}
+        if op == "query":
+            return self._query(message)
+        if op == "submit":
+            return await self._submit(message)
+        if op == "shutdown":
+            asyncio.create_task(self._shutdown())
+            return {"ok": True, "op": "shutdown"}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    async def _shutdown(self) -> None:
+        await self._queue.join()  # drain accepted work first
+        self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # Query / submit
+    # ------------------------------------------------------------------
+    def _query(self, message: Dict) -> Dict:
+        self.counters["queries"] += 1
+        if "fingerprint" in message:
+            fingerprint = message["fingerprint"]
+            record = self.store.get(fingerprint)
+            result = {"fingerprint": fingerprint,
+                      "hit": record is not None,
+                      "verdict": record.as_dict() if record else None}
+            return {"ok": True, "op": "query", "results": [result],
+                    **result}
+        results = []
+        for test, is_pool in self._resolve(message):
+            _digest, fingerprint = self._fingerprint(test, is_pool)
+            record = self.store.get(fingerprint)
+            results.append({"name": test.name,
+                            "fingerprint": fingerprint,
+                            "hit": record is not None,
+                            "verdict": record.as_dict()
+                            if record else None})
+        response = {"ok": True, "op": "query", "results": results}
+        if len(results) == 1:
+            response.update(results[0])
+        return response
+
+    async def _submit(self, message: Dict) -> Dict:
+        targets = self._resolve(message)
+        self.counters["submissions"] += len(targets)
+        waiters: List[Tuple[Dict, Optional[asyncio.Future]]] = []
+        for test, is_pool in targets:
+            _digest, fingerprint = self._fingerprint(test, is_pool)
+            record = self.store.get(fingerprint)
+            entry = {"name": test.name, "fingerprint": fingerprint}
+            if record is not None and record.has_runs:
+                # Warm path: answered without touching the queue.
+                self.counters["served_from_store"] += 1
+                entry.update(hit=True, verdict=record.as_dict())
+                waiters.append((entry, None))
+                continue
+            future = self._loop.create_future()
+            self._queue.put_nowait(
+                _Submission(test, fingerprint, future))
+            waiters.append((entry, future))
+        results = []
+        for entry, future in waiters:
+            if future is not None:
+                record = await future
+                entry.update(hit=False, verdict=record.as_dict())
+            results.append(entry)
+        response = {"ok": True, "op": "submit", "results": results}
+        if len(results) == 1:
+            response.update(results[0])
+        return response
+
+    # ------------------------------------------------------------------
+    # The batch worker
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = self._loop.time() + self.batch_window_s
+            while len(batch) < self.batch_max:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            try:
+                await self._run_batch(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    async def _run_batch(self, batch: List[_Submission]) -> None:
+        # Dedupe across clients: one verification per fingerprint,
+        # every waiter answered from it.
+        by_fingerprint: Dict[str, List[_Submission]] = {}
+        unique: List[_Submission] = []
+        for submission in batch:
+            group = by_fingerprint.setdefault(submission.fingerprint, [])
+            if not group:
+                unique.append(submission)
+            group.append(submission)
+        self.counters["batches"] += 1
+        self.counters["batched_tests"] += len(unique)
+        self._broadcast({"type": "event", "name": "serve.batch",
+                         "fields": {"submissions": len(batch),
+                                    "tests": len(unique)}})
+        tests = [submission.test for submission in unique]
+        try:
+            await asyncio.to_thread(self._verify, tests)
+        except Exception as exc:
+            log.exception("batch verification failed")
+            for submission in batch:
+                if not submission.future.done():
+                    submission.future.set_exception(
+                        RuntimeError(f"batch failed: {exc}"))
+            return
+        for fingerprint, group in by_fingerprint.items():
+            record = self.store.peek(fingerprint)
+            for submission in group:
+                if submission.future.done():
+                    continue
+                if record is None:
+                    submission.future.set_exception(RuntimeError(
+                        f"batch produced no record for "
+                        f"{fingerprint[:12]}"))
+                else:
+                    submission.future.set_result(record)
+
+    def _verify(self, tests: List[LitmusTest]):
+        """Runs on a worker thread: one incremental campaign over the
+        batch, progress streamed through the private telemetry."""
+        sink = _EventBusSink(self._loop, self._broadcast)
+        tel = Telemetry(sinks=[sink])
+        with _use(tel):
+            return run_campaign(tests, self.config, jobs=self.jobs,
+                                cache=self._cache, store=self.store,
+                                incremental=True)
+
+    # ------------------------------------------------------------------
+    # Watch streams
+    # ------------------------------------------------------------------
+    def _broadcast(self, record: Dict) -> None:
+        for queue in list(self._watchers):
+            with contextlib.suppress(asyncio.QueueFull):
+                queue.put_nowait(record)
+
+    async def _watch(self, writer: asyncio.StreamWriter) -> None:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=4096)
+        self._watchers.add(queue)
+        try:
+            writer.write(encode_line({"ok": True, "op": "watch",
+                                      "protocol": PROTOCOL}))
+            await writer.drain()
+            while not self._stopping.is_set():
+                try:
+                    record = await asyncio.wait_for(queue.get(), 0.25)
+                except asyncio.TimeoutError:
+                    if writer.is_closing():
+                        break
+                    continue
+                writer.write(encode_line({"event": record}))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._watchers.discard(queue)

@@ -1,0 +1,22 @@
+"""Content-addressed verdict store.
+
+The campaign's long-lived memory: schema-versioned
+:class:`VerdictRecord` blobs (allowed set + judged passes + explorer/
+static blocks) named by the SHA-256 of their canonical JSON, under a
+mergeable on-disk index keyed by input fingerprint (test digest x
+model x verdict-relevant ``RunConfig`` fields).  See
+``docs/service.md``.
+"""
+
+from .records import (FINGERPRINT_CONFIG_FIELDS, READABLE_RECORD_SCHEMAS,
+                      RECORD_SCHEMA, VerdictRecord,
+                      config_fingerprint_fields, verdict_fingerprint)
+from .store import (INDEX_SCHEMA, LEGACY_CACHE_SCHEMA,
+                    READABLE_INDEX_SCHEMAS, VerdictStore)
+
+__all__ = [
+    "FINGERPRINT_CONFIG_FIELDS", "INDEX_SCHEMA", "LEGACY_CACHE_SCHEMA",
+    "READABLE_INDEX_SCHEMAS", "READABLE_RECORD_SCHEMAS", "RECORD_SCHEMA",
+    "VerdictRecord", "VerdictStore", "config_fingerprint_fields",
+    "verdict_fingerprint",
+]

@@ -1,0 +1,258 @@
+"""Schema-versioned verdict records and input fingerprints.
+
+A :class:`VerdictRecord` is the unit the content-addressed store
+(:mod:`repro.store.store`) persists: everything the campaign learned
+about one litmus test under one exact configuration — the axiomatic
+allowed set, both judged passes, the enumerator's stats, the
+operational exploration cross-check, and the static classification.
+
+Records are keyed by an **input fingerprint**: a SHA-256 over the
+test's :func:`~repro.litmus.campaign.canonical_test_digest` (itself a
+pure function of the test's event structure and reference model)
+crossed with the test *name* (seed schedules derive from it) and
+every :class:`~repro.litmus.runner.RunConfig` field that can change
+the verdict (model, seed count, fault injection, clean pass, drain
+policy, exploration strategy, pre-filter).  Change any input and the
+fingerprint — hence the storage key — changes, so stored entries
+invalidate precisely: an incremental campaign replays a record *iff*
+nothing that could affect its content moved.
+
+Records serialise to canonical JSON (sorted keys, no whitespace), so
+their content digest — the blob address in the store — is stable
+across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+Outcome = Tuple[Tuple[str, int], ...]
+
+RECORD_SCHEMA = "repro.store.verdict-record/v1"
+#: Record schemas :func:`VerdictRecord.from_dict` accepts.  Append on
+#: every bump so archived stores stay readable.
+READABLE_RECORD_SCHEMAS = (RECORD_SCHEMA,)
+
+#: The :class:`~repro.litmus.runner.RunConfig` fields that feed the
+#: fingerprint — exactly those that can change a verdict's content.
+FINGERPRINT_CONFIG_FIELDS = ("model", "seeds", "inject_faults",
+                             "clean_pass", "drain_policy", "explore",
+                             "prefilter")
+
+
+def _encode_outcomes(outcomes: Set[Outcome]) -> List[List[List]]:
+    return sorted([list(pair) for pair in outcome] for outcome in outcomes)
+
+
+def _decode_outcomes(raw) -> Set[Outcome]:
+    return {tuple((str(reg), value) for reg, value in outcome)
+            for outcome in raw}
+
+
+def config_fingerprint_fields(config) -> Dict:
+    """The verdict-relevant :class:`RunConfig` fields, JSON-ready."""
+    fields_ = {name: getattr(config, name)
+               for name in FINGERPRINT_CONFIG_FIELDS}
+    fields_["model"] = str(fields_["model"])
+    fields_["drain_policy"] = fields_["drain_policy"].value
+    return fields_
+
+
+def verdict_fingerprint(test_digest: str, config,
+                        name: str = "") -> str:
+    """The storage key: test name x digest x config-relevant fields.
+
+    The *name* participates even though the structural digest does
+    not depend on it, because scheduler seed schedules derive from
+    the test name (:func:`~repro.litmus.campaign.derive_seed`) — two
+    structurally identical tests with different names run different
+    schedules, so their verdicts are distinct inputs-wise.
+    """
+    payload = dict(config_fingerprint_fields(config),
+                   test=test_digest, name=name)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _test_run_dict(run) -> Dict:
+    """One judged pass, the campaign-report encoding."""
+    return {
+        "runs": run.runs,
+        "outcomes": _encode_outcomes(run.outcomes),
+        "imprecise_exceptions": run.imprecise_exceptions,
+        "precise_exceptions": run.precise_exceptions,
+        "contract_violations": run.contract_violations,
+    }
+
+
+@dataclass
+class VerdictRecord:
+    """One stored verdict (or bare allowed set) for one fingerprint.
+
+    ``injected``/``clean`` hold the judged passes in the campaign
+    report's encoding (``None`` for a pass that did not run);
+    allowed-only records (e.g. imported from a legacy
+    ``AllowedSetCache`` file) carry only ``test_digest`` + ``allowed``
+    and cannot be replayed into a :class:`TestVerdict`.
+    """
+
+    test_digest: str
+    allowed: Set[Outcome]
+    fingerprint: Optional[str] = None
+    name: str = ""
+    reference: str = ""
+    config: Dict = field(default_factory=dict)
+    injected: Optional[Dict] = None
+    clean: Optional[Dict] = None
+    enumerator: Optional[Dict] = None
+    explorer: Optional[Dict] = None
+    static: Optional[Dict] = None
+    ok: Optional[bool] = None
+
+    @property
+    def has_runs(self) -> bool:
+        """Whether the record carries pass data and can be replayed."""
+        return self.injected is not None or self.clean is not None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_verdict(cls, verdict, config, fingerprint: str,
+                     test_digest: str) -> "VerdictRecord":
+        """Capture a :class:`~repro.litmus.harness.TestVerdict`."""
+        from ..litmus.harness import ENGINE_REFERENCE_MODEL
+        passes = {"injected": None, "clean": None}
+        passes["injected" if verdict.run.injected else "clean"] = \
+            _test_run_dict(verdict.run)
+        if verdict.clean_run is not None:
+            passes["clean"] = _test_run_dict(verdict.clean_run)
+        return cls(
+            test_digest=test_digest,
+            allowed=set(verdict.conformance.allowed),
+            fingerprint=fingerprint,
+            name=verdict.test.name,
+            reference=ENGINE_REFERENCE_MODEL[config.model],
+            config=config_fingerprint_fields(config),
+            injected=passes["injected"],
+            clean=passes["clean"],
+            enumerator=verdict.enum_stats,
+            explorer=verdict.explore_check,
+            static=verdict.static_check,
+            ok=verdict.ok,
+        )
+
+    @classmethod
+    def allowed_only(cls, test_digest: str,
+                     allowed: Set[Outcome]) -> "VerdictRecord":
+        """A bare digest -> allowed-set entry (the legacy cache's
+        granularity)."""
+        return cls(test_digest=test_digest, allowed=set(allowed))
+
+    # ------------------------------------------------------------------
+    # Serialisation (canonical JSON -> content address)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        return {
+            "schema": RECORD_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "test_digest": self.test_digest,
+            "name": self.name,
+            "reference": self.reference,
+            "config": self.config,
+            "allowed": _encode_outcomes(self.allowed),
+            "injected": self.injected,
+            "clean": self.clean,
+            "enumerator": self.enumerator,
+            "explorer": self.explorer,
+            "static": self.static,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "VerdictRecord":
+        if payload.get("schema") not in READABLE_RECORD_SCHEMAS:
+            raise ValueError(
+                f"unreadable verdict record schema "
+                f"{payload.get('schema')!r}")
+        return cls(
+            test_digest=payload["test_digest"],
+            allowed=_decode_outcomes(payload["allowed"]),
+            fingerprint=payload.get("fingerprint"),
+            name=payload.get("name", ""),
+            reference=payload.get("reference", ""),
+            config=payload.get("config", {}),
+            injected=payload.get("injected"),
+            clean=payload.get("clean"),
+            enumerator=payload.get("enumerator"),
+            explorer=payload.get("explorer"),
+            static=payload.get("static"),
+            ok=payload.get("ok"),
+        )
+
+    def canonical_blob(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_digest(self) -> str:
+        """The content address: SHA-256 of the canonical blob."""
+        return hashlib.sha256(self.canonical_blob().encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def to_verdict(self, test):
+        """Rebuild a :class:`~repro.litmus.harness.TestVerdict` without
+        re-running anything.
+
+        Conformance is re-judged from the stored allowed set and
+        outcomes (cheap set arithmetic), so a replayed verdict's ``ok``
+        is recomputed from first principles, not trusted from storage.
+        Enumerator and static blocks are dropped — nothing was
+        enumerated or classified *this* run — while the explorer
+        cross-check is kept (flagged ``replayed``) because the verdict
+        depends on it.
+        """
+        from ..litmus.harness import TestVerdict
+        from ..litmus.runner import TestRun
+        from ..memmodel.checker import check_outcome_set
+        if not self.has_runs:
+            raise ValueError(
+                f"record for {self.test_digest[:12]} carries no pass "
+                f"data (allowed-only entry); cannot replay")
+
+        def rebuild(pass_dict: Dict, injected: bool) -> TestRun:
+            return TestRun(
+                test=test, model=self.config.get("model", ""),
+                injected=injected,
+                outcomes=_decode_outcomes(pass_dict["outcomes"]),
+                runs=pass_dict["runs"],
+                imprecise_exceptions=pass_dict["imprecise_exceptions"],
+                precise_exceptions=pass_dict["precise_exceptions"],
+                contract_violations=pass_dict["contract_violations"])
+
+        if self.injected is not None:
+            run = rebuild(self.injected, injected=True)
+            clean_run = (rebuild(self.clean, injected=False)
+                         if self.clean is not None else None)
+        else:
+            run = rebuild(self.clean, injected=False)
+            clean_run = None
+        conformance = check_outcome_set(self.allowed, run.outcomes,
+                                        model_name=self.reference)
+        clean_conformance = None
+        if clean_run is not None:
+            clean_conformance = check_outcome_set(
+                self.allowed, clean_run.outcomes,
+                model_name=self.reference)
+        explorer = None
+        if self.explorer is not None:
+            explorer = dict(self.explorer, replayed=True)
+        return TestVerdict(test=test, run=run, conformance=conformance,
+                           clean_run=clean_run,
+                           clean_conformance=clean_conformance,
+                           enum_stats=None, explore_check=explorer,
+                           static_check=None)

@@ -185,11 +185,90 @@ class TestAllowedSetCache:
         payload = json.loads(path.read_text())
         assert payload["schema"] == "repro.litmus.allowed-cache/v1"
 
-    def test_corrupt_cache_file_ignored(self, tmp_path):
+    def test_corrupt_cache_file_ignored_loudly(self, tmp_path, caplog):
+        import logging
         path = tmp_path / "allowed.json"
         path.write_text("{not json")
-        cache = AllowedSetCache(path)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.litmus.campaign"):
+            cache = AllowedSetCache(path)
         assert len(cache) == 0
+        assert any("corrupt allowed-set cache" in r.message
+                   for r in caplog.records)
+
+    def test_schema_mismatch_warns_with_found_schema(self, tmp_path,
+                                                     caplog):
+        import logging
+        path = tmp_path / "allowed.json"
+        path.write_text(json.dumps(
+            {"schema": "repro.litmus.allowed-cache/v99", "entries": {}}))
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.litmus.campaign"):
+            cache = AllowedSetCache(path)
+        assert len(cache) == 0
+        assert any("repro.litmus.allowed-cache/v99" in r.message
+                   for r in caplog.records)
+
+    def test_orphaned_tmp_removed_on_load(self, tmp_path, caplog):
+        import logging
+        path = tmp_path / "allowed.json"
+        tmp = tmp_path / "allowed.json.tmp"
+        tmp.write_text("{half-written")
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.litmus.campaign"):
+            AllowedSetCache(path)
+        assert not tmp.exists()
+        assert any("orphaned cache temp file" in r.message
+                   for r in caplog.records)
+
+    def test_concurrent_saves_merge_not_clobber(self, tmp_path):
+        # Regression: two campaigns sharing one cache file, loaded
+        # before either saved.  The second save used to clobber the
+        # first writer's entries; save() must merge on-disk state.
+        path = tmp_path / "allowed.json"
+        first, second = AllowedSetCache(path), AllowedSetCache(path)
+        tests = small_suite()
+        cfg = RunConfig(seeds=2, clean_pass=False)
+        mid = len(tests) // 2
+        run_campaign(tests[:mid], cfg, cache=first)   # saves half...
+        run_campaign(tests[mid:], cfg, cache=second)  # ...then the rest
+        merged = AllowedSetCache(path)
+        assert len(merged) == len(
+            {canonical_test_digest(t, "PC") for t in tests})
+        report = run_campaign(tests, cfg, cache=merged)
+        assert report.cache_misses == 0  # zero entries lost
+
+    def test_interleaved_save_order_keeps_all_entries(self, tmp_path):
+        path = tmp_path / "allowed.json"
+        first, second = AllowedSetCache(path), AllowedSetCache(path)
+        first.put("a" * 64, {(("r0", 0),)})
+        second.put("b" * 64, {(("r0", 1),)})
+        second.save()
+        first.save()  # reverse arrival order: both must survive
+        merged = AllowedSetCache(path)
+        assert merged.get("a" * 64) == {(("r0", 0),)}
+        assert merged.get("b" * 64) == {(("r0", 1),)}
+
+    def test_hit_accounting_single_source(self, tmp_path):
+        # Regression: report counters were recomputed independently of
+        # the cache's own hits/misses and could disagree.  They are now
+        # the same numbers by construction (per-campaign deltas).
+        from repro import obs
+        cache = AllowedSetCache(tmp_path / "allowed.json")
+        tests = small_suite()
+        cfg = RunConfig(seeds=2, clean_pass=False)
+        run_campaign(tests, cfg, cache=cache)
+        hits_before, misses_before = cache.hits, cache.misses
+        tel = obs.Telemetry()
+        with obs.use(tel):
+            report = run_campaign(tests, cfg, cache=cache)
+        assert report.cache_hits == cache.hits - hits_before
+        assert report.cache_misses == cache.misses - misses_before
+        assert tel.metrics.counter("campaign.cache_hits").value == \
+            report.cache_hits
+        payload = campaign_report_dict(report)
+        assert payload["cache"]["hits"] == report.cache_hits
+        assert payload["cache"]["hit_rate"] == 1.0
 
     def test_cached_campaign_matches_uncached(self, tmp_path):
         tests = small_suite()
@@ -318,3 +397,31 @@ class TestCliCampaignFlags:
         # Second run hits the persisted cache.
         assert main(argv) == 0
         assert "hits=40" in capsys.readouterr().out
+
+    def test_store_and_incremental_flags(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "report.json"
+        argv = ["litmus", "--quick", "--seeds", "2", "--skip-clean",
+                "--store", str(tmp_path / "store"), "--incremental",
+                "--json", str(out)]
+        assert main(argv) == 0
+        first = read_campaign_report(out)
+        assert first["incremental"] is True
+        assert first["store"]["misses"] == 40
+        capsys.readouterr()
+        # No-op re-campaign: everything replays from the store.
+        assert main(argv) == 0
+        second = read_campaign_report(out)
+        assert second["store"]["hits"] == 40
+        assert second["store"]["hit_rate"] == 1.0
+        assert second["enumerator"]["tests_enumerated"] == 0
+        assert "replays=40" in capsys.readouterr().out
+        # Verdicts replay bit-identically.
+        for a, b in zip(first["results"], second["results"]):
+            assert a["ok"] == b["ok"]
+            assert a["injected"] == b["injected"]
+
+    def test_incremental_requires_store(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="--store"):
+            main(["litmus", "--quick", "--incremental"])

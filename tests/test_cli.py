@@ -12,7 +12,7 @@ class TestParserStructure:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {
             "litmus", "table3", "fig5", "fig6", "proofs", "mbench",
-            "explore", "fuzz", "lint", "profile", "stats"}
+            "explore", "fuzz", "lint", "serve", "profile", "stats"}
 
     def test_command_required(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,218 @@
+"""Tests for the ``repro serve`` daemon: wire protocol round-trips,
+an end-to-end Unix-socket server exercising query/submit/watch, and
+the warm-store guarantee (a re-query of everything submitted is 100%
+hits without re-verification)."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.litmus import LitmusTest, RunConfig, all_library_tests
+from repro.memmodel.events import FenceKind
+from repro.serve import (
+    PROTOCOL,
+    ProtocolError,
+    ServeClient,
+    ServeError,
+    VerdictServer,
+    decode_line,
+    encode_line,
+)
+# Aliased so pytest does not collect them as test functions.
+from repro.serve import test_from_wire as from_wire
+from repro.serve import test_to_wire as to_wire
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "query", "name": "SB", "n": 3}
+        assert decode_line(encode_line(message)) == message
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_line(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1,2]\n")
+
+    def test_every_library_test_round_trips(self):
+        # Covers fences, dependent loads, and atomics.
+        for test in all_library_tests():
+            wire = to_wire(test)
+            back = from_wire(wire)
+            assert back.name == test.name
+            assert back.threads == test.threads
+
+    def test_fence_kind_flattened(self):
+        test = LitmusTest(
+            name="fenced", category="t",
+            threads=[[("W", "x", 1), ("F", FenceKind.FULL),
+                      ("R", "y", "r0")]])
+        wire = to_wire(test)
+        assert wire["threads"][0][1] == ["F", FenceKind.FULL.value]
+        assert from_wire(wire).threads == test.threads
+
+    def test_unknown_fence_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fence"):
+            from_wire({"name": "t",
+                            "threads": [[["F", "warp-drive"]]]})
+
+    def test_malformed_test_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            from_wire({"name": "t"})
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            from_wire({"name": "t", "threads": []})
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live UDS server on a background thread + connected client."""
+    uds = tmp_path / "serve.sock"
+    server = VerdictServer(
+        tmp_path / "store",
+        RunConfig(seeds=3, clean_pass=False),
+        tests=all_library_tests(),
+        batch_window_s=0.02)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.run(uds=uds, ready=lambda addr: ready.set())),
+        daemon=True)
+    thread.start()
+    assert ready.wait(10), "server never came up"
+    client = ServeClient(uds=uds)
+    yield server, client, uds
+    try:
+        client.shutdown()
+    except ServeError:
+        pass
+    client.close()
+    thread.join(10)
+    assert not thread.is_alive(), "server failed to shut down"
+
+
+class TestServeEndToEnd:
+    def test_ping_identifies_protocol(self, served):
+        _server, client, _uds = served
+        pong = client.ping()
+        assert pong["protocol"] == PROTOCOL
+        assert pong["model"] == "PC"
+
+    def test_submit_then_warm_requery_is_all_hits(self, served):
+        server, client, uds = served
+        names = [t.name for t in all_library_tests()]
+        submitted = client.submit(names=names)
+        assert [r["name"] for r in submitted["results"]] == names
+        assert all(not r["hit"] for r in submitted["results"])
+        assert all(r["verdict"]["ok"] for r in submitted["results"])
+        # The whole library again, cold client, warm store: every
+        # query answers from the store, nothing re-verifies.
+        with ServeClient(uds=uds) as second:
+            requeried = second.query(names=names)
+        assert all(r["hit"] for r in requeried["results"])
+        assert server.counters["batches"] >= 1
+        # Resubmission short-circuits too — no new batch work.
+        batches_before = server.counters["batches"]
+        resubmitted = client.submit(names=names)
+        assert all(r["hit"] for r in resubmitted["results"])
+        assert server.counters["batches"] == batches_before
+
+    def test_submissions_coalesce_into_batches(self, served):
+        server, client, _uds = served
+        names = [t.name for t in all_library_tests()[:6]]
+        response = client.submit(names=names)
+        assert len(response["results"]) == len(names)
+        # One connection's burst coalesces; distinct fingerprints only.
+        assert server.counters["batches"] <= 2
+        assert server.counters["batched_tests"] <= len(names)
+
+    def test_inline_test_submission(self, served):
+        _server, client, _uds = served
+        inline = LitmusTest(
+            name="inline-sb", category="submitted",
+            threads=[[("W", "x", 1), ("R", "y", "r0")],
+                     [("W", "y", 1), ("R", "x", "r1")]])
+        response = client.submit(test=inline)
+        assert response["ok"] and response["verdict"]["ok"]
+        again = client.query(test=inline)
+        assert again["hit"] is True
+
+    def test_query_by_fingerprint(self, served):
+        _server, client, _uds = served
+        response = client.submit(name="SB")
+        fingerprint = response["fingerprint"]
+        direct = client.query(fingerprint=fingerprint)
+        assert direct["hit"] is True
+        assert direct["verdict"]["fingerprint"] == fingerprint
+
+    def test_unknown_test_is_an_error_not_a_dead_connection(self,
+                                                            served):
+        _server, client, _uds = served
+        with pytest.raises(ServeError, match="unknown test"):
+            client.query(name="NOT-A-TEST")
+        assert client.ping()["ok"]  # connection survives
+
+    def test_unknown_op_rejected(self, served):
+        _server, client, _uds = served
+        with pytest.raises(ServeError, match="unknown op"):
+            client.request("frobnicate")
+
+    def test_stats_reflect_activity(self, served):
+        _server, client, _uds = served
+        client.submit(name="MP")
+        stats = client.stats()
+        assert stats["counters"]["submissions"] >= 1
+        assert stats["store"]["records"] >= 1
+        assert stats["uptime_s"] >= 0
+
+    def test_watch_streams_campaign_events(self, served):
+        _server, client, uds = served
+        events = []
+        got_one = threading.Event()
+
+        def watcher() -> None:
+            with ServeClient(uds=uds) as w:
+                for event in w.watch():
+                    events.append(event)
+                    if event.get("name", "").startswith("campaign."):
+                        got_one.set()
+                        return
+
+        thread = threading.Thread(target=watcher, daemon=True)
+        thread.start()
+        # Submissions while the watcher listens: per-test campaign
+        # events must stream out live.
+        client.submit(names=[t.name for t in all_library_tests()[:3]])
+        assert got_one.wait(15), f"no campaign event: {events[:5]}"
+        thread.join(10)
+        assert any(e.get("name") == "serve.batch" for e in events)
+
+    def test_persists_across_restart(self, tmp_path):
+        root = tmp_path / "store"
+        config = RunConfig(seeds=3, clean_pass=False)
+
+        def run_one(action):
+            uds = tmp_path / "s.sock"
+            server = VerdictServer(root, config,
+                                   tests=all_library_tests(),
+                                   batch_window_s=0.02)
+            ready = threading.Event()
+            thread = threading.Thread(
+                target=lambda: asyncio.run(server.run(
+                    uds=uds, ready=lambda a: ready.set())),
+                daemon=True)
+            thread.start()
+            assert ready.wait(10)
+            with ServeClient(uds=uds) as client:
+                result = action(client)
+                client.shutdown()
+            thread.join(10)
+            return result
+
+        run_one(lambda c: c.submit(name="SB"))
+        (tmp_path / "s.sock").unlink(missing_ok=True)
+        # A brand-new daemon over the same store answers warm.
+        warm = run_one(lambda c: c.query(name="SB"))
+        assert warm["hit"] is True

@@ -1,0 +1,365 @@
+"""Tests for the content-addressed verdict store (``repro.store``):
+record round-trips, content addressing, commutative index merges,
+damage tolerance, legacy-cache import, and incremental replay."""
+
+import json
+import logging
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.litmus import (
+    AllowedSetCache,
+    RunConfig,
+    all_library_tests,
+    canonical_test_digest,
+    check_test,
+    run_campaign,
+)
+from repro.litmus.library import message_passing, store_buffering
+from repro.store import (
+    FINGERPRINT_CONFIG_FIELDS,
+    INDEX_SCHEMA,
+    RECORD_SCHEMA,
+    VerdictRecord,
+    VerdictStore,
+    verdict_fingerprint,
+)
+
+
+def make_record(test=None, config=None):
+    test = test or message_passing()
+    config = config or RunConfig(seeds=3)
+    verdict = check_test(test, config)
+    digest = canonical_test_digest(test, "PC")
+    fingerprint = verdict_fingerprint(digest, config)
+    return VerdictRecord.from_verdict(verdict, config, fingerprint,
+                                      digest), verdict
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        cfg = RunConfig(seeds=3)
+        assert verdict_fingerprint("d" * 64, cfg) == \
+            verdict_fingerprint("d" * 64, cfg)
+
+    def test_sensitive_to_verdict_relevant_config(self):
+        base = verdict_fingerprint("d" * 64, RunConfig(seeds=3))
+        assert verdict_fingerprint("e" * 64, RunConfig(seeds=3)) != base
+        assert verdict_fingerprint(
+            "d" * 64, RunConfig(seeds=4)) != base
+        assert verdict_fingerprint(
+            "d" * 64, RunConfig(seeds=3, model="WC")) != base
+        assert verdict_fingerprint(
+            "d" * 64, RunConfig(seeds=3, clean_pass=False)) != base
+        assert verdict_fingerprint(
+            "d" * 64, RunConfig(seeds=3, inject_faults=False)) != base
+
+    def test_sensitive_to_test_name(self):
+        # Structurally identical tests run name-derived seed
+        # schedules, so the name is a verdict input.
+        cfg = RunConfig(seeds=3)
+        assert verdict_fingerprint("d" * 64, cfg, name="SB") != \
+            verdict_fingerprint("d" * 64, cfg, name="SB-copy")
+
+    def test_field_list_is_the_contract(self):
+        # Every fingerprinted field must exist on RunConfig; a rename
+        # there must update FINGERPRINT_CONFIG_FIELDS consciously.
+        cfg = RunConfig()
+        for field in FINGERPRINT_CONFIG_FIELDS:
+            assert hasattr(cfg, field), field
+
+
+class TestRecordRoundTrip:
+    def test_dict_round_trip_bit_identical(self):
+        record, _ = make_record()
+        clone = VerdictRecord.from_dict(record.as_dict())
+        assert clone.as_dict() == record.as_dict()
+        assert clone.canonical_blob() == record.canonical_blob()
+        assert clone.content_digest() == record.content_digest()
+
+    def test_schema_stamped_and_enforced(self):
+        record, _ = make_record()
+        payload = record.as_dict()
+        assert payload["schema"] == RECORD_SCHEMA
+        payload["schema"] = "repro.store.verdict-record/v999"
+        with pytest.raises(ValueError, match="v999"):
+            VerdictRecord.from_dict(payload)
+
+    def test_replay_preserves_verdict(self):
+        test = store_buffering()
+        record, verdict = make_record(test)
+        replay = record.to_verdict(test)
+        assert replay.ok == verdict.ok
+        assert replay.run.outcomes == verdict.run.outcomes
+        assert replay.clean_run.outcomes == verdict.clean_run.outcomes
+        assert replay.conformance.allowed == verdict.conformance.allowed
+        # Nothing was enumerated or statically classified on replay.
+        assert replay.enum_stats is None
+        assert replay.static_check is None
+
+    def test_replay_flags_explorer_block(self):
+        test = store_buffering()
+        record, verdict = make_record(
+            test, RunConfig(seeds=3, explore="verify"))
+        replay = record.to_verdict(test)
+        assert replay.ok == verdict.ok
+        assert replay.explore_check["replayed"] is True
+
+
+class TestContentAddressing:
+    def test_same_record_same_blob(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        record, _ = make_record()
+        blob_a = store.put(record)
+        blob_b = store.put(VerdictRecord.from_dict(record.as_dict()))
+        assert blob_a == blob_b
+        blobs = list((tmp_path / "store" / "objects").glob("*/*.json"))
+        assert len(blobs) == 1
+        assert blobs[0].stem == blob_a
+
+    def test_put_get_save_load_bit_identical(self, tmp_path):
+        root = tmp_path / "store"
+        store = VerdictStore(root)
+        record, _ = make_record()
+        store.put(record)
+        store.save()
+        reloaded = VerdictStore(root)
+        back = reloaded.get(record.fingerprint)
+        assert back is not None
+        assert back.canonical_blob() == record.canonical_blob()
+        assert reloaded.hits == 1 and reloaded.misses == 0
+
+    def test_miss_counts(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        assert store.get("0" * 64) is None
+        assert store.misses == 1
+        assert store.peek("0" * 64) is None
+        assert store.misses == 1  # peek never counts
+
+    def test_allowed_granularity_served_by_verdicts(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        record, verdict = make_record()
+        store.put(record)
+        assert store.get_allowed(record.test_digest) == \
+            verdict.conformance.allowed
+
+
+class TestMergeCommutes:
+    def _stores(self, tmp_path):
+        root = tmp_path / "shared"
+        a, b = VerdictStore(root), VerdictStore(root)
+        tests = all_library_tests()
+        record_a, _ = make_record(tests[0])
+        record_b, _ = make_record(tests[1])
+        return root, a, b, record_a, record_b
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        root, a, b, record_a, record_b = self._stores(tmp_path)
+        a.put(record_a)
+        b.put(record_b)
+        a.save()
+        b.save()  # must not clobber a's entry
+        final = VerdictStore(root)
+        assert final.peek(record_a.fingerprint) is not None
+        assert final.peek(record_b.fingerprint) is not None
+        assert len(final) == 2
+
+    def test_save_order_converges(self, tmp_path):
+        # One fixed pair of records (wall times make re-derived
+        # records distinct blobs), merged in both orders.
+        tests = all_library_tests()
+        record_a, _ = make_record(tests[0])
+        record_b, _ = make_record(tests[1])
+        results = []
+        for order in ("ab", "ba"):
+            root = tmp_path / order
+            a, b = VerdictStore(root), VerdictStore(root)
+            a.put(record_a)
+            b.put(record_b)
+            for who in order:
+                (a if who == "a" else b).save()
+            results.append(json.loads(
+                (root / "index.json").read_text()))
+        assert results[0] == results[1]
+
+    def test_conflicting_blobs_resolve_commutatively(self, tmp_path):
+        root = tmp_path / "shared"
+        a, b = VerdictStore(root), VerdictStore(root)
+        fingerprint = "f" * 64
+        # Same key, different content: allowed-only records with the
+        # fingerprint forced, giving two distinct blobs for one key.
+        rec_a = VerdictRecord.allowed_only("d" * 64, {(("x", 1),)})
+        rec_b = VerdictRecord.allowed_only("d" * 64, {(("x", 2),)})
+        rec_a.fingerprint = rec_b.fingerprint = fingerprint
+        a.put(rec_a)
+        b.put(rec_b)
+        winner = max(rec_a.content_digest(), rec_b.content_digest())
+        a.save()
+        b.save()
+        first = json.loads((root / "index.json").read_text())
+        assert first["verdicts"][fingerprint]["blob"] == winner
+        # And in the opposite order in a fresh directory.
+        root2 = tmp_path / "shared2"
+        c, d = VerdictStore(root2), VerdictStore(root2)
+        c.put(rec_a)
+        d.put(rec_b)
+        d.save()
+        c.save()
+        second = json.loads((root2 / "index.json").read_text())
+        assert second["verdicts"][fingerprint]["blob"] == winner
+
+
+class TestDamageTolerance:
+    def test_corrupt_index_warns_and_starts_empty(self, tmp_path,
+                                                  caplog):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "index.json").write_text("{not json")
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            store = VerdictStore(root)
+        assert len(store) == 0
+        assert any("corrupt JSON" in r.message for r in caplog.records)
+
+    def test_unknown_schema_warns_with_found_schema(self, tmp_path,
+                                                    caplog):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "index.json").write_text(json.dumps(
+            {"schema": "repro.store.index/v99", "verdicts": {}}))
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            store = VerdictStore(root)
+        assert len(store) == 0
+        assert any("repro.store.index/v99" in r.message
+                   for r in caplog.records)
+
+    def test_orphaned_tmp_files_removed(self, tmp_path, caplog):
+        root = tmp_path / "store"
+        (root / "objects" / "ab").mkdir(parents=True)
+        (root / "index.json.tmp").write_text("{")
+        (root / "objects" / "ab" / "abcd.json.tmp").write_text("{")
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            VerdictStore(root)
+        assert not (root / "index.json.tmp").exists()
+        assert not (root / "objects" / "ab" / "abcd.json.tmp").exists()
+        assert sum("orphaned temp file" in r.message
+                   for r in caplog.records) == 2
+
+    def test_missing_blob_is_a_loud_miss(self, tmp_path, caplog):
+        root = tmp_path / "store"
+        store = VerdictStore(root)
+        record, _ = make_record()
+        store.put(record)
+        store.save()
+        for blob in (root / "objects").glob("*/*.json"):
+            blob.unlink()
+        reloaded = VerdictStore(root)
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert reloaded.get(record.fingerprint) is None
+        assert any("missing blob" in r.message for r in caplog.records)
+
+
+class TestLegacyImport:
+    def test_imports_allowed_cache(self, tmp_path):
+        cache_path = tmp_path / "allowed.json"
+        tests = all_library_tests()[:3]
+        cache = AllowedSetCache(cache_path)
+        run_campaign(tests, RunConfig(seeds=2, clean_pass=False),
+                     cache=cache)
+        store = VerdictStore(tmp_path / "store")
+        assert store.import_allowed_cache(cache_path) == len(cache)
+        for test in tests:
+            digest = canonical_test_digest(test, "PC")
+            assert store.get_allowed(digest) == cache.get(digest)
+
+    def test_rejects_wrong_schema(self, tmp_path, caplog):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "nope/v1"}))
+        store = VerdictStore(tmp_path / "store")
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.import_allowed_cache(bogus) == 0
+        assert any("nope/v1" in r.message for r in caplog.records)
+
+
+class TestIncrementalCampaign:
+    def test_noop_recampaign_is_all_store_hits(self, tmp_path):
+        tests = all_library_tests()[:6]
+        cfg = RunConfig(seeds=3)
+        store = VerdictStore(tmp_path / "store")
+        first = run_campaign(tests, cfg, store=store, incremental=True)
+        assert first.store["misses"] == len(tests)
+        # Fresh instance: replay must come from disk, not memory.
+        second = run_campaign(tests, cfg,
+                              store=VerdictStore(tmp_path / "store"),
+                              incremental=True)
+        assert second.store["hits"] == len(tests)
+        assert second.store["misses"] == 0
+        assert second.store["hit_rate"] == 1.0
+        assert second.ok == first.ok
+        for u, v in zip(first.verdicts, second.verdicts):
+            assert u.run.outcomes == v.run.outcomes
+            assert u.ok == v.ok
+            assert v.enum_stats is None  # nothing enumerated on replay
+
+    def test_config_change_invalidates(self, tmp_path):
+        tests = all_library_tests()[:2]
+        store_root = tmp_path / "store"
+        # Fresh caches so the allowed-set fallback is really the
+        # store's, not the process-wide memo's.
+        run_campaign(tests, RunConfig(seeds=3),
+                     cache=AllowedSetCache(),
+                     store=VerdictStore(store_root), incremental=True)
+        report = run_campaign(tests, RunConfig(seeds=4),
+                              cache=AllowedSetCache(),
+                              store=VerdictStore(store_root),
+                              incremental=True)
+        assert report.store["hits"] == 0
+        assert report.store["misses"] == len(tests)
+        # ... but the allowed sets still came from the store.
+        assert report.store["allowed_served"] == len(tests)
+
+    def test_without_incremental_store_only_records(self, tmp_path):
+        tests = all_library_tests()[:2]
+        store = VerdictStore(tmp_path / "store")
+        run_campaign(tests, RunConfig(seeds=3), store=store)
+        report = run_campaign(tests, RunConfig(seeds=3), store=store)
+        assert report.store["hits"] == 0  # replay requires opt-in
+        assert report.incremental is False
+
+
+OUTCOME_SETS = st.sets(
+    st.tuples(st.tuples(st.just("r0"), st.integers(0, 3)),
+              st.tuples(st.just("r1"), st.integers(0, 3))),
+    min_size=0, max_size=6)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(allowed=OUTCOME_SETS)
+    def test_allowed_round_trip(self, tmp_path, allowed):
+        record = VerdictRecord.allowed_only("a" * 64, allowed)
+        clone = VerdictRecord.from_dict(
+            json.loads(record.canonical_blob()))
+        assert set(clone.allowed) == set(allowed)
+        assert clone.content_digest() == record.content_digest()
+
+    @settings(max_examples=25, deadline=None)
+    @given(allowed=OUTCOME_SETS)
+    def test_content_digest_is_representation_independent(self, allowed):
+        # Outcome order must not leak into the address.
+        rec_a = VerdictRecord.allowed_only("a" * 64, set(allowed))
+        rec_b = VerdictRecord.allowed_only(
+            "a" * 64, set(reversed(sorted(allowed))))
+        assert rec_a.content_digest() == rec_b.content_digest()
+
+
+class TestIndexSchema:
+    def test_saved_index_carries_schema(self, tmp_path):
+        store = VerdictStore(tmp_path / "store")
+        store.put_allowed("b" * 64, {(("x", 1),)})
+        store.save()
+        payload = json.loads(
+            (tmp_path / "store" / "index.json").read_text())
+        assert payload["schema"] == INDEX_SCHEMA
