@@ -60,23 +60,37 @@ class Figure6Row:
 
 def measure_figure6(name: str, cores: int = 2, seed: int = 1,
                     batching: bool = False,
-                    config: Optional[SystemConfig] = None) -> Figure6Row:
-    """Baseline vs Imprecise runs for one workload."""
+                    config: Optional[SystemConfig] = None,
+                    cache=None, strategy: str = "fast") -> Figure6Row:
+    """Baseline vs Imprecise runs for one workload.
+
+    With a :class:`~repro.workloads.capture.TraceCache` in ``cache``,
+    the workload build is captured once and replayed from the artifact
+    on every later call (the capture/replay split); ``strategy``
+    selects the timing engine ("fast", "naive", or "verify" — all
+    bit-identical by construction).
+    """
     params = dict(FIGURE6_PARAMS.get(name, {"scale": 1.0}))
-    scale = params.pop("scale", 1.0)
-    workload = build_workload(name, cores=cores, scale=scale, seed=seed,
-                              inject=True, **params)
+    if cache is not None:
+        from ..workloads.capture import capture_workload
+
+        workload = capture_workload(name, cores=cores, seed=seed,
+                                    cache=cache, inject=True, **params)
+    else:
+        scale = params.pop("scale", 1.0)
+        workload = build_workload(name, cores=cores, scale=scale,
+                                  seed=seed, inject=True, **params)
     cfg = config or table2_config()
     cfg = cfg.with_consistency(ConsistencyModel.WC)
 
-    baseline = run_trace(cfg, workload.traces)
+    baseline = run_trace(cfg, workload.traces, strategy=strategy)
 
     einject = EInject()
     for page in workload.injectable_pages():
         einject.mmio_set(page)
     handler_cls = BatchingHandler if batching else MinimalHandler
     imprecise = run_trace(cfg, workload.traces, einject=einject,
-                          handler=handler_cls(cfg.os))
+                          handler=handler_cls(cfg.os), strategy=strategy)
 
     return Figure6Row(
         workload=name,
@@ -91,9 +105,11 @@ def measure_figure6(name: str, cores: int = 2, seed: int = 1,
 
 
 def run_figure6(workloads: Optional[Sequence[str]] = None,
-                cores: int = 2, seed: int = 1) -> List[Figure6Row]:
+                cores: int = 2, seed: int = 1,
+                cache=None, strategy: str = "fast") -> List[Figure6Row]:
     names = list(workloads) if workloads else figure6_workload_names()
-    return [measure_figure6(name, cores, seed) for name in names]
+    return [measure_figure6(name, cores, seed, cache=cache,
+                            strategy=strategy) for name in names]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,163 @@
+"""16-core concurrent-faulting-streams scenario (FSB contention).
+
+Figure 6 runs two cores; this scenario scales the same methodology to
+the full Table 2 machine: sixteen cores append to EInject-backed logs
+concurrently, so imprecise store exceptions from different cores
+overlap in simulated time.  The run executes under a live telemetry
+context and the report is computed *from the observability stream*,
+not from ad-hoc stat fields:
+
+* **FSB contention** — the ``fault.drain`` spans (SIM track, one lane
+  per core) are swept for the peak and mean number of cores draining
+  their fault-status buffers at once; the ``fsb.occupancy`` gauge
+  contributes the deepest single-core FSB fill.
+* **Request latency** — p50/p99 of the ``timing.request_cycles``
+  histogram (one sample per sync-delimited request, the Tailbench
+  latency reading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..core.handler import MinimalHandler
+from ..obs.sinks import MemorySink
+from ..sim.config import ConsistencyModel, SystemConfig, table2_config
+from ..sim.devices.einject import EInject
+from ..sim.timing import run_trace
+from ..workloads.streams import STREAM_CORES, streams_workload
+
+
+@dataclass
+class Scenario16Report:
+    """Everything the 16-core scenario measures."""
+
+    cores: int
+    requests: int
+    baseline_cycles: float
+    imprecise_cycles: float
+    imprecise_exceptions: int
+    faulting_stores: int
+    #: Peak number of cores simultaneously inside a fault drain.
+    peak_concurrent_drains: int
+    #: Time-weighted mean of that concurrency over the busy intervals.
+    mean_concurrent_drains: float
+    #: Deepest single-core FSB fill observed at a drain.
+    max_fsb_occupancy: float
+    #: Request-latency distribution, simulated cycles.
+    request_p50: float
+    request_p99: float
+    request_mean: float
+    request_samples: int
+    per_core_drain_cycles: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def relative_performance(self) -> float:
+        if not self.imprecise_cycles:
+            return 1.0
+        return self.baseline_cycles / self.imprecise_cycles
+
+    def as_dict(self) -> Dict:
+        return {
+            "cores": self.cores,
+            "requests": self.requests,
+            "baseline_cycles": self.baseline_cycles,
+            "imprecise_cycles": self.imprecise_cycles,
+            "relative_performance": self.relative_performance,
+            "imprecise_exceptions": self.imprecise_exceptions,
+            "faulting_stores": self.faulting_stores,
+            "fsb_contention": {
+                "peak_concurrent_drains": self.peak_concurrent_drains,
+                "mean_concurrent_drains": self.mean_concurrent_drains,
+                "max_fsb_occupancy": self.max_fsb_occupancy,
+            },
+            "request_latency_cycles": {
+                "p50": self.request_p50,
+                "p99": self.request_p99,
+                "mean": self.request_mean,
+                "samples": self.request_samples,
+            },
+        }
+
+
+def _drain_concurrency(spans: List[Dict]) -> Tuple[int, float]:
+    """Peak and time-weighted mean overlap of per-lane drain spans."""
+    edges: List[Tuple[float, int]] = []
+    for span in spans:
+        start = span["ts"]
+        edges.append((start, 1))
+        edges.append((start + span["dur"], -1))
+    if not edges:
+        return 0, 0.0
+    edges.sort()
+    level = peak = 0
+    busy = weighted = 0.0
+    last = edges[0][0]
+    for ts, delta in edges:
+        if level > 0:
+            busy += ts - last
+            weighted += level * (ts - last)
+        last = ts
+        level += delta
+        if level > peak:
+            peak = level
+    return peak, (weighted / busy if busy else 0.0)
+
+
+def run_scenario16(cores: int = STREAM_CORES,
+                   requests_per_core: int = 64,
+                   stores_per_request: int = 24,
+                   seed: int = 1,
+                   strategy: str = "fast",
+                   config: Optional[SystemConfig] = None) -> Scenario16Report:
+    """Run the concurrent-streams scenario and report contention."""
+    cfg = config or table2_config()
+    cfg = cfg.with_consistency(ConsistencyModel.WC)
+    if cores > cfg.cores:
+        raise ValueError(f"{cores} streams exceed the {cfg.cores}-core "
+                         f"configured machine")
+    workload = streams_workload(cores=cores,
+                                requests_per_core=requests_per_core,
+                                stores_per_request=stores_per_request,
+                                seed=seed)
+
+    baseline = run_trace(cfg, workload.traces, strategy=strategy)
+
+    einject = EInject()
+    for page in workload.injectable_pages():
+        einject.mmio_set(page)
+    sink = MemorySink()
+    tel = obs.Telemetry([sink])
+    with obs.use(tel):
+        imprecise = run_trace(cfg, workload.traces, einject=einject,
+                              handler=MinimalHandler(cfg.os),
+                              strategy=strategy)
+
+    drains = [r for r in sink.records
+              if r.get("type") == "span" and r.get("name") == "fault.drain"]
+    peak, mean = _drain_concurrency(drains)
+    per_core: Dict[int, float] = {}
+    for span in drains:
+        lane = int(span.get("lane", 0))
+        per_core[lane] = per_core.get(lane, 0.0) + span["dur"]
+    hist = tel.metrics.histogram("timing.request_cycles")
+    occupancy = tel.metrics.gauge("fsb.occupancy")
+
+    return Scenario16Report(
+        cores=cores,
+        requests=workload.work_items,
+        baseline_cycles=baseline.total_cycles,
+        imprecise_cycles=imprecise.total_cycles,
+        imprecise_exceptions=imprecise.total_imprecise_exceptions,
+        faulting_stores=imprecise.total_faulting_stores,
+        peak_concurrent_drains=peak,
+        mean_concurrent_drains=mean,
+        max_fsb_occupancy=occupancy.max,
+        request_p50=hist.percentile(50),
+        request_p99=hist.percentile(99),
+        request_mean=hist.mean,
+        request_samples=hist.count,
+        per_core_drain_cycles=per_core,
+    )

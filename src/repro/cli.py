@@ -243,7 +243,13 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from .analysis import figure6_gate, render_figure6, run_figure6
 
-    rows = run_figure6(cores=args.cores)
+    cache = None
+    if args.trace_cache:
+        from .workloads.capture import TraceCache
+
+        cache = TraceCache(args.trace_cache)
+    rows = run_figure6(cores=args.cores, cache=cache,
+                       strategy=args.engine)
     print(render_figure6(rows))
     verdict = figure6_gate(rows)
     print(f"Tailbench aggregate throughput: "
@@ -255,6 +261,40 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     if verdict.ok:
         print("fig6 criteria met")
     return 0 if verdict.ok else 1
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from .analysis.figure6 import FIGURE6_PARAMS
+    from .workloads import figure6_workload_names
+    from .workloads.capture import TraceCache, capture_workload
+
+    cache = TraceCache(args.cache) if args.cache else TraceCache()
+    names = args.workloads or figure6_workload_names()
+    for name in names:
+        params = dict(FIGURE6_PARAMS.get(name, {"scale": 1.0}))
+        captured = capture_workload(name, cores=args.cores,
+                                    seed=args.seed, cache=cache,
+                                    force=args.force, inject=True,
+                                    **params)
+        source = "cache" if captured.from_cache else "built"
+        print(f"{name:<16} {source:<6} key={captured.cache_key[:12]} "
+              f"digest={captured.digest[:12]} cores={captured.cores} "
+              f"ops={captured.total_ops()}")
+    print(f"cache dir: {cache.root}")
+    return 0
+
+
+def _cmd_scenario16(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis.scenario16 import run_scenario16
+
+    report = run_scenario16(cores=args.cores,
+                            requests_per_core=args.requests,
+                            stores_per_request=args.stores,
+                            seed=args.seed, strategy=args.engine)
+    print(_json.dumps(report.as_dict(), indent=2))
+    return 0
 
 
 def _cmd_proofs(args: argparse.Namespace) -> int:
@@ -491,7 +531,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig6 = sub.add_parser("fig6", help="regenerate Figure 6")
     fig6.add_argument("--cores", type=int, default=2)
+    fig6.add_argument("--trace-cache", metavar="DIR",
+                      help="capture/replay workload traces through "
+                           "this cache directory")
+    fig6.add_argument("--engine", default="fast",
+                      choices=["fast", "naive", "verify"],
+                      help="timing engine strategy (bit-identical; "
+                           "'verify' runs both and compares)")
     fig6.set_defaults(fn=_cmd_fig6)
+
+    capture = sub.add_parser(
+        "capture",
+        help="capture workload traces into the on-disk cache "
+             "(repro.trace/v1 artifacts; see docs/simulation.md)")
+    capture.add_argument("workloads", nargs="*", metavar="NAME",
+                         help="workload names (default: the Figure 6 "
+                              "roster with its pinned params)")
+    capture.add_argument("--cores", type=int, default=2)
+    capture.add_argument("--seed", type=int, default=1)
+    capture.add_argument("--cache", metavar="DIR",
+                         help=f"cache directory (default ${{"
+                              f"REPRO_TRACE_CACHE}} or "
+                              f"~/.cache/repro-traces)")
+    capture.add_argument("--force", action="store_true",
+                         help="rebuild even on a cache hit")
+    capture.set_defaults(fn=_cmd_capture)
+
+    scen16 = sub.add_parser(
+        "scenario16",
+        help="16-core concurrent faulting streams: FSB contention "
+             "and request-latency percentiles")
+    scen16.add_argument("--cores", type=int, default=16)
+    scen16.add_argument("--requests", type=int, default=64,
+                        help="requests per core (default 64)")
+    scen16.add_argument("--stores", type=int, default=24,
+                        help="stores per request (default 24)")
+    scen16.add_argument("--seed", type=int, default=1)
+    scen16.add_argument("--engine", default="fast",
+                        choices=["fast", "naive", "verify"])
+    scen16.set_defaults(fn=_cmd_scenario16)
 
     proofs = sub.add_parser("proofs", help="run the executable proofs")
     proofs.set_defaults(fn=_cmd_proofs)

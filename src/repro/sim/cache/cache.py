@@ -3,26 +3,38 @@
 The timing engine needs hit/miss decisions and evictions; data values
 live in the flat functional memory, so the arrays track tags and
 per-block coherence/metadata only.
+
+Each set is a single insertion-ordered dict doubling as the LRU list:
+a touch pops and reinserts the tag (O(1) move-to-end) and the victim
+is always the first key — the same replacement order as an explicit
+LRU list, without the O(ways) ``list.remove`` on every hit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections import defaultdict
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..config import CacheConfig
 
 
-@dataclass
 class CacheBlock:
     """Metadata for one resident block."""
 
-    tag: int
-    state: str = "V"          # coherence state (MESI letters or 'V')
-    dirty: bool = False
-    #: Per-word speculatively-written / speculatively-read bits (ASO).
-    sw: bool = False
-    sr: bool = False
+    __slots__ = ("tag", "state", "dirty", "sw", "sr")
+
+    def __init__(self, tag: int, state: str = "V", dirty: bool = False,
+                 sw: bool = False, sr: bool = False) -> None:
+        self.tag = tag
+        self.state = state            # coherence state (MESI letters or 'V')
+        self.dirty = dirty
+        #: Per-word speculatively-written / speculatively-read bits (ASO).
+        self.sw = sw
+        self.sr = sr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheBlock(tag={self.tag}, state={self.state!r}, "
+                f"dirty={self.dirty})")
 
 
 class SetAssociativeCache:
@@ -38,85 +50,84 @@ class SetAssociativeCache:
         config.validate()
         self.config = config
         self.level = level
-        self._sets: List[Dict[int, CacheBlock]] = [
-            {} for _ in range(config.sets)
-        ]
-        self._lru: List[List[int]] = [[] for _ in range(config.sets)]
+        # dict order == recency order: oldest (LRU victim) first.
+        # Sets materialise on first touch — paper-scale runs build
+        # hundreds of cache arrays whose sets are mostly never used.
+        self._sets: Dict[int, Dict[int, CacheBlock]] = defaultdict(dict)
+        self._block_bytes = config.block_bytes
+        self._nsets = config.sets
+        self._ways = config.ways
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
     def block_addr(self, addr: int) -> int:
-        return addr // self.config.block_bytes
+        return addr // self._block_bytes
 
     def _index_tag(self, block_addr: int) -> Tuple[int, int]:
-        index = block_addr % self.config.sets
-        tag = block_addr // self.config.sets
+        index = block_addr % self._nsets
+        tag = block_addr // self._nsets
         return index, tag
 
     # ------------------------------------------------------------------
     def lookup(self, addr: int, update_lru: bool = True) -> Optional[CacheBlock]:
-        block_addr = self.block_addr(addr)
-        index, tag = self._index_tag(block_addr)
-        block = self._sets[index].get(tag)
+        block_addr = addr // self._block_bytes
+        index = block_addr % self._nsets
+        tag = block_addr // self._nsets
+        cset = self._sets[index]
+        block = cset.get(tag)
         if block is None:
             self.misses += 1
             return None
         self.hits += 1
         if update_lru:
-            lru = self._lru[index]
-            lru.remove(tag)
-            lru.append(tag)
+            del cset[tag]
+            cset[tag] = block
         return block
 
     def peek(self, addr: int) -> Optional[CacheBlock]:
         """Lookup without touching LRU or counters."""
-        block_addr = self.block_addr(addr)
-        index, tag = self._index_tag(block_addr)
-        return self._sets[index].get(tag)
+        block_addr = addr // self._block_bytes
+        return self._sets[block_addr % self._nsets].get(
+            block_addr // self._nsets)
 
     def insert(self, addr: int, state: str = "V",
                dirty: bool = False) -> Optional[Tuple[int, CacheBlock]]:
         """Allocate a block; returns (evicted_block_addr, meta) or None."""
-        block_addr = self.block_addr(addr)
-        index, tag = self._index_tag(block_addr)
+        block_addr = addr // self._block_bytes
+        index = block_addr % self._nsets
+        tag = block_addr // self._nsets
         cset = self._sets[index]
-        lru = self._lru[index]
-        victim: Optional[Tuple[int, CacheBlock]] = None
-        if tag in cset:
-            block = cset[tag]
+        block = cset.get(tag)
+        if block is not None:
             block.state = state
             block.dirty = block.dirty or dirty
-            lru.remove(tag)
-            lru.append(tag)
+            del cset[tag]
+            cset[tag] = block
             return None
-        if len(cset) >= self.config.ways:
-            victim_tag = lru.pop(0)
+        victim: Optional[Tuple[int, CacheBlock]] = None
+        if len(cset) >= self._ways:
+            victim_tag = next(iter(cset))
             victim_block = cset.pop(victim_tag)
-            victim_addr = (victim_tag * self.config.sets + index)
-            victim = (victim_addr, victim_block)
+            victim = (victim_tag * self._nsets + index, victim_block)
             self.evictions += 1
         cset[tag] = CacheBlock(tag=tag, state=state, dirty=dirty)
-        lru.append(tag)
         return victim
 
     def invalidate(self, addr: int) -> Optional[CacheBlock]:
-        block_addr = self.block_addr(addr)
-        index, tag = self._index_tag(block_addr)
-        block = self._sets[index].pop(tag, None)
-        if block is not None:
-            self._lru[index].remove(tag)
-        return block
+        block_addr = addr // self._block_bytes
+        return self._sets[block_addr % self._nsets].pop(
+            block_addr // self._nsets, None)
 
     def resident_blocks(self) -> Iterator[Tuple[int, CacheBlock]]:
-        for index, cset in enumerate(self._sets):
+        for index, cset in self._sets.items():
             for tag, block in cset.items():
-                yield tag * self.config.sets + index, block
+                yield tag * self._nsets + index, block
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     @property
     def hit_rate(self) -> float:

@@ -32,15 +32,23 @@ class DirectoryEntry:
     owner: Optional[int] = None
 
 
-@dataclass
 class AccessResult:
     """Latency and events for one core memory access."""
 
-    latency: int
-    hit_level: str                   # "L1", "L2", "FWD", "MEM"
-    denied: bool = False
-    error_code: int = 0
-    invalidations: int = 0
+    __slots__ = ("latency", "hit_level", "denied", "error_code",
+                 "invalidations")
+
+    def __init__(self, latency: int, hit_level: str, denied: bool = False,
+                 error_code: int = 0, invalidations: int = 0) -> None:
+        self.latency = latency
+        self.hit_level = hit_level       # "L1", "L2", "FWD", "MEM"
+        self.denied = denied
+        self.error_code = error_code
+        self.invalidations = invalidations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AccessResult(latency={self.latency}, "
+                f"hit_level={self.hit_level!r}, denied={self.denied})")
 
 
 @dataclass
@@ -71,6 +79,14 @@ class CoherentHierarchy:
                    for _ in range(config.noc.tiles)]
         self.directory: Dict[int, DirectoryEntry] = {}
         self.stats = HierarchyStats()
+        # L1 hits dominate paper-scale replays (~95% of accesses);
+        # callers never mutate results, so one shared instance serves
+        # them all instead of an allocation per hit.
+        self._l1_hit_result = AccessResult(latency=config.l1d.latency,
+                                           hit_level="L1")
+        # Hot-path constants, hoisted out of the per-miss attr chains.
+        self._ntiles = config.noc.tiles
+        self._l2_latency = config.l2.latency
 
     # ------------------------------------------------------------------
     def _dir_entry(self, block_addr: int) -> DirectoryEntry:
@@ -97,7 +113,7 @@ class CoherentHierarchy:
                 self.stats.l1_hits += 1
                 if is_write:
                     block.dirty = True
-                return AccessResult(latency=l1_latency, hit_level="L1")
+                return self._l1_hit_result
             # Write to a Shared L1 block: upgrade through the home.
             return self._upgrade(core, addr, block_addr, l1_latency)
 
@@ -131,8 +147,11 @@ class CoherentHierarchy:
     # ------------------------------------------------------------------
     def _miss(self, core: int, addr: int, block_addr: int, is_write: bool,
               base_latency: int) -> AccessResult:
-        home = self._home(block_addr)
-        entry = self._dir_entry(block_addr)
+        home = block_addr % self._ntiles
+        entry = self.directory.get(block_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self.directory[block_addr] = entry
         latency = base_latency + self.mesh.round_trip(
             core, home, 64 if not is_write else 16)
         invalidations = 0
@@ -167,7 +186,7 @@ class CoherentHierarchy:
         l2 = self.l2[home]
         l2_block = l2.lookup(addr)
         if l2_block is not None:
-            latency += self.config.l2.latency
+            latency += self._l2_latency
             self._set_dir_after_fill(entry, core, is_write)
             self._fill(core, addr, is_write)
             self.stats.l2_hits += 1
@@ -176,7 +195,7 @@ class CoherentHierarchy:
 
         # LLC miss: go to memory — EInject monitors this transaction.
         result = self.memory.access(addr, is_write)
-        latency += self.config.l2.latency + result.latency
+        latency += self._l2_latency + result.latency
         if result.denied:
             # The transaction is terminated; nothing is installed and
             # the error response backtracks, freeing resources (§5.1).

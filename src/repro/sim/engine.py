@@ -1,17 +1,24 @@
 """Discrete-event simulation engine.
 
-A single priority queue of ``(time, seq, callback)`` drives every
+A bucketed calendar queue of ``(time, seq, callback)`` drives every
 component.  Components schedule work with :meth:`Engine.schedule` and
 read :attr:`Engine.now`.  Ties are broken by insertion order, which
 keeps runs deterministic for a fixed seed.
+
+Events that share a timestamp live in one bucket (a plain list drained
+in insertion order), so same-cycle bursts cost O(1) per event instead
+of a heap sift each; only *distinct* timestamps go through the heap.
+Cancellation is lazy — events are tombstoned in place and skipped on
+pop — but a live-event counter triggers compaction once cancelled
+entries outnumber live ones, so the queue never accumulates unbounded
+garbage and :attr:`Engine.pending` stays O(1).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..obs.telemetry import current as _telemetry
 
@@ -20,22 +27,40 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
+
+    def __init__(self, time: int, seq: int,
+                 callback: Callable[[], None],
+                 engine: "Optional[Engine]") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._engine = engine
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<event t={self.time} seq={self.seq}{state}>"
 
 
 class Engine:
     """Event queue + simulated clock."""
 
     def __init__(self) -> None:
-        self._queue: List[_ScheduledEvent] = []
+        self._buckets: Dict[int, List[_ScheduledEvent]] = {}
+        self._times: List[int] = []  # heap of distinct bucket times
+        self._active: Optional[List[_ScheduledEvent]] = None
+        self._active_time = 0
+        self._active_idx = 0
         self._seq = itertools.count()
         self._now = 0
         self._events_processed = 0
+        self._size = 0       # events still queued, live + cancelled
+        self._cancelled = 0  # cancelled events still queued
 
     @property
     def now(self) -> int:
@@ -45,56 +70,149 @@ class Engine:
     def events_processed(self) -> int:
         return self._events_processed
 
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return self._size - self._cancelled
+
     def schedule(self, delay: int, callback: Callable[[], None]) -> _ScheduledEvent:
         """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        ev = _ScheduledEvent(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._queue, ev)
-        return ev
+        return self._push(self._now + delay, callback)
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> _ScheduledEvent:
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
-        ev = _ScheduledEvent(time, next(self._seq), callback)
-        heapq.heappush(self._queue, ev)
+        return self._push(time, callback)
+
+    def _push(self, time: int, callback: Callable[[], None]) -> _ScheduledEvent:
+        ev = _ScheduledEvent(time, next(self._seq), callback, self)
+        if self._active is not None and time == self._active_time:
+            # Scheduling at the timestamp currently being drained:
+            # append to the live bucket so the event still runs this
+            # cycle, after everything scheduled before it.
+            self._active.append(ev)
+        else:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [ev]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(ev)
+        self._size += 1
         return ev
 
     @staticmethod
     def cancel(event: _ScheduledEvent) -> None:
+        if event.cancelled:
+            return
         event.cancelled = True
+        engine = event._engine
+        if engine is not None:  # still queued — update live counts
+            engine._cancelled += 1
+            if engine._cancelled * 2 > engine._size:
+                engine._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and rebuild the calendar in place."""
+        if self._active is not None:
+            live = [e for e in self._active[self._active_idx:]
+                    if not e.cancelled]
+            if live:
+                self._active = live
+                self._active_idx = 0
+            else:
+                self._active = None
+        buckets: Dict[int, List[_ScheduledEvent]] = {}
+        size = 0
+        for time, bucket in self._buckets.items():
+            live = [e for e in bucket if not e.cancelled]
+            if live:
+                buckets[time] = live
+                size += len(live)
+        self._buckets = buckets
+        self._times = list(buckets)
+        heapq.heapify(self._times)
+        if self._active is not None:
+            size += len(self._active)
+        self._size = size
+        self._cancelled = 0
+
+    def _next_live(self) -> Optional[_ScheduledEvent]:
+        """Pop the earliest live event, dropping tombstones on the way."""
+        while True:
+            if self._active is not None:
+                if self._active_idx < len(self._active):
+                    ev = self._active[self._active_idx]
+                    self._active_idx += 1
+                    self._size -= 1
+                    ev._engine = None  # popped: cancel() is a no-op now
+                    if ev.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    return ev
+                self._active = None
+            if not self._times:
+                return None
+            time = heapq.heappop(self._times)
+            self._active = self._buckets.pop(time)
+            self._active_time = time
+            self._active_idx = 0
+
+    def _peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest live event, or None if drained."""
+        while True:
+            if self._active is not None:
+                while self._active_idx < len(self._active):
+                    ev = self._active[self._active_idx]
+                    if not ev.cancelled:
+                        return self._active_time
+                    self._active_idx += 1
+                    self._size -= 1
+                    self._cancelled -= 1
+                    ev._engine = None
+                self._active = None
+            if not self._times:
+                return None
+            time = heapq.heappop(self._times)
+            self._active = self._buckets.pop(time)
+            self._active_time = time
+            self._active_idx = 0
 
     def step(self) -> bool:
         """Process the next event; False when the queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            self._events_processed += 1
-            ev.callback()
-            return True
-        return False
+        ev = self._next_live()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self._events_processed += 1
+        ev.callback()
+        return True
 
     def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> int:
         """Drain the queue (optionally up to simulated time ``until``).
 
-        Returns the final simulated time.  ``max_events`` guards
-        against livelock bugs in component logic.
+        Returns the final simulated time.  ``max_events`` is an exact
+        bound guarding against livelock bugs in component logic: the
+        engine processes at most ``max_events`` events and raises if
+        live work remains beyond that.
         """
         processed = 0
         try:
-            while self._queue:
-                if until is not None and self._queue[0].time > until:
+            while True:
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
                     self._now = until
                     break
-                if not self.step():
-                    break
-                processed += 1
-                if processed > max_events:
+                if processed >= max_events:
                     raise SimulationError(
                         f"exceeded {max_events} events — livelock "
                         f"suspected at t={self._now}")
+                self.step()
+                processed += 1
         finally:
             # Bulk update once per drain, never per event: the hot
             # loop stays telemetry-free.
@@ -103,7 +221,3 @@ class Engine:
                 tel.counter("sim.engine.events").inc(processed)
                 tel.gauge("sim.engine.now").set(self._now)
         return self._now
-
-    @property
-    def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)

@@ -634,6 +634,13 @@ class MulticoreSystem:
                 continue
             if core.status is not CoreStatus.RUNNING:
                 continue
+            if (not core.window and not core.sb
+                    and core.pc >= len(core._program)):
+                # Quiescent: program exhausted, nothing in flight.  It
+                # can contribute no actions, so skip the slot/drain
+                # scans — the action list (and hence the RNG stream)
+                # is unchanged.
+                continue
             core.fetch_fill()
             for slot in core.executable_slots():
                 actions.append(lambda c=core, s=slot: c.execute(s))

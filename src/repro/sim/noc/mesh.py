@@ -30,6 +30,14 @@ class Mesh:
     def __init__(self, config: NocConfig) -> None:
         self.config = config
         self.stats = MeshStats()
+        # (src, dst, payload) -> (hops, flits, latency); the mesh is
+        # static, so every traversal after the first per key is a
+        # dict hit plus the stats increments.
+        self._latency_cache: Dict[Tuple[int, int, int],
+                                  Tuple[int, int, int]] = {}
+        # Same idea for the request+response pair round_trip issues.
+        self._round_trip_cache: Dict[Tuple[int, int, int],
+                                     Tuple[int, int, int]] = {}
 
     def coordinates(self, tile: int) -> Tuple[int, int]:
         if not (0 <= tile < self.config.tiles):
@@ -40,21 +48,46 @@ class Mesh:
         (r1, c1), (r2, c2) = self.coordinates(src), self.coordinates(dst)
         return abs(r1 - r2) + abs(c1 - c2)
 
+    def _entry(self, src: int, dst: int,
+               payload_bytes: int) -> Tuple[int, int, int]:
+        key = (src, dst, payload_bytes)
+        entry = self._latency_cache.get(key)
+        if entry is None:
+            hop_count = self.hops(src, dst)
+            serialization = max(
+                0, (payload_bytes + self.config.link_bytes - 1)
+                // self.config.link_bytes - 1)
+            entry = (hop_count,
+                     max(1, payload_bytes // self.config.link_bytes),
+                     hop_count * self.config.hop_latency + serialization)
+            self._latency_cache[key] = entry
+        return entry
+
     def latency(self, src: int, dst: int, payload_bytes: int = 64) -> int:
         """One-way traversal latency, accounting serialization of the
         payload over 16-byte links."""
-        hop_count = self.hops(src, dst)
-        serialization = max(
-            0, (payload_bytes + self.config.link_bytes - 1)
-            // self.config.link_bytes - 1)
-        self.stats.messages += 1
-        self.stats.total_hops += hop_count
-        self.stats.flits += max(1, payload_bytes // self.config.link_bytes)
-        return hop_count * self.config.hop_latency + serialization
+        hop_count, flits, total = self._entry(src, dst, payload_bytes)
+        stats = self.stats
+        stats.messages += 1
+        stats.total_hops += hop_count
+        stats.flits += flits
+        return total
 
     def round_trip(self, src: int, dst: int, payload_bytes: int = 64) -> int:
-        return (self.latency(src, dst, 16)
-                + self.latency(dst, src, payload_bytes))
+        """Request (16-byte) out, ``payload_bytes`` response back."""
+        key = (src, dst, payload_bytes)
+        entry = self._round_trip_cache.get(key)
+        if entry is None:
+            h1, f1, t1 = self._entry(src, dst, 16)
+            h2, f2, t2 = self._entry(dst, src, payload_bytes)
+            entry = (h1 + h2, f1 + f2, t1 + t2)
+            self._round_trip_cache[key] = entry
+        hop_count, flits, total = entry
+        stats = self.stats
+        stats.messages += 2
+        stats.total_hops += hop_count
+        stats.flits += flits
+        return total
 
     def home_tile(self, block_addr: int) -> int:
         """Static address-interleaved home (directory/L2 slice)."""

@@ -27,9 +27,12 @@ hard-coded numbers.
 
 from __future__ import annotations
 
+import copy
 import heapq
+import re as _re
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import ExceptionCode
 from ..core.fsb import FsbEntry
@@ -41,13 +44,25 @@ from .config import ConsistencyModel, SystemConfig
 from .cpu.speculation import SpeculationReport, SpeculationTracker
 from .devices.einject import EInject
 from .mem.memory import MemoryController
-from .trace import ALU, LOAD, STORE, SYNC, TraceOp
+from .trace import (ALU, ALU_B, LOAD, LOAD_B, STORE, STORE_B, SYNC, SYNC_B,
+                    PackedTrace, TraceOp)
 
 #: Maximum overlapping store drains under WC (non-FIFO buffer).
 WC_DRAIN_OVERLAP = 8
 
 #: Cycles to flush and refill the pipeline on an imprecise exception.
 FLUSH_REFILL_CYCLES = 40
+
+#: Replay engine strategies: ``fast`` is the batched engine, ``naive``
+#: the original per-op heap loop (the escape hatch), ``verify`` runs
+#: both and asserts bit-identical results.
+STRATEGIES = ("fast", "naive", "verify")
+
+_INF = float("inf")
+
+#: First byte that is not an ALU op — finds the end of a consecutive
+#: ALU run in a packed ``kinds`` bytestring at C speed.
+_NON_ALU = _re.compile(b"[^" + ALU.encode("ascii") + b"]")
 
 
 @dataclass
@@ -147,14 +162,30 @@ class TimingResult:
         }
 
 
-@dataclass
 class _SbSlot:
-    addr: int
-    drain_end: float
-    missed: bool
-    #: Denied by EInject; ``drain_end`` is then the *detection* time —
-    #: when the error response reaches the store buffer (§5.1).
-    faulted: bool = False
+    """One store-buffer entry.
+
+    ``faulted`` means denied by EInject; ``drain_end`` is then the
+    *detection* time — when the error response reaches the store
+    buffer (§5.1).  Slots drained out of the buffer are recycled
+    through the owning core's free list (the buffer churns through
+    one slot per store on the hot path).
+    """
+
+    __slots__ = ("addr", "blk", "drain_end", "missed", "faulted")
+
+    def __init__(self, addr: int, drain_end: float, missed: bool,
+                 faulted: bool = False) -> None:
+        self.addr = addr
+        self.blk = addr >> 6  # cached WC-coalescing block id
+        self.drain_end = drain_end
+        self.missed = missed
+        self.faulted = faulted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(f for f, on in (("m", self.missed),
+                                        ("F", self.faulted)) if on)
+        return f"<sb {self.addr:#x}@{self.drain_end}{flags}>"
 
 
 class _TimingCore:
@@ -177,10 +208,12 @@ class _TimingCore:
         #: (aso_precise rollback accounting).
         self._oldest_checkpoint_start: float = 0.0
         self.clock = 0.0
-        self.rob: List[float] = []      # completion times, in order
+        self.rob: Deque[float] = deque()  # completion times, in order
         self.sb: List[_SbSlot] = []
         self.last_drain_end = 0.0
         self.last_load_complete = 0.0
+        self._last_sync_clock = 0.0
+        self._slot_pool: List[_SbSlot] = []
         self.stats = CoreTimingStats()
         self.tel = system.telemetry
         self.interface = ArchitecturalInterface(core_id)
@@ -195,15 +228,16 @@ class _TimingCore:
     def _retire_for_dispatch(self) -> None:
         """Make room in the ROB; a stalled head pushes the clock."""
         if len(self.rob) >= self.rob_capacity:
-            head = self.rob.pop(0)
+            head = self.rob.popleft()
             if head > self.clock:
                 self.clock = head
 
     def _sb_occupancy(self) -> int:
         # Faulted entries never complete on their own; they stay until
-        # the exception flow drains them to the FSB.
-        self.sb = [s for s in self.sb
-                   if s.faulted or s.drain_end > self.clock]
+        # the exception flow drains them to the FSB.  In-place so the
+        # list identity survives (the batched engine holds an alias).
+        self.sb[:] = [s for s in self.sb
+                      if s.faulted or s.drain_end > self.clock]
         return len(self.sb)
 
     def _check_detection(self) -> None:
@@ -310,31 +344,7 @@ class _TimingCore:
 
         result = self.system.hierarchy.access(self.id, op.addr, True)
         if result.denied:
-            if self.system.aso_precise:
-                self._aso_rollback(op.addr)
-                return
-            fraction = self.system.early_detection_fraction
-            if fraction > 0.0:
-                # Qiu & Dubois-style early detection: a prefetch
-                # discovered the fault before retirement, so it is
-                # still precise (deterministic thinning).
-                self._early_detect_acc += fraction
-                if self._early_detect_acc >= 1.0:
-                    self._early_detect_acc -= 1.0
-                    self._precise_fault(op.addr)
-                    result = self.system.hierarchy.access(
-                        self.id, op.addr, True)
-                    if not result.denied:
-                        self.rob.append(self.clock + 1)
-                        self.sb.append(_SbSlot(
-                            op.addr, self.clock + result.latency,
-                            missed=result.hit_level != "L1"))
-                        return
-            # The denial is detected when the error response arrives,
-            # a full round trip later; until then the entry occupies
-            # the buffer and further stores keep retiring (§5.1).
-            self.sb.append(_SbSlot(op.addr, self.clock + result.latency,
-                                   missed=True, faulted=True))
+            self._store_denied(op.addr, result)
             return
 
         overlap = sorted(s.drain_end for s in self.sb)
@@ -359,6 +369,34 @@ class _TimingCore:
             self.tracker.on_store_retire(int(self.clock), int(drain_end),
                                          missed, op.addr)
 
+    def _store_denied(self, addr: int, result) -> None:
+        """A retired store's transaction was denied by EInject."""
+        if self.system.aso_precise:
+            self._aso_rollback(addr)
+            return
+        fraction = self.system.early_detection_fraction
+        if fraction > 0.0:
+            # Qiu & Dubois-style early detection: a prefetch
+            # discovered the fault before retirement, so it is
+            # still precise (deterministic thinning).
+            self._early_detect_acc += fraction
+            if self._early_detect_acc >= 1.0:
+                self._early_detect_acc -= 1.0
+                self._precise_fault(addr)
+                result = self.system.hierarchy.access(
+                    self.id, addr, True)
+                if not result.denied:
+                    self.rob.append(self.clock + 1)
+                    self.sb.append(_SbSlot(
+                        addr, self.clock + result.latency,
+                        missed=result.hit_level != "L1"))
+                    return
+        # The denial is detected when the error response arrives,
+        # a full round trip later; until then the entry occupies
+        # the buffer and further stores keep retiring (§5.1).
+        self.sb.append(_SbSlot(addr, self.clock + result.latency,
+                               missed=True, faulted=True))
+
     def _do_sync(self) -> None:
         self.stats.syncs += 1
         if any(s.faulted for s in self.sb):
@@ -369,6 +407,14 @@ class _TimingCore:
         self.clock = max(self.clock, drain, self.last_load_complete) + 1
         self.sb.clear()
         self.rob.append(self.clock)
+        tel = self.tel
+        if tel.enabled:
+            # Workloads mark request boundaries with syncs, so the
+            # inter-sync interval is the Tailbench-style request
+            # latency (p50/p99 come off this histogram).
+            tel.histogram("timing.request_cycles").observe(
+                self.clock - self._last_sync_clock)
+        self._last_sync_clock = self.clock
 
     def finalize(self) -> None:
         """End of trace: surface any still-undetected denials."""
@@ -378,6 +424,391 @@ class _TimingCore:
                              max(s.drain_end for s in faulted))
             self._imprecise_exception()
             self.stats.cycles = max(self.stats.cycles, self.clock)
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    def _scan_mins(self) -> Tuple[float, float]:
+        """(earliest faulted detection, earliest live drain) in the SB."""
+        fault_min = _INF
+        drain_min = _INF
+        for s in self.sb:
+            if s.faulted:
+                if s.drain_end < fault_min:
+                    fault_min = s.drain_end
+            elif s.drain_end < drain_min:
+                drain_min = s.drain_end
+        return fault_min, drain_min
+
+    def step_until(self, limit_clock: float, limit_id: int) -> None:
+        """Instrumented batch: per-op :meth:`step` under the batched
+        scheduler, so profiling runs emit spans/metrics that match the
+        naive engine span for span."""
+        cid = self.id
+        trace = self.trace
+        n = len(trace)
+        while self.pos < n:
+            clock = self.clock
+            if clock > limit_clock or (clock == limit_clock
+                                       and cid >= limit_id):
+                return
+            self.step()
+
+    def replay_gen(self):
+        """Generator replaying ops while this core is the earliest.
+
+        Equivalent to the naive scheduler popping this core off its
+        heap once per op: the loop keeps stepping while ``(clock, id)``
+        stays lexicographically below the ``(limit_clock, limit_id)``
+        received at the last yield, and yields control back whenever
+        the limit is reached (typical batches are 1-3 ops, so the
+        generator keeps the locals bound across scheduler handoffs
+        instead of re-binding per batch).  The common op shapes (ALU,
+        L1-hit load/store, quiet store-buffer insert) are inlined;
+        rare paths — denials, exceptions, stalls — write the locals
+        back, call the exact per-op methods the naive engine uses, and
+        reload.  Cycle counts are bit-identical by construction: every
+        arithmetic expression is evaluated in the same order on the
+        same values.
+        """
+        cid = self.id
+        trace = self.trace
+        if not isinstance(trace, PackedTrace):
+            trace = self.trace = PackedTrace.from_ops(trace)
+        kinds = trace.kinds
+        addrs = trace.addrs
+        dep_mask = trace.dep_mask
+        alu_runs = trace.alu_runs
+        n = len(kinds)
+
+        system = self.system
+        hierarchy = system.hierarchy
+        l1 = hierarchy.l1d[cid]
+        l1_sets = l1._sets
+        l1_nsets = l1._nsets
+        l1_bb = l1._block_bytes
+        l1_latency = system.config.l1d.latency
+        hstats = hierarchy.stats
+        stats = self.stats
+        tracker = self.tracker
+        pool = self._slot_pool
+
+        model = self.model
+        sc = model == ConsistencyModel.SC
+        wc = model == ConsistencyModel.WC
+        pc = model == ConsistencyModel.PC
+        inv_width = 1.0 / self.width
+        rob = self.rob
+        # The deque is mutated only in place (never rebound), so the
+        # bound methods skip an attribute lookup on every op.
+        rob_popleft = rob.popleft
+        rob_append = rob.append
+        rob_capacity = self.rob_capacity
+        sb = self.sb
+        sb_capacity = self.sb_capacity
+        checkpointed = self.checkpoint_cap is not None
+        _len = len  # local binding: called once or twice per op
+
+        pos = self.pos
+        pos0 = pos
+        clock = self.clock
+        last_drain_end = self.last_drain_end
+        last_load_complete = self.last_load_complete
+        fault_min, drain_min = self._scan_mins()
+        rob_len = _len(rob)  # tracked locally; refreshed after slow paths
+        d_l1_hits = 0
+
+        limit_clock, limit_id = yield
+
+        while pos < n:
+            kind = kinds[pos]
+            if kind == ALU_B and fault_min == _INF:
+                # Burn through the whole consecutive ALU run.  ALU ops
+                # touch only private state (clock, ROB), so running
+                # them before another core's earlier-clock memory ops
+                # commutes — they are exempt from the scheduling limit
+                # while no fault is pending (a pending imprecise
+                # exception mutates the shared hierarchy through the
+                # handler, so then the exact global order is kept and
+                # ALU ops take the ordered path below).  Run ends are
+                # precomputed per trace; entering a run mid-way (only
+                # after a fault resolves) falls back to a C-speed scan.
+                stop = alu_runs.get(pos)
+                if stop is None:
+                    match = _NON_ALU.search(kinds, pos)
+                    stop = match.start() if match is not None else n
+                while pos < stop:
+                    pos += 1
+                    clock += inv_width
+                    if rob_len >= rob_capacity:
+                        head = rob_popleft()
+                        if head > clock:
+                            clock = head
+                    else:
+                        rob_len += 1
+                    rob_append(clock + 1)
+                continue
+            if clock > limit_clock or (clock == limit_clock
+                                       and cid >= limit_id):
+                # Another core is scheduled ahead of us: hand control
+                # back, keeping every local alive for the next batch.
+                self.clock = clock
+                limit_clock, limit_id = yield
+                continue
+            op_index = pos
+            pos += 1
+            clock += inv_width
+            if rob_len >= rob_capacity:
+                head = rob_popleft()
+                if head > clock:
+                    clock = head
+            else:
+                rob_len += 1
+
+            if kind == ALU_B:
+                # Only reached with a pending fault (ordered path).
+                rob_append(clock + 1)
+
+            elif kind == LOAD_B:
+                addr = addrs[op_index]
+                issue = clock
+                if dep_mask[op_index] and last_load_complete > issue:
+                    issue = last_load_complete
+                block_addr = addr // l1_bb
+                tag = block_addr // l1_nsets
+                cset = l1_sets[block_addr % l1_nsets]
+                # Any resident block is a read hit, so pop+reinsert
+                # does lookup()'s LRU touch in two dict ops, not three.
+                block = cset.pop(tag, None)
+                if block is not None:
+                    d_l1_hits += 1
+                    cset[tag] = block
+                    complete = issue + l1_latency
+                else:
+                    result = hierarchy.access(cid, addr, False)
+                    if result.denied:
+                        self.pos = pos
+                        self.clock = clock
+                        self.last_drain_end = last_drain_end
+                        self.last_load_complete = last_load_complete
+                        self._precise_fault(addr)
+                        result = hierarchy.access(cid, addr, False)
+                        clock = self.clock
+                        last_drain_end = self.last_drain_end
+                        fault_min, drain_min = self._scan_mins()
+                        rob_len = _len(rob) + 1  # this op's rob append is pending
+                        if clock > issue:
+                            issue = clock
+                    complete = issue + result.latency
+                last_load_complete = complete
+                rob_append(complete)
+                if tracker is not None:
+                    tracker.on_load(int(issue), addr)
+
+            elif kind == STORE_B:
+                addr = addrs[op_index]
+                if sc:
+                    block_addr = addr // l1_bb
+                    tag = block_addr // l1_nsets
+                    cset = l1_sets[block_addr % l1_nsets]
+                    block = cset.get(tag)
+                    if block is not None and block.state == "M":
+                        d_l1_hits += 1
+                        del cset[tag]
+                        cset[tag] = block
+                        block.dirty = True
+                        latency = l1_latency
+                    else:
+                        result = hierarchy.access(cid, addr, True)
+                        if result.denied:
+                            self.pos = pos
+                            self.clock = clock
+                            self.last_drain_end = last_drain_end
+                            self.last_load_complete = last_load_complete
+                            self._precise_fault(addr)
+                            result = hierarchy.access(cid, addr, True)
+                            clock = self.clock
+                            last_drain_end = self.last_drain_end
+                            fault_min, drain_min = self._scan_mins()
+                            rob_len = _len(rob) + 1  # this op's rob append is pending
+                        latency = result.latency
+                    complete = (clock if clock > last_drain_end
+                                else last_drain_end) + latency
+                    last_drain_end = complete
+                    rob_append(complete)
+                else:
+                    # _sb_wait_for_slot: drop drained entries (only
+                    # when the earliest live drain has passed), then
+                    # stall through the slow path if still full.
+                    if drain_min <= clock:
+                        kept = []
+                        for s in sb:
+                            if s.faulted or s.drain_end > clock:
+                                kept.append(s)
+                            else:
+                                pool.append(s)
+                        sb[:] = kept
+                        drain_min = _INF
+                        for s in kept:
+                            if not s.faulted and s.drain_end < drain_min:
+                                drain_min = s.drain_end
+                    if _len(sb) >= sb_capacity:
+                        self.pos = pos
+                        self.clock = clock
+                        self.last_drain_end = last_drain_end
+                        self.last_load_complete = last_load_complete
+                        self._sb_wait_for_slot()
+                        clock = self.clock
+                        last_drain_end = self.last_drain_end
+                        fault_min, drain_min = self._scan_mins()
+                        rob_len = _len(rob) + 1  # this op's rob append is pending
+
+                    coalesced = False
+                    if wc:
+                        blk = addr >> 6
+                        for s in sb:
+                            if s.blk == blk:
+                                rob_append(clock + 1)
+                                coalesced = True
+                                break
+                    if not coalesced:
+                        if checkpointed:
+                            self.pos = pos
+                            self.clock = clock
+                            self.last_drain_end = last_drain_end
+                            self.last_load_complete = last_load_complete
+                            self._wait_for_checkpoint()
+                            clock = self.clock
+                        rob_append(clock + 1)  # retires into the buffer
+
+                        block_addr = addr // l1_bb
+                        tag = block_addr // l1_nsets
+                        cset = l1_sets[block_addr % l1_nsets]
+                        block = cset.get(tag)
+                        denied = False
+                        if block is not None and block.state == "M":
+                            d_l1_hits += 1
+                            del cset[tag]
+                            cset[tag] = block
+                            block.dirty = True
+                            latency = l1_latency
+                            missed = False
+                        else:
+                            result = hierarchy.access(cid, addr, True)
+                            if result.denied:
+                                self.pos = pos
+                                self.clock = clock
+                                self.last_drain_end = last_drain_end
+                                self.last_load_complete = last_load_complete
+                                self._store_denied(addr, result)
+                                clock = self.clock
+                                last_drain_end = self.last_drain_end
+                                fault_min, drain_min = self._scan_mins()
+                                rob_len = _len(rob)
+                                denied = True
+                            else:
+                                latency = result.latency
+                                missed = result.hit_level != "L1"
+                        if not denied:
+                            # Below the overlap limit only the live-miss
+                            # flag is needed; at or above it, one pass
+                            # also collects the drain ends (the overlap
+                            # window).
+                            live_miss = False
+                            if _len(sb) < WC_DRAIN_OVERLAP:
+                                for s in sb:
+                                    if s.missed and s.drain_end > clock:
+                                        live_miss = True
+                                        break
+                                drain_start = clock
+                            else:
+                                ends = []
+                                for s in sb:
+                                    de = s.drain_end
+                                    ends.append(de)
+                                    if s.missed and de > clock:
+                                        live_miss = True
+                                ends.sort()
+                                ds = ends[-WC_DRAIN_OVERLAP]
+                                drain_start = ds if ds > clock else clock
+                            drain_end = drain_start + latency
+                            if pc and last_drain_end + 1 > drain_end:
+                                # PC commits in order (TSO).
+                                drain_end = last_drain_end + 1
+                            last_drain_end = drain_end
+                            if not live_miss:
+                                self._oldest_checkpoint_start = clock
+                            if pool:
+                                slot = pool.pop()
+                                slot.addr = addr
+                                slot.blk = addr >> 6
+                                slot.drain_end = drain_end
+                                slot.missed = missed
+                                slot.faulted = False
+                            else:
+                                slot = _SbSlot(addr, drain_end, missed)
+                            sb.append(slot)
+                            if drain_end < drain_min:
+                                drain_min = drain_end
+                            if tracker is not None:
+                                tracker.on_store_retire(
+                                    int(clock), int(drain_end), missed,
+                                    addr)
+
+            else:  # SYNC
+                if fault_min != _INF:
+                    self.pos = pos
+                    self.clock = clock
+                    self.last_drain_end = last_drain_end
+                    self.last_load_complete = last_load_complete
+                    self._imprecise_exception()
+                    clock = self.clock
+                    last_drain_end = self.last_drain_end
+                    fault_min, drain_min = self._scan_mins()
+                    rob_len = _len(rob) + 1  # this op's rob append is pending
+                drain = 0.0
+                for s in sb:
+                    if s.drain_end > drain:
+                        drain = s.drain_end
+                if drain > clock:
+                    clock = drain
+                if last_load_complete > clock:
+                    clock = last_load_complete
+                clock += 1
+                pool.extend(sb)  # drained; nothing holds these slots
+                sb.clear()
+                drain_min = _INF
+                fault_min = _INF
+                rob_append(clock)
+                self._last_sync_clock = clock
+
+            # Deferred detection (naive: _check_detection per op).
+            if fault_min <= clock:
+                self.pos = pos
+                self.clock = clock
+                self.last_drain_end = last_drain_end
+                self.last_load_complete = last_load_complete
+                self._imprecise_exception()
+                clock = self.clock
+                last_drain_end = self.last_drain_end
+                fault_min, drain_min = self._scan_mins()
+                rob_len = _len(rob)
+
+        self.pos = pos
+        self.clock = clock
+        self.last_drain_end = last_drain_end
+        self.last_load_complete = last_load_complete
+        # Op-class counts over the replayed range, at C speed (the
+        # clock is monotone, so the final value is also the max).
+        stats.instructions += n - pos0
+        stats.loads += kinds.count(LOAD_B, pos0, n)
+        stats.stores += kinds.count(STORE_B, pos0, n)
+        stats.syncs += kinds.count(SYNC_B, pos0, n)
+        if clock > stats.cycles:
+            stats.cycles = clock
+        if d_l1_hits:
+            l1.hits += d_l1_hits
+            hstats.l1_hits += d_l1_hits
 
     # ------------------------------------------------------------------
     # Exceptions
@@ -537,7 +968,8 @@ class TimingSystem:
                  checkpoint_cap: Optional[int] = None,
                  early_detection_fraction: float = 0.0,
                  aso_precise: bool = False,
-                 telemetry=None) -> None:
+                 telemetry=None,
+                 strategy: str = "fast") -> None:
         """``checkpoint_cap`` enables ASO-with-k-checkpoints mode:
         stores stall at retirement when ``k`` store misses are already
         outstanding, interpolating between the SC baseline (cap 0-ish)
@@ -564,6 +996,17 @@ class TimingSystem:
                 f"{len(traces)} traces for {config.cores} cores")
         if not (0.0 <= early_detection_fraction <= 1.0):
             raise ValueError("early_detection_fraction must be in [0,1]")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r} (expected one of "
+                f"{STRATEGIES})")
+        if strategy != "naive":
+            # Pack once up front: the batched engine reads columns, and
+            # verify shares the packed traces with its naive shadow
+            # (PackedTrace indexes back to TraceOp).
+            traces = [PackedTrace.from_ops(t) for t in traces]
+        self.strategy = strategy
+        self._input_traces = traces
         self.config = config
         self.checkpoint_cap = checkpoint_cap
         self.early_detection_fraction = early_detection_fraction
@@ -583,18 +1026,34 @@ class TimingSystem:
 
     def run(self) -> TimingResult:
         """Advance cores in time order until every trace is consumed."""
+        if self.strategy == "verify":
+            return self._run_verify()
+        runner = self._run_fast if self.strategy == "fast" else self._run
         tel = self.telemetry
         if not tel.enabled:
-            return self._run()
+            return runner()
         with tel.span("timing.run",
                       consistency=str(self.config.core.consistency),
-                      cores=len(self.cores)):
-            result = self._run()
+                      cores=len(self.cores),
+                      strategy=self.strategy):
+            result = runner()
         tel.counter("timing.instructions").inc(
             result.total_instructions)
         return result
 
+    def _result(self) -> TimingResult:
+        spec = None
+        if self.track_speculation:
+            spec = [c.tracker.report() for c in self.cores
+                    if c.tracker is not None]
+        return TimingResult(
+            config=self.config,
+            core_stats=[c.stats for c in self.cores],
+            speculation=spec,
+        )
+
     def _run(self) -> TimingResult:
+        """The naive per-op heap scheduler (the seed engine)."""
         heap = [(core.clock, core.id) for core in self.cores
                 if not core.done]
         heapq.heapify(heap)
@@ -608,15 +1067,127 @@ class TimingSystem:
                 heapq.heappush(heap, (core.clock, core.id))
             else:
                 core.finalize()
-        spec = None
-        if self.track_speculation:
-            spec = [c.tracker.report() for c in self.cores
-                    if c.tracker is not None]
-        return TimingResult(
-            config=self.config,
-            core_stats=[c.stats for c in self.cores],
-            speculation=spec,
-        )
+        return self._result()
+
+    def _run_fast(self) -> TimingResult:
+        """Batched scheduler: run the earliest core until the next
+        core's ``(clock, id)`` would be scheduled ahead of it — the
+        same interleaving the heap produces, without a heap operation
+        per op."""
+        active = [c for c in self.cores if c.pos < len(c.trace)]
+        if self.telemetry.enabled:
+            # Instrumented replay: per-op step(), batched scheduling.
+            while active:
+                if len(active) == 1:
+                    core = active[0]
+                    core.step_until(_INF, -1)
+                    core.finalize()
+                    del active[0]
+                    continue
+                best, next_clock, next_id = self._pick(active)
+                best.step_until(next_clock, next_id)
+                if best.pos >= len(best.trace):
+                    best.finalize()
+                    active.remove(best)
+            return self._result()
+
+        gens = {}
+        for core in active:
+            gen = core.replay_gen()
+            next(gen)  # prime to the first yield (no ops processed)
+            gens[core.id] = gen
+        while active:
+            n_active = len(active)
+            if n_active == 1:
+                core = active[0]
+                try:
+                    gens[core.id].send((_INF, -1))
+                except StopIteration:
+                    pass
+                core.finalize()
+                del active[0]
+            elif n_active == 2:
+                # The dominant shape (Figure 6 runs 2 cores): inline
+                # ping-pong, no selection scan per batch.
+                a, b = active
+                ga, gb = gens[a.id], gens[b.id]
+                aid, bid = a.id, b.id
+                while True:
+                    ac = a.clock
+                    bc = b.clock
+                    if ac < bc or (ac == bc and aid < bid):
+                        try:
+                            ga.send((bc, bid))
+                        except StopIteration:
+                            a.finalize()
+                            active.remove(a)
+                            break
+                    else:
+                        try:
+                            gb.send((ac, aid))
+                        except StopIteration:
+                            b.finalize()
+                            active.remove(b)
+                            break
+            else:
+                best, next_clock, next_id = self._pick(active)
+                try:
+                    gens[best.id].send((next_clock, next_id))
+                except StopIteration:
+                    best.finalize()
+                    active.remove(best)
+        return self._result()
+
+    @staticmethod
+    def _pick(active: List[_TimingCore]) -> Tuple[_TimingCore, float, int]:
+        """The earliest core by ``(clock, id)`` and the runner-up key."""
+        best = None
+        best_clock = best_id = 0.0
+        next_clock, next_id = _INF, -1
+        for c in active:
+            clock, cid = c.clock, c.id
+            if best is None or clock < best_clock or (
+                    clock == best_clock and cid < best_id):
+                if best is not None:
+                    next_clock, next_id = best_clock, best_id
+                best, best_clock, best_id = c, clock, cid
+            elif clock < next_clock or (clock == next_clock
+                                        and cid < next_id):
+                next_clock, next_id = clock, cid
+        return best, next_clock, next_id
+
+    def _run_verify(self) -> TimingResult:
+        """Run the naive engine on a shadow system, then the fast
+        engine here, and assert bit-identical results."""
+        from ..obs.telemetry import NullTelemetry
+        shadow = TimingSystem(
+            self.config, self._input_traces,
+            einject=copy.deepcopy(self.einject),
+            handler=copy.deepcopy(self.handler),
+            track_speculation=self.track_speculation,
+            checkpoint_cap=self.checkpoint_cap,
+            early_detection_fraction=self.early_detection_fraction,
+            aso_precise=self.aso_precise,
+            telemetry=NullTelemetry(),
+            strategy="naive")
+        naive_result = shadow.run()
+        self.strategy = "fast"
+        try:
+            fast_result = self.run()
+        finally:
+            self.strategy = "verify"
+        for i, (a, b) in enumerate(zip(naive_result.core_stats,
+                                       fast_result.core_stats)):
+            if a != b:
+                raise AssertionError(
+                    f"verify: core {i} stats diverge\n"
+                    f"  naive: {a}\n  fast:  {b}")
+        if shadow.hierarchy.stats != self.hierarchy.stats:
+            raise AssertionError(
+                f"verify: hierarchy stats diverge\n"
+                f"  naive: {shadow.hierarchy.stats}\n"
+                f"  fast:  {self.hierarchy.stats}")
+        return fast_result
 
 
 def run_trace(config: SystemConfig,
@@ -625,8 +1196,9 @@ def run_trace(config: SystemConfig,
               handler: Optional[object] = None,
               track_speculation: bool = False,
               checkpoint_cap: Optional[int] = None,
-              telemetry=None) -> TimingResult:
+              telemetry=None,
+              strategy: str = "fast") -> TimingResult:
     """One-shot convenience wrapper."""
     return TimingSystem(config, traces, einject, handler,
                         track_speculation, checkpoint_cap,
-                        telemetry=telemetry).run()
+                        telemetry=telemetry, strategy=strategy).run()

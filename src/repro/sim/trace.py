@@ -17,8 +17,16 @@ Op kinds:
 
 from __future__ import annotations
 
+import hashlib
+import json
+import re
+import struct
+import sys
+import zlib
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence
+from typing import (Dict, Iterable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 
 class TraceOp(NamedTuple):
@@ -29,6 +37,226 @@ class TraceOp(NamedTuple):
 
 LOAD, STORE, ALU, SYNC = "L", "S", "A", "F"
 _VALID_KINDS = frozenset({LOAD, STORE, ALU, SYNC})
+
+#: Byte values of the op kinds, for packed (columnar) traces.
+LOAD_B, STORE_B, ALU_B, SYNC_B = ord(LOAD), ord(STORE), ord(ALU), ord(SYNC)
+_KIND_FROM_BYTE = {LOAD_B: LOAD, STORE_B: STORE, ALU_B: ALU, SYNC_B: SYNC}
+
+#: One match per consecutive ALU run in a packed ``kinds`` bytestring.
+_ALU_RUN = re.compile(b"[" + ALU.encode("ascii") + b"]+")
+
+
+class PackedTrace:
+    """Columnar trace: one bytes/array per :class:`TraceOp` field.
+
+    The replay engine's inner loop reads ``kinds[i]`` (an int byte) and
+    ``addrs[i]`` directly instead of allocating a ``TraceOp`` per op,
+    and the columns round-trip to the on-disk artifact as flat byte
+    blobs (``array.frombytes`` — no per-op Python decode).  Indexing
+    still yields :class:`TraceOp`, so anything written against a plain
+    op sequence (the naive engine, ``measure_mix``, tests) works
+    unchanged.
+    """
+
+    __slots__ = ("kinds", "addrs", "deps", "_dep_mask", "_alu_runs")
+
+    def __init__(self, kinds: bytes, addrs: List[int],
+                 deps: frozenset) -> None:
+        if len(kinds) != len(addrs):
+            raise ValueError(
+                f"column length mismatch: {len(kinds)} kinds, "
+                f"{len(addrs)} addrs")
+        self.kinds = kinds
+        self.addrs = addrs     # plain list: fastest repeated indexing
+        self.deps = deps       # indices of ops with dep=True
+        self._dep_mask: Optional[bytes] = None
+        self._alu_runs: Optional[Dict[int, int]] = None
+
+    @property
+    def dep_mask(self) -> bytes:
+        """``mask[i]`` is 1 iff op ``i`` has ``dep=True`` — an O(1)
+        per-op lookup for the replay inner loop (a ``bytes`` index is
+        cheaper than a frozenset probe).  Built once, then cached."""
+        mask = self._dep_mask
+        if mask is None:
+            raw = bytearray(len(self.kinds))
+            for i in self.deps:
+                raw[i] = 1
+            mask = self._dep_mask = bytes(raw)
+        return mask
+
+    @property
+    def alu_runs(self) -> Dict[int, int]:
+        """Maps the start index of every consecutive ALU run to its end
+        (exclusive), found in one C-speed regex sweep and cached; the
+        replay loop burns through a whole run per lookup."""
+        runs = self._alu_runs
+        if runs is None:
+            runs = self._alu_runs = {
+                m.start(): m.end()
+                for m in _ALU_RUN.finditer(self.kinds)}
+        return runs
+
+    @classmethod
+    def from_ops(cls, ops: Sequence[TraceOp]) -> "PackedTrace":
+        if isinstance(ops, PackedTrace):
+            return ops
+        kinds = "".join(op.kind for op in ops).encode("ascii")
+        addrs = [op.addr for op in ops]
+        deps = frozenset(i for i, op in enumerate(ops) if op.dep)
+        return cls(kinds, addrs, deps)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __getitem__(self, i: int) -> TraceOp:
+        if i < 0:
+            i += len(self.kinds)
+        return TraceOp(_KIND_FROM_BYTE[self.kinds[i]], self.addrs[i],
+                       i in self.deps)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        deps = self.deps
+        kind_map = _KIND_FROM_BYTE
+        for i, (k, a) in enumerate(zip(self.kinds, self.addrs)):
+            yield TraceOp(kind_map[k], a, i in deps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTrace):
+            return NotImplemented
+        return (self.kinds == other.kinds and self.addrs == other.addrs
+                and self.deps == other.deps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PackedTrace ops={len(self.kinds)}>"
+
+
+# ----------------------------------------------------------------------
+# On-disk trace artifact (repro.trace/v1)
+# ----------------------------------------------------------------------
+#
+# Layout:  magic ``RTRC`` · u32 header length · header JSON · zlib body.
+# The body decompresses to the *canonical payload*: for each core, a
+# ``(n_ops, n_deps)`` u64 pair followed by the kinds bytes, the
+# little-endian i64 address column, and the little-endian u64 dep-index
+# column.  The header records the schema tag, per-core op counts, the
+# sha256 of the canonical payload (compression-independent — this is
+# the content digest capture/replay compare), and caller metadata.
+
+TRACE_SCHEMA = "repro.trace/v1"
+TRACE_MAGIC = b"RTRC"
+_U32 = struct.Struct(">I")
+_CORE_HEADER = struct.Struct("<QQ")
+
+
+def _canonical_columns(trace: Sequence[TraceOp]) -> Tuple[bytes, bytes, bytes]:
+    packed = PackedTrace.from_ops(trace)
+    addrs = array("q", packed.addrs)
+    deps = array("q", sorted(packed.deps))
+    if sys.byteorder == "big":  # canonical payload is little-endian
+        addrs.byteswap()
+        deps.byteswap()
+    return packed.kinds, addrs.tobytes(), deps.tobytes()
+
+
+def _canonical_payload(traces: Sequence[Sequence[TraceOp]]) -> bytes:
+    chunks: List[bytes] = []
+    for trace in traces:
+        kinds, addr_bytes, dep_bytes = _canonical_columns(trace)
+        chunks.append(_CORE_HEADER.pack(len(kinds), len(dep_bytes) // 8))
+        chunks.append(kinds)
+        chunks.append(addr_bytes)
+        chunks.append(dep_bytes)
+    return b"".join(chunks)
+
+
+def trace_digest(traces: Sequence[Sequence[TraceOp]]) -> str:
+    """sha256 of the canonical payload — the artifact content digest."""
+    return hashlib.sha256(_canonical_payload(traces)).hexdigest()
+
+
+def encode_trace_artifact(traces: Sequence[Sequence[TraceOp]],
+                          meta: Optional[Dict] = None,
+                          level: int = 6) -> bytes:
+    """Serialise per-core op streams to a ``repro.trace/v1`` blob."""
+    payload = _canonical_payload(traces)
+    header = {
+        "schema": TRACE_SCHEMA,
+        "cores": len(traces),
+        "ops": [len(t) for t in traces],
+        "digest": hashlib.sha256(payload).hexdigest(),
+        "meta": dict(meta or {}),
+    }
+    header_bytes = json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+    return b"".join([TRACE_MAGIC, _U32.pack(len(header_bytes)),
+                     header_bytes, zlib.compress(payload, level)])
+
+
+class TraceArtifactError(ValueError):
+    """Raised when a trace artifact is malformed or corrupt."""
+
+
+def read_artifact_header(data: bytes) -> Dict:
+    """Parse and validate the header without touching the body."""
+    if data[:4] != TRACE_MAGIC:
+        raise TraceArtifactError("bad magic: not a repro trace artifact")
+    (header_len,) = _U32.unpack_from(data, 4)
+    try:
+        header = json.loads(data[8:8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceArtifactError(f"corrupt artifact header: {exc}") from exc
+    if header.get("schema") != TRACE_SCHEMA:
+        raise TraceArtifactError(
+            f"unsupported trace schema {header.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA})")
+    return header
+
+
+def decode_trace_artifact(data: bytes) -> Tuple[Dict, List[PackedTrace]]:
+    """Decode a blob back to ``(header, per-core packed traces)``.
+
+    Verifies the content digest; raises :class:`TraceArtifactError` on
+    any mismatch (the cache's invalidation rule: a stale or corrupt
+    entry never replays silently).
+    """
+    header = read_artifact_header(data)
+    (header_len,) = _U32.unpack_from(data, 4)
+    try:
+        payload = zlib.decompress(data[8 + header_len:])
+    except zlib.error as exc:
+        raise TraceArtifactError(f"corrupt artifact body: {exc}") from exc
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["digest"]:
+        raise TraceArtifactError(
+            f"content digest mismatch: header says {header['digest'][:12]}…,"
+            f" payload hashes to {digest[:12]}…")
+    traces: List[PackedTrace] = []
+    view = memoryview(payload)
+    offset = 0
+    for n_ops in header["ops"]:
+        got_ops, n_deps = _CORE_HEADER.unpack_from(view, offset)
+        if got_ops != n_ops:
+            raise TraceArtifactError(
+                f"op count mismatch: header {n_ops}, payload {got_ops}")
+        offset += _CORE_HEADER.size
+        kinds = bytes(view[offset:offset + n_ops])
+        offset += n_ops
+        addrs = array("q")
+        addrs.frombytes(view[offset:offset + 8 * n_ops])
+        offset += 8 * n_ops
+        deps_arr = array("q")
+        deps_arr.frombytes(view[offset:offset + 8 * n_deps])
+        offset += 8 * n_deps
+        if sys.byteorder == "big":
+            addrs.byteswap()
+            deps_arr.byteswap()
+        traces.append(PackedTrace(kinds, addrs.tolist(),
+                                  frozenset(deps_arr)))
+    if offset != len(payload):
+        raise TraceArtifactError(
+            f"{len(payload) - offset} trailing payload bytes")
+    return header, traces
 
 
 @dataclass

@@ -2,6 +2,13 @@
 microbenchmark."""
 
 from .base import AddressMap, Region, TraceBuilder, Workload
+from .capture import (
+    CapturedWorkload,
+    TraceCache,
+    capture_workload,
+    replay_trace,
+    workload_cache_key,
+)
 from .cloudsuite import (
     data_caching_workload,
     data_serving_workload,
@@ -25,6 +32,8 @@ from .tailbench import masstree_workload, silo_workload
 
 __all__ = [
     "AddressMap", "Region", "TraceBuilder", "Workload",
+    "CapturedWorkload", "TraceCache", "capture_workload", "replay_trace",
+    "workload_cache_key",
     "data_caching_workload", "data_serving_workload",
     "media_streaming_workload",
     "BcKernel", "BfsKernel", "Graph", "SsspKernel", "gap_workload",

@@ -1,0 +1,241 @@
+"""Capture/replay split: build a workload once, replay it many times.
+
+Building a paper-scale workload (running BFS over a real graph,
+executing Silo transactions) dominates wall-clock time in repeated
+experiments, yet its output — the per-core op streams — is a pure
+function of ``(workload name, build params, seed)``.  This module
+captures that output into a versioned on-disk artifact
+(``repro.trace/v1``, :mod:`repro.sim.trace`) and replays it straight
+into the timing engine.
+
+* :func:`capture_workload` — build-or-load.  On a cache miss it runs
+  the workload model under a ``workload.capture`` span and writes the
+  artifact; on a hit it decodes the artifact (no capture span is
+  emitted — the span's presence is the observable difference between
+  cold and warm runs).
+* :func:`replay_trace` — drive the timing model from a captured
+  workload under a ``workload.replay`` span.
+* :class:`TraceCache` — content-addressed store.  The key is the
+  sha256 of the canonical build request (schema tag × workload name ×
+  sorted params × seed), so any change to the build inputs — or to
+  the artifact schema — lands on a different key; the artifact's own
+  content digest is verified on every load, so a corrupt entry raises
+  instead of replaying silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.telemetry import current as _telemetry
+from ..sim.config import SystemConfig
+from ..sim.timing import TimingResult, run_trace
+from ..sim.trace import (TRACE_SCHEMA, PackedTrace, TraceArtifactError,
+                         decode_trace_artifact, encode_trace_artifact)
+from .base import Workload
+from .registry import build_workload
+
+#: Environment override for the default on-disk cache location.
+CACHE_ENV = "REPRO_TRACE_CACHE"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+def workload_cache_key(name: str, cores: int, seed: int,
+                       params: Optional[Dict] = None) -> str:
+    """Content-addressed cache key for one build request.
+
+    Canonical JSON of the schema tag, workload name, core count, seed,
+    and sorted build params — identical requests collide (that is the
+    cache hit), any differing input or a schema bump lands elsewhere.
+    """
+    request = {
+        "schema": TRACE_SCHEMA,
+        "workload": name,
+        "cores": cores,
+        "seed": seed,
+        "params": dict(params or {}),
+    }
+    blob = json.dumps(request, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CapturedWorkload:
+    """A workload reconstituted from (or about to become) an artifact.
+
+    Drop-in for :class:`~repro.workloads.base.Workload` where the
+    timing experiments are concerned: per-core traces, the injectable
+    page list (the Figure 6 methodology marks these faulting before
+    the run), and the work-item count for throughput metrics.
+    """
+
+    name: str
+    traces: List[PackedTrace]
+    injectable_pages_list: List[int]
+    work_items: int
+    cache_key: str
+    digest: str
+    params: Dict = field(default_factory=dict)
+    seed: int = 1
+    from_cache: bool = False
+
+    @property
+    def cores(self) -> int:
+        return len(self.traces)
+
+    def total_ops(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+    def injectable_pages(self) -> List[int]:
+        return list(self.injectable_pages_list)
+
+
+class TraceCache:
+    """Two-level trace cache: decoded artifacts in memory, compressed
+    artifacts on disk (one file per key, written atomically)."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._memory: Dict[str, CapturedWorkload] = {}
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.rtrc"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[CapturedWorkload]:
+        """Decoded workload for ``key``, or ``None`` on a miss.
+
+        Raises :class:`~repro.sim.trace.TraceArtifactError` if the
+        on-disk entry exists but fails digest verification.
+        """
+        hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        header, traces = decode_trace_artifact(data)
+        meta = header.get("meta", {})
+        if meta.get("cache_key") not in (None, key):
+            raise TraceArtifactError(
+                f"artifact at {path} was captured under key "
+                f"{meta['cache_key'][:12]}…, expected {key[:12]}…")
+        captured = CapturedWorkload(
+            name=meta.get("workload", "?"),
+            traces=traces,
+            injectable_pages_list=list(meta.get("injectable_pages", [])),
+            work_items=int(meta.get("work_items", 0)),
+            cache_key=key,
+            digest=header["digest"],
+            params=dict(meta.get("params", {})),
+            seed=int(meta.get("seed", 0)),
+            from_cache=True,
+        )
+        self._memory[key] = captured
+        return captured
+
+    def store(self, key: str, workload: Workload, seed: int,
+              params: Optional[Dict] = None) -> CapturedWorkload:
+        """Encode ``workload`` and persist it under ``key``."""
+        params = dict(params or {})
+        meta = {
+            "workload": workload.name,
+            "seed": seed,
+            "params": params,
+            "cache_key": key,
+            "work_items": workload.work_items,
+            "injectable_pages": workload.injectable_pages(),
+        }
+        blob = encode_trace_artifact(workload.traces, meta=meta)
+        path = self.path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)  # atomic: readers never see a torn file
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        header, traces = decode_trace_artifact(blob)
+        captured = CapturedWorkload(
+            name=workload.name,
+            traces=traces,
+            injectable_pages_list=list(meta["injectable_pages"]),
+            work_items=workload.work_items,
+            cache_key=key,
+            digest=header["digest"],
+            params=params,
+            seed=seed,
+            from_cache=False,
+        )
+        self._memory[key] = captured
+        return captured
+
+    def evict(self, key: str) -> None:
+        self._memory.pop(key, None)
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+
+def capture_workload(name: str, cores: int = 2, seed: int = 1,
+                     cache: Optional[TraceCache] = None,
+                     force: bool = False, **params) -> CapturedWorkload:
+    """Build-or-load a workload's trace artifact.
+
+    Extra keyword args are forwarded to
+    :func:`~repro.workloads.registry.build_workload` and participate
+    in the cache key.  A warm-cache call emits no ``workload.capture``
+    span — only the ``trace_cache.hits`` counter ticks.
+    """
+    tel = _telemetry()
+    cache = cache if cache is not None else TraceCache()
+    key = workload_cache_key(name, cores, seed, params)
+    if not force:
+        hit = cache.load(key)
+        if hit is not None:
+            tel.counter("trace_cache.hits").inc()
+            return hit
+    tel.counter("trace_cache.misses").inc()
+    with tel.span("workload.capture", workload=name, cores=cores,
+                  seed=seed, key=key[:12]):
+        workload = build_workload(name, cores=cores, seed=seed, **params)
+        return cache.store(key, workload, seed=seed, params=params)
+
+
+def replay_trace(config: SystemConfig, captured: CapturedWorkload,
+                 einject=None, handler=None,
+                 strategy: str = "fast", **kwargs) -> TimingResult:
+    """Replay a captured workload through the timing model.
+
+    Pure replay: no workload code runs, the packed op columns feed the
+    engine directly.  Emitted under a ``workload.replay`` span.
+    """
+    tel = _telemetry()
+    with tel.span("workload.replay", workload=captured.name,
+                  strategy=strategy, ops=captured.total_ops(),
+                  digest=captured.digest[:12]):
+        return run_trace(config, captured.traces, einject=einject,
+                         handler=handler, strategy=strategy, **kwargs)

@@ -357,8 +357,64 @@ class PrKernel(_GapKernel):
         return Workload(self.name, traces, self.amap, work_items=work)
 
 
+class CcKernel(_GapKernel):
+    """Label-propagation connected components — the other kernel the
+    paper excludes from Table 3 ("PR, CC, and TC ... have <1 % stores
+    and no performance benefits from WC"; §3.3).  Each sweep pulls
+    every neighbour's label and writes only on an actual label
+    decrease, so stores vanish as labels converge (the capped sweep
+    count leaves a low-single-digit store share here); like
+    :class:`PrKernel` the trace is left uncalibrated so the raw
+    read-heavy profile shows through.
+    """
+
+    name = "CC"
+    cold_fraction = 0.0
+
+    def __init__(self, graph: Graph, cores: int, seed: int,
+                 inject_graph: bool, trials: int = 1,
+                 sweeps: int = 2) -> None:
+        super().__init__(graph, cores, seed, inject_graph, trials)
+        self.sweeps = sweeps
+
+    def run(self) -> Workload:
+        traces = []
+        work = 0
+        for core in range(self.cores):
+            comp_r = self.amap.alloc(f"comp{core}",
+                                     self.graph.nodes * WORD,
+                                     self.inject)
+            tb = TraceBuilder(random.Random(self.seed * 53 + core))
+            comp = list(range(self.graph.nodes))
+            for _ in range(self.sweeps):
+                changed = False
+                for u in range(self.graph.nodes):
+                    tb.load(self.offsets_addr(u))
+                    tb.load(self.offsets_addr(u + 1))
+                    tb.alu(2)
+                    best = comp[u]
+                    for i in range(self.graph.offsets[u],
+                                   self.graph.offsets[u + 1]):
+                        v = self.graph.targets[i]
+                        tb.load(self.targets_addr(i))
+                        tb.load(comp_r.addr(v), dep=True)
+                        tb.alu(2)
+                        if comp[v] < best:
+                            best = comp[v]
+                    if best < comp[u]:
+                        comp[u] = best
+                        tb.store(comp_r.addr(u))
+                        work += 1
+                        changed = True
+                tb.sync()
+                if not changed:
+                    break
+            traces.append(tb.build())  # deliberately uncalibrated
+        return Workload(self.name, traces, self.amap, work_items=work)
+
+
 _KERNELS = {"BFS": BfsKernel, "SSSP": SsspKernel, "BC": BcKernel,
-            "PR": PrKernel}
+            "PR": PrKernel, "CC": CcKernel}
 
 
 def gap_workload(kernel: str, cores: int = 4, nodes: int = 2048,

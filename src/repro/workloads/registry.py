@@ -44,18 +44,22 @@ PAPER_TABLE3: Dict[str, PaperReference] = {
 
 def build_workload(name: str, cores: int = 4, seed: int = 1,
                    scale: float = 1.0, inject: bool = False,
-                   trials: int = 1) -> Workload:
-    """Build a Table 3 workload by name.
+                   trials: int = 1, degree: int = 8) -> Workload:
+    """Build a workload by name: the Table 3 roster plus the
+    paper-excluded GAP kernels ("PR", "CC" — §3.3's <1 %-store
+    exclusions, reproduced to verify it).
 
     ``scale`` multiplies the default problem size; ``inject`` allocates
     the workload's data from the EInject region (Figure 6 only applies
     to GAP and Tailbench); ``trials`` repeats GAP kernels from fresh
-    sources (ignored elsewhere).
+    sources and ``degree`` sets their graph's out-degree (both ignored
+    elsewhere).
     """
     key = name.strip()
-    if key.upper() in ("BFS", "SSSP", "BC"):
+    if key.upper() in ("BFS", "SSSP", "BC", "PR", "CC"):
         return gap_workload(key.upper(), cores=cores,
-                            nodes=max(256, int(2048 * scale)), seed=seed,
+                            nodes=max(256, int(2048 * scale)),
+                            degree=degree, seed=seed,
                             inject_graph=inject, trials=trials)
     if key == "Silo":
         return silo_workload(cores=cores,

@@ -1,0 +1,72 @@
+"""Concurrent faulting streams: a 16-core FSB-contention scenario.
+
+Every core runs an independent request loop that appends records to
+its own append-only log allocated from the EInject region — the
+write-first pattern of §6.5's methodology, scaled out so many cores
+take imprecise store exceptions *concurrently*.  Each request reads a
+packet descriptor from a shared ring, writes a run of fresh log words
+(crossing a page boundary every ``4096 / 8 / stores_per_request``-ish
+requests — each first touch faults), and ends with a sync, so the
+timing engine's ``timing.request_cycles`` histogram records one
+sample per request and the per-core FSB drains collide in simulated
+time.  :mod:`repro.analysis.scenario16` turns the resulting span
+stream into an FSB-contention figure plus p50/p99 request latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import WORD, AddressMap, TraceBuilder, Workload
+
+#: The scenario's canonical core count (the paper's Table 2 machine).
+STREAM_CORES = 16
+
+
+def streams_workload(cores: int = STREAM_CORES,
+                     requests_per_core: int = 64,
+                     stores_per_request: int = 24,
+                     seed: int = 1,
+                     inject_streams: bool = True) -> Workload:
+    """Build the concurrent-faulting-streams workload.
+
+    Args:
+        cores: independent request loops (16 reproduces the scenario).
+        requests_per_core: sync-delimited requests per core.
+        stores_per_request: log words appended per request; sized so a
+            request's stores regularly step onto a fresh (faulting)
+            page while several sit buffered.
+        inject_streams: allocate the logs from the EInject region
+            (disable for a no-fault baseline of the same trace).
+    """
+    amap = AddressMap()
+    ring = amap.alloc("ring", 64 * 1024)  # shared, read-only descriptors
+    logs = [
+        amap.alloc(f"log{core}",
+                   requests_per_core * stores_per_request * WORD,
+                   injectable=inject_streams)
+        for core in range(cores)
+    ]
+    traces: List[List] = []
+    work = 0
+    for core in range(cores):
+        rng = random.Random(seed * 911 + core)
+        tb = TraceBuilder(rng)
+        log = logs[core]
+        cursor = 0
+        for request in range(requests_per_core):
+            # Pull the request descriptor (shared ring, read-only).
+            slot = rng.randrange(ring.size // WORD)
+            tb.load(ring.addr(slot))
+            tb.load(ring.addr(slot + 1), dep=True)
+            tb.alu(6)
+            # Append the record: fresh words, write-first.
+            for _ in range(stores_per_request):
+                tb.store(log.addr(cursor))
+                cursor += 1
+                tb.alu(2)
+            tb.sync()  # request boundary: publish the record
+            work += 1
+        traces.append(tb.build())
+    return Workload("Streams", traces, amap, work_items=work)

@@ -12,7 +12,8 @@ class TestParserStructure:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {
             "litmus", "table3", "fig5", "fig6", "proofs", "mbench",
-            "explore", "fuzz", "lint", "serve", "profile", "stats"}
+            "explore", "fuzz", "lint", "serve", "profile", "stats",
+            "capture", "scenario16"}
 
     def test_command_required(self):
         with pytest.raises(SystemExit):

@@ -117,6 +117,70 @@ class TestEngine:
         engine.run()
         assert times == [0, 7, 14]
 
+    def test_pending_counts_live_events_only(self):
+        engine = Engine()
+        events = [engine.schedule(i + 1, lambda: None) for i in range(10)]
+        assert engine.pending == 10
+        Engine.cancel(events[3])
+        Engine.cancel(events[7])
+        assert engine.pending == 8
+        Engine.cancel(events[3])  # double-cancel must not double-count
+        assert engine.pending == 8
+
+    def test_cancel_heavy_schedule_compacts(self):
+        # Cancel-heavy pattern (e.g. timers that almost always get
+        # rescheduled): tombstones must not accumulate in the queue.
+        engine = Engine()
+        fired = []
+        keeper = engine.schedule(10_000, lambda: fired.append("keep"))
+        for i in range(5_000):
+            ev = engine.schedule(i + 1, lambda: fired.append("dead"))
+            Engine.cancel(ev)
+        # Compaction keeps queued entries within 2x the live count.
+        assert engine.pending == 1
+        assert engine._size <= 2 * engine.pending + 1
+        engine.run()
+        assert fired == ["keep"]
+        assert engine.events_processed == 1
+        assert keeper.cancelled is False
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        ev = engine.schedule(1, lambda: None)
+        engine.run()
+        Engine.cancel(ev)  # already fired: must not corrupt counters
+        assert engine.pending == 0
+        engine.schedule(1, lambda: None)
+        assert engine.pending == 1
+
+    def test_max_events_bound_is_exact(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(i + 1, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=4)
+        # Exactly max_events live events drain without raising.
+        engine = Engine()
+        hits = []
+        for i in range(4):
+            engine.schedule(i + 1, lambda: hits.append(1))
+        engine.run(max_events=4)
+        assert len(hits) == 4
+
+    def test_same_cycle_burst_preserves_insertion_order(self):
+        engine = Engine()
+        order = []
+        def burst():
+            for i in range(3):
+                engine.schedule(0, lambda i=i: order.append(("late", i)))
+        engine.schedule(5, burst)
+        for i in range(3):
+            engine.schedule(5, lambda i=i: order.append(("early", i)))
+        engine.run()
+        assert order == [("early", 0), ("early", 1), ("early", 2),
+                         ("late", 0), ("late", 1), ("late", 2)]
+        assert engine.now == 5
+
 
 class TestSetAssociativeCache:
     def _cache(self, size=1024, ways=2, block=64):

@@ -1,0 +1,179 @@
+"""Capture/replay split: artifact round-trips are bit-identical.
+
+The trace artifact is only worth having if replaying it is
+indistinguishable — in simulated time — from running the build
+directly.  These tests pin that equivalence across the registered
+workloads and both handler drain policies, plus the cache semantics
+(key sensitivity, digest verification, capture-span presence) that
+docs/simulation.md documents.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.handler import BatchingHandler, MinimalHandler
+from repro.obs.sinks import MemorySink
+from repro.sim.config import ConsistencyModel, table2_config
+from repro.sim.devices.einject import EInject
+from repro.sim.timing import run_trace
+from repro.sim.trace import TraceArtifactError, trace_digest
+from repro.workloads import build_workload, figure6_workload_names
+from repro.workloads.capture import (TraceCache, capture_workload,
+                                     replay_trace, workload_cache_key)
+
+
+def _wc_config():
+    return table2_config().with_consistency(ConsistencyModel.WC)
+
+
+def _sim_key(result):
+    """Everything a timing run decides, including the Figure 5
+    phase breakdown."""
+    return (
+        result.total_cycles,
+        [s.cycles for s in result.core_stats],
+        [s.instructions for s in result.core_stats],
+        result.total_imprecise_exceptions,
+        result.total_faulting_stores,
+        [s.precise_exceptions for s in result.core_stats],
+        result.overhead_breakdown_per_fault(),
+    )
+
+
+def _run_direct(workload, handler_cls, cfg):
+    einject = EInject()
+    for page in workload.injectable_pages():
+        einject.mmio_set(page)
+    return run_trace(cfg, workload.traces, einject=einject,
+                     handler=handler_cls(cfg.os))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", figure6_workload_names())
+    @pytest.mark.parametrize("handler_cls", [MinimalHandler,
+                                             BatchingHandler])
+    def test_replay_matches_direct_simulation(self, tmp_path, name,
+                                              handler_cls):
+        cfg = _wc_config()
+        params = dict(scale=0.25, inject=True)
+        direct = _run_direct(
+            build_workload(name, cores=2, seed=5, **params),
+            handler_cls, cfg)
+
+        cache = TraceCache(tmp_path / "traces")
+        captured = capture_workload(name, cores=2, seed=5, cache=cache,
+                                    **params)
+        # Round-trip through the on-disk artifact, not the memory map.
+        cache.clear_memory()
+        reloaded = capture_workload(name, cores=2, seed=5, cache=cache,
+                                    **params)
+        assert reloaded.from_cache
+        assert reloaded.digest == captured.digest
+
+        einject = EInject()
+        for page in reloaded.injectable_pages():
+            einject.mmio_set(page)
+        replayed = replay_trace(cfg, reloaded, einject=einject,
+                                handler=handler_cls(cfg.os))
+        assert _sim_key(replayed) == _sim_key(direct)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=1, max_value=2 ** 16),
+           batching=st.booleans())
+    def test_seeded_round_trip(self, tmp_path, seed, batching):
+        """Any build seed round-trips bit-identically (Silo keeps the
+        example budget affordable; the parametrized test above covers
+        every workload at a fixed seed)."""
+        cfg = _wc_config()
+        handler_cls = BatchingHandler if batching else MinimalHandler
+        params = dict(scale=0.2, inject=True)
+        direct = _run_direct(
+            build_workload("Silo", cores=2, seed=seed, **params),
+            handler_cls, cfg)
+
+        cache = TraceCache(tmp_path / f"traces-{seed}-{batching}")
+        capture_workload("Silo", cores=2, seed=seed, cache=cache,
+                         **params)
+        cache.clear_memory()
+        reloaded = capture_workload("Silo", cores=2, seed=seed,
+                                    cache=cache, **params)
+        assert reloaded.from_cache
+        einject = EInject()
+        for page in reloaded.injectable_pages():
+            einject.mmio_set(page)
+        replayed = replay_trace(cfg, reloaded, einject=einject,
+                                handler=handler_cls(cfg.os))
+        assert _sim_key(replayed) == _sim_key(direct)
+
+    def test_artifact_digest_matches_content(self, tmp_path):
+        cache = TraceCache(tmp_path / "traces")
+        captured = capture_workload("Silo", cores=2, seed=9, cache=cache,
+                                    scale=0.2)
+        assert captured.digest == trace_digest(captured.traces)
+
+
+class TestCacheSemantics:
+    def test_capture_span_absent_on_warm_run(self, tmp_path):
+        """The observable cold/warm difference: ``workload.capture``
+        is emitted exactly once, ``workload.replay`` every time."""
+        cache = TraceCache(tmp_path / "traces")
+        cfg = _wc_config()
+
+        def spans(run):
+            sink = MemorySink()
+            with obs.use(obs.Telemetry([sink])):
+                run()
+            return [r["name"] for r in sink.records
+                    if r.get("type") == "span"]
+
+        cold = spans(lambda: replay_trace(cfg, capture_workload(
+            "Silo", cores=2, seed=2, cache=cache, scale=0.2)))
+        warm = spans(lambda: replay_trace(cfg, capture_workload(
+            "Silo", cores=2, seed=2, cache=cache, scale=0.2)))
+
+        assert "workload.capture" in cold
+        assert "workload.replay" in cold
+        assert "workload.capture" not in warm
+        assert "workload.replay" in warm
+
+    def test_key_sensitive_to_every_build_input(self):
+        base = workload_cache_key("Silo", 2, 1, {"scale": 0.5})
+        assert base != workload_cache_key("BFS", 2, 1, {"scale": 0.5})
+        assert base != workload_cache_key("Silo", 4, 1, {"scale": 0.5})
+        assert base != workload_cache_key("Silo", 2, 7, {"scale": 0.5})
+        assert base != workload_cache_key("Silo", 2, 1, {"scale": 1.0})
+        assert base == workload_cache_key("Silo", 2, 1, {"scale": 0.5})
+
+    def test_distinct_params_capture_distinct_artifacts(self, tmp_path):
+        cache = TraceCache(tmp_path / "traces")
+        a = capture_workload("Silo", cores=2, seed=1, cache=cache,
+                             scale=0.2)
+        b = capture_workload("Silo", cores=2, seed=2, cache=cache,
+                             scale=0.2)
+        assert a.cache_key != b.cache_key
+        assert a.digest != b.digest
+
+    def test_corrupt_artifact_raises_not_replays(self, tmp_path):
+        cache = TraceCache(tmp_path / "traces")
+        captured = capture_workload("Silo", cores=2, seed=4, cache=cache,
+                                    scale=0.2)
+        path = cache.path_for(captured.cache_key)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF              # flip a payload byte
+        path.write_bytes(bytes(blob))
+        cache.clear_memory()
+        with pytest.raises(TraceArtifactError):
+            capture_workload("Silo", cores=2, seed=4, cache=cache,
+                             scale=0.2)
+
+    def test_force_rebuilds_over_a_hit(self, tmp_path):
+        cache = TraceCache(tmp_path / "traces")
+        first = capture_workload("Silo", cores=2, seed=6, cache=cache,
+                                 scale=0.2)
+        again = capture_workload("Silo", cores=2, seed=6, cache=cache,
+                                 force=True, scale=0.2)
+        assert not again.from_cache
+        assert again.digest == first.digest   # deterministic build
