@@ -21,8 +21,12 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v6"
-#: Still readable; v6 added the top-level ``store`` block (the verdict
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v7"
+#: Still readable; v7 added the top-level ``corpus`` block (the
+#: constrained-random generator's provenance — seed, cores/features
+#: config, attempt and dedup-drop counts, template mix, and the corpus
+#: digest — ``None`` for campaigns over hand-written or structurally
+#: generated suites); v6 added the top-level ``store`` block (the verdict
 #: store's path, record count, replay hits/misses, store-served
 #: allowed sets — ``None`` when no store was attached) and the
 #: ``incremental`` flag; v5 added the top-level ``telemetry`` block
@@ -33,6 +37,7 @@ CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v6"
 #: totals block and the per-test ``explorer`` cross-check entries; v2
 #: added the ``enumerator`` totals block, per-test ``enumerator``
 #: stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V6 = "repro.litmus.campaign-report/v6"
 CAMPAIGN_REPORT_SCHEMA_V5 = "repro.litmus.campaign-report/v5"
 CAMPAIGN_REPORT_SCHEMA_V4 = "repro.litmus.campaign-report/v4"
 CAMPAIGN_REPORT_SCHEMA_V3 = "repro.litmus.campaign-report/v3"
@@ -130,7 +135,7 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v6`` (documented in
+    Schema ``repro.litmus.campaign-report/v7`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
     ``None`` when a pass did not run), any negative differences, the
@@ -141,8 +146,10 @@ def campaign_report_dict(report) -> Dict:
     allowed set came from the cache).  The top level adds summed
     enumerator counters, summed explorer counters, summed static
     pre-filter counters, the allowed-set cache hit rate, the campaign
-    telemetry summary (``None`` when telemetry was off), and the
-    verdict-store block (``None`` when no store was attached).
+    telemetry summary (``None`` when telemetry was off), the
+    verdict-store block (``None`` when no store was attached), and the
+    randgen corpus provenance block (``None`` when the suite did not
+    come from the constrained-random generator).
     """
     results = []
     for v in report.verdicts:
@@ -185,6 +192,7 @@ def campaign_report_dict(report) -> Dict:
         "static": report.static_totals(),
         "telemetry": getattr(report, "telemetry", None),
         "store": getattr(report, "store", None),
+        "corpus": getattr(report, "corpus", None),
         "incremental": bool(getattr(report, "incremental", False)),
         "totals": {
             "failures": len(report.failures),
@@ -210,6 +218,7 @@ def write_campaign_report(path, report) -> Dict:
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V6,
                                      CAMPAIGN_REPORT_SCHEMA_V5,
                                      CAMPAIGN_REPORT_SCHEMA_V4,
                                      CAMPAIGN_REPORT_SCHEMA_V3,

@@ -7,7 +7,15 @@ command     regenerates
 ==========  ==========================================================
 ``litmus``  the §6.3 campaign (Table 6 coverage, zero negative diffs);
             ``--jobs`` shards it over workers, ``--cache`` persists
-            allowed sets, ``--json`` writes the structured report
+            allowed sets, ``--json`` writes the structured report;
+            ``--randgen N`` campaigns over a seeded constrained-random
+            corpus, ``--manifest`` replays a corpus manifest, and
+            ``--profile nightly`` applies the paper-scale nightly
+            defaults (``docs/randgen.md``)
+``gen``     a seeded constrained-random litmus corpus
+            (``repro.litmus.randgen``): prints the generation record
+            and optionally writes the ``repro.litmus.corpus/v1``
+            manifest other commands can replay
 ``table3``  instruction mix / WC speedup / speculation state
 ``fig5``    the overhead breakdown with and without batching
 ``fig6``    GAP/Tailbench relative performance under injection
@@ -39,6 +47,43 @@ import sys
 from typing import List, Optional
 
 
+def _parse_cores(spec: str):
+    """``"2-4"`` -> ``(2, 4)``; a bare ``"3"`` -> ``(3, 3)``."""
+    lo, _, hi = spec.partition("-")
+    try:
+        return (int(lo), int(hi or lo))
+    except ValueError:
+        raise SystemExit(f"bad --randgen-cores {spec!r} "
+                         f"(expected e.g. 2-4 or 3)")
+
+
+def _parse_features(spec: str):
+    from .litmus.randgen import ALL_FEATURES
+    if spec == "all":
+        return ALL_FEATURES
+    if spec in ("none", ""):
+        return ()
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
+
+
+#: ``repro litmus --profile nightly``: the paper-scale seeded slice.
+#: A 2k constrained-random corpus, static pre-filter on, DPOR
+#: operational cross-check on, clean pass skipped, 2 scheduler seeds —
+#: the configuration the nightly CI campaign runs (docs/randgen.md).
+NIGHTLY_PROFILE = {"randgen": 2000, "seeds": 2}
+
+
+def _apply_nightly_profile(args: argparse.Namespace) -> None:
+    if args.randgen is None and not args.manifest:
+        args.randgen = NIGHTLY_PROFILE["randgen"]
+    if args.seeds == 20:  # the parser default — explicit values win
+        args.seeds = NIGHTLY_PROFILE["seeds"]
+    args.prefilter = True
+    args.skip_clean = True
+    if args.explore is None:
+        args.explore = "dpor"
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     import logging
 
@@ -48,7 +93,27 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
 
     logging.basicConfig(level=logging.INFO,
                         format="%(levelname)s %(name)s: %(message)s")
-    if args.files:
+    if args.profile == "nightly":
+        _apply_nightly_profile(args)
+    sources = [s for s, used in (("--files", args.files),
+                                 ("--randgen", args.randgen is not None),
+                                 ("--manifest", args.manifest)) if used]
+    if len(sources) > 1:
+        raise SystemExit(f"litmus: {' and '.join(sources)} are "
+                         f"mutually exclusive test sources")
+    corpus = None
+    if args.manifest:
+        from .litmus.randgen import corpus_from_manifest
+        corpus = corpus_from_manifest(args.manifest)
+        tests = corpus.litmus_tests()
+    elif args.randgen is not None:
+        from .litmus.randgen import generate_corpus
+        corpus = generate_corpus(
+            seed=args.randgen_seed, count=args.randgen,
+            cores=_parse_cores(args.randgen_cores),
+            features=_parse_features(args.randgen_features))
+        tests = corpus.litmus_tests()
+    elif args.files:
         tests = load_litmus_directory(args.files)
     else:
         tests = generate_all() + all_library_tests()
@@ -67,6 +132,9 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         store = VerdictStore(args.store)
     report = check_suite(tests, config, jobs=args.jobs, cache=args.cache,
                          store=store, incremental=args.incremental)
+    if corpus is not None:
+        report.corpus = corpus.report_block()
+        print(corpus.summary())
     print(report.summary(explain=True))
 
     if args.json:
@@ -83,6 +151,27 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         write_litmus_log(f"{args.save_log}.model.json", model_log)
         print(f"logs written: {args.save_log}.hw.json / .model.json")
     return 0 if report.ok else 1
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from .litmus.randgen import (RandGenConfig, corpus_from_manifest,
+                                 generate_corpus, write_manifest)
+
+    if args.verify:
+        corpus = corpus_from_manifest(args.verify)
+        print(f"manifest verified: {args.verify} "
+              f"({len(corpus)} tests regenerate bit-identically; "
+              f"corpus digest {corpus.corpus_digest()[:16]}…)")
+        return 0
+    config = RandGenConfig(seed=args.seed, count=args.count,
+                           cores=_parse_cores(args.cores),
+                           features=_parse_features(args.features))
+    corpus = generate_corpus(config)
+    print(corpus.summary())
+    if args.manifest:
+        write_manifest(args.manifest, corpus)
+        print(f"corpus manifest written: {args.manifest}")
+    return 0
 
 
 def _select_tests(names):
@@ -461,7 +550,55 @@ def build_parser() -> argparse.ArgumentParser:
                              "enumerate provably SC-equivalent tests "
                              "under SC (repro.staticanalysis); adds a "
                              "'static' block to the JSON report")
+    litmus.add_argument("--randgen", type=int, metavar="N", default=None,
+                        help="campaign over N seeded constrained-random "
+                             "tests (repro.litmus.randgen) instead of "
+                             "the structural suite; adds the 'corpus' "
+                             "block to the JSON report")
+    litmus.add_argument("--randgen-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="corpus seed for --randgen (default 0)")
+    litmus.add_argument("--randgen-cores", default="2-4", metavar="LO-HI",
+                        help="core-count range for --randgen "
+                             "(default 2-4)")
+    litmus.add_argument("--randgen-features", default="all",
+                        metavar="LIST",
+                        help="comma list from fences,deps,atomics,"
+                             "faults; or 'all'/'none' (default all)")
+    litmus.add_argument("--manifest", metavar="PATH",
+                        help="campaign over the corpus a "
+                             "repro.litmus.corpus/v1 manifest records "
+                             "(regenerated and digest-verified)")
+    litmus.add_argument("--profile", default=None, choices=["nightly"],
+                        help="apply a named campaign profile; "
+                             "'nightly' = 2k-test randgen slice with "
+                             "prefilter + DPOR cross-check, clean pass "
+                             "skipped, 2 seeds (docs/randgen.md)")
     litmus.set_defaults(fn=_cmd_litmus)
+
+    gen = sub.add_parser(
+        "gen",
+        help="generate a seeded constrained-random litmus corpus "
+             "(repro.litmus.randgen; see docs/randgen.md)")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="corpus seed (default 0); the same seed "
+                          "always regenerates the identical corpus")
+    gen.add_argument("--count", type=int, default=100,
+                     help="unique, lint-clean tests to emit "
+                          "(default 100)")
+    gen.add_argument("--cores", default="2-4", metavar="LO-HI",
+                     help="core-count range, within 2-4 (default 2-4)")
+    gen.add_argument("--features", default="all", metavar="LIST",
+                     help="comma list from fences,deps,atomics,faults; "
+                          "or 'all'/'none' (default all)")
+    gen.add_argument("--manifest", metavar="PATH",
+                     help="write the repro.litmus.corpus/v1 manifest "
+                          "(replayable via 'repro litmus --manifest')")
+    gen.add_argument("--verify", metavar="PATH",
+                     help="instead of generating: regenerate the "
+                          "corpus PATH records and verify every "
+                          "digest matches")
+    gen.set_defaults(fn=_cmd_gen)
 
     lint = sub.add_parser(
         "lint", help="static well-formedness lint for litmus tests")

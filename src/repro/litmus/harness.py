@@ -140,6 +140,13 @@ class SuiteReport:
     #: Whether the campaign ran in incremental mode (store-backed
     #: replay of unchanged fingerprints).
     incremental: bool = False
+    #: Randgen corpus provenance — generator version, seed,
+    #: cores/features config, attempt + dedup counts, template mix,
+    #: corpus digest (:meth:`repro.litmus.randgen.Corpus.
+    #: report_block`) — filled by the CLI when the suite came from the
+    #: constrained-random generator; ``None`` otherwise.  Serialised
+    #: as the report schema's (v7+) ``corpus`` entry.
+    corpus: Optional[Dict] = None
 
     @property
     def tests(self) -> int:

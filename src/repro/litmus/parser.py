@@ -23,6 +23,13 @@ Supported instructions: ``sw``/``sd`` (store register), ``li``
 / ``r,r`` / ``w,r`` / ``r,w`` orders, and ``amoswap``.  Registers are
 RISC-V ``x`` names; symbolic locations are bare identifiers.  The
 ``exists`` clause becomes the test's spotlight outcome.
+
+:func:`render_litmus` is the inverse writer for the plain op subset
+(``W``/``R``/``F``/``A``) — dependency ops have no textual encoding in
+this subset and raise :class:`LitmusRenderError`.  For tests whose
+observation registers follow the parser's ``{tid}:x{N}`` namespace
+(everything :mod:`repro.litmus.randgen` emits), render → re-parse is
+an exact round trip: identical threads, registers, and spotlight.
 """
 
 from __future__ import annotations
@@ -45,6 +52,10 @@ _FENCE_KINDS = {
 
 class LitmusParseError(ValueError):
     pass
+
+
+class LitmusRenderError(ValueError):
+    """The test uses ops the ``.litmus`` text subset cannot encode."""
 
 
 def parse_litmus(text: str, category: str = CAT_BARRIER) -> LitmusTest:
@@ -209,6 +220,134 @@ def _parse_exists(line: str) -> Optional[LitmusOutcome]:
         tid, reg, value = m.groups()
         values[f"{tid}:{reg}"] = int(value)
     return LitmusOutcome(tuple(sorted(values.items())))
+
+
+# ----------------------------------------------------------------------
+_FENCE_ORDERS = {kind: order for order, kind in _FENCE_KINDS.items()}
+
+
+def _value_registers(test: LitmusTest) -> List[Dict[int, str]]:
+    """Per-thread map of store value -> preload register name.
+
+    Registers are allocated from ``x5`` upward, skipping any name the
+    thread already uses as a load/amoswap destination, so preloads
+    never shadow an observation register.
+    """
+    maps: List[Dict[int, str]] = []
+    for tid, ops in enumerate(test.threads):
+        used = set()
+        for op in ops:
+            if op[0] == "R":
+                used.add(_reg_suffix(op[2], tid))
+            elif op[0] == "A":
+                used.add(_reg_suffix(op[3], tid))
+        values: Dict[int, str] = {}
+        next_idx = 5
+        for op in ops:
+            if op[0] in ("W", "A") and op[2] not in values:
+                while f"x{next_idx}" in used:
+                    next_idx += 1
+                values[op[2]] = f"x{next_idx}"
+                next_idx += 1
+        maps.append(values)
+    return maps
+
+
+def _reg_suffix(reg: str, tid: int) -> str:
+    """Strip a ``{tid}:`` register prefix, validating it names
+    ``tid``."""
+    if ":" not in reg:
+        return reg
+    prefix, _, suffix = reg.partition(":")
+    if prefix != str(tid):
+        raise LitmusRenderError(
+            f"register {reg!r} used on thread {tid} names another "
+            f"thread; .litmus registers are thread-local")
+    return suffix
+
+
+def _render_op(op: tuple, tid: int, values: Dict[int, str]) -> str:
+    kind = op[0]
+    if kind == "W":
+        return f"sw {values[op[2]]},0({op[1]})"
+    if kind == "R":
+        return f"lw {_reg_suffix(op[2], tid)},0({op[1]})"
+    if kind == "F":
+        fence = op[1] if len(op) > 1 else FenceKind.FULL
+        order = _FENCE_ORDERS.get(fence)
+        if order is None:
+            raise LitmusRenderError(f"unsupported fence kind: {fence!r}")
+        return f"fence {order}"
+    if kind == "A":
+        dst = _reg_suffix(op[3], tid)
+        return f"amoswap {dst},{values[op[2]]},({op[1]})"
+    raise LitmusRenderError(
+        f"op {op!r} (thread {tid}) has no .litmus encoding; the text "
+        f"subset covers plain W/R/F/A only, not dependency ops")
+
+
+def _render_exists(test: LitmusTest) -> str:
+    clauses = []
+    for reg, value in test.spotlight.values:
+        if ":" in reg:
+            label = reg
+        else:
+            readers = [tid for tid, ops in enumerate(test.threads)
+                       if any(op[0] in ("R", "A") and op[-1] == reg
+                              for op in ops)]
+            if len(readers) != 1:
+                raise LitmusRenderError(
+                    f"spotlight register {reg!r} read by threads "
+                    f"{readers}; cannot pick a {{tid}}: prefix")
+            label = f"{readers[0]}:{reg}"
+        clauses.append(f"{label}={value}")
+    return "exists (" + " /\\ ".join(clauses) + ")"
+
+
+def render_litmus(test: LitmusTest) -> str:
+    """Render a plain-subset :class:`LitmusTest` as ``.litmus`` text.
+
+    The output parses back via :func:`parse_litmus`; for tests using
+    the ``{tid}:x{N}`` register namespace the reparse reproduces the
+    exact threads and spotlight.  Dependency ops raise
+    :class:`LitmusRenderError`.
+    """
+    values = _value_registers(test)
+    cells: List[List[str]] = []
+    for tid, ops in enumerate(test.threads):
+        cells.append([_render_op(op, tid, values[tid]) for op in ops])
+
+    init_stmts = []
+    for tid, value_map in enumerate(values):
+        for value, reg in sorted(value_map.items(),
+                                 key=lambda item: item[1]):
+            init_stmts.append(f"{tid}:{reg}={value}")
+    if test.init:
+        for key, value in sorted(test.init.items(), key=str):
+            if not isinstance(key, tuple):
+                init_stmts.append(f"{key}={value}")
+
+    depth = max(len(col) for col in cells) if cells else 0
+    widths = [max([len(f"P{tid}")] + [len(c) for c in col])
+              for tid, col in enumerate(cells)]
+    rows = [" | ".join(f"P{tid}".ljust(widths[tid])
+                       for tid in range(len(cells))) + " ;"]
+    for step in range(depth):
+        row = " | ".join(
+            (col[step] if step < len(col) else "").ljust(widths[tid])
+            for tid, col in enumerate(cells))
+        rows.append(row + " ;")
+
+    lines = [f"RISCV {test.name}"]
+    if init_stmts:
+        lines.append("{")
+        lines.append("; ".join(init_stmts) + ";")
+        lines.append("}")
+    lines.extend(" " + row for row in rows)
+    if test.spotlight is not None:
+        lines.append("")
+        lines.append(_render_exists(test))
+    return "\n".join(lines) + "\n"
 
 
 def load_litmus_directory(directory, category: str = CAT_BARRIER):

@@ -1,0 +1,34 @@
+"""Constrained-random litmus generator (riescue-dtest style).
+
+Scales the corpus from the structural generator's ~266 tests to
+paper-scale (10k+) seeded campaigns: constraint objects
+(:mod:`constraints`), a composable template catalogue
+(:mod:`templates`), tagged-metadata emission with lint-clean
+enforcement (:mod:`emitter`), deterministic corpus generation
+(:mod:`generator`), and schema-versioned manifests
+(:mod:`manifest`).  See ``docs/randgen.md``.
+"""
+
+from .constraints import AddressPool, RandGenError, RandomData
+from .emitter import (ARCH, EXPECTED_VERDICT_SOURCE, GENERATOR_VERSION,
+                      GeneratedTest, TestHeader, emit)
+from .generator import (MAX_ATTEMPT_FACTOR, Corpus, RandGenConfig,
+                        attempt_seed, generate_corpus, generate_one)
+from .manifest import (MANIFEST_SCHEMA, ManifestError,
+                       ManifestMismatchError, corpus_from_manifest,
+                       manifest_dict, read_manifest, write_manifest)
+from .templates import (ALL_FEATURES, TEMPLATES, BuiltProgram, Template,
+                        eligible_templates)
+
+__all__ = [
+    "AddressPool", "RandGenError", "RandomData",
+    "ARCH", "EXPECTED_VERDICT_SOURCE", "GENERATOR_VERSION",
+    "GeneratedTest", "TestHeader", "emit",
+    "MAX_ATTEMPT_FACTOR", "Corpus", "RandGenConfig", "attempt_seed",
+    "generate_corpus", "generate_one",
+    "MANIFEST_SCHEMA", "ManifestError", "ManifestMismatchError",
+    "corpus_from_manifest", "manifest_dict", "read_manifest",
+    "write_manifest",
+    "ALL_FEATURES", "TEMPLATES", "BuiltProgram", "Template",
+    "eligible_templates",
+]

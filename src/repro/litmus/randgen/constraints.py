@@ -1,0 +1,131 @@
+"""Constraint objects for constrained-random litmus generation.
+
+Modeled on riescue's dtest framework, where a test declares its random
+inputs up front as tagged constraints —
+
+.. code-block:: none
+
+    ;#random_data(name=data1, type=bits32, and_mask=0xfffffff0)
+    ;#random_addr(name=lin1,  type=linear, size=0x1000)
+
+— and the framework resolves them once per seed.  Our analogue works
+over the symbolic litmus DSL: :class:`RandomData` draws store values
+under a mask, and :class:`AddressPool` (the ``random_addr`` analogue)
+hands out symbolic locations with **aliasing control** — a template
+asks for a "probably fresh" or "probably shared" location and the pool
+decides, so coherence interactions appear at a tunable rate instead of
+by accident.
+
+All draws go through one :class:`random.Random` instance seeded by the
+generator (:mod:`repro.litmus.randgen.generator`), which is the whole
+determinism story: Python guarantees the Mersenne Twister sequence for
+a given seed across platforms and versions, so the same corpus seed
+reproduces bit-identical programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Symbolic location names handed out by :class:`AddressPool`, in
+#: allocation order.  The DSL maps each *sorted* distinct name onto
+#: its own 4 KB page (:data:`repro.litmus.dsl.LOCATION_STRIDE`), so
+#: any subset is automatically aligned and alias-free at the address
+#: level (lint ``L005`` clean by construction); aliasing here is the
+#: *deliberate* symbolic kind — two template slots drawing the same
+#: name.
+LOCATION_NAMES: Tuple[str, ...] = (
+    "x", "y", "z", "a", "b", "c", "d", "e", "g", "h", "k", "m")
+
+
+class RandGenError(ValueError):
+    """A constraint or template could not be satisfied."""
+
+
+@dataclass(frozen=True)
+class RandomData:
+    """``random_data`` analogue: a value constraint.
+
+    Draws uniformly from ``[lo, hi]``; ``and_mask`` (riescue's
+    ``and_mask=``) is applied afterwards, with a floor of ``lo`` so a
+    mask can never produce the memory-initial value ``0`` (stores of
+    the initial value would merge outcomes and hide relaxations).
+    """
+
+    name: str = "data"
+    lo: int = 1
+    hi: int = 8
+    and_mask: Optional[int] = None
+
+    def draw(self, rng: random.Random) -> int:
+        value = rng.randint(self.lo, self.hi)
+        if self.and_mask is not None:
+            value &= self.and_mask
+        return max(self.lo, value)
+
+
+class AddressPool:
+    """``random_addr`` analogue: symbolic locations with aliasing
+    control.
+
+    ``size`` bounds how many distinct locations the pool may allocate;
+    ``alias`` is the probability that :meth:`draw` reuses an
+    already-allocated location instead of allocating a fresh one.
+    Templates that *need* disjoint locations call :meth:`fresh`;
+    templates that want tunable coherence traffic call :meth:`draw`.
+    """
+
+    def __init__(self, rng: random.Random, size: int = 6,
+                 alias: float = 0.0) -> None:
+        if size < 1 or size > len(LOCATION_NAMES):
+            raise RandGenError(
+                f"address pool size {size} out of range 1.."
+                f"{len(LOCATION_NAMES)}")
+        if not 0.0 <= alias <= 1.0:
+            raise RandGenError(f"alias probability {alias} not in [0, 1]")
+        self._rng = rng
+        self._size = size
+        self._alias = alias
+        self._allocated: List[str] = []
+
+    @property
+    def allocated(self) -> List[str]:
+        """Locations allocated so far, in allocation order."""
+        return list(self._allocated)
+
+    def fresh(self) -> str:
+        """A location distinct from every one allocated so far."""
+        if len(self._allocated) >= self._size:
+            raise RandGenError(
+                f"address pool exhausted ({self._size} locations)")
+        loc = LOCATION_NAMES[len(self._allocated)]
+        self._allocated.append(loc)
+        return loc
+
+    def draw(self, exclude: Sequence[str] = ()) -> str:
+        """A location, reusing an allocated one with probability
+        ``alias`` (never one in ``exclude``)."""
+        candidates = [loc for loc in self._allocated
+                      if loc not in exclude]
+        if candidates and (self._rng.random() < self._alias
+                           or len(self._allocated) >= self._size):
+            return self._rng.choice(candidates)
+        try:
+            return self.fresh()
+        except RandGenError:
+            if not candidates:
+                raise
+            return self._rng.choice(candidates)
+
+
+def choose(rng: random.Random, options: Sequence):
+    """``rng.choice`` with a loud error on an empty option set."""
+    if not options:
+        raise RandGenError("empty choice set")
+    return rng.choice(list(options))
+
+
+def maybe(rng: random.Random, probability: float) -> bool:
+    return rng.random() < probability

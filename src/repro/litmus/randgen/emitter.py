@@ -1,0 +1,131 @@
+"""Tagged-metadata emission for generated litmus programs.
+
+Every generated program carries a riescue-style metadata header
+(:class:`TestHeader`): arch, core count, enabled features, the
+per-test seed that reproduces it, the template it came from, which
+location the template built its faulting interaction around, and the
+source of its expected verdict (the axiomatic enumerator — generated
+programs have no hand-written oracle; the campaign *computes* the
+reference and cross-checks the operational and static layers against
+it).
+
+:func:`emit` is the single choke point between a template's raw
+thread lists and a corpus entry: it builds the
+:class:`~repro.litmus.dsl.LitmusTest`, asserts a clean lint
+(``L000``–``L006``, no whitelist — a finding is a generator bug and
+raises :class:`~repro.litmus.randgen.constraints.RandGenError`), and
+stamps the structural :func:`~repro.litmus.generator.program_digest`
+used for dedup and manifest verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..dsl import LitmusTest
+from ..generator import program_digest
+from .constraints import RandGenError
+from .templates import BuiltProgram
+
+#: Generator identity stamped into headers and manifests; bump on any
+#: change that alters emitted programs for a fixed seed.
+GENERATOR_VERSION = "repro.litmus.randgen/1"
+
+ARCH = "rv64-rvwmo"
+EXPECTED_VERDICT_SOURCE = "axiomatic-enumerator"
+
+
+@dataclass(frozen=True)
+class TestHeader:
+    """Riescue-style tagged metadata for one generated test."""
+
+    name: str
+    cores: int
+    seed: int
+    template: str
+    category: str
+    features: Tuple[str, ...]
+    faulting_locs: Tuple[str, ...] = ()
+    arch: str = ARCH
+    expected_verdict_source: str = EXPECTED_VERDICT_SOURCE
+    generator: str = GENERATOR_VERSION
+
+    def render(self) -> str:
+        """The header as ``;#test.*`` tag lines (riescue dtest
+        format), for embedding in emitted artifacts."""
+        lines = [
+            f";#test.name       {self.name}",
+            f";#test.arch       {self.arch}",
+            f";#test.cpus       {self.cores}",
+            f";#test.seed       0x{self.seed:x}",
+            f";#test.template   {self.template}",
+            f";#test.category   {self.category}",
+            f";#test.features   {' '.join(self.features) or '-'}",
+            f";#test.expected   {self.expected_verdict_source}",
+            f";#test.generator  {self.generator}",
+        ]
+        if self.faulting_locs:
+            lines.append(
+                f";#test.faulting   {' '.join(self.faulting_locs)}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "arch": self.arch,
+            "cores": self.cores,
+            "seed": self.seed,
+            "template": self.template,
+            "category": self.category,
+            "features": list(self.features),
+            "faulting_locs": list(self.faulting_locs),
+            "expected_verdict_source": self.expected_verdict_source,
+            "generator": self.generator,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "TestHeader":
+        return cls(name=raw["name"], arch=raw["arch"],
+                   cores=raw["cores"], seed=raw["seed"],
+                   template=raw["template"], category=raw["category"],
+                   features=tuple(raw["features"]),
+                   faulting_locs=tuple(raw["faulting_locs"]),
+                   expected_verdict_source=raw["expected_verdict_source"],
+                   generator=raw["generator"])
+
+
+@dataclass(frozen=True)
+class GeneratedTest:
+    """One corpus entry: the program, its header, and its digest."""
+
+    test: LitmusTest = field(compare=False)
+    header: TestHeader
+    #: :func:`~repro.litmus.generator.program_digest` of ``test`` —
+    #: the dedup key and the manifest's verification anchor.
+    digest: str
+
+
+def emit(built: BuiltProgram, name: str, seed: int, template: str,
+         features: Tuple[str, ...]) -> GeneratedTest:
+    """Seal one instantiated skeleton into a corpus entry.
+
+    Raises :class:`RandGenError` if the program lints dirty — the
+    catalogue's lint-cleanliness is by construction, so a finding
+    here is a template bug, never something to whitelist away.
+    """
+    test = LitmusTest(name=name, category=built.category,
+                      threads=built.threads, spotlight=built.spotlight)
+    from ...staticanalysis.lint import lint_test
+    findings = lint_test(test)
+    if findings:
+        raise RandGenError(
+            f"generated program {name!r} (template {template}) is not "
+            f"lint-clean: "
+            + "; ".join(f.render() for f in findings))
+    header = TestHeader(name=name, cores=len(built.threads), seed=seed,
+                        template=template, category=built.category,
+                        features=features,
+                        faulting_locs=built.faulting_locs)
+    return GeneratedTest(test=test, header=header,
+                         digest=program_digest(test))

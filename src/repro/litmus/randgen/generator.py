@@ -1,0 +1,237 @@
+"""Seeded constrained-random corpus generation.
+
+The determinism contract
+------------------------
+
+``generate_corpus(config)`` is a pure function of its
+:class:`RandGenConfig`: the same config produces a bit-identical
+corpus — same programs, same names, same digest list, same
+:meth:`Corpus.corpus_digest` — on any machine, any process, any run.
+Three mechanisms carry that:
+
+* every random draw for attempt *i* comes from a private
+  ``random.Random`` seeded by ``blake2b(f"{seed}|{i}")``
+  (:func:`attempt_seed`) — attempts are independent, so any single
+  test regenerates from its header's seed alone
+  (:func:`generate_one`), which is what lets a manifest be *verified*
+  instead of trusted;
+* template selection indexes a stable catalogue order
+  (:data:`~repro.litmus.randgen.templates.TEMPLATES`);
+* dedup (:func:`~repro.litmus.generator.program_digest`) only ever
+  *drops* attempts, never reorders survivors.
+
+Corpora are therefore reproducible artifacts: a manifest
+(:mod:`repro.litmus.randgen.manifest`) records ``(config, attempt,
+digest)`` per test and any consumer can regenerate and re-verify the
+exact programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...obs.telemetry import current as _telemetry
+from ..dsl import LitmusTest
+from .constraints import AddressPool, RandGenError
+from .emitter import GeneratedTest, emit
+from .templates import ALL_FEATURES, eligible_templates
+
+#: Attempt ceiling per requested test; with 8 templates over randomly
+#: drawn fences/deps/values the duplicate rate stays low (~1–3 %), so
+#: this is a runaway guard, not a tuning knob.
+MAX_ATTEMPT_FACTOR = 50
+
+
+def attempt_seed(seed: int, attempt: int) -> int:
+    """Stable 64-bit sub-seed for one generation attempt."""
+    key = f"{seed}|{attempt}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+@dataclass(frozen=True)
+class RandGenConfig:
+    """Knobs for one corpus (the ``repro gen`` flag set)."""
+
+    seed: int = 0
+    count: int = 100
+    cores: Tuple[int, int] = (2, 4)
+    features: Tuple[str, ...] = ALL_FEATURES
+
+    def __post_init__(self) -> None:
+        lo, hi = self.cores
+        if not 2 <= lo <= hi <= 4:
+            raise RandGenError(f"cores range {self.cores} not within 2..4")
+        unknown = [f for f in self.features if f not in ALL_FEATURES]
+        if unknown:
+            raise RandGenError(
+                f"unknown feature(s) {unknown}; known: "
+                f"{list(ALL_FEATURES)}")
+        if self.count < 0:
+            raise RandGenError(f"negative count {self.count}")
+
+    def as_dict(self) -> Dict:
+        return {"seed": self.seed, "count": self.count,
+                "cores": list(self.cores),
+                "features": list(self.features)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "RandGenConfig":
+        return cls(seed=raw["seed"], count=raw["count"],
+                   cores=tuple(raw["cores"]),
+                   features=tuple(raw["features"]))
+
+
+@dataclass
+class Corpus:
+    """One generated corpus plus its generation record."""
+
+    config: RandGenConfig
+    tests: List[GeneratedTest] = field(default_factory=list)
+    attempts: int = 0
+    dedup_dropped: int = 0
+    wall_time_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.tests)
+
+    def litmus_tests(self) -> List[LitmusTest]:
+        return [entry.test for entry in self.tests]
+
+    def digests(self) -> List[str]:
+        return [entry.digest for entry in self.tests]
+
+    def corpus_digest(self) -> str:
+        """SHA-256 over the ordered digest list — one hex string that
+        pins the whole corpus."""
+        blob = json.dumps(self.digests(), separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def template_mix(self) -> Dict[str, int]:
+        mix: Dict[str, int] = {}
+        for entry in self.tests:
+            key = entry.header.template
+            mix[key] = mix.get(key, 0) + 1
+        return mix
+
+    def category_mix(self) -> Dict[str, int]:
+        mix: Dict[str, int] = {}
+        for entry in self.tests:
+            mix[entry.header.category] = \
+                mix.get(entry.header.category, 0) + 1
+        return mix
+
+    @property
+    def throughput(self) -> float:
+        """Tests emitted per second of generation wall time."""
+        return len(self.tests) / self.wall_time_s \
+            if self.wall_time_s else 0.0
+
+    def report_block(self) -> Dict:
+        """The campaign report's (v7+) ``corpus`` block."""
+        return {
+            "generator": self.tests[0].header.generator
+            if self.tests else None,
+            "seed": self.config.seed,
+            "count": len(self.tests),
+            "cores": list(self.config.cores),
+            "features": list(self.config.features),
+            "attempts": self.attempts,
+            "dedup_dropped": self.dedup_dropped,
+            "template_mix": self.template_mix(),
+            "corpus_digest": self.corpus_digest(),
+        }
+
+    def summary(self) -> str:
+        mix = ", ".join(f"{name}={count}" for name, count
+                        in sorted(self.template_mix().items()))
+        return (f"randgen corpus: {len(self.tests)} tests "
+                f"(seed={self.config.seed} cores={self.config.cores[0]}-"
+                f"{self.config.cores[1]} "
+                f"features={','.join(self.config.features) or '-'})\n"
+                f"  attempts={self.attempts} "
+                f"dedup_dropped={self.dedup_dropped} "
+                f"wall={self.wall_time_s:.2f}s "
+                f"throughput={self.throughput:.0f} tests/s\n"
+                f"  templates: {mix}\n"
+                f"  corpus digest: {self.corpus_digest()}")
+
+
+def _test_name(seed: int, attempt: int, template: str) -> str:
+    return f"rg{seed}-{attempt:05d}-{template}"
+
+
+def generate_one(config: RandGenConfig, attempt: int) -> GeneratedTest:
+    """Regenerate the single test of one attempt — a pure function of
+    ``(config.seed, config.cores, config.features, attempt)``."""
+    sub_seed = attempt_seed(config.seed, attempt)
+    rng = random.Random(sub_seed)
+    lo, hi = config.cores
+    templates = eligible_templates(lo, hi, config.features)
+    if not templates:
+        raise RandGenError(
+            f"no eligible templates for cores={config.cores} "
+            f"features={config.features}")
+    template = templates[rng.randrange(len(templates))]
+    cores = rng.randint(max(lo, template.min_cores),
+                        min(hi, template.max_cores))
+    alias = rng.uniform(*template.alias)
+    pool = AddressPool(rng, size=6, alias=alias)
+    built = template.build(rng, cores, pool, config.features)
+    return emit(built, _test_name(config.seed, attempt, template.name),
+                seed=sub_seed, template=template.name,
+                features=config.features)
+
+
+def generate_corpus(config: Optional[RandGenConfig] = None,
+                    **kwargs) -> Corpus:
+    """Generate a deduplicated corpus of ``config.count`` programs.
+
+    Attempts run in index order; structural duplicates (equal
+    :func:`~repro.litmus.generator.program_digest`) are dropped and
+    counted, so the emitted corpus is 100 % unique and — because
+    every program passed :func:`~repro.litmus.randgen.emitter.emit` —
+    100 % lint-clean.  Generation throughput lands on the ambient
+    telemetry context as a ``randgen.generate`` span plus
+    ``randgen.*`` counters.
+    """
+    if config is None:
+        config = RandGenConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass a RandGenConfig or keyword knobs, not both")
+    tel = _telemetry()
+    started = time.perf_counter()
+    corpus = Corpus(config=config)
+    seen: set = set()
+    limit = max(1, config.count) * MAX_ATTEMPT_FACTOR
+    attempt = 0
+    while len(corpus.tests) < config.count:
+        if attempt >= limit:
+            raise RandGenError(
+                f"corpus did not converge: {len(corpus.tests)}/"
+                f"{config.count} unique tests after {attempt} attempts "
+                f"(template space too small for this config?)")
+        entry = generate_one(config, attempt)
+        attempt += 1
+        if entry.digest in seen:
+            corpus.dedup_dropped += 1
+            continue
+        seen.add(entry.digest)
+        corpus.tests.append(entry)
+    corpus.attempts = attempt
+    corpus.wall_time_s = time.perf_counter() - started
+    if tel.enabled:
+        tel.record_span("randgen.generate", started, time.perf_counter(),
+                        attrs={"seed": config.seed,
+                               "count": len(corpus.tests),
+                               "attempts": corpus.attempts})
+        tel.counter("randgen.tests").inc(len(corpus.tests))
+        tel.counter("randgen.attempts").inc(corpus.attempts)
+        tel.counter("randgen.dedup_dropped").inc(corpus.dedup_dropped)
+        tel.gauge("randgen.throughput").set(corpus.throughput)
+    return corpus

@@ -1,0 +1,132 @@
+"""Schema-versioned corpus manifests (``repro.litmus.corpus/v1``).
+
+A manifest is the durable identity of a generated corpus: the
+generating config, the ordered per-test records (name, generation
+attempt, structural digest, full metadata header), and the corpus
+digest over the digest list.  Because generation is deterministic and
+per-attempt independent (:func:`~repro.litmus.randgen.generator.
+generate_one`), a consumer does not *trust* a manifest — it
+**regenerates** each test from ``(config, attempt)`` and verifies the
+digest matches, so a stale manifest (edited config, drifted generator,
+corrupted entry) fails loudly with the first mismatching test named
+(:class:`ManifestMismatchError`) instead of silently campaigning over
+the wrong programs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from .emitter import GENERATOR_VERSION, GeneratedTest, TestHeader
+from .generator import Corpus, RandGenConfig, generate_one
+
+MANIFEST_SCHEMA = "repro.litmus.corpus/v1"
+
+
+class ManifestError(ValueError):
+    """The file is not a readable corpus manifest."""
+
+
+class ManifestMismatchError(ManifestError):
+    """Regeneration produced a different program than the manifest
+    records."""
+
+
+def manifest_dict(corpus: Corpus) -> Dict:
+    """A corpus as its JSON-ready manifest payload."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "generator": GENERATOR_VERSION,
+        "config": corpus.config.as_dict(),
+        "count": len(corpus.tests),
+        "attempts": corpus.attempts,
+        "dedup_dropped": corpus.dedup_dropped,
+        "corpus_digest": corpus.corpus_digest(),
+        "tests": [
+            {
+                "attempt": _attempt_of(entry),
+                "digest": entry.digest,
+                "header": entry.header.as_dict(),
+            }
+            for entry in corpus.tests
+        ],
+    }
+
+
+def _attempt_of(entry: GeneratedTest) -> int:
+    # rg{seed}-{attempt:05d}-{template}
+    return int(entry.header.name.split("-", 2)[1])
+
+
+def write_manifest(path: Union[str, Path], corpus: Corpus) -> Dict:
+    """Write the manifest; returns the payload dict."""
+    payload = manifest_dict(corpus)
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return payload
+
+
+def read_manifest(path: Union[str, Path]) -> Dict:
+    """Load and structurally validate one manifest file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ManifestError(f"{path}: not valid JSON ({exc})") from exc
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema != MANIFEST_SCHEMA:
+        raise ManifestError(
+            f"{path}: not a corpus manifest "
+            f"(schema {schema!r}, expected {MANIFEST_SCHEMA!r})")
+    for key in ("config", "count", "corpus_digest", "tests"):
+        if key not in payload:
+            raise ManifestError(f"{path}: manifest missing {key!r}")
+    if len(payload["tests"]) != payload["count"]:
+        raise ManifestError(
+            f"{path}: count says {payload['count']} but "
+            f"{len(payload['tests'])} test entries present")
+    return payload
+
+
+def corpus_from_manifest(manifest: Union[Dict, str, Path],
+                         verify: bool = True) -> Corpus:
+    """Regenerate the corpus a manifest describes.
+
+    With ``verify`` (the default) every regenerated program's digest —
+    and the whole-corpus digest — must match the manifest;
+    :class:`ManifestMismatchError` names the first divergent test
+    otherwise.  ``verify=False`` skips the comparison (the programs
+    are still regenerated from the config, there is nothing else to
+    load), for callers that only need speed on a manifest they just
+    wrote.
+    """
+    if not isinstance(manifest, dict):
+        manifest = read_manifest(manifest)
+    config = RandGenConfig.from_dict(manifest["config"])
+    corpus = Corpus(config=config,
+                    attempts=manifest.get("attempts", 0),
+                    dedup_dropped=manifest.get("dedup_dropped", 0))
+    for record in manifest["tests"]:
+        entry = generate_one(config, record["attempt"])
+        if verify:
+            if entry.digest != record["digest"]:
+                raise ManifestMismatchError(
+                    f"test {record['header'].get('name', '?')!r} "
+                    f"(attempt {record['attempt']}): regenerated digest "
+                    f"{entry.digest[:16]}… does not match manifest "
+                    f"{str(record['digest'])[:16]}… — manifest is stale "
+                    f"or generator drifted")
+            recorded = TestHeader.from_dict(record["header"])
+            if recorded != entry.header:
+                raise ManifestMismatchError(
+                    f"test {recorded.name!r}: regenerated header "
+                    f"differs from manifest ({entry.header.as_dict()} "
+                    f"!= {recorded.as_dict()})")
+        corpus.tests.append(entry)
+    if verify and corpus.corpus_digest() != manifest["corpus_digest"]:
+        raise ManifestMismatchError(
+            "corpus digest mismatch after regeneration "
+            f"({corpus.corpus_digest()[:16]}… != "
+            f"{str(manifest['corpus_digest'])[:16]}…)")
+    return corpus

@@ -1,0 +1,484 @@
+"""Composable constrained-random litmus templates.
+
+Each template is a *skeleton* of a classic communication shape —
+message passing, store buffering, load buffering, WRC/IRIW causality,
+same-location coherence, atomic-centred PPO, and the exception suite's
+faulting-store interactions — instantiated over 2–4 cores with
+randomly drawn fences, address/data/control dependencies, atomics,
+values, and location aliasing.  The riescue dtest framework does the
+same thing one level down (assembly skeletons + ``random_data`` /
+``random_addr`` resolution); here the skeletons emit symbolic
+:class:`~repro.litmus.dsl.LitmusTest` ops so the whole verification
+stack (axiomatic enumerator, DPOR explorer, static analyzer) applies
+unchanged.
+
+Lint-cleanliness is **by construction**, not by filtering:
+
+* dependency flavours are only drawn when an earlier load/atomic in
+  the same thread produces the register (``L001``);
+* observation registers are allocated per ``(thread, slot)`` and never
+  collide (``L003``);
+* spotlights only name registers the template itself produced
+  (``L002``) with values some write to that location emits — or 0,
+  the initial value — so they are always feasible (``L006``);
+* the DSL's sorted-location page layout keeps addresses aligned and
+  injective for any location subset (``L005``).
+
+The emitter (:mod:`repro.litmus.randgen.emitter`) still asserts a
+clean lint on every program — no whitelist, a violation is a generator
+bug and raises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...memmodel.events import FenceKind
+from ..dsl import LitmusOutcome
+from ..library import (CAT_BARRIER, CAT_CO, CAT_DEPS, CAT_FR, CAT_PO_LOC,
+                       CAT_PPO, CAT_RFE)
+from .constraints import AddressPool, RandomData, choose, maybe
+
+#: Feature flags a corpus can enable (CLI ``--features``).
+ALL_FEATURES: Tuple[str, ...] = ("fences", "deps", "atomics", "faults")
+
+_FENCE_KINDS = (FenceKind.FULL, FenceKind.STORE_STORE,
+                FenceKind.LOAD_LOAD, FenceKind.STORE_LOAD,
+                FenceKind.LOAD_STORE)
+
+_DATA = RandomData(name="data", lo=1, hi=8)
+
+
+@dataclass
+class BuiltProgram:
+    """One instantiated skeleton, pre-:class:`LitmusTest`."""
+
+    threads: List[List[tuple]]
+    category: str
+    spotlight: Optional[LitmusOutcome] = None
+    faulting_locs: Tuple[str, ...] = ()
+
+
+class _Thread:
+    """Per-thread op accumulator with collision-free register names.
+
+    Observation registers are named ``{tid}:x{10+slot}`` — already in
+    the parser's register namespace, so plain-subset programs render
+    to ``.litmus`` text and re-parse with identical names (the value
+    registers ``x5``–``x9`` are reserved for the renderer's ``li``
+    preloads).
+    """
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.ops: List[tuple] = []
+        self.produced: List[str] = []
+        self._next = 10
+
+    def reg(self) -> str:
+        name = f"{self.tid}:x{self._next}"
+        self._next += 1
+        self.produced.append(name)
+        return name
+
+    def load(self, loc: str) -> str:
+        reg = self.reg()
+        self.ops.append(("R", loc, reg))
+        return reg
+
+    def store(self, loc: str, val: int) -> None:
+        self.ops.append(("W", loc, val))
+
+    def atomic(self, loc: str, val: int) -> str:
+        reg = self.reg()
+        self.ops.append(("A", loc, val, reg))
+        return reg
+
+    def fence(self, kind: FenceKind) -> None:
+        self.ops.append(("F",) if kind is FenceKind.FULL
+                        else ("F", kind))
+
+
+# ----------------------------------------------------------------------
+# Random structure helpers
+# ----------------------------------------------------------------------
+def _maybe_fence(rng: random.Random, thread: _Thread,
+                 features: Sequence[str],
+                 kinds: Sequence[FenceKind] = _FENCE_KINDS,
+                 p: float = 0.75) -> bool:
+    if "fences" in features and maybe(rng, p):
+        thread.fence(choose(rng, kinds))
+        return True
+    return False
+
+
+def _link_choices(rng: random.Random, features: Sequence[str],
+                  dep_ok: bool, dep_flavours: Sequence[str]) -> str:
+    """How to order two ops in one thread: a dependency flavour, a
+    fence, or nothing (the base relaxed shape, kept rare)."""
+    options: List[str] = []
+    if dep_ok and "deps" in features:
+        options.extend(dep_flavours)
+        options.extend(dep_flavours)  # weight deps over fences
+    if "fences" in features:
+        options.extend(["fence", "fence"])
+    options.append("plain")
+    return choose(rng, options)
+
+
+def _linked_store(rng: random.Random, thread: _Thread,
+                  features: Sequence[str], loc: str, val: int,
+                  dep_reg: Optional[str]) -> None:
+    """Store ``val`` to ``loc``, ordered after ``dep_reg``'s producer
+    by a random mechanism (dep flavour / fence / nothing)."""
+    link = _link_choices(rng, features, dep_reg is not None,
+                         ("data", "addr", "ctrl"))
+    if link == "data":
+        thread.ops.append(("Wdata", loc, val, dep_reg))
+    elif link == "addr":
+        thread.ops.append(("Waddr", loc, val, dep_reg))
+    elif link == "ctrl":
+        thread.ops.append(("Wctrl", loc, val, dep_reg))
+    else:
+        if link == "fence":
+            thread.fence(choose(rng, (FenceKind.FULL,
+                                      FenceKind.STORE_STORE)))
+        thread.store(loc, val)
+
+
+def _linked_load(rng: random.Random, thread: _Thread,
+                 features: Sequence[str], loc: str,
+                 dep_reg: Optional[str]) -> str:
+    """Load from ``loc``, ordered after ``dep_reg``'s producer."""
+    link = _link_choices(rng, features, dep_reg is not None,
+                         ("addr", "ctrl"))
+    if link == "addr":
+        reg = thread.reg()
+        thread.ops.append(("Raddr", loc, reg, dep_reg))
+        return reg
+    if link == "ctrl":
+        reg = thread.reg()
+        thread.ops.append(("Rctrl", loc, reg, dep_reg))
+        return reg
+    if link == "fence":
+        thread.fence(choose(rng, (FenceKind.FULL, FenceKind.LOAD_LOAD)))
+    return thread.load(loc)
+
+
+def _refine_category(base: str, threads: List[List[tuple]]) -> str:
+    """Bucket by the strongest ordering mechanism actually drawn, the
+    way Table 6 groups the suite's tests."""
+    kinds = {op[0] for ops in threads for op in ops}
+    if base in (CAT_PO_LOC, CAT_PPO, CAT_CO):
+        return base
+    if kinds & {"Raddr", "Rctrl", "Waddr", "Wdata", "Wctrl"}:
+        return CAT_DEPS
+    if "F" in kinds:
+        return CAT_BARRIER
+    return base
+
+
+def _extra_accesses(rng: random.Random, threads: List[_Thread],
+                    pool: AddressPool, features: Sequence[str],
+                    p: float = 0.3) -> None:
+    """Sprinkle 0–2 benign extra accesses over random threads using
+    the pool's aliasing draw — tunable coherence traffic on top of
+    the skeleton.  Appended ops only (they never precede a dependency
+    producer), plain loads/stores/atomics only, so every lint
+    guarantee is preserved."""
+    for _ in range(2):
+        if not maybe(rng, p):
+            continue
+        thread = choose(rng, threads)
+        loc = pool.draw()
+        pick = rng.random()
+        if "atomics" in features and pick < 0.2:
+            thread.atomic(loc, _DATA.draw(rng))
+        elif pick < 0.6:
+            thread.store(loc, _DATA.draw(rng))
+        else:
+            thread.load(loc)
+
+
+# ----------------------------------------------------------------------
+# Templates
+# ----------------------------------------------------------------------
+def _mp_chain(rng: random.Random, cores: int, pool: AddressPool,
+              features: Sequence[str]) -> BuiltProgram:
+    """Message passing generalised to an N-core causal chain (MP at
+    2 cores, ISA2/WRC-like relays beyond)."""
+    data = pool.fresh()
+    flags = [pool.fresh() for _ in range(cores - 1)]
+    data_val = _DATA.draw(rng)
+    threads = [_Thread(tid) for tid in range(cores)]
+
+    writer = threads[0]
+    writer.store(data, data_val)
+    if maybe(rng, 0.25):
+        writer.store(data, _DATA.draw(rng))  # CoWW on the data loc
+    _maybe_fence(rng, writer, features,
+                 (FenceKind.FULL, FenceKind.STORE_STORE))
+    writer.store(flags[0], 1)
+
+    spot: Dict[str, int] = {}
+    for hop in range(1, cores - 1):
+        relay = threads[hop]
+        reg = relay.load(flags[hop - 1])
+        spot[reg] = 1
+        _linked_store(rng, relay, features, flags[hop], 1, reg)
+    observer = threads[-1]
+    reg = observer.load(flags[-1])
+    spot[reg] = 1
+    data_reg = _linked_load(rng, observer, features, data, reg)
+    spot[data_reg] = 0
+
+    _extra_accesses(rng, threads, pool, features)
+    ops = [t.ops for t in threads]
+    return BuiltProgram(threads=ops,
+                        category=_refine_category(CAT_RFE, ops),
+                        spotlight=LitmusOutcome(tuple(sorted(spot.items()))))
+
+
+def _sb_ring(rng: random.Random, cores: int, pool: AddressPool,
+             features: Sequence[str]) -> BuiltProgram:
+    """Store buffering as an N-core ring: W x_i ; R x_{i+1}."""
+    locs = [pool.fresh() for _ in range(cores)]
+    threads = [_Thread(tid) for tid in range(cores)]
+    spot: Dict[str, int] = {}
+    for tid, thread in enumerate(threads):
+        val = _DATA.draw(rng)
+        if "atomics" in features and maybe(rng, 0.25):
+            thread.atomic(locs[tid], val)
+        else:
+            thread.store(locs[tid], val)
+        _maybe_fence(rng, thread, features,
+                     (FenceKind.FULL, FenceKind.STORE_LOAD))
+        reg = thread.load(locs[(tid + 1) % cores])
+        spot[reg] = 0
+    _extra_accesses(rng, threads, pool, features)
+    ops = [t.ops for t in threads]
+    return BuiltProgram(threads=ops,
+                        category=_refine_category(CAT_FR, ops),
+                        spotlight=LitmusOutcome(tuple(sorted(spot.items()))))
+
+
+def _lb_ring(rng: random.Random, cores: int, pool: AddressPool,
+             features: Sequence[str]) -> BuiltProgram:
+    """Load buffering as an N-core ring: R x_i ; W x_{i+1}."""
+    locs = [pool.fresh() for _ in range(cores)]
+    vals = [_DATA.draw(rng) for _ in range(cores)]
+    threads = [_Thread(tid) for tid in range(cores)]
+    spot: Dict[str, int] = {}
+    for tid, thread in enumerate(threads):
+        reg = thread.load(locs[tid])
+        # The all-observed outcome: each read sees its predecessor's
+        # write around the ring.
+        spot[reg] = vals[(tid - 1) % cores]
+        _linked_store(rng, thread, features,
+                      locs[(tid + 1) % cores], vals[tid], reg)
+    ops = [t.ops for t in threads]
+    return BuiltProgram(threads=ops,
+                        category=_refine_category(CAT_DEPS, ops),
+                        spotlight=LitmusOutcome(tuple(sorted(spot.items()))))
+
+
+def _coherence(rng: random.Random, cores: int, pool: AddressPool,
+               features: Sequence[str]) -> BuiltProgram:
+    """Same-location shapes (CoRR/CoWW/CoRW/CoWR mixes) over one
+    location; two cores keep the co order crisp."""
+    loc = pool.fresh()
+    threads = [_Thread(tid) for tid in range(2)]
+    value = iter(range(1, 32))
+    wrote = read = False
+    for thread in threads:
+        for _ in range(rng.randint(2, 3)):
+            if maybe(rng, 0.5):
+                thread.store(loc, next(value))
+                wrote = True
+            else:
+                thread.load(loc)
+                read = True
+    if not wrote:
+        threads[0].store(loc, next(value))
+    if not read:
+        threads[1].load(loc)
+    ops = [t.ops for t in threads]
+    return BuiltProgram(threads=ops, category=CAT_PO_LOC)
+
+
+def _wrc(rng: random.Random, cores: int, pool: AddressPool,
+         features: Sequence[str]) -> BuiltProgram:
+    """Write-to-read causality through a middleman (3 cores)."""
+    x, y = pool.fresh(), pool.fresh()
+    xv, yv = _DATA.draw(rng), _DATA.draw(rng)
+    threads = [_Thread(tid) for tid in range(3)]
+    threads[0].store(x, xv)
+    r0 = threads[1].load(x)
+    _linked_store(rng, threads[1], features, y, yv, r0)
+    r1 = threads[2].load(y)
+    r2 = _linked_load(rng, threads[2], features, x, r1)
+    _extra_accesses(rng, threads, pool, features)
+    ops = [t.ops for t in threads]
+    spot = LitmusOutcome(tuple(sorted({r0: xv, r1: yv, r2: 0}.items())))
+    return BuiltProgram(threads=ops,
+                        category=_refine_category(CAT_RFE, ops),
+                        spotlight=spot)
+
+
+def _iriw(rng: random.Random, cores: int, pool: AddressPool,
+          features: Sequence[str]) -> BuiltProgram:
+    """Independent reads of independent writes (4 cores)."""
+    x, y = pool.fresh(), pool.fresh()
+    xv, yv = _DATA.draw(rng), _DATA.draw(rng)
+    threads = [_Thread(tid) for tid in range(4)]
+    if "atomics" in features and maybe(rng, 0.25):
+        threads[0].atomic(x, xv)
+    else:
+        threads[0].store(x, xv)
+    threads[1].store(y, yv)
+    ra = threads[2].load(x)
+    rb = _linked_load(rng, threads[2], features, y, ra)
+    rc = threads[3].load(y)
+    rd = _linked_load(rng, threads[3], features, x, rc)
+    ops = [t.ops for t in threads]
+    spot = LitmusOutcome(tuple(sorted(
+        {ra: xv, rb: 0, rc: yv, rd: 0}.items())))
+    return BuiltProgram(threads=ops,
+                        category=_refine_category(CAT_RFE, ops),
+                        spotlight=spot)
+
+
+def _atomic_mix(rng: random.Random, cores: int, pool: AddressPool,
+                features: Sequence[str]) -> BuiltProgram:
+    """Atomic-centred PPO shapes: AMO flags, AMO rings, AMO total
+    order."""
+    shape = choose(rng, ("mp-amo", "sb-amo", "amo-order"))
+    threads = [_Thread(tid) for tid in range(2)]
+    if shape == "mp-amo":
+        data, flag = pool.fresh(), pool.fresh()
+        dv = _DATA.draw(rng)
+        threads[0].store(data, dv)
+        _maybe_fence(rng, threads[0], features,
+                     (FenceKind.FULL, FenceKind.STORE_STORE))
+        threads[0].atomic(flag, 1)
+        r0 = threads[1].load(flag)
+        r1 = _linked_load(rng, threads[1], features, data, r0)
+        spot = LitmusOutcome(tuple(sorted({r0: 1, r1: 0}.items())))
+        category = CAT_PPO
+    elif shape == "sb-amo":
+        x, y = pool.fresh(), pool.fresh()
+        threads[0].atomic(x, _DATA.draw(rng))
+        _maybe_fence(rng, threads[0], features)
+        ra = threads[0].load(y)
+        threads[1].atomic(y, _DATA.draw(rng))
+        _maybe_fence(rng, threads[1], features)
+        rb = threads[1].load(x)
+        spot = LitmusOutcome(tuple(sorted({ra: 0, rb: 0}.items())))
+        category = CAT_PPO
+    else:  # amo-order: AMOs to one location are totally ordered
+        x = pool.fresh()
+        threads[0].atomic(x, 1)
+        threads[0].load(x)
+        threads[1].atomic(x, 2)
+        threads[1].load(x)
+        spot = None
+        category = CAT_PPO
+    ops = [t.ops for t in threads]
+    return BuiltProgram(threads=ops, category=category, spotlight=spot)
+
+
+def _exception_suite(rng: random.Random, cores: int, pool: AddressPool,
+                     features: Sequence[str]) -> BuiltProgram:
+    """Faulting-store interactions (the FSB drain shapes).
+
+    A store to a *faulting* location followed in program order by
+    younger non-faulting stores — sometimes separated by an
+    FSB-waiting fence or atomic, sometimes not (the split-stream
+    hazard window) — with an observer reading the young stores before
+    probing the faulting location.  The campaign injects faults on
+    every test location (§6.3); the header's ``faulting_locs``
+    records which location the *template* built the hazard around.
+    """
+    faulty = pool.fresh()
+    young = [pool.fresh() for _ in range(rng.randint(1, 2))]
+    threads = [_Thread(tid) for tid in range(max(2, cores))]
+    spot: Dict[str, int] = {}
+
+    faulter = threads[0]
+    faulter.store(faulty, _DATA.draw(rng))
+    gap = rng.random()
+    if gap < 0.35 and "fences" in features:
+        faulter.fence(choose(rng, (FenceKind.FULL,
+                                   FenceKind.STORE_STORE)))
+    elif gap < 0.5 and "atomics" in features:
+        faulter.atomic(young[0], _DATA.draw(rng))
+    vals = [_DATA.draw(rng) for _ in young]
+    for loc, val in zip(young, vals):
+        faulter.store(loc, val)
+
+    observer = threads[1]
+    reg = observer.load(young[-1])
+    spot[reg] = vals[-1]
+    probe = _linked_load(rng, observer, features, faulty, reg)
+    spot[probe] = 0
+    for extra in threads[2:]:
+        # Additional cores contend on the faulting page: a second
+        # faulting stream or another observer.
+        if maybe(rng, 0.5):
+            extra.store(faulty, _DATA.draw(rng))
+            extra.store(young[0], _DATA.draw(rng))
+        else:
+            extra.load(faulty)
+            extra.load(young[0])
+    ops = [t.ops for t in threads]
+    return BuiltProgram(threads=ops, category=CAT_CO,
+                        spotlight=LitmusOutcome(tuple(sorted(spot.items()))),
+                        faulting_locs=(faulty,))
+
+
+@dataclass(frozen=True)
+class Template:
+    """One catalogue entry."""
+
+    name: str
+    min_cores: int
+    max_cores: int
+    build: Callable[[random.Random, int, AddressPool, Sequence[str]],
+                    BuiltProgram]
+    #: Feature flags that must be enabled for the template to be
+    #: eligible (empty = always eligible; templates degrade
+    #: gracefully when optional mechanisms are off).
+    requires: Tuple[str, ...] = ()
+    #: Aliasing probability range for the template's address pool.
+    alias: Tuple[float, float] = (0.0, 0.25)
+
+
+#: The template catalogue, in a stable order (selection draws index
+#: positions from the seeded rng, so catalogue order is part of the
+#: determinism contract — append new templates, never reorder).
+TEMPLATES: Tuple[Template, ...] = (
+    Template("mp-chain", 2, 4, _mp_chain),
+    Template("sb-ring", 2, 4, _sb_ring),
+    Template("lb-ring", 2, 4, _lb_ring),
+    Template("coherence", 2, 2, _coherence, alias=(0.0, 0.0)),
+    Template("wrc", 3, 3, _wrc),
+    Template("iriw", 4, 4, _iriw),
+    Template("atomic-mix", 2, 2, _atomic_mix, requires=("atomics",)),
+    Template("exception-suite", 2, 3, _exception_suite,
+             requires=("faults",)),
+)
+
+
+def eligible_templates(cores_lo: int, cores_hi: int,
+                       features: Sequence[str]) -> List[Template]:
+    """Catalogue entries usable under a core range + feature set."""
+    out = []
+    for template in TEMPLATES:
+        if template.min_cores > cores_hi or template.max_cores < cores_lo:
+            continue
+        if any(f not in features for f in template.requires):
+            continue
+        out.append(template)
+    return out

@@ -13,7 +13,7 @@ class TestParserStructure:
         assert set(sub.choices) == {
             "litmus", "table3", "fig5", "fig6", "proofs", "mbench",
             "explore", "fuzz", "lint", "serve", "profile", "stats",
-            "capture", "scenario16"}
+            "capture", "scenario16", "gen"}
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -56,7 +56,7 @@ class TestCommands:
     def test_litmus_files_mode(self, capsys):
         assert main(["litmus", "--files", "litmus_files",
                      "--seeds", "5"]) == 0
-        assert "tests=8" in capsys.readouterr().out
+        assert "tests=13" in capsys.readouterr().out
 
     def test_litmus_save_log(self, capsys, tmp_path):
         import json
@@ -99,3 +99,102 @@ class TestExploreCommand:
         assert main(["fuzz", "--seed", "7", "--iterations", "8",
                      "--no-shrink"]) == 0
         assert "model divergences: 0" in capsys.readouterr().out
+
+
+class TestGenCommand:
+    def test_gen_prints_generation_record(self, capsys):
+        assert main(["gen", "--seed", "7", "--count", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "randgen corpus: 25 tests" in out
+        assert "corpus digest:" in out
+
+    def test_gen_is_deterministic(self, capsys):
+        def stable_lines(out):
+            # Drop the wall-time/throughput line; everything else
+            # (template mix, corpus digest) must be bit-identical.
+            return [ln for ln in out.splitlines() if "wall=" not in ln]
+
+        main(["gen", "--seed", "7", "--count", "25"])
+        first = stable_lines(capsys.readouterr().out)
+        main(["gen", "--seed", "7", "--count", "25"])
+        assert stable_lines(capsys.readouterr().out) == first
+        assert any("corpus digest:" in ln for ln in first)
+
+    def test_gen_manifest_round_trip(self, capsys, tmp_path):
+        manifest = str(tmp_path / "corpus.json")
+        assert main(["gen", "--seed", "3", "--count", "15",
+                     "--manifest", manifest]) == 0
+        assert "corpus manifest written" in capsys.readouterr().out
+        assert main(["gen", "--verify", manifest]) == 0
+        assert "manifest verified" in capsys.readouterr().out
+
+    def test_gen_verify_detects_tampering(self, tmp_path):
+        import json
+        from repro.litmus.randgen import ManifestMismatchError
+        manifest = tmp_path / "corpus.json"
+        main(["gen", "--seed", "3", "--count", "5",
+              "--manifest", str(manifest)])
+        payload = json.loads(manifest.read_text())
+        payload["tests"][0]["digest"] = "f" * 64
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(ManifestMismatchError):
+            main(["gen", "--verify", str(manifest)])
+
+    def test_gen_bad_cores_spec_errors(self):
+        with pytest.raises(SystemExit):
+            main(["gen", "--count", "5", "--cores", "lots"])
+
+
+class TestLitmusRandgen:
+    def test_randgen_campaign_with_corpus_block(self, capsys, tmp_path):
+        import json
+        report_path = str(tmp_path / "report.json")
+        assert main(["litmus", "--randgen", "12", "--seeds", "2",
+                     "--skip-clean", "--prefilter", "--json",
+                     report_path]) == 0
+        out = capsys.readouterr().out
+        assert "randgen corpus: 12 tests" in out
+        assert "litmus suite [OK]" in out
+        report = json.load(open(report_path))
+        assert report["schema"].endswith("/v7")
+        assert report["corpus"]["count"] == 12
+        assert report["corpus"]["seed"] == 0
+
+    def test_manifest_campaign_source(self, capsys, tmp_path):
+        import json
+        manifest = str(tmp_path / "corpus.json")
+        main(["gen", "--seed", "5", "--count", "10",
+              "--manifest", manifest])
+        capsys.readouterr()
+        report_path = str(tmp_path / "report.json")
+        assert main(["litmus", "--manifest", manifest, "--seeds", "2",
+                     "--skip-clean", "--json", report_path]) == 0
+        report = json.load(open(report_path))
+        assert report["tests"] == 10
+        assert report["corpus"]["seed"] == 5
+        expected = json.loads(open(manifest).read())["corpus_digest"]
+        assert report["corpus"]["corpus_digest"] == expected
+
+    def test_sources_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["litmus", "--randgen", "5",
+                  "--manifest", str(tmp_path / "x.json")])
+
+    def test_profile_nightly_applies_defaults(self, capsys):
+        # Small --randgen override keeps the smoke fast; the profile
+        # still forces prefilter + dpor + skip-clean + 2 seeds.
+        assert main(["litmus", "--profile", "nightly",
+                     "--randgen", "8", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "randgen corpus: 8 tests" in out
+        assert "litmus suite [OK]" in out
+
+    def test_profile_nightly_default_count_is_2k(self):
+        args = build_parser().parse_args(["litmus", "--profile",
+                                          "nightly"])
+        from repro.cli import _apply_nightly_profile
+        _apply_nightly_profile(args)
+        assert args.randgen == 2000
+        assert args.seeds == 2
+        assert args.prefilter and args.skip_clean
+        assert args.explore == "dpor"

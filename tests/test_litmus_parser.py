@@ -3,7 +3,8 @@
 import pytest
 
 from repro.litmus import RunConfig, check_test
-from repro.litmus.parser import LitmusParseError, parse_litmus
+from repro.litmus.parser import (LitmusParseError, LitmusRenderError,
+                                 parse_litmus, render_litmus)
 from repro.memmodel import PC
 from repro.litmus.harness import allowed_set
 from repro.sim.config import ConsistencyModel
@@ -111,6 +112,96 @@ x=5;
         # locations default to 0 in the harness, so the init block for
         # memory is informational. The load should still compile.
         assert test.threads[0] == [("R", "x", "0:x6")]
+
+
+class TestClassicFixtures:
+    """The shipped classic shapes (R, WRC, ISA2, IRIW, LB+fences) —
+    the on-disk corpus covers the patterns the randgen templates are
+    seeded from, and each round-trips through the writer exactly."""
+
+    FIXTURES = ("R", "WRC", "ISA2", "IRIW", "LB+fences")
+
+    def _load(self, name):
+        from pathlib import Path
+        path = (Path(__file__).resolve().parents[1] / "litmus_files"
+                / f"{name}.litmus")
+        return parse_litmus(path.read_text())
+
+    @pytest.mark.parametrize("name", FIXTURES)
+    def test_parses_and_lints_clean(self, name):
+        from repro.staticanalysis.lint import lint_test
+        test = self._load(name)
+        assert test.name == name
+        assert lint_test(test) == []
+
+    @pytest.mark.parametrize("name", FIXTURES)
+    def test_render_round_trip_is_exact(self, name):
+        from repro.litmus.generator import program_digest
+        test = self._load(name)
+        reparsed = parse_litmus(render_litmus(test))
+        assert reparsed.name == test.name
+        assert reparsed.threads == test.threads
+        assert reparsed.spotlight == test.spotlight
+        assert program_digest(reparsed) == program_digest(test)
+
+    def test_thread_shapes(self):
+        assert len(self._load("WRC").threads) == 3
+        assert len(self._load("ISA2").threads) == 3
+        assert len(self._load("IRIW").threads) == 4
+        assert len(self._load("LB+fences").threads) == 2
+
+    def test_iriw_spotlight_forbidden_under_pc(self):
+        test = self._load("IRIW")
+        allowed = allowed_set(test, PC)
+        assert test.spotlight.as_tuple() not in allowed
+
+    def test_lb_fences_spotlight_forbidden_under_pc(self):
+        test = self._load("LB+fences")
+        allowed = allowed_set(test, PC)
+        assert test.spotlight.as_tuple() not in allowed
+
+
+class TestRenderLitmus:
+    """render_litmus: the plain-subset writer."""
+
+    def test_mp_round_trip(self):
+        from repro.litmus.generator import program_digest
+        test = parse_litmus(MP_TEXT)
+        reparsed = parse_litmus(render_litmus(test))
+        assert program_digest(reparsed) == program_digest(test)
+        assert reparsed.spotlight == test.spotlight
+
+    def test_amoswap_round_trip(self):
+        test = parse_litmus(AMO_TEXT)
+        reparsed = parse_litmus(render_litmus(test))
+        assert reparsed.threads == test.threads
+
+    def test_dependency_ops_are_refused(self):
+        from repro.litmus.library import mp_addr_dep
+        with pytest.raises(LitmusRenderError):
+            render_litmus(mp_addr_dep())
+
+    def test_value_preloads_avoid_observation_registers(self):
+        # Thread writes 2 and reads into x5 — the preload register
+        # allocator must not reuse x5 for the value 2.
+        from repro.litmus.dsl import LitmusTest
+        test = LitmusTest(name="CLASH", category="co", threads=[
+            [("W", "x", 2), ("R", "x", "0:x5")],
+        ])
+        text = render_litmus(test)
+        reparsed = parse_litmus(text)
+        assert reparsed.threads == test.threads
+
+    def test_generated_corpus_plain_subset_round_trips(self):
+        from repro.litmus.randgen import generate_corpus
+        corpus = generate_corpus(seed=11, count=60, features=("fences",
+                                                              "atomics"))
+        for entry in corpus.tests:
+            reparsed = parse_litmus(render_litmus(entry.test))
+            assert reparsed.threads == entry.test.threads, \
+                entry.header.name
+            assert reparsed.spotlight == entry.test.spotlight
+            assert reparsed.name == entry.test.name
 
 
 class TestGeneratedSuiteUniqueness:

@@ -199,7 +199,7 @@ class TestCampaignEventBus:
         assert report.telemetry is None
 
 
-class TestReportSchemaV6:
+class TestReportSchemaV7:
     def test_roundtrip_with_telemetry(self, tmp_path):
         from repro.analysis.postprocess import (
             CAMPAIGN_REPORT_SCHEMA, read_campaign_report,
@@ -209,7 +209,7 @@ class TestReportSchemaV6:
         path = tmp_path / "report.json"
         payload = write_campaign_report(path, report)
         assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
-        assert payload["schema"].endswith("/v6")
+        assert payload["schema"].endswith("/v7")
         loaded = read_campaign_report(path)
         assert loaded["telemetry"]["metrics"]["counters"][
             "campaign.tests"] == len(_suite())
@@ -217,7 +217,7 @@ class TestReportSchemaV6:
     def test_older_schemas_still_readable(self, tmp_path):
         from repro.analysis.postprocess import read_campaign_report
 
-        for version in ("v1", "v2", "v3", "v4", "v5"):
+        for version in ("v1", "v2", "v3", "v4", "v5", "v6"):
             path = tmp_path / f"{version}.json"
             path.write_text(json.dumps(
                 {"schema": f"repro.litmus.campaign-report/{version}",

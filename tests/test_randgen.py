@@ -1,0 +1,343 @@
+"""Tests for the constrained-random litmus generator
+(``repro.litmus.randgen``): the determinism contract, lint-cleanliness
+by construction, feature gating, corpus manifests, and the campaign
+integration that scales the corpus to paper-scale runs."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.litmus import RunConfig, check_suite
+from repro.litmus.generator import program_digest
+from repro.litmus.randgen import (ALL_FEATURES, Corpus, ManifestError,
+                                  ManifestMismatchError, RandGenConfig,
+                                  RandGenError, corpus_from_manifest,
+                                  generate_corpus, generate_one,
+                                  read_manifest, write_manifest)
+from repro.staticanalysis.lint import lint_test
+
+_DEP_OPS = {"Raddr", "Rctrl", "Waddr", "Wdata", "Wctrl"}
+
+
+class TestDeterminism:
+    """Same seed -> bit-identical corpus; the contract every manifest
+    and nightly campaign leans on."""
+
+    def test_same_seed_same_corpus(self):
+        a = generate_corpus(seed=5, count=80)
+        b = generate_corpus(seed=5, count=80)
+        assert a.digests() == b.digests()
+        assert a.corpus_digest() == b.corpus_digest()
+        assert [e.header for e in a.tests] == [e.header for e in b.tests]
+        assert [e.test.threads for e in a.tests] == \
+            [e.test.threads for e in b.tests]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(seed=5, count=40)
+        b = generate_corpus(seed=6, count=40)
+        assert a.corpus_digest() != b.corpus_digest()
+
+    def test_generate_one_regenerates_any_entry(self):
+        corpus = generate_corpus(seed=9, count=50)
+        for entry in corpus.tests[::7]:
+            attempt = int(entry.header.name.split("-")[1])
+            again = generate_one(corpus.config, attempt)
+            assert again.digest == entry.digest
+            assert again.header == entry.header
+            assert again.test.threads == entry.test.threads
+
+    def test_config_does_not_leak_global_random_state(self):
+        import random
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        generate_corpus(seed=1, count=10)
+        assert random.random() == before
+
+
+class TestCorpusProperties:
+    def test_unique_and_lint_clean(self):
+        corpus = generate_corpus(seed=2, count=200)
+        digests = corpus.digests()
+        assert len(digests) == len(set(digests))
+        for entry in corpus.tests:
+            assert lint_test(entry.test) == [], entry.header.name
+            assert entry.digest == program_digest(entry.test)
+
+    def test_attempt_accounting(self):
+        corpus = generate_corpus(seed=2, count=120)
+        assert corpus.attempts == len(corpus) + corpus.dedup_dropped
+        assert corpus.wall_time_s > 0
+        assert corpus.throughput > 0
+
+    def test_headers_describe_their_programs(self):
+        corpus = generate_corpus(seed=4, count=120)
+        names = set()
+        for entry in corpus.tests:
+            header = entry.header
+            names.add(header.name)
+            assert header.cores == len(entry.test.threads)
+            assert 2 <= header.cores <= 4
+            assert header.category == entry.test.category
+            assert header.features == ALL_FEATURES
+            assert header.arch == "rv64-rvwmo"
+            assert header.expected_verdict_source == \
+                "axiomatic-enumerator"
+            assert header.name == entry.test.name
+            assert ";#test.name" in header.render()
+        assert len(names) == len(corpus)
+
+    def test_template_mix_covers_catalogue(self):
+        corpus = generate_corpus(seed=0, count=400)
+        mix = corpus.template_mix()
+        assert sum(mix.values()) == 400
+        # Every template should fire over a 400-test corpus.
+        assert set(mix) == {"mp-chain", "sb-ring", "lb-ring",
+                            "coherence", "wrc", "iriw", "atomic-mix",
+                            "exception-suite"}
+
+    def test_programs_compile_both_ways(self):
+        corpus = generate_corpus(seed=8, count=60)
+        for entry in corpus.tests:
+            program = entry.test.to_program()
+            assert program.cores == len(entry.test.threads)
+            events, extra_ppo = entry.test.to_events()
+            assert len(events) == len(entry.test.threads)
+
+
+class TestFeatureGating:
+    @staticmethod
+    def _ops(corpus):
+        for entry in corpus.tests:
+            for thread in entry.test.threads:
+                for op in thread:
+                    yield entry, op
+
+    def test_no_atomics_without_feature(self):
+        corpus = generate_corpus(
+            seed=1, count=60, features=("fences", "deps"))
+        assert not any(op[0] == "A" for _, op in self._ops(corpus))
+
+    def test_no_deps_without_feature(self):
+        corpus = generate_corpus(
+            seed=1, count=60, features=("fences", "atomics"))
+        assert not any(op[0] in _DEP_OPS for _, op in self._ops(corpus))
+
+    def test_no_fences_without_feature(self):
+        corpus = generate_corpus(
+            seed=1, count=60, features=("deps", "atomics"))
+        assert not any(op[0] == "F" for _, op in self._ops(corpus))
+
+    def test_no_faulting_locs_without_faults(self):
+        corpus = generate_corpus(
+            seed=1, count=60, features=("fences",))
+        assert all(e.header.faulting_locs == () for e in corpus.tests)
+
+    def test_faults_feature_marks_faulting_locs(self):
+        corpus = generate_corpus(seed=1, count=200)
+        faulting = [e for e in corpus.tests if e.header.faulting_locs]
+        assert faulting, "no exception-suite tests in 200"
+        for entry in faulting:
+            locs = {op[1] for thread in entry.test.threads
+                    for op in thread if op[0] != "F"}
+            assert set(entry.header.faulting_locs) <= locs
+
+    def test_core_range_is_respected(self):
+        corpus = generate_corpus(seed=3, count=60, cores=(2, 2))
+        assert all(len(e.test.threads) == 2 for e in corpus.tests)
+        wide = generate_corpus(seed=3, count=120, cores=(3, 4))
+        assert {len(e.test.threads) for e in wide.tests} == {3, 4}
+
+
+class TestConfigValidation:
+    def test_bad_cores(self):
+        with pytest.raises(RandGenError):
+            RandGenConfig(cores=(1, 4))
+        with pytest.raises(RandGenError):
+            RandGenConfig(cores=(3, 2))
+        with pytest.raises(RandGenError):
+            RandGenConfig(cores=(2, 5))
+
+    def test_unknown_feature(self):
+        with pytest.raises(RandGenError, match="unknown feature"):
+            RandGenConfig(features=("fences", "lasers"))
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError):
+            generate_corpus(RandGenConfig(count=5), seed=1)
+
+    def test_config_round_trips_through_dict(self):
+        config = RandGenConfig(seed=7, count=9, cores=(2, 3),
+                               features=("fences",))
+        assert RandGenConfig.from_dict(config.as_dict()) == config
+
+
+class TestManifest:
+    def _corpus(self):
+        return generate_corpus(seed=17, count=30)
+
+    def test_write_read_round_trip(self, tmp_path):
+        corpus = self._corpus()
+        path = tmp_path / "corpus.json"
+        payload = write_manifest(path, corpus)
+        back = read_manifest(path)
+        assert back == payload
+        assert back["schema"] == "repro.litmus.corpus/v1"
+        assert back["count"] == 30
+        assert back["corpus_digest"] == corpus.corpus_digest()
+        assert len(back["tests"]) == 30
+
+    def test_regeneration_verifies(self, tmp_path):
+        corpus = self._corpus()
+        path = tmp_path / "corpus.json"
+        write_manifest(path, corpus)
+        again = corpus_from_manifest(path)
+        assert again.digests() == corpus.digests()
+        assert again.corpus_digest() == corpus.corpus_digest()
+        assert [e.header for e in again.tests] == \
+            [e.header for e in corpus.tests]
+
+    def test_tampered_digest_is_detected(self, tmp_path):
+        corpus = self._corpus()
+        path = tmp_path / "corpus.json"
+        payload = write_manifest(path, corpus)
+        payload["tests"][3]["digest"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestMismatchError) as exc:
+            corpus_from_manifest(path)
+        # Names the first divergent test.
+        assert corpus.tests[3].header.name in str(exc.value)
+
+    def test_tampered_config_is_detected(self, tmp_path):
+        corpus = self._corpus()
+        path = tmp_path / "corpus.json"
+        payload = write_manifest(path, corpus)
+        payload["config"]["seed"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestMismatchError):
+            corpus_from_manifest(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ManifestError, match="not a corpus manifest"):
+            read_manifest(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        corpus = self._corpus()
+        path = tmp_path / "corpus.json"
+        payload = write_manifest(path, corpus)
+        payload["count"] = 31
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="31"):
+            read_manifest(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            read_manifest(path)
+
+
+class TestCampaignIntegration:
+    """Generated tests flow through the full campaign: static
+    prefilter, incremental enumerator, DPOR explorer cross-check —
+    with zero axiomatic/operational/static disagreements."""
+
+    def _config(self):
+        return RunConfig(seeds=2, clean_pass=False, prefilter=True,
+                         explore="dpor")
+
+    def test_campaign_over_random_corpus_is_clean(self):
+        corpus = generate_corpus(seed=23, count=30)
+        report = check_suite(corpus.litmus_tests(), self._config())
+        assert report.ok
+        assert report.explorer_totals()["mismatches"] == 0
+        assert report.explorer_totals()["tests_explored"] == 30
+
+    def test_incremental_rerun_hits_the_store(self, tmp_path):
+        from repro.store import VerdictStore
+        corpus = generate_corpus(seed=29, count=20)
+        store = VerdictStore(tmp_path / "store")
+        first = check_suite(corpus.litmus_tests(), self._config(),
+                            store=store, incremental=True)
+        assert first.ok and first.store["misses"] == 20
+        again = check_suite(corpus.litmus_tests(), self._config(),
+                            store=store, incremental=True)
+        assert again.ok
+        assert again.store["hits"] == 20
+        assert again.store["misses"] == 0
+
+    def test_report_v7_carries_the_corpus_block(self, tmp_path):
+        from repro.analysis.postprocess import (CAMPAIGN_REPORT_SCHEMA,
+                                                read_campaign_report,
+                                                write_campaign_report)
+        corpus = generate_corpus(seed=31, count=10)
+        report = check_suite(corpus.litmus_tests(), self._config())
+        report.corpus = corpus.report_block()
+        path = tmp_path / "report.json"
+        write_campaign_report(path, report)
+        back = read_campaign_report(path)
+        assert back["schema"] == CAMPAIGN_REPORT_SCHEMA
+        assert back["schema"].endswith("/v7")
+        block = back["corpus"]
+        assert block["seed"] == 31
+        assert block["count"] == 10
+        assert block["corpus_digest"] == corpus.corpus_digest()
+        assert block["generator"] == "repro.litmus.randgen/1"
+        assert sum(block["template_mix"].values()) == 10
+        assert block["attempts"] >= 10
+
+    def test_reports_without_corpus_serialise_null(self):
+        from repro.analysis.postprocess import campaign_report_dict
+        from repro.litmus.library import message_passing
+        report = check_suite([message_passing()],
+                             RunConfig(seeds=2, clean_pass=False))
+        assert campaign_report_dict(report)["corpus"] is None
+
+
+class TestSeedStabilityProperty:
+    """Hypothesis: for arbitrary seeds, every emitted program parses,
+    round-trips through the DSL, is lint-clean, and keeps a stable
+    digest across two same-seed instantiations."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**63 - 1))
+    def test_arbitrary_seed_corpus_is_well_formed(self, seed):
+        corpus = generate_corpus(seed=seed, count=4)
+        twin = generate_corpus(seed=seed, count=4)
+        assert corpus.digests() == twin.digests()
+        assert corpus.corpus_digest() == twin.corpus_digest()
+        from repro.litmus.parser import (LitmusRenderError,
+                                         parse_litmus, render_litmus)
+        for entry in corpus.tests:
+            assert lint_test(entry.test) == []
+            # Dual compilation: operational program + axiomatic events.
+            entry.test.to_program()
+            entry.test.to_events()
+            try:
+                text = render_litmus(entry.test)
+            except LitmusRenderError:
+                # Dependency ops have no .litmus encoding; the DSL
+                # round trip above is the contract for those.
+                assert any(op[0] in _DEP_OPS
+                           for thread in entry.test.threads
+                           for op in thread)
+                continue
+            reparsed = parse_litmus(text)
+            assert reparsed.threads == entry.test.threads
+            assert reparsed.spotlight == entry.test.spotlight
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           lo=st.integers(min_value=2, max_value=4),
+           span=st.integers(min_value=0, max_value=2))
+    def test_arbitrary_core_ranges(self, seed, lo, span):
+        hi = min(4, lo + span)
+        corpus = generate_corpus(seed=seed, count=3, cores=(lo, hi))
+        for entry in corpus.tests:
+            assert lo <= len(entry.test.threads) <= hi

@@ -377,7 +377,7 @@ class TestPrefilterIntegration:
         path = tmp_path / "report.json"
         payload = write_campaign_report(path, report)
         assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
-        assert payload["schema"].endswith("/v6")
+        assert payload["schema"].endswith("/v7")
         assert payload["static"] == totals
         assert all("static" in r for r in payload["results"])
         assert read_campaign_report(path)["static"] == totals
