@@ -21,8 +21,11 @@ Outcome = Tuple[Tuple[str, int], ...]
 NEGATIVE_DIFF_PREFIX = "!!! Warning negative differences in"
 MISSING_FROM_HARDWARE_PREFIX = "!!! Warning missing from hardware log:"
 
-CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v7"
-#: Still readable; v7 added the top-level ``corpus`` block (the
+CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v8"
+#: Still readable; v8 added the top-level ``taint`` totals block and
+#: per-test ``taint`` entries (the static FSB information-flow
+#: verdicts per drain policy — ``None`` when ``config.taint`` was
+#: off); v7 added the top-level ``corpus`` block (the
 #: constrained-random generator's provenance — seed, cores/features
 #: config, attempt and dedup-drop counts, template mix, and the corpus
 #: digest — ``None`` for campaigns over hand-written or structurally
@@ -37,6 +40,7 @@ CAMPAIGN_REPORT_SCHEMA = "repro.litmus.campaign-report/v7"
 #: totals block and the per-test ``explorer`` cross-check entries; v2
 #: added the ``enumerator`` totals block, per-test ``enumerator``
 #: stats, and ``cache.hit_rate``.
+CAMPAIGN_REPORT_SCHEMA_V7 = "repro.litmus.campaign-report/v7"
 CAMPAIGN_REPORT_SCHEMA_V6 = "repro.litmus.campaign-report/v6"
 CAMPAIGN_REPORT_SCHEMA_V5 = "repro.litmus.campaign-report/v5"
 CAMPAIGN_REPORT_SCHEMA_V4 = "repro.litmus.campaign-report/v4"
@@ -135,17 +139,19 @@ def _test_run_dict(run) -> Dict:
 def campaign_report_dict(report) -> Dict:
     """A :class:`repro.litmus.harness.SuiteReport` as a JSON-ready dict.
 
-    Schema ``repro.litmus.campaign-report/v7`` (documented in
+    Schema ``repro.litmus.campaign-report/v8`` (documented in
     ``docs/campaign.md``): campaign-level metadata plus one entry per
     test with wall time, the judged passes (``injected``/``clean``,
     ``None`` when a pass did not run), any negative differences, the
     reference enumerator's stats (``None`` for cache-served tests),
     the operational exploration cross-check (``None`` when
-    ``config.explore`` was off), and the static pre-filter
+    ``config.explore`` was off), the static pre-filter
     classification (``None`` when ``config.prefilter`` was off or the
-    allowed set came from the cache).  The top level adds summed
-    enumerator counters, summed explorer counters, summed static
-    pre-filter counters, the allowed-set cache hit rate, the campaign
+    allowed set came from the cache), and the static FSB taint
+    verdicts per drain policy (``None`` when ``config.taint`` was
+    off).  The top level adds summed enumerator counters, summed
+    explorer counters, summed static pre-filter counters, summed
+    taint counters, the allowed-set cache hit rate, the campaign
     telemetry summary (``None`` when telemetry was off), the
     verdict-store block (``None`` when no store was attached), and the
     randgen corpus provenance block (``None`` when the suite did not
@@ -173,6 +179,7 @@ def campaign_report_dict(report) -> Dict:
             "enumerator": v.enum_stats,
             "explorer": v.explore_check,
             "static": v.static_check,
+            "taint": v.taint_check,
         })
     lookups = report.cache_hits + report.cache_misses
     return {
@@ -190,6 +197,7 @@ def campaign_report_dict(report) -> Dict:
         "enumerator": report.enumerator_totals(),
         "explorer": report.explorer_totals(),
         "static": report.static_totals(),
+        "taint": report.taint_totals(),
         "telemetry": getattr(report, "telemetry", None),
         "store": getattr(report, "store", None),
         "corpus": getattr(report, "corpus", None),
@@ -218,6 +226,7 @@ def write_campaign_report(path, report) -> Dict:
 def read_campaign_report(path) -> Dict:
     payload = json.loads(Path(path).read_text())
     if payload.get("schema") not in (CAMPAIGN_REPORT_SCHEMA,
+                                     CAMPAIGN_REPORT_SCHEMA_V7,
                                      CAMPAIGN_REPORT_SCHEMA_V6,
                                      CAMPAIGN_REPORT_SCHEMA_V5,
                                      CAMPAIGN_REPORT_SCHEMA_V4,

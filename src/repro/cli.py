@@ -28,6 +28,11 @@ command     regenerates
 ``lint``    static well-formedness lint over litmus tests and
             ``.litmus`` files (rule catalogue:
             ``docs/static_analysis.md``)
+``taint``   static FSB information-flow analysis (can a faulting
+            store's data transiently reach another core before the OS
+            apply point?), with ``--crosscheck`` against the
+            exhaustive speculative taint explorer and ``--shrink``
+            witness minimization
 ``serve``   the verdict-store daemon: newline-JSON queries and batched
             incremental verification over TCP/UDS
             (``docs/service.md``)
@@ -123,7 +128,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
                        inject_faults=not args.no_faults,
                        clean_pass=not args.skip_clean,
                        explore=args.explore,
-                       prefilter=args.prefilter)
+                       prefilter=args.prefilter,
+                       taint=args.taint)
     if args.incremental and not args.store:
         raise SystemExit("litmus: --incremental needs --store DIR")
     store = None
@@ -238,6 +244,103 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 print(f"  forbidden outcome {dict(outcome)}")
                 print("  schedule: " + " | ".join(schedule))
             ok = ok and check.ok
+    return 0 if ok else 1
+
+
+def _cmd_taint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .memmodel.imprecise import DrainPolicy
+    from .staticanalysis import TaintVerdict, analyze_taint
+
+    tests = _select_tests(args.tests)
+    if args.policy == "both":
+        policies = [DrainPolicy.SAME_STREAM, DrainPolicy.SPLIT_STREAM]
+    else:
+        policies = [DrainPolicy.SAME_STREAM if args.policy == "same"
+                    else DrainPolicy.SPLIT_STREAM]
+    faulting = tuple(args.fault) if args.fault else None
+
+    ok = True
+    records = []
+    for test in tests:
+        for policy in policies:
+            report = analyze_taint(test, policy, faulting_locs=faulting)
+            entry = report.as_dict()
+            print(f"{test.name} [{policy.value}, faults="
+                  f"{','.join(report.faulting_locs)}]: "
+                  f"{report.verdict.value}"
+                  + (f" ({len(report.flows)} flow(s))"
+                     if report.flows else "")
+                  + (f" [{report.reason}]" if report.reason else ""))
+            for flow in report.flows:
+                print(f"  {flow.channel}: {flow.describe()}")
+
+            if args.crosscheck:
+                from .explore import check_taint_policy
+                check = check_taint_policy(
+                    test, policy, faulting_locs=faulting,
+                    strategy=args.strategy, max_states=args.max_states)
+                entry["dynamic"] = check.as_dict()
+                agree = report.leak_free == (not check.leak)
+                tag = "agrees" if agree else "DISAGREES"
+                if report.verdict is TaintVerdict.UNKNOWN:
+                    tag = "static unknown"
+                print(f"  dynamic [{args.strategy}]: "
+                      f"{'leak' if check.leak else 'no leak'} "
+                      f"({check.stats.interleavings} interleavings, "
+                      f"{check.stats.states_visited} states) — {tag}")
+                if check.leak and check.witness_schedule:
+                    print("  witness: "
+                          + " | ".join(check.witness_schedule))
+                # Soundness gate: a static leak-free verdict with a
+                # dynamic leak is a false negative — the one failure
+                # this command must never let pass.
+                if report.leak_free and check.leak:
+                    print(f"  FALSE NEGATIVE: static leak-free but "
+                          f"the speculative explorer leaks on "
+                          f"{test.name} [{policy.value}]")
+                    ok = False
+
+            if args.shrink and report.verdict is TaintVerdict.LEAK_HAZARD:
+                from .explore import leak_predicate, shrink_test
+                shrunk = shrink_test(
+                    test, leak_predicate(policy, strategy=args.strategy,
+                                         max_states=args.max_states))
+                if shrunk is None:
+                    print("  shrink: dynamic explorer found no "
+                          "leaking schedule to minimize")
+                else:
+                    print(f"  shrink: {shrunk.original_ops} -> "
+                          f"{shrunk.final_ops} op(s) in "
+                          f"{shrunk.rounds} round(s) "
+                          f"({shrunk.candidates_tried} candidates)")
+                    for tid, ops in enumerate(shrunk.test.threads):
+                        print(f"    C{tid}: "
+                              + "; ".join(str(op) for op in ops))
+                    print("    witness: "
+                          + " | ".join(shrunk.schedule))
+                    entry["shrink"] = {
+                        "original_ops": shrunk.original_ops,
+                        "final_ops": shrunk.final_ops,
+                        "rounds": shrunk.rounds,
+                        "candidates_tried": shrunk.candidates_tried,
+                        "threads": [[list(op) for op in ops]
+                                    for ops in shrunk.test.threads],
+                        "schedule": list(shrunk.schedule),
+                    }
+            records.append(entry)
+
+    hazards = sum(1 for r in records if r["verdict"] == "leak-hazard")
+    unknown = sum(1 for r in records if r["verdict"] == "unknown")
+    print(f"taint: {len(records)} check(s) over {len(tests)} test(s), "
+          f"{hazards} leak-hazard, {unknown} unknown")
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            {"schema": "repro.taint-report/v1",
+             "checks": records}, indent=1, sort_keys=True))
+        print(f"taint report written: {args.json}")
     return 0 if ok else 1
 
 
@@ -550,6 +653,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "enumerate provably SC-equivalent tests "
                              "under SC (repro.staticanalysis); adds a "
                              "'static' block to the JSON report")
+    litmus.add_argument("--taint", action="store_true",
+                        help="run the static FSB taint analyzer per "
+                             "test under both drain policies "
+                             "(repro.staticanalysis.taint); adds a "
+                             "'taint' block to verdicts and the JSON "
+                             "report (a leak hazard is a report, "
+                             "never a failure)")
     litmus.add_argument("--randgen", type=int, metavar="N", default=None,
                         help="campaign over N seeded constrained-random "
                              "tests (repro.litmus.randgen) instead of "
@@ -638,6 +748,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="faulting location for --policy "
                               "(repeatable; default: all locations)")
     explore.set_defaults(fn=_cmd_explore)
+
+    taint = sub.add_parser(
+        "taint",
+        help="static FSB leak analysis of litmus tests, with optional "
+             "dynamic cross-check and witness shrinking")
+    taint.add_argument("tests", nargs="*", metavar="TEST",
+                       help="test names (default: the whole "
+                            "hand-written library)")
+    taint.add_argument("--policy", default="both",
+                       choices=["same", "split", "both"],
+                       help="FSB drain policy to analyze under "
+                            "(default both)")
+    taint.add_argument("--fault", action="append", metavar="LOC",
+                       help="faulting location (repeatable; default: "
+                            "all locations)")
+    taint.add_argument("--crosscheck", action="store_true",
+                       help="also explore the speculative "
+                            "taint-tracking machine exhaustively and "
+                            "compare; a static leak-free verdict "
+                            "contradicted by a dynamic leak (false "
+                            "negative) fails the command")
+    taint.add_argument("--shrink", action="store_true",
+                       help="ddmin-minimize a leak witness for each "
+                            "static leak-hazard verdict, printing the "
+                            "minimal program and its schedule")
+    taint.add_argument("--strategy", default="dpor",
+                       choices=["dpor", "naive", "verify"],
+                       help="exploration strategy for --crosscheck / "
+                            "--shrink (default dpor)")
+    taint.add_argument("--max-states", type=int, default=500_000,
+                       help="exploration budget per dynamic check")
+    taint.add_argument("--json", metavar="PATH",
+                       help="write the machine-readable taint report")
+    taint.set_defaults(fn=_cmd_taint)
 
     fuzz = sub.add_parser(
         "fuzz", help="fuzz the operational/axiomatic pair")

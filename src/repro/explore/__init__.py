@@ -12,7 +12,12 @@ The subsystem has three layers:
 * :mod:`~repro.explore.fuzz` / :mod:`~repro.explore.shrink` — a
   mutation fuzzer diffing operational vs axiomatic outcome sets and
   a ddmin shrinker producing minimal counterexample programs with
-  replayable schedule traces.
+  replayable schedule traces;
+* :mod:`~repro.explore.spectaint` — the speculative taint-tracking
+  machine (transient loads may observe pre-apply FSB state, squash on
+  resolve, taint carried per value): the exhaustive dynamic ground
+  truth for the static FSB leak analyzer
+  (:mod:`repro.staticanalysis.taint`).
 """
 
 from ..memmodel.operational import ExplorationBudgetExceeded
@@ -41,8 +46,18 @@ from .machines import (
     machine_for,
 )
 from .shrink import ShrinkResult, rebuild_test, sanitise_threads, shrink_test
+from .spectaint import (
+    LEAK_MARKER,
+    SpecTaintMachine,
+    TaintCheck,
+    check_taint_policy,
+    dependency_info,
+    leak_predicate,
+)
 
 __all__ = [
+    "LEAK_MARKER", "SpecTaintMachine", "TaintCheck",
+    "check_taint_policy", "dependency_info", "leak_predicate",
     "DEFAULT_MAX_STATES", "STRATEGIES",
     "ExplorationBudgetExceeded", "ExplorationCheck",
     "ExplorationResult", "ExplorationStats", "PolicyCheck",

@@ -1,0 +1,529 @@
+"""Speculative taint-tracking machine: does the FSB leak?
+
+The FSB drains retired-but-faulting stores into an in-memory ring — a
+new microarchitectural structure on the store-to-load path.  Following
+the Store-to-Leak Forwarding attack model, this module extends the
+imprecise machine with a *speculative observation channel* and a taint
+semantics, so the DPOR engine can exhaustively answer whether a
+faulting store's data can reach a concurrent core's observable outcome
+before the OS apply point:
+
+* **Taint sources** — a store to a faulting address carries its own
+  origin ``(core, pc)`` from the moment it issues into the store
+  buffer (the data is destined for the FSB; pre-drain forwarding
+  already exposes it).
+* **Propagation** — loads forwarding from a tainted buffer/FSB entry
+  or reading tainted memory taint their destination register;
+  ``Wdata``-style data dependencies taint the dependent store's entry;
+  under split-stream a tainted non-faulting store drains straight to
+  memory and taints it (same-stream routes it through the FSB behind
+  its source, so its S_OS lands *after* the resolve).
+* **Transient channel** — while an entry sits pre-apply in some
+  *other* core's FSB, a pending load of the same address may
+  transiently observe it (a ``"spec"`` transition).  The observation
+  is squashed on resolve — registers keep their architectural values —
+  but the leak is recorded: within the transient window the observer
+  can always encode the value into a side channel.
+* **The apply point sanitises** — the OS apply (S_OS) of a faulting
+  entry architecturally commits its data: the write reaches memory
+  clean and the entry's origin is cleared from every register, entry,
+  and memory taint machine-wide.  "Before the OS apply point" is
+  therefore exactly the window in which taint is live.
+* **Leak events** are recorded eagerly into a monotone set carried in
+  the state: ``spec`` (transient cross-core FSB forward), ``obs`` (a
+  core architecturally reads a value tainted by another core), and
+  ``xmit`` (an address or control dependency consumes a live tainted
+  register while another core exists to observe the resulting cache /
+  branch channel).  A final state leaks iff the set is non-empty; the
+  outcome then carries the :data:`LEAK_MARKER` pseudo-register, so
+  :func:`repro.explore.explore` hands back one witness schedule per
+  leaking outcome for free.
+
+Fences that wait for the FSB (``FULL``/``w,w``/``w,r``) and atomics
+are the sanitisation barriers: they cannot complete until the core's
+buffer *and* FSB are empty, i.e. until every program-order-earlier
+faulting store has been applied — at which point the apply-time clear
+has already scrubbed those origins.
+
+DPOR footprint note: taint is machine-global state (a foreign core's
+apply clears origins everywhere), which would break the engine's
+group-local independence relation.  Every transition that *samples*
+taint (loads, atomics, dependency-carrying issues, spec observations)
+therefore declares a read of the pseudo-address :data:`TAINT_TOKEN`,
+and every apply of a faulting entry (the per-source resolve) declares
+a write of it; routes and applies also write their entry's address
+because the FSB is observable through the spec channel.  This keeps
+:func:`repro.explore.machines.independent` a valid independence
+relation (``strategy="verify"`` is asserted over a corpus slice by
+``tests/test_taint.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from ..memmodel.events import EventKind
+from ..memmodel.imprecise import DrainPolicy
+from .engine import DEFAULT_MAX_STATES, ExplorationStats, Schedule, explore
+from .machines import (ImpreciseMachine, Outcome, Transition, _freeze,
+                       _tag)
+
+#: Pseudo-address representing the machine-wide taint state in
+#: transition footprints (negative: never collides with a location).
+TAINT_TOKEN = -1
+
+#: Pseudo-register marking a leaking outcome (sorts after real
+#: registers; its value is always 1).
+LEAK_MARKER = "~fsb-leak"
+
+#: A taint origin: the ``(core, pc)`` of the faulting store whose data
+#: the tainted value derives from.
+Origin = Tuple[int, int]
+Origins = FrozenSet[Origin]
+
+_NO_ORIGINS: Origins = frozenset()
+
+#: Litmus dependency op → dependency kind for taint purposes.
+_DEP_KINDS = {"Raddr": "addr", "Waddr": "addr", "Wdata": "data",
+              "Wctrl": "ctrl", "Rctrl": "ctrl"}
+
+
+def dependency_info(test) -> Dict[Tuple[int, int], Tuple[str, str]]:
+    """Per ``(core, op index)``: ``(dep kind, dep register tag)``.
+
+    The event compilation erases *which kind* of dependency an
+    ``extra_ppo`` edge came from, but the taint semantics needs it
+    (address/control deps transmit, data deps propagate), so the
+    machine takes this side table extracted from the op tuples.
+    """
+    info: Dict[Tuple[int, int], Tuple[str, str]] = {}
+    for tid, ops in enumerate(test.threads):
+        for idx, op in enumerate(ops):
+            dkind = _DEP_KINDS.get(op[0])
+            if dkind is not None:
+                info[(tid, idx)] = (dkind, op[3])
+    return info
+
+
+class SpecTaintMachine(ImpreciseMachine):
+    """Imprecise machine + taint + the transient FSB forwarding channel.
+
+    State: ``(pcs, regs, buffers, mem, drained, fsbs, applied,
+    rtaints, mtaints, leaked)``.  Buffer/FSB entries are
+    ``(addr, value, origins, source)`` with ``source`` the entry's own
+    origin when it targets a faulting address (``None`` otherwise);
+    ``rtaints`` maps register tags to origin sets per core, ``mtaints``
+    maps addresses to origin sets, and ``leaked`` is a single sticky
+    bit: *some* leak event happened on this path.  The bit is
+    deliberately not a set of leak descriptors — every leak-recording
+    transition is labelled, so the witness schedule identifies the
+    channel, and collapsing to one bit keeps leaking programs from
+    dragging a powerset of descriptors through the state space (every
+    leaking outcome is the same outcome, so DPOR merges the branches).
+    """
+
+    name = "spec-taint"
+    model_name = "PC"
+    exact = False
+
+    def __init__(self, threads, init=None, extra_ppo=(),
+                 faulting: Iterable[int] = (),
+                 policy: DrainPolicy = DrainPolicy.SAME_STREAM,
+                 dep_info: Optional[Dict[Tuple[int, int],
+                                         Tuple[str, str]]] = None) -> None:
+        super().__init__(threads, init, extra_ppo, faulting=faulting,
+                         policy=policy)
+        self.dep_info = dict(dep_info or {})
+
+    # -- state plumbing -------------------------------------------------
+    def initial_state(self):
+        n = len(self.threads)
+        return (tuple(0 for _ in range(n)),          # pcs
+                tuple(() for _ in range(n)),         # regs
+                tuple(() for _ in range(n)),         # buffers
+                _freeze(self.init),                  # mem
+                tuple(0 for _ in range(n)),          # drained
+                tuple(() for _ in range(n)),         # fsbs
+                tuple(0 for _ in range(n)),          # applied
+                tuple(frozenset() for _ in range(n)),  # rtaints
+                frozenset(),                         # mtaints
+                False)                               # leaked
+
+    def outcome(self, state) -> Outcome:
+        base = self._flat_outcome(state[1])
+        if state[9]:
+            return base + ((LEAK_MARKER, 1),)
+        return base
+
+    @property
+    def leaks_possible(self) -> bool:
+        return bool(self.faulting) and len(self.threads) > 1
+
+    # -- taint-map helpers ----------------------------------------------
+    @staticmethod
+    def _lookup(pairs, key) -> Origins:
+        for k, origins in pairs:
+            if k == key:
+                return origins
+        return _NO_ORIGINS
+
+    @staticmethod
+    def _with(pairs, key, origins) -> FrozenSet:
+        rest = tuple((k, o) for k, o in pairs if k != key)
+        if origins:
+            rest += ((key, origins),)
+        return frozenset(rest)
+
+    @staticmethod
+    def _strip_pairs(pairs, src) -> FrozenSet:
+        out = []
+        for k, origins in pairs:
+            kept = origins - {src}
+            if kept:
+                out.append((k, kept))
+        return frozenset(out)
+
+    @staticmethod
+    def _strip_entries(entries, src):
+        return tuple((addr, value, origins - {src}, esrc)
+                     for (addr, value, origins, esrc) in entries)
+
+    @staticmethod
+    def _forward_entry(entries, addr):
+        for entry in reversed(entries):
+            if entry[0] == addr:
+                return entry
+        return None
+
+    # -- moves ----------------------------------------------------------
+    def successors(self, state):
+        out: List[Tuple[Transition, tuple]] = []
+        self._drain_moves(state, out)
+        self._apply_moves(state, out)
+        self._spec_moves(state, out)
+        self._step_moves(state, out)
+        return out
+
+    def _drain_moves(self, state, out) -> None:
+        (pcs, regs, buffers, mem_f, drained, fsbs, applied,
+         rtaints, mtaints, leaked) = state
+        for tid, buffer in enumerate(buffers):
+            if not buffer:
+                continue
+            (addr, value, origins, esrc), rest = buffer[0], buffer[1:]
+            fsb = fsbs[tid]
+            new_buffers = tuple(rest if i == tid else b
+                                for i, b in enumerate(buffers))
+            new_drained = tuple(d + 1 if i == tid else d
+                                for i, d in enumerate(drained))
+            faults = addr in self.faulting
+            routed = faults or (
+                self.policy is DrainPolicy.SAME_STREAM and bool(fsb))
+            if routed:
+                entry = (addr, value, origins, esrc)
+                new_fsbs = tuple(f + (entry,) if i == tid else f
+                                 for i, f in enumerate(fsbs))
+                verb = "DETECT+PUT" if faults and not fsb else "PUT"
+                # Routing makes the entry observable through the spec
+                # channel, so it is a write to the entry's address.
+                t = Transition(
+                    tid, ("drain", tid, drained[tid]), "route",
+                    writes=frozenset((addr,)),
+                    label=f"C{tid}: {verb} S(0x{addr:x},{value})")
+                out.append((t, (pcs, regs, new_buffers, mem_f,
+                                new_drained, new_fsbs, applied,
+                                rtaints, mtaints, leaked)))
+            else:
+                new_mem = dict(mem_f)
+                new_mem[addr] = value
+                new_mtaints = self._with(mtaints, addr, origins)
+                t = Transition(
+                    tid, ("drain", tid, drained[tid]), "drain",
+                    writes=frozenset((addr,)),
+                    label=f"C{tid}: drain S(0x{addr:x},{value})"
+                          + (" [tainted]" if origins else ""))
+                out.append((t, (pcs, regs, new_buffers, _freeze(new_mem),
+                                new_drained, fsbs, applied,
+                                rtaints, new_mtaints, leaked)))
+
+    def _apply_moves(self, state, out) -> None:
+        (pcs, regs, buffers, mem_f, drained, fsbs, applied,
+         rtaints, mtaints, leaked) = state
+        for tid, fsb in enumerate(fsbs):
+            if not fsb:
+                continue
+            (addr, value, origins, esrc), rest = fsb[0], fsb[1:]
+            new_fsbs = tuple(rest if i == tid else f
+                             for i, f in enumerate(fsbs))
+            new_applied = tuple(a + 1 if i == tid else a
+                                for i, a in enumerate(applied))
+            new_rtaints, new_buffers = rtaints, buffers
+            new_mtaints = mtaints
+            writes = {addr}
+            if esrc is not None:
+                # The apply point of this faulting store: its data is
+                # now architecturally committed, so its origin stops
+                # being secret everywhere.
+                origins = origins - {esrc}
+                new_rtaints = tuple(self._strip_pairs(r, esrc)
+                                    for r in rtaints)
+                new_buffers = tuple(self._strip_entries(b, esrc)
+                                    for b in buffers)
+                new_fsbs = tuple(self._strip_entries(f, esrc)
+                                 for f in new_fsbs)
+                new_mtaints = self._strip_pairs(mtaints, esrc)
+                writes.add(TAINT_TOKEN)
+            new_mem = dict(mem_f)
+            new_mem[addr] = value
+            new_mtaints = self._with(new_mtaints, addr, origins)
+            verb = "S_OS+RESOLVE" if not rest else "S_OS"
+            t = Transition(
+                tid, ("apply", tid, applied[tid]), "apply",
+                writes=frozenset(writes),
+                label=f"OS@C{tid}: {verb}(0x{addr:x},{value})")
+            out.append((t, (pcs, regs, new_buffers, _freeze(new_mem),
+                            drained, new_fsbs, new_applied,
+                            new_rtaints, new_mtaints, leaked)))
+
+    def _spec_moves(self, state, out) -> None:
+        """Transient cross-core FSB forwarding (Store-to-Leak).
+
+        A pending load may observe the newest same-address entry of
+        another core's pre-apply FSB.  The observation is squashed on
+        resolve — no architectural state changes — but when the entry
+        is tainted for the observer the leak bit is set.  Once the
+        path has leaked, further spec transitions would be no-ops and
+        are not generated (the bit is sticky)."""
+        (pcs, regs, buffers, mem_f, drained, fsbs, applied,
+         rtaints, mtaints, leaked) = state
+        if leaked:
+            return
+        for tid, thread in enumerate(self.threads):
+            pc = pcs[tid]
+            if pc >= len(thread):
+                continue
+            ev = thread[pc]
+            if ev.kind is not EventKind.LOAD:
+                continue
+            for owner, fsb in enumerate(fsbs):
+                if owner == tid or not fsb:
+                    continue
+                entry = self._forward_entry(fsb, ev.addr)
+                if entry is None:
+                    continue
+                _, value, origins, _ = entry
+                if not any(t != tid for (t, _) in origins):
+                    continue
+                t = Transition(
+                    tid, ("spec", tid, pc, owner), "spec",
+                    reads=frozenset((ev.addr, TAINT_TOKEN)),
+                    label=f"C{tid}: transient L(0x{ev.addr:x})={value} "
+                          f"<=FSB@C{owner} !leak")
+                out.append((t, state[:9] + (True,)))
+
+    def _step_moves(self, state, out) -> None:
+        (pcs, regs, buffers, mem_f, drained, fsbs, applied,
+         rtaints, mtaints, leaked) = state
+        mem = dict(mem_f)
+        observers = len(self.threads) > 1
+        for tid, thread in enumerate(self.threads):
+            pc = pcs[tid]
+            if pc >= len(thread):
+                continue
+            ev = thread[pc]
+            buffer = buffers[tid]
+            key = ("step", tid, pc)
+            new_pcs = tuple(p + 1 if i == tid else p
+                            for i, p in enumerate(pcs))
+            dep = self.dep_info.get((tid, pc))
+            dep_origins = (self._lookup(rtaints[tid], dep[1])
+                           if dep else _NO_ORIGINS)
+            reads = set()
+            new_leaked = leaked
+            xmit = ""
+            if dep:
+                reads.add(TAINT_TOKEN)
+                if dep[0] in ("addr", "ctrl") and dep_origins and observers:
+                    new_leaked = True
+                    xmit = f" !{dep[0]}-leak"
+            if ev.kind is EventKind.STORE:
+                origins: Origins = _NO_ORIGINS
+                esrc = None
+                if ev.addr in self.faulting:
+                    esrc = (tid, pc)
+                    origins = frozenset((esrc,))
+                if dep and dep[0] == "data":
+                    origins = origins | dep_origins
+                entry = (ev.addr, ev.value, origins, esrc)
+                new_buffers = tuple(buffer + (entry,) if i == tid else b
+                                    for i, b in enumerate(buffers))
+                t = Transition(
+                    tid, key, "step", reads=frozenset(reads),
+                    label=f"C{tid}: issue S(0x{ev.addr:x},"
+                          f"{ev.value}){xmit}")
+                out.append((t, (new_pcs, regs, new_buffers, mem_f,
+                                drained, fsbs, applied, rtaints,
+                                mtaints, new_leaked)))
+            elif ev.kind is EventKind.LOAD:
+                entry = (self._forward_entry(buffer, ev.addr)
+                         or self._forward_entry(fsbs[tid], ev.addr))
+                if entry is not None:
+                    value, origins = entry[1], entry[2]
+                else:
+                    value = mem.get(ev.addr, 0)
+                    origins = self._lookup(mtaints, ev.addr)
+                    reads.add(ev.addr)
+                reads.add(TAINT_TOKEN)
+                obs = ""
+                if any(t != tid for (t, _) in origins):
+                    new_leaked = True
+                    obs = " !obs-leak"
+                tag = _tag(ev)
+                new_regs = tuple(
+                    r + ((tag, value),) if i == tid else r
+                    for i, r in enumerate(regs))
+                new_rtaints = tuple(
+                    self._with(r, tag, origins) if i == tid else r
+                    for i, r in enumerate(rtaints))
+                t = Transition(
+                    tid, key, "step", reads=frozenset(reads),
+                    label=f"C{tid}: L(0x{ev.addr:x})={value}{xmit}{obs}")
+                out.append((t, (new_pcs, new_regs, buffers, mem_f,
+                                drained, fsbs, applied, new_rtaints,
+                                mtaints, new_leaked)))
+            elif ev.kind is EventKind.ATOMIC:
+                if not self._atomic_ready(state, tid):
+                    continue
+                old = mem.get(ev.addr, 0)
+                origins = self._lookup(mtaints, ev.addr)
+                reads.update((ev.addr, TAINT_TOKEN))
+                obs = ""
+                if any(t != tid for (t, _) in origins):
+                    new_leaked = True
+                    obs = " !obs-leak"
+                new_mem = dict(mem)
+                new_mem[ev.addr] = ev.value
+                tag = _tag(ev)
+                new_regs = tuple(
+                    r + ((tag, old),) if i == tid else r
+                    for i, r in enumerate(regs))
+                new_rtaints = tuple(
+                    self._with(r, tag, origins) if i == tid else r
+                    for i, r in enumerate(rtaints))
+                # The atomic's own write is clean constant data.
+                new_mtaints = self._with(mtaints, ev.addr, _NO_ORIGINS)
+                t = Transition(
+                    tid, key, "step", reads=frozenset(reads),
+                    writes=frozenset((ev.addr,)),
+                    label=f"C{tid}: A(0x{ev.addr:x},{ev.value}){obs}")
+                out.append((t, (new_pcs, new_regs, buffers,
+                                _freeze(new_mem), drained, fsbs,
+                                applied, new_rtaints, new_mtaints,
+                                new_leaked)))
+            elif ev.kind is EventKind.FENCE:
+                if not self._fence_ready(state, tid, ev.fence):
+                    continue
+                t = Transition(tid, key, "step",
+                               label=f"C{tid}: F.{ev.fence.value}")
+                out.append((t, (new_pcs, regs, buffers, mem_f, drained,
+                                fsbs, applied, rtaints, mtaints,
+                                leaked)))
+            else:
+                t = Transition(tid, key, "step", label=f"C{tid}: nop")
+                out.append((t, (new_pcs, regs, buffers, mem_f, drained,
+                                fsbs, applied, rtaints, mtaints,
+                                leaked)))
+
+
+# ----------------------------------------------------------------------
+# Litmus-level ground truth: exhaustive taint exploration
+# ----------------------------------------------------------------------
+@dataclass
+class TaintCheck:
+    """Exhaustive speculative-taint exploration of one litmus test.
+
+    ``leak`` is the ground truth the static analyzer
+    (:mod:`repro.staticanalysis.taint`) is judged against: ``True``
+    iff some reachable schedule records a leak event before the
+    corresponding apply point.  ``witness_schedule`` replays one such
+    schedule (``None`` when leak-free)."""
+
+    test_name: str
+    policy: str
+    faulting_locs: Tuple[str, ...]
+    leak: bool
+    witness_outcome: Optional[Outcome]
+    witness_schedule: Optional[Schedule]
+    outcomes: int
+    leak_outcomes: int
+    stats: ExplorationStats
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test_name,
+            "policy": self.policy,
+            "faulting_locs": list(self.faulting_locs),
+            "leak": self.leak,
+            "witness_schedule": (list(self.witness_schedule)
+                                 if self.witness_schedule else None),
+            "outcomes": self.outcomes,
+            "leak_outcomes": self.leak_outcomes,
+            "stats": self.stats.as_dict(),
+        }
+
+
+def check_taint_policy(test, policy: DrainPolicy,
+                       faulting_locs: Optional[Iterable[str]] = None,
+                       strategy: str = "dpor",
+                       max_states: int = DEFAULT_MAX_STATES
+                       ) -> TaintCheck:
+    """Exhaustively explore the speculative taint machine for ``test``
+    with stores to ``faulting_locs`` faulting (default: every
+    location) under ``policy``, and report whether any schedule leaks.
+
+    Mirrors :func:`repro.explore.check_drain_policy`'s interface; this
+    is the dynamic ground truth for
+    :func:`repro.staticanalysis.analyze_taint` (zero false negatives
+    required — see ``tests/test_taint.py``)."""
+    if faulting_locs is None:
+        locs = tuple(test.locations)
+    else:
+        locs = tuple(faulting_locs)
+    faulting = frozenset(test.location_addr(loc) for loc in locs)
+    threads, deps = test.to_events()
+    machine = SpecTaintMachine(threads, extra_ppo=deps,
+                               faulting=faulting, policy=policy,
+                               dep_info=dependency_info(test))
+    result = explore(machine, strategy=strategy, max_states=max_states)
+    leaking = sorted(o for o in result.outcomes
+                     if (LEAK_MARKER, 1) in o)
+    witness_outcome = leaking[0] if leaking else None
+    return TaintCheck(
+        test_name=test.name, policy=policy.value, faulting_locs=locs,
+        leak=bool(leaking), witness_outcome=witness_outcome,
+        witness_schedule=(result.schedules[witness_outcome]
+                         if witness_outcome is not None else None),
+        outcomes=len(result.outcomes), leak_outcomes=len(leaking),
+        stats=result.stats)
+
+
+def leak_predicate(policy: DrainPolicy, strategy: str = "dpor",
+                   max_states: int = DEFAULT_MAX_STATES):
+    """A :func:`repro.explore.shrink.shrink_test` predicate holding
+    the "this program leaks under ``policy``" property: returns the
+    leaking ``(outcome, schedule)`` witness or ``None``.
+
+    Faults every location of the candidate (fault sets named against
+    the original program would not survive shrinking)."""
+    def predicate(test):
+        try:
+            check = check_taint_policy(test, policy, strategy=strategy,
+                                       max_states=max_states)
+        except Exception:
+            return None
+        if not check.leak:
+            return None
+        return (check.witness_outcome, check.witness_schedule)
+    return predicate

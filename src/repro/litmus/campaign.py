@@ -490,4 +490,12 @@ def run_campaign(tests: Sequence[LitmusTest],
                  st["relaxable"], st["unknown"],
                  st["short_circuited"], st["tests_skipped"],
                  st["wall_time_s"])
+    if config.taint:
+        tt = report.taint_totals()
+        log.info("campaign taint: %d analyzed "
+                 "(%d leak-hazard, %d leak-free, %d unknown), "
+                 "%d witness flows, %.3fs",
+                 tt["tests_analyzed"], tt["leak_hazard"],
+                 tt["leak_free"], tt["unknown"], tt["flows"],
+                 tt["wall_time_s"])
     return report

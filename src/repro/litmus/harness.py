@@ -92,6 +92,13 @@ class TestVerdict:
     #: instead of the relaxed reference.  ``None`` when
     #: ``config.prefilter`` was off or a cached allowed set was used.
     static_check: Optional[Dict] = None
+    #: Static FSB taint verdicts (:mod:`repro.staticanalysis.taint`),
+    #: one ``TaintReport.as_dict()`` per drain policy under
+    #: ``"policies"`` plus aggregate ``hazard``/``leak_free``/
+    #: ``unknown`` flags and a total ``flows`` count.  A hazard is a
+    #: security *report*, never a conformance failure.  ``None`` when
+    #: ``config.taint`` was off.
+    taint_check: Optional[Dict] = None
 
     @property
     def explore_ok(self) -> Optional[bool]:
@@ -221,6 +228,20 @@ class SuiteReport:
                     reg.counter("static.short_circuited").inc()
                 reg.counter("static.wall_time_s").inc(
                     v.static_check.get("wall_time_s", 0.0))
+            if v.taint_check is None:
+                reg.counter("taint.tests_skipped").inc()
+            else:
+                reg.counter("taint.tests_analyzed").inc()
+                if v.taint_check.get("hazard"):
+                    reg.counter("taint.leak_hazard").inc()
+                elif v.taint_check.get("unknown"):
+                    reg.counter("taint.unknown").inc()
+                else:
+                    reg.counter("taint.leak_free").inc()
+                reg.counter("taint.flows").inc(
+                    v.taint_check.get("flows", 0))
+                reg.counter("taint.wall_time_s").inc(
+                    v.taint_check.get("wall_time_s", 0.0))
         return reg
 
     @staticmethod
@@ -266,6 +287,16 @@ class SuiteReport:
         return self._totals_view(self.metrics_registry(), "static", (
             "tests_classified", "tests_skipped", "sc_equivalent",
             "relaxable", "unknown", "short_circuited", "wall_time_s"))
+
+    def taint_totals(self) -> Dict[str, float]:
+        """Summed static FSB taint counters over every verdict that
+        analyzed its test (``None`` entries are counted in
+        ``tests_skipped``).  A test counts as ``leak_hazard`` when
+        *either* drain policy has a hazard flow.  A thin view over
+        :meth:`metrics_registry` (namespace ``taint``)."""
+        return self._totals_view(self.metrics_registry(), "taint", (
+            "tests_analyzed", "tests_skipped", "leak_hazard",
+            "leak_free", "unknown", "flows", "wall_time_s"))
 
     def category_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -364,6 +395,24 @@ def check_test(test: LitmusTest,
                                 allowed=allowed,
                                 prefilter=config.prefilter)
         explore_check = check.as_dict()
+    taint_check = None
+    if config.taint:
+        from ..memmodel.imprecise import DrainPolicy
+        from ..staticanalysis import analyze_taint
+        reports = {policy.value: analyze_taint(test, policy)
+                   for policy in DrainPolicy}
+        taint_check = {
+            "policies": {name: r.as_dict()
+                         for name, r in sorted(reports.items())},
+            "hazard": any(r.verdict.value == "leak-hazard"
+                          for r in reports.values()),
+            "leak_free": all(r.leak_free for r in reports.values()),
+            "unknown": any(r.verdict.value == "unknown"
+                           for r in reports.values()),
+            "flows": sum(len(r.flows) for r in reports.values()),
+            "wall_time_s": round(sum(r.wall_time_s
+                                     for r in reports.values()), 6),
+        }
     run = run_test(test, config)
     conformance = check_outcome_set(allowed, run.outcomes,
                                     model_name=reference.name)
@@ -378,7 +427,8 @@ def check_test(test: LitmusTest,
                        wall_time=time.perf_counter() - started,
                        enum_stats=enum_stats,
                        explore_check=explore_check,
-                       static_check=static_check)
+                       static_check=static_check,
+                       taint_check=taint_check)
 
 
 def check_suite(tests: Sequence[LitmusTest],

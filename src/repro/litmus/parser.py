@@ -24,12 +24,32 @@ Supported instructions: ``sw``/``sd`` (store register), ``li``
 RISC-V ``x`` names; symbolic locations are bare identifiers.  The
 ``exists`` clause becomes the test's spotlight outcome.
 
-:func:`render_litmus` is the inverse writer for the plain op subset
-(``W``/``R``/``F``/``A``) — dependency ops have no textual encoding in
-this subset and raise :class:`LitmusRenderError`.  For tests whose
-observation registers follow the parser's ``{tid}:x{N}`` namespace
-(everything :mod:`repro.litmus.randgen` emits), render → re-parse is
-an exact round trip: identical threads, registers, and spotlight.
+Dependency ops use the standard litmus *xor idioms* (a syntactic
+dependency through a register that always computes zero / a branch
+that always falls through — semantically inert, architecturally
+order-inducing):
+
+=========  ==========================================================
+DSL op     ``.litmus`` encoding
+=========  ==========================================================
+``Raddr``  ``xor x30,xd,xd`` then ``lw xr,0(loc,x30)``
+``Waddr``  ``xor x30,xd,xd`` then ``sw xv,0(loc,x30)``
+``Wdata``  ``xor x30,xd,xd``; ``addi x30,x30,<val>``;
+           ``sw x30,0(loc)``
+``Rctrl``  ``beq xd,xd,0`` then ``lw xr,0(loc)``
+``Wctrl``  ``beq xd,xd,0`` then ``sw xv,0(loc)``
+=========  ==========================================================
+
+where ``xd`` is the producing load's register.  A dangling idiom
+prefix (an ``xor``/``beq`` whose dependency is never consumed by a
+memory access) is a parse error, never silently dropped.
+
+:func:`render_litmus` is the inverse writer covering the full op
+vocabulary (``W``/``R``/``F``/``A`` plus the dependency idioms
+above).  For tests whose observation registers follow the parser's
+``{tid}:x{N}`` namespace (everything :mod:`repro.litmus.randgen`
+emits), render → re-parse is an exact round trip: identical threads,
+registers, dependencies, and spotlight.
 """
 
 from __future__ import annotations
@@ -155,18 +175,28 @@ def _parse_threads(rows: List[List[str]], init: Dict) -> List[List[tuple]]:
                 reg_values[tid][reg] = value
     threads: List[List[tuple]] = [[] for _ in range(n_threads)]
     reg_counter = [0] * n_threads
+    # Per-thread in-flight dependency idiom (see module docstring):
+    # ("addr", dep, scratch) after ``xor``, ("data", dep, scratch,
+    # value) after ``addi``, ("ctrl", dep) after ``beq``.
+    pending: List[Optional[tuple]] = [None] * n_threads
 
     for row in rows[1:]:
         for tid, cell in enumerate(row):
             if tid >= n_threads or not cell:
                 continue
             _parse_instruction(cell, tid, threads, reg_values,
-                               reg_counter)
+                               reg_counter, pending)
+    for tid, dangling in enumerate(pending):
+        if dangling is not None:
+            raise LitmusParseError(
+                f"thread {tid}: dangling {dangling[0]}-dependency "
+                f"idiom on {dangling[1]!r} never consumed by a memory "
+                f"access")
     return threads
 
 
 def _parse_instruction(cell: str, tid: int, threads, reg_values,
-                       reg_counter) -> None:
+                       reg_counter, pending) -> None:
     cell = cell.strip()
     if not cell:
         return
@@ -175,28 +205,106 @@ def _parse_instruction(cell: str, tid: int, threads, reg_values,
     if mnemonic == "li":
         reg, value = rest.split(",")
         reg_values[tid][reg] = int(value)
+    elif mnemonic == "xor":
+        match = re.match(r"^(\w+),(\w+),(\w+)$", rest)
+        if not match or match.group(2) != match.group(3):
+            raise LitmusParseError(
+                f"bad xor idiom: {cell!r} (expected xor xs,xd,xd)")
+        if pending[tid] is not None:
+            raise LitmusParseError(
+                f"thread {tid}: dependency idiom opened twice "
+                f"({cell!r} while a {pending[tid][0]} idiom is open)")
+        scratch, dep = match.group(1), match.group(2)
+        pending[tid] = ("addr", f"{tid}:{dep}", scratch)
+    elif mnemonic == "addi":
+        match = re.match(r"^(\w+),(\w+),(-?\d+)$", rest)
+        if not match or match.group(1) != match.group(2):
+            raise LitmusParseError(
+                f"bad addi idiom: {cell!r} (expected addi xs,xs,v)")
+        state = pending[tid]
+        if state is None or state[0] != "addr" \
+                or state[2] != match.group(1):
+            raise LitmusParseError(
+                f"addi outside an xor data-dependency idiom: {cell!r}")
+        pending[tid] = ("data", state[1], state[2],
+                        int(match.group(3)))
+    elif mnemonic == "beq":
+        match = re.match(r"^(\w+),(\w+),0$", rest)
+        if not match or match.group(1) != match.group(2):
+            raise LitmusParseError(
+                f"bad beq idiom: {cell!r} (expected beq xd,xd,0)")
+        if pending[tid] is not None:
+            raise LitmusParseError(
+                f"thread {tid}: dependency idiom opened twice "
+                f"({cell!r} while a {pending[tid][0]} idiom is open)")
+        pending[tid] = ("ctrl", f"{tid}:{match.group(1)}")
     elif mnemonic in ("sw", "sd"):
-        match = re.match(r"^(\w+),0\((\w+)\)$", rest)
+        state, pending[tid] = pending[tid], None
+        match = re.match(r"^(\w+),0\((\w+)(?:,(\w+))?\)$", rest)
         if not match:
             raise LitmusParseError(f"bad store operand: {cell!r}")
-        src, loc = match.groups()
-        value = reg_values[tid].get(src, 1)
-        threads[tid].append(("W", loc, value))
+        src, loc, offset = match.groups()
+        if offset is not None:
+            if state is None or state[0] != "addr" or state[2] != offset:
+                raise LitmusParseError(
+                    f"store offset register {offset!r} has no "
+                    f"preceding xor idiom: {cell!r}")
+            value = reg_values[tid].get(src, 1)
+            threads[tid].append(("Waddr", loc, value, state[1]))
+        elif state is not None and state[0] == "data":
+            if src != state[2]:
+                raise LitmusParseError(
+                    f"data-dependency idiom computes {state[2]!r} but "
+                    f"the store writes {src!r}: {cell!r}")
+            threads[tid].append(("Wdata", loc, state[3], state[1]))
+        elif state is not None and state[0] == "ctrl":
+            value = reg_values[tid].get(src, 1)
+            threads[tid].append(("Wctrl", loc, value, state[1]))
+        elif state is not None:
+            raise LitmusParseError(
+                f"plain store inside a {state[0]}-dependency idiom: "
+                f"{cell!r}")
+        else:
+            value = reg_values[tid].get(src, 1)
+            threads[tid].append(("W", loc, value))
     elif mnemonic in ("lw", "ld"):
-        match = re.match(r"^(\w+),0\((\w+)\)$", rest)
+        state, pending[tid] = pending[tid], None
+        match = re.match(r"^(\w+),0\((\w+)(?:,(\w+))?\)$", rest)
         if not match:
             raise LitmusParseError(f"bad load operand: {cell!r}")
-        dst, loc = match.groups()
+        dst, loc, offset = match.groups()
         reg_name = f"{tid}:{dst}"
-        threads[tid].append(("R", loc, reg_name))
+        if offset is not None:
+            if state is None or state[0] != "addr" or state[2] != offset:
+                raise LitmusParseError(
+                    f"load offset register {offset!r} has no "
+                    f"preceding xor idiom: {cell!r}")
+            threads[tid].append(("Raddr", loc, reg_name, state[1]))
+        elif state is not None and state[0] == "ctrl":
+            threads[tid].append(("Rctrl", loc, reg_name, state[1]))
+        elif state is not None:
+            raise LitmusParseError(
+                f"plain load inside a {state[0]}-dependency idiom: "
+                f"{cell!r}")
+        else:
+            threads[tid].append(("R", loc, reg_name))
         reg_counter[tid] += 1
     elif mnemonic == "fence":
+        if pending[tid] is not None:
+            raise LitmusParseError(
+                f"thread {tid}: fence inside a {pending[tid][0]}-"
+                f"dependency idiom (dependencies are immediate)")
         kind = _FENCE_KINDS.get(rest)
         if kind is None:
             raise LitmusParseError(f"unsupported fence order: {cell!r}")
         threads[tid].append(("F", kind) if kind is not FenceKind.FULL
                             else ("F",))
     elif mnemonic.startswith("amoswap"):
+        if pending[tid] is not None:
+            raise LitmusParseError(
+                f"thread {tid}: amoswap inside a {pending[tid][0]}-"
+                f"dependency idiom (no dependency-bearing atomics in "
+                f"the DSL)")
         match = re.match(r"^(\w+),(\w+),\((\w+)\)$", rest)
         if not match:
             raise LitmusParseError(f"bad amoswap operand: {cell!r}")
@@ -230,21 +338,25 @@ def _value_registers(test: LitmusTest) -> List[Dict[int, str]]:
     """Per-thread map of store value -> preload register name.
 
     Registers are allocated from ``x5`` upward, skipping any name the
-    thread already uses as a load/amoswap destination, so preloads
-    never shadow an observation register.
+    thread already uses as a load/amoswap destination and the ``x30``
+    idiom scratch register, so preloads never shadow an observation
+    register.  Value-carrying store kinds needing a preload are ``W``,
+    ``Waddr``, ``Wctrl``, and ``A`` — ``Wdata`` encodes its value in
+    the ``addi`` of its idiom instead.
     """
     maps: List[Dict[int, str]] = []
     for tid, ops in enumerate(test.threads):
-        used = set()
+        used = {_SCRATCH}
         for op in ops:
-            if op[0] == "R":
+            if op[0] in ("R", "Raddr", "Rctrl"):
                 used.add(_reg_suffix(op[2], tid))
             elif op[0] == "A":
                 used.add(_reg_suffix(op[3], tid))
         values: Dict[int, str] = {}
         next_idx = 5
         for op in ops:
-            if op[0] in ("W", "A") and op[2] not in values:
+            if op[0] in ("W", "Waddr", "Wctrl", "A") \
+                    and op[2] not in values:
                 while f"x{next_idx}" in used:
                     next_idx += 1
                 values[op[2]] = f"x{next_idx}"
@@ -266,24 +378,48 @@ def _reg_suffix(reg: str, tid: int) -> str:
     return suffix
 
 
-def _render_op(op: tuple, tid: int, values: Dict[int, str]) -> str:
+#: The dependency-idiom scratch register (see the module docstring);
+#: excluded from preload allocation so idioms never clobber values.
+_SCRATCH = "x30"
+
+
+def _render_op(op: tuple, tid: int, values: Dict[int, str]) -> List[str]:
+    """The ``.litmus`` instruction(s) for one DSL op — dependency ops
+    expand to their multi-instruction xor/beq idioms."""
     kind = op[0]
     if kind == "W":
-        return f"sw {values[op[2]]},0({op[1]})"
+        return [f"sw {values[op[2]]},0({op[1]})"]
     if kind == "R":
-        return f"lw {_reg_suffix(op[2], tid)},0({op[1]})"
+        return [f"lw {_reg_suffix(op[2], tid)},0({op[1]})"]
     if kind == "F":
         fence = op[1] if len(op) > 1 else FenceKind.FULL
         order = _FENCE_ORDERS.get(fence)
         if order is None:
             raise LitmusRenderError(f"unsupported fence kind: {fence!r}")
-        return f"fence {order}"
+        return [f"fence {order}"]
     if kind == "A":
         dst = _reg_suffix(op[3], tid)
-        return f"amoswap {dst},{values[op[2]]},({op[1]})"
+        return [f"amoswap {dst},{values[op[2]]},({op[1]})"]
+    if kind in ("Raddr", "Waddr", "Wdata", "Rctrl", "Wctrl"):
+        dep = _reg_suffix(op[3], tid)
+        if kind == "Raddr":
+            return [f"xor {_SCRATCH},{dep},{dep}",
+                    f"lw {_reg_suffix(op[2], tid)},"
+                    f"0({op[1]},{_SCRATCH})"]
+        if kind == "Waddr":
+            return [f"xor {_SCRATCH},{dep},{dep}",
+                    f"sw {values[op[2]]},0({op[1]},{_SCRATCH})"]
+        if kind == "Wdata":
+            return [f"xor {_SCRATCH},{dep},{dep}",
+                    f"addi {_SCRATCH},{_SCRATCH},{op[2]}",
+                    f"sw {_SCRATCH},0({op[1]})"]
+        if kind == "Rctrl":
+            return [f"beq {dep},{dep},0",
+                    f"lw {_reg_suffix(op[2], tid)},0({op[1]})"]
+        return [f"beq {dep},{dep},0",
+                f"sw {values[op[2]]},0({op[1]})"]
     raise LitmusRenderError(
-        f"op {op!r} (thread {tid}) has no .litmus encoding; the text "
-        f"subset covers plain W/R/F/A only, not dependency ops")
+        f"op {op!r} (thread {tid}) has no .litmus encoding")
 
 
 def _render_exists(test: LitmusTest) -> str:
@@ -293,7 +429,9 @@ def _render_exists(test: LitmusTest) -> str:
             label = reg
         else:
             readers = [tid for tid, ops in enumerate(test.threads)
-                       if any(op[0] in ("R", "A") and op[-1] == reg
+                       if any((op[0] in ("R", "Raddr", "Rctrl")
+                               and op[2] == reg)
+                              or (op[0] == "A" and op[3] == reg)
                               for op in ops)]
             if len(readers) != 1:
                 raise LitmusRenderError(
@@ -305,17 +443,20 @@ def _render_exists(test: LitmusTest) -> str:
 
 
 def render_litmus(test: LitmusTest) -> str:
-    """Render a plain-subset :class:`LitmusTest` as ``.litmus`` text.
+    """Render a :class:`LitmusTest` as ``.litmus`` text.
 
     The output parses back via :func:`parse_litmus`; for tests using
     the ``{tid}:x{N}`` register namespace the reparse reproduces the
-    exact threads and spotlight.  Dependency ops raise
-    :class:`LitmusRenderError`.
+    exact threads, dependencies, and spotlight.  Dependency ops
+    expand to their xor/beq idioms (module docstring).
     """
     values = _value_registers(test)
     cells: List[List[str]] = []
     for tid, ops in enumerate(test.threads):
-        cells.append([_render_op(op, tid, values[tid]) for op in ops])
+        col: List[str] = []
+        for op in ops:
+            col.extend(_render_op(op, tid, values[tid]))
+        cells.append(col)
 
     init_stmts = []
     for tid, value_map in enumerate(values):

@@ -13,7 +13,9 @@ it).
 thread lists and a corpus entry: it builds the
 :class:`~repro.litmus.dsl.LitmusTest`, asserts a clean lint
 (``L000``–``L006``, no whitelist — a finding is a generator bug and
-raises :class:`~repro.litmus.randgen.constraints.RandGenError`), and
+raises :class:`~repro.litmus.randgen.constraints.RandGenError`;
+``L007`` alone is exempt, it marks intentionally gadget-shaped
+security tests, not malformed programs), and
 stamps the structural :func:`~repro.litmus.generator.program_digest`
 used for dedup and manifest verification.
 """
@@ -117,7 +119,13 @@ def emit(built: BuiltProgram, name: str, seed: int, template: str,
     test = LitmusTest(name=name, category=built.category,
                       threads=built.threads, spotlight=built.spotlight)
     from ...staticanalysis.lint import lint_test
-    findings = lint_test(test)
+    # L007 (faulting-store data used as an address) is exempt here: it
+    # flags a *security-relevant* gadget shape, not a malformed
+    # program.  Templates are free to generate gadget-shaped tests —
+    # they are precisely what the taint analyzer and the speculative
+    # explorer want to exercise; the campaign reports them via
+    # ``--taint`` instead of refusing to emit them.
+    findings = lint_test(test, ignore=("L007",))
     if findings:
         raise RandGenError(
             f"generated program {name!r} (template {template}) is not "

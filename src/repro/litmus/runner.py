@@ -76,6 +76,11 @@ class RunConfig:
     #: under SC instead of the relaxed reference — bit-identical
     #: results, far cheaper (:mod:`repro.staticanalysis`).
     prefilter: bool = False
+    #: Run the static FSB taint analyzer per test under both drain
+    #: policies and record the security verdicts in
+    #: ``TestVerdict.taint_check`` (:mod:`repro.staticanalysis.taint`).
+    #: A leak hazard is a report, never a conformance failure.
+    taint: bool = False
 
     def system_config(self, cores: int) -> SystemConfig:
         return small_config(cores=cores, consistency=self.model)

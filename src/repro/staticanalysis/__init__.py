@@ -15,13 +15,23 @@ rf/co enumeration, no operational exploration:
   cycle shape, found without exploring the imprecise machine.
 * :mod:`~repro.staticanalysis.lint` — well-formedness linter with a
   machine-readable rule catalogue (``repro lint``).
+* :mod:`~repro.staticanalysis.taint` — FSB information-flow analyzer:
+  can a faulting store's data reach a concurrent core's observable
+  outcome before the OS apply point (transient FSB forwarding,
+  tainted memory, dependency side channels)?  Verdicts per
+  (test, drain policy): ``LEAK_FREE`` / ``LEAK_HAZARD`` with witness
+  flow paths / ``UNKNOWN``.
 
-Soundness contracts (enforced by ``tests/test_staticanalysis.py``):
-``SC_EQUIVALENT`` implies bit-identical allowed sets under the model
-and SC; a ``race-free`` drain verdict implies
-:func:`repro.explore.check_drain_policy` finds no split-stream race.
-The converse directions are conservative — ``RELAXABLE`` and
-``possible-race`` may be false alarms, never silent misses.
+Soundness contracts (enforced by ``tests/test_staticanalysis.py`` and
+``tests/test_taint.py``): ``SC_EQUIVALENT`` implies bit-identical
+allowed sets under the model and SC; a ``race-free`` drain verdict
+implies :func:`repro.explore.check_drain_policy` finds no
+split-stream race; a ``leak-free`` taint verdict implies the
+exhaustive speculative taint explorer
+(:func:`repro.explore.check_taint_policy`) finds no leaking schedule.
+The converse directions are conservative — ``RELAXABLE``,
+``possible-race``, and ``leak-hazard`` may be false alarms, never
+silent misses.
 """
 
 from .cycles import (Classification, CriticalCycle, Verdict, classify,
@@ -31,6 +41,7 @@ from .drain import (DrainHazardReport, DrainVerdict, HazardWitness,
 from .fences import FenceAdvice, FencePlacement, advise_fences
 from .lint import (LINT_RULES, LintFinding, has_lint_errors, lint_file,
                    lint_test, lint_tests)
+from .taint import TaintFlow, TaintReport, TaintVerdict, analyze_taint
 
 __all__ = [
     "Classification", "CriticalCycle", "Verdict", "classify",
@@ -40,4 +51,5 @@ __all__ = [
     "FenceAdvice", "FencePlacement", "advise_fences",
     "LINT_RULES", "LintFinding", "has_lint_errors", "lint_file",
     "lint_test", "lint_tests",
+    "TaintFlow", "TaintReport", "TaintVerdict", "analyze_taint",
 ]

@@ -79,6 +79,17 @@ class HazardWitness:
     younger_addr: Optional[int] = None
     observer_cores: Tuple[int, ...] = ()
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "faulting_store": self.faulting_store,
+            "younger_store": self.younger_store,
+            "observer_path": list(self.observer_path),
+            "faulting_addr": self.faulting_addr,
+            "younger_addr": self.younger_addr,
+            "observer_cores": list(self.observer_cores),
+            "description": self.description,
+        }
+
 
 @dataclass
 class DrainHazardReport:
@@ -102,7 +113,9 @@ class DrainHazardReport:
             "policy": self.policy,
             "faulting_locs": list(self.faulting_locs),
             "verdict": self.verdict.value,
-            "hazards": [h.description for h in self.hazards],
+            # Every detected pair, structured (addresses, observer
+            # cores, return path) — not just the prose descriptions.
+            "hazards": [h.as_dict() for h in self.hazards],
             "reason": self.reason,
             "wall_time_s": round(self.wall_time_s, 6),
         }

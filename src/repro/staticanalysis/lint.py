@@ -16,6 +16,10 @@ ID       severity  finding
 ``L005`` error     unaligned or aliasing location addresses
 ``L006`` error     unreachable final condition: spotlight expects a
                    value no write to the register's location produces
+``L007`` warning   faulting-store data reachable as an address: a load
+                   forwardable from a po-earlier same-location store
+                   feeds an address dependency with no FSB barrier in
+                   between (the transient leak-gadget shape)
 =======  ========  ====================================================
 
 ``L001`` is the hard form of the historical implicit-zero behaviour of
@@ -40,6 +44,7 @@ LINT_RULES: Dict[str, Tuple[str, str]] = {
     "L004": ("warning", "dead initialisation"),
     "L005": ("error", "unaligned or aliasing location address"),
     "L006": ("error", "unreachable final condition"),
+    "L007": ("warning", "faulting-store data used as an address"),
 }
 
 #: Op kinds that produce an observation register, with the tuple slot
@@ -49,6 +54,11 @@ _PRODUCERS = {"R": 2, "Raddr": 2, "Rctrl": 2, "A": 3}
 _DEP_OPS = ("Raddr", "Rctrl", "Waddr", "Wdata", "Wctrl")
 #: Op kinds that write a value to their location (value in slot 2).
 _WRITERS = ("W", "Waddr", "Wdata", "Wctrl", "A")
+#: Plain stores — FSB-eligible when their page faults (atomics are
+#: sanitization barriers, never gadget sources).
+_STORES = ("W", "Waddr", "Wdata", "Wctrl")
+#: Op kinds whose dependency register resolves to an *address*.
+_ADDR_DEP_OPS = ("Raddr", "Waddr")
 
 
 @dataclass(frozen=True)
@@ -220,6 +230,52 @@ def _check_addresses(test) -> List[LintFinding]:
     return out
 
 
+def _check_fsb_gadget(test) -> List[LintFinding]:
+    """L007: a store's data, forwardable to a po-later load, later
+    feeds an address.
+
+    Every campaign location is faultable (EInject poisons whole
+    pages), so any store is a potential FSB taint source.  The flagged
+    shape — ``W(x,v); R(x,r); Raddr/Waddr(..., dep=r)`` with no FSB
+    barrier between the store and the address use — is exactly the
+    transmit channel :func:`repro.staticanalysis.taint.analyze_taint`
+    reports: while the store is pending pre-apply, the forwarded value
+    is transient state, and using it as an address transmits it.
+    A warning, not an error: the program is well-formed, just
+    security-relevant.
+    """
+    from .taint import _barrier_indices
+    out = []
+    for tid, ops in enumerate(test.threads):
+        barriers = set(_barrier_indices(ops))
+        stores: Dict[str, List[int]] = {}    # loc -> store indices
+        tainted: Dict[str, int] = {}         # reg -> source store index
+        for k, op in enumerate(ops):
+            kind = op[0]
+            if kind in _ADDR_DEP_OPS:
+                src = tainted.get(op[3])
+                if src is not None and not any(
+                        src < b < k for b in barriers):
+                    out.append(_finding(
+                        "L007", test.name,
+                        f"{kind} uses register {op[3]!r} as an "
+                        f"address; it can hold data forwarded from "
+                        f"the store at T{tid}.{src}, transient while "
+                        f"that store is pending in the FSB "
+                        f"(leak-gadget shape; see "
+                        f"docs/static_analysis.md)", thread=tid, op=k))
+            slot = _PRODUCERS.get(kind)
+            if slot is not None:
+                same_loc = stores.get(op[1], ())
+                if kind != "A" and same_loc:
+                    tainted[op[slot]] = max(same_loc)
+                else:  # no forwardable store, or sanitizing atomic
+                    tainted.pop(op[slot], None)
+            if kind in _STORES:
+                stores.setdefault(op[1], []).append(k)
+    return out
+
+
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
@@ -231,7 +287,8 @@ def lint_test(test, ignore: Collection[str] = ()) -> List[LintFinding]:
                 + _check_spotlight(test, sites)
                 + _check_duplicate_registers(test, sites)
                 + _check_init(test)
-                + _check_addresses(test))
+                + _check_addresses(test)
+                + _check_fsb_gadget(test))
     findings.sort(key=lambda f: (f.rule, f.thread or 0, f.op or 0))
     return [f for f in findings if f.rule not in ignore]
 

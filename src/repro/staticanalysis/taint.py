@@ -1,0 +1,439 @@
+"""Static FSB taint analysis: can a faulting store's data leak?
+
+The FSB holds retired-but-faulting stores pre-apply — data that the
+architectural memory state never shows until S_OS, but that the
+microarchitecture keeps on the store-to-load path.  Following the
+Store-to-Leak Forwarding model, a concurrent core may *transiently*
+observe another core's pre-apply FSB entry through a pending load
+(squashed on resolve, but long enough to encode into a side channel),
+and any core may observe tainted data architecturally once a derived
+value reaches memory.  This module decides, from program structure
+alone, whether such a flow exists — the static counterpart of the
+exhaustive :class:`repro.explore.spectaint.SpecTaintMachine` ground
+truth, judged to zero false negatives by ``tests/test_taint.py``.
+
+Taint lattice: each value carries a set of *origins* ``(core, op)`` —
+the faulting stores its data derives from; the empty set is ⊥ and all
+transfer functions are monotone (set union), so the fixpoint below
+terminates.  Flows tracked:
+
+* **source** — a store to a faulting location taints its own entry.
+* **forwarding** (po) — a load may forward from any program-order
+  earlier same-location store on its own core (buffer or pre-apply
+  FSB), inheriting the entry's origins.
+* **memory** — a tainted *non-faulting* store can drain to memory
+  tainted (always under split-stream; under same-stream when the
+  core's own FSB happens to be empty — a cross-core relay — so the
+  analyzer conservatively keeps the edge for both policies).  A
+  faulting store reaches memory only through its apply, which clears
+  its *own* origin: only inherited (derived) origins survive as
+  residue.
+* **dependencies** — a ``Wdata`` store inherits its producer
+  register's origins; address/control dependencies do not propagate
+  into the value but *transmit* (below).
+* **fsb-spec** — a cross-core load of a tainted store's location may
+  observe the entry transiently while it sits pre-apply in the FSB
+  (faulting locations always route there; tainted non-faulting
+  stores reach the observer through memory instead, so the candidate
+  pair is flagged either way).  Writer- or reader-side fences do
+  **not** close this channel: a fence only waits for its *own* core's
+  FSB, and the transient window exists while the entry is pre-apply
+  on the other core.
+
+Sanitization barriers: FSB-waiting fences (``FULL``/``w,w``/``w,r``)
+and atomics cannot complete until every program-order earlier faulting
+store of their core has been applied — and the apply point clears that
+store's origin machine-wide.  Crossing a barrier therefore kills all
+*own-core* origins of an intra-core flow; foreign origins survive
+(a local fence cannot resolve another core's fault).  Atomics
+additionally sanitize their own intake (they wait for the local FSB
+before reading).
+
+Leak sinks (any one ⇒ ``LEAK_HAZARD`` with a witness flow path):
+
+* **observe** — a cross-core load or atomic of a tainted store's
+  location whose observed origins include a core other than the
+  reader (the cross-core candidate pairs come from the Shasha–Snir
+  conflict edges of :mod:`repro.staticanalysis.cycles`).
+* **transmit** — an address or control dependency consumes a
+  still-live tainted register while another core exists: the
+  dependent access's cache/branch footprint is a classic transient
+  gadget (lint rule L007 flags the single-instruction shape of this).
+
+Verdicts mirror :mod:`repro.staticanalysis.drain`: ``LEAK_FREE`` is
+the sound direction (no flow exists ⇒ the exhaustive taint explorer
+finds no leaking schedule); ``LEAK_HAZARD`` is conservative (a flow
+exists statically but value coincidences may hide it dynamically);
+``UNKNOWN`` means the analyzer declined and callers must fall back to
+exploration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..memmodel.events import EventKind
+from ..memmodel.imprecise import DrainPolicy
+from ..memmodel.relations import StaticRelations
+from .cycles import _SUPPORTED_KINDS, conflict_edges
+from .drain import _FSB_BARRIER_FENCES
+
+#: Op kinds the analyzer understands; anything else ⇒ ``UNKNOWN``.
+_STORE_OPS = frozenset(("W", "Waddr", "Wdata", "Wctrl"))
+_LOAD_OPS = frozenset(("R", "Raddr", "Rctrl"))
+_KNOWN_OPS = _STORE_OPS | _LOAD_OPS | frozenset(("A", "F"))
+
+#: Dependency-bearing op → (dependency kind, dep-register position).
+_DEP_OPS = {"Raddr": "addr", "Rctrl": "ctrl", "Waddr": "addr",
+            "Wdata": "data", "Wctrl": "ctrl"}
+
+Origin = Tuple[int, int]
+
+
+class TaintVerdict(Enum):
+    """Static information-flow outcome for one (test, policy)."""
+
+    LEAK_FREE = "leak-free"
+    LEAK_HAZARD = "leak-hazard"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One witnessing flow: taint source → … → observable sink."""
+
+    #: ``"fsb-spec"`` (transient cross-core FSB forward), ``"memory"``
+    #: (tainted data reached memory architecturally), or
+    #: ``"transmit"`` (address/control-dependency side channel).
+    channel: str
+    #: ``(core, op index)`` of the originating faulting store.
+    source: Tuple[int, int]
+    #: ``(core, op index)`` of the observing/transmitting op.
+    sink: Tuple[int, int]
+    #: Human-readable steps, source first.
+    steps: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return " => ".join(self.steps)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "channel": self.channel,
+            "source": list(self.source),
+            "sink": list(self.sink),
+            "steps": list(self.steps),
+        }
+
+
+@dataclass
+class TaintReport:
+    """Static taint verdict for one (test, policy, fault set)."""
+
+    test_name: str
+    policy: str
+    faulting_locs: Tuple[str, ...]
+    verdict: TaintVerdict
+    flows: Tuple[TaintFlow, ...] = ()
+    reason: str = ""
+    wall_time_s: float = 0.0
+
+    @property
+    def leak_free(self) -> bool:
+        return self.verdict is TaintVerdict.LEAK_FREE
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test_name,
+            "policy": self.policy,
+            "faulting_locs": list(self.faulting_locs),
+            "verdict": self.verdict.value,
+            "flows": [f.as_dict() for f in self.flows],
+            "reason": self.reason,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+
+# ----------------------------------------------------------------------
+# Program structure helpers
+# ----------------------------------------------------------------------
+def _op_loc(op) -> Optional[str]:
+    return op[1] if op[0] in _STORE_OPS | _LOAD_OPS | {"A"} else None
+
+
+def _op_reg(op) -> Optional[str]:
+    """Destination register of a value-producing op."""
+    if op[0] in _LOAD_OPS:
+        return op[2]
+    if op[0] == "A":
+        return op[3]
+    return None
+
+
+def _op_dep(op) -> Optional[Tuple[str, str]]:
+    """``(dependency kind, dep register)`` for dependency-bearing ops."""
+    dkind = _DEP_OPS.get(op[0])
+    if dkind is None:
+        return None
+    return dkind, op[3]
+
+
+def _barrier_indices(ops) -> Tuple[int, ...]:
+    """Op indices acting as FSB sanitization barriers on this core."""
+    out = []
+    for idx, op in enumerate(ops):
+        if op[0] == "F":
+            kind = op[1] if len(op) > 1 else None
+            if kind is None or kind in _FSB_BARRIER_FENCES:
+                out.append(idx)
+        elif op[0] == "A":
+            out.append(idx)
+    return tuple(out)
+
+
+def _kill_across(origins: FrozenSet[Origin], tid: int,
+                 barriers: Tuple[int, ...], lo: int,
+                 hi: int) -> FrozenSet[Origin]:
+    """Origins surviving a po hop ``lo → hi`` on core ``tid``: a
+    crossed barrier has waited for every own faulting store issued
+    before it, whose applies cleared the own-core origins; foreign
+    origins are untouched (a local fence cannot resolve a remote
+    fault)."""
+    if any(lo < bx < hi for bx in barriers):
+        return frozenset(o for o in origins if o[0] != tid)
+    return origins
+
+
+def _producer_index(ops, reg: str, before: int) -> Optional[int]:
+    """Latest op before ``before`` producing ``reg``, or ``None``."""
+    for idx in range(before - 1, -1, -1):
+        if _op_reg(ops[idx]) == reg:
+            return idx
+    return None
+
+
+def _describe_op(tid: int, idx: int, op) -> str:
+    loc = _op_loc(op)
+    return f"C{tid}:{idx}:{op[0]}({loc})" if loc else f"C{tid}:{idx}:{op[0]}"
+
+
+# ----------------------------------------------------------------------
+# The analyzer
+# ----------------------------------------------------------------------
+def analyze_taint(test, policy: DrainPolicy = DrainPolicy.SAME_STREAM,
+                  faulting_locs: Optional[Iterable[str]] = None
+                  ) -> TaintReport:
+    """Statically decide whether ``test`` can leak a faulting store's
+    data to a concurrent observer before the apply point, with stores
+    to ``faulting_locs`` faulting (default: every location).
+
+    Mirrors :func:`repro.explore.spectaint.check_taint_policy`'s
+    interface without exploring.  Never raises: failures yield an
+    ``UNKNOWN`` verdict.  The verdict is policy-independent by design
+    (the transient FSB channel exists under both policies; only the
+    witness channel differs — see ``docs/static_analysis.md``), but
+    the policy is recorded so reports stay comparable with the
+    dynamic ground truth.
+    """
+    started = time.perf_counter()
+    locs = tuple(faulting_locs) if faulting_locs is not None \
+        else tuple(test.locations)
+    try:
+        faulting = {test.location_addr(loc) for loc in locs}
+        threads = test.threads
+        ncores = len(threads)
+        unknown_ops = sorted({op[0] for ops in threads for op in ops
+                              if op[0] not in _KNOWN_OPS})
+        if unknown_ops:
+            return TaintReport(
+                test_name=test.name, policy=policy.value,
+                faulting_locs=locs, verdict=TaintVerdict.UNKNOWN,
+                reason=f"unsupported ops: {unknown_ops}",
+                wall_time_s=time.perf_counter() - started)
+
+        loc_addr = {loc: test.location_addr(loc)
+                    for ops in threads for op in ops
+                    for loc in ((_op_loc(op),) if _op_loc(op) else ())}
+        barriers = tuple(_barrier_indices(ops) for ops in threads)
+
+        # Cross-core observer candidates come from the Shasha–Snir
+        # conflict edges (same address, different cores, one a write).
+        threads_ev, deps = test.to_events()
+        events = [e for th in threads_ev for e in th]
+        if any(e.kind not in _SUPPORTED_KINDS for e in events):
+            return TaintReport(
+                test_name=test.name, policy=policy.value,
+                faulting_locs=locs, verdict=TaintVerdict.UNKNOWN,
+                reason="unsupported event kinds",
+                wall_time_s=time.perf_counter() - started)
+        static = StaticRelations(events, extra_ppo=deps)
+        observer_pairs: Set[Tuple[Origin, Origin]] = set()
+        for (a, b) in conflict_edges(static):
+            ea, eb = static.by_uid[a], static.by_uid[b]
+            if (ea.kind is EventKind.STORE
+                    and eb.kind in (EventKind.LOAD, EventKind.ATOMIC)):
+                observer_pairs.add(((ea.core, ea.index),
+                                    (eb.core, eb.index)))
+
+        # Monotone fixpoint over origin sets (tiny programs: iterate
+        # the transfer functions until stable).
+        store_origins: Dict[Origin, FrozenSet[Origin]] = {}
+        reg_origins: Dict[Origin, FrozenSet[Origin]] = {}
+        paths: Dict[Tuple[str, int, int], Tuple[str, ...]] = {}
+
+        def mem_origins(t: int, s: int) -> FrozenSet[Origin]:
+            """Origins a store's data can carry *into memory*: its own
+            origin is cleared by the apply that commits a faulting
+            store, so only inherited residue survives there."""
+            origins = store_origins.get((t, s), frozenset())
+            op = threads[t][s]
+            if loc_addr[op[1]] in faulting:
+                return origins - {(t, s)}
+            return origins
+
+        changed = True
+        while changed:
+            changed = False
+            for tid, ops in enumerate(threads):
+                for idx, op in enumerate(ops):
+                    kind = op[0]
+                    if kind in _STORE_OPS:
+                        origins: Set[Origin] = set()
+                        path: Tuple[str, ...] = ()
+                        if loc_addr[op[1]] in faulting:
+                            origins.add((tid, idx))
+                            path = (f"{_describe_op(tid, idx, op)} "
+                                    "faulting store [taint source]",)
+                        dep = _op_dep(op)
+                        if dep and dep[0] == "data":
+                            p = _producer_index(ops, dep[1], idx)
+                            if p is not None:
+                                inherited = _kill_across(
+                                    reg_origins.get((tid, p),
+                                                    frozenset()),
+                                    tid, barriers[tid], p, idx)
+                                if inherited and not path:
+                                    path = paths.get(
+                                        ("reg", tid, p), ()) + (
+                                        f"{_describe_op(tid, idx, op)} "
+                                        "carries tainted data",)
+                                origins |= inherited
+                        frozen = frozenset(origins)
+                        if frozen - store_origins.get((tid, idx),
+                                                      frozenset()):
+                            store_origins[(tid, idx)] = frozen | \
+                                store_origins.get((tid, idx),
+                                                  frozenset())
+                            paths.setdefault(("store", tid, idx), path)
+                            changed = True
+                    elif kind in _LOAD_OPS or kind == "A":
+                        origins = set()
+                        path = ()
+                        addr = loc_addr[op[1]]
+                        for (t, s), so in sorted(store_origins.items()):
+                            sop = threads[t][s]
+                            if loc_addr[sop[1]] != addr:
+                                continue
+                            if t == tid and s < idx and kind != "A":
+                                # own-core store-to-load forwarding
+                                survived = _kill_across(
+                                    so, tid, barriers[tid], s, idx)
+                            elif t != tid:
+                                # via memory (atomics sanitize their
+                                # own-core residue: they wait for the
+                                # local FSB before reading)
+                                survived = mem_origins(t, s)
+                                if kind == "A":
+                                    survived = frozenset(
+                                        o for o in survived
+                                        if o[0] != tid)
+                            else:
+                                continue
+                            if survived and not path:
+                                path = paths.get(("store", t, s),
+                                                 ()) + (
+                                    f"{_describe_op(tid, idx, op)} "
+                                    "reads tainted value",)
+                            origins |= survived
+                        frozen = frozenset(origins)
+                        if frozen - reg_origins.get((tid, idx),
+                                                    frozenset()):
+                            reg_origins[(tid, idx)] = frozen | \
+                                reg_origins.get((tid, idx), frozenset())
+                            paths.setdefault(("reg", tid, idx), path)
+                            changed = True
+
+        # -- leak sinks ------------------------------------------------
+        flows: List[TaintFlow] = []
+        seen: Set[Tuple] = set()
+        for (src, snk) in sorted(observer_pairs):
+            (t, s), (i, l) = src, snk
+            so = store_origins.get((t, s), frozenset())
+            if not so:
+                continue
+            rop = threads[i][l]
+            if rop[0] == "A":
+                effective = frozenset(o for o in mem_origins(t, s)
+                                      if o[0] != i)
+            else:
+                effective = so
+            if not any(o[0] != i for o in effective):
+                continue
+            sop = threads[t][s]
+            faults = loc_addr[sop[1]] in faulting
+            channel = "fsb-spec" if faults and rop[0] != "A" \
+                else "memory"
+            root = min(o for o in effective if o[0] != i)
+            key = ("observe", src, snk)
+            if key in seen:
+                continue
+            seen.add(key)
+            how = ("transiently observes pre-apply FSB entry"
+                   if channel == "fsb-spec"
+                   else "observes tainted memory")
+            flows.append(TaintFlow(
+                channel=channel, source=root, sink=snk,
+                steps=paths.get(("store", t, s), ()) + (
+                    f"{_describe_op(i, l, rop)} {how} of "
+                    f"{_describe_op(t, s, sop)}",)))
+        if ncores > 1:
+            for tid, ops in enumerate(threads):
+                for idx, op in enumerate(ops):
+                    dep = _op_dep(op)
+                    if not dep or dep[0] == "data":
+                        continue
+                    p = _producer_index(ops, dep[1], idx)
+                    if p is None:
+                        continue
+                    live = _kill_across(
+                        reg_origins.get((tid, p), frozenset()),
+                        tid, barriers[tid], p, idx)
+                    if not live:
+                        continue
+                    key = ("transmit", tid, idx)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    flows.append(TaintFlow(
+                        channel="transmit", source=min(live),
+                        sink=(tid, idx),
+                        steps=paths.get(("reg", tid, p), ()) + (
+                            f"{_describe_op(tid, idx, op)} uses "
+                            f"tainted register as {dep[0]} "
+                            "[side-channel transmit]",)))
+
+        verdict = (TaintVerdict.LEAK_HAZARD if flows
+                   else TaintVerdict.LEAK_FREE)
+        return TaintReport(
+            test_name=test.name, policy=policy.value, faulting_locs=locs,
+            verdict=verdict, flows=tuple(flows),
+            wall_time_s=time.perf_counter() - started)
+    except Exception as exc:  # sound fallback: never claim leak-free
+        return TaintReport(
+            test_name=test.name,
+            policy=getattr(policy, "value", str(policy)),
+            faulting_locs=locs, verdict=TaintVerdict.UNKNOWN,
+            reason=f"{type(exc).__name__}: {exc}",
+            wall_time_s=time.perf_counter() - started)

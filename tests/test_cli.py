@@ -12,8 +12,8 @@ class TestParserStructure:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {
             "litmus", "table3", "fig5", "fig6", "proofs", "mbench",
-            "explore", "fuzz", "lint", "serve", "profile", "stats",
-            "capture", "scenario16", "gen"}
+            "explore", "fuzz", "taint", "lint", "serve", "profile",
+            "stats", "capture", "scenario16", "gen"}
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -56,7 +56,7 @@ class TestCommands:
     def test_litmus_files_mode(self, capsys):
         assert main(["litmus", "--files", "litmus_files",
                      "--seeds", "5"]) == 0
-        assert "tests=13" in capsys.readouterr().out
+        assert "tests=17" in capsys.readouterr().out
 
     def test_litmus_save_log(self, capsys, tmp_path):
         import json
@@ -156,7 +156,7 @@ class TestLitmusRandgen:
         assert "randgen corpus: 12 tests" in out
         assert "litmus suite [OK]" in out
         report = json.load(open(report_path))
-        assert report["schema"].endswith("/v7")
+        assert report["schema"].endswith("/v8")
         assert report["corpus"]["count"] == 12
         assert report["corpus"]["seed"] == 0
 

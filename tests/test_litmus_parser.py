@@ -176,10 +176,18 @@ class TestRenderLitmus:
         reparsed = parse_litmus(render_litmus(test))
         assert reparsed.threads == test.threads
 
-    def test_dependency_ops_are_refused(self):
+    def test_dependency_ops_render_as_xor_idioms(self):
         from repro.litmus.library import mp_addr_dep
+        text = render_litmus(mp_addr_dep())
+        assert "xor x30,r0,r0" in text
+        assert "lw r1,0(y,x30)" in text
+
+    def test_unrenderable_op_is_refused(self):
+        from repro.litmus.dsl import LitmusTest
+        test = LitmusTest(name="BOGUS", category="co",
+                          threads=[[("Q", "x", 1)]])
         with pytest.raises(LitmusRenderError):
-            render_litmus(mp_addr_dep())
+            render_litmus(test)
 
     def test_value_preloads_avoid_observation_registers(self):
         # Thread writes 2 and reads into x5 — the preload register
@@ -202,6 +210,119 @@ class TestRenderLitmus:
                 entry.header.name
             assert reparsed.spotlight == entry.test.spotlight
             assert reparsed.name == entry.test.name
+
+    def test_random_corpus_with_deps_round_trips_exactly(self):
+        # The deps feature emits Raddr/Wdata/Wctrl/... ops; with the
+        # xor idioms the full corpus round-trips bit-exactly (randgen
+        # registers live in the parser's {tid}:x{N} namespace).
+        from repro.litmus.randgen import generate_corpus
+        corpus = generate_corpus(seed=11, count=60)
+        dep_kinds = {"Raddr", "Waddr", "Wdata", "Rctrl", "Wctrl"}
+        saw_deps = 0
+        for entry in corpus.tests:
+            kinds = {op[0] for ops in entry.test.threads for op in ops}
+            saw_deps += bool(kinds & dep_kinds)
+            reparsed = parse_litmus(render_litmus(entry.test))
+            assert reparsed.threads == entry.test.threads, \
+                entry.header.name
+            assert reparsed.spotlight == entry.test.spotlight
+        assert saw_deps > 0, "corpus slice exercised no dependency ops"
+
+
+class TestDependencyIdioms:
+    """The xor/beq dependency encodings (parser module docstring)."""
+
+    def test_addr_dependency_parses(self):
+        text = ("RISCV ADDR\n"
+                " P0             ;\n"
+                " lw x6,0(x)     ;\n"
+                " xor x30,x6,x6  ;\n"
+                " lw x7,0(y,x30) ;\n")
+        test = parse_litmus(text)
+        assert test.threads[0] == [("R", "x", "0:x6"),
+                                   ("Raddr", "y", "0:x7", "0:x6")]
+
+    def test_store_addr_dependency_parses(self):
+        text = ("RISCV WADDR\n"
+                " P0             ;\n"
+                " lw x6,0(x)     ;\n"
+                " xor x30,x6,x6  ;\n"
+                " sw x5,0(y,x30) ;\n")
+        test = parse_litmus(text)
+        assert test.threads[0] == [("R", "x", "0:x6"),
+                                   ("Waddr", "y", 1, "0:x6")]
+
+    def test_data_dependency_parses(self):
+        text = ("RISCV DATA\n"
+                " P0             ;\n"
+                " lw x6,0(x)     ;\n"
+                " xor x30,x6,x6  ;\n"
+                " addi x30,x30,7 ;\n"
+                " sw x30,0(y)    ;\n")
+        test = parse_litmus(text)
+        assert test.threads[0] == [("R", "x", "0:x6"),
+                                   ("Wdata", "y", 7, "0:x6")]
+
+    def test_ctrl_dependencies_parse(self):
+        text = ("RISCV CTRL\n"
+                " P0           | P1           ;\n"
+                " lw x6,0(x)   | lw x6,0(y)   ;\n"
+                " beq x6,x6,0  | beq x6,x6,0  ;\n"
+                " sw x5,0(y)   | lw x7,0(x)   ;\n")
+        test = parse_litmus(text)
+        assert test.threads[0] == [("R", "x", "0:x6"),
+                                   ("Wctrl", "y", 1, "0:x6")]
+        assert test.threads[1] == [("R", "y", "1:x6"),
+                                   ("Rctrl", "x", "1:x7", "1:x6")]
+
+    def test_dangling_idiom_is_a_parse_error(self):
+        with pytest.raises(LitmusParseError) as exc:
+            parse_litmus("RISCV X\n P0 ;\n lw x6,0(x) ;\n"
+                         " xor x30,x6,x6 ;\n")
+        assert "dangling" in str(exc.value)
+        with pytest.raises(LitmusParseError) as exc:
+            parse_litmus("RISCV X\n P0 ;\n lw x6,0(x) ;\n"
+                         " beq x6,x6,0 ;\n")
+        assert "dangling" in str(exc.value)
+
+    def test_idiom_errors(self):
+        # addi outside an xor idiom
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n P0 ;\n addi x30,x30,1 ;\n"
+                         " sw x30,0(y) ;\n")
+        # xor with mismatched sources is not the idiom
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n P0 ;\n lw x6,0(x) ;\n"
+                         " xor x30,x6,x7 ;\n lw x8,0(y,x30) ;\n")
+        # offset register without a preceding xor
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n P0 ;\n lw x8,0(y,x30) ;\n")
+        # a fence may not split an idiom from its consumer
+        with pytest.raises(LitmusParseError):
+            parse_litmus("RISCV X\n P0 ;\n lw x6,0(x) ;\n"
+                         " xor x30,x6,x6 ;\n fence w,w ;\n"
+                         " lw x7,0(y,x30) ;\n")
+
+    def test_all_shipped_fixtures_round_trip(self):
+        # Every .litmus artifact in litmus_files/ — including the
+        # dependency-bearing ones — must be a render/parse fixpoint.
+        from pathlib import Path
+        paths = sorted((Path(__file__).resolve().parents[1]
+                        / "litmus_files").glob("*.litmus"))
+        assert len(paths) >= 17
+        dep_fixtures = 0
+        for path in paths:
+            test = parse_litmus(path.read_text())
+            text = render_litmus(test)
+            reparsed = parse_litmus(text)
+            assert reparsed.threads == test.threads, path.name
+            assert reparsed.spotlight == test.spotlight, path.name
+            assert render_litmus(reparsed) == text, path.name
+            if {op[0] for ops in test.threads for op in ops} & \
+                    {"Raddr", "Waddr", "Wdata", "Rctrl", "Wctrl"}:
+                dep_fixtures += 1
+        assert dep_fixtures >= 4, \
+            "expected the dependency-bearing fixture set on disk"
 
 
 class TestGeneratedSuiteUniqueness:

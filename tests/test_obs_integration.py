@@ -209,7 +209,7 @@ class TestReportSchemaV7:
         path = tmp_path / "report.json"
         payload = write_campaign_report(path, report)
         assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
-        assert payload["schema"].endswith("/v7")
+        assert payload["schema"].endswith("/v8")
         loaded = read_campaign_report(path)
         assert loaded["telemetry"]["metrics"]["counters"][
             "campaign.tests"] == len(_suite())
@@ -217,7 +217,7 @@ class TestReportSchemaV7:
     def test_older_schemas_still_readable(self, tmp_path):
         from repro.analysis.postprocess import read_campaign_report
 
-        for version in ("v1", "v2", "v3", "v4", "v5", "v6"):
+        for version in ("v1", "v2", "v3", "v4", "v5", "v6", "v7"):
             path = tmp_path / f"{version}.json"
             path.write_text(json.dumps(
                 {"schema": f"repro.litmus.campaign-report/{version}",

@@ -270,7 +270,7 @@ class TestCampaignIntegration:
         assert again.store["hits"] == 20
         assert again.store["misses"] == 0
 
-    def test_report_v7_carries_the_corpus_block(self, tmp_path):
+    def test_report_v8_carries_the_corpus_block(self, tmp_path):
         from repro.analysis.postprocess import (CAMPAIGN_REPORT_SCHEMA,
                                                 read_campaign_report,
                                                 write_campaign_report)
@@ -281,7 +281,7 @@ class TestCampaignIntegration:
         write_campaign_report(path, report)
         back = read_campaign_report(path)
         assert back["schema"] == CAMPAIGN_REPORT_SCHEMA
-        assert back["schema"].endswith("/v7")
+        assert back["schema"].endswith("/v8")
         block = back["corpus"]
         assert block["seed"] == 31
         assert block["count"] == 10

@@ -303,6 +303,37 @@ class TestDrainDetector:
         json.dumps(report.as_dict())
         assert report.as_dict()["policy"] == DrainPolicy.SPLIT_STREAM.value
 
+    def test_all_hazard_pairs_are_surfaced(self):
+        """Regression: a program with two faulting stores overtaken
+        by younger drains must report *both* pairs, structured, in
+        the JSON — not just the first or a prose-only list."""
+        multi = LitmusTest(
+            name="multihazard", category="t",
+            threads=[[("W", "x", 1), ("W", "y", 1), ("W", "z", 1)],
+                     [("R", "z", "r0"), ("R", "y", "r1"),
+                      ("R", "x", "r2")]])
+        report = detect_drain_hazards(
+            multi, DrainPolicy.SPLIT_STREAM, faulting_locs=("x", "y"))
+        assert report.verdict is DrainVerdict.POSSIBLE_RACE
+        assert len(report.hazards) == 2
+        faulting = {h.faulting_addr for h in report.hazards}
+        assert faulting == {multi.location_addr("x"),
+                            multi.location_addr("y")}
+        # Both faulting stores are overtaken by the one non-faulting
+        # younger store z (y→x stays FIFO: both route to the FSB).
+        assert {h.younger_addr for h in report.hazards} == \
+            {multi.location_addr("z")}
+        payload = report.as_dict()["hazards"]
+        assert len(payload) == 2
+        for entry, hazard in zip(payload, report.hazards):
+            assert entry["faulting_store"] == hazard.faulting_store
+            assert entry["younger_store"] == hazard.younger_store
+            assert entry["observer_path"] == list(hazard.observer_path)
+            assert entry["observer_cores"] == list(hazard.observer_cores)
+            assert entry["description"] == hazard.description
+        import json
+        json.dumps(payload)
+
 
 # ----------------------------------------------------------------------
 # Pre-filter integration (harness + explorer)
@@ -377,7 +408,7 @@ class TestPrefilterIntegration:
         path = tmp_path / "report.json"
         payload = write_campaign_report(path, report)
         assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
-        assert payload["schema"].endswith("/v7")
+        assert payload["schema"].endswith("/v8")
         assert payload["static"] == totals
         assert all("static" in r for r in payload["results"])
         assert read_campaign_report(path)["static"] == totals

@@ -1,0 +1,396 @@
+"""Static FSB taint analyzer vs the speculative taint explorer.
+
+The contract under test (``repro.staticanalysis.taint`` /
+``repro.explore.spectaint``): a static ``leak-free`` verdict implies
+the exhaustive speculative taint-tracking machine finds **no** leaking
+schedule for that (test, drain policy) — zero false negatives over the
+hand-written library, the generated structural suite, and a seeded
+500-test randgen slice, under both FSB drain policies.  The converse
+(``leak-hazard`` the explorer cannot realise) is the allowed
+conservative direction.
+
+The soundness sweeps use the contrapositive structure: the static pass
+runs on *everything*, and the expensive dynamic explorer runs exactly
+where the static verdict is ``leak-free`` — a hazard/unknown verdict
+makes a false negative impossible by definition, so this covers the
+full zero-FN claim while keeping the suite fast.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (LEAK_MARKER, check_taint_policy,
+                           leak_predicate, shrink_test)
+from repro.litmus import RunConfig, check_suite, check_test
+from repro.litmus.dsl import LitmusTest
+from repro.litmus.generator import generate_all
+from repro.litmus.library import (all_library_tests, message_passing,
+                                  message_passing_fenced)
+from repro.memmodel.axioms import get_model
+from repro.memmodel.imprecise import DrainPolicy
+from repro.staticanalysis import (TaintVerdict, advise_fences,
+                                  analyze_taint)
+
+POLICIES = tuple(DrainPolicy)
+LIBRARY = all_library_tests()
+
+
+def assert_no_false_negative(test, policy, report):
+    """The one inadmissible outcome: static leak-free, dynamic leak."""
+    if report.verdict is not TaintVerdict.LEAK_FREE:
+        return None  # hazard/unknown: a false negative is impossible
+    check = check_taint_policy(test, policy)
+    assert not check.leak, (
+        f"FALSE NEGATIVE: {test.name} [{policy.value}] statically "
+        f"leak-free but the explorer leaks via "
+        f"{check.witness_schedule}")
+    return check
+
+
+# ----------------------------------------------------------------------
+# Dynamic ground truth (the speculative taint machine)
+# ----------------------------------------------------------------------
+class TestSpecTaintMachine:
+    def test_mp_leaks_under_both_policies(self):
+        """The Store-to-Leak shape: a concurrent reader transiently
+        observes MP's pre-apply FSB entries under either policy."""
+        for policy in POLICIES:
+            check = check_taint_policy(message_passing(), policy)
+            assert check.leak, policy
+            assert check.witness_schedule, policy
+            assert any("!leak" in step
+                       for step in check.witness_schedule), \
+                check.witness_schedule
+            assert check.leak_outcomes > 0
+            assert (LEAK_MARKER, 1) in check.witness_outcome
+
+    def test_fences_do_not_close_the_transient_channel(self):
+        """The honest finding: writer/reader fences order *commits*;
+        the transient FSB forward happens before the fence's drain
+        can matter on the observer side."""
+        for policy in POLICIES:
+            assert check_taint_policy(message_passing_fenced(),
+                                      policy).leak, policy
+
+    def test_no_faulting_locations_no_leak(self):
+        check = check_taint_policy(message_passing(),
+                                   DrainPolicy.SAME_STREAM,
+                                   faulting_locs=())
+        assert not check.leak
+        assert check.witness_schedule is None
+
+    def test_single_core_cannot_leak(self):
+        solo = LitmusTest(name="solo", category="t",
+                          threads=[[("W", "x", 1), ("R", "x", "r0")]])
+        for policy in POLICIES:
+            assert not check_taint_policy(solo, policy).leak
+
+    def test_strategies_agree(self):
+        """DPOR with the TAINT_TOKEN footprints must match the naive
+        verify oracle outcome-for-outcome."""
+        for test in (message_passing(), LIBRARY[0]):
+            for policy in POLICIES:
+                dpor = check_taint_policy(test, policy, strategy="dpor")
+                verify = check_taint_policy(test, policy,
+                                            strategy="verify")
+                assert dpor.outcomes == verify.outcomes, \
+                    (test.name, policy)
+                assert dpor.leak == verify.leak
+
+
+# ----------------------------------------------------------------------
+# Static analyzer units + edge cases
+# ----------------------------------------------------------------------
+class TestAnalyzeTaint:
+    def test_mp_is_a_leak_hazard_with_fsb_spec_flow(self):
+        report = analyze_taint(message_passing())
+        assert report.verdict is TaintVerdict.LEAK_HAZARD
+        channels = {flow.channel for flow in report.flows}
+        assert "fsb-spec" in channels
+        flow = report.flows[0]
+        assert "=>" in flow.describe()
+        json.dumps(report.as_dict())
+
+    def test_empty_program_is_leak_free(self):
+        for threads in ([], [[]], [[], []]):
+            test = LitmusTest(name="empty", category="t",
+                              threads=threads)
+            for policy in POLICIES:
+                report = analyze_taint(test, policy)
+                assert report.verdict is TaintVerdict.LEAK_FREE, \
+                    (threads, policy)
+                assert report.flows == ()
+
+    def test_single_core_faulting_program_is_leak_free(self):
+        """No concurrent observer => nothing to leak to, even with
+        every location faulting and a gadget-shaped body."""
+        solo = LitmusTest(name="solo-gadget", category="t", threads=[
+            [("W", "x", 1), ("R", "x", "r0"),
+             ("Raddr", "y", "r1", "r0")]])
+        for policy in POLICIES:
+            report = analyze_taint(solo, policy)
+            assert report.verdict is TaintVerdict.LEAK_FREE
+            assert_no_false_negative(solo, policy, report)
+
+    def test_atomic_only_sanitization(self):
+        """An atomic is an FSB barrier: with it between the forwarded
+        faulting-store data and the address use, the transmit channel
+        closes and the program is leak-free (cores share no
+        location, so no observe channel exists either)."""
+        gadget = [("W", "x", 1), ("R", "x", "r0"),
+                  ("Raddr", "y", "r1", "r0")]
+        sanitized = gadget[:2] + [("A", "z", 1, "a0")] + gadget[2:]
+        other = [("W", "q", 1)]
+        leaky = LitmusTest(name="gadget", category="t",
+                           threads=[list(gadget), list(other)])
+        clean = LitmusTest(name="gadget+amo", category="t",
+                           threads=[sanitized, list(other)])
+        for policy in POLICIES:
+            assert analyze_taint(leaky, policy).verdict \
+                is TaintVerdict.LEAK_HAZARD
+            channels = {f.channel
+                        for f in analyze_taint(leaky, policy).flows}
+            assert channels == {"transmit"}
+            report = analyze_taint(clean, policy)
+            assert report.verdict is TaintVerdict.LEAK_FREE, policy
+            assert_no_false_negative(clean, policy, report)
+
+    def test_unsupported_op_is_unknown_never_a_guess(self):
+        weird = LitmusTest(name="weird", category="t",
+                           threads=[[("Q", "x", 1)]])
+        report = analyze_taint(weird)
+        assert report.verdict is TaintVerdict.UNKNOWN
+        assert "unsupported" in report.reason
+
+    def test_report_dict_round_trips_through_json(self):
+        report = analyze_taint(message_passing(),
+                               DrainPolicy.SPLIT_STREAM)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["policy"] == "split"
+        assert payload["verdict"] == "leak-hazard"
+        assert payload["flows"][0]["channel"] == "fsb-spec"
+        assert payload["flows"][0]["steps"]
+
+
+# ----------------------------------------------------------------------
+# Soundness: zero false negatives, per corpus, per policy
+# ----------------------------------------------------------------------
+class TestSoundnessLibrary:
+    def test_library_full_crosscheck_both_ways(self):
+        """Small enough to run the explorer on *every* check: pins
+        exact agreement (currently zero false positives too — relax
+        only the FP half if the analyzer ever grows conservative)."""
+        disagreements = []
+        for test in LIBRARY:
+            for policy in POLICIES:
+                report = analyze_taint(test, policy)
+                assert report.verdict is not TaintVerdict.UNKNOWN, \
+                    (test.name, report.reason)
+                check = check_taint_policy(test, policy)
+                if report.leak_free == check.leak:
+                    disagreements.append(
+                        (test.name, policy.value, report.verdict.value,
+                         check.leak))
+        assert disagreements == []
+
+    def test_leak_verdicts_coincide_across_policies(self):
+        """Drain policy changes *when* entries apply, not whether a
+        pre-apply transient window exists — the leak verdict is
+        policy-independent on this corpus (pinned observation)."""
+        for test in LIBRARY:
+            verdicts = {analyze_taint(test, p).verdict for p in POLICIES}
+            assert len(verdicts) == 1, test.name
+
+
+class TestSoundnessGenerated:
+    def test_generated_suite_contrapositive(self):
+        tests = generate_all()
+        assert len(tests) >= 260
+        free = hazards = 0
+        for test in tests:
+            for policy in POLICIES:
+                report = analyze_taint(test, policy)
+                assert report.verdict is not TaintVerdict.UNKNOWN, \
+                    (test.name, report.reason)
+                if report.verdict is TaintVerdict.LEAK_FREE:
+                    free += 1
+                    assert_no_false_negative(test, policy, report)
+                else:
+                    hazards += 1
+        assert free > 0, "vacuous: no leak-free verdicts to check"
+        assert hazards > 0, "vacuous: no hazards in the suite"
+
+
+class TestSoundnessRandgen:
+    # The pinned slice: seed/count are part of the acceptance
+    # criterion (>= 500 tests), regenerated bit-identically per run.
+    SEED, COUNT = 90210, 500
+
+    def test_randgen_slice_contrapositive(self):
+        from repro.litmus.randgen import generate_corpus
+        corpus = generate_corpus(seed=self.SEED, count=self.COUNT)
+        assert len(corpus.tests) == self.COUNT
+        free = hazards = 0
+        for entry in corpus.tests:
+            for policy in POLICIES:
+                report = analyze_taint(entry.test, policy)
+                assert report.verdict is not TaintVerdict.UNKNOWN, \
+                    (entry.test.name, report.reason)
+                if report.verdict is TaintVerdict.LEAK_FREE:
+                    free += 1
+                    assert_no_false_negative(entry.test, policy, report)
+                else:
+                    hazards += 1
+        assert free + hazards == 2 * self.COUNT
+        assert free > 0 and hazards > 0
+
+
+# ----------------------------------------------------------------------
+# Pinned witnesses: minimized leak schedule / no-leak verdict
+# ----------------------------------------------------------------------
+class TestPinnedWitnesses:
+    def test_mp_minimized_leak_witness_per_policy(self):
+        """MP leaks under both policies; ddmin strips it to the
+        2-op essence (one faulting store, one remote load) with a
+        replayable transient-forward schedule."""
+        for policy in POLICIES:
+            shrunk = shrink_test(message_passing(),
+                                 leak_predicate(policy))
+            assert shrunk is not None, policy
+            assert shrunk.final_ops == 2, (policy, shrunk.test.threads)
+            kinds = sorted(op[0] for ops in shrunk.test.threads
+                           for op in ops)
+            assert kinds == ["R", "W"], shrunk.test.threads
+            assert (LEAK_MARKER, 1) in shrunk.outcome
+            assert any("!leak" in step for step in shrunk.schedule), \
+                shrunk.schedule
+
+    def test_pinned_no_leak_program_per_policy(self):
+        """The no-leak side of the acceptance criterion: a two-core
+        program with disjoint footprints and no dependency sinks is
+        leak-free statically AND dynamically under each policy."""
+        quiet = LitmusTest(name="quiet", category="t", threads=[
+            [("W", "x", 1), ("R", "x", "r0")],
+            [("W", "y", 1), ("R", "y", "r1")]])
+        for policy in POLICIES:
+            report = analyze_taint(quiet, policy)
+            assert report.verdict is TaintVerdict.LEAK_FREE, policy
+            check = assert_no_false_negative(quiet, policy, report)
+            assert check is not None and not check.leak
+
+
+# ----------------------------------------------------------------------
+# Property: fence insertion never creates a hazard
+# ----------------------------------------------------------------------
+class TestFenceInsertionProperty:
+    _CORPUS = {t.name: t for t in LIBRARY + generate_all()[:60]}
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(name=st.sampled_from(sorted(_CORPUS)),
+           policy=st.sampled_from(POLICIES))
+    def test_advised_fences_never_convert_free_to_hazard(self, name,
+                                                         policy):
+        """Barriers only *kill* taint — the fence advisor's patched
+        program can never turn a leak-free verdict into a hazard."""
+        test = self._CORPUS[name]
+        before = analyze_taint(test, policy).verdict
+        patched = advise_fences(test, get_model("PC")).patched
+        after = analyze_taint(patched, policy).verdict
+        if before is TaintVerdict.LEAK_FREE:
+            assert after is TaintVerdict.LEAK_FREE, name
+
+
+# ----------------------------------------------------------------------
+# Harness / campaign wiring
+# ----------------------------------------------------------------------
+class TestHarnessWiring:
+    CONFIG = dict(seeds=2, clean_pass=False)
+
+    def test_check_test_records_taint_check(self):
+        verdict = check_test(message_passing(),
+                             RunConfig(taint=True, **self.CONFIG))
+        tc = verdict.taint_check
+        assert tc is not None
+        assert sorted(tc["policies"]) == ["same", "split"]
+        assert tc["hazard"] is True
+        assert tc["leak_free"] is False
+        assert tc["flows"] >= 2
+        for policy_report in tc["policies"].values():
+            assert policy_report["verdict"] == "leak-hazard"
+        # A hazard is a report, never a conformance failure.
+        assert verdict.ok
+
+    def test_taint_off_by_default(self):
+        verdict = check_test(message_passing(),
+                             RunConfig(**self.CONFIG))
+        assert verdict.taint_check is None
+
+    def test_suite_report_taint_totals_and_v8_schema(self):
+        from repro.analysis.postprocess import (
+            CAMPAIGN_REPORT_SCHEMA, campaign_report_dict)
+        tests = LIBRARY[:3]
+        report = check_suite(tests, RunConfig(taint=True, **self.CONFIG))
+        totals = report.taint_totals()
+        assert totals["tests_analyzed"] == 3
+        assert totals["tests_skipped"] == 0
+        assert totals["leak_hazard"] + totals["leak_free"] \
+            + totals["unknown"] == 3
+        payload = campaign_report_dict(report)
+        assert payload["schema"] == CAMPAIGN_REPORT_SCHEMA
+        assert payload["schema"].endswith("/v8")
+        assert payload["taint"] == totals
+        for entry in payload["results"]:
+            assert entry["taint"]["policies"]
+        json.dumps(payload)
+
+    def test_totals_count_skips_when_disabled(self):
+        report = check_suite(LIBRARY[:2], RunConfig(**self.CONFIG))
+        totals = report.taint_totals()
+        assert totals["tests_analyzed"] == 0
+        assert totals["tests_skipped"] == 2
+        payload_taint = [
+            entry["taint"] for entry in
+            __import__("repro.analysis.postprocess",
+                       fromlist=["campaign_report_dict"])
+            .campaign_report_dict(report)["results"]]
+        assert payload_taint == [None, None]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestTaintCli:
+    def test_taint_command_reports_hazard(self, capsys):
+        from repro.cli import main
+        assert main(["taint", "MP", "--policy", "same"]) == 0
+        out = capsys.readouterr().out
+        assert "leak-hazard" in out
+        assert "fsb-spec" in out
+
+    def test_crosscheck_agrees_and_exits_zero(self, capsys):
+        from repro.cli import main
+        assert main(["taint", "MP", "CoRR", "--crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert "agrees" in out
+        assert "FALSE NEGATIVE" not in out
+
+    def test_json_report(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "taint.json"
+        assert main(["taint", "MP", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.taint-report/v1"
+        assert {c["policy"] for c in payload["checks"]} == \
+            {"same", "split"}
+
+    def test_shrink_prints_minimized_witness(self, capsys):
+        from repro.cli import main
+        assert main(["taint", "MP", "--policy", "same",
+                     "--shrink"]) == 0
+        out = capsys.readouterr().out
+        assert "shrink: 4 -> 2 op(s)" in out
+        assert "witness:" in out
