@@ -20,7 +20,6 @@ static-relation caches.  Set ``REPRO_BENCH_RECORD=1`` to append the
 measurement to ``BENCH_enumerator.json`` (the cross-PR trajectory).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -95,11 +94,8 @@ def _best_of(pairs, strategy, rounds=ROUNDS, seed_old=False):
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_library_speedup_vs_seed_old(benchmark):

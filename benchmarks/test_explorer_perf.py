@@ -13,7 +13,6 @@ at the budget floor — a *lower* bound on its interleavings — so the
 asserted ratio can only be understated, never inflated.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -40,11 +39,8 @@ def _machines():
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_dpor_interleaving_reduction(benchmark):

@@ -18,7 +18,6 @@ Set ``REPRO_BENCH_RECORD=1`` to append the measurement to
 """
 
 import gc
-import json
 import os
 import time
 from pathlib import Path
@@ -111,11 +110,8 @@ def _measure(pairs, rounds=ROUNDS):
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_disabled_telemetry_overhead(benchmark):

@@ -18,7 +18,6 @@ Set ``REPRO_BENCH_RECORD=1`` to append the measurements to
 ``BENCH_randgen.json`` (the cross-PR trajectory).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -47,11 +46,8 @@ CAMPAIGN_COUNT = 2_000
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_10k_generation_determinism_and_throughput(benchmark):

@@ -17,7 +17,6 @@ Set ``REPRO_BENCH_RECORD=1`` to append the measurement to
 """
 
 import asyncio
-import json
 import os
 import statistics
 import threading
@@ -41,11 +40,8 @@ CONFIG = dict(seeds=3, clean_pass=False)
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_noop_incremental_recampaign_is_all_hits(benchmark, tmp_path):

@@ -25,7 +25,6 @@ Set ``REPRO_BENCH_RECORD=1`` to append measurements to
 ``BENCH_sim.json`` (the cross-PR trajectory).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -76,11 +75,8 @@ def _verdict_key(verdict):
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,6 @@ Set ``REPRO_BENCH_RECORD=1`` to append the measurement to
 ``BENCH_static.json`` (the cross-PR trajectory).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -67,11 +66,8 @@ def _sweep_with_prefilter(tests, model):
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_prefilter_halves_relaxed_enumerations(benchmark):

@@ -16,7 +16,6 @@ Set ``REPRO_BENCH_RECORD=1`` to append the measurement to
 ``BENCH_taint.json`` (the cross-PR trajectory).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -55,11 +54,8 @@ def _sweep_dynamic(tests):
 def _record(entry):
     if not os.environ.get("REPRO_BENCH_RECORD"):
         return
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=1) + "\n")
+    from repro.obs.perftrack import append_entry
+    append_entry(TRAJECTORY, entry)
 
 
 def test_static_taint_at_least_10x_dynamic(benchmark):

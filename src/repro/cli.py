@@ -39,9 +39,12 @@ command     regenerates
 ``profile`` any other command, run under live telemetry
             (``repro.obs``): streams records to JSONL, exports a
             Chrome/Perfetto trace, prints an end-of-run summary
-``stats``   offline summary of a telemetry JSONL stream or a
-            structured campaign report (Figure 5 breakdown recomputed
-            from spans when present)
+``stats``   offline summary of a telemetry JSONL stream, a Chrome
+            trace, or a structured campaign report (Figure 5
+            breakdown recomputed from spans when present)
+``bench``   the continuous perf-regression tracker over the
+            ``BENCH_*.json`` trajectories (``repro.obs.perftrack``);
+            ``--check`` gates on noise-aware baselines
 ==========  ==========================================================
 """
 
@@ -49,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 
@@ -524,6 +528,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
     from .litmus import RunConfig
+    from .obs import ConsoleSummarySink
     from .serve import VerdictServer
 
     logging.basicConfig(level=logging.INFO,
@@ -533,9 +538,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = RunConfig(model=args.model, seeds=args.seeds,
                        inject_faults=not args.no_faults,
                        clean_pass=not args.skip_clean)
+    sinks = [] if args.quiet else [ConsoleSummarySink()]
     server = VerdictServer(args.store, config, jobs=args.jobs,
                            batch_window_s=args.batch_window,
-                           batch_max=args.batch_max)
+                           batch_max=args.batch_max,
+                           sinks=sinks,
+                           trace_buffer=args.trace_buffer)
 
     def ready(address) -> None:
         where = address.get("uds") or \
@@ -570,11 +578,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if not args.quiet:
         sinks.append(obs.ConsoleSummarySink())
     tel = obs.Telemetry(sinks=sinks)
-    with obs.use(tel):
+    # One trace per profiled run: every record (including campaign
+    # worker-process records) carries the same trace id.
+    context = obs.TraceContext()
+    with obs.use(tel), obs.use_trace(context):
         try:
             code = main(rest)
         finally:
             tel.close()
+    if not args.quiet:
+        print(f"trace id: {context.trace_id}")
     if args.jsonl:
         print(f"telemetry stream written: {args.jsonl}")
     if args.chrome:
@@ -584,17 +597,52 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .obs import (load_stats_input, render_summary,
-                      summarize_campaign_report, summarize_records)
+    from .obs import (chrome_trace_to_records, load_stats_input,
+                      render_summary, summarize_campaign_report,
+                      summarize_records, validate_chrome_trace)
 
     loaded = load_stats_input(args.path)
     try:
         if loaded["kind"] == "campaign":
             print(summarize_campaign_report(loaded["payload"]))
+        elif loaded["kind"] == "chrome":
+            problems = validate_chrome_trace(loaded["payload"])
+            if problems:
+                for problem in problems[:10]:
+                    print(f"stats: invalid chrome trace: {problem}",
+                          file=sys.stderr)
+                return 1
+            print(render_summary(summarize_records(
+                chrome_trace_to_records(loaded["payload"]))))
         else:
             print(render_summary(summarize_records(loaded["records"])))
     except BrokenPipeError:  # `repro stats ... | head`
         sys.stderr.close()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import perftrack
+
+    if args.append:
+        if not args.entry:
+            raise SystemExit("bench: --append needs --entry JSON")
+        try:
+            entry = _json.loads(args.entry)
+        except ValueError as exc:
+            raise SystemExit(f"bench: --entry is not JSON: {exc}")
+        run = perftrack.append_entry(args.append, entry)
+        print(f"bench: appended run {run} to {args.append}")
+        return 0
+    report = perftrack.check_regressions(args.root, window=args.window)
+    if args.json:
+        Path(args.json).write_text(_json.dumps(report, indent=1)
+                                   + "\n")
+    print(perftrack.render_check(report))
+    if args.check:
+        return 0 if report["ok"] else 1
     return 0
 
 
@@ -888,6 +936,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "running a batch (default 0.05)")
     serve.add_argument("--batch-max", type=int, default=512,
                        help="max submissions per batch (default 512)")
+    serve.add_argument("--trace-buffer", type=int, default=20000,
+                       metavar="RECORDS",
+                       help="span-retainer ring size for the 'trace' "
+                            "op (default 20000)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the shutdown telemetry summary")
     serve.set_defaults(fn=_cmd_serve)
 
     profile = sub.add_parser(
@@ -912,9 +966,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarise a telemetry JSONL stream or campaign report")
     stats.add_argument("path", metavar="PATH",
                        help="telemetry .jsonl from 'repro profile "
-                            "--jsonl' or a campaign report JSON from "
-                            "'repro litmus --json'")
+                            "--jsonl', a Chrome trace from 'repro "
+                            "profile --chrome', or a campaign report "
+                            "JSON from 'repro litmus --json'")
     stats.set_defaults(fn=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-regression tracker over the BENCH_*.json "
+             "trajectories (schema: repro.bench/v1)")
+    bench.add_argument("--root", default=".", metavar="DIR",
+                       help="directory holding the BENCH_*.json "
+                            "files (default .)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero when the latest run of any "
+                            "tracked metric regresses vs its baseline "
+                            "window")
+    bench.add_argument("--window", type=int, default=5,
+                       help="baseline window: median of up to N prior "
+                            "runs (default 5)")
+    bench.add_argument("--json", metavar="PATH",
+                       help="also write the check report as JSON")
+    bench.add_argument("--append", metavar="FILE",
+                       help="append one run entry to FILE (upgrades "
+                            "it to repro.bench/v1) instead of "
+                            "checking")
+    bench.add_argument("--entry", metavar="JSON",
+                       help="the raw entry object for --append "
+                            "(must include a 'bench' key)")
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..obs.sinks import MemorySink
+from ..obs.tracing import current_trace, use_trace
 from ..obs.telemetry import (WALL, Telemetry, current as _telemetry,
                              reset_current, use as _use)
 from .dsl import LitmusTest
@@ -203,10 +204,12 @@ def _check_chunk(payload):
     """Run one shard; top-level so it pickles under any start method.
 
     ``payload`` is ``(chunk_index, tests, config, allowed_sets,
-    telemetry_on)`` with ``allowed_sets[i]`` the cached allowed set
-    for ``tests[i]`` or ``None`` (the worker then enumerates it; the
-    parent harvests the result from the verdict's conformance to
-    refill the cache).
+    telemetry_on, trace_id)`` with ``allowed_sets[i]`` the cached
+    allowed set for ``tests[i]`` or ``None`` (the worker then
+    enumerates it; the parent harvests the result from the verdict's
+    conformance to refill the cache).  ``trace_id`` is the parent's
+    ambient trace (or ``None``): the worker re-enters it, so a traced
+    serve-daemon submit keeps one trace id across process boundaries.
 
     Returns ``(chunk_index, verdicts, records)``.  With telemetry on,
     the worker runs under its own buffered :class:`Telemetry` and
@@ -217,7 +220,8 @@ def _check_chunk(payload):
     so the merged event content is the same for any ``jobs`` value,
     up to arrival order.
     """
-    chunk_index, tests, config, allowed_sets, telemetry_on = payload
+    chunk_index, tests, config, allowed_sets, telemetry_on, trace_id = \
+        payload
     if not telemetry_on:
         verdicts = [check_test(test, config, allowed=allowed)
                     for test, allowed in zip(tests, allowed_sets)]
@@ -226,7 +230,7 @@ def _check_chunk(payload):
     worker = Telemetry(sinks=[MemorySink()])
     verdicts = []
     chunk_started = time.perf_counter()
-    with _use(worker):
+    with _use(worker), use_trace(trace_id):
         for offset, (test, allowed) in enumerate(zip(tests, allowed_sets)):
             started = time.perf_counter()
             verdict = check_test(test, config, allowed=allowed)
@@ -242,9 +246,10 @@ def _check_chunk(payload):
                 imprecise=verdict.run.imprecise_exceptions,
                 precise=verdict.run.precise_exceptions,
                 cached=verdict.enum_stats is None)
-    worker.record_span("campaign.chunk", chunk_started,
-                       time.perf_counter(),
-                       attrs={"chunk": chunk_index, "tests": len(tests)})
+    with use_trace(trace_id):
+        worker.record_span(
+            "campaign.chunk", chunk_started, time.perf_counter(),
+            attrs={"chunk": chunk_index, "tests": len(tests)})
     records = worker.drain_records()
     # Each shard gets its own wall lane in the merged stream, so the
     # parent's Chrome trace keeps every worker's spans properly
@@ -355,9 +360,14 @@ def run_campaign(tests: Sequence[LitmusTest],
              if store is not None else "")
 
     size = chunk_size or _chunk_size(len(pending_tests), jobs)
+    # Propagate (never mint) the ambient trace: a traced caller — the
+    # serve daemon's batch, a profiled CLI run — sees its id on every
+    # worker record; untraced campaigns stay byte-identical.
+    context = current_trace() if tel.enabled else None
+    trace_id = context.trace_id if context is not None else None
     payloads = [
         (start, pending_tests[start:start + size], config,
-         allowed_sets[start:start + size], tel.enabled)
+         allowed_sets[start:start + size], tel.enabled, trace_id)
         for start in range(0, len(pending_tests), size)
     ]
 

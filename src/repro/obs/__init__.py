@@ -8,30 +8,45 @@ flow through one :class:`Telemetry` context into pluggable sinks
 
 Hot paths read the ambient context via :func:`current`; disabled
 telemetry is the process-wide :data:`NULL` no-op, so instrumentation
-costs one global read plus an ``enabled`` check.  See
+costs one global read plus an ``enabled`` check.  Records emitted
+under an active :mod:`~repro.obs.tracing` context additionally carry
+a ``trace`` id, which is what stitches one serve-daemon request into
+a single cross-process timeline.  Trajectory tracking over the
+``BENCH_*.json`` files lives in :mod:`~repro.obs.perftrack`.  See
 ``docs/observability.md``.
 """
 
 from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
-                      MetricsRegistry, NULL_INSTRUMENT)
+                      MetricsRegistry, NULL_INSTRUMENT, SloWindow,
+                      prometheus_name, prometheus_sample,
+                      render_prometheus)
 from .sinks import (ChromeTraceSink, ConsoleSummarySink, JsonlSink,
                     MemorySink, NullSink, assert_valid_chrome_trace,
                     chrome_trace_events, read_jsonl,
                     validate_chrome_trace)
-from .stats import (figure5_from_spans, load_stats_input,
-                    render_summary, summarize_campaign_report,
+from .stats import (chrome_trace_to_records, figure5_from_spans,
+                    load_stats_input, render_summary,
+                    summarize_campaign_report, summarize_chrome_trace,
                     summarize_jsonl, summarize_records)
 from .telemetry import (NULL, NullTelemetry, SIM, Telemetry, WALL,
                         current, reset_current, set_current, use)
+from .tracing import (SpanRetainer, TraceContext, current_trace,
+                      is_trace_id, new_span_id, new_trace_id,
+                      use_trace)
 
 __all__ = [
     "ChromeTraceSink", "ConsoleSummarySink", "Counter",
     "DEFAULT_BUCKETS", "Gauge", "Histogram", "JsonlSink",
     "MemorySink", "MetricsRegistry", "NULL", "NULL_INSTRUMENT",
-    "NullSink", "NullTelemetry", "SIM", "Telemetry", "WALL",
-    "assert_valid_chrome_trace", "chrome_trace_events", "current",
-    "figure5_from_spans", "load_stats_input", "read_jsonl",
+    "NullSink", "NullTelemetry", "SIM", "SloWindow", "SpanRetainer",
+    "Telemetry", "TraceContext", "WALL",
+    "assert_valid_chrome_trace", "chrome_trace_events",
+    "chrome_trace_to_records", "current", "current_trace",
+    "figure5_from_spans", "is_trace_id", "load_stats_input",
+    "new_span_id", "new_trace_id", "prometheus_name",
+    "prometheus_sample", "read_jsonl", "render_prometheus",
     "render_summary", "reset_current", "set_current",
-    "summarize_campaign_report", "summarize_jsonl",
-    "summarize_records", "use", "validate_chrome_trace",
+    "summarize_campaign_report", "summarize_chrome_trace",
+    "summarize_jsonl", "summarize_records", "use",
+    "use_trace", "validate_chrome_trace",
 ]

@@ -15,7 +15,10 @@ totals (``enumerator_totals`` and friends) are served as thin views.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import math
+import re
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram buckets: exponential upper bounds covering
 #: sub-microsecond wall times up to minutes and 1..1M counts alike.
@@ -232,6 +235,132 @@ class MetricsRegistry:
                    "buckets": list(hist.buckets),
                    "counts": list(hist.counts), "count": hist.count,
                    "total": hist.total, "min": hist.min, "max": hist.max}
+
+
+class SloWindow:
+    """Rolling-window latency quantiles for SLO reporting.
+
+    Unlike :class:`Histogram` (whole-lifetime, fixed buckets), an SLO
+    window keeps the last ``size`` raw observations in a bounded deque
+    and computes exact p50/p99 over that window on demand — the "how
+    is the service doing *right now*" view the serve daemon's
+    ``metrics`` endpoint exposes next to the lifetime histograms.
+    """
+
+    __slots__ = ("name", "size", "total", "_window")
+
+    def __init__(self, name: str, size: int = 512) -> None:
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.name = name
+        self.size = size
+        self.total = 0
+        self._window: "deque[float]" = deque(maxlen=size)
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self._window.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile (0..1) over the current window."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def as_dict(self) -> Dict[str, float]:
+        ordered = sorted(self._window)
+
+        def at(q: float) -> float:
+            if not ordered:
+                return 0.0
+            return ordered[min(max(0, math.ceil(q * len(ordered)) - 1),
+                               len(ordered) - 1)]
+
+        return {
+            "total": self.total,
+            "window": len(self._window),
+            "p50": at(0.50),
+            "p99": at(0.99),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ----------------------------------------------------------------------
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Sanitise a dotted metric name into a Prometheus metric name."""
+    flat = _PROM_NAME_RE.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def prometheus_sample(name: str,
+                      labels: Optional[Mapping[str, object]],
+                      value: float) -> str:
+    """One exposition line, with escaped label values."""
+    if labels:
+        pairs = []
+        for key in sorted(labels):
+            label = _PROM_LABEL_RE.sub("_", str(key))
+            escaped = (str(labels[key]).replace("\\", r"\\")
+                       .replace("\n", r"\n").replace('"', r'\"'))
+            pairs.append(f'{label}="{escaped}"')
+        name = f"{name}{{{','.join(pairs)}}}"
+    if value == math.inf:
+        rendered = "+Inf"
+    elif value == -math.inf:
+        rendered = "-Inf"
+    else:
+        rendered = repr(float(value))
+    return f"{name} {rendered}"
+
+
+def render_prometheus(registry: "MetricsRegistry",
+                      extra_lines: Sequence[str] = (),
+                      prefix: str = "repro") -> str:
+    """Render a registry as Prometheus text exposition format 0.0.4.
+
+    Counters become ``<name>_total``, gauges emit value and observed
+    max, histograms emit cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``.  ``extra_lines`` (already-formatted sample
+    lines, e.g. from :func:`prometheus_sample`) are appended verbatim
+    — the serve daemon uses them for uptime and SLO-window gauges.
+    """
+    lines: List[str] = []
+    snapshot = registry.as_dict()
+    for name, value in snapshot["counters"].items():
+        flat = prometheus_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(prometheus_sample(flat, None, value))
+    for name, gauge in snapshot["gauges"].items():
+        flat = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(prometheus_sample(flat, None, gauge["value"]))
+        lines.append(prometheus_sample(flat + "_max", None, gauge["max"]))
+    for name, hist in sorted(registry._histograms.items()):
+        flat = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(prometheus_sample(
+                flat + "_bucket", {"le": repr(float(bound))}, cumulative))
+        lines.append(prometheus_sample(
+            flat + "_bucket", {"le": "+Inf"}, hist.count))
+        lines.append(prometheus_sample(flat + "_sum", None, hist.total))
+        lines.append(prometheus_sample(flat + "_count", None, hist.count))
+    lines.extend(extra_lines)
+    return "\n".join(lines) + "\n"
 
 
 class _NullInstrument:

@@ -1,0 +1,332 @@
+"""Continuous perf-regression tracking over ``BENCH_*.json``.
+
+The benchmark suites append one raw JSON entry per recorded run to
+per-suite trajectory files (``BENCH_enumerator.json`` and friends).
+Historically those were write-only; this module makes them a
+regression gate:
+
+* :data:`SCHEMA` (``repro.bench/v1``) is the shared trajectory file
+  format: ``{"schema": ..., "suite": ..., "entries": [...]}``.
+  :func:`load_bench_file` reads both v1 files and the legacy bare
+  JSON lists; :func:`append_entry` appends a run and upgrades the
+  file to v1 in place.
+* :data:`METRIC_CATALOG` names, per bench, which entry fields are
+  tracked metrics, which direction is *good*, and how noisy the
+  measurement kind is (``time`` < ``ratio`` < ``count`` < ``exact``
+  in decreasing tolerance).
+* :func:`normalize` flattens every trajectory into
+  :class:`BenchRecord` rows; :func:`check_regressions` compares each
+  metric's latest run against the **median of a trailing baseline
+  window** — the same noise discipline as
+  ``benchmarks/test_obs_overhead.py``'s median-of-rounds measurement
+  — with direction-aware, kind-scaled thresholds, and reports any
+  untracked bench entries instead of silently skipping them.
+
+``repro bench`` (see :mod:`repro.cli`) is the CLI face:
+``repro bench --check`` exits non-zero on any regression, which is
+the CI gate protecting the recorded 8.9×/21.9×/132.8× wins.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SCHEMA",
+    "TOLERANCES",
+    "METRIC_CATALOG",
+    "BenchRecord",
+    "CheckResult",
+    "append_entry",
+    "check_regressions",
+    "load_bench_file",
+    "normalize",
+    "render_check",
+    "suite_of",
+]
+
+#: Trajectory file and record schema identifier.
+SCHEMA = "repro.bench/v1"
+
+#: Relative tolerance per measurement kind: wall-clock times are the
+#: noisiest on shared CI runners, paired ratios partially cancel
+#: machine speed, counts are mostly deterministic, exacts must not
+#: move at all.
+TOLERANCES: Dict[str, float] = {
+    "time": 0.50,
+    "ratio": 0.35,
+    "count": 0.25,
+    "exact": 0.0,
+}
+
+#: bench name → tracked metrics as (field, direction, kind).
+#: direction is the *good* direction: "higher" metrics regress by
+#: falling, "lower" metrics regress by rising.
+METRIC_CATALOG: Dict[str, Tuple[Tuple[str, str, str], ...]] = {
+    # BENCH_enumerator.json
+    "library-vs-seed-old": (("speedup", "higher", "ratio"),
+                            ("incremental_s", "lower", "time")),
+    "library-vs-native-naive": (("speedup", "higher", "ratio"),),
+    "micro-IRIW": (("speedup", "higher", "ratio"),),
+    "micro-MP": (("speedup", "higher", "ratio"),),
+    "micro-SB": (("speedup", "higher", "ratio"),),
+    # BENCH_explorer.json
+    "library-dpor-vs-naive": (("reduction", "higher", "ratio"),
+                              ("dpor_s", "lower", "time")),
+    # BENCH_obs.json
+    "obs-overhead-library-sweep": (("disabled_overhead", "lower", "ratio"),
+                                   ("enabled_overhead", "lower", "ratio")),
+    # BENCH_randgen.json
+    "randgen-generate": (("throughput_tests_per_s", "higher", "time"),),
+    "randgen-campaign": (("mismatches", "lower", "exact"),
+                         ("store_hits_on_rerun", "higher", "exact"),
+                         ("incremental_rerun_s", "lower", "time")),
+    # BENCH_service.json
+    "service-incremental": (("speedup", "higher", "ratio"),
+                            ("store_hit_rate", "higher", "exact"),
+                            ("warm_s", "lower", "time")),
+    "service-query": (("median_ms", "lower", "time"),
+                      ("p99_ms", "lower", "time")),
+    # BENCH_sim.json
+    "sim-figure6-sweep": (("speedup_vs_seed", "higher", "ratio"),
+                          ("warm_s", "lower", "time")),
+    "sim-scenario16": (("request_p50", "lower", "count"),
+                       ("request_p99", "lower", "count")),
+    # BENCH_static.json
+    "static-prefilter": (("reduction", "higher", "ratio"),),
+    # BENCH_taint.json
+    "static-taint": (("false_negatives", "lower", "exact"),
+                     ("speedup", "higher", "time")),
+}
+
+
+@dataclass
+class BenchRecord:
+    """One normalised trajectory point: one metric of one bench run."""
+
+    suite: str
+    bench: str
+    metric: str
+    value: float
+    direction: str            # "higher" | "lower" is good
+    kind: str                 # "time" | "ratio" | "count" | "exact"
+    run: int                  # 0-based index within the trajectory
+    meta: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "suite": self.suite,
+            "bench": self.bench,
+            "metric": self.metric,
+            "value": self.value,
+            "direction": self.direction,
+            "kind": self.kind,
+            "run": self.run,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BenchRecord":
+        schema = payload.get("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise ValueError(f"unknown bench record schema {schema!r}")
+        if payload["direction"] not in ("higher", "lower"):
+            raise ValueError(f"bad direction {payload['direction']!r}")
+        if payload["kind"] not in TOLERANCES:
+            raise ValueError(f"bad kind {payload['kind']!r}")
+        return cls(
+            suite=payload["suite"], bench=payload["bench"],
+            metric=payload["metric"], value=float(payload["value"]),
+            direction=payload["direction"], kind=payload["kind"],
+            run=int(payload["run"]), meta=dict(payload.get("meta") or {}))
+
+
+def suite_of(path) -> str:
+    """``BENCH_enumerator.json`` → ``enumerator``."""
+    stem = Path(path).stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def load_bench_file(path) -> Tuple[str, List[Dict]]:
+    """Read a trajectory file in v1 or legacy list format.
+
+    Returns ``(suite, entries)``; a missing file yields an empty
+    trajectory so first runs can append unconditionally.
+    """
+    path = Path(path)
+    if not path.exists():
+        return suite_of(path), []
+    payload = json.loads(path.read_text())
+    if isinstance(payload, list):                      # legacy format
+        return suite_of(path), payload
+    if (isinstance(payload, dict)
+            and payload.get("schema") == SCHEMA
+            and isinstance(payload.get("entries"), list)):
+        return payload.get("suite") or suite_of(path), payload["entries"]
+    raise ValueError(f"{path}: neither a legacy trajectory list nor "
+                     f"a {SCHEMA} file")
+
+
+def write_bench_file(path, suite: str, entries: Sequence[Dict]) -> None:
+    Path(path).write_text(json.dumps(
+        {"schema": SCHEMA, "suite": suite, "entries": list(entries)},
+        indent=1) + "\n")
+
+
+def append_entry(path, entry: Dict) -> int:
+    """Append one raw benchmark entry, upgrading the file to v1.
+
+    Returns the entry's run index.  This is what the benchmark
+    suites' ``_record`` helpers call under ``REPRO_BENCH_RECORD=1``.
+    """
+    if not isinstance(entry, dict) or "bench" not in entry:
+        raise ValueError("bench entry must be a dict with a 'bench' key")
+    suite, entries = load_bench_file(path)
+    entries = list(entries) + [entry]
+    write_bench_file(path, suite, entries)
+    return len(entries) - 1
+
+
+def normalize(root=".") -> Tuple[List[BenchRecord], List[str]]:
+    """Flatten every ``BENCH_*.json`` under ``root`` into records.
+
+    Returns ``(records, untracked)`` where ``untracked`` lists bench
+    names that appear in a trajectory but have no catalog entry —
+    callers surface these so coverage gaps are never silent.
+    """
+    records: List[BenchRecord] = []
+    untracked: List[str] = []
+    seen_untracked = set()
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        suite, entries = load_bench_file(path)
+        runs: Dict[str, int] = {}
+        for entry in entries:
+            bench = str(entry.get("bench") or suite)
+            run = runs.get(bench, 0)
+            runs[bench] = run + 1
+            tracked = METRIC_CATALOG.get(bench)
+            if tracked is None:
+                if bench not in seen_untracked:
+                    seen_untracked.add(bench)
+                    untracked.append(f"{suite}/{bench}")
+                continue
+            meta = {k: entry[k] for k in ("tests", "seed", "model")
+                    if k in entry}
+            for metric, direction, kind in tracked:
+                if metric not in entry:
+                    continue
+                records.append(BenchRecord(
+                    suite=suite, bench=bench, metric=metric,
+                    value=float(entry[metric]), direction=direction,
+                    kind=kind, run=run, meta=meta))
+    return records, untracked
+
+
+@dataclass
+class CheckResult:
+    """Verdict for one (suite, bench, metric) trajectory."""
+
+    suite: str
+    bench: str
+    metric: str
+    status: str               # "ok" | "regression" | "baseline"
+    latest: float
+    baseline: Optional[float]
+    limit: Optional[float]
+    direction: str
+    kind: str
+    runs: int
+
+    def as_dict(self) -> Dict:
+        return {
+            "suite": self.suite, "bench": self.bench,
+            "metric": self.metric, "status": self.status,
+            "latest": self.latest, "baseline": self.baseline,
+            "limit": self.limit, "direction": self.direction,
+            "kind": self.kind, "runs": self.runs,
+        }
+
+
+def check_regressions(root=".", window: int = 5,
+                      tolerances: Optional[Dict[str, float]] = None
+                      ) -> Dict:
+    """Compare each metric's latest run against its baseline window.
+
+    The baseline is the **median** of up to ``window`` prior runs
+    (median, not mean: one noisy historical run must not poison the
+    gate).  A "lower is good" metric regresses when the latest value
+    exceeds ``baseline * (1 + tol)``; "higher is good" when it falls
+    below ``baseline * (1 - tol)``.  Single-run trajectories have no
+    baseline yet and report ``status="baseline"`` (passing).
+    """
+    tols = dict(TOLERANCES)
+    tols.update(tolerances or {})
+    records, untracked = normalize(root)
+    series: Dict[Tuple[str, str, str], List[BenchRecord]] = {}
+    for record in records:
+        series.setdefault(
+            (record.suite, record.bench, record.metric), []).append(record)
+
+    results: List[CheckResult] = []
+    for (suite, bench, metric), points in sorted(series.items()):
+        points.sort(key=lambda r: r.run)
+        latest = points[-1]
+        if len(points) == 1:
+            results.append(CheckResult(
+                suite, bench, metric, "baseline", latest.value,
+                None, None, latest.direction, latest.kind, 1))
+            continue
+        history = [p.value for p in points[:-1]][-window:]
+        baseline = statistics.median(history)
+        allowance = tols.get(latest.kind, 0.0) * abs(baseline)
+        if latest.direction == "lower":
+            limit = baseline + allowance
+            regressed = latest.value > limit + 1e-12
+        else:
+            limit = baseline - allowance
+            regressed = latest.value < limit - 1e-12
+        results.append(CheckResult(
+            suite, bench, metric,
+            "regression" if regressed else "ok",
+            latest.value, baseline, limit,
+            latest.direction, latest.kind, len(points)))
+
+    regressions = [r for r in results if r.status == "regression"]
+    return {
+        "schema": SCHEMA,
+        "ok": not regressions,
+        "window": window,
+        "checked": len(results),
+        "regressions": len(regressions),
+        "results": [r.as_dict() for r in results],
+        "untracked": untracked,
+    }
+
+
+def render_check(report: Dict) -> str:
+    """Text rendering of a :func:`check_regressions` report."""
+    lines: List[str] = []
+    for row in report["results"]:
+        where = f"{row['suite']}/{row['bench']}.{row['metric']}"
+        arrow = "min" if row["direction"] == "higher" else "max"
+        if row["status"] == "baseline":
+            detail = f"latest={row['latest']:.6g} (first run, no baseline)"
+        else:
+            detail = (f"latest={row['latest']:.6g} "
+                      f"baseline={row['baseline']:.6g} "
+                      f"{arrow}={row['limit']:.6g} runs={row['runs']}")
+        lines.append(f"{row['status']:<10} {where:<50} {detail}")
+    if report["untracked"]:
+        lines.append("untracked bench entries (no catalog metrics): "
+                     + ", ".join(report["untracked"]))
+    lines.append(
+        f"{'OK' if report['ok'] else 'REGRESSION'}: "
+        f"{report['checked']} metric trajectories checked, "
+        f"{report['regressions']} regression(s), "
+        f"window={report['window']}")
+    return "\n".join(lines)

@@ -168,9 +168,12 @@ def chrome_trace_events(spans: List[Dict], instants: List[Dict] = (),
             start = _to_us(track, span["ts"])
             end = start + max(0.0, _to_us(track, span["dur"]))
             close_until(start)
+            args = dict(span.get("attrs") or {})
+            if span.get("trace") is not None:
+                args["trace"] = span["trace"]
             lane_events.append({"name": span["name"], "ph": "B",
                                 "ts": start, "pid": pid, "tid": tid,
-                                "args": dict(span.get("attrs") or {})})
+                                "args": args})
             stack.append((end, span["name"]))
         close_until(float("inf"))
         events.extend(lane_events)
@@ -178,17 +181,23 @@ def chrome_trace_events(spans: List[Dict], instants: List[Dict] = (),
     for record in instants:
         track = record["track"]
         seen_tracks.setdefault(track)
+        args = dict(record.get("fields") or {})
+        if record.get("trace") is not None:
+            args["trace"] = record["trace"]
         events.append({"name": record["name"], "ph": "i", "s": "t",
                        "ts": _to_us(track, record["ts"]),
                        "pid": _track_pid(track), "tid": record["lane"],
-                       "args": dict(record.get("fields") or {})})
+                       "args": args})
     for record in counters:
         track = record["track"]
         seen_tracks.setdefault(track)
+        args = {"value": record["value"]}
+        if record.get("trace") is not None:
+            args["trace"] = record["trace"]
         events.append({"name": record["name"], "ph": "C",
                        "ts": _to_us(track, record["ts"]),
                        "pid": _track_pid(track), "tid": record["lane"],
-                       "args": {"value": record["value"]}})
+                       "args": args})
 
     # Stable sort by (pid, tid, ts): preserves B/E nesting among
     # equal timestamps while interleaving instants and counters.
@@ -312,6 +321,26 @@ class ConsoleSummarySink:
         print("-- telemetry summary --", file=stream)
         print(f"spans={summary.get('spans', 0)} "
               f"events={summary.get('events', 0)}", file=stream)
+        metrics = summary.get("metrics") or {}
+        wall = [(total, count, name)
+                for name, (count, total, track) in self._spans.items()
+                if track != SIM]
+        if wall:
+            print(f"top spans by total wall time "
+                  f"(of {len(wall)}):", file=stream)
+            for total, count, name in sorted(wall, reverse=True)[:8]:
+                mean = total / count if count else 0.0
+                print(f"  {name:<30} n={count:<7} "
+                      f"total={total:.6g}s mean={mean:.6g}s",
+                      file=stream)
+        highlights = sorted(
+            ((value, name)
+             for name, value in (metrics.get("counters") or {}).items()),
+            reverse=True)[:6]
+        if highlights:
+            print("metric highlights:", file=stream)
+            for value, name in highlights:
+                print(f"  {name:<30} {value:.10g}", file=stream)
         for name, (count, total, track) in sorted(self._spans.items()):
             unit = "cycles" if track == SIM else "s"
             mean = total / count if count else 0.0

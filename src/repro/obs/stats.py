@@ -9,7 +9,13 @@ Two inputs are understood:
   5-style per-fault overhead breakdown *recomputed from spans*;
 * a structured campaign report JSON
   (``repro.litmus.campaign-report/v*``) — summarised from its totals
-  blocks, so one ``repro stats`` call covers a whole campaign.
+  blocks, so one ``repro stats`` call covers a whole campaign;
+* a Chrome trace-event JSON file written by
+  :class:`~repro.obs.sinks.ChromeTraceSink` —
+  :func:`chrome_trace_to_records` inverts the exporter's mapping
+  (B/E pairs back to spans, ``i`` to events, ``C`` to samples, µs
+  back to seconds/cycles) so every artifact ``repro profile`` emits
+  can be summarised by the same span aggregator.
 
 :func:`figure5_from_spans` is the acceptance-criterion function: the
 breakdown it derives from the span stream must match
@@ -136,6 +142,86 @@ def render_summary(summary: Dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# Chrome trace import (inverse of sinks.chrome_trace_events)
+# ----------------------------------------------------------------------
+_PID_TRACKS = {1: "wall", 2: SIM}
+
+
+def _from_us(track: str, value: float) -> float:
+    if track == SIM:
+        return float(value)          # 1 µs = 1 cycle
+    return value / 1e6               # µs → seconds
+
+
+def chrome_trace_to_records(payload: Dict) -> List[Dict]:
+    """Reconstruct telemetry records from a Chrome trace payload.
+
+    Inverts :func:`~repro.obs.sinks.chrome_trace_events`: B/E pairs
+    are matched per (pid, tid) with a stack, ``X`` events map
+    directly, ``i`` instants become events and ``C`` counters become
+    samples.  Timestamps convert back from µs (pid 1 → wall seconds,
+    pid 2 → sim cycles at 1 µs = 1 cycle); a ``trace`` arg returns to
+    the record's top-level ``trace`` field.  Unbalanced events are
+    skipped — run :func:`~repro.obs.sinks.validate_chrome_trace`
+    first to diagnose those.
+    """
+    events = payload.get("traceEvents", payload)
+    records: List[Dict] = []
+    stacks: Dict[tuple, List[Dict]] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        ph = event.get("ph")
+        if ph not in ("B", "E", "X", "i", "C"):
+            continue
+        pid, tid = event.get("pid"), event.get("tid", 0)
+        track = _PID_TRACKS.get(pid, "wall")
+        args = dict(event.get("args") or {})
+        trace = args.pop("trace", None)
+        base = {"name": event.get("name"), "track": track, "lane": tid}
+        if trace is not None:
+            base["trace"] = trace
+        ts_us = float(event.get("ts", 0.0))
+        if ph == "B":
+            stacks.setdefault((pid, tid), []).append(
+                {**base, "ts_us": ts_us, "attrs": args})
+        elif ph == "E":
+            stack = stacks.get((pid, tid))
+            if not stack:
+                continue
+            opened = stack.pop()
+            records.append({
+                "type": "span", "name": opened["name"],
+                "track": opened["track"], "lane": opened["lane"],
+                "ts": _from_us(track, opened["ts_us"]),
+                "dur": _from_us(track, ts_us - opened["ts_us"]),
+                "attrs": opened["attrs"],
+                **({"trace": opened["trace"]}
+                   if "trace" in opened else {}),
+            })
+        elif ph == "X":
+            records.append({
+                "type": "span", **base,
+                "ts": _from_us(track, ts_us),
+                "dur": _from_us(track, float(event.get("dur", 0.0))),
+                "attrs": args,
+            })
+        elif ph == "i":
+            records.append({"type": "event", **base,
+                            "ts": _from_us(track, ts_us),
+                            "fields": args})
+        elif ph == "C":
+            records.append({"type": "sample", **base,
+                            "ts": _from_us(track, ts_us),
+                            "value": args.get("value", 0.0)})
+    return records
+
+
+def summarize_chrome_trace(payload: Dict) -> Dict:
+    return summarize_records(chrome_trace_to_records(payload))
+
+
+# ----------------------------------------------------------------------
 # Campaign report summarisation
 # ----------------------------------------------------------------------
 def summarize_campaign_report(payload: Dict) -> str:
@@ -183,6 +269,9 @@ def load_stats_input(path) -> Dict:
                 and str(payload.get("schema", "")).startswith(
                     "repro.litmus.campaign-report/")):
             return {"kind": "campaign", "payload": payload}
+        if (isinstance(payload, dict)
+                and isinstance(payload.get("traceEvents"), list)):
+            return {"kind": "chrome", "payload": payload}
     records = [json.loads(line) for line in text.splitlines()
                if line.strip()]
     return {"kind": "telemetry", "records": records}

@@ -36,6 +36,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .metrics import NULL_INSTRUMENT, MetricsRegistry
+from .tracing import current_trace
 
 #: Track names: ``wall`` spans carry perf_counter seconds, ``sim``
 #: spans carry simulated cycles (lane = core id).
@@ -107,9 +108,13 @@ class Telemetry:
         timelines within a track (core id, campaign chunk).
         """
         self.spans_recorded += 1
-        self._emit({"type": "span", "name": name, "track": track,
-                    "lane": lane, "ts": start, "dur": end - start,
-                    "attrs": attrs or {}})
+        record = {"type": "span", "name": name, "track": track,
+                  "lane": lane, "ts": start, "dur": end - start,
+                  "attrs": attrs or {}}
+        trace = current_trace()
+        if trace is not None:
+            record["trace"] = trace.trace_id
+        self._emit(record)
 
     # ------------------------------------------------------------------
     # Events and samples
@@ -118,19 +123,27 @@ class Telemetry:
               **fields) -> None:
         """Structured one-shot event (instant in the trace view)."""
         self.events_recorded += 1
-        self._emit({"type": "event", "name": name, "track": track,
-                    "lane": lane, "ts": time.perf_counter(),
-                    "fields": fields})
+        record = {"type": "event", "name": name, "track": track,
+                  "lane": lane, "ts": time.perf_counter(),
+                  "fields": fields}
+        trace = current_trace()
+        if trace is not None:
+            record["trace"] = trace.trace_id
+        self._emit(record)
 
     def sample(self, name: str, value: float, ts: Optional[float] = None,
                track: str = WALL, lane: int = 0) -> None:
         """Time-series sample (a Chrome trace counter event); also
         mirrored into the ``name`` gauge."""
         self.metrics.gauge(name).set(value)
-        self._emit({"type": "sample", "name": name, "track": track,
-                    "lane": lane,
-                    "ts": time.perf_counter() if ts is None else ts,
-                    "value": value})
+        record = {"type": "sample", "name": name, "track": track,
+                  "lane": lane,
+                  "ts": time.perf_counter() if ts is None else ts,
+                  "value": value}
+        trace = current_trace()
+        if trace is not None:
+            record["trace"] = trace.trace_id
+        self._emit(record)
 
     # ------------------------------------------------------------------
     # Metrics pass-throughs

@@ -1,0 +1,224 @@
+"""Distributed request tracing for the telemetry layer.
+
+A *trace* groups every telemetry record produced on behalf of one
+logical request — a ``repro serve`` submit, a profiled CLI run — no
+matter which process emitted it.  The design is deliberately small:
+
+* :func:`new_trace_id` mints 16-hex-char identifiers.
+* :class:`TraceContext` is the ambient identity (trace id plus a span
+  id for the minting site), carried in a :class:`contextvars.ContextVar`
+  so concurrent asyncio tasks in the serve daemon each see their own
+  trace, and ``asyncio.to_thread`` workers inherit the caller's.
+* :func:`use_trace` installs a context for a ``with`` block;
+  :func:`current_trace` reads the active one.  ``Telemetry`` stamps
+  ``record["trace"]`` on span/event/sample records whenever a context
+  is active (see :mod:`repro.obs.telemetry`); with no context the
+  records are byte-identical to pre-tracing output.
+* :class:`SpanRetainer` is a bounded ring-buffer sink with per-trace
+  head-sampling, so the serve daemon can answer ``trace`` lookups
+  without unbounded memory growth under heavy traffic.
+
+Worker processes cannot share a ``ContextVar`` with their parent, so
+:func:`repro.litmus.campaign.run_campaign` ships the active trace id
+inside each chunk payload and the worker re-enters it with
+:func:`use_trace` — the cross-process analogue of context propagation.
+"""
+
+import binascii
+import contextvars
+import os
+import re
+from collections import deque
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "TRACE_FIELD",
+    "SpanRetainer",
+    "TraceContext",
+    "current_trace",
+    "is_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "use_trace",
+]
+
+#: Record key carrying the trace id on span/event/sample records.
+TRACE_FIELD = "trace"
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-zA-Z_.:-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """Mint a 16-hex-char trace identifier."""
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+def new_span_id() -> str:
+    """Mint an 8-hex-char span identifier."""
+    return binascii.hexlify(os.urandom(4)).decode("ascii")
+
+
+def is_trace_id(value: object) -> bool:
+    """True for strings safe to accept as a wire-supplied trace id."""
+    return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+class TraceContext:
+    """Ambient trace identity: a trace id plus the minting span id."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: Optional[str] = None,
+                 span_id: Optional[str] = None):
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self.span_id = span_id if span_id is not None else new_span_id()
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — for a logical sub-operation."""
+        return TraceContext(self.trace_id)
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceContext(trace_id={self.trace_id!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TraceContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+
+_current: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro.obs.trace", default=None))
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The active :class:`TraceContext`, or ``None`` outside any trace."""
+    return _current.get()
+
+
+class use_trace:
+    """Install a trace context for a ``with`` block.
+
+    Accepts a :class:`TraceContext`, a bare trace-id string, or ``None``
+    (which *clears* any ambient trace for the block — handy for code
+    that must emit untraced records under a traced caller).
+    """
+
+    __slots__ = ("context", "_token")
+
+    def __init__(self, trace: Union[TraceContext, str, None]):
+        if trace is None or isinstance(trace, TraceContext):
+            self.context = trace
+        else:
+            self.context = TraceContext(str(trace))
+        self._token = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._token = _current.set(self.context)
+        return self.context
+
+    def __exit__(self, *exc) -> None:
+        _current.reset(self._token)
+        self._token = None
+
+
+class SpanRetainer:
+    """Bounded ring-buffer sink retaining traced records for lookup.
+
+    Keeps at most ``max_records`` span/event/sample records in arrival
+    order; older records are evicted from the head (``evicted``
+    counter).  Tracks at most ``max_traces`` distinct live trace ids;
+    once full, records from *new* traces are head-sampled out — the
+    drop decision is made at the first record of the trace and then
+    applies to the whole trace, so retained traces are always complete
+    within the ring.  Sampled-out trace ids are remembered in a bounded
+    set so later records of a dropped trace stay dropped.  Untraced
+    records are retained (they compete for ring slots only).
+    """
+
+    def __init__(self, max_records: int = 20000, max_traces: int = 512):
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.max_records = max_records
+        self.max_traces = max_traces
+        self.retained_total = 0
+        self.evicted = 0
+        self.sampled_out_traces = 0
+        self.sampled_out_records = 0
+        self.summary: Optional[Dict] = None
+        self._ring: "deque[Dict]" = deque()
+        self._trace_counts: Dict[str, int] = {}
+        self._sampled_out: "deque[str]" = deque(maxlen=4 * max_traces)
+        self._sampled_out_set: set = set()
+
+    def on_record(self, record: Dict) -> None:
+        if record.get("type") not in ("span", "event", "sample"):
+            return
+        trace = record.get(TRACE_FIELD)
+        if trace is not None:
+            if trace in self._sampled_out_set:
+                self.sampled_out_records += 1
+                return
+            if trace not in self._trace_counts:
+                if len(self._trace_counts) >= self.max_traces:
+                    self._sample_out(trace)
+                    self.sampled_out_records += 1
+                    return
+                self._trace_counts[trace] = 0
+            self._trace_counts[trace] += 1
+        self._ring.append(record)
+        self.retained_total += 1
+        while len(self._ring) > self.max_records:
+            old = self._ring.popleft()
+            self.evicted += 1
+            old_trace = old.get(TRACE_FIELD)
+            if old_trace is not None:
+                count = self._trace_counts.get(old_trace, 0) - 1
+                if count <= 0:
+                    self._trace_counts.pop(old_trace, None)
+                else:
+                    self._trace_counts[old_trace] = count
+
+    def _sample_out(self, trace: str) -> None:
+        self.sampled_out_traces += 1
+        if self._sampled_out.maxlen and \
+                len(self._sampled_out) >= self._sampled_out.maxlen:
+            stale = self._sampled_out[0]
+            self._sampled_out_set.discard(stale)
+        self._sampled_out.append(trace)
+        self._sampled_out_set.add(trace)
+
+    def close(self, summary: Dict) -> None:
+        self.summary = summary
+
+    def retained(self) -> List[Dict]:
+        """Snapshot of the ring, oldest first."""
+        return list(self._ring)
+
+    def for_trace(self, trace_id: str) -> List[Dict]:
+        """All retained records stamped with ``trace_id``, oldest first."""
+        return [r for r in self._ring if r.get(TRACE_FIELD) == trace_id]
+
+    def live_traces(self) -> List[str]:
+        """Trace ids with at least one record still in the ring."""
+        return sorted(self._trace_counts)
+
+    def stats(self) -> Dict:
+        """JSON-ready retention accounting (never silent about drops)."""
+        return {
+            "retained": len(self._ring),
+            "retained_total": self.retained_total,
+            "max_records": self.max_records,
+            "live_traces": len(self._trace_counts),
+            "max_traces": self.max_traces,
+            "evicted": self.evicted,
+            "sampled_out_traces": self.sampled_out_traces,
+            "sampled_out_records": self.sampled_out_records,
+        }

@@ -4,6 +4,9 @@
 :class:`~repro.store.VerdictStore` resident and answers newline-JSON
 queries over TCP or a Unix socket; cache-miss submissions from
 concurrent clients coalesce into one incremental campaign batch.
+Requests may carry a trace id for end-to-end request tracing, and
+the ``health``/``ready``/``metrics`` ops expose the operational
+surface (see ``docs/service.md``).
 :class:`~repro.serve.client.ServeClient` is the matching blocking
 client.  Protocol details live in :mod:`repro.serve.protocol` and
 ``docs/service.md``.

@@ -9,9 +9,12 @@ behind the ``repro serve-*`` CLI verbs and the e2e tests.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Dict, Iterator, List, Optional
 
 from ..litmus.dsl import LitmusTest
+from ..obs.telemetry import WALL, current as _current_telemetry
+from ..obs.tracing import new_trace_id, use_trace
 from .protocol import decode_line, encode_line, test_to_wire
 
 
@@ -70,10 +73,39 @@ class ServeClient:
     def stats(self) -> Dict:
         return self.request("stats")
 
+    def health(self) -> Dict:
+        return self.request("health")
+
+    def ready(self) -> Dict:
+        return self.request("ready")
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition."""
+        return self.request("metrics")["body"]
+
+    def fetch_trace(self, trace_id: str,
+                    lane_base: Optional[int] = None) -> List[Dict]:
+        """Retained server-side records for ``trace_id``.
+
+        The server's wall timestamps come from its own
+        ``perf_counter`` epoch, so its spans cannot share a lane with
+        this process's records; pass ``lane_base`` to shift the
+        server records onto their own lanes before merging the two
+        record streams into one Chrome trace.
+        """
+        records = self.request("trace", trace=trace_id)["records"]
+        if lane_base is not None:
+            for record in records:
+                if record.get("track") == WALL:
+                    record["lane"] = lane_base + int(
+                        record.get("lane", 0))
+        return records
+
     def query(self, name: Optional[str] = None,
               names: Optional[List[str]] = None,
               test: Optional[LitmusTest] = None,
-              fingerprint: Optional[str] = None) -> Dict:
+              fingerprint: Optional[str] = None,
+              trace: Optional[str] = None) -> Dict:
         fields: Dict = {}
         if name is not None:
             fields["name"] = name
@@ -83,12 +115,24 @@ class ServeClient:
             fields["test"] = test_to_wire(test)
         if fingerprint is not None:
             fields["fingerprint"] = fingerprint
+        if trace is not None:
+            fields["trace"] = trace
         return self.request("query", **fields)
 
     def submit(self, name: Optional[str] = None,
                names: Optional[List[str]] = None,
                test: Optional[LitmusTest] = None,
-               tests: Optional[List[LitmusTest]] = None) -> Dict:
+               tests: Optional[List[LitmusTest]] = None,
+               trace: Optional[str] = None) -> Dict:
+        """Submit for verification; every submit runs under a trace.
+
+        ``trace`` continues an existing trace; otherwise a fresh id
+        is minted (echoed back in the response's ``trace`` field).
+        When ambient telemetry is enabled, the client's own wait is
+        recorded as a ``serve.client.submit`` span on that trace, so
+        a server-side ``fetch_trace`` plus the local records yields
+        the full client → server → worker timeline.
+        """
         fields: Dict = {}
         if name is not None:
             fields["name"] = name
@@ -98,7 +142,17 @@ class ServeClient:
             fields["test"] = test_to_wire(test)
         if tests is not None:
             fields["tests"] = [test_to_wire(t) for t in tests]
-        return self.request("submit", **fields)
+        fields["trace"] = trace if trace is not None else new_trace_id()
+        telemetry = _current_telemetry()
+        started = time.perf_counter()
+        with use_trace(fields["trace"]):
+            response = self.request("submit", **fields)
+            if telemetry.enabled:
+                telemetry.record_span(
+                    "serve.client.submit", started,
+                    time.perf_counter(),
+                    attrs={"targets": len(response.get("results", []))})
+        return response
 
     def shutdown(self) -> Dict:
         return self.request("shutdown")

@@ -13,6 +13,12 @@ Ops
 ==========  ==========================================================
 ``ping``     liveness + protocol/server identification
 ``stats``    store + server counters
+``health``   liveness probe: status, protocol, uptime
+``ready``    readiness probe: batch queue up and accepting work
+``metrics``  Prometheus text exposition (format 0.0.4) of the live
+             metrics registry in the response's ``body`` field
+``trace``    retained telemetry records for one ``trace`` id, plus
+             span-retainer accounting
 ``query``    verdict lookup by ``name`` (known test), inline ``test``,
              or raw ``fingerprint``; never enumerates
 ``submit``   verify one ``name``/``test`` (or a ``names``/``tests``
@@ -22,6 +28,15 @@ Ops
 ``watch``    subscribe to campaign progress events
 ``shutdown`` drain and stop the daemon
 ==========  ==========================================================
+
+Any request may carry an optional ``trace`` field (a short
+``[0-9a-zA-Z_.:-]`` id, at most 64 chars): the server runs the
+request under that trace id, stamping it on every telemetry record
+the request produces — through the batch worker and into the
+campaign's worker processes — so one ``submit`` yields one coherent
+cross-process timeline, retrievable via the ``trace`` op.
+:meth:`repro.serve.client.ServeClient.submit` mints an id per submit
+when the caller does not supply one.
 
 Litmus tests travel as plain JSON (:func:`test_to_wire` /
 :func:`test_from_wire`): name, category, and the DSL op threads, with

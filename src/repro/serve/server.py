@@ -15,14 +15,24 @@ socket.
   worker thread (sharded over ``jobs`` processes like any campaign).
   Every waiting client is answered from the records the campaign
   stored.
-* **Watchers** receive the campaign's obs event bus live: the batch
-  runs under a private :class:`~repro.obs.Telemetry` whose sink
-  forwards ``campaign.*`` events (per-test verdicts, per-chunk
-  progress) to every ``watch`` connection as they happen.
+* **Watchers** receive the campaign's obs event bus live: batches run
+  under the server's shared :class:`~repro.obs.Telemetry` whose
+  event-bus sink forwards ``campaign.*`` events (per-test verdicts,
+  per-chunk progress) to every ``watch`` connection as they happen.
+* **Operations**: every request is timed into latency histograms and
+  rolling :class:`~repro.obs.metrics.SloWindow` p50/p99 windows;
+  ``health``/``ready``/``metrics`` expose liveness and a
+  Prometheus-text scrape of the live registry.  Requests may carry a
+  ``trace`` id which the server propagates through the batch worker
+  into the campaign's worker processes, and a bounded
+  :class:`~repro.obs.tracing.SpanRetainer` (head-sampling ring
+  buffer) answers ``trace`` lookups over the retained records.
 
 Shutdown (the ``shutdown`` op) drains queued submissions before
 stopping, so no accepted work is dropped; the store index is merged
-to disk on every batch and once more on exit.
+to disk on every batch and once more on exit, and the final
+telemetry summary (plus retention drop counts) goes through the
+active sinks instead of being discarded.
 """
 
 from __future__ import annotations
@@ -38,7 +48,10 @@ from ..litmus.campaign import (AllowedSetCache, canonical_test_digest,
 from ..litmus.dsl import LitmusTest
 from ..litmus.harness import ENGINE_REFERENCE_MODEL
 from ..litmus.runner import RunConfig
+from ..obs.metrics import SloWindow, prometheus_sample, render_prometheus
 from ..obs.telemetry import Telemetry, use as _use
+from ..obs.tracing import (SpanRetainer, current_trace, is_trace_id,
+                           new_trace_id, use_trace)
 from ..store import VerdictStore, verdict_fingerprint
 from .protocol import (MAX_LINE_BYTES, PROTOCOL, ProtocolError,
                        decode_line, encode_line, test_from_wire)
@@ -49,13 +62,15 @@ log = logging.getLogger("repro.serve")
 class _Submission:
     """One queued cache-miss verification request."""
 
-    __slots__ = ("test", "fingerprint", "future")
+    __slots__ = ("test", "fingerprint", "future", "trace")
 
     def __init__(self, test: LitmusTest, fingerprint: str,
-                 future: "asyncio.Future") -> None:
+                 future: "asyncio.Future",
+                 trace: Optional[str] = None) -> None:
         self.test = test
         self.fingerprint = fingerprint
         self.future = future
+        self.trace = trace
 
 
 class _EventBusSink:
@@ -82,13 +97,20 @@ class VerdictServer:
                  jobs: int = 1,
                  tests: Optional[List[LitmusTest]] = None,
                  batch_window_s: float = 0.05,
-                 batch_max: int = 512) -> None:
+                 batch_max: int = 512,
+                 sinks=(),
+                 trace_buffer: int = 20000,
+                 slo_window: int = 512) -> None:
         self.store = (store if isinstance(store, VerdictStore)
                       else VerdictStore(store))
         self.config = config or RunConfig()
         self.jobs = max(1, jobs)
         self.batch_window_s = batch_window_s
         self.batch_max = max(1, batch_max)
+        self.retainer = SpanRetainer(max_records=trace_buffer)
+        self.telemetry = Telemetry(sinks=[self.retainer, *sinks])
+        self.slo_window = max(1, slo_window)
+        self._slo: Dict[str, SloWindow] = {}
         self._reference = ENGINE_REFERENCE_MODEL[self.config.model]
         self._pool: Optional[Dict[str, LitmusTest]] = (
             {t.name: t for t in tests} if tests is not None else None)
@@ -175,6 +197,8 @@ class VerdictServer:
                 self._handle, host, port, limit=MAX_LINE_BYTES)
             bound = server.sockets[0].getsockname()
             self.address = {"host": bound[0], "port": bound[1]}
+        self.telemetry.sinks.append(
+            _EventBusSink(self._loop, self._broadcast))
         batch_task = asyncio.create_task(self._batch_loop())
         log.info("serving on %s (model=%s jobs=%d store=%s)",
                  self.address, self.config.model, self.jobs,
@@ -190,7 +214,25 @@ class VerdictServer:
                 await batch_task
             self._fail_pending("server stopped")
             self.store.save()
+            self._finalize_telemetry()
             log.info("serve shut down: %s", self.counters)
+
+    def _finalize_telemetry(self) -> None:
+        """Last words: latency + retention accounting to the log, then
+        the final summary (counters + histogram snapshots) through the
+        active sinks — nothing observed is silently dropped."""
+        latency = self.telemetry.metrics.histogram(
+            "serve.request_latency_s")
+        log.info("serve request latency: n=%d p50=%.6fs p99=%.6fs",
+                 latency.count, latency.percentile(50),
+                 latency.percentile(99))
+        stats = self.retainer.stats()
+        log.info(
+            "serve trace retention: %(retained)d retained "
+            "(%(retained_total)d total), %(evicted)d evicted, "
+            "%(sampled_out_traces)d trace(s) sampled out "
+            "(%(sampled_out_records)d records)", stats)
+        self.telemetry.close()
 
     def _fail_pending(self, reason: str) -> None:
         if self._queue is None:
@@ -219,20 +261,32 @@ class VerdictServer:
                 if not line:
                     break
                 stop_after = False
+                op: Optional[str] = None
+                trace: Optional[str] = None
+                started = time.perf_counter()
                 try:
                     message = decode_line(line)
                     op = message.get("op")
+                    trace = message.get("trace")
+                    if trace is not None and not is_trace_id(trace):
+                        trace = None
+                        raise ProtocolError(
+                            "trace must be a string of at most 64 "
+                            "[0-9a-zA-Z_.:-] characters")
                     if op == "watch":
                         await self._watch(writer)
                         break
                     stop_after = op == "shutdown"
-                    response = await self._dispatch(message)
+                    with use_trace(trace):
+                        response = await self._dispatch(message)
                 except ProtocolError as exc:
                     response = {"ok": False, "error": str(exc)}
                 except Exception as exc:  # one bad request != dead conn
                     log.exception("request failed")
                     response = {"ok": False,
                                 "error": f"{type(exc).__name__}: {exc}"}
+                self._observe_request(op, trace, started,
+                                      response.get("ok", False))
                 writer.write(encode_line(response))
                 await writer.drain()
                 if stop_after:
@@ -243,6 +297,29 @@ class VerdictServer:
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    def _observe_request(self, op: Optional[str], trace: Optional[str],
+                         started: float, ok: bool) -> None:
+        """Per-request accounting: op counters, lifetime latency
+        histograms, rolling SLO windows, and a ``serve.request`` span
+        on the request's trace (when it carried one)."""
+        label = op if isinstance(op, str) and op else "invalid"
+        elapsed = time.perf_counter() - started
+        metrics = self.telemetry.metrics
+        metrics.counter(f"serve.requests.{label}").inc()
+        if not ok:
+            metrics.counter("serve.errors").inc()
+        metrics.histogram("serve.request_latency_s").observe(elapsed)
+        metrics.histogram(f"serve.latency.{label}").observe(elapsed)
+        window = self._slo.get(label)
+        if window is None:
+            window = self._slo[label] = SloWindow(label,
+                                                  size=self.slo_window)
+        window.observe(elapsed)
+        with use_trace(trace):
+            self.telemetry.record_span(
+                "serve.request", started, started + elapsed,
+                attrs={"op": label, "ok": bool(ok)})
 
     async def _dispatch(self, message: Dict) -> Dict:
         op = message.get("op")
@@ -259,6 +336,30 @@ class VerdictServer:
                     "watchers": len(self._watchers),
                     "uptime_s": round(
                         time.monotonic() - self._started_at, 3)}
+        if op == "health":
+            return {"ok": True, "op": "health", "status": "ok",
+                    "server": "repro-serve", "protocol": PROTOCOL,
+                    "uptime_s": round(
+                        time.monotonic() - self._started_at, 3)}
+        if op == "ready":
+            ready = (self._queue is not None
+                     and not self._stopping.is_set())
+            return {"ok": True, "op": "ready", "ready": ready,
+                    "pending": self._queue.qsize() if self._queue
+                    else 0}
+        if op == "metrics":
+            return {"ok": True, "op": "metrics",
+                    "content_type":
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    "body": self._render_metrics()}
+        if op == "trace":
+            trace_id = message.get("trace")
+            if not trace_id:
+                raise ProtocolError("trace op requires a 'trace' id")
+            records = self.retainer.for_trace(trace_id)
+            return {"ok": True, "op": "trace", "trace": trace_id,
+                    "count": len(records), "records": records,
+                    "retainer": self.retainer.stats()}
         if op == "query":
             return self._query(message)
         if op == "submit":
@@ -271,6 +372,50 @@ class VerdictServer:
     async def _shutdown(self) -> None:
         await self._queue.join()  # drain accepted work first
         self._stopping.set()
+
+    def _render_metrics(self) -> str:
+        """Prometheus text exposition 0.0.4 of the live registry plus
+        server gauges: uptime, request counters, store hit-rate, SLO
+        window p50/p99 per op, and trace-retention accounting."""
+        extra = ["# TYPE repro_serve_uptime_seconds gauge",
+                 prometheus_sample("repro_serve_uptime_seconds", None,
+                                   time.monotonic() - self._started_at)]
+        for name, value in sorted(self.counters.items()):
+            metric = f"repro_serve_{name}_total"
+            extra.append(f"# TYPE {metric} counter")
+            extra.append(prometheus_sample(metric, None, value))
+        store = self.store.stats()
+        lookups = store["hits"] + store["misses"]
+        hit_rate = store["hits"] / lookups if lookups else 0.0
+        for name, value in (("store_records", store["records"]),
+                            ("store_hit_rate", hit_rate),
+                            ("pending_submissions",
+                             self._queue.qsize() if self._queue else 0),
+                            ("watchers", len(self._watchers))):
+            metric = f"repro_serve_{name}"
+            extra.append(f"# TYPE {metric} gauge")
+            extra.append(prometheus_sample(metric, None, value))
+        if self._slo:
+            extra.append("# TYPE repro_serve_slo_latency_seconds gauge")
+            extra.append("# TYPE repro_serve_slo_window_requests gauge")
+            for op, window in sorted(self._slo.items()):
+                snap = window.as_dict()
+                for quantile in ("p50", "p99"):
+                    extra.append(prometheus_sample(
+                        "repro_serve_slo_latency_seconds",
+                        {"op": op, "quantile": quantile},
+                        snap[quantile]))
+                extra.append(prometheus_sample(
+                    "repro_serve_slo_window_requests", {"op": op},
+                    snap["window"]))
+        retention = self.retainer.stats()
+        for name in ("retained", "evicted", "sampled_out_traces",
+                     "sampled_out_records"):
+            metric = f"repro_serve_trace_{name}"
+            extra.append(f"# TYPE {metric} gauge")
+            extra.append(prometheus_sample(metric, None,
+                                           retention[name]))
+        return render_prometheus(self.telemetry.metrics, extra)
 
     # ------------------------------------------------------------------
     # Query / submit
@@ -300,9 +445,13 @@ class VerdictServer:
         return response
 
     async def _submit(self, message: Dict) -> Dict:
+        context = current_trace()
+        trace_id = context.trace_id if context is not None else None
         targets = self._resolve(message)
         self.counters["submissions"] += len(targets)
         waiters: List[Tuple[Dict, Optional[asyncio.Future]]] = []
+        lookup_start = time.perf_counter()
+        hits = 0
         for test, is_pool in targets:
             _digest, fingerprint = self._fingerprint(test, is_pool)
             record = self.store.get(fingerprint)
@@ -310,20 +459,33 @@ class VerdictServer:
             if record is not None and record.has_runs:
                 # Warm path: answered without touching the queue.
                 self.counters["served_from_store"] += 1
+                hits += 1
                 entry.update(hit=True, verdict=record.as_dict())
                 waiters.append((entry, None))
                 continue
             future = self._loop.create_future()
             self._queue.put_nowait(
-                _Submission(test, fingerprint, future))
+                _Submission(test, fingerprint, future, trace_id))
             waiters.append((entry, future))
+        self.telemetry.record_span(
+            "serve.store.lookup", lookup_start, time.perf_counter(),
+            attrs={"targets": len(targets), "hits": hits})
+        queued = sum(1 for _entry, future in waiters
+                     if future is not None)
+        wait_start = time.perf_counter()
         results = []
         for entry, future in waiters:
             if future is not None:
                 record = await future
                 entry.update(hit=False, verdict=record.as_dict())
             results.append(entry)
+        if queued:
+            self.telemetry.record_span(
+                "serve.submit.wait", wait_start, time.perf_counter(),
+                attrs={"queued": queued})
         response = {"ok": True, "op": "submit", "results": results}
+        if trace_id is not None:
+            response["trace"] = trace_id
         if len(results) == 1:
             response.update(results[0])
         return response
@@ -334,6 +496,7 @@ class VerdictServer:
     async def _batch_loop(self) -> None:
         while True:
             first = await self._queue.get()
+            window_start = time.perf_counter()
             batch = [first]
             deadline = self._loop.time() + self.batch_window_s
             while len(batch) < self.batch_max:
@@ -346,12 +509,27 @@ class VerdictServer:
                 except asyncio.TimeoutError:
                     break
             try:
-                await self._run_batch(batch)
+                await self._run_batch(batch, window_start)
             finally:
                 for _ in batch:
                     self._queue.task_done()
 
-    async def _run_batch(self, batch: List[_Submission]) -> None:
+    def _batch_trace(self, batch: List[_Submission]
+                     ) -> Tuple[Optional[str], List[str]]:
+        """The trace a batch runs under: a batch whose members all
+        came from one trace continues it; one coalescing several
+        traces gets a fresh id (members stay linked through the
+        ``serve.batch`` event's ``traces`` field); untraced batches
+        run untraced."""
+        members = sorted({s.trace for s in batch if s.trace})
+        if not members:
+            return None, members
+        if len(members) == 1:
+            return members[0], members
+        return new_trace_id(), members
+
+    async def _run_batch(self, batch: List[_Submission],
+                         window_start: float) -> None:
         # Dedupe across clients: one verification per fingerprint,
         # every waiter answered from it.
         by_fingerprint: Dict[str, List[_Submission]] = {}
@@ -363,19 +541,33 @@ class VerdictServer:
             group.append(submission)
         self.counters["batches"] += 1
         self.counters["batched_tests"] += len(unique)
-        self._broadcast({"type": "event", "name": "serve.batch",
-                         "fields": {"submissions": len(batch),
-                                    "tests": len(unique)}})
+        self.telemetry.metrics.histogram(
+            "serve.batch_submissions").observe(len(batch))
+        self.telemetry.metrics.histogram(
+            "serve.batch_tests").observe(len(unique))
+        batch_trace, member_traces = self._batch_trace(batch)
         tests = [submission.test for submission in unique]
-        try:
-            await asyncio.to_thread(self._verify, tests)
-        except Exception as exc:
-            log.exception("batch verification failed")
-            for submission in batch:
-                if not submission.future.done():
-                    submission.future.set_exception(
-                        RuntimeError(f"batch failed: {exc}"))
-            return
+        with use_trace(batch_trace):
+            # The event reaches watchers via the event-bus sink.
+            self.telemetry.event("serve.batch",
+                                 submissions=len(batch),
+                                 tests=len(unique),
+                                 traces=member_traces)
+            self.telemetry.record_span(
+                "serve.batch.window", window_start,
+                time.perf_counter(),
+                attrs={"submissions": len(batch)})
+            try:
+                # to_thread copies this context: the campaign (and its
+                # worker processes) inherit the batch trace.
+                await asyncio.to_thread(self._verify, tests)
+            except Exception as exc:
+                log.exception("batch verification failed")
+                for submission in batch:
+                    if not submission.future.done():
+                        submission.future.set_exception(
+                            RuntimeError(f"batch failed: {exc}"))
+                return
         for fingerprint, group in by_fingerprint.items():
             record = self.store.peek(fingerprint)
             for submission in group:
@@ -390,10 +582,10 @@ class VerdictServer:
 
     def _verify(self, tests: List[LitmusTest]):
         """Runs on a worker thread: one incremental campaign over the
-        batch, progress streamed through the private telemetry."""
-        sink = _EventBusSink(self._loop, self._broadcast)
-        tel = Telemetry(sinks=[sink])
-        with _use(tel):
+        batch, under the server's shared telemetry (events reach the
+        watch streams, spans land in the trace retainer, metrics
+        accumulate in the scrapeable registry)."""
+        with _use(self.telemetry):
             return run_campaign(tests, self.config, jobs=self.jobs,
                                 cache=self._cache, store=self.store,
                                 incremental=True)

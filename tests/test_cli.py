@@ -13,7 +13,7 @@ class TestParserStructure:
         assert set(sub.choices) == {
             "litmus", "table3", "fig5", "fig6", "proofs", "mbench",
             "explore", "fuzz", "taint", "lint", "serve", "profile",
-            "stats", "capture", "scenario16", "gen"}
+            "stats", "capture", "scenario16", "gen", "bench"}
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -198,3 +198,32 @@ class TestLitmusRandgen:
         assert args.seeds == 2
         assert args.prefilter and args.skip_clean
         assert args.explore == "dpor"
+
+
+class TestStatsCommand:
+    def _chrome_file(self, tmp_path, events):
+        import json
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": events}))
+        return str(path)
+
+    def test_stats_on_chrome_trace(self, capsys, tmp_path):
+        from repro import obs
+        tel = obs.Telemetry(sinks=[sink := obs.MemorySink()])
+        with tel.span("campaign.run"):
+            tel.event("campaign.test", test="SB")
+        payload = obs.chrome_trace_events(
+            [r for r in sink.records if r["type"] == "span"],
+            [r for r in sink.records if r["type"] == "event"])
+        path = self._chrome_file(tmp_path, payload["traceEvents"])
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.run" in out
+        assert "campaign.test" in out
+
+    def test_stats_rejects_invalid_chrome_trace(self, capsys,
+                                                tmp_path):
+        path = self._chrome_file(tmp_path, [
+            {"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 0}])
+        assert main(["stats", path]) == 1
+        assert "invalid" in capsys.readouterr().err.lower()

@@ -378,3 +378,146 @@ class TestStats:
         report.write_text(json.dumps(
             {"schema": "repro.litmus.campaign-report/v5"}))
         assert load_stats_input(report)["kind"] == "campaign"
+
+
+class TestSloWindow:
+    def test_rolling_quantiles(self):
+        slo = obs.SloWindow("lat", size=4)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            slo.observe(v)
+        assert slo.quantile(0.5) == 2.0
+        assert slo.quantile(0.99) == 4.0
+        # Window rolls: the 1.0 falls out.
+        slo.observe(10.0)
+        assert slo.total == 5
+        assert slo.quantile(0.99) == 10.0
+        assert slo.quantile(0.5) == 3.0
+
+    def test_empty_window_is_zero(self):
+        slo = obs.SloWindow("lat")
+        assert slo.quantile(0.5) == 0.0
+        d = slo.as_dict()
+        assert d["window"] == 0 and d["p50"] == 0.0
+
+    def test_as_dict(self):
+        slo = obs.SloWindow("lat", size=8)
+        for v in range(1, 5):
+            slo.observe(float(v))
+        d = slo.as_dict()
+        assert d == {"total": 4, "window": 4, "p50": 2.0,
+                     "p99": 4.0, "max": 4.0}
+
+
+class TestPrometheusRendering:
+    def test_name_sanitisation(self):
+        assert obs.prometheus_name("serve.request_latency_s") == \
+            "repro_serve_request_latency_s"
+        assert obs.prometheus_name("9lives", prefix="") == "_9lives"
+
+    def test_sample_escapes_label_values(self):
+        line = obs.prometheus_sample("m", {"op": 'a"b\\c'}, 1.5)
+        assert line == 'm{op="a\\"b\\\\c"} 1.5'
+        assert obs.prometheus_sample("m", None, float("inf")) == "m +Inf"
+
+    def test_render_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests.ping").inc(3)
+        reg.gauge("queue.depth").set(2.0)
+        reg.gauge("queue.depth").set(1.0)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        text = obs.render_prometheus(reg)
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "# TYPE repro_serve_requests_ping_total counter" in lines
+        assert "repro_serve_requests_ping_total 3.0" in lines
+        assert "repro_queue_depth 1.0" in lines
+        assert "repro_queue_depth_max 2.0" in lines
+        # Cumulative buckets end at +Inf and agree with _count.
+        assert 'repro_lat_bucket{le="0.1"} 1.0' in lines
+        assert 'repro_lat_bucket{le="1.0"} 2.0' in lines
+        assert 'repro_lat_bucket{le="+Inf"} 2.0' in lines
+        assert "repro_lat_count 2.0" in lines
+
+    def test_extra_lines_appended(self):
+        text = obs.render_prometheus(MetricsRegistry(),
+                                     extra_lines=["custom_metric 7"])
+        assert text == "custom_metric 7\n"
+
+
+class TestChromeTraceInverse:
+    def _traced_payload(self):
+        tel = Telemetry(sinks=[sink := MemorySink()])
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            tel.event("mark", k=2)
+        tel.record_span("drain", 100, 160, track=SIM)
+        tel.sample("depth", 3.0)
+        spans = [r for r in sink.records if r["type"] == "span"]
+        events = [r for r in sink.records if r["type"] == "event"]
+        samples = [r for r in sink.records if r["type"] == "sample"]
+        return sink.records, chrome_trace_events(spans, events, samples)
+
+    def test_round_trip_preserves_records(self):
+        records, payload = self._traced_payload()
+        back = obs.chrome_trace_to_records(payload)
+        names = lambda rs, t: sorted(r["name"] for r in rs
+                                     if r["type"] == t)
+        for kind in ("span", "event", "sample"):
+            assert names(back, kind) == names(records, kind)
+        drain = next(r for r in back if r["name"] == "drain")
+        assert drain["track"] == SIM
+        assert drain["ts"] == 100 and drain["dur"] == 60
+        mark = next(r for r in back if r["name"] == "mark")
+        assert mark["fields"]["k"] == 2
+
+    def test_summarize_chrome_trace(self):
+        _, payload = self._traced_payload()
+        summary = obs.summarize_chrome_trace(payload)
+        assert summary["spans"]["drain"]["count"] == 1
+        assert "mark" in summary["events"]
+
+    def test_unbalanced_events_skipped(self):
+        payload = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 0, "dur": 5, "pid": 1,
+             "tid": 0}]}
+        back = obs.chrome_trace_to_records(payload)
+        assert [r["name"] for r in back] == ["b"]
+
+    def test_load_stats_input_detects_chrome(self, tmp_path):
+        _, payload = self._traced_payload()
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_stats_input(path)
+        assert loaded["kind"] == "chrome"
+        assert loaded["payload"]["traceEvents"]
+
+
+class TestConsoleSummaryHighlights:
+    def test_top_wall_spans_and_metric_highlights(self):
+        stream = io.StringIO()
+        tel = Telemetry(sinks=[ConsoleSummarySink(stream)])
+        tel.record_span("slow.phase", 0.0, 2.0)
+        tel.record_span("fast.phase", 0.0, 0.5)
+        tel.record_span("sim.phase", 0, 10, track=SIM)
+        tel.counter("big.counter").inc(100)
+        tel.counter("small.counter").inc(2)
+        tel.close()
+        text = stream.getvalue()
+        top = text.index("top spans by total wall time")
+        # Wall spans ranked by total time; sim spans stay out.
+        assert top < text.index("slow.phase") < text.index("fast.phase")
+        assert "sim.phase" not in text[top:text.index("metric highlights")]
+        hi = text.index("metric highlights")
+        assert hi < text.index("big.counter") < text.index("small.counter")
+
+    def test_no_highlight_sections_when_empty(self):
+        stream = io.StringIO()
+        tel = Telemetry(sinks=[ConsoleSummarySink(stream)])
+        tel.event("only.event")
+        tel.close()
+        text = stream.getvalue()
+        assert "top spans by total wall time" not in text
+        assert "metric highlights" not in text

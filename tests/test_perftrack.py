@@ -1,0 +1,246 @@
+"""Tests for the continuous perf-regression tracker
+(``repro.obs.perftrack``): the ``repro.bench/v1`` trajectory format,
+legacy-file upgrades, catalog normalisation over the repo's real
+``BENCH_*.json`` files, the noise-aware regression check, and a
+hypothesis round-trip over the record schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.obs import perftrack
+from repro.obs.perftrack import (BenchRecord, SCHEMA, append_entry,
+                                 check_regressions, load_bench_file,
+                                 normalize, render_check,
+                                 write_bench_file)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _write_trajectory(root: Path, suite: str, entries):
+    write_bench_file(root / f"BENCH_{suite}.json", suite, entries)
+
+
+class TestFileFormats:
+    def test_load_v1_file(self, tmp_path):
+        _write_trajectory(tmp_path, "demo",
+                          [{"bench": "micro-SB", "speedup": 4.0}])
+        suite, entries = load_bench_file(tmp_path / "BENCH_demo.json")
+        assert suite == "demo"
+        assert entries == [{"bench": "micro-SB", "speedup": 4.0}]
+
+    def test_load_legacy_list(self, tmp_path):
+        path = tmp_path / "BENCH_legacy.json"
+        path.write_text(json.dumps([{"bench": "micro-SB",
+                                     "speedup": 4.0}]))
+        suite, entries = load_bench_file(path)
+        assert suite == "legacy"
+        assert len(entries) == 1
+
+    def test_load_missing_is_empty(self, tmp_path):
+        suite, entries = load_bench_file(tmp_path / "BENCH_none.json")
+        assert (suite, entries) == ("none", [])
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text('{"schema": "wat"}')
+        with pytest.raises(ValueError, match="neither"):
+            load_bench_file(path)
+
+    def test_append_upgrades_legacy_to_v1(self, tmp_path):
+        path = tmp_path / "BENCH_up.json"
+        path.write_text(json.dumps([{"bench": "micro-SB",
+                                     "speedup": 4.0}]))
+        run = append_entry(path, {"bench": "micro-SB", "speedup": 4.1})
+        assert run == 1
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["suite"] == "up"
+        assert [e["speedup"] for e in payload["entries"]] == [4.0, 4.1]
+
+    def test_append_rejects_benchless_entry(self, tmp_path):
+        with pytest.raises(ValueError, match="'bench' key"):
+            append_entry(tmp_path / "BENCH_x.json", {"speedup": 1.0})
+
+
+class TestNormalize:
+    def test_repo_trajectories_fully_tracked(self):
+        # Every bench entry recorded so far must be in the catalog —
+        # a new benchmark without catalog metrics shows up here.
+        records, untracked = normalize(REPO_ROOT)
+        assert untracked == []
+        assert len(records) >= 20
+        keys = {(r.suite, r.bench, r.metric) for r in records}
+        assert ("obs", "obs-overhead-library-sweep",
+                "disabled_overhead") in keys
+        assert ("sim", "sim-figure6-sweep", "speedup_vs_seed") in keys
+
+    def test_untracked_benches_are_reported(self, tmp_path):
+        _write_trajectory(tmp_path, "demo",
+                          [{"bench": "mystery", "speedup": 2.0}])
+        records, untracked = normalize(tmp_path)
+        assert records == []
+        assert untracked == ["demo/mystery"]
+
+    def test_run_indices_count_per_bench(self, tmp_path):
+        _write_trajectory(tmp_path, "demo", [
+            {"bench": "micro-SB", "speedup": 4.0},
+            {"bench": "micro-MP", "speedup": 3.0},
+            {"bench": "micro-SB", "speedup": 4.2},
+        ])
+        records, _ = normalize(tmp_path)
+        sb = [r for r in records if r.bench == "micro-SB"]
+        assert [r.run for r in sb] == [0, 1]
+
+
+class TestCheckRegressions:
+    def test_repo_trajectories_pass(self):
+        report = check_regressions(REPO_ROOT)
+        assert report["ok"], render_check(report)
+        assert report["untracked"] == []
+        assert report["checked"] >= 20
+
+    def test_single_run_is_baseline(self, tmp_path):
+        _write_trajectory(tmp_path, "demo",
+                          [{"bench": "micro-SB", "speedup": 4.0}])
+        report = check_regressions(tmp_path)
+        assert report["ok"]
+        assert report["results"][0]["status"] == "baseline"
+
+    def test_higher_is_good_regression_detected(self, tmp_path):
+        _write_trajectory(tmp_path, "demo", [
+            {"bench": "micro-SB", "speedup": 4.0},
+            {"bench": "micro-SB", "speedup": 4.1},
+            {"bench": "micro-SB", "speedup": 1.0},  # collapsed
+        ])
+        report = check_regressions(tmp_path)
+        assert not report["ok"]
+        (row,) = [r for r in report["results"]
+                  if r["status"] == "regression"]
+        assert row["metric"] == "speedup"
+        assert row["baseline"] == pytest.approx(4.05)
+
+    def test_lower_is_good_regression_detected(self, tmp_path):
+        _write_trajectory(tmp_path, "obs2", [
+            {"bench": "obs-overhead-library-sweep",
+             "disabled_overhead": 1.01, "enabled_overhead": 1.2},
+            {"bench": "obs-overhead-library-sweep",
+             "disabled_overhead": 2.5, "enabled_overhead": 1.2},
+        ])
+        report = check_regressions(tmp_path)
+        assert not report["ok"]
+        bad = {r["metric"] for r in report["results"]
+               if r["status"] == "regression"}
+        assert bad == {"disabled_overhead"}
+
+    def test_noise_within_tolerance_passes(self, tmp_path):
+        _write_trajectory(tmp_path, "demo", [
+            {"bench": "micro-SB", "speedup": 4.0},
+            {"bench": "micro-SB", "speedup": 3.2},  # -20% < 35% tol
+        ])
+        assert check_regressions(tmp_path)["ok"]
+
+    def test_exact_metric_tolerates_nothing(self, tmp_path):
+        _write_trajectory(tmp_path, "taint2", [
+            {"bench": "static-taint", "false_negatives": 0,
+             "speedup": 100.0},
+            {"bench": "static-taint", "false_negatives": 1,
+             "speedup": 100.0},
+        ])
+        report = check_regressions(tmp_path)
+        bad = [r for r in report["results"]
+               if r["status"] == "regression"]
+        assert [r["metric"] for r in bad] == ["false_negatives"]
+
+    def test_median_baseline_shrugs_off_one_outlier(self, tmp_path):
+        _write_trajectory(tmp_path, "demo", [
+            {"bench": "micro-SB", "speedup": 4.0},
+            {"bench": "micro-SB", "speedup": 0.5},  # one bad run
+            {"bench": "micro-SB", "speedup": 4.1},
+            {"bench": "micro-SB", "speedup": 3.9},
+        ])
+        report = check_regressions(tmp_path)
+        assert report["ok"], render_check(report)
+
+
+class TestBenchCli:
+    def test_bench_check_passes_on_repo(self, capsys):
+        assert main(["bench", "--check", "--root",
+                     str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+
+    def test_bench_check_fails_on_injected_regression(self, tmp_path,
+                                                      capsys):
+        _write_trajectory(tmp_path, "demo", [
+            {"bench": "micro-SB", "speedup": 4.0},
+            {"bench": "micro-SB", "speedup": 0.1},
+        ])
+        assert main(["bench", "--check", "--root",
+                     str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_json_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["bench", "--root", str(REPO_ROOT),
+                     "--json", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == SCHEMA
+        assert report["ok"] is True
+
+    def test_bench_append(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_demo.json"
+        entry = json.dumps({"bench": "micro-SB", "speedup": 4.0})
+        assert main(["bench", "--append", str(path),
+                     "--entry", entry]) == 0
+        suite, entries = load_bench_file(path)
+        assert entries[0]["speedup"] == 4.0
+
+
+_meta_values = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+class TestRecordSchemaRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        suite=st.text(min_size=1, max_size=20),
+        bench=st.text(min_size=1, max_size=30),
+        metric=st.text(min_size=1, max_size=30),
+        value=st.floats(allow_nan=False, allow_infinity=False),
+        direction=st.sampled_from(["higher", "lower"]),
+        kind=st.sampled_from(sorted(perftrack.TOLERANCES)),
+        run=st.integers(min_value=0, max_value=10**6),
+        meta=st.dictionaries(st.text(max_size=10), _meta_values,
+                             max_size=4),
+    )
+    def test_round_trip(self, suite, bench, metric, value, direction,
+                        kind, run, meta):
+        record = BenchRecord(suite=suite, bench=bench, metric=metric,
+                             value=value, direction=direction,
+                             kind=kind, run=run, meta=meta)
+        wire = json.loads(json.dumps(record.as_dict()))
+        assert BenchRecord.from_dict(wire) == record
+
+    def test_from_dict_rejects_unknown_schema(self):
+        payload = BenchRecord("s", "b", "m", 1.0, "higher", "time",
+                              0).as_dict()
+        payload["schema"] = "repro.bench/v999"
+        with pytest.raises(ValueError, match="schema"):
+            BenchRecord.from_dict(payload)
+
+    def test_from_dict_rejects_bad_enums(self):
+        payload = BenchRecord("s", "b", "m", 1.0, "higher", "time",
+                              0).as_dict()
+        for key, bad in (("direction", "sideways"), ("kind", "vibes")):
+            broken = dict(payload)
+            broken[key] = bad
+            with pytest.raises(ValueError):
+                BenchRecord.from_dict(broken)

@@ -1,0 +1,234 @@
+"""Operational-surface tests for ``repro serve``: health/ready
+probes, the Prometheus ``metrics`` exposition, the ``trace`` lookup
+op, end-to-end trace propagation (client → server → campaign worker
+processes under one trace id, exported as a valid Chrome trace), and
+the shutdown telemetry summary."""
+
+import asyncio
+import io
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.litmus import RunConfig, all_library_tests
+from repro.serve import ServeClient, ServeError, VerdictServer
+from repro.serve.protocol import decode_line, encode_line
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live UDS server (jobs=2, console sink) + connected client."""
+    uds = tmp_path / "serve.sock"
+    console = io.StringIO()
+    server = VerdictServer(
+        tmp_path / "store",
+        RunConfig(seeds=3, clean_pass=False),
+        tests=all_library_tests(),
+        jobs=2,
+        batch_window_s=0.02,
+        sinks=[obs.ConsoleSummarySink(stream=console)])
+    server.console = console  # test-side handle
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.run(uds=uds, ready=lambda addr: ready.set())),
+        daemon=True)
+    thread.start()
+    assert ready.wait(10), "server never came up"
+    client = ServeClient(uds=uds)
+    yield server, client, uds
+    try:
+        client.shutdown()
+    except ServeError:
+        pass
+    client.close()
+    thread.join(10)
+    assert not thread.is_alive(), "server failed to shut down"
+
+
+class TestOperationalEndpoints:
+    def test_health(self, served):
+        _server, client, _uds = served
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["server"] == "repro-serve"
+        assert health["uptime_s"] >= 0
+
+    def test_ready(self, served):
+        _server, client, _uds = served
+        readiness = client.ready()
+        assert readiness["ready"] is True
+        assert readiness["pending"] == 0
+
+    def test_metrics_is_parseable_prometheus_text(self, served):
+        _server, client, _uds = served
+        client.ping()
+        client.query(name="SB")
+        body = client.metrics_text()
+        samples = {}
+        for line in body.splitlines():
+            assert line, "blank line in exposition"
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[0] == "#" and parts[1] == "TYPE", line
+                assert parts[3] in ("counter", "gauge", "histogram")
+                continue
+            name_labels, _, value = line.rpartition(" ")
+            float(value) if value != "+Inf" else None
+            samples[name_labels] = value
+        assert "repro_serve_uptime_seconds" in samples
+        assert float(samples["repro_serve_requests_ping_total"]) >= 1
+        assert float(samples["repro_serve_requests_query_total"]) >= 1
+        # Lifetime latency histogram with +Inf bucket + SLO windows.
+        assert any(k.startswith("repro_serve_request_latency_s_bucket")
+                   and 'le="+Inf"' in k for k in samples)
+        p50 = [k for k in samples
+               if k.startswith("repro_serve_slo_latency_seconds")
+               and 'quantile="p50"' in k]
+        p99 = [k for k in samples
+               if k.startswith("repro_serve_slo_latency_seconds")
+               and 'quantile="p99"' in k]
+        assert p50 and p99, sorted(samples)[:20]
+        # Store + retention gauges are exposed.
+        assert "repro_serve_store_hit_rate" in samples
+        assert "repro_serve_trace_retained" in samples
+
+    def test_malformed_requests_are_counted_errors(self, served):
+        _server, client, _uds = served
+        # Invalid trace id -> protocol error, connection stays usable.
+        client._file.write(encode_line({"op": "ping",
+                                        "trace": "bad trace!"}))
+        client._file.flush()
+        response = decode_line(client._file.readline())
+        assert response["ok"] is False
+        assert "trace" in response["error"]
+        # Unknown op -> error, still counted.
+        client._file.write(encode_line({"op": "frobnicate"}))
+        client._file.flush()
+        response = decode_line(client._file.readline())
+        assert response["ok"] is False
+        body = client.metrics_text()
+        assert "repro_serve_errors_total" in body
+        registry = _server.telemetry.metrics
+        assert registry.counter("serve.errors").value >= 2
+
+    def test_trace_op_requires_id(self, served):
+        _server, client, _uds = served
+        with pytest.raises(ServeError, match="trace"):
+            client.request("trace")
+
+
+class TestTracePropagation:
+    def test_submit_propagates_one_trace_end_to_end(self, served,
+                                                    tmp_path):
+        server, client, _uds = served
+        client_sink = obs.MemorySink()
+        client_tel = obs.Telemetry(sinks=[client_sink])
+        names = [t.name for t in all_library_tests()[:4]]
+        with obs.use(client_tel):
+            response = client.submit(names=names)
+        assert all(r["verdict"]["ok"] for r in response["results"])
+        trace_id = response["trace"]
+        assert obs.is_trace_id(trace_id)
+
+        # Client side: the submit wait span carries the same id.
+        (client_span,) = [r for r in client_sink.records
+                          if r.get("type") == "span"]
+        assert client_span["name"] == "serve.client.submit"
+        assert client_span["trace"] == trace_id
+
+        # Server side: request handling, batching, and the campaign
+        # worker *processes* all stamped with the one id.
+        records = client.fetch_trace(trace_id, lane_base=1000)
+        assert records, "server retained nothing for the trace"
+        assert all(r["trace"] == trace_id for r in records)
+        names_seen = {r["name"] for r in records}
+        for expected in ("serve.request", "serve.store.lookup",
+                         "serve.submit.wait", "serve.batch.window",
+                         "serve.batch", "campaign.run",
+                         "campaign.chunk", "campaign.test"):
+            assert expected in names_seen, (expected, names_seen)
+        # campaign.chunk spans come from worker processes on their
+        # own (re-based) wall lanes.
+        chunk_lanes = {r["lane"] for r in records
+                       if r["name"] == "campaign.chunk"}
+        assert chunk_lanes and all(lane > 1000 for lane in chunk_lanes)
+
+        # One Chrome trace over both processes validates.
+        merged = list(client_sink.records) + records
+        payload = obs.chrome_trace_events(
+            [r for r in merged if r["type"] == "span"],
+            [r for r in merged if r["type"] == "event"],
+            [r for r in merged if r["type"] == "sample"])
+        obs.assert_valid_chrome_trace(payload)
+        traced_args = {(e.get("args") or {}).get("trace")
+                       for e in payload["traceEvents"]
+                       if e.get("ph") == "B"}
+        assert traced_args == {trace_id}
+
+    def test_caller_supplied_trace_is_continued(self, served):
+        _server, client, _uds = served
+        response = client.submit(name="SB", trace="my-trace-1")
+        assert response["trace"] == "my-trace-1"
+        records = client.fetch_trace("my-trace-1")
+        assert records
+        assert {r["trace"] for r in records} == {"my-trace-1"}
+
+    def test_distinct_submits_get_distinct_traces(self, served):
+        _server, client, _uds = served
+        first = client.submit(name="SB")
+        second = client.submit(name="MP")
+        assert first["trace"] != second["trace"]
+        # Each trace sees only its own request records.
+        for response, name in ((first, "SB"), (second, "MP")):
+            records = client.fetch_trace(response["trace"])
+            lookups = [r for r in records
+                       if r["name"] == "serve.store.lookup"]
+            assert len(lookups) == 1
+
+    def test_untraced_query_leaves_no_trace(self, served):
+        _server, client, _uds = served
+        client.query(name="SB")
+        retained = _server.retainer.retained()
+        query_spans = [r for r in retained
+                       if r.get("attrs", {}).get("op") == "query"]
+        assert query_spans
+        assert all("trace" not in r for r in query_spans)
+
+
+class TestShutdownSummary:
+    def test_shutdown_emits_summary_and_retention_log(self, tmp_path,
+                                                      caplog):
+        uds = tmp_path / "serve.sock"
+        console = io.StringIO()
+        server = VerdictServer(
+            tmp_path / "store",
+            RunConfig(seeds=2, clean_pass=False),
+            tests=all_library_tests(),
+            batch_window_s=0.02,
+            sinks=[obs.ConsoleSummarySink(stream=console)])
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                server.run(uds=uds, ready=lambda addr: ready.set())),
+            daemon=True)
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            thread.start()
+            assert ready.wait(10)
+            with ServeClient(uds=uds) as client:
+                client.submit(name="SB")
+                client.shutdown()
+            thread.join(10)
+        assert not thread.is_alive()
+        # The final summary went through the active sink...
+        text = console.getvalue()
+        assert "telemetry summary" in text
+        assert "serve.request" in text
+        assert "top spans by total wall time" in text
+        # ...and retention/latency accounting was logged.
+        logged = "\n".join(r.getMessage() for r in caplog.records)
+        assert "serve trace retention" in logged
+        assert "sampled out" in logged
+        assert "serve request latency" in logged

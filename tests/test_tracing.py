@@ -1,0 +1,191 @@
+"""Tests for distributed request tracing (``repro.obs.tracing``):
+trace contexts, record stamping, the bounded head-sampling span
+retainer, and cross-process propagation through campaign workers."""
+
+import pickle
+
+from repro import obs
+from repro.litmus import RunConfig, all_library_tests
+from repro.litmus.campaign import run_campaign
+from repro.obs.tracing import (SpanRetainer, TraceContext,
+                               current_trace, is_trace_id,
+                               new_span_id, new_trace_id, use_trace)
+
+
+class TestTraceContext:
+    def test_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(is_trace_id(t) and len(t) == 16 for t in ids)
+        assert len(new_span_id()) == 8
+
+    def test_is_trace_id_rejects_junk(self):
+        assert is_trace_id("abc-DEF_1.2:3")
+        assert not is_trace_id("")
+        assert not is_trace_id("x" * 65)
+        assert not is_trace_id("has space")
+        assert not is_trace_id(42)
+        assert not is_trace_id(None)
+
+    def test_child_shares_trace_id(self):
+        parent = TraceContext()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_use_trace_nesting_and_restore(self):
+        assert current_trace() is None
+        with use_trace("outer") as outer:
+            assert current_trace() is outer
+            assert outer.trace_id == "outer"
+            with use_trace(TraceContext("inner")):
+                assert current_trace().trace_id == "inner"
+            assert current_trace() is outer
+            with use_trace(None):
+                # None *clears* the ambient trace for the block.
+                assert current_trace() is None
+            assert current_trace() is outer
+        assert current_trace() is None
+
+
+class TestRecordStamping:
+    def test_records_carry_active_trace(self):
+        sink = obs.MemorySink()
+        tel = obs.Telemetry(sinks=[sink])
+        with use_trace("t1"):
+            with tel.span("phase"):
+                pass
+            tel.event("tick", n=1)
+            tel.sample("depth", 3.0)
+        kinds = {r["type"]: r for r in sink.records}
+        assert set(kinds) == {"span", "event", "sample"}
+        assert all(r["trace"] == "t1" for r in sink.records)
+
+    def test_untraced_records_have_no_trace_key(self):
+        sink = obs.MemorySink()
+        tel = obs.Telemetry(sinks=[sink])
+        with tel.span("phase"):
+            pass
+        tel.event("tick", n=1)
+        assert all("trace" not in r for r in sink.records)
+
+    def test_metric_records_never_stamped(self):
+        sink = obs.MemorySink()
+        tel = obs.Telemetry(sinks=[sink])
+        with use_trace("t1"):
+            tel.counter("c").inc()
+            tel.close()
+        metric_records = [r for r in sink.records
+                          if r["type"] == "metric"]
+        assert metric_records
+        assert all("trace" not in r for r in metric_records)
+
+    def test_chrome_export_round_trips_trace(self):
+        sink = obs.MemorySink()
+        tel = obs.Telemetry(sinks=[sink])
+        with use_trace("t42"):
+            with tel.span("work"):
+                tel.event("mark", k=1)
+                tel.sample("gauge", 2.0)
+        spans = [r for r in sink.records if r["type"] == "span"]
+        instants = [r for r in sink.records if r["type"] == "event"]
+        counters = [r for r in sink.records if r["type"] == "sample"]
+        payload = obs.chrome_trace_events(spans, instants, counters)
+        obs.assert_valid_chrome_trace(payload)
+        traced = [e for e in payload["traceEvents"]
+                  if (e.get("args") or {}).get("trace")]
+        assert traced, "no trace args in exported events"
+        assert {e["args"]["trace"] for e in traced} == {"t42"}
+        back = obs.chrome_trace_to_records(payload)
+        assert {r["trace"] for r in back} == {"t42"}
+
+
+class TestSpanRetainer:
+    def _span(self, trace=None, name="s"):
+        record = {"type": "span", "name": name, "track": "wall",
+                  "lane": 0, "ts": 0.0, "dur": 1.0, "attrs": {}}
+        if trace is not None:
+            record["trace"] = trace
+        return record
+
+    def test_retains_and_looks_up_by_trace(self):
+        retainer = SpanRetainer(max_records=10)
+        retainer.on_record(self._span("a", name="one"))
+        retainer.on_record(self._span("b", name="two"))
+        retainer.on_record(self._span(name="untr"))
+        retainer.on_record({"type": "metric", "name": "m"})  # ignored
+        assert [r["name"] for r in retainer.for_trace("a")] == ["one"]
+        assert len(retainer.retained()) == 3
+        assert retainer.live_traces() == ["a", "b"]
+
+    def test_ring_evicts_oldest_and_counts(self):
+        retainer = SpanRetainer(max_records=3)
+        for i in range(5):
+            retainer.on_record(self._span("t", name=f"s{i}"))
+        stats = retainer.stats()
+        assert stats["retained"] == 3
+        assert stats["evicted"] == 2
+        assert stats["retained_total"] == 5
+        assert [r["name"] for r in retainer.for_trace("t")] == \
+            ["s2", "s3", "s4"]
+
+    def test_head_sampling_drops_whole_new_traces(self):
+        retainer = SpanRetainer(max_records=100, max_traces=2)
+        retainer.on_record(self._span("a"))
+        retainer.on_record(self._span("b"))
+        # Trace table full: 'c' is sampled out at its head, and every
+        # later 'c' record stays dropped.
+        retainer.on_record(self._span("c"))
+        retainer.on_record(self._span("c"))
+        assert retainer.for_trace("c") == []
+        stats = retainer.stats()
+        assert stats["sampled_out_traces"] == 1
+        assert stats["sampled_out_records"] == 2
+        # Retained traces stay complete.
+        assert len(retainer.for_trace("a")) == 1
+
+    def test_eviction_frees_trace_slots(self):
+        retainer = SpanRetainer(max_records=1, max_traces=1)
+        retainer.on_record(self._span("a"))
+        retainer.on_record(self._span("b"))  # head-sampled out
+        assert retainer.stats()["sampled_out_traces"] == 1
+        # 'a' still occupies the ring; a *new* record of 'a' evicts
+        # the old one, keeping exactly one live trace.
+        retainer.on_record(self._span("a", name="fresh"))
+        assert [r["name"] for r in retainer.for_trace("a")] == ["fresh"]
+        assert retainer.stats()["live_traces"] == 1
+
+    def test_close_keeps_summary(self):
+        retainer = SpanRetainer()
+        retainer.close({"spans": 3})
+        assert retainer.summary == {"spans": 3}
+
+
+class TestCampaignPropagation:
+    def test_worker_records_carry_parent_trace(self):
+        sink = obs.MemorySink()
+        tel = obs.Telemetry(sinks=[sink])
+        tests = all_library_tests()[:4]
+        config = RunConfig(seeds=2, clean_pass=False)
+        with obs.use(tel), use_trace("campaign-trace"):
+            report = run_campaign(tests, config, jobs=2, chunk_size=2)
+        assert report.ok
+        spans = [r for r in sink.records if r.get("type") == "span"]
+        names = {r["name"] for r in spans}
+        assert "campaign.chunk" in names  # worker-process records
+        assert all(r.get("trace") == "campaign-trace" for r in spans), \
+            [r for r in spans if r.get("trace") != "campaign-trace"][:3]
+
+    def test_untraced_campaign_has_no_trace_keys(self):
+        sink = obs.MemorySink()
+        tel = obs.Telemetry(sinks=[sink])
+        tests = all_library_tests()[:2]
+        config = RunConfig(seeds=2, clean_pass=False)
+        with obs.use(tel):
+            run_campaign(tests, config, jobs=2, chunk_size=1)
+        assert all("trace" not in r for r in sink.records)
+
+    def test_chunk_payload_trace_id_pickles(self):
+        # Worker payloads must stay picklable for any start method.
+        payload = (0, [], RunConfig(), [], True, new_trace_id())
+        assert pickle.loads(pickle.dumps(payload)) == payload
